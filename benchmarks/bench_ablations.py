@@ -1,0 +1,14 @@
+"""Benchmark target for the design-choice ablations (beyond the paper)."""
+
+from repro.bench.ablations import run_ablations
+
+
+def test_ablations(benchmark, bench_config, record_result):
+    result = benchmark.pedantic(
+        run_ablations, args=(bench_config,), rounds=1, iterations=1)
+    record_result("ablations", result.render())
+    # SIMD + CCM must beat the scalar JIT configuration
+    for name, (simd, scalar) in result.ccm.items():
+        assert scalar > simd, f"{name}: SIMD CCM should win"
+    # wider vectors should not hurt
+    assert result.isa["avx512"] <= result.isa["sse2"] * 1.2

@@ -1,0 +1,17 @@
+"""Benchmark target regenerating the paper's Figure 10."""
+
+from repro.bench.fig10 import run_fig10
+from repro.bench.fig9 import COLUMN_COUNTS, SPLITS
+
+
+def test_fig10(benchmark, bench_config, record_result):
+    result = benchmark.pedantic(
+        run_fig10, args=(bench_config,), rounds=1, iterations=1)
+    record_result("fig10", result.render())
+    for d in COLUMN_COUNTS:
+        for split in SPLITS:
+            average = result.data.average(d, split)
+            assert average > 1.0, (
+                f"JIT should edge out the MKL-like kernel "
+                f"(d={d}, {split}: {average:.2f}x)")
+            assert average < 5.0, "the MKL gap should be narrow (paper: ~1.4x)"

@@ -1,0 +1,17 @@
+"""Benchmark target regenerating the paper's Figure 11."""
+
+from repro.bench.fig11 import run_fig11
+
+
+def test_fig11(benchmark, bench_config, record_result):
+    result = benchmark.pedantic(
+        run_fig11, args=(bench_config,), rounds=1, iterations=1)
+    record_result("fig11", result.render())
+    # JIT must be the lowest bar on loads, branches and instructions
+    for metric in ("memory_loads", "branches", "instructions"):
+        assert result.average_ratio(metric, "icc-avx512") > 1.2
+        assert result.average_ratio(metric, "mkl") > 1.0
+    # branch misses: the weakest improvement (predictor absorbs branches)
+    miss_gain = result.average_ratio("branch_misses", "icc-avx512")
+    insn_gain = result.average_ratio("instructions", "icc-avx512")
+    assert miss_gain < insn_gain

@@ -1,0 +1,19 @@
+"""Benchmark target regenerating the paper's Figure 9."""
+
+from repro.bench.fig9 import COLUMN_COUNTS, SPLITS, run_fig9
+
+
+def test_fig9(benchmark, bench_config, record_result):
+    result = benchmark.pedantic(
+        run_fig9, args=(bench_config,), rounds=1, iterations=1)
+    record_result("fig9", result.render())
+    for d in COLUMN_COUNTS:
+        for split in SPLITS:
+            average = result.data.average(d, split)
+            assert average > 1.5, (
+                f"JIT should clearly beat auto-vectorization "
+                f"(d={d}, {split}: {average:.2f}x)")
+    # the paper's d-trend: wider dense operands widen the gap
+    avg16 = sum(result.data.average(16, s) for s in SPLITS)
+    avg32 = sum(result.data.average(32, s) for s in SPLITS)
+    assert avg32 > 0.8 * avg16

@@ -1,0 +1,16 @@
+"""Benchmark target regenerating the paper's Table II."""
+
+from repro.bench.table2 import run_table2
+
+
+def test_table2(benchmark, bench_config, record_result):
+    result = benchmark.pedantic(
+        run_table2, args=(bench_config,), rounds=1, iterations=1)
+    record_result("table2", result.render())
+    # reproduction assertions: the paper's orderings must hold
+    for metric in ("cycles", "memory_loads", "instructions"):
+        for system in ("gcc", "clang", "icc"):
+            assert result.ratio(metric, system) > 1.5, (
+                f"JIT must clearly beat {system} on {metric}")
+    branches = {s: result.counters[s].branches for s in ("gcc", "clang", "icc")}
+    assert branches["gcc"] > branches["clang"] > branches["icc"]

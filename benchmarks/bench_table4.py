@@ -1,0 +1,14 @@
+"""Benchmark target regenerating the paper's Table IV."""
+
+from repro.bench.table4 import run_table4
+
+
+def test_table4(benchmark, bench_config, record_result):
+    result = benchmark.pedantic(
+        run_table4, args=(bench_config,), rounds=1, iterations=1)
+    record_result("table4", result.render())
+    # at the paper's scale, codegen overhead must be negligible everywhere
+    for name, pct in result.paper_scale_pct.items():
+        assert pct < 2.0, (
+            f"{name}: paper-scale codegen overhead {pct:.2f}% looks wrong")
+    assert result.overhead_shrinks_with_size()

@@ -1,0 +1,55 @@
+"""Shared configuration for the benchmark suite.
+
+One :class:`BenchConfig` is shared across all bench modules in the
+session so that Figures 9, 10 and 11 — which need the same simulations —
+reuse each other's cached runs instead of re-simulating.
+
+Rendered tables are written to ``benchmarks/results/*.txt`` and echoed in
+the terminal summary (so they survive pytest's output capturing).
+
+Runtime knobs (environment variables):
+
+* ``REPRO_BENCH_SCALE``     — twin scale relative to Table III
+  (default 2**-18);
+* ``REPRO_BENCH_THREADS``   — simulated threads (default 8);
+* ``REPRO_BENCH_DATASETS``  — comma-separated subset of Table III names
+  for quick runs.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.bench.harness import BenchConfig
+
+_RESULTS: list[tuple[str, str]] = []
+_RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def bench_config() -> BenchConfig:
+    return BenchConfig()
+
+
+@pytest.fixture
+def record_result():
+    """Store a rendered experiment table for the terminal summary."""
+
+    def record(name: str, text: str) -> None:
+        _RESULTS.append((name, text))
+        _RESULTS_DIR.mkdir(exist_ok=True)
+        (_RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+    return record
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    for name, text in _RESULTS:
+        terminalreporter.write_line("")
+        terminalreporter.write_line("=" * 78)
+        terminalreporter.write_line(f"experiment: {name}")
+        terminalreporter.write_line("=" * 78)
+        for line in text.splitlines():
+            terminalreporter.write_line(line)

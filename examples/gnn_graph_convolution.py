@@ -1,0 +1,78 @@
+"""Graph convolution (GCN layer) powered by JITSPMM.
+
+The paper motivates SpMM with graph neural networks (§I): a GCN layer is
+``H' = ReLU(Â @ H @ W)`` where ``Â`` is the symmetrically normalized
+adjacency matrix and ``Â @ (HW)`` is exactly the sparse-times-tall-skinny
+SpMM the JIT accelerates.  This example runs a 2-layer GCN forward pass
+over a scaled social-graph twin.
+
+Run:  python examples/gnn_graph_convolution.py
+"""
+
+import numpy as np
+
+from repro import CsrMatrix, JitSpMM
+from repro.datasets import rmat
+from repro.sparse.coo import CooMatrix
+
+
+def normalize_adjacency(graph: CsrMatrix) -> CsrMatrix:
+    """Return D^-1/2 (A + I) D^-1/2, the standard GCN propagation matrix."""
+    n = graph.nrows
+    coo = graph.to_coo()
+    rows = np.concatenate([coo.rows, np.arange(n)])
+    cols = np.concatenate([coo.cols, np.arange(n)])
+    vals = np.concatenate([np.ones(coo.nnz, dtype=np.float32),
+                           np.ones(n, dtype=np.float32)])
+    with_loops = CsrMatrix.from_coo(CooMatrix(n, n, rows, cols, vals))
+    degree = with_loops.row_lengths().astype(np.float32)
+    inv_sqrt = 1.0 / np.sqrt(np.maximum(degree, 1.0))
+    row_of = np.repeat(np.arange(n), with_loops.row_lengths())
+    scaled = (with_loops.vals * inv_sqrt[row_of]
+              * inv_sqrt[with_loops.col_indices]).astype(np.float32)
+    return CsrMatrix(n, n, with_loops.row_ptr, with_loops.col_indices,
+                     scaled, name="normalized")
+
+
+def gcn_forward(a_hat: CsrMatrix, features: np.ndarray,
+                weights: list[np.ndarray], engine: JitSpMM) -> np.ndarray:
+    """Multi-layer GCN forward pass: H <- ReLU(Â @ (H @ W))."""
+    hidden = features
+    for layer, weight in enumerate(weights):
+        projected = hidden @ weight                  # dense GEMM (numpy)
+        hidden = engine.multiply(a_hat, projected)   # SpMM (JITSPMM)
+        if layer < len(weights) - 1:
+            np.maximum(hidden, 0.0, out=hidden)      # ReLU
+    return hidden
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+    graph = rmat(12, 80_000, seed=5, name="social-graph")
+    print(f"graph: {graph}")
+
+    a_hat = normalize_adjacency(graph)
+    features = rng.random((graph.nrows, 64), dtype=np.float32).astype(np.float32)
+    weights = [
+        (rng.standard_normal((64, 32)) / 8).astype(np.float32),
+        (rng.standard_normal((32, 16)) / 8).astype(np.float32),
+    ]
+
+    engine = JitSpMM(split="merge", threads=8)
+    embeddings = gcn_forward(a_hat, features, weights, engine)
+    print(f"2-layer GCN output: {embeddings.shape[0]} nodes x "
+          f"{embeddings.shape[1]} channels")
+    print(f"embedding norms: mean={np.linalg.norm(embeddings, axis=1).mean():.4f}")
+
+    # what would the JIT generate for the second layer's SpMM?
+    print("\nregister plan for d=32 (paper Fig. 8 style):")
+    for tile in engine.plan(32):
+        pieces = ", ".join(
+            f"{p.register.name}[{tile.start + p.offset}:"
+            f"{tile.start + p.offset + p.lanes}]"
+            for p in tile.layout.pieces)
+        print(f"  tile @{tile.start}: {pieces}")
+
+
+if __name__ == "__main__":
+    main()

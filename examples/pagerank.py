@@ -1,0 +1,70 @@
+"""Personalized PageRank via SpMM — many personalization vectors at once.
+
+PageRank is one of the paper's motivating SpMM applications (§I).  With
+``d`` personalization vectors stacked as the dense operand, each power
+iteration is one SpMM: ``R <- alpha * P^T @ R + (1 - alpha) * E``, which
+amortizes the sparse traversal across all vectors exactly like the GNN
+workloads.
+
+Run:  python examples/pagerank.py
+"""
+
+import numpy as np
+
+from repro import CsrMatrix, JitSpMM
+from repro.datasets import power_law_graph
+
+
+def column_stochastic_transpose(graph: CsrMatrix) -> CsrMatrix:
+    """Build P^T where P is the row-stochastic transition matrix."""
+    out_degree = graph.row_lengths().astype(np.float32)
+    row_of = np.repeat(np.arange(graph.nrows), graph.row_lengths())
+    vals = (np.ones(graph.nnz, dtype=np.float32)
+            / np.maximum(out_degree[row_of], 1.0))
+    weighted = CsrMatrix(graph.nrows, graph.ncols, graph.row_ptr,
+                         graph.col_indices, vals.astype(np.float32))
+    return CsrMatrix.from_coo(weighted.to_coo().transpose(), name="P^T")
+
+
+def pagerank(engine: JitSpMM, p_t: CsrMatrix, personalization: np.ndarray,
+             alpha: float = 0.85, iterations: int = 30) -> np.ndarray:
+    n, d = personalization.shape
+    ranks = np.full((n, d), 1.0 / n, dtype=np.float32)
+    teleport = (1.0 - alpha) * personalization
+    for _ in range(iterations):
+        ranks = alpha * engine.multiply(p_t, ranks) + teleport
+        # renormalize to absorb dangling-node leakage
+        ranks /= ranks.sum(axis=0, keepdims=True)
+    return ranks
+
+
+def main() -> None:
+    rng = np.random.default_rng(1)
+    graph = power_law_graph(3000, 60_000, alpha=2.0, seed=9, name="web")
+    print(f"graph: {graph}")
+    p_t = column_stochastic_transpose(graph)
+
+    # 16 personalization vectors: one uniform + 15 topic-biased
+    n, d = graph.nrows, 16
+    personalization = np.zeros((n, d), dtype=np.float32)
+    personalization[:, 0] = 1.0 / n
+    for column in range(1, d):
+        seeds = rng.integers(0, n, size=8)
+        personalization[seeds, column] = 1.0 / len(seeds)
+
+    engine = JitSpMM(split="nnz", threads=8)
+    ranks = pagerank(engine, p_t, personalization)
+
+    top = np.argsort(-ranks[:, 0])[:5]
+    print("\ntop-5 global PageRank nodes:")
+    for node in top:
+        print(f"  node {node:5d}: rank {ranks[node, 0]:.5f}, "
+              f"in-degree {int(p_t.row_lengths()[node])}")
+
+    overlap = len(set(np.argsort(-ranks[:, 0])[:20])
+                  & set(np.argsort(-ranks[:, 1])[:20]))
+    print(f"\ntop-20 overlap between global and topic-0 ranking: {overlap}/20")
+
+
+if __name__ == "__main__":
+    main()

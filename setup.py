@@ -1,0 +1,11 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+The pinned toolchain in the reproduction environment lacks ``wheel``, so
+PEP 660 editable installs fail; with this shim ``pip install -e .
+--no-build-isolation`` falls back to the classic ``setup.py develop``
+path.  All real metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,37 @@
+"""repro: a reproduction of JITSPMM (CGO 2024).
+
+Fu, Rolinger, Huang — "JITSPMM: Just-in-Time Instruction Generation for
+Accelerated Sparse Matrix-Matrix Multiplication", arXiv:2312.05639.
+
+Public API highlights:
+
+* :class:`repro.JitSpMM` — the JIT SpMM engine (fast numpy backend and
+  simulator-backed profiling);
+* :class:`repro.CsrMatrix` — CSR sparse matrices;
+* :mod:`repro.datasets` — scaled synthetic twins of the paper's 14
+  SuiteSparse matrices;
+* :mod:`repro.core.runner` — run JIT / AOT personalities / MKL-like
+  kernels on the simulated machine with perf counters;
+* :mod:`repro.bench` — harnesses regenerating every table and figure of
+  the paper's evaluation.
+"""
+
+from repro.core.engine import JitSpMM, SpmmResult
+from repro.core.layout import plan_layout
+from repro.core.split import merge_split, nnz_split, row_split
+from repro.sparse import CooMatrix, CsrMatrix, spmm_reference
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CooMatrix",
+    "CsrMatrix",
+    "JitSpMM",
+    "SpmmResult",
+    "__version__",
+    "merge_split",
+    "nnz_split",
+    "plan_layout",
+    "row_split",
+    "spmm_reference",
+]

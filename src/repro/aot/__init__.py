@@ -1,0 +1,33 @@
+"""Ahead-of-time compiler substrate: the paper's baseline side.
+
+The paper compares JITSPMM against code produced by AOT C/C++ compilers
+(gcc / clang / icc) and against Intel MKL's hand-tuned SpMM routine.
+Neither exists in this environment, so this subpackage *is* the
+substitute: a miniature compiler with a three-address IR, dataflow
+liveness, two register allocators (linear scan and Chaitin-style graph
+colouring) with spilling, and a lowering pass to the shared x86-64
+subset — plus compiler "personalities" that reproduce the relevant
+differences between gcc, clang and icc (unroll factors, allocator
+choice, whether AVX-512 auto-vectorization kicks in).
+
+The crucial property (paper §III): these kernels compile Algorithm 1
+*as written*, with the column loop outside the non-zero loop and no
+runtime knowledge of ``d`` — so they reload ``A.vals[idx]`` /
+``A.col_indices[idx]`` for every output column and keep the column-loop
+branches that JITSPMM's coarse-grain column merging removes.
+"""
+
+from repro.aot.compiler import AotCompiler, CompilerPersonality, PERSONALITIES
+from repro.aot.ir import Block, Function, Instr, VReg
+from repro.aot.mkl import MklKernel
+
+__all__ = [
+    "AotCompiler",
+    "Block",
+    "CompilerPersonality",
+    "Function",
+    "Instr",
+    "MklKernel",
+    "PERSONALITIES",
+    "VReg",
+]

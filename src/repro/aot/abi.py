@@ -1,0 +1,46 @@
+"""Calling convention shared by the AOT kernels and the runtime.
+
+AOT kernels are compiled before the data exists, so — unlike the JIT
+kernels, which bake addresses and ``d`` into the instruction stream —
+they receive everything through a parameter block in memory plus three
+integer arguments in the SysV registers:
+
+* ``rdi`` — address of the parameter block (layout below);
+* ``rsi`` — first row to process (inclusive);
+* ``rdx`` — last row to process (exclusive);
+* ``rbp`` — per-thread spill-area base (only when the kernel spilled).
+
+Parameter block layout (8-byte fields):
+
+====== =======================================
+offset contents
+====== =======================================
+0      ``A.row_ptr`` base address (int64 array)
+8      ``A.col_indices`` base address (int32 array)
+16     ``A.vals`` base address (float32 array)
+24     ``X`` base address (row-major float32)
+32     ``Y`` base address (row-major float32)
+40     ``d`` — number of dense columns
+48     ``m`` — number of sparse rows
+56     address of the shared ``NEXT`` row counter
+64     dispatch batch size
+====== =======================================
+"""
+
+from __future__ import annotations
+
+PARAM_ROW_PTR = 0
+PARAM_COL_INDICES = 8
+PARAM_VALS = 16
+PARAM_X = 24
+PARAM_Y = 32
+PARAM_D = 40
+PARAM_M = 48
+PARAM_NEXT = 56
+PARAM_BATCH = 64
+PARAM_BLOCK_BYTES = 72
+
+ARG_PARAM_BLOCK = "rdi"
+ARG_ROW_START = "rsi"
+ARG_ROW_END = "rdx"
+SPILL_BASE_REG = "rbp"

@@ -1,0 +1,243 @@
+"""Convenience builder for constructing IR functions.
+
+Front-end sugar over :mod:`repro.aot.ir`: tracks a current block, offers
+one method per opcode, and allocates fresh vregs/labels.  The kernel
+constructors in :mod:`repro.aot.kernels` use it the way a tiny C front
+end would emit code.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.aot.ir import Block, Function, Instr, IrType, VReg
+from repro.errors import CompileError
+
+__all__ = ["IRBuilder"]
+
+
+class IRBuilder:
+    """Stateful builder appending instructions to a current block."""
+
+    def __init__(self, name: str, num_params: int = 0,
+                 param_hints: tuple[str, ...] = ()) -> None:
+        self.func = Function(name)
+        for position in range(num_params):
+            hint = param_hints[position] if position < len(param_hints) else f"arg{position}"
+            self.func.params.append(VReg(hint, IrType.I64))
+        self._current: Block | None = None
+        self._labels = itertools.count()
+        self.start_block("entry")
+
+    # ------------------------------------------------------------------
+    # Blocks and labels
+    # ------------------------------------------------------------------
+    def fresh_label(self, hint: str = "bb") -> str:
+        return f"{hint}{next(self._labels)}"
+
+    def start_block(self, label: str, depth: int = 0) -> str:
+        self._current = self.func.block(label, depth=depth)
+        return label
+
+    @property
+    def current_label(self) -> str:
+        if self._current is None:
+            raise CompileError("no current block")
+        return self._current.label
+
+    def _emit(self, instr: Instr) -> VReg | None:
+        if self._current is None:
+            raise CompileError("emitting outside any block")
+        self._current.instrs.append(instr)
+        if instr.is_terminator:
+            self._current = None
+        return instr.dst
+
+    def param(self, position: int) -> VReg:
+        return self.func.params[position]
+
+    def vreg(self, type: IrType, hint: str = "t") -> VReg:
+        return self.func.new_vreg(type, hint)
+
+    # ------------------------------------------------------------------
+    # Integer ops
+    # ------------------------------------------------------------------
+    def const(self, value: int, hint: str = "c") -> VReg:
+        dst = self.vreg(IrType.I64, hint)
+        self._emit(Instr("const", dst, (value,)))
+        return dst
+
+    def mov(self, src: VReg, hint: str = "cp") -> VReg:
+        dst = self.vreg(src.type, hint)
+        self._emit(Instr("mov", dst, (src,)))
+        return dst
+
+    def _int_bin(self, op: str, a, b, hint: str) -> VReg:
+        dst = self.vreg(IrType.I64, hint)
+        self._emit(Instr(op, dst, (a, b)))
+        return dst
+
+    def add(self, a, b, hint: str = "sum") -> VReg:
+        return self._int_bin("add", a, b, hint)
+
+    # in-place forms for loop variables (the IR is not SSA)
+    def iadd(self, dst: VReg, b) -> None:
+        """In-place ``dst += b`` (loop-variable update)."""
+        self._emit(Instr("add", dst, (dst, b)))
+
+    def iset(self, dst: VReg, src) -> None:
+        """In-place ``dst = src`` (re-assign an existing vreg)."""
+        self._emit(Instr("mov", dst, (src,)))
+
+    def sub(self, a, b, hint: str = "dif") -> VReg:
+        return self._int_bin("sub", a, b, hint)
+
+    def mul(self, a, b, hint: str = "prd") -> VReg:
+        return self._int_bin("mul", a, b, hint)
+
+    def shl(self, a, b, hint: str = "shf") -> VReg:
+        return self._int_bin("shl", a, b, hint)
+
+    # ------------------------------------------------------------------
+    # Memory
+    # ------------------------------------------------------------------
+    def _mem_attrs(self, base, index, scale, disp, size) -> dict:
+        return {"base": base, "index": index, "scale": scale,
+                "disp": disp, "size": size}
+
+    def load(self, base, index=None, scale=1, disp=0, size=8,
+             hint: str = "ld") -> VReg:
+        dst = self.vreg(IrType.I64, hint)
+        self._emit(Instr("load", dst, (),
+                         self._mem_attrs(base, index, scale, disp, size)))
+        return dst
+
+    def store(self, value, base, index=None, scale=1, disp=0, size=8) -> None:
+        self._emit(Instr("store", None, (value,),
+                         self._mem_attrs(base, index, scale, disp, size)))
+
+    def loadf(self, base, index=None, scale=1, disp=0, hint: str = "f") -> VReg:
+        dst = self.vreg(IrType.F32, hint)
+        self._emit(Instr("loadf", dst, (),
+                         self._mem_attrs(base, index, scale, disp, 4)))
+        return dst
+
+    def storef(self, value: VReg, base, index=None, scale=1, disp=0) -> None:
+        self._emit(Instr("storef", None, (value,),
+                         self._mem_attrs(base, index, scale, disp, 4)))
+
+    def loadv(self, lanes: int, base, index=None, scale=1, disp=0,
+              hint: str = "v") -> VReg:
+        dst = self.vreg(IrType.vec_f(lanes), hint)
+        self._emit(Instr("loadv", dst, (),
+                         self._mem_attrs(base, index, scale, disp, 4 * lanes)))
+        return dst
+
+    def storev(self, value: VReg, base, index=None, scale=1, disp=0) -> None:
+        size = 4 * value.type.lanes
+        self._emit(Instr("storev", None, (value,),
+                         self._mem_attrs(base, index, scale, disp, size)))
+
+    def vloadi(self, lanes: int, base, index=None, scale=1, disp=0,
+               hint: str = "vi") -> VReg:
+        dst = self.vreg(IrType.vec_i(lanes), hint)
+        self._emit(Instr("vloadi", dst, (),
+                         self._mem_attrs(base, index, scale, disp, 4 * lanes)))
+        return dst
+
+    # ------------------------------------------------------------------
+    # Float / vector arithmetic
+    # ------------------------------------------------------------------
+    def _f_bin(self, op: str, a: VReg, b: VReg, hint: str) -> VReg:
+        dst = self.vreg(IrType.F32, hint)
+        self._emit(Instr(op, dst, (a, b)))
+        return dst
+
+    def fadd(self, a, b, hint: str = "fs"):
+        return self._f_bin("fadd", a, b, hint)
+
+    def fsub(self, a, b, hint: str = "fd"):
+        return self._f_bin("fsub", a, b, hint)
+
+    def fmul(self, a, b, hint: str = "fp"):
+        return self._f_bin("fmul", a, b, hint)
+
+    def fmad(self, acc: VReg, a: VReg, b: VReg) -> None:
+        """Scalar accumulate: ``acc += a * b`` (in place)."""
+        self._emit(Instr("fmad", acc, (a, b)))
+
+    def fzero(self, hint: str = "fz") -> VReg:
+        """Materialize scalar float 0 (lowered to a zeroing idiom)."""
+        dst = self.vreg(IrType.F32, hint)
+        self._emit(Instr("fsub", dst, (dst, dst), {"zero": True}))
+        return dst
+
+    def vzero(self, lanes: int, hint: str = "vz") -> VReg:
+        dst = self.vreg(IrType.vec_f(lanes), hint)
+        self._emit(Instr("vadd", dst, (dst, dst), {"zero": True}))
+        return dst
+
+    def _v_bin(self, op: str, a: VReg, b: VReg, hint: str) -> VReg:
+        dst = self.vreg(a.type, hint)
+        self._emit(Instr(op, dst, (a, b)))
+        return dst
+
+    def vadd(self, a, b, hint: str = "va"):
+        return self._v_bin("vadd", a, b, hint)
+
+    def vmul(self, a, b, hint: str = "vm"):
+        return self._v_bin("vmul", a, b, hint)
+
+    def vaddi(self, a, b, hint: str = "vai"):
+        return self._v_bin("vaddi", a, b, hint)
+
+    def vmuli(self, a, b, hint: str = "vmi"):
+        return self._v_bin("vmuli", a, b, hint)
+
+    def vfma(self, acc: VReg, a: VReg, b: VReg) -> None:
+        """Vector accumulate: ``acc += a * b`` (in place)."""
+        self._emit(Instr("vfma", acc, (a, b)))
+
+    def vbroadcast_mem(self, lanes: int, base, index=None, scale=1, disp=0,
+                       hint: str = "bc") -> VReg:
+        dst = self.vreg(IrType.vec_f(lanes), hint)
+        self._emit(Instr("vbroadcast_mem", dst, (),
+                         self._mem_attrs(base, index, scale, disp, 4)))
+        return dst
+
+    def vbroadcasti_mem(self, lanes: int, base, index=None, scale=1, disp=0,
+                        hint: str = "bci") -> VReg:
+        dst = self.vreg(IrType.vec_i(lanes), hint)
+        self._emit(Instr("vbroadcasti_mem", dst, (),
+                         self._mem_attrs(base, index, scale, disp, 4)))
+        return dst
+
+    def vgather(self, base: VReg, index_vec: VReg, scale: int = 4,
+                hint: str = "gth") -> VReg:
+        dst = self.vreg(IrType.vec_f(index_vec.type.lanes), hint)
+        self._emit(Instr("vgather", dst, (index_vec,),
+                         {"base": base, "scale": scale}))
+        return dst
+
+    def vreduce(self, src: VReg, hint: str = "red") -> VReg:
+        dst = self.vreg(IrType.F32, hint)
+        self._emit(Instr("vreduce", dst, (src,)))
+        return dst
+
+    # ------------------------------------------------------------------
+    # Control flow
+    # ------------------------------------------------------------------
+    def br(self, label: str) -> None:
+        self._emit(Instr("br", None, (), {"label": label}))
+
+    def cbr(self, cond: str, a, b, then_label: str, else_label: str) -> None:
+        self._emit(Instr("cbr", None, (a, b),
+                         {"cond": cond, "then_label": then_label,
+                          "else_label": else_label}))
+
+    def ret(self) -> None:
+        self._emit(Instr("ret"))
+
+    def finish(self) -> Function:
+        self.func.validate()
+        return self.func

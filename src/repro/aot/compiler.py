@@ -1,0 +1,156 @@
+"""AOT compiler driver and per-compiler personalities.
+
+A :class:`CompilerPersonality` captures the observable differences between
+the paper's three AOT compilers when building the Merrill-Garland-style
+SpMM source (§III-B, Table II; §V-A.2):
+
+* **gcc** — graph-colouring allocator, no unrolling of the reduction
+  loop, no AVX-512 vectorization (the paper's footnote 5: gcc refused to
+  emit AVX-512 for this kernel);
+* **clang** — linear-scan-style allocator, modest (2x) unrolling, also no
+  AVX-512;
+* **icc** — aggressive (4x) unrolling in its scalar build, and for
+  ``-O3 -mavx512f`` a gather-vectorized inner loop
+  (``icc-avx512`` personality), which is the paper's
+  "auto-vectorization" baseline in Figures 9 and 11.
+
+The driver wires kernels -> liveness -> allocation -> lowering and
+returns a :class:`CompiledKernel` with the final program and everything a
+runner needs (spill-area size, ABI notes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.aot import abi
+from repro.aot.ir import Function, VReg
+from repro.aot.kernels import scalar_spmm_kernel, vectorized_spmm_kernel
+from repro.aot.liveness import analyze
+from repro.aot.lower import SPILL_SLOT_BYTES, lower
+from repro.aot.regalloc import Allocation, RegisterPools, allocate
+from repro.errors import CompileError
+from repro.isa.assembler import Program
+from repro.isa.isainfo import IsaLevel
+
+__all__ = [
+    "AotCompiler",
+    "CompiledKernel",
+    "CompilerPersonality",
+    "PERSONALITIES",
+    "register_pools_for",
+]
+
+
+@dataclass(frozen=True)
+class CompilerPersonality:
+    """Codegen knobs that model one real-world compiler."""
+
+    name: str
+    allocator: str  # "linear" | "coloring"
+    unroll: int
+    vectorize: bool = False
+    lanes: int = 16
+    isa: IsaLevel = IsaLevel.AVX512
+
+    def kernel(self) -> Function:
+        if self.vectorize:
+            return vectorized_spmm_kernel(self.lanes,
+                                          name=f"spmm_{self.name}")
+        return scalar_spmm_kernel(self.unroll, name=f"spmm_{self.name}")
+
+
+PERSONALITIES: dict[str, CompilerPersonality] = {
+    "gcc": CompilerPersonality("gcc", "coloring", unroll=1,
+                               isa=IsaLevel.AVX2),
+    "clang": CompilerPersonality("clang", "linear", unroll=2,
+                                 isa=IsaLevel.AVX2),
+    "icc": CompilerPersonality("icc", "linear", unroll=4,
+                               isa=IsaLevel.AVX2),
+    "icc-avx512": CompilerPersonality("icc-avx512", "linear", unroll=1,
+                                      vectorize=True, lanes=16,
+                                      isa=IsaLevel.AVX512),
+}
+
+
+def register_pools_for(isa: IsaLevel) -> RegisterPools:
+    """Allocatable registers for an ISA level.
+
+    Excluded from allocation: ``rsp`` (conventional), ``rbp`` (spill-area
+    base), ``r14``/``r15`` (integer spill scratch), the three SysV
+    argument registers (parameters stay pinned in them), and two vector
+    scratch registers (codes 14/15).
+    """
+    # rsp is conventional, rbp anchors the spill area, r13-r15 are spill
+    # scratch; the SysV argument registers are in the pool — parameters
+    # are precolored into them and release them at their last use.
+    reserved = {"rsp", "rbp", "r13", "r14", "r15"}
+    int_pool = tuple(
+        name for name in ("rax", "rbx", "rcx", "r8", "r9", "r10", "r11",
+                          "r12", "rdx", "rsi", "rdi")
+        if name not in reserved
+    )
+    if isa == IsaLevel.AVX512:
+        vec_pool = tuple(list(range(13)) + list(range(16, 32)))
+    else:
+        vec_pool = tuple(range(13))
+    return RegisterPools(int_pool=int_pool, vec_pool=vec_pool)
+
+
+@dataclass
+class CompiledKernel:
+    """Output of the AOT pipeline: runnable program + runner metadata."""
+
+    program: Program
+    personality: CompilerPersonality
+    function: Function
+    allocation: Allocation
+
+    @property
+    def spill_bytes(self) -> int:
+        """Per-thread spill area the runner must map (0 = none needed)."""
+        return self.allocation.num_spill_slots * SPILL_SLOT_BYTES
+
+    def listing(self) -> str:
+        return self.program.listing()
+
+
+class AotCompiler:
+    """Compiles SpMM kernels under a given personality."""
+
+    def __init__(self, personality: CompilerPersonality | str = "gcc") -> None:
+        if isinstance(personality, str):
+            try:
+                personality = PERSONALITIES[personality]
+            except KeyError:
+                valid = ", ".join(sorted(PERSONALITIES))
+                raise CompileError(
+                    f"unknown compiler personality {personality!r}; "
+                    f"expected one of: {valid}"
+                ) from None
+        self.personality = personality
+
+    def compile_function(self, func: Function) -> CompiledKernel:
+        """Run the full pipeline on an arbitrary IR function."""
+        pools = register_pools_for(self.personality.isa)
+        precolored = self._precolor_params(func)
+        liveness = analyze(func)
+        allocation = allocate(func, pools, strategy=self.personality.allocator,
+                              precolored=precolored, liveness=liveness)
+        program = lower(func, allocation, pools)
+        return CompiledKernel(program, self.personality, func, allocation)
+
+    def compile_spmm(self) -> CompiledKernel:
+        """Compile this personality's SpMM kernel (Algorithm 1)."""
+        return self.compile_function(self.personality.kernel())
+
+    @staticmethod
+    def _precolor_params(func: Function) -> dict[VReg, str]:
+        arg_regs = (abi.ARG_PARAM_BLOCK, abi.ARG_ROW_START, abi.ARG_ROW_END,
+                    "rcx", "r8", "r9")
+        if len(func.params) > len(arg_regs):
+            raise CompileError(
+                f"{func.name!r} has {len(func.params)} params; "
+                f"only {len(arg_regs)} register arguments supported"
+            )
+        return {param: arg_regs[i] for i, param in enumerate(func.params)}

@@ -1,0 +1,241 @@
+"""Three-address intermediate representation for the AOT substrate.
+
+A deliberately small, non-SSA IR: virtual registers are mutable, basic
+blocks end in explicit terminators, and memory accesses carry x86-style
+``base + index*scale + disp`` addressing so lowering is one-to-one.
+Types distinguish the two register classes the allocator manages:
+``i`` (64-bit integer -> GPRs) and scalar/vector float and integer-vector
+types (-> XMM/YMM/ZMM).
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+
+from repro.errors import CompileError
+
+__all__ = ["Block", "Function", "Instr", "IrType", "VReg"]
+
+
+class IrType(enum.Enum):
+    """IR value types; the member value is (class, f32 lanes)."""
+
+    I64 = ("int", 1)
+    F32 = ("vec", 1)
+    V4F = ("vec", 4)
+    V8F = ("vec", 8)
+    V16F = ("vec", 16)
+    V4I = ("vec", 4)
+    V8I = ("vec", 8)
+    V16I = ("vec", 16)
+
+    @property
+    def reg_class(self) -> str:
+        return self.value[0]
+
+    @property
+    def lanes(self) -> int:
+        return self.value[1]
+
+    @property
+    def is_int_vector(self) -> bool:
+        return self in (IrType.V4I, IrType.V8I, IrType.V16I)
+
+    @staticmethod
+    def vec_f(lanes: int) -> "IrType":
+        return {4: IrType.V4F, 8: IrType.V8F, 16: IrType.V16F}[lanes]
+
+    @staticmethod
+    def vec_i(lanes: int) -> "IrType":
+        return {4: IrType.V4I, 8: IrType.V8I, 16: IrType.V16I}[lanes]
+
+
+@dataclass(frozen=True, eq=False)
+class VReg:
+    """A virtual register.  Identity-hashed; names are for listings."""
+
+    name: str
+    type: IrType
+
+    def __repr__(self) -> str:
+        return f"%{self.name}"
+
+
+#: Opcodes and their operand shapes.  ``dst`` is None for stores/branches.
+#:
+#: int:    const, mov, add, sub, mul, shl, and
+#: memory: load (int), store (int), loadf/storef (f32), loadv/storev (vec),
+#:         vloadi (int vector)
+#: float:  fadd, fsub, fmul, fmad (dst += a*b)
+#: vector: vadd, vmul, vfma (dst += a*b), vbroadcast_mem, vbroadcasti_mem,
+#:         vaddi, vmuli, vgather, vreduce (lane sum -> f32)
+#: control: br, cbr, ret
+_VALID_OPS = {
+    "const", "mov", "add", "sub", "mul", "shl", "and",
+    "load", "store", "loadf", "storef", "loadv", "storev", "vloadi",
+    "fadd", "fsub", "fmul", "fmad",
+    "vadd", "vmul", "vfma", "vbroadcast_mem", "vbroadcasti_mem",
+    "vaddi", "vmuli", "vgather", "vreduce",
+    "br", "cbr", "ret",
+}
+
+_COND_CODES = {"lt", "le", "gt", "ge", "eq", "ne", "b", "ae"}
+
+
+@dataclass
+class Instr:
+    """One IR instruction.
+
+    Attributes:
+        op: Opcode (see module docstring).
+        dst: Destination vreg or None.
+        srcs: Source operands: vregs or Python ints (immediates).
+        attrs: Op-specific attributes — for memory ops: ``base`` (vreg),
+            ``index`` (vreg or None), ``scale``, ``disp``, ``size``; for
+            ``cbr``: ``cond`` plus ``then_label`` / ``else_label``; for
+            ``br``: ``label``.
+    """
+
+    op: str
+    dst: VReg | None = None
+    srcs: tuple = ()
+    attrs: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.op not in _VALID_OPS:
+            raise CompileError(f"unknown IR op {self.op!r}")
+        if self.op == "cbr" and self.attrs.get("cond") not in _COND_CODES:
+            raise CompileError(f"bad cbr condition {self.attrs.get('cond')!r}")
+
+    # ------------------------------------------------------------------
+    def vregs_read(self) -> tuple[VReg, ...]:
+        """All vregs this instruction reads (including address operands).
+
+        Instructions tagged ``zero=True`` are zeroing idioms (``x = x - x``
+        lowered to ``vxorps x,x,x``) and read nothing, so liveness does not
+        see a use-before-def.
+        """
+        if self.attrs.get("zero"):
+            return ()
+        reads = [s for s in self.srcs if isinstance(s, VReg)]
+        for key in ("base", "index"):
+            value = self.attrs.get(key)
+            if isinstance(value, VReg):
+                reads.append(value)
+        # accumulating ops read their destination
+        if self.op in ("vfma", "fmad") and self.dst is not None:
+            reads.append(self.dst)
+        return tuple(reads)
+
+    def vregs_written(self) -> tuple[VReg, ...]:
+        return (self.dst,) if self.dst is not None else ()
+
+    @property
+    def is_terminator(self) -> bool:
+        return self.op in ("br", "cbr", "ret")
+
+    def __repr__(self) -> str:
+        parts = [self.op]
+        if self.dst is not None:
+            parts.append(f"{self.dst!r} <-")
+        parts.extend(repr(s) for s in self.srcs)
+        if self.attrs:
+            rendered = ", ".join(f"{k}={v!r}" for k, v in sorted(self.attrs.items()))
+            parts.append(f"[{rendered}]")
+        return " ".join(parts)
+
+
+@dataclass
+class Block:
+    """A basic block: straight-line instructions plus one terminator.
+
+    ``depth`` is the loop-nesting depth the front end recorded; spill
+    costs weight uses by ``10^depth``, the classic Chaitin heuristic.
+    """
+
+    label: str
+    instrs: list[Instr] = field(default_factory=list)
+    depth: int = 0
+
+    @property
+    def terminator(self) -> Instr:
+        if not self.instrs or not self.instrs[-1].is_terminator:
+            raise CompileError(f"block {self.label!r} lacks a terminator")
+        return self.instrs[-1]
+
+    def successors(self) -> tuple[str, ...]:
+        term = self.terminator
+        if term.op == "br":
+            return (term.attrs["label"],)
+        if term.op == "cbr":
+            return (term.attrs["then_label"], term.attrs["else_label"])
+        return ()
+
+
+@dataclass
+class Function:
+    """An IR function: ordered blocks, entry first, plus parameters.
+
+    Parameters are vregs that arrive precolored in the SysV argument
+    registers (rdi, rsi, rdx, rcx, r8, r9) in declaration order.
+    """
+
+    name: str
+    params: list[VReg] = field(default_factory=list)
+    blocks: list[Block] = field(default_factory=list)
+    _counter: itertools.count = field(default_factory=itertools.count, repr=False)
+
+    def new_vreg(self, type: IrType, hint: str = "t") -> VReg:
+        return VReg(f"{hint}{next(self._counter)}", type)
+
+    def block(self, label: str, depth: int = 0) -> Block:
+        """Append (or fetch existing) block with this label."""
+        for existing in self.blocks:
+            if existing.label == label:
+                return existing
+        created = Block(label, depth=depth)
+        self.blocks.append(created)
+        return created
+
+    def block_map(self) -> dict[str, Block]:
+        return {b.label: b for b in self.blocks}
+
+    def all_vregs(self) -> list[VReg]:
+        seen: dict[int, VReg] = {}
+        for param in self.params:
+            seen[id(param)] = param
+        for block in self.blocks:
+            for instr in block.instrs:
+                for reg in (*instr.vregs_read(), *instr.vregs_written()):
+                    seen[id(reg)] = reg
+        return list(seen.values())
+
+    def validate(self) -> None:
+        """Check structural invariants; raises :class:`CompileError`."""
+        if not self.blocks:
+            raise CompileError(f"function {self.name!r} has no blocks")
+        labels = [b.label for b in self.blocks]
+        if len(set(labels)) != len(labels):
+            raise CompileError("duplicate block labels")
+        label_set = set(labels)
+        for block in self.blocks:
+            for instr in block.instrs[:-1]:
+                if instr.is_terminator:
+                    raise CompileError(
+                        f"terminator mid-block in {block.label!r}: {instr!r}"
+                    )
+            for successor in block.successors():
+                if successor not in label_set:
+                    raise CompileError(
+                        f"branch to unknown block {successor!r} from "
+                        f"{block.label!r}"
+                    )
+
+    def listing(self) -> str:
+        lines = [f"func {self.name}({', '.join(map(repr, self.params))}):"]
+        for block in self.blocks:
+            lines.append(f"{block.label}:")
+            lines.extend(f"    {instr!r}" for instr in block.instrs)
+        return "\n".join(lines)

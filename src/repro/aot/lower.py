@@ -1,0 +1,393 @@
+"""Lowering: allocated IR -> x86-64 subset instructions.
+
+One IR instruction maps to one x86 instruction in almost all cases
+(memory operands carry x86 addressing already); the exceptions are
+two-address fixups for integer arithmetic, the horizontal-reduction
+sequence for ``vreduce``, and spill reloads/stores through the reserved
+scratch registers.
+
+Spilled values live in a *spill area* addressed by ``rbp`` (reserved for
+this purpose, like a frame pointer).  The runner maps one spill area per
+thread and passes its base in ``rbp`` — see
+:attr:`CompiledKernel.spill_bytes` in :mod:`repro.aot.compiler`.
+"""
+
+from __future__ import annotations
+
+from repro.aot.ir import Function, Instr, IrType, VReg
+from repro.aot.regalloc import Allocation, RegisterPools
+from repro.errors import CompileError
+from repro.isa.assembler import Assembler, Program
+from repro.isa.operands import Imm, Mem
+from repro.isa.registers import GPR64, Register, VectorRegister, gpr, xmm, ymm, zmm
+
+__all__ = ["SPILL_SLOT_BYTES", "lower"]
+
+SPILL_SLOT_BYTES = 64  # one slot fits any register class
+
+_SPILL_BASE = "rbp"
+
+_COND_TO_JCC = {
+    "lt": "jl", "le": "jle", "gt": "jg", "ge": "jge",
+    "eq": "je", "ne": "jne", "b": "jb", "ae": "jae",
+}
+
+_VEC_BY_LANES = {1: xmm, 4: xmm, 8: ymm, 16: zmm}
+
+
+def _phys_vec(code: int, type_: IrType) -> VectorRegister:
+    return _VEC_BY_LANES[type_.lanes](code)
+
+
+class _Lowerer:
+    def __init__(self, func: Function, allocation: Allocation,
+                 pools: RegisterPools, name: str) -> None:
+        self.func = func
+        self.allocation = allocation
+        self.pools = pools
+        self.asm = Assembler(name)
+        self._block_labels = {b.label: f"{b.label}" for b in func.blocks}
+
+    # ------------------------------------------------------------------
+    # Operand mapping with spill handling
+    # ------------------------------------------------------------------
+    def _spill_mem(self, vreg: VReg) -> Mem:
+        slot = self.allocation.spill_slots[vreg]
+        size = 8 if vreg.type.reg_class == "int" else 4 * max(1, vreg.type.lanes)
+        return Mem(gpr(_SPILL_BASE), disp=slot * SPILL_SLOT_BYTES, size=size)
+
+    def _read(self, vreg: VReg, scratch: dict[VReg, Register]) -> Register:
+        """Physical register holding ``vreg``'s value (reloading if spilled)."""
+        kind, where = self.allocation.location(vreg)
+        if kind == "reg":
+            if vreg.type.reg_class == "int":
+                return gpr(where)
+            return _phys_vec(where, vreg.type)
+        if vreg in scratch:
+            return scratch[vreg]
+        phys = self._claim_scratch(vreg, scratch)
+        if vreg.type.reg_class == "int":
+            self.asm.mov(phys, self._spill_mem(vreg))
+        elif vreg.type.is_int_vector:
+            self.asm.vmovdqu32(phys, self._spill_mem(vreg))
+        elif vreg.type.lanes == 1:
+            self.asm.vmovss(phys, self._spill_mem(vreg))
+        else:
+            self.asm.vmovups(phys, self._spill_mem(vreg))
+        return phys
+
+    def _write_target(self, vreg: VReg, scratch: dict[VReg, Register]) -> Register:
+        """Physical register an instruction should write ``vreg`` into."""
+        kind, where = self.allocation.location(vreg)
+        if kind == "reg":
+            if vreg.type.reg_class == "int":
+                return gpr(where)
+            return _phys_vec(where, vreg.type)
+        if vreg in scratch:
+            return scratch[vreg]
+        return self._claim_scratch(vreg, scratch)
+
+    def _claim_scratch(self, vreg: VReg, scratch: dict[VReg, Register]) -> Register:
+        used = {reg.name for reg in scratch.values()}
+        if vreg.type.reg_class == "int":
+            for name in self.pools.int_scratch:
+                if name not in used:
+                    phys = gpr(name)
+                    scratch[vreg] = phys
+                    return phys
+        else:
+            for code in self.pools.vec_scratch:
+                phys = _phys_vec(code, vreg.type)
+                if phys.name not in used and not any(
+                    isinstance(r, VectorRegister) and r.code == code
+                    for r in scratch.values()
+                ):
+                    scratch[vreg] = phys
+                    return phys
+        raise CompileError(
+            f"out of scratch registers spilling {vreg!r} "
+            f"(too many spilled operands in one instruction)"
+        )
+
+    def _flush_write(self, vreg: VReg, scratch: dict[VReg, Register]) -> None:
+        """Store a spilled destination back to its slot."""
+        if vreg not in self.allocation.spill_slots:
+            return
+        phys = scratch[vreg]
+        if vreg.type.reg_class == "int":
+            self.asm.mov(self._spill_mem(vreg), phys)
+        elif vreg.type.is_int_vector:
+            self.asm.vmovdqu32(self._spill_mem(vreg), phys)
+        elif vreg.type.lanes == 1:
+            self.asm.vmovss(self._spill_mem(vreg), phys)
+        else:
+            self.asm.vmovups(self._spill_mem(vreg), phys)
+
+    def _mem(self, instr: Instr, scratch: dict[VReg, Register]) -> Mem:
+        attrs = instr.attrs
+        base = attrs.get("base")
+        index = attrs.get("index")
+        base_phys = self._read(base, scratch) if isinstance(base, VReg) else None
+        index_phys = self._read(index, scratch) if isinstance(index, VReg) else None
+        return Mem(base_phys, index_phys, attrs.get("scale", 1),
+                   attrs.get("disp", 0), attrs.get("size", 8))
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+    def lower(self) -> Program:
+        blocks = self.func.blocks
+        for position, block in enumerate(blocks):
+            next_label = blocks[position + 1].label if position + 1 < len(blocks) else None
+            self.asm.label(self._block_labels[block.label])
+            for instr in block.instrs:
+                self._lower_instr(instr, next_label)
+        return self.asm.finish()
+
+    def _lower_instr(self, instr: Instr, next_label: str | None) -> None:
+        scratch: dict[VReg, Register] = {}
+        op = instr.op
+        handler = getattr(self, f"_op_{op}", None)
+        if handler is None:
+            raise CompileError(f"no lowering for IR op {op!r}")
+        handler(instr, scratch, next_label)
+        for written in instr.vregs_written():
+            self._flush_write(written, scratch)
+
+    # ------------------------------------------------------------------
+    # Integer ops
+    # ------------------------------------------------------------------
+    def _op_const(self, instr, scratch, _next):
+        dst = self._write_target(instr.dst, scratch)
+        value = instr.srcs[0]
+        width = 64 if not -(1 << 31) <= value < (1 << 31) else 0
+        self.asm.mov(dst, Imm(value, width) if width else Imm(value))
+
+    def _op_mov(self, instr, scratch, _next):
+        src = instr.srcs[0]
+        dst = self._write_target(instr.dst, scratch)
+        if isinstance(src, int):
+            self.asm.mov(dst, Imm(src))
+            return
+        src_phys = self._read(src, scratch)
+        if dst.name == src_phys.name:
+            return
+        if instr.dst.type.reg_class == "int":
+            self.asm.mov(dst, src_phys)
+        else:
+            self.asm.vmovaps(dst, src_phys)
+
+    def _two_address(self, mnemonic: str, instr, scratch) -> None:
+        # Reads must precede the write-target claim: when the destination
+        # aliases a spilled source (in-place loop updates), _read both
+        # claims the scratch register and loads the slot's current value.
+        a, b = instr.srcs
+        a_phys = self._read(a, scratch) if isinstance(a, VReg) else None
+        b_val = self._read(b, scratch) if isinstance(b, VReg) else Imm(b)
+        dst = self._write_target(instr.dst, scratch)
+        commutative = mnemonic in ("add", "and", "or", "xor", "imul")
+        if a_phys is None:
+            raise CompileError(f"{mnemonic}: first operand must be a vreg")
+        if dst.name == a_phys.name:
+            self.asm.emit(mnemonic, dst, b_val)
+            return
+        if isinstance(b_val, GPR64) and dst.name == b_val.name:
+            if commutative:
+                self.asm.emit(mnemonic, dst, a_phys)
+                return
+            # dst aliases b on a non-commutative op: go through an int
+            # scratch register not already claimed by spill reloads
+            used = {reg.name for reg in scratch.values()}
+            helper_name = next(
+                (name for name in self.pools.int_scratch if name not in used),
+                None,
+            )
+            if helper_name is None:
+                raise CompileError(f"no scratch left for {mnemonic} fixup")
+            helper = gpr(helper_name)
+            self.asm.mov(helper, a_phys)
+            self.asm.emit(mnemonic, helper, b_val)
+            self.asm.mov(dst, helper)
+            return
+        self.asm.mov(dst, a_phys)
+        self.asm.emit(mnemonic, dst, b_val)
+
+    def _op_add(self, instr, scratch, _next):
+        self._two_address("add", instr, scratch)
+
+    def _op_sub(self, instr, scratch, _next):
+        self._two_address("sub", instr, scratch)
+
+    def _op_and(self, instr, scratch, _next):
+        self._two_address("and", instr, scratch)
+
+    def _op_mul(self, instr, scratch, _next):
+        a, b = instr.srcs
+        if isinstance(b, int):
+            a_phys = self._read(a, scratch)
+            dst = self._write_target(instr.dst, scratch)
+            self.asm.imul(dst, a_phys, Imm(b))
+            return
+        self._two_address("imul", instr, scratch)
+
+    def _op_shl(self, instr, scratch, _next):
+        a, b = instr.srcs
+        if not isinstance(b, int):
+            raise CompileError("shl by register is not supported")
+        a_phys = self._read(a, scratch)
+        dst = self._write_target(instr.dst, scratch)
+        if dst.name != a_phys.name:
+            self.asm.mov(dst, a_phys)
+        self.asm.shl(dst, Imm(b, 8))
+
+    # ------------------------------------------------------------------
+    # Memory
+    # ------------------------------------------------------------------
+    def _op_load(self, instr, scratch, _next):
+        mem = self._mem(instr, scratch)
+        self.asm.mov(self._write_target(instr.dst, scratch), mem)
+
+    def _op_store(self, instr, scratch, _next):
+        mem = self._mem(instr, scratch)
+        value = instr.srcs[0]
+        if isinstance(value, int):
+            self.asm.mov(mem, Imm(value, 32))
+        else:
+            self.asm.mov(mem, self._read(value, scratch))
+
+    def _op_loadf(self, instr, scratch, _next):
+        self.asm.vmovss(self._write_target(instr.dst, scratch),
+                        self._mem(instr, scratch))
+
+    def _op_storef(self, instr, scratch, _next):
+        self.asm.vmovss(self._mem(instr, scratch),
+                        self._read(instr.srcs[0], scratch))
+
+    def _op_loadv(self, instr, scratch, _next):
+        self.asm.vmovups(self._write_target(instr.dst, scratch),
+                         self._mem(instr, scratch))
+
+    def _op_storev(self, instr, scratch, _next):
+        self.asm.vmovups(self._mem(instr, scratch),
+                         self._read(instr.srcs[0], scratch))
+
+    def _op_vloadi(self, instr, scratch, _next):
+        self.asm.vmovdqu32(self._write_target(instr.dst, scratch),
+                           self._mem(instr, scratch))
+
+    # ------------------------------------------------------------------
+    # Float / vector arithmetic (AVX three-operand: no fixups needed)
+    # ------------------------------------------------------------------
+    def _three_op(self, mnemonic: str, instr, scratch) -> None:
+        if instr.attrs.get("zero"):
+            dst = self._write_target(instr.dst, scratch)
+            self.asm.vxorps(dst, dst, dst)
+            return
+        a, b = instr.srcs
+        dst = self._write_target(instr.dst, scratch)
+        self.asm.emit(mnemonic, dst, self._read(a, scratch),
+                      self._read(b, scratch))
+
+    def _op_fadd(self, instr, scratch, _next):
+        self._three_op("vaddss", instr, scratch)
+
+    def _op_fsub(self, instr, scratch, _next):
+        self._three_op("vsubss", instr, scratch)
+
+    def _op_fmul(self, instr, scratch, _next):
+        self._three_op("vmulss", instr, scratch)
+
+    def _op_fmad(self, instr, scratch, _next):
+        a, b = instr.srcs
+        acc = self._read(instr.dst, scratch)
+        self.asm.vfmadd231ss(acc, self._read(a, scratch),
+                             self._read(b, scratch))
+
+    def _op_vadd(self, instr, scratch, _next):
+        self._three_op("vaddps", instr, scratch)
+
+    def _op_vmul(self, instr, scratch, _next):
+        self._three_op("vmulps", instr, scratch)
+
+    def _op_vaddi(self, instr, scratch, _next):
+        self._three_op("vpaddd", instr, scratch)
+
+    def _op_vmuli(self, instr, scratch, _next):
+        self._three_op("vpmulld", instr, scratch)
+
+    def _op_vfma(self, instr, scratch, _next):
+        a, b = instr.srcs
+        acc = self._read(instr.dst, scratch)
+        self.asm.vfmadd231ps(acc, self._read(a, scratch),
+                             self._read(b, scratch))
+
+    def _op_vbroadcast_mem(self, instr, scratch, _next):
+        self.asm.vbroadcastss(self._write_target(instr.dst, scratch),
+                              self._mem(instr, scratch))
+
+    def _op_vbroadcasti_mem(self, instr, scratch, _next):
+        self.asm.vpbroadcastd(self._write_target(instr.dst, scratch),
+                              self._mem(instr, scratch))
+
+    def _op_vgather(self, instr, scratch, _next):
+        base = self._read(instr.attrs["base"], scratch)
+        index = self._read(instr.srcs[0], scratch)
+        dst = self._write_target(instr.dst, scratch)
+        mem = Mem(base, index, instr.attrs.get("scale", 4), 0, size=4)
+        self.asm.vgatherdps(dst, mem)
+
+    def _op_vreduce(self, instr, scratch, _next):
+        src_reg = instr.srcs[0]
+        src = self._read(src_reg, scratch)
+        dst = self._write_target(instr.dst, scratch)
+        s0, s1 = self.pools.vec_scratch[0], self.pools.vec_scratch[1]
+        lanes = src_reg.type.lanes
+        asm = self.asm
+        if lanes == 16:
+            asm.vextractf64x4(ymm(s0), zmm(src.code), Imm(1, 8))
+            asm.vaddps(ymm(s0), ymm(s0), ymm(src.code))
+            asm.vextractf128(xmm(s1), ymm(s0), Imm(1, 8))
+            asm.vaddps(xmm(s0), xmm(s0), xmm(s1))
+        elif lanes == 8:
+            working = src.code
+            if working >= 16:
+                asm.vmovaps(ymm(s0), ymm(working))
+                working = s0
+            asm.vextractf128(xmm(s1), ymm(working), Imm(1, 8))
+            asm.vaddps(xmm(s0), xmm(working), xmm(s1))
+        elif lanes == 4:
+            asm.vmovaps(xmm(s0), xmm(src.code))
+        else:
+            raise CompileError(f"cannot reduce {lanes}-lane vector")
+        asm.vhaddps(xmm(s0), xmm(s0), xmm(s0))
+        asm.vhaddps(xmm(s0), xmm(s0), xmm(s0))
+        asm.vmovaps(xmm(dst.code), xmm(s0))
+
+    # ------------------------------------------------------------------
+    # Control flow
+    # ------------------------------------------------------------------
+    def _op_br(self, instr, scratch, next_label):
+        target = instr.attrs["label"]
+        if target != next_label:
+            self.asm.jmp(self._block_labels[target])
+
+    def _op_cbr(self, instr, scratch, next_label):
+        a, b = instr.srcs
+        a_phys = self._read(a, scratch)
+        b_val = self._read(b, scratch) if isinstance(b, VReg) else Imm(b)
+        self.asm.cmp(a_phys, b_val)
+        then_label = instr.attrs["then_label"]
+        else_label = instr.attrs["else_label"]
+        self.asm.emit(_COND_TO_JCC[instr.attrs["cond"]],
+                      self._block_labels[then_label])
+        if else_label != next_label:
+            self.asm.jmp(self._block_labels[else_label])
+
+    def _op_ret(self, instr, scratch, _next):
+        self.asm.ret()
+
+
+def lower(func: Function, allocation: Allocation, pools: RegisterPools,
+          name: str = "") -> Program:
+    """Lower an allocated IR function to a :class:`Program`."""
+    return _Lowerer(func, allocation, pools, name or func.name).lower()

@@ -1,0 +1,149 @@
+"""MKL-like SpMM kernel: hand-scheduled AOT assembly.
+
+The paper's second baseline is Intel MKL's ``mkl_sparse_spmm`` — closed
+source, "hand-crafted through low-level coding ... with adaption of SIMD
+vectorization and thread parallelism" (§V-A.2).  This module plays that
+role: an expert-written AOT kernel, emitted directly as assembly (no IR,
+no allocator — a human did the scheduling), that is better than anything
+the compiler personalities produce but still bound by AOT constraints:
+
+* ``d`` is a runtime value, so the column loop survives as a strip-mined
+  loop (one branch per strip per non-zero) plus a scalar remainder;
+* the output row is accumulated *in memory* (load-FMA-store per strip),
+  because without knowing ``d`` the kernel cannot promise the row fits
+  in registers — precisely the register-residency trick JITSPMM's
+  runtime knowledge enables (paper §IV-D.1).
+
+Register plan (all caller-saved in our freestanding ABI):
+
+====== ============================== ====== =========================
+reg    use                            reg    use
+====== ============================== ====== =========================
+rdi    param block                    rax    idx cursor
+rsi    row cursor (arg: first row)    rbx    row end offset
+rdx    row end (exclusive)            rcx    &Y[i][0]
+r8     row_ptr base                   r14    col index k, then &X[k][0]
+r9     col_indices base               r15    column cursor js
+r10    vals base                      rbp    d rounded down to lanes
+r11    X base                         zmm0   constant zero
+r12    Y base                         zmm1   broadcast vals[idx]
+r13    d                              zmm2/3 X / Y strips
+====== ============================== ====== =========================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.aot import abi
+from repro.errors import CodegenError
+from repro.isa.assembler import Assembler, Program
+from repro.isa.operands import Imm, Mem
+from repro.isa.registers import regs, xmm, ymm, zmm
+
+__all__ = ["MklKernel"]
+
+_VEC_BY_LANES = {8: ymm, 16: zmm}
+
+
+@dataclass(frozen=True)
+class MklKernel:
+    """Builder for the MKL-like kernel program.
+
+    Args:
+        lanes: SIMD strip width in float32 lanes (16 = AVX-512, 8 = AVX2).
+    """
+
+    lanes: int = 16
+
+    def build(self) -> Program:
+        if self.lanes not in _VEC_BY_LANES:
+            raise CodegenError(
+                f"MKL kernel supports 8/16-lane strips, got {self.lanes}"
+            )
+        vec = _VEC_BY_LANES[self.lanes]
+        step_bytes = 4 * self.lanes
+        asm = Assembler(f"mkl_spmm_{self.lanes}")
+        pb = regs.rdi
+
+        # -- prologue: unpack the parameter block ----------------------
+        asm.mov(regs.r8, Mem(pb, disp=abi.PARAM_ROW_PTR, size=8))
+        asm.mov(regs.r9, Mem(pb, disp=abi.PARAM_COL_INDICES, size=8))
+        asm.mov(regs.r10, Mem(pb, disp=abi.PARAM_VALS, size=8))
+        asm.mov(regs.r11, Mem(pb, disp=abi.PARAM_X, size=8))
+        asm.mov(regs.r12, Mem(pb, disp=abi.PARAM_Y, size=8))
+        asm.mov(regs.r13, Mem(pb, disp=abi.PARAM_D, size=8))
+        asm.mov(regs.rbp, regs.r13)
+        asm.emit("and", regs.rbp, Imm(-self.lanes, 8))
+        asm.vxorps(vec(0), vec(0), vec(0))
+
+        # -- row loop ---------------------------------------------------
+        asm.label("row_head")
+        asm.cmp(regs.rsi, regs.rdx)
+        asm.jge("exit")
+        asm.mov(regs.rax, Mem(regs.r8, regs.rsi, 8, 0, size=8))
+        asm.mov(regs.rbx, Mem(regs.r8, regs.rsi, 8, 8, size=8))
+        asm.mov(regs.rcx, regs.rsi)
+        asm.imul(regs.rcx, regs.r13)
+        asm.shl(regs.rcx, Imm(2, 8))
+        asm.add(regs.rcx, regs.r12)
+
+        # zero the output row (strips, then scalar tail)
+        asm.mov(regs.r15, 0)
+        asm.label("zero_main_head")
+        asm.cmp(regs.r15, regs.rbp)
+        asm.jge("zero_rem_head")
+        asm.vmovups(Mem(regs.rcx, regs.r15, 4, 0, size=step_bytes), vec(0))
+        asm.add(regs.r15, self.lanes)
+        asm.jmp("zero_main_head")
+        asm.label("zero_rem_head")
+        asm.cmp(regs.r15, regs.r13)
+        asm.jge("idx_head")
+        asm.vmovss(Mem(regs.rcx, regs.r15, 4, 0, size=4), xmm(0))
+        asm.inc(regs.r15)
+        asm.jmp("zero_rem_head")
+
+        # -- non-zero loop -----------------------------------------------
+        asm.label("idx_head")
+        asm.cmp(regs.rax, regs.rbx)
+        asm.jge("row_next")
+        asm.mov(regs.r14, Mem(regs.r9, regs.rax, 4, 0, size=4))  # k
+        asm.vbroadcastss(vec(1), Mem(regs.r10, regs.rax, 4, 0, size=4))
+        asm.imul(regs.r14, regs.r13)
+        asm.shl(regs.r14, Imm(2, 8))
+        asm.add(regs.r14, regs.r11)  # &X[k][0]
+
+        # strip loop: Y[i][js:js+lanes] += vals[idx] * X[k][js:js+lanes]
+        asm.mov(regs.r15, 0)
+        asm.label("js_main_head")
+        asm.cmp(regs.r15, regs.rbp)
+        asm.jge("js_rem_head")
+        asm.vmovups(vec(2), Mem(regs.r14, regs.r15, 4, 0, size=step_bytes))
+        asm.vmovups(vec(3), Mem(regs.rcx, regs.r15, 4, 0, size=step_bytes))
+        asm.vfmadd231ps(vec(3), vec(1), vec(2))
+        asm.vmovups(Mem(regs.rcx, regs.r15, 4, 0, size=step_bytes), vec(3))
+        asm.add(regs.r15, self.lanes)
+        asm.jmp("js_main_head")
+
+        # scalar tail for d mod lanes
+        asm.label("js_rem_head")
+        asm.cmp(regs.r15, regs.r13)
+        asm.jge("idx_next")
+        asm.vmovss(xmm(2), Mem(regs.r14, regs.r15, 4, 0, size=4))
+        asm.vmovss(xmm(3), Mem(regs.rcx, regs.r15, 4, 0, size=4))
+        asm.vfmadd231ss(xmm(3), xmm(1), xmm(2))
+        asm.vmovss(Mem(regs.rcx, regs.r15, 4, 0, size=4), xmm(3))
+        asm.inc(regs.r15)
+        asm.jmp("js_rem_head")
+
+        asm.label("idx_next")
+        asm.inc(regs.rax)
+        asm.jmp("idx_head")
+
+        asm.label("row_next")
+        asm.inc(regs.rsi)
+        asm.jmp("row_head")
+
+        asm.label("exit")
+        asm.ret()
+        return asm.finish()

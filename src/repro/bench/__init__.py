@@ -1,0 +1,19 @@
+"""Benchmark harnesses regenerating the paper's tables and figures.
+
+One module per experiment (see DESIGN.md's experiment index):
+
+* :mod:`repro.bench.table2` — single-thread scalar SpMM comparison;
+* :mod:`repro.bench.table4` — JIT code-generation overhead;
+* :mod:`repro.bench.fig9`   — speedups over icc auto-vectorization;
+* :mod:`repro.bench.fig10`  — speedups over the MKL-like kernel;
+* :mod:`repro.bench.fig11`  — profiling metrics across systems;
+* :mod:`repro.bench.ablations` — design-choice studies beyond the paper.
+
+All harnesses run on the scaled dataset twins (:mod:`repro.datasets`) and
+report the paper's expected values next to the measured ones; shapes, not
+absolute numbers, are the reproduction target (see EXPERIMENTS.md).
+"""
+
+from repro.bench.harness import BenchConfig, arithmetic_mean, geometric_mean
+
+__all__ = ["BenchConfig", "arithmetic_mean", "geometric_mean"]

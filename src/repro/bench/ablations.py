@@ -1,0 +1,99 @@
+"""Ablation studies for the design choices DESIGN.md calls out.
+
+Not in the paper, but each isolates one JITSPMM ingredient:
+
+* **CCM ablation** — the JIT kernel vs the same JIT machinery forced to
+  a single scalar column at a time (``isa="scalar"``): quantifies how
+  much of the win is coarse-grain column merging + SIMD rather than just
+  removing branches;
+* **dispatch ablation** — dynamic (``lock xadd``) vs static row-split on
+  a skewed matrix: the Listing-1 motivation;
+* **batch-size sweep** — Listing 1's batch constant (paper: 128);
+* **ISA sweep** — SSE2 / AVX2 / AVX-512 codegen for the same workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bench.harness import BenchConfig, render_table
+
+__all__ = ["AblationResult", "run_ablations"]
+
+_DATASETS = ("uk-2005", "GAP-kron")
+_D = 16
+
+
+@dataclass
+class AblationResult:
+    config: BenchConfig
+    ccm: dict[str, tuple[float, float]]          # dataset -> (simd, scalar)
+    dispatch: dict[str, tuple[float, float]]     # dataset -> (dynamic, static)
+    batch: dict[int, float]                      # batch size -> cycles
+    isa: dict[str, float]                        # isa -> cycles
+
+    def render(self) -> str:
+        blocks = []
+        rows = [
+            [name, f"{simd:,.0f}", f"{scalar:,.0f}", f"{scalar / simd:.2f}x"]
+            for name, (simd, scalar) in self.ccm.items()
+        ]
+        blocks.append(render_table(
+            ["dataset", "CCM+SIMD cycles", "scalar cycles", "gain"],
+            rows, "Ablation — coarse-grain column merging + SIMD"))
+
+        rows = [
+            [name, f"{dyn:,.0f}", f"{static:,.0f}", f"{static / dyn:.2f}x"]
+            for name, (dyn, static) in self.dispatch.items()
+        ]
+        blocks.append(render_table(
+            ["dataset", "dynamic cycles", "static cycles", "gain"],
+            rows, "Ablation — dynamic vs static row dispatch"))
+
+        rows = [[str(b), f"{c:,.0f}"] for b, c in sorted(self.batch.items())]
+        blocks.append(render_table(
+            ["batch", "cycles"], rows,
+            "Ablation — Listing-1 batch size (uk-2005)"))
+
+        rows = [[isa, f"{c:,.0f}"] for isa, c in self.isa.items()]
+        blocks.append(render_table(
+            ["isa", "cycles"], rows, "Ablation — ISA level (uk-2005)"))
+        return "\n\n".join(blocks)
+
+
+def run_ablations(config: BenchConfig | None = None) -> AblationResult:
+    config = config or BenchConfig()
+    datasets = [d for d in _DATASETS if d in config.datasets] or [
+        config.datasets[0]]
+
+    ccm = {}
+    dispatch = {}
+    for name in datasets:
+        simd = config.run("jit", name, _D, split="row", timing=True)
+        scalar = config.run("jit", name, _D, split="row", timing=True,
+                            isa="scalar")
+        ccm[name] = (simd.counters.cycles, scalar.counters.cycles)
+
+        from repro.core.runner import run_jit
+        matrix = config.matrix(name)
+        x = config.dense(name, _D)
+        dynamic = config.run("jit", name, _D, split="row", timing=True)
+        static = run_jit(matrix, x, split="row", threads=config.threads,
+                         dynamic=False, timing=True)
+        dispatch[name] = (dynamic.counters.cycles, static.counters.cycles)
+
+    from repro.core.runner import run_jit
+    matrix = config.matrix(datasets[0])
+    x = config.dense(datasets[0], _D)
+    batch = {}
+    for size in (16, 64, 128, 512):
+        result = run_jit(matrix, x, split="row", threads=config.threads,
+                         dynamic=True, batch=size, timing=True)
+        batch[size] = result.counters.cycles
+
+    isa = {}
+    for level in ("sse2", "avx2", "avx512"):
+        result = config.run("jit", datasets[0], _D, split="row", timing=True,
+                            isa=level)
+        isa[level] = result.counters.cycles
+    return AblationResult(config, ccm, dispatch, batch, isa)

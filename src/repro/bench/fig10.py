@@ -1,0 +1,59 @@
+"""Figure 10: speedups of JITSPMM over the MKL-like kernel.
+
+Same grid as Figure 9 with the hand-scheduled AOT kernel
+(:mod:`repro.aot.mkl`) standing in for ``mkl_sparse_spmm``.  Paper
+averages: 1.4x/1.5x/1.4x (row/nnz/merge) at d=16, 1.4x/1.3x/1.3x at
+d=32, maxima up to 2.3x.  Reproduction target: a small but consistent
+JIT win — an order of magnitude tighter than the Figure 9 gap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bench.fig9 import COLUMN_COUNTS, FigSpeedups, SPLITS, _collect
+from repro.bench.harness import BenchConfig, render_table
+
+__all__ = ["Fig10Result", "run_fig10"]
+
+BASELINE = "mkl"
+
+PAPER_FIG10_AVG = {
+    (16, "row"): 1.4, (16, "nnz"): 1.5, (16, "merge"): 1.4,
+    (32, "row"): 1.4, (32, "nnz"): 1.3, (32, "merge"): 1.3,
+}
+
+
+@dataclass
+class Fig10Result:
+    config: BenchConfig
+    data: FigSpeedups
+
+    paper_averages = PAPER_FIG10_AVG
+
+    def render(self) -> str:
+        blocks = []
+        for d in COLUMN_COUNTS:
+            headers = ["dataset", *SPLITS]
+            datasets = sorted({k[2] for k in self.data.speedups if k[0] == d},
+                              key=list(self.config.datasets).index)
+            rows = [
+                [name] + [f"{self.data.speedups[(d, s, name)]:.2f}"
+                          for s in SPLITS]
+                for name in datasets
+            ]
+            rows.append(["(average)"] + [
+                f"{self.data.average(d, s):.2f}" for s in SPLITS])
+            rows.append(["(paper avg)"] + [
+                f"{self.paper_averages[(d, s)]:.2f}" for s in SPLITS])
+            blocks.append(render_table(
+                headers, rows,
+                f"Fig. 10({'a' if d == 16 else 'b'}) — JITSPMM speedup over "
+                f"the MKL-like kernel, column number {d}"))
+        return "\n\n".join(blocks)
+
+
+def run_fig10(config: BenchConfig | None = None) -> Fig10Result:
+    """Run the Figure 10 grid (shares JIT runs with Figure 9's cache)."""
+    config = config or BenchConfig()
+    return Fig10Result(config, _collect(config, BASELINE))

@@ -1,0 +1,99 @@
+"""Figure 11: profiling analysis — loads, branches, misses, instructions.
+
+The paper's four log-scale charts (d=16): auto-vectorization and JITSPMM
+averaged over the three split methods, MKL as-is.  Expected shape
+(paper §V-D): JITSPMM lowest on memory loads (2.8x / 2x fewer than
+auto-vec / MKL), branches (3.8x / 2.9x), and instructions (7.9x / 2x);
+branch *misses* improve least (1.4x vs auto-vec, parity with MKL) because
+the predictor absorbs most of the extra branches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bench.fig9 import SPLITS
+from repro.bench.harness import BenchConfig, arithmetic_mean, render_table
+from repro.machine.counters import Counters
+
+__all__ = ["Fig11Result", "run_fig11"]
+
+_D = 16
+METRICS = ("memory_loads", "branches", "branch_misses", "instructions")
+SYSTEMS = ("icc-avx512", "mkl", "jit")
+
+#: paper-quoted average reduction factors (auto-vec / MKL relative to JIT)
+PAPER_FIG11_RATIOS = {
+    "memory_loads": (2.8, 2.0),
+    "branches": (3.8, 2.9),
+    "branch_misses": (1.4, 1.0),
+    "instructions": (7.9, 2.0),
+}
+
+
+@dataclass
+class Fig11Result:
+    config: BenchConfig
+    #: (system, dataset) -> split-averaged counters
+    profiles: dict[tuple[str, str], Counters]
+
+    def value(self, system: str, dataset: str, metric: str) -> float:
+        return getattr(self.profiles[(system, dataset)], metric)
+
+    def average_ratio(self, metric: str, system: str) -> float:
+        """Mean over datasets of system/JIT for a metric."""
+        ratios = []
+        for dataset in self.config.datasets:
+            jit = self.value("jit", dataset, metric)
+            if jit:
+                ratios.append(self.value(system, dataset, metric) / jit)
+        return arithmetic_mean(ratios)
+
+    def render(self) -> str:
+        blocks = []
+        subfig = dict(zip(METRICS, "abcd"))
+        for metric in METRICS:
+            headers = ["dataset", "auto-vec", "mkl", "jit"]
+            rows = [
+                [dataset] + [
+                    f"{self.value(system, dataset, metric):,.0f}"
+                    for system in SYSTEMS
+                ]
+                for dataset in self.config.datasets
+            ]
+            paper_av, paper_mkl = PAPER_FIG11_RATIOS[metric]
+            rows.append([
+                "(avg vs jit)",
+                f"{self.average_ratio(metric, 'icc-avx512'):.2f}x",
+                f"{self.average_ratio(metric, 'mkl'):.2f}x",
+                "1.00x",
+            ])
+            rows.append(["(paper)", f"{paper_av:.1f}x", f"{paper_mkl:.1f}x",
+                         "1.0x"])
+            blocks.append(render_table(
+                headers, rows,
+                f"Fig. 11({subfig[metric]}) — {metric} (d={_D}, "
+                f"split-averaged)"))
+        return "\n\n".join(blocks)
+
+
+def _split_average(counters_list: list[Counters]) -> Counters:
+    merged = Counters()
+    for counters in counters_list:
+        merged.merge(counters)
+    return merged.scaled(1.0 / len(counters_list))
+
+
+def run_fig11(config: BenchConfig | None = None) -> Fig11Result:
+    """Collect the profiling grid (reuses Fig. 9/10 cached runs)."""
+    config = config or BenchConfig()
+    profiles: dict[tuple[str, str], Counters] = {}
+    for dataset in config.datasets:
+        for system in ("icc-avx512", "jit"):
+            runs = [config.run(system, dataset, _D, split=split, timing=True)
+                    for split in SPLITS]
+            profiles[(system, dataset)] = _split_average(
+                [r.counters for r in runs])
+        mkl = config.run("mkl", dataset, _D, split="row", timing=True)
+        profiles[("mkl", dataset)] = mkl.counters
+    return Fig11Result(config, profiles)

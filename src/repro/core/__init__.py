@@ -1,0 +1,40 @@
+"""JITSPMM core: the paper's contribution.
+
+The just-in-time SpMM code generator and its three techniques:
+
+* :mod:`repro.core.layout` — register allocation for the output row:
+  decompose ``d`` into ZMM/YMM/XMM/scalar pieces (paper §IV-D.1, Fig. 8);
+* :mod:`repro.core.codegen` — coarse-grain column merging codegen
+  (paper §IV-C, Alg. 2, Listing 2) plus the driver loops, with column
+  tiling as the natural extension for ``d`` beyond register capacity;
+* :mod:`repro.core.split` — row-split / nnz-split / merge-split
+  partitioners (paper §IV-B, Fig. 6) and the ``lock xadd`` dynamic row
+  dispatcher (Listing 1);
+* :mod:`repro.core.runner` — maps operands into the simulated machine and
+  executes JIT / AOT / MKL kernels under identical conditions;
+* :mod:`repro.core.analytic` — closed-form event counts, tested to agree
+  exactly with the simulator;
+* :mod:`repro.core.engine` — :class:`JitSpMM`, the user-facing API.
+"""
+
+from repro.core.autotune import SplitChoice, choose_split
+from repro.core.codegen import JitCodegen, JitKernelSpec
+from repro.core.engine import JitSpMM, SpmmResult
+from repro.core.layout import ColumnTile, Piece, RowLayout, plan_layout
+from repro.core.split import merge_split, nnz_split, row_split
+
+__all__ = [
+    "ColumnTile",
+    "JitCodegen",
+    "JitKernelSpec",
+    "JitSpMM",
+    "Piece",
+    "RowLayout",
+    "SplitChoice",
+    "SpmmResult",
+    "choose_split",
+    "merge_split",
+    "nnz_split",
+    "plan_layout",
+    "row_split",
+]

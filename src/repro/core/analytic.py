@@ -1,0 +1,184 @@
+"""Closed-form event counts for the generated JIT kernels.
+
+Because the JIT kernels are straight-line loops with no data-dependent
+control flow beyond the loop bounds, every perf event is an exact affine
+function of the workload: rows processed, non-zeros processed, batches
+fetched.  This module states those functions explicitly; the test suite
+asserts they agree *exactly* with the simulator's measured counts, which
+pins down both the code generator and the interpreter (a disagreement
+means one of them changed shape).
+
+The model also enables large-scale estimation: counts for a billion-edge
+matrix cost O(1) to predict even though simulating it is infeasible.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.codegen import JitKernelSpec
+from repro.core.layout import tile_columns
+from repro.isa.isainfo import isa_spec
+
+__all__ = ["AnalyticCounts", "jit_dynamic_counts", "jit_range_counts",
+           "mkl_counts"]
+
+
+@dataclass(frozen=True)
+class AnalyticCounts:
+    """Predicted event counts for one thread's kernel execution."""
+
+    instructions: int
+    memory_loads: int
+    memory_stores: int
+    branches: int
+    atomic_ops: int = 0
+
+    def per_nnz(self, nnz: int) -> float:
+        return self.instructions / nnz if nnz else 0.0
+
+
+def _row_body_counts(spec: JitKernelSpec) -> tuple[int, int, int, int, int]:
+    """Per-row and per-nnz terms of the Listing-2 body.
+
+    Returns ``(per_row_insns, per_row_loads, per_row_stores,
+    per_nnz_insns, per_nnz_loads)``; branch terms are derived by the
+    callers from the loop trip counts.
+    """
+    tiles = tile_columns(spec.d, spec.isa)
+    isa = isa_spec(spec.isa)
+    per_row_insns = per_row_loads = per_row_stores = 0
+    per_nnz_insns = per_nnz_loads = 0
+    for tile in tiles:
+        pieces = tile.layout.num_accumulators
+        # per tile, per row: P vxorps + 2 row_ptr loads + 3 Y-address ops
+        # + the final P stores + the loop-exit check (cmp, jge)
+        per_row_insns += pieces + 2 + 3 + pieces + 2
+        per_row_loads += 2
+        per_row_stores += pieces
+        # per non-zero: cmp, jge, col load, broadcast, imul, add, inc, jmp
+        # plus the accumulation instructions
+        if isa.has_fma:
+            accumulate = pieces  # one FMA per piece
+        else:
+            # scalar fallback: vmulss + vaddss per piece
+            accumulate = 2 * pieces
+        per_nnz_insns += 8 + accumulate
+        per_nnz_loads += 2 + pieces  # col + broadcast + one per piece
+    return per_row_insns, per_row_loads, per_row_stores, per_nnz_insns, per_nnz_loads
+
+
+def jit_range_counts(spec: JitKernelSpec, rows: int, nnz: int) -> AnalyticCounts:
+    """Counts for the range kernel over ``rows`` rows holding ``nnz`` nnz."""
+    tiles = len(tile_columns(spec.d, spec.isa))
+    pr_i, pr_l, pr_s, pn_i, pn_l = _row_body_counts(spec)
+    prologue = 5 + 1  # five base movs + mov rdi, rsi
+    # row loop: head (cmp+jge) rows+1 times, latch (inc+jmp) rows times
+    insns = (
+        prologue
+        + 2 * (rows + 1) + 2 * rows
+        + pr_i * rows + pn_i * nnz
+        + 1  # ret
+    )
+    loads = pr_l * rows + pn_l * nnz
+    stores = pr_s * rows
+    # branches: row head jge (rows+1) + row latch jmp (rows), then per
+    # tile the nnz loop runs its jge (nnz+1) times per row (= nnz + rows
+    # summed) and its back-edge jmp nnz times; finally ret.
+    branches = (rows + 1) + rows + tiles * (nnz + rows) + tiles * nnz + 1
+    return AnalyticCounts(insns, loads, stores, branches)
+
+
+def jit_dynamic_counts(spec: JitKernelSpec, threads: int,
+                       rows: int, nnz: int) -> AnalyticCounts:
+    """Counts for the Listing-1 dynamic kernel, summed over all threads.
+
+    Dynamic dispatch adds a fixed cost per *fetched batch*: exactly
+    ``ceil(m / batch)`` productive fetches happen machine-wide, plus one
+    final empty fetch per thread that observes ``NEXT >= m`` and exits.
+    """
+    tiles = len(tile_columns(spec.d, spec.isa))
+    pr_i, pr_l, pr_s, pn_i, pn_l = _row_body_counts(spec)
+    batches = math.ceil(rows / spec.batch) if rows else 0
+    full_batches = rows // spec.batch
+    partial = rows - full_batches * spec.batch
+
+    prologue_per_thread = 5 + 1  # bases + NEXT address
+    # per productive fetch: mov batch, xadd, cmp, jge(not taken),
+    # then clamp: mov r15, add, cmp, jle, and mov rdi = 9 instructions;
+    # the clamping "mov r15, m" executes only for the final partial batch
+    per_fetch = 9
+    clamp_movs = 1 if partial else 0
+    # per exiting fetch: mov batch, xadd, cmp, jge taken = 4, + ret
+    per_exit = 4 + 1
+    # batch row loop: per batch the head (cmp+jge) runs batch_rows+1
+    # times and the latch (inc+jmp) batch_rows times
+    insns = (
+        threads * prologue_per_thread
+        + batches * per_fetch + clamp_movs
+        + threads * per_exit
+        + (rows + batches) * 2 + rows * 2
+        + pr_i * rows + pn_i * nnz
+    )
+    loads = pr_l * rows + pn_l * nnz + (batches + threads)  # xadd reads
+    stores = pr_s * rows + (batches + threads)  # xadd writes
+    branches = (
+        (batches + threads)           # fetch jge end
+        + batches                     # jle clamp check
+        + (rows + batches) + rows     # batch row-loop jge + back-edge jmp
+        + tiles * (nnz + rows)        # nnz-loop jge (per tile)
+        + tiles * nnz                 # nnz-loop back-edge jmp (per tile)
+        + threads                     # ret
+    )
+    atomic = batches + threads
+    return AnalyticCounts(insns, loads, stores, branches, atomic_ops=atomic)
+
+
+def mkl_counts(d: int, rows: int, nnz: int, lanes: int = 16,
+               threads: int = 1) -> AnalyticCounts:
+    """Exact event counts for the MKL-like kernel (``repro.aot.mkl``).
+
+    The kernel's loops are data-independent given ``(d, rows, nnz)``:
+    per row it zeroes the output in ``s = d // lanes`` strips plus a
+    ``r = d % lanes`` scalar tail, then for every non-zero runs the same
+    strip + tail structure with a load-FMA-store through memory.
+    """
+    s, r = d // lanes, d % lanes
+    per_thread_prologue = 6 + 2 + 1  # param block loads + rbp mask + vxorps
+    per_row = (
+        2          # row head cmp, jge (the +1 trips are counted below)
+        + 2 + 4    # start/end loads + ycur computation
+        + 1        # zero cursor reset
+        + 2 * (s + 1) + 3 * s          # zero strip loop head + body
+        + 2 * (r + 1) + 3 * r          # zero scalar tail head + body
+        + 2        # idx loop exit check (cmp, jge at nnz_i+1-th trip)
+        + 2        # row_next inc, jmp
+    )
+    per_nnz = (
+        2          # idx head cmp, jge (taken trips)
+        + 5        # col load, broadcast, imul, shl, add
+        + 1        # js cursor reset
+        + 2 * (s + 1) + 6 * s          # strip loop head + body
+        + 2 * (r + 1) + 6 * r          # scalar tail head + body
+        + 2        # idx_next inc, jmp
+    )
+    insns = (
+        threads * (per_thread_prologue + 2 + 1)  # + final row head + ret
+        + per_row * rows + per_nnz * nnz
+    )
+    loads = (
+        threads * 6                     # param block
+        + 2 * rows                      # row_ptr start/end
+        + nnz * (2 + 2 * s + 2 * r)     # col + broadcast + X/Y per strip
+    )
+    stores = rows * (s + r) + nnz * (s + r)   # zeroing + accumulation
+    branches = (
+        threads * 1                                  # ret
+        + (rows + threads) + rows                    # row loop jge + jmp
+        + rows * ((s + 1) + s + (r + 1) + r)         # zero loops
+        + (nnz + rows)                               # idx head jge
+        + nnz                                        # idx_next jmp
+        + nnz * ((s + 1) + s + (r + 1) + r)          # js loops
+    )
+    return AnalyticCounts(insns, loads, stores, branches)

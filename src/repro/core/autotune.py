@@ -1,0 +1,122 @@
+"""Split-strategy auto-tuning from matrix statistics.
+
+The paper evaluates all three workload divisions and observes that the
+winner is matrix-dependent (Figs. 9-10 show per-dataset crossovers).
+Because JIT code generation already happens at run time — when the
+matrix is in hand — the natural extension is to *choose* the strategy
+then too.  The tuner predicts each candidate's makespan (the slowest
+thread's work) from the exact per-thread event counts of
+:mod:`repro.core.analytic`, weighted by a simple per-event cycle
+estimate, and returns the predicted-fastest plan.  No simulation, no
+probing: O(m) per candidate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.analytic import AnalyticCounts, jit_dynamic_counts, jit_range_counts
+from repro.core.codegen import JitKernelSpec
+from repro.core.runner import auto_batch
+from repro.core.split import partition
+from repro.isa.isainfo import IsaLevel
+from repro.sparse.csr import CsrMatrix
+
+__all__ = ["SplitChoice", "choose_split", "predicted_makespan"]
+
+#: crude per-event cycle weights for ranking (not a timing model — only
+#: relative ordering between strategies matters here)
+_CYCLES_PER_INSN = 0.3
+_CYCLES_PER_LOAD = 1.2
+_CYCLES_PER_BRANCH = 0.3
+_CYCLES_PER_ATOMIC = 20.0
+
+
+@dataclass(frozen=True)
+class SplitChoice:
+    """The tuner's verdict for one (matrix, d, threads) instance."""
+
+    split: str
+    dynamic: bool
+    batch: int
+    predicted_cycles: float
+    scores: dict  # candidate name -> predicted makespan cycles
+
+    def describe(self) -> str:
+        ranked = sorted(self.scores.items(), key=lambda kv: kv[1])
+        lines = [f"chosen: {self.split}"
+                 f"{' (dynamic)' if self.dynamic else ''}"]
+        lines.extend(f"  {name:14s} predicted {cycles:14,.0f} cycles"
+                     for name, cycles in ranked)
+        return "\n".join(lines)
+
+
+def _weight(counts: AnalyticCounts) -> float:
+    return (counts.instructions * _CYCLES_PER_INSN
+            + counts.memory_loads * _CYCLES_PER_LOAD
+            + counts.branches * _CYCLES_PER_BRANCH
+            + counts.atomic_ops * _CYCLES_PER_ATOMIC)
+
+
+def predicted_makespan(matrix: CsrMatrix, d: int, threads: int, split: str,
+                       isa: IsaLevel | str = IsaLevel.AVX512) -> float:
+    """Predicted slowest-thread cycles for a static split strategy."""
+    spec = _spec(matrix, d, isa)
+    worst = 0.0
+    for r0, r1 in partition(matrix, threads, split):
+        rows = r1 - r0
+        nnz = int(matrix.row_ptr[r1] - matrix.row_ptr[r0])
+        counts = jit_range_counts(spec, rows=rows, nnz=nnz)
+        weight = _weight(counts)
+        if weight > worst:
+            worst = weight
+    return worst
+
+
+def _dynamic_makespan(matrix: CsrMatrix, d: int, threads: int, batch: int,
+                      isa: IsaLevel | str) -> float:
+    """Predicted makespan for dynamic row dispatching.
+
+    Dynamic dispatch self-balances at batch granularity: model it as the
+    total machine-wide work divided evenly, plus one worst-case batch of
+    slack (a thread can be stuck with the heaviest batch it grabbed
+    last) and the atomic-fetch serialization.
+    """
+    spec = _spec(matrix, d, isa, batch=batch)
+    total = _weight(jit_dynamic_counts(spec, threads=threads,
+                                       rows=matrix.nrows, nnz=matrix.nnz))
+    heaviest_batch = 0.0
+    row_ptr = matrix.row_ptr
+    for start in range(0, matrix.nrows, batch):
+        end = min(start + batch, matrix.nrows)
+        nnz = int(row_ptr[end] - row_ptr[start])
+        weight = _weight(jit_range_counts(spec, rows=end - start, nnz=nnz))
+        if weight > heaviest_batch:
+            heaviest_batch = weight
+    return total / threads + heaviest_batch
+
+
+def _spec(matrix: CsrMatrix, d: int, isa: IsaLevel | str,
+          batch: int = 128) -> JitKernelSpec:
+    return JitKernelSpec(
+        d=d, m=matrix.nrows, row_ptr_addr=0, col_addr=0, vals_addr=0,
+        x_addr=0, y_addr=0, next_addr=1, batch=batch,
+        isa=IsaLevel.parse(isa) if isinstance(isa, str) else isa,
+    )
+
+
+def choose_split(matrix: CsrMatrix, d: int, threads: int,
+                 isa: IsaLevel | str = IsaLevel.AVX512) -> SplitChoice:
+    """Pick the predicted-fastest workload division for this instance."""
+    batch = auto_batch(matrix.nrows, threads)
+    scores = {
+        "row (static)": predicted_makespan(matrix, d, threads, "row", isa),
+        "nnz": predicted_makespan(matrix, d, threads, "nnz", isa),
+        "merge": predicted_makespan(matrix, d, threads, "merge", isa),
+        "row (dynamic)": _dynamic_makespan(matrix, d, threads, batch, isa),
+    }
+    best = min(scores, key=scores.get)
+    if best == "row (dynamic)":
+        return SplitChoice("row", True, batch, scores[best], scores)
+    split = "row" if best == "row (static)" else best
+    return SplitChoice(split, False, batch, scores[best], scores)

@@ -1,0 +1,149 @@
+"""The user-facing JITSPMM engine (paper Fig. 5).
+
+:class:`JitSpMM` wraps the whole workflow — assembly code generation,
+thread spawning, execution, result joining — behind two entry points:
+
+* :meth:`JitSpMM.multiply` — compute ``Y = A @ X`` with the fast numpy
+  execution backend (same partitioning logic, host-speed arithmetic);
+  use this in applications;
+* :meth:`JitSpMM.profile` — generate the specialized kernel and execute
+  it instruction-by-instruction on the simulated machine, returning the
+  perf counters the paper's evaluation reports; use this to reproduce
+  the experiments.
+
+Example::
+
+    engine = JitSpMM(split="merge", threads=8)
+    y = engine.multiply(A, X)                    # fast result
+    result = engine.profile(A, X)                # simulated, with counters
+    print(result.counters)
+    print(engine.inspect(A, X))                  # generated assembly
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.codegen import JitCodegen, JitKernelSpec
+from repro.core.layout import tile_columns
+from repro.core.runner import RunResult, auto_batch, run_jit
+from repro.core.split import partition
+from repro.errors import ShapeError
+from repro.isa.isainfo import IsaLevel
+from repro.sparse.csr import CsrMatrix
+from repro.sparse.ops import spmm_reference
+
+__all__ = ["JitSpMM", "SpmmResult"]
+
+SpmmResult = RunResult  # public alias
+
+
+class JitSpMM:
+    """Just-in-time SpMM engine: ``Y = A @ X`` on the simulated CPU.
+
+    Args:
+        split: Workload division — ``"row"`` (default), ``"nnz"`` or
+            ``"merge"`` (paper §IV-B).
+        threads: Simulated CPU threads.
+        dynamic: Use Listing-1 dynamic row dispatching (defaults to True
+            for row-split, as in the paper; forced False otherwise).
+        batch: Dynamic dispatch batch size; None (default) sizes it
+            automatically from the row count (the paper's fixed 128 is
+            the cap — see :func:`repro.core.runner.auto_batch`).
+        isa: ISA level for code generation (``"avx512"`` default).
+        timing: Model caches/pipeline when profiling (slower, gives
+            cycle estimates); counts are identical either way.
+    """
+
+    def __init__(
+        self,
+        split: str = "row",
+        threads: int = 8,
+        dynamic: bool | None = None,
+        batch: int | None = None,
+        isa: IsaLevel | str = IsaLevel.AVX512,
+        timing: bool = True,
+    ) -> None:
+        if threads <= 0:
+            raise ShapeError(f"thread count must be positive, got {threads}")
+        self.split = split
+        self.threads = threads
+        self.dynamic = (split == "row") if dynamic is None else dynamic
+        if self.dynamic and split != "row":
+            raise ShapeError("dynamic dispatch applies to row-split only")
+        self.batch = batch
+        self.isa = IsaLevel.parse(isa)
+        self.timing = timing
+
+    # ------------------------------------------------------------------
+    def multiply(self, matrix: CsrMatrix, x: np.ndarray) -> np.ndarray:
+        """Compute ``Y = A @ X`` with the fast numpy backend.
+
+        Runs the same partitioning as the simulated path (so a bad split
+        configuration fails identically), then evaluates each partition's
+        rows with vectorized numpy.  Bit-equal to the reference kernel.
+        """
+        x = self._check_operands(matrix, x)
+        ranges = partition(matrix, self.threads, self.split)
+        y = np.zeros((matrix.nrows, x.shape[1]), dtype=np.float32)
+        for r0, r1 in ranges:
+            if r0 == r1:
+                continue
+            sub = CsrMatrix(
+                r1 - r0, matrix.ncols,
+                matrix.row_ptr[r0:r1 + 1] - matrix.row_ptr[r0],
+                matrix.col_indices[matrix.row_ptr[r0]:matrix.row_ptr[r1]],
+                matrix.vals[matrix.row_ptr[r0]:matrix.row_ptr[r1]],
+            )
+            y[r0:r1] = spmm_reference(sub, x)
+        return y
+
+    # ------------------------------------------------------------------
+    def profile(self, matrix: CsrMatrix, x: np.ndarray) -> RunResult:
+        """Generate the specialized kernel and run it on the simulator."""
+        x = self._check_operands(matrix, x)
+        return run_jit(
+            matrix, x, split=self.split, threads=self.threads,
+            dynamic=self.dynamic, batch=self.batch, isa=self.isa,
+            timing=self.timing,
+        )
+
+    # ------------------------------------------------------------------
+    def inspect(self, matrix: CsrMatrix, x: np.ndarray) -> str:
+        """Return the assembly listing the JIT would generate for (A, X).
+
+        Generates against placeholder addresses — the instruction stream
+        shape is what matters for inspection.
+        """
+        x = self._check_operands(matrix, x)
+        spec = JitKernelSpec(
+            d=int(x.shape[1]), m=matrix.nrows,
+            row_ptr_addr=0x10000, col_addr=0x20000, vals_addr=0x30000,
+            x_addr=0x40000, y_addr=0x50000,
+            next_addr=0x60000 if self.dynamic else 0,
+            batch=self.batch or auto_batch(matrix.nrows, self.threads),
+            isa=self.isa,
+        )
+        gen = JitCodegen(spec)
+        program = (gen.build_dynamic_kernel() if self.dynamic
+                   else gen.build_range_kernel())
+        return program.listing()
+
+    def plan(self, d: int) -> list:
+        """The column-tile / register plan for ``d`` (paper Fig. 8)."""
+        return tile_columns(d, self.isa)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _check_operands(matrix: CsrMatrix, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x)
+        if x.ndim != 2:
+            raise ShapeError(f"X must be 2-D, got ndim={x.ndim}")
+        if x.shape[0] != matrix.ncols:
+            raise ShapeError(
+                f"dimension mismatch: A is {matrix.nrows}x{matrix.ncols}, "
+                f"X is {x.shape[0]}x{x.shape[1]}"
+            )
+        if x.shape[1] <= 0:
+            raise ShapeError("X must have at least one column")
+        return np.ascontiguousarray(x, dtype=np.float32)

@@ -1,0 +1,151 @@
+"""Output-row register layout: the paper's Figure 8.
+
+Given the runtime column count ``d``, decompose the output row vector
+``ret[0:d]`` into a linear combination of register-sized pieces —
+16 lanes (ZMM), 8 (YMM), 4 (XMM), 1 (scalar) — "while using the fewest
+number of registers possible" (paper §IV-D.1).  For ``d = 45`` on
+AVX-512 this yields ``16(ZMM0) + 16(ZMM1) + 8(YMM2) + 4(XMM3) +
+1(XMM4)``, exactly the paper's example.
+
+When ``d`` exceeds what the register file can hold (more pieces than
+available accumulators), :func:`tile_columns` splits the row into column
+tiles that each fit — the natural extension of coarse-grain column
+merging for wide dense matrices (each tile re-walks the row's non-zeros).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import CodegenError
+from repro.isa.isainfo import IsaLevel, IsaSpec, isa_spec
+from repro.isa.registers import VectorRegister, xmm, ymm, zmm
+
+__all__ = ["ColumnTile", "Piece", "RowLayout", "plan_layout", "tile_columns"]
+
+_LANES_TO_REG = {16: zmm, 8: ymm, 4: xmm, 1: xmm}
+
+
+@dataclass(frozen=True)
+class Piece:
+    """One accumulator piece: ``ret[offset : offset + lanes]``."""
+
+    offset: int
+    lanes: int
+    code: int
+
+    @property
+    def register(self) -> VectorRegister:
+        return _LANES_TO_REG[self.lanes](self.code)
+
+    @property
+    def is_scalar(self) -> bool:
+        return self.lanes == 1
+
+
+@dataclass(frozen=True)
+class RowLayout:
+    """Full register plan for accumulating one output row slice."""
+
+    d: int
+    isa: IsaSpec
+    pieces: tuple[Piece, ...]
+    broadcast_code: int
+
+    @property
+    def broadcast(self) -> VectorRegister:
+        """Register holding the broadcast non-zero value (ZMM31-style)."""
+        widest = max((p.lanes for p in self.pieces), default=1)
+        return _LANES_TO_REG[widest](self.broadcast_code)
+
+    @property
+    def scratch_code(self) -> int:
+        """Second reserved register (scalar multiply temp without FMA)."""
+        return self.broadcast_code - 1
+
+    @property
+    def num_accumulators(self) -> int:
+        return len(self.pieces)
+
+    def covered(self) -> int:
+        return sum(p.lanes for p in self.pieces)
+
+
+def decompose(d: int, spec: IsaSpec) -> list[int]:
+    """Greedy minimal decomposition of ``d`` into piece widths."""
+    widths = [w // 32 for w in spec.register_widths()] + [1]
+    remaining = d
+    sizes: list[int] = []
+    for width in widths:
+        while remaining >= width:
+            sizes.append(width)
+            remaining -= width
+    return sizes
+
+
+def accumulator_capacity(spec: IsaSpec) -> int:
+    """Accumulators available: the register file minus two reserved regs.
+
+    One reserved register holds the broadcast non-zero value (the paper's
+    ZMM31); one more is scratch for the non-FMA scalar fallback.
+    """
+    return spec.num_vector_regs - 2
+
+
+def plan_layout(d: int, isa: IsaLevel | IsaSpec | str = IsaLevel.AVX512) -> RowLayout:
+    """Plan the register layout for a full row of ``d`` columns.
+
+    Raises :class:`CodegenError` when the row does not fit the register
+    file — callers should then use :func:`tile_columns`.
+    """
+    spec = isa if isinstance(isa, IsaSpec) else isa_spec(isa)
+    if d <= 0:
+        raise CodegenError(f"column count must be positive, got {d}")
+    sizes = decompose(d, spec)
+    if len(sizes) > accumulator_capacity(spec):
+        raise CodegenError(
+            f"d={d} needs {len(sizes)} accumulators but {spec.level.value} "
+            f"offers {accumulator_capacity(spec)}; use tile_columns()"
+        )
+    pieces = []
+    offset = 0
+    for code, lanes in enumerate(sizes):
+        pieces.append(Piece(offset, lanes, code))
+        offset += lanes
+    return RowLayout(d, spec, tuple(pieces),
+                     broadcast_code=spec.num_vector_regs - 1)
+
+
+@dataclass(frozen=True)
+class ColumnTile:
+    """A column range ``[start, start + layout.d)`` processed in one pass."""
+
+    start: int
+    layout: RowLayout
+
+
+def tile_columns(d: int, isa: IsaLevel | IsaSpec | str = IsaLevel.AVX512) -> list[ColumnTile]:
+    """Split ``d`` columns into register-sized tiles, widest tiles first.
+
+    Each tile fits :func:`plan_layout`; a single tile is returned whenever
+    the whole row fits (the common GNN case — the paper's X matrices are
+    "tall and skinny", §II-A).
+    """
+    spec = isa if isinstance(isa, IsaSpec) else isa_spec(isa)
+    if d <= 0:
+        raise CodegenError(f"column count must be positive, got {d}")
+    capacity = accumulator_capacity(spec)
+    widest = max(spec.max_lanes_f32, 1)
+    max_tile = capacity * widest
+    tiles: list[ColumnTile] = []
+    start = 0
+    while start < d:
+        width = min(max_tile, d - start)
+        # keep every tile decomposable within capacity (always true: width
+        # <= capacity * widest means <= capacity pieces of widest lanes,
+        # but the tail mixing smaller pieces can exceed it; shrink if so)
+        while len(decompose(width, spec)) > capacity:
+            width -= width % widest or widest
+        tiles.append(ColumnTile(start, plan_layout(width, spec)))
+        start += width
+    return tiles

@@ -1,0 +1,271 @@
+"""Execution of SpMM systems on the simulated machine.
+
+This module is the experimental testbed: it maps the operands of
+``Y = A @ X`` into a fresh simulated address space, instantiates the
+requested system (JIT kernels, an AOT compiler personality, or the
+MKL-like kernel), partitions the work across simulated threads exactly
+as the paper describes (Fig. 5), runs the machine, and returns the
+result matrix together with perf counters — the same measurement setup
+for every system, which is what makes the comparisons meaningful.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.aot import abi
+from repro.aot.compiler import AotCompiler, CompiledKernel
+from repro.aot.mkl import MklKernel
+from repro.core.codegen import DEFAULT_BATCH, JitCodegen, JitKernelSpec
+from repro.core.split import partition
+from repro.errors import ShapeError
+from repro.isa.assembler import Program
+from repro.isa.isainfo import IsaLevel
+from repro.machine import CacheConfig, Counters, CpuConfig, Machine, Memory, ThreadSpec
+from repro.sparse.csr import CsrMatrix
+
+__all__ = ["MappedOperands", "RunResult", "auto_batch", "run_aot", "run_jit", "run_mkl"]
+
+
+@dataclass
+class MappedOperands:
+    """The five SpMM arrays mapped into one simulated address space."""
+
+    memory: Memory
+    y_host: np.ndarray
+    row_ptr_addr: int
+    col_addr: int
+    vals_addr: int
+    x_addr: int
+    y_addr: int
+    d: int
+    m: int
+
+    @classmethod
+    def create(cls, matrix: CsrMatrix, x: np.ndarray) -> "MappedOperands":
+        x = np.asarray(x)
+        if x.ndim != 2 or x.shape[0] != matrix.ncols:
+            raise ShapeError(
+                f"X must be {matrix.ncols}xd, got shape {x.shape}"
+            )
+        x = np.ascontiguousarray(x, dtype=np.float32)
+        memory = Memory()
+        # col_indices are stored as int32 in kernel memory (the common
+        # choice of real SpMM libraries, incl. MKL's default ILP32).
+        col32 = np.ascontiguousarray(matrix.col_indices, dtype=np.int32)
+        y = np.zeros((matrix.nrows, x.shape[1]), dtype=np.float32)
+        return cls(
+            memory=memory,
+            y_host=y,
+            row_ptr_addr=memory.map_array(matrix.row_ptr, "row_ptr"),
+            col_addr=memory.map_array(col32, "col_indices"),
+            vals_addr=memory.map_array(matrix.vals, "vals"),
+            x_addr=memory.map_array(x, "X"),
+            y_addr=memory.map_array(y, "Y"),
+            d=int(x.shape[1]),
+            m=matrix.nrows,
+        )
+
+
+@dataclass
+class RunResult:
+    """Outcome of one simulated SpMM execution."""
+
+    y: np.ndarray
+    counters: Counters
+    per_thread: list[Counters]
+    program: Program
+    codegen_seconds: float = 0.0
+    code_bytes: int = 0
+    system: str = ""
+    split: str = ""
+    threads: int = 1
+    partitions: list[tuple[int, int]] = field(default_factory=list)
+
+    def modeled_seconds(self, ghz: float = 3.7) -> float:
+        return self.counters.seconds(ghz)
+
+    def codegen_overhead(self, ghz: float = 3.7) -> float:
+        """Codegen wall time / total time, the paper's Table IV metric."""
+        total = self.codegen_seconds + self.modeled_seconds(ghz)
+        return self.codegen_seconds / total if total else 0.0
+
+
+def _machine(operands: MappedOperands, timing: bool,
+             l1: CacheConfig | None = None, l2: CacheConfig | None = None,
+             quantum: int = 64) -> Machine:
+    return Machine(operands.memory, CpuConfig(timing=timing, l1=l1, l2=l2),
+                   quantum=quantum)
+
+
+def auto_batch(m: int, threads: int) -> int:
+    """Dynamic-dispatch batch size for a matrix with ``m`` rows.
+
+    The paper fixes 128 (footnote 4), tuned for matrices with tens of
+    millions of rows; on scaled twins that would hand all rows to one
+    thread.  The auto rule keeps the paper's value as a cap while
+    guaranteeing at least ~4 batches per thread.
+    """
+    return max(1, min(DEFAULT_BATCH, m // (threads * 4)))
+
+
+def run_jit(
+    matrix: CsrMatrix,
+    x: np.ndarray,
+    split: str = "row",
+    threads: int = 1,
+    dynamic: bool | None = None,
+    batch: int | None = None,
+    isa: IsaLevel | str = IsaLevel.AVX512,
+    timing: bool = True,
+    warmup: bool = False,
+    l1: CacheConfig | None = None,
+    l2: CacheConfig | None = None,
+) -> RunResult:
+    """Run JITSPMM: generate specialized code, then execute it.
+
+    ``dynamic`` defaults to True for row-split (the paper pairs row-split
+    with the Listing-1 dynamic dispatcher) and False otherwise.  ``batch``
+    defaults to :func:`auto_batch`.  ``warmup=True`` measures the second
+    of two runs (warm caches/predictors, the paper's methodology);
+    ``l1``/``l2`` override the cache geometry (the bench harness scales
+    caches down with the dataset twins).
+    """
+    if batch is None:
+        batch = auto_batch(matrix.nrows, threads)
+    operands = MappedOperands.create(matrix, x)
+    if dynamic is None:
+        dynamic = split == "row"
+    next_addr = 0
+    if dynamic:
+        if split != "row":
+            raise ShapeError("dynamic dispatch applies to row-split only")
+        next_addr, _ = operands.memory.map_zeros(8, "NEXT")
+
+    spec = JitKernelSpec(
+        d=operands.d, m=operands.m,
+        row_ptr_addr=operands.row_ptr_addr, col_addr=operands.col_addr,
+        vals_addr=operands.vals_addr, x_addr=operands.x_addr,
+        y_addr=operands.y_addr, next_addr=next_addr, batch=batch,
+        isa=IsaLevel.parse(isa) if isinstance(isa, str) else isa,
+    )
+    output = JitCodegen(spec).generate(dynamic=dynamic)
+
+    if dynamic:
+        specs = [ThreadSpec(output.program, name=f"jit{t}")
+                 for t in range(threads)]
+        partitions = []
+    else:
+        partitions = partition(matrix, threads, split)
+        specs = [
+            ThreadSpec(output.program,
+                       init_gpr={abi.ARG_ROW_START: r0, abi.ARG_ROW_END: r1},
+                       name=f"jit{t}")
+            for t, (r0, r1) in enumerate(partitions)
+        ]
+    def reset_next() -> None:
+        if next_addr:
+            operands.memory.write_int(next_addr, 8, 0)
+
+    merged, per_thread = _machine(operands, timing, l1, l2).run(
+        specs, warmup=warmup and timing, between_runs=reset_next)
+    return RunResult(
+        y=operands.y_host, counters=merged, per_thread=per_thread,
+        program=output.program, codegen_seconds=output.codegen_seconds,
+        code_bytes=output.code_bytes, system="jit", split=split,
+        threads=threads, partitions=partitions,
+    )
+
+
+def _run_param_block_kernel(
+    matrix: CsrMatrix,
+    x: np.ndarray,
+    program: Program,
+    spill_bytes: int,
+    system: str,
+    split: str,
+    threads: int,
+    timing: bool,
+    warmup: bool = False,
+    l1: CacheConfig | None = None,
+    l2: CacheConfig | None = None,
+) -> RunResult:
+    """Shared driver for AOT and MKL kernels (param-block ABI)."""
+    operands = MappedOperands.create(matrix, x)
+    memory = operands.memory
+    pb = np.zeros(abi.PARAM_BLOCK_BYTES // 8, dtype=np.int64)
+    pb_addr = memory.map_array(pb, "param_block")
+    next_addr, _ = memory.map_zeros(8, "NEXT")
+    pb[abi.PARAM_ROW_PTR // 8] = operands.row_ptr_addr
+    pb[abi.PARAM_COL_INDICES // 8] = operands.col_addr
+    pb[abi.PARAM_VALS // 8] = operands.vals_addr
+    pb[abi.PARAM_X // 8] = operands.x_addr
+    pb[abi.PARAM_Y // 8] = operands.y_addr
+    pb[abi.PARAM_D // 8] = operands.d
+    pb[abi.PARAM_M // 8] = operands.m
+    pb[abi.PARAM_NEXT // 8] = next_addr
+    pb[abi.PARAM_BATCH // 8] = DEFAULT_BATCH
+
+    partitions = partition(matrix, threads, split)
+    specs = []
+    for t, (r0, r1) in enumerate(partitions):
+        init = {abi.ARG_PARAM_BLOCK: pb_addr,
+                abi.ARG_ROW_START: r0, abi.ARG_ROW_END: r1}
+        if spill_bytes:
+            spill_addr, _ = memory.map_zeros(spill_bytes, f"spill{t}")
+            init[abi.SPILL_BASE_REG] = spill_addr
+        specs.append(ThreadSpec(program, init_gpr=init, name=f"{system}{t}"))
+    merged, per_thread = _machine(operands, timing, l1, l2).run(
+        specs, warmup=warmup and timing)
+    return RunResult(
+        y=operands.y_host, counters=merged, per_thread=per_thread,
+        program=program, system=system, split=split, threads=threads,
+        partitions=partitions,
+    )
+
+
+def run_aot(
+    matrix: CsrMatrix,
+    x: np.ndarray,
+    personality: str = "icc-avx512",
+    split: str = "row",
+    threads: int = 1,
+    timing: bool = True,
+    kernel: CompiledKernel | None = None,
+    warmup: bool = False,
+    l1: CacheConfig | None = None,
+    l2: CacheConfig | None = None,
+) -> RunResult:
+    """Run an AOT-compiled baseline (gcc / clang / icc / icc-avx512).
+
+    Pass a pre-compiled ``kernel`` to amortize compilation across runs
+    (AOT compilation happens "before shipping", so it is never part of
+    the measured execution, unlike the JIT's codegen overhead).
+    """
+    compiled = kernel or AotCompiler(personality).compile_spmm()
+    return _run_param_block_kernel(
+        matrix, x, compiled.program, compiled.spill_bytes,
+        system=f"aot-{compiled.personality.name}", split=split,
+        threads=threads, timing=timing, warmup=warmup, l1=l1, l2=l2,
+    )
+
+
+def run_mkl(
+    matrix: CsrMatrix,
+    x: np.ndarray,
+    split: str = "row",
+    threads: int = 1,
+    lanes: int = 16,
+    timing: bool = True,
+    warmup: bool = False,
+    l1: CacheConfig | None = None,
+    l2: CacheConfig | None = None,
+) -> RunResult:
+    """Run the MKL-like hand-scheduled AOT baseline."""
+    program = MklKernel(lanes=lanes).build()
+    return _run_param_block_kernel(
+        matrix, x, program, 0, system="mkl", split=split,
+        threads=threads, timing=timing, warmup=warmup, l1=l1, l2=l2,
+    )

@@ -1,0 +1,90 @@
+"""Workload division: row-split, nnz-split, merge-split (paper §IV-B).
+
+All three partitioners return row-granular, contiguous, covering ranges
+``[(r0, r1), ...]`` — one per thread:
+
+* **row-split** — equal row counts (may be badly nnz-imbalanced for
+  skewed matrices, the paper's Fig. 6(a) critique);
+* **nnz-split** — row boundaries chosen so each thread gets roughly
+  equal non-zeros (binary search over ``row_ptr``);
+* **merge-split** — the Merrill-Garland merge-path decomposition:
+  balance ``rows + nnz`` (the total merge-path length) per thread via a
+  2-D diagonal binary search, so row-loop overhead and non-zero work are
+  balanced together.
+
+The paper applies these row-granularly (each thread computes whole rows
+and no cross-thread accumulation is needed); partial-row merge-path is
+out of scope exactly as in the paper's Listing-2 kernels.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.sparse.csr import CsrMatrix
+
+__all__ = ["merge_split", "nnz_split", "partition", "row_split"]
+
+
+def _check_threads(num_threads: int) -> None:
+    if num_threads <= 0:
+        raise ShapeError(f"thread count must be positive, got {num_threads}")
+
+
+def _ranges_from_bounds(bounds: np.ndarray) -> list[tuple[int, int]]:
+    return [(int(bounds[t]), int(bounds[t + 1])) for t in range(len(bounds) - 1)]
+
+
+def row_split(matrix: CsrMatrix, num_threads: int) -> list[tuple[int, int]]:
+    """Evenly split rows (paper Fig. 6(a))."""
+    _check_threads(num_threads)
+    bounds = np.linspace(0, matrix.nrows, num_threads + 1).astype(np.int64)
+    return _ranges_from_bounds(bounds)
+
+
+def nnz_split(matrix: CsrMatrix, num_threads: int) -> list[tuple[int, int]]:
+    """Split at row boundaries nearest equal non-zero shares (Fig. 6(b))."""
+    _check_threads(num_threads)
+    nnz = matrix.nnz
+    targets = np.linspace(0, nnz, num_threads + 1)
+    bounds = np.searchsorted(matrix.row_ptr, targets, side="left")
+    bounds[0], bounds[-1] = 0, matrix.nrows
+    bounds = np.maximum.accumulate(bounds)
+    return _ranges_from_bounds(bounds)
+
+
+def merge_split(matrix: CsrMatrix, num_threads: int) -> list[tuple[int, int]]:
+    """Merge-path split: equalize ``rows + nnz`` per thread (Fig. 6(c)).
+
+    The merge path of Merrill & Garland walks an ``(m+1) x (nnz+1)`` grid;
+    cutting it at diagonals ``k * (m + nnz) / T`` balances the combined
+    row-traversal and non-zero work.  The cut diagonal intersects the path
+    where ``r + row_ptr[r]`` first reaches the diagonal — a binary search,
+    done here for all threads at once with ``searchsorted`` over the
+    monotone array ``row_ptr[r] + r``.
+    """
+    _check_threads(num_threads)
+    m, nnz = matrix.nrows, matrix.nnz
+    path = matrix.row_ptr + np.arange(m + 1)  # monotone: r + row_ptr[r]
+    diagonals = np.linspace(0, m + nnz, num_threads + 1)
+    bounds = np.searchsorted(path, diagonals, side="left")
+    bounds[0], bounds[-1] = 0, m
+    bounds = np.maximum.accumulate(bounds)
+    return _ranges_from_bounds(bounds)
+
+
+_SPLITS = {"row": row_split, "nnz": nnz_split, "merge": merge_split}
+
+
+def partition(matrix: CsrMatrix, num_threads: int,
+              kind: str = "row") -> list[tuple[int, int]]:
+    """Dispatch by split name: ``"row"``, ``"nnz"`` or ``"merge"``."""
+    try:
+        splitter = _SPLITS[kind]
+    except KeyError:
+        valid = ", ".join(sorted(_SPLITS))
+        raise ShapeError(
+            f"unknown split kind {kind!r}; expected one of: {valid}"
+        ) from None
+    return splitter(matrix, num_threads)

@@ -1,0 +1,42 @@
+"""Scaled synthetic twins of the paper's 14 SuiteSparse matrices.
+
+The paper evaluates on the 14 largest matrices of the SuiteSparse
+collection (Table III, 0.9-11.6 billion non-zeros).  Downloading them is
+impossible here and simulating a billion non-zeros is infeasible, so
+each matrix gets a *scaled synthetic twin*: a generator from the same
+structural family (uniform random, RMAT/Kronecker, power-law web/social
+graph, Mycielskian construction, term-document corpus graph), sized down
+by a common factor while preserving the properties the SpMM kernels are
+sensitive to — the rows:nnz ratio (mean row length) and the row-length
+skew that drives workload imbalance across the three split strategies.
+"""
+
+from repro.datasets.generators import (
+    corpus_graph,
+    mycielskian,
+    power_law_graph,
+    rmat,
+    uniform_random,
+)
+from repro.datasets.suite import (
+    DATASET_NAMES,
+    DEFAULT_SCALE,
+    DatasetSpec,
+    load,
+    spec,
+    summary_table,
+)
+
+__all__ = [
+    "DATASET_NAMES",
+    "DEFAULT_SCALE",
+    "DatasetSpec",
+    "corpus_graph",
+    "load",
+    "mycielskian",
+    "power_law_graph",
+    "rmat",
+    "spec",
+    "summary_table",
+    "uniform_random",
+]

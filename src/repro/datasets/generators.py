@@ -1,0 +1,160 @@
+"""Sparse-matrix generators for the dataset twins.
+
+Each generator produces a square :class:`CsrMatrix` with float32 values
+uniform in ``(0, 1)`` (the paper multiplies by "a random-value dense
+matrix"; the sparse values' distribution is irrelevant to the kernels,
+only the structure matters).  All generators are deterministic given a
+seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import DatasetError
+from repro.sparse.coo import CooMatrix
+from repro.sparse.csr import CsrMatrix
+
+__all__ = [
+    "corpus_graph",
+    "mycielskian",
+    "power_law_graph",
+    "rmat",
+    "uniform_random",
+]
+
+
+def _finish(nrows: int, rows: np.ndarray, cols: np.ndarray,
+            rng: np.random.Generator, name: str) -> CsrMatrix:
+    vals = rng.random(rows.size, dtype=np.float32).astype(np.float32)
+    vals = np.maximum(vals, np.float32(1e-3))  # avoid exact zeros
+    coo = CooMatrix(nrows, nrows, rows, cols, vals)
+    return CsrMatrix.from_coo(coo, name=name)
+
+
+def uniform_random(nrows: int, nnz: int, seed: int = 0,
+                   name: str = "urand") -> CsrMatrix:
+    """Erdős–Rényi-style uniform random matrix (GAP-urand's family).
+
+    Row lengths concentrate around the mean (binomial), the easy case
+    for row-split.
+    """
+    if nrows <= 0 or nnz < 0:
+        raise DatasetError(f"bad shape: nrows={nrows}, nnz={nnz}")
+    rng = np.random.default_rng(seed)
+    rows = rng.integers(0, nrows, size=nnz)
+    cols = rng.integers(0, nrows, size=nnz)
+    return _finish(nrows, rows, cols, rng, name)
+
+
+def rmat(scale: int, nnz: int, a: float = 0.57, b: float = 0.19,
+         c: float = 0.19, seed: int = 0, name: str = "rmat") -> CsrMatrix:
+    """Recursive-MATrix (Kronecker) generator — GAP-kron / social graphs.
+
+    Standard Graph500 parameters (a=0.57, b=c=0.19, d=0.05) give the
+    heavy-tailed degree distribution that makes row-split imbalanced
+    (paper §IV-B.1).
+    """
+    if scale <= 0 or scale > 24:
+        raise DatasetError(f"rmat scale must be in 1..24, got {scale}")
+    d = 1.0 - a - b - c
+    if d < 0:
+        raise DatasetError("rmat probabilities exceed 1")
+    rng = np.random.default_rng(seed)
+    nrows = 1 << scale
+    rows = np.zeros(nnz, dtype=np.int64)
+    cols = np.zeros(nnz, dtype=np.int64)
+    for _ in range(scale):
+        rows <<= 1
+        cols <<= 1
+        pick = rng.random(nnz)
+        # quadrant choice: a -> (0,0), b -> (0,1), c -> (1,0), d -> (1,1)
+        right = (pick >= a) & (pick < a + b)
+        lower = (pick >= a + b) & (pick < a + b + c)
+        both = pick >= a + b + c
+        cols += (right | both).astype(np.int64)
+        rows += (lower | both).astype(np.int64)
+    return _finish(nrows, rows, cols, rng, name)
+
+
+def power_law_graph(nrows: int, nnz: int, alpha: float = 2.1,
+                    locality: float = 0.5, seed: int = 0,
+                    name: str = "powerlaw") -> CsrMatrix:
+    """Power-law out-degree graph with host locality — web/social twins.
+
+    Out-degrees follow a truncated Pareto (exponent ``alpha``); targets
+    mix near-diagonal links (crawl/host locality, probability
+    ``locality``) with preferential global links, mimicking uk-2005-style
+    web crawls and twitter-style social graphs.
+    """
+    if not 1.0 < alpha:
+        raise DatasetError(f"alpha must exceed 1, got {alpha}")
+    if not 0.0 <= locality <= 1.0:
+        raise DatasetError(f"locality must be in [0,1], got {locality}")
+    rng = np.random.default_rng(seed)
+    raw = rng.pareto(alpha - 1.0, size=nrows) + 1.0
+    degrees = np.maximum(1, np.round(raw * nnz / raw.sum())).astype(np.int64)
+    degrees = np.minimum(degrees, nrows)
+    rows = np.repeat(np.arange(nrows, dtype=np.int64), degrees)
+    total = int(degrees.sum())
+    local = rng.random(total) < locality
+    # local links: small signed offsets around the source
+    offsets = rng.geometric(0.05, size=total)
+    signs = rng.integers(0, 2, size=total) * 2 - 1
+    local_cols = (rows + signs * offsets) % nrows
+    # global links: preferential attachment towards low ids (hubs)
+    global_cols = (nrows * rng.power(2.0, size=total)).astype(np.int64)
+    global_cols = nrows - 1 - np.minimum(global_cols, nrows - 1)
+    cols = np.where(local, local_cols, global_cols)
+    return _finish(nrows, rows, cols, rng, name)
+
+
+def corpus_graph(nrows: int, nnz: int, seed: int = 0,
+                 name: str = "corpus") -> CsrMatrix:
+    """Term co-occurrence style graph — MOLIERE / AGATHA twins.
+
+    Literature knowledge graphs have very high mean degree and a core of
+    extremely dense hub rows (common terms); modeled as a Zipf-degree
+    graph with Zipf-distributed targets and no locality.
+    """
+    rng = np.random.default_rng(seed)
+    raw = rng.pareto(1.3, size=nrows) + 1.0
+    degrees = np.maximum(1, np.round(raw * nnz / raw.sum())).astype(np.int64)
+    degrees = np.minimum(degrees, nrows)
+    rows = np.repeat(np.arange(nrows, dtype=np.int64), degrees)
+    total = int(degrees.sum())
+    cols = (nrows * rng.power(1.5, size=total)).astype(np.int64)
+    cols = nrows - 1 - np.minimum(cols, nrows - 1)
+    perm = rng.permutation(nrows)  # hubs scattered over the id space
+    cols = perm[cols]
+    return _finish(nrows, rows, cols, rng, name)
+
+
+def mycielskian(k: int, seed: int = 0, name: str = "") -> CsrMatrix:
+    """The Mycielskian graph M_k as a symmetric 0/1-pattern matrix.
+
+    Exact construction (not a statistical twin): M_2 = K_2 and
+    M_{i+1} = Mycielskian(M_i), the same family as the paper's
+    mycielskian19/20.  ``M_k`` has ``3 * 2^(k-2) - 1`` vertices and is
+    unusually dense — its huge mean row length is what stresses the
+    column-merging kernels.
+    """
+    if k < 2 or k > 14:
+        raise DatasetError(f"mycielskian order must be in 2..14, got {k}")
+    edges = {(0, 1)}
+    n = 2
+    for _ in range(k - 2):
+        # vertices: originals 0..n-1, copies n..2n-1, apex 2n
+        new_edges = set(edges)
+        for u, v in edges:
+            new_edges.add((u, v + n))
+            new_edges.add((v, u + n))
+        for copy in range(n, 2 * n):
+            new_edges.add((copy, 2 * n))
+        edges = new_edges
+        n = 2 * n + 1
+    pairs = np.array(sorted(edges), dtype=np.int64)
+    rows = np.concatenate([pairs[:, 0], pairs[:, 1]])
+    cols = np.concatenate([pairs[:, 1], pairs[:, 0]])
+    rng = np.random.default_rng(seed)
+    return _finish(n, rows, cols, rng, name or f"mycielskian{k}")

@@ -1,0 +1,60 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by this library derives from :class:`ReproError` so that
+callers can catch library failures without also swallowing programming errors
+such as :class:`TypeError`.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class SparseFormatError(ReproError):
+    """A sparse matrix is structurally invalid (bad row_ptr, indices, ...)."""
+
+
+class ShapeError(ReproError):
+    """Operand shapes are incompatible for the requested operation."""
+
+
+class AssemblyError(ReproError):
+    """A program could not be assembled (unknown label, bad operands, ...)."""
+
+
+class EncodingError(AssemblyError):
+    """An instruction has no machine-code encoding in the supported subset."""
+
+
+class DisassemblyError(ReproError):
+    """A byte sequence could not be decoded back into an instruction."""
+
+
+class MachineError(ReproError):
+    """The simulated machine entered an invalid state."""
+
+
+class SegmentationFault(MachineError):
+    """A simulated access touched unmapped memory."""
+
+
+class ExecutionLimitExceeded(MachineError):
+    """The simulator hit its dynamic instruction budget (likely a hang)."""
+
+
+class CompileError(ReproError):
+    """The AOT compiler substrate failed to compile a kernel."""
+
+
+class RegisterPressureError(CompileError):
+    """A code generator ran out of architectural registers."""
+
+
+class CodegenError(ReproError):
+    """The JIT code generator was asked for an unsupported configuration."""
+
+
+class DatasetError(ReproError):
+    """A dataset name is unknown or a generator was misconfigured."""

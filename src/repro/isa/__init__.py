@@ -1,0 +1,49 @@
+"""x86-64 instruction-set subset: registers, operands, assembler, encoder.
+
+This subpackage models the slice of x86-64 that SpMM kernels need — the
+general-purpose registers, the SSE2/AVX2/AVX-512 vector registers
+(XMM/YMM/ZMM with aliasing), memory operands, a two-pass assembler with
+labels, a machine-code encoder (REX / VEX / EVEX), and a disassembler that
+round-trips the encoder's output.
+
+The simulator (:mod:`repro.machine`) executes :class:`Instruction` objects
+directly; the byte encoder exists so that generated kernels are *real*
+machine code (inspectable, measurable, round-trippable), exactly as the
+paper's AsmJit-based generator produces.
+"""
+
+from repro.isa.assembler import Assembler, Label, Program
+from repro.isa.instructions import Instruction, MnemonicInfo, mnemonic_info
+from repro.isa.isainfo import IsaLevel, VEC_LANES_F32
+from repro.isa.operands import Imm, Mem
+from repro.isa.registers import (
+    GPR64,
+    Register,
+    RegisterFile,
+    VectorRegister,
+    gpr,
+    xmm,
+    ymm,
+    zmm,
+)
+
+__all__ = [
+    "Assembler",
+    "GPR64",
+    "Imm",
+    "Instruction",
+    "IsaLevel",
+    "Label",
+    "Mem",
+    "MnemonicInfo",
+    "Program",
+    "Register",
+    "RegisterFile",
+    "VEC_LANES_F32",
+    "VectorRegister",
+    "gpr",
+    "mnemonic_info",
+    "xmm",
+    "ymm",
+    "zmm",
+]

@@ -1,0 +1,425 @@
+"""Disassembler for the byte encodings produced by :mod:`repro.isa.encoder`.
+
+Decodes machine code back into :class:`repro.isa.instructions.Instruction`
+objects.  Branch targets come back as :class:`Imm` holding the *absolute
+byte offset* of the target within the decoded buffer (labels cannot be
+recovered from bytes).  The decoder is intentionally strict: it accepts
+exactly the encoding choices our encoder makes and raises
+:class:`DisassemblyError` on anything else, which turns any encoder
+regression into a loud round-trip test failure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import DisassemblyError
+from repro.isa.instructions import Instruction
+from repro.isa.operands import Imm, Mem
+from repro.isa.registers import gpr, xmm, ymm, zmm
+
+__all__ = ["DecodedInstruction", "decode_one", "disassemble"]
+
+_VLEN_REG = {128: xmm, 256: ymm, 512: zmm}
+
+_JCC_BY_OPCODE = {
+    0x84: "je", 0x85: "jne", 0x82: "jb", 0x83: "jae", 0x86: "jbe",
+    0x87: "ja", 0x8C: "jl", 0x8D: "jge", 0x8E: "jle", 0x8F: "jg",
+}
+_ALU_BY_RM_STORE = {0x01: "add", 0x09: "or", 0x21: "and", 0x29: "sub",
+                    0x31: "xor", 0x39: "cmp"}
+_ALU_BY_RM_LOAD = {0x03: "add", 0x0B: "or", 0x23: "and", 0x2B: "sub",
+                   0x33: "xor", 0x3B: "cmp"}
+_ALU_BY_DIGIT = {0: "add", 1: "or", 4: "and", 5: "sub", 6: "xor", 7: "cmp"}
+_SHIFT_BY_DIGIT = {4: "shl", 5: "shr", 7: "sar"}
+
+# (map, pp, opcode) -> (mnemonic, form); forms: "3op", "load", "store",
+# "bcast", "extract", "gather", "shift_imm"
+_VEC_BY_KEY = {
+    (1, 0, 0x57): ("vxorps", "3op"),
+    (1, 0, 0x58): ("vaddps", "3op"),
+    (1, 0, 0x59): ("vmulps", "3op"),
+    (1, 0, 0x5C): ("vsubps", "3op"),
+    (1, 0, 0x5E): ("vdivps", "3op"),
+    (1, 2, 0x58): ("vaddss", "3op"),
+    (1, 2, 0x59): ("vmulss", "3op"),
+    (1, 2, 0x5C): ("vsubss", "3op"),
+    (1, 3, 0x7C): ("vhaddps", "3op"),
+    (2, 1, 0xB8): ("vfmadd231ps", "3op"),
+    (2, 1, 0xB9): ("vfmadd231ss", "3op"),
+    (1, 1, 0xFE): ("vpaddd", "3op"),
+    (2, 1, 0x40): ("vpmulld", "3op"),
+    (1, 0, 0x10): ("vmovups", "load"),
+    (1, 0, 0x11): ("vmovups", "store"),
+    (1, 0, 0x28): ("vmovaps", "load"),
+    (1, 0, 0x29): ("vmovaps", "store"),
+    (1, 2, 0x10): ("vmovss", "load"),
+    (1, 2, 0x11): ("vmovss", "store"),
+    (1, 2, 0x6F): ("vmovdqu32", "load"),
+    (1, 2, 0x7F): ("vmovdqu32", "store"),
+    (2, 1, 0x18): ("vbroadcastss", "bcast"),
+    (2, 1, 0x58): ("vpbroadcastd", "bcast"),
+    (3, 1, 0x19): ("vextractf128", "extract"),
+    (3, 1, 0x1B): ("vextractf64x4", "extract"),
+    (2, 1, 0x92): ("vgatherdps", "gather"),
+    (1, 1, 0x72): ("vpslld", "shift_imm"),
+}
+
+
+@dataclass(frozen=True)
+class DecodedInstruction:
+    """One decoded instruction plus its position in the byte stream."""
+
+    offset: int
+    length: int
+    instruction: Instruction
+
+    def __str__(self) -> str:
+        return f"{self.offset:6d}: {self.instruction}"
+
+
+class _Reader:
+    def __init__(self, data: bytes, pos: int) -> None:
+        self.data = data
+        self.pos = pos
+
+    def u8(self) -> int:
+        if self.pos >= len(self.data):
+            raise DisassemblyError("unexpected end of code")
+        value = self.data[self.pos]
+        self.pos += 1
+        return value
+
+    def peek(self) -> int:
+        if self.pos >= len(self.data):
+            raise DisassemblyError("unexpected end of code")
+        return self.data[self.pos]
+
+    def i8(self) -> int:
+        value = self.u8()
+        return value - 256 if value >= 128 else value
+
+    def i32(self) -> int:
+        raw = int.from_bytes(self._take(4), "little")
+        return raw - (1 << 32) if raw >= (1 << 31) else raw
+
+    def i64(self) -> int:
+        raw = int.from_bytes(self._take(8), "little")
+        return raw - (1 << 64) if raw >= (1 << 63) else raw
+
+    def _take(self, count: int) -> bytes:
+        if self.pos + count > len(self.data):
+            raise DisassemblyError("unexpected end of code")
+        chunk = self.data[self.pos: self.pos + count]
+        self.pos += count
+        return chunk
+
+
+@dataclass
+class _ModRM:
+    mod: int
+    reg: int
+    rm: int
+    mem: Mem | None
+
+
+def _read_modrm(
+    reader: _Reader,
+    rex_r: int,
+    rex_x: int,
+    rex_b: int,
+    reg_hi: int = 0,
+    mem_size: int = 8,
+    vsib_width: int = 0,
+    vsib_hi: int = 0,
+    evex: bool = False,
+) -> _ModRM:
+    byte = reader.u8()
+    mod, reg, rm = byte >> 6, (byte >> 3) & 7, byte & 7
+    reg_code = reg | (rex_r << 3) | (reg_hi << 4)
+    if mod == 3:
+        return _ModRM(mod, reg_code, rm | (rex_b << 3), None)
+    base = index = None
+    scale = 1
+    if rm == 4:
+        sib = reader.u8()
+        scale = 1 << (sib >> 6)
+        index_code = ((sib >> 3) & 7) | (rex_x << 3)
+        base_code = (sib & 7) | (rex_b << 3)
+        if vsib_width:
+            index = _VLEN_REG[vsib_width](index_code | (vsib_hi << 4))
+        elif index_code != 4:
+            index = gpr(index_code)
+        if (sib & 7) == 5 and mod == 0:
+            base = None  # disp32, no base
+        else:
+            base = gpr(base_code)
+    else:
+        base = gpr(rm | (rex_b << 3))
+    if mod == 1:
+        if evex:
+            raise DisassemblyError("EVEX disp8 not produced by our encoder")
+        disp = reader.i8()
+    elif mod == 2 or (mod == 0 and base is None):
+        disp = reader.i32()
+    else:
+        disp = 0
+    if scale == 1 and index is None and base is not None and vsib_width == 0:
+        mem = Mem(base, None, 1, disp, mem_size)
+    else:
+        mem = Mem(base, index, scale, disp, mem_size)
+    return _ModRM(mod, reg_code, 0, mem)
+
+
+def _gpr_or_mem(modrm: _ModRM, rex_b: int):
+    if modrm.mem is not None:
+        return modrm.mem
+    return gpr(modrm.rm)
+
+
+def _decode_legacy(reader: _Reader, offset: int, lock: bool) -> Instruction:
+    rex_w = rex_r = rex_x = rex_b = 0
+    byte = reader.u8()
+    if 0x40 <= byte <= 0x4F:
+        rex_w, rex_r, rex_x, rex_b = (
+            (byte >> 3) & 1, (byte >> 2) & 1, (byte >> 1) & 1, byte & 1
+        )
+        byte = reader.u8()
+    size = 8 if rex_w else 4
+
+    def rm_modrm(mem_size: int = size) -> _ModRM:
+        return _read_modrm(reader, rex_r, rex_x, rex_b, mem_size=mem_size)
+
+    if byte == 0xC3:
+        return Instruction("ret")
+    if byte == 0x90:
+        return Instruction("nop")
+    if byte == 0xE9:
+        rel = reader.i32()
+        return Instruction("jmp", (Imm(reader.pos + rel, 64),))
+    if byte == 0x0F:
+        second = reader.u8()
+        if second in _JCC_BY_OPCODE:
+            rel = reader.i32()
+            return Instruction(_JCC_BY_OPCODE[second], (Imm(reader.pos + rel, 64),))
+        if second == 0xAF:
+            modrm = rm_modrm()
+            return Instruction("imul", (gpr(modrm.reg), _gpr_or_mem(modrm, rex_b)))
+        if second == 0xC1:
+            modrm = rm_modrm()
+            return Instruction(
+                "xadd", (_gpr_or_mem(modrm, rex_b), gpr(modrm.reg)), lock=lock
+            )
+        raise DisassemblyError(f"unknown 0F opcode {second:#x} at {offset}")
+    if 0xB8 <= byte <= 0xBF:
+        reg_code = (byte - 0xB8) | (rex_b << 3)
+        return Instruction("mov", (gpr(reg_code), Imm(reader.i64(), 64)))
+    if byte == 0xC7:
+        modrm = rm_modrm()
+        return Instruction("mov", (_gpr_or_mem(modrm, rex_b), Imm(reader.i32(), 32)))
+    if byte == 0x8B:
+        modrm = rm_modrm()
+        return Instruction("mov", (gpr(modrm.reg), _gpr_or_mem(modrm, rex_b)))
+    if byte == 0x89:
+        modrm = rm_modrm()
+        return Instruction("mov", (_gpr_or_mem(modrm, rex_b), gpr(modrm.reg)))
+    if byte in _ALU_BY_RM_LOAD:
+        modrm = rm_modrm()
+        return Instruction(
+            _ALU_BY_RM_LOAD[byte], (gpr(modrm.reg), _gpr_or_mem(modrm, rex_b))
+        )
+    if byte in _ALU_BY_RM_STORE:
+        modrm = rm_modrm()
+        return Instruction(
+            _ALU_BY_RM_STORE[byte], (_gpr_or_mem(modrm, rex_b), gpr(modrm.reg))
+        )
+    if byte in (0x83, 0x81):
+        modrm = rm_modrm()
+        width = 8 if byte == 0x83 else 32
+        value = reader.i8() if byte == 0x83 else reader.i32()
+        mnemonic = _ALU_BY_DIGIT.get(modrm.reg & 7)
+        if mnemonic is None:
+            raise DisassemblyError(f"unknown group-1 digit {modrm.reg & 7}")
+        return Instruction(mnemonic, (_gpr_or_mem(modrm, rex_b), Imm(value, width)))
+    if byte == 0x85:
+        modrm = rm_modrm()
+        return Instruction("test", (_gpr_or_mem(modrm, rex_b), gpr(modrm.reg)))
+    if byte in (0x6B, 0x69):
+        modrm = rm_modrm()
+        value = reader.i8() if byte == 0x6B else reader.i32()
+        width = 8 if byte == 0x6B else 32
+        return Instruction(
+            "imul", (gpr(modrm.reg), _gpr_or_mem(modrm, rex_b), Imm(value, width))
+        )
+    if byte == 0xFF:
+        modrm = rm_modrm()
+        if (modrm.reg & 7) == 0:
+            return Instruction("inc", (_gpr_or_mem(modrm, rex_b),))
+        if (modrm.reg & 7) == 1:
+            return Instruction("dec", (_gpr_or_mem(modrm, rex_b),))
+        raise DisassemblyError(f"unknown FF digit {modrm.reg & 7}")
+    if byte == 0xF7:
+        modrm = rm_modrm()
+        if (modrm.reg & 7) == 3:
+            return Instruction("neg", (_gpr_or_mem(modrm, rex_b),))
+        raise DisassemblyError(f"unknown F7 digit {modrm.reg & 7}")
+    if byte == 0xC1:
+        modrm = rm_modrm()
+        mnemonic = _SHIFT_BY_DIGIT.get(modrm.reg & 7)
+        if mnemonic is None:
+            raise DisassemblyError(f"unknown shift digit {modrm.reg & 7}")
+        return Instruction(mnemonic, (_gpr_or_mem(modrm, rex_b), Imm(reader.i8(), 8)))
+    if byte == 0x8D:
+        modrm = rm_modrm()
+        if modrm.mem is None:
+            raise DisassemblyError("lea needs a memory operand")
+        return Instruction("lea", (gpr(modrm.reg), modrm.mem))
+    raise DisassemblyError(f"unknown opcode {byte:#x} at offset {offset}")
+
+
+def _decode_vex(reader: _Reader) -> Instruction:
+    assert reader.u8() == 0xC4
+    byte1 = reader.u8()
+    byte2 = reader.u8()
+    rex_r, rex_x, rex_b = (byte1 >> 7) ^ 1, ((byte1 >> 6) & 1) ^ 1, ((byte1 >> 5) & 1) ^ 1
+    mmap = byte1 & 0x1F
+    vvvv = (~(byte2 >> 3)) & 0xF
+    vlen = 256 if (byte2 >> 2) & 1 else 128
+    pp = byte2 & 3
+    opcode = reader.u8()
+    return _decode_vector(
+        reader, mmap, pp, opcode, vlen, vvvv,
+        rex_r, rex_x, rex_b, reg_hi=0, v_hi=0, evex=False,
+    )
+
+
+def _decode_evex(reader: _Reader) -> Instruction:
+    assert reader.u8() == 0x62
+    p0, p1, p2 = reader.u8(), reader.u8(), reader.u8()
+    rex_r, rex_x, rex_b = (p0 >> 7) ^ 1, ((p0 >> 6) & 1) ^ 1, ((p0 >> 5) & 1) ^ 1
+    reg_hi = ((p0 >> 4) & 1) ^ 1
+    mmap = p0 & 3
+    vvvv = (~(p1 >> 3)) & 0xF
+    pp = p1 & 3
+    vlen = {0: 128, 1: 256, 2: 512}[(p2 >> 5) & 3]
+    v_hi = ((p2 >> 3) & 1) ^ 1
+    opcode = reader.u8()
+    return _decode_vector(
+        reader, mmap, pp, opcode, vlen, vvvv,
+        rex_r, rex_x, rex_b, reg_hi, v_hi, evex=True,
+    )
+
+
+def _decode_vector(
+    reader: _Reader,
+    mmap: int,
+    pp: int,
+    opcode: int,
+    vlen: int,
+    vvvv: int,
+    rex_r: int,
+    rex_x: int,
+    rex_b: int,
+    reg_hi: int,
+    v_hi: int,
+    evex: bool,
+) -> Instruction:
+    entry = _VEC_BY_KEY.get((mmap, pp, opcode))
+    if entry is None:
+        raise DisassemblyError(
+            f"unknown vector opcode map={mmap} pp={pp} op={opcode:#x}"
+        )
+    mnemonic, form = entry
+    make_reg = _VLEN_REG[vlen]
+    scalar = mnemonic in ("vmovss", "vaddss", "vmulss", "vsubss", "vfmadd231ss")
+    if scalar:
+        make_reg = xmm
+    mem_size = 4 if scalar or form in ("bcast", "gather") else vlen // 8
+    if mnemonic in ("vextractf128", "vextractf64x4"):
+        mem_size = 16 if mnemonic == "vextractf128" else 32
+    vsib_width = vlen if form == "gather" else 0
+
+    modrm = _read_modrm(
+        reader, rex_r, rex_x, rex_b, reg_hi,
+        mem_size=mem_size, vsib_width=vsib_width,
+        vsib_hi=(v_hi if form == "gather" else 0), evex=evex,
+    )
+    if modrm.mem is not None:
+        rm_operand: Mem | object = modrm.mem
+    else:
+        rm_code = modrm.rm | ((rex_x << 4) if evex else 0)
+        rm_operand = make_reg(rm_code)
+        if evex:
+            # For reg-reg EVEX, X carries rm bit 4 (already folded above) and
+            # B carries bit 3.
+            rm_operand = make_reg((modrm.rm & 0xF) | (rex_x << 4))
+    reg_operand = make_reg(modrm.reg)
+
+    if form == "3op":
+        vvvv_code = vvvv | ((v_hi << 4) if evex else 0)
+        src1 = make_reg(vvvv_code)
+        return Instruction(mnemonic, (reg_operand, src1, rm_operand))
+    if form == "load":
+        if mnemonic == "vmovss":
+            reg_operand = xmm(modrm.reg)
+        return Instruction(mnemonic, (reg_operand, rm_operand))
+    if form == "store":
+        if mnemonic == "vmovss":
+            reg_operand = xmm(modrm.reg)
+        return Instruction(mnemonic, (rm_operand, reg_operand))
+    if form == "bcast":
+        src = rm_operand if modrm.mem is not None else xmm(
+            rm_operand.code if hasattr(rm_operand, "code") else 0
+        )
+        return Instruction(mnemonic, (reg_operand, src))
+    if form == "extract":
+        imm = Imm(reader.i8(), 8)
+        dst_width = 128 if mnemonic == "vextractf128" else 256
+        src_width = 256 if mnemonic == "vextractf128" else 512
+        src = _VLEN_REG[src_width](modrm.reg)
+        if modrm.mem is not None:
+            dst: Mem | object = modrm.mem
+        else:
+            dst = _VLEN_REG[dst_width](rm_operand.code)
+        return Instruction(mnemonic, (dst, src, imm))
+    if form == "gather":
+        if modrm.mem is None:
+            raise DisassemblyError("vgatherdps requires a memory operand")
+        return Instruction(mnemonic, (reg_operand, modrm.mem))
+    if form == "shift_imm":
+        imm = Imm(reader.i8(), 8)
+        dst_code = vvvv | ((v_hi << 4) if evex else 0)
+        src = rm_operand
+        return Instruction(mnemonic, (make_reg(dst_code), src, imm))
+    raise DisassemblyError(f"unhandled form {form!r}")
+
+
+def decode_one(data: bytes, offset: int = 0) -> DecodedInstruction:
+    """Decode a single instruction starting at ``offset``."""
+    reader = _Reader(data, offset)
+    lock = False
+    if reader.peek() == 0xF0:
+        reader.u8()
+        lock = True
+    first = reader.peek()
+    if first == 0xC4:
+        insn = _decode_vex(reader)
+    elif first == 0x62:
+        insn = _decode_evex(reader)
+    else:
+        insn = _decode_legacy(reader, offset, lock)
+        return DecodedInstruction(offset, reader.pos - offset, insn)
+    if lock:
+        raise DisassemblyError("LOCK prefix on vector instruction")
+    return DecodedInstruction(offset, reader.pos - offset, insn)
+
+
+def disassemble(data: bytes) -> list[DecodedInstruction]:
+    """Decode an entire byte buffer into a list of instructions."""
+    decoded: list[DecodedInstruction] = []
+    offset = 0
+    while offset < len(data):
+        item = decode_one(data, offset)
+        decoded.append(item)
+        offset += item.length
+    return decoded

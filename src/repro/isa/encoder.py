@@ -1,0 +1,554 @@
+"""Machine-code encoder: REX / VEX / EVEX byte emission.
+
+Encodes the instruction subset in :mod:`repro.isa.instructions` to real
+x86-64 machine code.  The encoder makes a few fixed layout choices to keep
+the two-pass assembly deterministic:
+
+* branches always use rel32 displacement forms (``jmp`` = 5 bytes,
+  ``jcc`` = 6 bytes);
+* VEX always uses the three-byte ``C4`` form;
+* EVEX memory operands never use compressed disp8 (disp32 instead);
+* ``vgatherdps`` is emitted in its EVEX form with an implicit all-ones
+  ``k1`` mask (the sequence real AVX-512 gather loops use after a
+  ``kxnorw k1,k1,k1``, which our subset leaves implicit).
+
+These choices are documented deviations, not bugs; the disassembler in
+:mod:`repro.isa.disasm` round-trips everything this module emits.
+"""
+
+from __future__ import annotations
+
+from repro.errors import EncodingError
+from repro.isa.assembler import Program
+from repro.isa.instructions import Instruction
+from repro.isa.operands import Imm, Mem
+from repro.isa.registers import GPR64, Register, VectorRegister
+
+__all__ = ["encode_instruction", "encode_program", "instruction_length"]
+
+# Opcode maps.
+MAP_0F, MAP_0F38, MAP_0F3A = 1, 2, 3
+# Mandatory-prefix ("pp") field values.
+PP_NONE, PP_66, PP_F3, PP_F2 = 0, 1, 2, 3
+
+_SCALE_LOG = {1: 0, 2: 1, 4: 2, 8: 3}
+
+
+def _i32(value: int) -> bytes:
+    return (value & 0xFFFFFFFF).to_bytes(4, "little")
+
+
+def _i8(value: int) -> bytes:
+    return (value & 0xFF).to_bytes(1, "little")
+
+
+def _i64(value: int) -> bytes:
+    return (value & 0xFFFFFFFFFFFFFFFF).to_bytes(8, "little")
+
+
+class _MemEncoding:
+    """ModRM.mod/rm plus SIB/displacement tail for one memory operand."""
+
+    def __init__(self, mem: Mem, allow_disp8: bool = True) -> None:
+        self.x = 0  # REX.X / EVEX.X bit (index bit 3)
+        self.b = 0  # REX.B bit (base bit 3)
+        self.vsib_high = 0  # EVEX.V' (vector index bit 4)
+        base, index = mem.base, mem.index
+        if index is not None and isinstance(index, GPR64) and index.code == 4:
+            raise EncodingError("rsp cannot be an index register")
+
+        need_sib = (
+            index is not None
+            or base is None
+            or (base.code & 7) == 4  # rsp/r12 demand a SIB byte
+        )
+        disp = mem.disp
+        if base is None:
+            # [index*scale + disp32] form: mod=00, base=101.
+            self.mod, self.rm = 0, 4
+            tail = self._sib(mem, base_code=5)
+            tail += _i32(disp)
+            self.tail = tail
+            return
+
+        base_low = base.code & 7
+        self.b = (base.code >> 3) & 1
+        force_disp = base_low == 5  # rbp/r13 cannot use mod=00
+        if disp == 0 and not force_disp:
+            self.mod, disp_bytes = 0, b""
+        elif allow_disp8 and -128 <= disp < 128:
+            self.mod, disp_bytes = 1, _i8(disp)
+        else:
+            self.mod, disp_bytes = 2, _i32(disp)
+        if need_sib:
+            self.rm = 4
+            self.tail = self._sib(mem, base_code=base_low) + disp_bytes
+        else:
+            self.rm = base_low
+            self.tail = disp_bytes
+
+    def _sib(self, mem: Mem, base_code: int) -> bytes:
+        index = mem.index
+        if index is None:
+            index_code = 4  # "no index"
+        else:
+            index_code = index.code & 7
+            self.x = (index.code >> 3) & 1
+            if isinstance(index, VectorRegister):
+                self.vsib_high = (index.code >> 4) & 1
+        scale = _SCALE_LOG[mem.scale]
+        return bytes([(scale << 6) | (index_code << 3) | base_code])
+
+    def modrm(self, reg_field: int) -> bytes:
+        return bytes([(self.mod << 6) | ((reg_field & 7) << 3) | self.rm])
+
+
+def _rex(w: int, r: int, x: int, b: int, force: bool = False) -> bytes:
+    if w or r or x or b or force:
+        return bytes([0x40 | (w << 3) | (r << 2) | (x << 1) | b])
+    return b""
+
+
+def _vex3(r: int, x: int, b: int, mmap: int, w: int, vvvv: int, vlen: int, pp: int) -> bytes:
+    byte1 = ((r ^ 1) << 7) | ((x ^ 1) << 6) | ((b ^ 1) << 5) | mmap
+    vl = 1 if vlen == 256 else 0
+    byte2 = (w << 7) | (((~vvvv) & 0xF) << 3) | (vl << 2) | pp
+    return bytes([0xC4, byte1, byte2])
+
+
+def _evex(
+    r: int,
+    x: int,
+    b: int,
+    r_hi: int,
+    mmap: int,
+    w: int,
+    vvvv: int,
+    vlen: int,
+    pp: int,
+    v_hi: int = 0,
+    aaa: int = 0,
+) -> bytes:
+    p0 = ((r ^ 1) << 7) | ((x ^ 1) << 6) | ((b ^ 1) << 5) | ((r_hi ^ 1) << 4) | mmap
+    p1 = (w << 7) | (((~vvvv) & 0xF) << 3) | 0x04 | pp
+    vl = {128: 0, 256: 1, 512: 2}[vlen]
+    p2 = (vl << 5) | ((v_hi ^ 1) << 3) | aaa
+    return bytes([0x62, p0, p1, p2])
+
+
+def _reg_bits(reg: Register) -> tuple[int, int, int]:
+    """(low3, bit3, bit4) of a register encoding number."""
+    return reg.code & 7, (reg.code >> 3) & 1, (reg.code >> 4) & 1
+
+
+def _needs_evex(insn: Instruction) -> bool:
+    for op in insn.operands:
+        if isinstance(op, VectorRegister) and (op.width == 512 or op.code >= 16):
+            return True
+        if isinstance(op, Mem):
+            if op.size == 64:
+                return True
+            if isinstance(op.index, VectorRegister) and (
+                op.index.width == 512 or op.index.code >= 16
+            ):
+                return True
+    return insn.mnemonic in _EVEX_ONLY
+
+
+_EVEX_ONLY = {"vextractf64x4", "vgatherdps"}
+
+# ----------------------------------------------------------------------
+# Legacy integer encodings
+# ----------------------------------------------------------------------
+
+# (opcode for r/m,r direction, opcode for r,r/m direction, /digit for group-83)
+_ALU_OPS = {
+    "add": (0x01, 0x03, 0),
+    "or": (0x09, 0x0B, 1),
+    "and": (0x21, 0x23, 4),
+    "sub": (0x29, 0x2B, 5),
+    "xor": (0x31, 0x33, 6),
+    "cmp": (0x39, 0x3B, 7),
+}
+_SHIFT_DIGITS = {"shl": 4, "shr": 5, "sar": 7}
+_JCC_OPCODES = {
+    "je": 0x84, "jne": 0x85, "jb": 0x82, "jae": 0x83, "jbe": 0x86,
+    "ja": 0x87, "jl": 0x8C, "jge": 0x8D, "jle": 0x8E, "jg": 0x8F,
+}
+
+
+def _w_for(mem: Mem | None) -> int:
+    """REX.W for an integer op: follow the memory access size, default 64-bit."""
+    if mem is None:
+        return 1
+    if mem.size == 8:
+        return 1
+    if mem.size == 4:
+        return 0
+    raise EncodingError(f"integer ops support 4/8-byte memory, got {mem.size}")
+
+
+def _legacy_rm(
+    opcode: bytes, reg_field: int, rm_op: Register | Mem, w: int, lock: bool = False
+) -> bytes:
+    prefix = b"\xf0" if lock else b""
+    if isinstance(rm_op, Mem):
+        enc = _MemEncoding(rm_op)
+        rex = _rex(w, reg_field >> 3, enc.x, enc.b)
+        return prefix + rex + opcode + enc.modrm(reg_field) + enc.tail
+    low, b3, _ = _reg_bits(rm_op)
+    rex = _rex(w, reg_field >> 3, 0, b3)
+    modrm = bytes([0xC0 | ((reg_field & 7) << 3) | low])
+    return prefix + rex + opcode + modrm
+
+
+def _enc_mov(insn: Instruction) -> bytes:
+    dst, src = insn.operands
+    if isinstance(dst, GPR64) and isinstance(src, Imm):
+        if src.width == 64:
+            low, b3, _ = _reg_bits(dst)
+            return _rex(1, 0, 0, b3) + bytes([0xB8 + low]) + _i64(src.value)
+        return _legacy_rm(b"\xc7", 0, dst, w=1) + _i32(src.value)
+    if isinstance(dst, Mem) and isinstance(src, Imm):
+        return _legacy_rm(b"\xc7", 0, dst, w=_w_for(dst)) + _i32(src.value)
+    if isinstance(dst, GPR64) and isinstance(src, Mem):
+        return _legacy_rm(b"\x8b", dst.code, src, w=_w_for(src))
+    if isinstance(dst, Mem) and isinstance(src, GPR64):
+        return _legacy_rm(b"\x89", src.code, dst, w=_w_for(dst))
+    if isinstance(dst, GPR64) and isinstance(src, GPR64):
+        return _legacy_rm(b"\x8b", dst.code, src, w=1)
+    raise EncodingError(f"unsupported mov form: {insn}")
+
+
+def _enc_alu(insn: Instruction) -> bytes:
+    rm_store, rm_load, digit = _ALU_OPS[insn.mnemonic]
+    dst, src = insn.operands
+    if isinstance(src, Imm):
+        if not isinstance(dst, (GPR64, Mem)):
+            raise EncodingError(f"unsupported {insn.mnemonic} form: {insn}")
+        w = _w_for(dst if isinstance(dst, Mem) else None)
+        if src.width == 8:
+            return _legacy_rm(b"\x83", digit, dst, w=w) + _i8(src.value)
+        if src.width == 32:
+            return _legacy_rm(b"\x81", digit, dst, w=w) + _i32(src.value)
+        raise EncodingError(f"{insn.mnemonic} immediate too wide: {src}")
+    if isinstance(dst, GPR64) and isinstance(src, (GPR64, Mem)):
+        w = _w_for(src if isinstance(src, Mem) else None)
+        return _legacy_rm(bytes([rm_load]), dst.code, src, w=w)
+    if isinstance(dst, Mem) and isinstance(src, GPR64):
+        return _legacy_rm(bytes([rm_store]), src.code, dst, w=_w_for(dst))
+    raise EncodingError(f"unsupported {insn.mnemonic} form: {insn}")
+
+
+def _enc_test(insn: Instruction) -> bytes:
+    dst, src = insn.operands
+    if isinstance(src, GPR64) and isinstance(dst, (GPR64, Mem)):
+        return _legacy_rm(b"\x85", src.code, dst, w=1)
+    raise EncodingError(f"unsupported test form: {insn}")
+
+
+def _enc_imul(insn: Instruction) -> bytes:
+    if len(insn.operands) == 2:
+        dst, src = insn.operands
+        if isinstance(dst, GPR64) and isinstance(src, (GPR64, Mem)):
+            return _legacy_rm(b"\x0f\xaf", dst.code, src, w=1)
+    else:
+        dst, src, imm = insn.operands
+        if (
+            isinstance(dst, GPR64)
+            and isinstance(src, (GPR64, Mem))
+            and isinstance(imm, Imm)
+        ):
+            if imm.width == 8:
+                return _legacy_rm(b"\x6b", dst.code, src, w=1) + _i8(imm.value)
+            return _legacy_rm(b"\x69", dst.code, src, w=1) + _i32(imm.value)
+    raise EncodingError(f"unsupported imul form: {insn}")
+
+
+def _enc_unary(insn: Instruction) -> bytes:
+    (dst,) = insn.operands
+    table = {"inc": (b"\xff", 0), "dec": (b"\xff", 1), "neg": (b"\xf7", 3)}
+    opcode, digit = table[insn.mnemonic]
+    if isinstance(dst, (GPR64, Mem)):
+        return _legacy_rm(opcode, digit, dst, w=1)
+    raise EncodingError(f"unsupported {insn.mnemonic} form: {insn}")
+
+
+def _enc_shift(insn: Instruction) -> bytes:
+    dst, amount = insn.operands
+    if isinstance(dst, (GPR64, Mem)) and isinstance(amount, Imm):
+        digit = _SHIFT_DIGITS[insn.mnemonic]
+        return _legacy_rm(b"\xc1", digit, dst, w=1) + _i8(amount.value)
+    raise EncodingError(f"unsupported {insn.mnemonic} form: {insn}")
+
+
+def _enc_lea(insn: Instruction) -> bytes:
+    dst, src = insn.operands
+    if isinstance(dst, GPR64) and isinstance(src, Mem):
+        return _legacy_rm(b"\x8d", dst.code, src, w=1)
+    raise EncodingError(f"unsupported lea form: {insn}")
+
+
+def _enc_xadd(insn: Instruction) -> bytes:
+    dst, src = insn.operands
+    if isinstance(dst, (Mem, GPR64)) and isinstance(src, GPR64):
+        w = _w_for(dst if isinstance(dst, Mem) else None)
+        return _legacy_rm(b"\x0f\xc1", src.code, dst, w=w, lock=insn.lock)
+    raise EncodingError(f"unsupported xadd form: {insn}")
+
+
+# ----------------------------------------------------------------------
+# Vector encodings (VEX / EVEX)
+# ----------------------------------------------------------------------
+
+def _vector_prefix(
+    insn_evex: bool,
+    mmap: int,
+    pp: int,
+    w: int,
+    vlen: int,
+    reg: Register,
+    vvvv_reg: Register | None,
+    rm_op: Register | Mem,
+    aaa: int = 0,
+) -> tuple[bytes, int]:
+    """Build the VEX/EVEX prefix; returns (prefix bytes, reg low bits)."""
+    reg_low, reg_b3, reg_b4 = _reg_bits(reg)
+    vvvv = vvvv_reg.code if vvvv_reg is not None else 0
+    if isinstance(rm_op, Mem):
+        enc = _MemEncoding(rm_op, allow_disp8=not insn_evex)
+        x, b = enc.x, enc.b
+        vsib_hi = enc.vsib_high
+    else:
+        rm_low, rm_b3, rm_b4 = _reg_bits(rm_op)
+        x, b = rm_b4, rm_b3  # EVEX uses X as rm bit 4 for reg-reg forms
+        vsib_hi = 0
+    if insn_evex:
+        v_hi = (vvvv >> 4) & 1 if vvvv_reg is not None else 0
+        # For VSIB, EVEX.V' carries the index register's bit 4.
+        if isinstance(rm_op, Mem) and rm_op.is_gather:
+            v_hi = vsib_hi
+        prefix = _evex(reg_b3, x, b, reg_b4, mmap, w, vvvv & 0xF, vlen, pp, v_hi, aaa)
+    else:
+        if reg_b4 or (vvvv >> 4):
+            raise EncodingError("register 16-31 requires EVEX")
+        prefix = _vex3(reg_b3, x, b, mmap, w, vvvv & 0xF, vlen, pp)
+    return prefix, reg_low
+
+
+def _vec_body(reg_low: int, rm_op: Register | Mem, evex: bool) -> bytes:
+    if isinstance(rm_op, Mem):
+        enc = _MemEncoding(rm_op, allow_disp8=not evex)
+        return enc.modrm(reg_low) + enc.tail
+    rm_low, _, _ = _reg_bits(rm_op)
+    return bytes([0xC0 | ((reg_low & 7) << 3) | rm_low])
+
+
+def _vlen_of(insn: Instruction) -> int:
+    widths = [op.width for op in insn.operands if isinstance(op, VectorRegister)]
+    if not widths:
+        raise EncodingError(f"no vector operand in {insn}")
+    return max(widths)
+
+
+# mnemonic -> (map, pp, opcode, W)
+_VEC_3OP = {
+    "vxorps": (MAP_0F, PP_NONE, 0x57, 0),
+    "vaddps": (MAP_0F, PP_NONE, 0x58, 0),
+    "vmulps": (MAP_0F, PP_NONE, 0x59, 0),
+    "vsubps": (MAP_0F, PP_NONE, 0x5C, 0),
+    "vdivps": (MAP_0F, PP_NONE, 0x5E, 0),
+    "vaddss": (MAP_0F, PP_F3, 0x58, 0),
+    "vmulss": (MAP_0F, PP_F3, 0x59, 0),
+    "vsubss": (MAP_0F, PP_F3, 0x5C, 0),
+    "vhaddps": (MAP_0F, PP_F2, 0x7C, 0),
+    "vfmadd231ps": (MAP_0F38, PP_66, 0xB8, 0),
+    "vfmadd231ss": (MAP_0F38, PP_66, 0xB9, 0),
+    "vpaddd": (MAP_0F, PP_66, 0xFE, 0),
+    "vpmulld": (MAP_0F38, PP_66, 0x40, 0),
+}
+
+# mnemonic -> (map, pp, load opcode, store opcode)
+_VEC_MOV = {
+    "vmovups": (MAP_0F, PP_NONE, 0x10, 0x11),
+    "vmovaps": (MAP_0F, PP_NONE, 0x28, 0x29),
+    "vmovss": (MAP_0F, PP_F3, 0x10, 0x11),
+    "vmovdqu32": (MAP_0F, PP_F3, 0x6F, 0x7F),
+}
+
+
+def _enc_vec_3op(insn: Instruction) -> bytes:
+    mmap, pp, opcode, w = _VEC_3OP[insn.mnemonic]
+    dst, src1, src2 = insn.operands
+    if not isinstance(dst, VectorRegister) or not isinstance(src1, VectorRegister):
+        raise EncodingError(f"unsupported form: {insn}")
+    evex = _needs_evex(insn)
+    if insn.mnemonic == "vhaddps" and evex:
+        raise EncodingError("vhaddps has no EVEX form (xmm/ymm 0-15 only)")
+    vlen = _vlen_of(insn)
+    prefix, reg_low = _vector_prefix(evex, mmap, pp, w, vlen, dst, src1, src2)
+    return prefix + bytes([opcode]) + _vec_body(reg_low, src2, evex)
+
+
+def _enc_vec_mov(insn: Instruction) -> bytes:
+    mmap, pp, load_op, store_op = _VEC_MOV[insn.mnemonic]
+    dst, src = insn.operands
+    evex = _needs_evex(insn)
+    if isinstance(dst, VectorRegister):
+        vlen = dst.width
+        prefix, reg_low = _vector_prefix(evex, mmap, pp, 0, vlen, dst, None, src)
+        return prefix + bytes([load_op]) + _vec_body(reg_low, src, evex)
+    if isinstance(dst, Mem) and isinstance(src, VectorRegister):
+        vlen = src.width
+        prefix, reg_low = _vector_prefix(evex, mmap, pp, 0, vlen, src, None, dst)
+        return prefix + bytes([store_op]) + _vec_body(reg_low, dst, evex)
+    raise EncodingError(f"unsupported {insn.mnemonic} form: {insn}")
+
+
+def _enc_broadcast(insn: Instruction) -> bytes:
+    opcode = {"vbroadcastss": 0x18, "vpbroadcastd": 0x58}[insn.mnemonic]
+    dst, src = insn.operands
+    if not isinstance(dst, VectorRegister):
+        raise EncodingError(f"unsupported {insn.mnemonic} form: {insn}")
+    evex = _needs_evex(insn)
+    prefix, reg_low = _vector_prefix(
+        evex, MAP_0F38, PP_66, 0, dst.width, dst, None, src
+    )
+    return prefix + bytes([opcode]) + _vec_body(reg_low, src, evex)
+
+
+def _enc_extract(insn: Instruction) -> bytes:
+    # Destination is the ModRM.rm operand; source register supplies reg field.
+    dst, src, imm = insn.operands
+    if not isinstance(src, VectorRegister) or not isinstance(imm, Imm):
+        raise EncodingError(f"unsupported {insn.mnemonic} form: {insn}")
+    if insn.mnemonic == "vextractf128":
+        opcode, w, vlen, evex = 0x19, 0, 256, _needs_evex(insn)
+        if evex:
+            raise EncodingError("vextractf128 with regs 16-31 unsupported; "
+                                "use vextractf64x4")
+    else:  # vextractf64x4
+        opcode, w, vlen, evex = 0x1B, 1, 512, True
+    if not isinstance(dst, (VectorRegister, Mem)):
+        raise EncodingError(f"unsupported {insn.mnemonic} form: {insn}")
+    prefix, reg_low = _vector_prefix(evex, MAP_0F3A, PP_66, w, vlen, src, None, dst)
+    return prefix + bytes([opcode]) + _vec_body(reg_low, dst, evex) + _i8(imm.value)
+
+
+def _enc_gather(insn: Instruction) -> bytes:
+    dst, mem = insn.operands
+    if not (isinstance(dst, VectorRegister) and isinstance(mem, Mem) and mem.is_gather):
+        raise EncodingError(f"vgatherdps needs (vreg, vsib mem): {insn}")
+    prefix, reg_low = _vector_prefix(
+        True, MAP_0F38, PP_66, 0, dst.width, dst, None, mem, aaa=1
+    )
+    return prefix + bytes([0x92]) + _vec_body(reg_low, mem, evex=True)
+
+
+def _enc_vpslld(insn: Instruction) -> bytes:
+    # vpslld dst, src, imm8: VEX/EVEX.66.0F 72 /6 ib, with vvvv = destination.
+    dst, src, imm = insn.operands
+    if not (
+        isinstance(dst, VectorRegister)
+        and isinstance(src, VectorRegister)
+        and isinstance(imm, Imm)
+    ):
+        raise EncodingError(f"unsupported vpslld form: {insn}")
+    src_low, src_b3, src_b4 = _reg_bits(src)
+    if _needs_evex(insn):
+        prefix = _evex(
+            0, src_b4, src_b3, 0, MAP_0F, 0,
+            dst.code & 0xF, dst.width, PP_66, v_hi=(dst.code >> 4) & 1,
+        )
+    else:
+        if dst.code >= 16 or src.code >= 16:
+            raise EncodingError("register 16-31 requires EVEX")
+        prefix = _vex3(0, 0, src_b3, MAP_0F, 0, dst.code, dst.width, PP_66)
+    modrm = bytes([0xC0 | (6 << 3) | src_low])
+    return prefix + b"\x72" + modrm + _i8(imm.value)
+
+
+# ----------------------------------------------------------------------
+# Dispatch
+# ----------------------------------------------------------------------
+
+def instruction_length(insn: Instruction) -> int:
+    """Encoded length in bytes (branches use their fixed rel32 forms)."""
+    if insn.mnemonic == "jmp":
+        return 5
+    if insn.mnemonic in _JCC_OPCODES:
+        return 6
+    return len(encode_instruction(insn, branch_rel=0))
+
+
+def encode_instruction(insn: Instruction, branch_rel: int = 0) -> bytes:
+    """Encode one instruction; ``branch_rel`` is the resolved rel32."""
+    name = insn.mnemonic
+    if name == "ret":
+        return b"\xc3"
+    if name == "nop":
+        return b"\x90"
+    if name == "jmp":
+        return b"\xe9" + _i32(branch_rel)
+    if name in _JCC_OPCODES:
+        return bytes([0x0F, _JCC_OPCODES[name]]) + _i32(branch_rel)
+    if name == "mov":
+        return _enc_mov(insn)
+    if name in _ALU_OPS:
+        return _enc_alu(insn)
+    if name == "test":
+        return _enc_test(insn)
+    if name == "imul":
+        return _enc_imul(insn)
+    if name in ("inc", "dec", "neg"):
+        return _enc_unary(insn)
+    if name in _SHIFT_DIGITS:
+        return _enc_shift(insn)
+    if name == "lea":
+        return _enc_lea(insn)
+    if name == "xadd":
+        return _enc_xadd(insn)
+    if name in _VEC_3OP:
+        return _enc_vec_3op(insn)
+    if name in _VEC_MOV:
+        return _enc_vec_mov(insn)
+    if name in ("vbroadcastss", "vpbroadcastd"):
+        return _enc_broadcast(insn)
+    if name in ("vextractf128", "vextractf64x4"):
+        return _enc_extract(insn)
+    if name == "vgatherdps":
+        return _enc_gather(insn)
+    if name == "vpslld":
+        return _enc_vpslld(insn)
+    raise EncodingError(f"no encoder for mnemonic {name!r}")
+
+
+def encode_program(program: Program) -> bytes:
+    """Encode a whole program, resolving branch displacements.
+
+    Because branch encodings have fixed lengths, a single pass computes all
+    instruction offsets, then a second pass fills in rel32 displacements.
+    """
+    offsets: list[int] = []
+    cursor = 0
+    lengths: list[int] = []
+    for insn in program.instructions:
+        offsets.append(cursor)
+        length = instruction_length(insn)
+        lengths.append(length)
+        cursor += length
+    end_offset = cursor
+
+    def label_offset(index: int) -> int:
+        return offsets[index] if index < len(offsets) else end_offset
+
+    chunks: list[bytes] = []
+    for i, insn in enumerate(program.instructions):
+        target = insn.branch_target
+        if target is not None:
+            target_off = label_offset(program.target_index(target))
+            rel = target_off - (offsets[i] + lengths[i])
+            chunks.append(encode_instruction(insn, branch_rel=rel))
+        else:
+            chunks.append(encode_instruction(insn))
+    return b"".join(chunks)

@@ -1,0 +1,322 @@
+"""Instruction objects and the mnemonic registry.
+
+Every mnemonic the library can emit is described once in
+:data:`MNEMONICS` with enough metadata for the assembler (operand roles),
+the perf counters (loads/stores/branches), and the pipeline model
+(instruction class -> port/latency mapping).  The registry covers exactly
+the subset needed by the SpMM kernels of the paper: scalar integer control
+flow, the ``lock xadd`` dynamic-dispatch primitive (Listing 1), and the
+AVX-512 data path of Listing 2 (``vxorps`` / ``vbroadcastss`` /
+``vfmadd231ps`` / ``vmovups``) plus what the AOT auto-vectorizer needs
+(gathers, horizontal reductions, integer vector arithmetic).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import AssemblyError
+from repro.isa.operands import Imm, Mem, Operand
+from repro.isa.registers import Register
+
+__all__ = ["InsnKind", "Instruction", "MnemonicInfo", "MNEMONICS", "mnemonic_info"]
+
+
+class InsnKind(enum.Enum):
+    """Coarse instruction class, used for port binding and counting."""
+
+    MOV_INT = "mov_int"
+    ALU_INT = "alu_int"
+    MUL_INT = "mul_int"
+    LEA = "lea"
+    BRANCH = "branch"
+    COND_BRANCH = "cond_branch"
+    RET = "ret"
+    NOP = "nop"
+    ATOMIC = "atomic"
+    VEC_MOV = "vec_mov"
+    VEC_XOR = "vec_xor"
+    VEC_ALU = "vec_alu"
+    VEC_MUL = "vec_mul"
+    VEC_FMA = "vec_fma"
+    VEC_BCAST = "vec_bcast"
+    VEC_GATHER = "vec_gather"
+    VEC_HADD = "vec_hadd"
+    VEC_EXTRACT = "vec_extract"
+    VEC_IMUL = "vec_imul"
+
+
+@dataclass(frozen=True)
+class MnemonicInfo:
+    """Static description of one mnemonic.
+
+    Attributes:
+        name: Assembly mnemonic, e.g. ``"vfmadd231ps"``.
+        kind: Instruction class for the pipeline model.
+        roles: Operand roles, one of ``"r"``, ``"w"``, ``"rw"`` per operand
+            position.  A memory operand in a ``"w"`` slot is a store; in an
+            ``"r"`` slot a load; ``"rw"`` is a read-modify-write.
+        arity: Allowed operand counts.
+        writes_flags: Whether RFLAGS is written.
+        reads_flags: Whether RFLAGS is read (conditional branches).
+        doc: One-line description.
+    """
+
+    name: str
+    kind: InsnKind
+    roles: tuple[str, ...]
+    arity: tuple[int, ...]
+    writes_flags: bool = False
+    reads_flags: bool = False
+    doc: str = ""
+
+
+def _info(
+    name: str,
+    kind: InsnKind,
+    roles: str,
+    arity: int | tuple[int, ...] | None = None,
+    wf: bool = False,
+    rf: bool = False,
+    doc: str = "",
+) -> MnemonicInfo:
+    role_tuple = tuple(roles.split(",")) if roles else ()
+    if arity is None:
+        arity_tuple: tuple[int, ...] = (len(role_tuple),)
+    elif isinstance(arity, int):
+        arity_tuple = (arity,)
+    else:
+        arity_tuple = arity
+    return MnemonicInfo(name, kind, role_tuple, arity_tuple, wf, rf, doc)
+
+
+_CC_BRANCHES = {
+    "je": "jump if equal (ZF=1)",
+    "jne": "jump if not equal (ZF=0)",
+    "jl": "jump if less, signed (SF!=OF)",
+    "jle": "jump if less-or-equal, signed",
+    "jg": "jump if greater, signed",
+    "jge": "jump if greater-or-equal, signed (SF=OF)",
+    "jb": "jump if below, unsigned (CF=1)",
+    "jbe": "jump if below-or-equal, unsigned",
+    "ja": "jump if above, unsigned",
+    "jae": "jump if above-or-equal, unsigned (CF=0)",
+}
+
+MNEMONICS: dict[str, MnemonicInfo] = {
+    info.name: info
+    for info in [
+        # -- integer data movement and arithmetic --------------------------
+        _info("mov", InsnKind.MOV_INT, "w,r", doc="move register/memory/immediate"),
+        _info("lea", InsnKind.LEA, "w,r", doc="load effective address"),
+        _info("add", InsnKind.ALU_INT, "rw,r", wf=True, doc="integer add"),
+        _info("sub", InsnKind.ALU_INT, "rw,r", wf=True, doc="integer subtract"),
+        _info("and", InsnKind.ALU_INT, "rw,r", wf=True, doc="bitwise and"),
+        _info("or", InsnKind.ALU_INT, "rw,r", wf=True, doc="bitwise or"),
+        _info("xor", InsnKind.ALU_INT, "rw,r", wf=True, doc="bitwise xor"),
+        _info("shl", InsnKind.ALU_INT, "rw,r", wf=True, doc="shift left"),
+        _info("shr", InsnKind.ALU_INT, "rw,r", wf=True, doc="logical shift right"),
+        _info("sar", InsnKind.ALU_INT, "rw,r", wf=True, doc="arithmetic shift right"),
+        _info("imul", InsnKind.MUL_INT, "rw,r", arity=(2, 3), wf=True,
+              doc="signed multiply (2-op: dst*=src; 3-op: dst=src*imm)"),
+        _info("inc", InsnKind.ALU_INT, "rw", wf=True, doc="increment"),
+        _info("dec", InsnKind.ALU_INT, "rw", wf=True, doc="decrement"),
+        _info("neg", InsnKind.ALU_INT, "rw", wf=True, doc="two's-complement negate"),
+        _info("cmp", InsnKind.ALU_INT, "r,r", wf=True, doc="compare (sets flags)"),
+        _info("test", InsnKind.ALU_INT, "r,r", wf=True, doc="logical compare"),
+        _info("xadd", InsnKind.ATOMIC, "rw,rw", wf=True,
+              doc="exchange-and-add; with LOCK prefix: atomic fetch-add"),
+        # -- control flow ---------------------------------------------------
+        _info("jmp", InsnKind.BRANCH, "r", doc="unconditional jump"),
+        _info("ret", InsnKind.RET, "", doc="return from jit-function"),
+        _info("nop", InsnKind.NOP, "", doc="no operation"),
+        # -- AVX / AVX-512 floating point ------------------------------------
+        _info("vxorps", InsnKind.VEC_XOR, "w,r,r",
+              doc="packed single xor; canonical register-zeroing idiom"),
+        _info("vmovups", InsnKind.VEC_MOV, "w,r",
+              doc="unaligned packed single move (load/store/reg)"),
+        _info("vmovaps", InsnKind.VEC_MOV, "w,r", doc="aligned packed single move"),
+        _info("vmovss", InsnKind.VEC_MOV, "w,r", doc="scalar single move"),
+        _info("vmovdqu32", InsnKind.VEC_MOV, "w,r",
+              doc="unaligned 32-bit-element integer vector move"),
+        _info("vbroadcastss", InsnKind.VEC_BCAST, "w,r",
+              doc="broadcast scalar single to all lanes"),
+        _info("vpbroadcastd", InsnKind.VEC_BCAST, "w,r",
+              doc="broadcast 32-bit integer to all lanes"),
+        _info("vaddps", InsnKind.VEC_ALU, "w,r,r", doc="packed single add"),
+        _info("vsubps", InsnKind.VEC_ALU, "w,r,r", doc="packed single subtract"),
+        _info("vmulps", InsnKind.VEC_MUL, "w,r,r", doc="packed single multiply"),
+        _info("vdivps", InsnKind.VEC_MUL, "w,r,r", doc="packed single divide"),
+        _info("vaddss", InsnKind.VEC_ALU, "w,r,r", doc="scalar single add"),
+        _info("vsubss", InsnKind.VEC_ALU, "w,r,r", doc="scalar single subtract"),
+        _info("vmulss", InsnKind.VEC_MUL, "w,r,r", doc="scalar single multiply"),
+        _info("vfmadd231ps", InsnKind.VEC_FMA, "rw,r,r",
+              doc="packed fused multiply-add: dst += src1 * src2"),
+        _info("vfmadd231ss", InsnKind.VEC_FMA, "rw,r,r",
+              doc="scalar fused multiply-add: dst += src1 * src2"),
+        _info("vhaddps", InsnKind.VEC_HADD, "w,r,r",
+              doc="horizontal pairwise add of packed singles"),
+        _info("vextractf128", InsnKind.VEC_EXTRACT, "w,r,r",
+              doc="extract 128-bit lane from ymm"),
+        _info("vextractf64x4", InsnKind.VEC_EXTRACT, "w,r,r",
+              doc="extract 256-bit lane from zmm"),
+        # -- AVX-512 integer + gather ----------------------------------------
+        _info("vpaddd", InsnKind.VEC_ALU, "w,r,r", doc="packed 32-bit integer add"),
+        _info("vpmulld", InsnKind.VEC_IMUL, "w,r,r",
+              doc="packed 32-bit integer multiply (low)"),
+        _info("vpslld", InsnKind.VEC_ALU, "w,r,r",
+              doc="packed 32-bit shift left by immediate"),
+        _info("vgatherdps", InsnKind.VEC_GATHER, "w,r",
+              doc="gather packed singles via 32-bit vector indices (VSIB)"),
+    ]
+}
+MNEMONICS.update(
+    {
+        name: _info(name, InsnKind.COND_BRANCH, "r", rf=True, doc=doc)
+        for name, doc in _CC_BRANCHES.items()
+    }
+)
+
+
+def mnemonic_info(name: str) -> MnemonicInfo:
+    """Look up mnemonic metadata, raising :class:`AssemblyError` if unknown."""
+    try:
+        return MNEMONICS[name]
+    except KeyError:
+        raise AssemblyError(f"unknown mnemonic {name!r}") from None
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One assembled instruction: mnemonic + operands (+ optional LOCK).
+
+    Operands appear in Intel order (destination first).  Branch targets are
+    label names (strings) until the assembler resolves them.
+    """
+
+    mnemonic: str
+    operands: tuple[Operand, ...] = ()
+    lock: bool = False
+
+    info: MnemonicInfo = field(init=False, compare=False, repr=False)
+
+    def __post_init__(self) -> None:
+        info = mnemonic_info(self.mnemonic)
+        if len(self.operands) not in info.arity:
+            raise AssemblyError(
+                f"{self.mnemonic} takes {info.arity} operands, "
+                f"got {len(self.operands)}"
+            )
+        if self.lock and info.kind is not InsnKind.ATOMIC:
+            raise AssemblyError(f"LOCK prefix invalid on {self.mnemonic}")
+        mem_count = sum(isinstance(op, Mem) for op in self.operands)
+        if mem_count > 1:
+            raise AssemblyError(
+                f"{self.mnemonic}: at most one memory operand allowed"
+            )
+        object.__setattr__(self, "info", info)
+
+    # ------------------------------------------------------------------
+    # Classification helpers
+    # ------------------------------------------------------------------
+    @property
+    def kind(self) -> InsnKind:
+        return self.info.kind
+
+    @property
+    def is_branch(self) -> bool:
+        return self.kind in (InsnKind.BRANCH, InsnKind.COND_BRANCH)
+
+    @property
+    def is_cond_branch(self) -> bool:
+        return self.kind is InsnKind.COND_BRANCH
+
+    @property
+    def branch_target(self) -> str | None:
+        """Label name for branch instructions, else None."""
+        if self.is_branch and self.operands and isinstance(self.operands[0], str):
+            return self.operands[0]
+        return None
+
+    def _role_of(self, position: int) -> str:
+        roles = self.info.roles
+        if position < len(roles):
+            return roles[position]
+        return "r"  # extra operands (3-op imul immediate) are reads
+
+    def memory_refs(self) -> tuple[tuple[Mem, str], ...]:
+        """All memory operands with their access direction ('r'/'w'/'rw')."""
+        refs = []
+        for position, op in enumerate(self.operands):
+            if isinstance(op, Mem):
+                refs.append((op, self._role_of(position)))
+        return tuple(refs)
+
+    def registers_read(self) -> tuple[Register, ...]:
+        """Registers whose value this instruction consumes.
+
+        The register-zeroing idiom ``vxorps r, r, r`` (and ``xor r, r``)
+        reads nothing, matching real hardware's dependency-breaking
+        behaviour.
+        """
+        if self._is_zero_idiom():
+            return ()
+        seen: list[Register] = []
+        for position, op in enumerate(self.operands):
+            role = self._role_of(position)
+            if isinstance(op, Register) and "r" in role:
+                seen.append(op)
+            elif isinstance(op, Mem):
+                seen.extend(op.registers())
+        return tuple(seen)
+
+    def registers_read_data(self) -> tuple[Register, ...]:
+        """Register operands consumed by the *execution* micro-op.
+
+        Excludes effective-address registers: out-of-order cores split a
+        load-operand instruction into a load micro-op (address registers
+        only, see :meth:`registers_read_addr`) and an execution micro-op,
+        so e.g. ``vfmadd231ps zmm0, zmm31, [mem]`` can start its load
+        before the ``zmm0`` accumulator chain catches up.
+        """
+        if self._is_zero_idiom():
+            return ()
+        seen: list[Register] = []
+        for position, op in enumerate(self.operands):
+            if isinstance(op, Register) and "r" in self._role_of(position):
+                seen.append(op)
+        return tuple(seen)
+
+    def registers_read_addr(self) -> tuple[Register, ...]:
+        """Registers the address-generation micro-op needs."""
+        seen: list[Register] = []
+        for op in self.operands:
+            if isinstance(op, Mem):
+                seen.extend(op.registers())
+        return tuple(seen)
+
+    def registers_written(self) -> tuple[Register, ...]:
+        """Registers this instruction writes."""
+        written: list[Register] = []
+        for position, op in enumerate(self.operands):
+            if isinstance(op, Register) and "w" in self._role_of(position):
+                written.append(op)
+        return tuple(written)
+
+    def _is_zero_idiom(self) -> bool:
+        if self.mnemonic in ("vxorps", "xor") and len(self.operands) >= 2:
+            ops = self.operands
+            srcs = ops[1:] if self.mnemonic == "vxorps" else ops
+            regs = [op for op in srcs if isinstance(op, Register)]
+            return len(regs) == len(srcs) and len({r.name for r in regs}) == 1
+        return False
+
+    def __str__(self) -> str:
+        prefix = "lock " if self.lock else ""
+        if not self.operands:
+            return f"{prefix}{self.mnemonic}"
+        rendered = ", ".join(
+            op if isinstance(op, str) else repr(op) for op in self.operands
+        )
+        return f"{prefix}{self.mnemonic} {rendered}"

@@ -1,0 +1,84 @@
+"""ISA feature levels and vector geometry.
+
+The paper targets CPUs with SSE2 / AVX / AVX2 / AVX-512 extensions
+(§II-B, Figure 3).  An :class:`IsaLevel` captures what a code generator may
+use: the widest vector register, how many architectural vector registers
+exist (16 below AVX-512, 32 with it), and whether FMA and gathers are
+available.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = ["IsaLevel", "ISA_SPECS", "IsaSpec", "VEC_LANES_F32"]
+
+#: float32 lanes per vector register width in bits.
+VEC_LANES_F32 = {128: 4, 256: 8, 512: 16}
+
+
+class IsaLevel(enum.Enum):
+    """Supported instruction-set feature levels."""
+
+    SCALAR = "scalar"
+    SSE2 = "sse2"
+    AVX2 = "avx2"
+    AVX512 = "avx512"
+
+    @classmethod
+    def parse(cls, value: "IsaLevel | str") -> "IsaLevel":
+        if isinstance(value, IsaLevel):
+            return value
+        try:
+            return cls(value.lower())
+        except ValueError:
+            valid = ", ".join(level.value for level in cls)
+            raise ValueError(
+                f"unknown ISA level {value!r}; expected one of: {valid}"
+            ) from None
+
+
+@dataclass(frozen=True)
+class IsaSpec:
+    """Capabilities of one ISA level.
+
+    Attributes:
+        level: The feature level.
+        max_vector_bits: Widest usable vector register (32 means
+            scalar-in-XMM only).
+        num_vector_regs: Architectural vector register count.
+        has_fma: Fused multiply-add available.
+        has_gather: Vector gather available.
+    """
+
+    level: IsaLevel
+    max_vector_bits: int
+    num_vector_regs: int
+    has_fma: bool
+    has_gather: bool
+
+    @property
+    def max_lanes_f32(self) -> int:
+        """Widest number of float32 lanes (1 for scalar)."""
+        return max(1, self.max_vector_bits // 32)
+
+    def register_widths(self) -> tuple[int, ...]:
+        """Usable packed register widths, widest first (empty for scalar)."""
+        return tuple(w for w in (512, 256, 128) if w <= self.max_vector_bits)
+
+
+ISA_SPECS: dict[IsaLevel, IsaSpec] = {
+    # SCALAR means "no packed ops" on an AVX-512-capable core: the paper's
+    # single-thread scalar study (Table II) still uses XMM0-7 + XMM31 as
+    # scalar accumulators, so all 32 registers are addressable.
+    IsaLevel.SCALAR: IsaSpec(IsaLevel.SCALAR, 32, 32, has_fma=False, has_gather=False),
+    IsaLevel.SSE2: IsaSpec(IsaLevel.SSE2, 128, 16, has_fma=False, has_gather=False),
+    IsaLevel.AVX2: IsaSpec(IsaLevel.AVX2, 256, 16, has_fma=True, has_gather=True),
+    IsaLevel.AVX512: IsaSpec(IsaLevel.AVX512, 512, 32, has_fma=True, has_gather=True),
+}
+
+
+def isa_spec(level: IsaLevel | str) -> IsaSpec:
+    """Look up the :class:`IsaSpec` for a level (accepts names)."""
+    return ISA_SPECS[IsaLevel.parse(level)]

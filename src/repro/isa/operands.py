@@ -1,0 +1,112 @@
+"""Instruction operands: immediates and memory references.
+
+A memory operand follows the x86-64 effective-address form
+``[base + index*scale + disp]`` with an explicit access ``size`` in bytes.
+The explicit size removes the ambiguity that real assemblers resolve with
+``dword ptr`` annotations and lets the perf counters attribute the right
+number of bytes to each access.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import AssemblyError
+from repro.isa.registers import GPR64, Register, VectorRegister
+
+__all__ = ["Imm", "Mem", "Operand"]
+
+_VALID_SCALES = (1, 2, 4, 8)
+
+
+@dataclass(frozen=True)
+class Imm:
+    """An immediate integer operand.
+
+    Attributes:
+        value: The signed integer value.
+        width: Encoded width in bits (8, 32 or 64); chosen automatically
+            when omitted.
+    """
+
+    value: int
+    width: int = 0
+
+    def __post_init__(self) -> None:
+        if self.width not in (0, 8, 32, 64):
+            raise AssemblyError(f"unsupported immediate width {self.width}")
+        width = self.width or self.natural_width(self.value)
+        object.__setattr__(self, "width", width)
+
+    @staticmethod
+    def natural_width(value: int) -> int:
+        if -(1 << 7) <= value < (1 << 7):
+            return 8
+        if -(1 << 31) <= value < (1 << 31):
+            return 32
+        if -(1 << 63) <= value < (1 << 64):
+            return 64
+        raise AssemblyError(f"immediate out of 64-bit range: {value}")
+
+    def __repr__(self) -> str:
+        return f"{self.value:#x}" if abs(self.value) > 9 else str(self.value)
+
+
+@dataclass(frozen=True)
+class Mem:
+    """A memory operand ``[base + index*scale + disp]`` of ``size`` bytes.
+
+    ``index`` may be a general-purpose register, or a vector register for
+    gather addressing (VSIB), in which case every 32-bit lane of the index
+    register contributes one element address.
+    """
+
+    base: GPR64 | None
+    index: Register | None = None
+    scale: int = 1
+    disp: int = 0
+    size: int = 8
+
+    def __post_init__(self) -> None:
+        if self.base is None and self.index is None:
+            raise AssemblyError("memory operand needs a base or index register")
+        if self.base is not None and not isinstance(self.base, GPR64):
+            raise AssemblyError(f"memory base must be a GPR, got {self.base}")
+        if self.scale not in _VALID_SCALES:
+            raise AssemblyError(f"invalid scale {self.scale}; must be 1/2/4/8")
+        if self.size not in (1, 2, 4, 8, 16, 32, 64):
+            raise AssemblyError(f"invalid access size {self.size}")
+        if not -(1 << 31) <= self.disp < (1 << 31):
+            raise AssemblyError(f"displacement out of 32-bit range: {self.disp}")
+
+    @property
+    def is_gather(self) -> bool:
+        """True when the index register is a vector register (VSIB form)."""
+        return isinstance(self.index, VectorRegister)
+
+    def registers(self) -> tuple[Register, ...]:
+        """The registers read to form the effective address."""
+        parts: list[Register] = []
+        if self.base is not None:
+            parts.append(self.base)
+        if self.index is not None:
+            parts.append(self.index)
+        return tuple(parts)
+
+    def __repr__(self) -> str:
+        inner = []
+        if self.base is not None:
+            inner.append(self.base.name)
+        if self.index is not None:
+            term = self.index.name
+            if self.scale != 1:
+                term += f"*{self.scale}"
+            inner.append(term)
+        if self.disp:
+            inner.append(f"{self.disp:+#x}" if abs(self.disp) > 9 else f"{self.disp:+d}")
+        body = " + ".join(inner).replace("+ -", "- ")
+        return f"[{body}]{{{self.size}}}"
+
+
+#: Union of things that may appear in an instruction's operand list.
+Operand = Register | Imm | Mem | str  # str = label reference (branch target)

@@ -1,0 +1,148 @@
+"""Register model: x86-64 general-purpose and SIMD registers.
+
+Mirrors the architectural state described in the paper's Figure 3: sixteen
+64-bit general-purpose registers and the SIMD register file where
+``XMMi``/``YMMi``/``ZMMi`` alias the low 128/256 bits of the same physical
+512-bit register (paper §IV-D.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+__all__ = [
+    "GPR64",
+    "GPR_NAMES",
+    "Register",
+    "RegisterFile",
+    "VectorRegister",
+    "gpr",
+    "xmm",
+    "ymm",
+    "zmm",
+]
+
+GPR_NAMES = (
+    "rax", "rcx", "rdx", "rbx", "rsp", "rbp", "rsi", "rdi",
+    "r8", "r9", "r10", "r11", "r12", "r13", "r14", "r15",
+)
+
+
+@dataclass(frozen=True)
+class Register:
+    """An architectural register.
+
+    Attributes:
+        name: Assembly name, e.g. ``"r10"`` or ``"zmm31"``.
+        code: Hardware encoding number (0-15 for GPRs, 0-31 for vectors).
+        width: Width in bits (64 for GPRs; 128/256/512 for vectors).
+    """
+
+    name: str
+    code: int
+    width: int
+
+    @property
+    def is_vector(self) -> bool:
+        return isinstance(self, VectorRegister)
+
+    @property
+    def is_extended(self) -> bool:
+        """True if encoding the register needs REX.B/R (code >= 8)."""
+        return self.code >= 8
+
+    def __repr__(self) -> str:
+        return self.name
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True, repr=False)
+class GPR64(Register):
+    """A 64-bit general-purpose register (``rax`` ... ``r15``)."""
+
+
+@dataclass(frozen=True, repr=False)
+class VectorRegister(Register):
+    """A SIMD register: ``xmm0-31``, ``ymm0-31`` or ``zmm0-31``.
+
+    ``xmm(i)``, ``ymm(i)`` and ``zmm(i)`` share the physical register ``i``;
+    :attr:`lanes_f32` gives the number of 32-bit float lanes the architectural
+    width exposes (4, 8, 16).
+    """
+
+    @property
+    def lanes_f32(self) -> int:
+        return self.width // 32
+
+    @property
+    def lanes_i32(self) -> int:
+        return self.width // 32
+
+    def with_width(self, width: int) -> "VectorRegister":
+        """Return the alias of this physical register at another width."""
+        return _vector(self.code, width)
+
+
+@lru_cache(maxsize=None)
+def gpr(code_or_name: int | str) -> GPR64:
+    """Look up a general-purpose register by encoding number or name."""
+    if isinstance(code_or_name, str):
+        try:
+            code = GPR_NAMES.index(code_or_name)
+        except ValueError:
+            raise KeyError(f"unknown GPR name {code_or_name!r}") from None
+    else:
+        code = code_or_name
+    if not 0 <= code < 16:
+        raise KeyError(f"GPR code out of range: {code}")
+    return GPR64(GPR_NAMES[code], code, 64)
+
+
+_WIDTH_PREFIX = {128: "xmm", 256: "ymm", 512: "zmm"}
+
+
+@lru_cache(maxsize=None)
+def _vector(code: int, width: int) -> VectorRegister:
+    if width not in _WIDTH_PREFIX:
+        raise KeyError(f"unsupported vector width {width}")
+    if not 0 <= code < 32:
+        raise KeyError(f"vector register code out of range: {code}")
+    return VectorRegister(f"{_WIDTH_PREFIX[width]}{code}", code, width)
+
+
+def xmm(code: int) -> VectorRegister:
+    """The 128-bit alias of physical vector register ``code``."""
+    return _vector(code, 128)
+
+
+def ymm(code: int) -> VectorRegister:
+    """The 256-bit alias of physical vector register ``code``."""
+    return _vector(code, 256)
+
+
+def zmm(code: int) -> VectorRegister:
+    """The 512-bit alias of physical vector register ``code``."""
+    return _vector(code, 512)
+
+
+class RegisterFile:
+    """Names for the architectural registers, as attributes.
+
+    Provides ``regs.rax`` ... ``regs.r15`` and ``regs.xmm0`` ...
+    ``regs.zmm31`` so generated-code builders read like assembly listings.
+    """
+
+    def __getattr__(self, name: str) -> Register:
+        if name in GPR_NAMES:
+            return gpr(name)
+        for prefix, width in (("xmm", 128), ("ymm", 256), ("zmm", 512)):
+            if name.startswith(prefix) and name[len(prefix):].isdigit():
+                return _vector(int(name[len(prefix):]), width)
+        raise AttributeError(f"unknown register {name!r}")
+
+
+#: Singleton register-file namespace; ``from repro.isa.registers import regs``.
+regs = RegisterFile()

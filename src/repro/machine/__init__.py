@@ -1,0 +1,44 @@
+"""Simulated multi-core x86-64 machine with a performance model.
+
+This subpackage is the testbed substitute for the paper's 24-core Xeon +
+Linux perf: a functional interpreter for the ISA subset plus a performance
+model that produces the same four profiling metrics the paper reports
+(memory loads, branches, branch misses, instructions — §V-D) and a cycle
+estimate from a dependency-scoreboard pipeline model.
+
+Components:
+
+* :class:`Memory` — flat address space over numpy-backed segments;
+* :class:`Cpu` — single-thread functional interpreter with counters;
+* :class:`BranchPredictor` family — 2-bit and gshare predictors;
+* :class:`CacheHierarchy` — set-associative L1D/L2 model;
+* :class:`PipelineModel` — port/latency scoreboard for cycle estimates;
+* :class:`Machine` — multi-core wrapper with a round-robin scheduler and
+  ``lock xadd`` atomicity, mirroring the paper's thread model (Fig. 5).
+"""
+
+from repro.machine.branch import BranchPredictor, GShare, TwoBit
+from repro.machine.cache import CacheConfig, CacheHierarchy
+from repro.machine.counters import Counters
+from repro.machine.cpu import Cpu, CpuConfig
+from repro.machine.memory import Memory
+from repro.machine.perf import PerfReport
+from repro.machine.pipeline import PipelineModel, PipelineSpec
+from repro.machine.smp import Machine, ThreadSpec
+
+__all__ = [
+    "BranchPredictor",
+    "CacheConfig",
+    "CacheHierarchy",
+    "Counters",
+    "Cpu",
+    "CpuConfig",
+    "GShare",
+    "Machine",
+    "Memory",
+    "PerfReport",
+    "PipelineModel",
+    "PipelineSpec",
+    "ThreadSpec",
+    "TwoBit",
+]

@@ -1,0 +1,104 @@
+"""Branch predictors: 2-bit saturating counters and gshare.
+
+The paper attributes part of JIT's advantage to removing branch
+instructions, while noting that branch *misses* improve less because "the
+high accuracy of the branch predictor within the processor ... tends to
+forecast correct branch outcomes for the additional branch instructions"
+(§V-D).  Reproducing that nuance needs an actual predictor model, not a
+fixed miss rate — these are the standard two designs.
+"""
+
+from __future__ import annotations
+
+__all__ = ["BranchPredictor", "GShare", "TwoBit", "make_predictor"]
+
+
+class BranchPredictor:
+    """Interface: predict a conditional branch, then learn the outcome."""
+
+    def predict(self, pc: int) -> bool:
+        raise NotImplementedError
+
+    def update(self, pc: int, taken: bool) -> bool:
+        """Record the outcome; returns True if the prediction was correct."""
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        raise NotImplementedError
+
+
+class TwoBit(BranchPredictor):
+    """Per-PC table of 2-bit saturating counters (Smith predictor).
+
+    States 0/1 predict not-taken, 2/3 predict taken; counters start weakly
+    taken (2), which is the common hardware reset state for loop-heavy
+    code.
+    """
+
+    def __init__(self, table_bits: int = 12) -> None:
+        self._mask = (1 << table_bits) - 1
+        self._table = [2] * (1 << table_bits)
+
+    def predict(self, pc: int) -> bool:
+        return self._table[pc & self._mask] >= 2
+
+    def update(self, pc: int, taken: bool) -> bool:
+        slot = pc & self._mask
+        state = self._table[slot]
+        predicted = state >= 2
+        if taken:
+            if state < 3:
+                self._table[slot] = state + 1
+        else:
+            if state > 0:
+                self._table[slot] = state - 1
+        return predicted == taken
+
+    def reset(self) -> None:
+        self._table = [2] * len(self._table)
+
+
+class GShare(BranchPredictor):
+    """Gshare: 2-bit counters indexed by PC xor global history.
+
+    Captures correlated branches (e.g. the remainder-loop trip counts the
+    AOT auto-vectorizer introduces) better than per-PC counters.
+    """
+
+    def __init__(self, table_bits: int = 12, history_bits: int = 8) -> None:
+        self._mask = (1 << table_bits) - 1
+        self._table = [2] * (1 << table_bits)
+        self._history = 0
+        self._history_mask = (1 << history_bits) - 1
+
+    def _index(self, pc: int) -> int:
+        return (pc ^ self._history) & self._mask
+
+    def predict(self, pc: int) -> bool:
+        return self._table[self._index(pc)] >= 2
+
+    def update(self, pc: int, taken: bool) -> bool:
+        slot = self._index(pc)
+        state = self._table[slot]
+        predicted = state >= 2
+        if taken:
+            if state < 3:
+                self._table[slot] = state + 1
+        else:
+            if state > 0:
+                self._table[slot] = state - 1
+        self._history = ((self._history << 1) | int(taken)) & self._history_mask
+        return predicted == taken
+
+    def reset(self) -> None:
+        self._table = [2] * len(self._table)
+        self._history = 0
+
+
+def make_predictor(kind: str = "gshare") -> BranchPredictor:
+    """Factory: ``"two_bit"`` or ``"gshare"`` (the default)."""
+    if kind == "two_bit":
+        return TwoBit()
+    if kind == "gshare":
+        return GShare()
+    raise ValueError(f"unknown branch predictor kind {kind!r}")

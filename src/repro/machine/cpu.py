@@ -1,0 +1,1103 @@
+"""Single-thread functional interpreter for the ISA subset.
+
+The interpreter pre-compiles every static instruction into a Python
+closure (operand decoding, effective-address formation and segment lookup
+are hoisted out of the execution loop), then runs the closure list — the
+same just-in-time trick the paper applies to SpMM, applied to the
+simulator itself.
+
+Semantics notes (documented deviations, none observable by the kernels
+this library generates):
+
+* Integer registers hold exact Python integers; flags are computed from
+  exact arithmetic rather than mod-2^64 wraparound.  Kernel arithmetic
+  (addresses, indices, counters) never wraps.
+* ``vfmadd231ps`` rounds twice (multiply then add) because numpy has no
+  fused primitive; the float32 error is below the tolerances the tests
+  and the paper's workloads care about.
+* Scalar AVX ops zero the untouched upper lanes of the destination, as
+  VEX-encoded scalar ops do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ExecutionLimitExceeded, MachineError
+from repro.isa.assembler import Program
+from repro.isa.instructions import Instruction
+from repro.isa.operands import Imm, Mem
+from repro.isa.registers import GPR64, VectorRegister, gpr
+from repro.machine.branch import make_predictor
+from repro.machine.cache import CacheConfig, CacheHierarchy
+from repro.machine.counters import Counters
+from repro.machine.memory import Memory
+from repro.machine.pipeline import PipelineModel, PipelineSpec
+
+__all__ = ["Cpu", "CpuConfig"]
+
+
+@dataclass(frozen=True)
+class CpuConfig:
+    """Fidelity and microarchitecture knobs for one simulated core.
+
+    ``timing=False`` runs in *counts* mode: functional execution plus
+    event counters only (no caches, no pipeline, cycles stay 0) — several
+    times faster, used by tests that only check counts and results.
+    """
+
+    timing: bool = True
+    predictor: str = "gshare"
+    max_instructions: int = 500_000_000
+    pipeline: PipelineSpec = field(default_factory=PipelineSpec)
+    l1: CacheConfig | None = None
+    l2: CacheConfig | None = None
+
+
+class Cpu:
+    """One simulated hardware thread."""
+
+    def __init__(
+        self,
+        memory: Memory,
+        config: CpuConfig | None = None,
+        counters: Counters | None = None,
+    ) -> None:
+        self.memory = memory
+        self.config = config or CpuConfig()
+        self.counters = counters or Counters()
+        self.gpr: list[int] = [0] * 16
+        self.vec = np.zeros((32, 16), dtype=np.float32)
+        self.vec_i32 = self.vec.view(np.int32)
+        self.zf = False
+        self.sf = False
+        self.cf = False
+        self.predictor = make_predictor(self.config.predictor)
+        if self.config.timing:
+            kwargs = {}
+            if self.config.l1 is not None:
+                kwargs["l1"] = self.config.l1
+            if self.config.l2 is not None:
+                kwargs["l2"] = self.config.l2
+            self.caches: CacheHierarchy | None = CacheHierarchy(**kwargs)
+            self.pipeline: PipelineModel | None = PipelineModel(self.config.pipeline)
+        else:
+            self.caches = None
+            self.pipeline = None
+        self._compiled: dict[int, list] = {}
+
+    def reset_metrics(self) -> None:
+        """Zero counters and restart the pipeline clock; keep caches and
+        branch-predictor state (warm-run measurement, like the paper's
+        average-of-ten methodology)."""
+        self.counters.__init__()
+        if self.config.timing:
+            self.pipeline = PipelineModel(self.config.pipeline)
+        self._compiled.clear()  # closures captured the old pipeline
+
+    def disable_pipeline(self) -> None:
+        """Drop to counts+caches fidelity (used for cheap warm-up passes).
+
+        The next :meth:`reset_metrics` restores full timing fidelity.
+        """
+        self.pipeline = None
+        self._compiled.clear()
+
+    # ------------------------------------------------------------------
+    # Register access helpers (used by tests and the SMP wrapper)
+    # ------------------------------------------------------------------
+    def set_gpr(self, reg: GPR64 | str | int, value: int) -> None:
+        code = reg.code if isinstance(reg, GPR64) else gpr(reg).code if isinstance(reg, str) else reg
+        self.gpr[code] = int(value)
+
+    def get_gpr(self, reg: GPR64 | str | int) -> int:
+        code = reg.code if isinstance(reg, GPR64) else gpr(reg).code if isinstance(reg, str) else reg
+        return self.gpr[code]
+
+    def get_vec(self, reg: VectorRegister) -> np.ndarray:
+        return self.vec[reg.code, : reg.lanes_f32].copy()
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        program: Program,
+        init_gpr: dict | None = None,
+        entry: int | str = 0,
+        fuel: int | None = None,
+    ) -> Counters:
+        """Execute ``program`` until ``ret``; returns this CPU's counters.
+
+        ``init_gpr`` maps registers (objects or names) to initial values,
+        the simulated analogue of function arguments.  ``fuel`` bounds the
+        dynamic instruction count (defaults to the config's limit).
+        """
+        if init_gpr:
+            for reg, value in init_gpr.items():
+                self.set_gpr(reg, value)
+        steps = self._compile(program)
+        pc = program.target_index(entry) if isinstance(entry, str) else entry
+        limit = fuel if fuel is not None else self.config.max_instructions
+        executed = 0
+        n = len(steps)
+        while 0 <= pc < n:
+            pc = steps[pc]()
+            executed += 1
+            if executed > limit:
+                raise ExecutionLimitExceeded(
+                    f"exceeded {limit} dynamic instructions in "
+                    f"{program.name!r} (infinite loop?)"
+                )
+        if self.pipeline is not None:
+            self.counters.cycles = self.pipeline.cycles
+        return self.counters
+
+    # ------------------------------------------------------------------
+    # Instruction compilation
+    # ------------------------------------------------------------------
+    def _compile(self, program: Program):
+        cached = self._compiled.get(id(program))
+        if cached is not None:
+            return cached
+        steps = [
+            self._compile_insn(insn, index, program)
+            for index, insn in enumerate(program.instructions)
+        ]
+        self._compiled[id(program)] = steps
+        return steps
+
+    # -- operand access factories ---------------------------------------
+    def _addr_fn(self, mem: Mem):
+        gpr_state = self.gpr
+        scale, disp = mem.scale, mem.disp
+        base_code = mem.base.code if mem.base is not None else None
+        index = mem.index
+        if index is None:
+            if disp == 0:
+                return lambda: gpr_state[base_code]
+            return lambda: gpr_state[base_code] + disp
+        if isinstance(index, VectorRegister):
+            raise MachineError("VSIB address used outside vgatherdps")
+        idx_code = index.code
+        if base_code is None:
+            return lambda: gpr_state[idx_code] * scale + disp
+        return lambda: gpr_state[base_code] + gpr_state[idx_code] * scale + disp
+
+    def _seg_lookup_fn(self, size: int):
+        """Per-call-site memoized segment lookup: addr -> (segment, offset)."""
+        memory = self.memory
+        cache: list = [None, 0, 0]  # segment, base, end
+
+        def lookup(addr: int):
+            if not (cache[1] <= addr and addr + size <= cache[2]):
+                seg = memory.segment_of(addr, size)
+                cache[0], cache[1], cache[2] = seg, seg.base, seg.end
+            return cache[0]
+
+        return lookup
+
+    def _load_int_fn(self, mem: Mem):
+        addr_fn = self._addr_fn(mem)
+        size = mem.size
+        lookup = self._seg_lookup_fn(size)
+        if size == 8:
+            def load() -> int:
+                addr = addr_fn()
+                seg = lookup(addr)
+                off = addr - seg.base
+                if not off & 7:
+                    return int(seg.i64v[off >> 3])
+                return int.from_bytes(seg.raw[off: off + 8].tobytes(), "little")
+        elif size == 4:
+            def load() -> int:
+                addr = addr_fn()
+                seg = lookup(addr)
+                off = addr - seg.base
+                if not off & 3:
+                    return int(seg.i32v[off >> 2]) & 0xFFFFFFFF
+                return int.from_bytes(seg.raw[off: off + 4].tobytes(), "little")
+        else:
+            raise MachineError(f"unsupported integer access size {size}")
+        return load, addr_fn
+
+    def _store_int_fn(self, mem: Mem):
+        addr_fn = self._addr_fn(mem)
+        size = mem.size
+        lookup = self._seg_lookup_fn(size)
+
+        def store(value: int) -> None:
+            addr = addr_fn()
+            seg = lookup(addr)
+            off = addr - seg.base
+            if size == 8 and not off & 7:
+                seg.i64v[off >> 3] = value & 0xFFFFFFFFFFFFFFFF if value < 0 else value
+            elif size == 4 and not off & 3:
+                seg.i32v[off >> 2] = np.int64(value & 0xFFFFFFFF).astype(np.int32)
+            else:
+                mask = (1 << (size * 8)) - 1
+                seg.raw[off: off + size] = np.frombuffer(
+                    (value & mask).to_bytes(size, "little"), np.uint8
+                )
+
+        return store, addr_fn
+
+    def _load_f32_fn(self, mem: Mem, lanes: int):
+        addr_fn = self._addr_fn(mem)
+        lookup = self._seg_lookup_fn(4 * lanes)
+
+        def load() -> np.ndarray:
+            addr = addr_fn()
+            seg = lookup(addr)
+            off = addr - seg.base
+            if not off & 3:
+                lane0 = off >> 2
+                return seg.f32v[lane0: lane0 + lanes]
+            return np.frombuffer(
+                seg.raw[off: off + 4 * lanes].tobytes(), np.float32
+            )
+
+        return load, addr_fn
+
+    def _store_f32_fn(self, mem: Mem, lanes: int):
+        addr_fn = self._addr_fn(mem)
+        lookup = self._seg_lookup_fn(4 * lanes)
+
+        def store(values: np.ndarray) -> None:
+            addr = addr_fn()
+            seg = lookup(addr)
+            off = addr - seg.base
+            if not off & 3:
+                lane0 = off >> 2
+                seg.f32v[lane0: lane0 + lanes] = values
+            else:
+                seg.raw[off: off + 4 * lanes] = np.asarray(
+                    values, np.float32
+                ).view(np.uint8)
+
+        return store, addr_fn
+
+    # -- accounting factories --------------------------------------------
+    def _account_fn(
+        self,
+        insn: Instruction,
+        load_addr_fn=None,
+        load_size: int = 0,
+        store_addr_fn=None,
+        store_size: int = 0,
+    ):
+        """Build the per-execution bookkeeping closure for one instruction."""
+        counters = self.counters
+        caches = self.caches
+        pipeline = self.pipeline
+        is_simd = insn.mnemonic.startswith("v")
+        is_fma = insn.mnemonic.startswith("vfmadd")
+        flop = 0
+        if is_fma:
+            flop = 2 * _dest_lanes(insn)
+        elif insn.mnemonic in ("vaddps", "vsubps", "vmulps", "vdivps",
+                               "vaddss", "vsubss", "vmulss", "vhaddps"):
+            flop = _dest_lanes(insn)
+
+        if caches is None:
+            def account() -> None:
+                counters.instructions += 1
+                if load_addr_fn is not None:
+                    counters.memory_loads += 1
+                    counters.loaded_bytes += load_size
+                if store_addr_fn is not None:
+                    counters.memory_stores += 1
+                    counters.stored_bytes += store_size
+                if is_simd:
+                    counters.simd_instructions += 1
+                if is_fma:
+                    counters.fma_instructions += 1
+                counters.flop += flop
+            return account
+
+        cpu = self  # pipeline may be swapped out during warm-up passes
+
+        def account() -> None:
+            counters.instructions += 1
+            if is_simd:
+                counters.simd_instructions += 1
+            if is_fma:
+                counters.fma_instructions += 1
+            counters.flop += flop
+            load_refs: tuple = ()
+            store_refs: tuple = ()
+            if load_addr_fn is not None:
+                counters.memory_loads += 1
+                counters.loaded_bytes += load_size
+                addr = load_addr_fn()
+                level = caches.access(addr, load_size)
+                _count_level(counters, level)
+                load_refs = ((level, addr >> 6),)
+            if store_addr_fn is not None:
+                counters.memory_stores += 1
+                counters.stored_bytes += store_size
+                addr = store_addr_fn()
+                level = caches.access(addr, store_size)
+                _count_level(counters, level)
+                store_refs = ((level, addr >> 6),)
+            if cpu.pipeline is not None:
+                cpu.pipeline.issue(insn, load_refs=load_refs,
+                                   store_refs=store_refs)
+
+        return account
+
+    # -- main translation --------------------------------------------------
+    def _compile_insn(self, insn: Instruction, index: int, program: Program):
+        name = insn.mnemonic
+        ops = insn.operands
+        nxt = index + 1
+        gpr_state = self.gpr
+        counters = self.counters
+
+        # ---------------- control flow ----------------
+        if name == "ret":
+            account = self._account_fn(insn)
+
+            def step_ret() -> int:
+                account()
+                counters.branches += 1
+                return -1
+            return step_ret
+
+        if name == "jmp":
+            target = program.target_index(ops[0])
+            account = self._account_fn(insn)
+
+            def step_jmp() -> int:
+                account()
+                counters.branches += 1
+                return target
+            return step_jmp
+
+        if insn.is_cond_branch:
+            return self._compile_jcc(insn, index, program)
+
+        if name == "nop":
+            account = self._account_fn(insn)
+
+            def step_nop() -> int:
+                account()
+                return nxt
+            return step_nop
+
+        # ---------------- integer ----------------
+        if name == "mov":
+            return self._compile_mov(insn, nxt)
+        if name == "lea":
+            dst_code = ops[0].code
+            addr_fn = self._addr_fn(ops[1])
+            account = self._account_fn(insn)
+
+            def step_lea() -> int:
+                gpr_state[dst_code] = addr_fn()
+                account()
+                return nxt
+            return step_lea
+        if name in ("add", "sub", "and", "or", "xor", "imul"):
+            return self._compile_alu(insn, nxt)
+        if name in ("cmp", "test"):
+            return self._compile_cmp(insn, nxt)
+        if name in ("inc", "dec", "neg"):
+            return self._compile_unary(insn, nxt)
+        if name in ("shl", "shr", "sar"):
+            return self._compile_shift(insn, nxt)
+        if name == "xadd":
+            return self._compile_xadd(insn, nxt)
+
+        # ---------------- vector ----------------
+        if name in ("vmovups", "vmovaps", "vmovdqu32", "vmovss"):
+            return self._compile_vmov(insn, nxt)
+        if name == "vxorps":
+            return self._compile_vxorps(insn, nxt)
+        if name in ("vbroadcastss", "vpbroadcastd"):
+            return self._compile_broadcast(insn, nxt)
+        if name in ("vaddps", "vsubps", "vmulps", "vdivps", "vpaddd", "vpmulld"):
+            return self._compile_vec3(insn, nxt)
+        if name in ("vaddss", "vsubss", "vmulss"):
+            return self._compile_vec3_scalar(insn, nxt)
+        if name in ("vfmadd231ps", "vfmadd231ss"):
+            return self._compile_fma(insn, nxt)
+        if name == "vhaddps":
+            return self._compile_vhaddps(insn, nxt)
+        if name in ("vextractf128", "vextractf64x4"):
+            return self._compile_extract(insn, nxt)
+        if name == "vpslld":
+            return self._compile_vpslld(insn, nxt)
+        if name == "vgatherdps":
+            return self._compile_gather(insn, nxt)
+
+        raise MachineError(f"no interpreter for instruction: {insn}")
+
+    # ------------------------------------------------------------------
+    def _compile_jcc(self, insn: Instruction, index: int, program: Program):
+        target = program.target_index(insn.operands[0])
+        nxt = index + 1
+        name = insn.mnemonic
+        cpu = self
+        counters = self.counters
+        predictor = self.predictor
+        pipeline = self.pipeline
+
+        conditions = {
+            "je": lambda: cpu.zf,
+            "jne": lambda: not cpu.zf,
+            "jl": lambda: cpu.sf,
+            "jge": lambda: not cpu.sf,
+            "jle": lambda: cpu.sf or cpu.zf,
+            "jg": lambda: not (cpu.sf or cpu.zf),
+            "jb": lambda: cpu.cf,
+            "jae": lambda: not cpu.cf,
+            "jbe": lambda: cpu.cf or cpu.zf,
+            "ja": lambda: not (cpu.cf or cpu.zf),
+        }
+        cond = conditions[name]
+
+        if pipeline is None:
+            def step_jcc() -> int:
+                taken = cond()
+                counters.instructions += 1
+                counters.branches += 1
+                counters.cond_branches += 1
+                if not predictor.update(index, taken):
+                    counters.branch_misses += 1
+                return target if taken else nxt
+            return step_jcc
+
+        def step_jcc_timed() -> int:
+            taken = cond()
+            counters.instructions += 1
+            counters.branches += 1
+            counters.cond_branches += 1
+            correct = predictor.update(index, taken)
+            if not correct:
+                counters.branch_misses += 1
+            pipeline.issue(insn, mispredicted=not correct)
+            return target if taken else nxt
+
+        return step_jcc_timed
+
+    def _compile_mov(self, insn: Instruction, nxt: int):
+        dst, src = insn.operands
+        gpr_state = self.gpr
+
+        if isinstance(dst, GPR64) and isinstance(src, Imm):
+            value = src.value
+            account = self._account_fn(insn)
+            code = dst.code
+
+            def step() -> int:
+                gpr_state[code] = value
+                account()
+                return nxt
+            return step
+        if isinstance(dst, GPR64) and isinstance(src, GPR64):
+            account = self._account_fn(insn)
+            dcode, scode = dst.code, src.code
+
+            def step() -> int:
+                gpr_state[dcode] = gpr_state[scode]
+                account()
+                return nxt
+            return step
+        if isinstance(dst, GPR64) and isinstance(src, Mem):
+            load, addr_fn = self._load_int_fn(src)
+            account = self._account_fn(insn, load_addr_fn=addr_fn, load_size=src.size)
+            code = dst.code
+
+            def step() -> int:
+                gpr_state[code] = load()
+                account()
+                return nxt
+            return step
+        if isinstance(dst, Mem) and isinstance(src, GPR64):
+            store, addr_fn = self._store_int_fn(dst)
+            account = self._account_fn(insn, store_addr_fn=addr_fn, store_size=dst.size)
+            code = src.code
+
+            def step() -> int:
+                store(gpr_state[code])
+                account()
+                return nxt
+            return step
+        if isinstance(dst, Mem) and isinstance(src, Imm):
+            store, addr_fn = self._store_int_fn(dst)
+            account = self._account_fn(insn, store_addr_fn=addr_fn, store_size=dst.size)
+            value = src.value
+
+            def step() -> int:
+                store(value)
+                account()
+                return nxt
+            return step
+        raise MachineError(f"unsupported mov form: {insn}")
+
+    def _compile_alu(self, insn: Instruction, nxt: int):
+        name = insn.mnemonic
+        ops = insn.operands
+        gpr_state = self.gpr
+        cpu = self
+
+        if not isinstance(ops[0], GPR64):
+            raise MachineError(f"ALU destination must be a register: {insn}")
+        dcode = ops[0].code
+
+        if name == "imul" and len(ops) == 3:
+            src, imm = ops[1], ops[2]
+            if not isinstance(src, GPR64) or not isinstance(imm, Imm):
+                raise MachineError(f"unsupported imul form: {insn}")
+            account = self._account_fn(insn)
+            scode, k = src.code, imm.value
+
+            def step() -> int:
+                value = gpr_state[scode] * k
+                gpr_state[dcode] = value
+                cpu.zf, cpu.sf, cpu.cf = value == 0, value < 0, False
+                account()
+                return nxt
+            return step
+
+        src = ops[1]
+        operations = {
+            "add": lambda a, b: a + b,
+            "sub": lambda a, b: a - b,
+            "and": lambda a, b: a & b,
+            "or": lambda a, b: a | b,
+            "xor": lambda a, b: a ^ b,
+            "imul": lambda a, b: a * b,
+        }
+        op = operations[name]
+        is_sub = name == "sub"
+
+        if isinstance(src, Imm):
+            k = src.value
+            account = self._account_fn(insn)
+
+            def step() -> int:
+                a = gpr_state[dcode]
+                value = op(a, k)
+                gpr_state[dcode] = value
+                cpu.zf, cpu.sf = value == 0, value < 0
+                cpu.cf = a < k if is_sub else False
+                account()
+                return nxt
+            return step
+        if isinstance(src, GPR64):
+            scode = src.code
+            account = self._account_fn(insn)
+
+            def step() -> int:
+                a = gpr_state[dcode]
+                b = gpr_state[scode]
+                value = op(a, b)
+                gpr_state[dcode] = value
+                cpu.zf, cpu.sf = value == 0, value < 0
+                cpu.cf = a < b if is_sub else False
+                account()
+                return nxt
+            return step
+        if isinstance(src, Mem):
+            load, addr_fn = self._load_int_fn(src)
+            account = self._account_fn(insn, load_addr_fn=addr_fn, load_size=src.size)
+
+            def step() -> int:
+                a = gpr_state[dcode]
+                b = load()
+                value = op(a, b)
+                gpr_state[dcode] = value
+                cpu.zf, cpu.sf = value == 0, value < 0
+                cpu.cf = a < b if is_sub else False
+                account()
+                return nxt
+            return step
+        raise MachineError(f"unsupported {name} form: {insn}")
+
+    def _compile_cmp(self, insn: Instruction, nxt: int):
+        a_op, b_op = insn.operands
+        gpr_state = self.gpr
+        cpu = self
+        is_test = insn.mnemonic == "test"
+
+        def value_fn(op):
+            if isinstance(op, GPR64):
+                code = op.code
+                return (lambda: gpr_state[code]), None, 0
+            if isinstance(op, Imm):
+                k = op.value
+                return (lambda: k), None, 0
+            if isinstance(op, Mem):
+                load, addr_fn = self._load_int_fn(op)
+                return load, addr_fn, op.size
+            raise MachineError(f"unsupported compare operand: {op}")
+
+        a_fn, a_addr, a_size = value_fn(a_op)
+        b_fn, b_addr, b_size = value_fn(b_op)
+        load_addr = a_addr or b_addr
+        load_size = a_size or b_size
+        account = self._account_fn(
+            insn, load_addr_fn=load_addr, load_size=load_size
+        )
+
+        if is_test:
+            def step() -> int:
+                value = a_fn() & b_fn()
+                cpu.zf, cpu.sf, cpu.cf = value == 0, value < 0, False
+                account()
+                return nxt
+            return step
+
+        def step() -> int:
+            a, b = a_fn(), b_fn()
+            cpu.zf, cpu.sf, cpu.cf = a == b, a < b, a < b
+            account()
+            return nxt
+        return step
+
+    def _compile_unary(self, insn: Instruction, nxt: int):
+        (dst,) = insn.operands
+        if not isinstance(dst, GPR64):
+            raise MachineError(f"unary op destination must be a register: {insn}")
+        gpr_state = self.gpr
+        cpu = self
+        code = dst.code
+        name = insn.mnemonic
+        account = self._account_fn(insn)
+
+        if name == "inc":
+            def step() -> int:
+                value = gpr_state[code] + 1
+                gpr_state[code] = value
+                cpu.zf, cpu.sf = value == 0, value < 0
+                account()
+                return nxt
+        elif name == "dec":
+            def step() -> int:
+                value = gpr_state[code] - 1
+                gpr_state[code] = value
+                cpu.zf, cpu.sf = value == 0, value < 0
+                account()
+                return nxt
+        else:  # neg
+            def step() -> int:
+                value = -gpr_state[code]
+                gpr_state[code] = value
+                cpu.zf, cpu.sf = value == 0, value < 0
+                cpu.cf = value != 0
+                account()
+                return nxt
+        return step
+
+    def _compile_shift(self, insn: Instruction, nxt: int):
+        dst, amount = insn.operands
+        if not isinstance(dst, GPR64) or not isinstance(amount, Imm):
+            raise MachineError(f"unsupported shift form: {insn}")
+        gpr_state = self.gpr
+        cpu = self
+        code, k = dst.code, amount.value
+        name = insn.mnemonic
+        account = self._account_fn(insn)
+
+        if name == "shl":
+            def step() -> int:
+                value = gpr_state[code] << k
+                gpr_state[code] = value
+                cpu.zf, cpu.sf = value == 0, value < 0
+                account()
+                return nxt
+        else:  # shr/sar agree on non-negative values; we never shift negatives
+            def step() -> int:
+                value = gpr_state[code] >> k
+                gpr_state[code] = value
+                cpu.zf, cpu.sf = value == 0, value < 0
+                account()
+                return nxt
+        return step
+
+    def _compile_xadd(self, insn: Instruction, nxt: int):
+        dst, src = insn.operands
+        if not isinstance(dst, Mem) or not isinstance(src, GPR64):
+            raise MachineError(f"unsupported xadd form: {insn}")
+        load, addr_fn = self._load_int_fn(dst)
+        store, _ = self._store_int_fn(dst)
+        account = self._account_fn(
+            insn,
+            load_addr_fn=addr_fn, load_size=dst.size,
+            store_addr_fn=addr_fn, store_size=dst.size,
+        )
+        gpr_state = self.gpr
+        counters = self.counters
+        cpu = self
+        scode = src.code
+
+        def step() -> int:
+            old = load()
+            total = old + gpr_state[scode]
+            store(total)
+            gpr_state[scode] = old
+            cpu.zf, cpu.sf, cpu.cf = total == 0, total < 0, False
+            counters.atomic_ops += 1
+            account()
+            return nxt
+        return step
+
+    # ------------------------------------------------------------------
+    # Vector handlers
+    # ------------------------------------------------------------------
+    def _compile_vmov(self, insn: Instruction, nxt: int):
+        dst, src = insn.operands
+        vec = self.vec
+        name = insn.mnemonic
+        scalar = name == "vmovss"
+
+        if isinstance(dst, VectorRegister) and isinstance(src, Mem):
+            lanes = 1 if scalar else dst.lanes_f32
+            load, addr_fn = self._load_f32_fn(src, lanes)
+            account = self._account_fn(
+                insn, load_addr_fn=addr_fn, load_size=4 * lanes
+            )
+            code, width_lanes = dst.code, dst.lanes_f32
+
+            def step() -> int:
+                row = vec[code]
+                row[:] = 0.0
+                row[:lanes] = load()
+                account()
+                return nxt
+            return step
+        if isinstance(dst, Mem) and isinstance(src, VectorRegister):
+            lanes = 1 if scalar else src.lanes_f32
+            store, addr_fn = self._store_f32_fn(dst, lanes)
+            account = self._account_fn(
+                insn, store_addr_fn=addr_fn, store_size=4 * lanes
+            )
+            code = src.code
+
+            def step() -> int:
+                store(vec[code, :lanes])
+                account()
+                return nxt
+            return step
+        if isinstance(dst, VectorRegister) and isinstance(src, VectorRegister):
+            lanes = 1 if scalar else max(dst.lanes_f32, src.lanes_f32)
+            account = self._account_fn(insn)
+            dcode, scode = dst.code, src.code
+
+            def step() -> int:
+                row = vec[dcode]
+                row[:] = 0.0
+                row[:lanes] = vec[scode, :lanes]
+                account()
+                return nxt
+            return step
+        raise MachineError(f"unsupported {name} form: {insn}")
+
+    def _compile_vxorps(self, insn: Instruction, nxt: int):
+        dst, a, b = insn.operands
+        vec_i32 = self.vec_i32
+        vec = self.vec
+        account = self._account_fn(insn)
+        lanes = dst.lanes_f32
+        dcode = dst.code
+
+        if isinstance(a, VectorRegister) and isinstance(b, VectorRegister):
+            if a.code == b.code:
+                def step() -> int:
+                    vec[dcode, :] = 0.0
+                    account()
+                    return nxt
+                return step
+            acode, bcode = a.code, b.code
+
+            def step() -> int:
+                vec_i32[dcode, :] = 0
+                vec_i32[dcode, :lanes] = vec_i32[acode, :lanes] ^ vec_i32[bcode, :lanes]
+                account()
+                return nxt
+            return step
+        raise MachineError(f"unsupported vxorps form: {insn}")
+
+    def _compile_broadcast(self, insn: Instruction, nxt: int):
+        dst, src = insn.operands
+        vec = self.vec
+        vec_i32 = self.vec_i32
+        lanes = dst.lanes_f32
+        dcode = dst.code
+        is_int = insn.mnemonic == "vpbroadcastd"
+
+        if isinstance(src, Mem):
+            if is_int:
+                load, addr_fn = self._load_int_fn(src)
+            else:
+                load, addr_fn = self._load_f32_fn(src, 1)
+            account = self._account_fn(insn, load_addr_fn=addr_fn, load_size=4)
+
+            if is_int:
+                def step() -> int:
+                    vec_i32[dcode, :] = 0
+                    vec_i32[dcode, :lanes] = load()
+                    account()
+                    return nxt
+            else:
+                def step() -> int:
+                    vec[dcode, :] = 0.0
+                    vec[dcode, :lanes] = load()[0]
+                    account()
+                    return nxt
+            return step
+        if isinstance(src, VectorRegister):
+            scode = src.code
+            account = self._account_fn(insn)
+
+            if is_int:
+                def step() -> int:
+                    vec_i32[dcode, :] = 0
+                    vec_i32[dcode, :lanes] = vec_i32[scode, 0]
+                    account()
+                    return nxt
+            else:
+                def step() -> int:
+                    vec[dcode, :] = 0.0
+                    vec[dcode, :lanes] = vec[scode, 0]
+                    account()
+                    return nxt
+            return step
+        raise MachineError(f"unsupported broadcast form: {insn}")
+
+    def _compile_vec3(self, insn: Instruction, nxt: int):
+        dst, a, b = insn.operands
+        vec = self.vec
+        vec_i32 = self.vec_i32
+        lanes = dst.lanes_f32
+        dcode, acode = dst.code, a.code
+        name = insn.mnemonic
+        is_int = name in ("vpaddd", "vpmulld")
+        state = vec_i32 if is_int else vec
+
+        float_ops = {
+            "vaddps": np.add, "vsubps": np.subtract,
+            "vmulps": np.multiply, "vdivps": np.divide,
+            "vpaddd": np.add, "vpmulld": np.multiply,
+        }
+        op = float_ops[name]
+
+        if isinstance(b, VectorRegister):
+            bcode = b.code
+            account = self._account_fn(insn)
+
+            def step() -> int:
+                result = op(state[acode, :lanes], state[bcode, :lanes])
+                state[dcode, lanes:] = 0
+                state[dcode, :lanes] = result
+                account()
+                return nxt
+            return step
+        if isinstance(b, Mem):
+            if is_int:
+                raise MachineError(f"memory form not supported: {insn}")
+            load, addr_fn = self._load_f32_fn(b, lanes)
+            account = self._account_fn(
+                insn, load_addr_fn=addr_fn, load_size=4 * lanes
+            )
+
+            def step() -> int:
+                result = op(state[acode, :lanes], load())
+                state[dcode, lanes:] = 0
+                state[dcode, :lanes] = result
+                account()
+                return nxt
+            return step
+        raise MachineError(f"unsupported {name} form: {insn}")
+
+    def _compile_vec3_scalar(self, insn: Instruction, nxt: int):
+        dst, a, b = insn.operands
+        vec = self.vec
+        dcode, acode = dst.code, a.code
+        name = insn.mnemonic
+        ops = {"vaddss": np.float32.__add__, "vsubss": np.float32.__sub__,
+               "vmulss": np.float32.__mul__}
+        op = ops[name]
+
+        if isinstance(b, VectorRegister):
+            bcode = b.code
+            account = self._account_fn(insn)
+
+            def step() -> int:
+                value = op(np.float32(vec[acode, 0]), np.float32(vec[bcode, 0]))
+                row = vec[dcode]
+                upper = vec[acode, 1:4].copy()
+                row[:] = 0.0
+                row[0] = value
+                row[1:4] = upper
+                account()
+                return nxt
+            return step
+        if isinstance(b, Mem):
+            load, addr_fn = self._load_f32_fn(b, 1)
+            account = self._account_fn(insn, load_addr_fn=addr_fn, load_size=4)
+
+            def step() -> int:
+                value = op(np.float32(vec[acode, 0]), np.float32(load()[0]))
+                row = vec[dcode]
+                upper = vec[acode, 1:4].copy()
+                row[:] = 0.0
+                row[0] = value
+                row[1:4] = upper
+                account()
+                return nxt
+            return step
+        raise MachineError(f"unsupported {name} form: {insn}")
+
+    def _compile_fma(self, insn: Instruction, nxt: int):
+        dst, a, b = insn.operands
+        vec = self.vec
+        scalar = insn.mnemonic == "vfmadd231ss"
+        lanes = 1 if scalar else dst.lanes_f32
+        dcode, acode = dst.code, a.code
+
+        if isinstance(b, VectorRegister):
+            bcode = b.code
+            account = self._account_fn(insn)
+
+            def step() -> int:
+                vec[dcode, :lanes] += vec[acode, :lanes] * vec[bcode, :lanes]
+                account()
+                return nxt
+            return step
+        if isinstance(b, Mem):
+            load, addr_fn = self._load_f32_fn(b, lanes)
+            account = self._account_fn(
+                insn, load_addr_fn=addr_fn, load_size=4 * lanes
+            )
+
+            def step() -> int:
+                vec[dcode, :lanes] += vec[acode, :lanes] * load()
+                account()
+                return nxt
+            return step
+        raise MachineError(f"unsupported fma form: {insn}")
+
+    def _compile_vhaddps(self, insn: Instruction, nxt: int):
+        dst, a, b = insn.operands
+        if dst.width != 128:
+            raise MachineError("vhaddps supported for xmm only in this subset")
+        vec = self.vec
+        dcode, acode, bcode = dst.code, a.code, b.code
+        account = self._account_fn(insn)
+
+        def step() -> int:
+            av = vec[acode, :4]
+            bv = vec[bcode, :4]
+            result = np.array(
+                [av[0] + av[1], av[2] + av[3], bv[0] + bv[1], bv[2] + bv[3]],
+                dtype=np.float32,
+            )
+            row = vec[dcode]
+            row[:] = 0.0
+            row[:4] = result
+            account()
+            return nxt
+        return step
+
+    def _compile_extract(self, insn: Instruction, nxt: int):
+        dst, src, imm = insn.operands
+        if not isinstance(dst, VectorRegister):
+            raise MachineError("memory destination extract unsupported")
+        out_lanes = 4 if insn.mnemonic == "vextractf128" else 8
+        offset = imm.value * out_lanes
+        vec = self.vec
+        dcode, scode = dst.code, src.code
+        account = self._account_fn(insn)
+
+        def step() -> int:
+            chunk = vec[scode, offset: offset + out_lanes].copy()
+            row = vec[dcode]
+            row[:] = 0.0
+            row[:out_lanes] = chunk
+            account()
+            return nxt
+        return step
+
+    def _compile_vpslld(self, insn: Instruction, nxt: int):
+        dst, src, imm = insn.operands
+        vec_i32 = self.vec_i32
+        lanes = dst.lanes_f32
+        dcode, scode, k = dst.code, src.code, imm.value
+        account = self._account_fn(insn)
+
+        def step() -> int:
+            result = vec_i32[scode, :lanes] << k
+            vec_i32[dcode, :] = 0
+            vec_i32[dcode, :lanes] = result
+            account()
+            return nxt
+        return step
+
+    def _compile_gather(self, insn: Instruction, nxt: int):
+        dst, mem = insn.operands
+        if not mem.is_gather or mem.base is None:
+            raise MachineError(f"vgatherdps needs base + vector index: {insn}")
+        vec = self.vec
+        vec_i32 = self.vec_i32
+        lanes = dst.lanes_f32
+        dcode = dst.code
+        icode = mem.index.code
+        scale, disp = mem.scale, mem.disp
+        base_code = mem.base.code
+        gpr_state = self.gpr
+        memory = self.memory
+        counters = self.counters
+        caches = self.caches
+        pipeline = self.pipeline
+
+        def step() -> int:
+            base = gpr_state[base_code] + disp
+            indices = vec_i32[icode, :lanes]
+            refs = []
+            row = vec[dcode]
+            row[lanes:] = 0.0
+            for lane in range(lanes):
+                addr = base + int(indices[lane]) * scale
+                seg = memory.segment_of(addr, 4)
+                off = addr - seg.base
+                row[lane] = seg.f32v[off >> 2] if not off & 3 else np.frombuffer(
+                    seg.raw[off: off + 4].tobytes(), np.float32
+                )[0]
+                if caches is not None:
+                    level = caches.access(addr, 4)
+                    _count_level(counters, level)
+                    refs.append((level, addr >> 6))
+            counters.instructions += 1
+            counters.simd_instructions += 1
+            counters.memory_loads += lanes
+            counters.loaded_bytes += 4 * lanes
+            counters.gather_elements += lanes
+            if pipeline is not None:
+                pipeline.issue(insn, load_refs=tuple(refs), gather_lanes=lanes)
+            return nxt
+        return step
+
+
+def _dest_lanes(insn: Instruction) -> int:
+    op = insn.operands[0]
+    if isinstance(op, VectorRegister):
+        if insn.mnemonic.endswith("ss"):
+            return 1
+        return op.lanes_f32
+    return 1
+
+
+def _count_level(counters: Counters, level: str) -> None:
+    if level == "l1":
+        counters.l1_hits += 1
+    elif level == "l2":
+        counters.l1_misses += 1
+        counters.l2_hits += 1
+    else:
+        counters.l1_misses += 1
+        counters.l2_misses += 1

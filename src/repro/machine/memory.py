@@ -1,0 +1,148 @@
+"""Flat simulated address space backed by numpy arrays.
+
+Host arrays (CSR components, the dense matrices, parameter blocks) are
+*mapped* into the simulated address space; generated code then addresses
+them with ordinary base+index*scale effective addresses.  Mapping is
+zero-copy: a simulated store into the output segment mutates the numpy
+array the caller handed in, which is how results come back out of the
+machine.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import MachineError, SegmentationFault
+
+__all__ = ["Memory", "Segment"]
+
+_PAGE = 4096
+_GUARD = _PAGE  # unmapped gap between segments to catch overruns
+
+
+@dataclass
+class Segment:
+    """One mapped region: ``[base, base + size)`` over a numpy buffer."""
+
+    name: str
+    base: int
+    raw: np.ndarray  # uint8 view of the underlying buffer
+
+    def __post_init__(self) -> None:
+        # Typed views for fast aligned access (bases are page-aligned, so
+        # in-segment offsets have the same alignment as addresses).
+        usable4 = self.raw.size - self.raw.size % 4
+        usable8 = self.raw.size - self.raw.size % 8
+        self.f32v = self.raw[:usable4].view(np.float32)
+        self.i32v = self.raw[:usable4].view(np.int32)
+        self.i64v = self.raw[:usable8].view(np.int64)
+
+    @property
+    def size(self) -> int:
+        return int(self.raw.size)
+
+    @property
+    def end(self) -> int:
+        return self.base + self.size
+
+    def contains(self, addr: int, size: int) -> bool:
+        return self.base <= addr and addr + size <= self.end
+
+
+class Memory:
+    """Simulated flat memory composed of non-overlapping segments."""
+
+    def __init__(self, base: int = 0x10000) -> None:
+        self._cursor = base
+        self._segments: list[Segment] = []
+        self._bases: list[int] = []
+
+    # ------------------------------------------------------------------
+    # Mapping
+    # ------------------------------------------------------------------
+    def map_array(self, array: np.ndarray, name: str = "") -> int:
+        """Map a numpy array into the address space; returns its base.
+
+        The array must be C-contiguous; the mapping aliases its buffer, so
+        simulated stores are visible to the host and vice versa.
+        """
+        array = np.ascontiguousarray(array) if not array.flags["C_CONTIGUOUS"] else array
+        raw = array.view(np.uint8).reshape(-1)
+        base = self._cursor
+        segment = Segment(name or f"seg{len(self._segments)}", base, raw)
+        self._segments.append(segment)
+        self._bases.append(base)
+        self._cursor = _align(base + max(1, raw.size) + _GUARD)
+        return base
+
+    def map_zeros(self, size: int, name: str = "") -> tuple[int, np.ndarray]:
+        """Map a zero-initialized scratch region; returns (base, array)."""
+        if size <= 0:
+            raise MachineError(f"scratch size must be positive, got {size}")
+        array = np.zeros(size, dtype=np.uint8)
+        return self.map_array(array, name=name), array
+
+    def segment_of(self, addr: int, size: int = 1) -> Segment:
+        """Find the segment containing ``[addr, addr+size)``."""
+        index = bisect.bisect_right(self._bases, addr) - 1
+        if index >= 0:
+            segment = self._segments[index]
+            if segment.contains(addr, size):
+                return segment
+        raise SegmentationFault(
+            f"access to unmapped address {addr:#x} (+{size} bytes)"
+        )
+
+    @property
+    def segments(self) -> tuple[Segment, ...]:
+        return tuple(self._segments)
+
+    # ------------------------------------------------------------------
+    # Scalar access (integers, little-endian)
+    # ------------------------------------------------------------------
+    def read_int(self, addr: int, size: int) -> int:
+        """Read a little-endian unsigned integer of ``size`` bytes."""
+        segment = self.segment_of(addr, size)
+        off = addr - segment.base
+        return int.from_bytes(segment.raw[off: off + size].tobytes(), "little")
+
+    def write_int(self, addr: int, size: int, value: int) -> None:
+        """Write the low ``size`` bytes of ``value`` little-endian."""
+        segment = self.segment_of(addr, size)
+        off = addr - segment.base
+        mask = (1 << (size * 8)) - 1
+        segment.raw[off: off + size] = np.frombuffer(
+            (value & mask).to_bytes(size, "little"), dtype=np.uint8
+        )
+
+    # ------------------------------------------------------------------
+    # Float access (32-bit lanes)
+    # ------------------------------------------------------------------
+    def read_f32(self, addr: int, lanes: int = 1) -> np.ndarray:
+        """Read ``lanes`` consecutive float32 values."""
+        segment = self.segment_of(addr, 4 * lanes)
+        off = addr - segment.base
+        chunk = segment.raw[off: off + 4 * lanes]
+        return chunk.view(np.float32).copy() if addr % 4 == 0 else np.frombuffer(
+            chunk.tobytes(), dtype=np.float32
+        ).copy()
+
+    def write_f32(self, addr: int, values: np.ndarray) -> None:
+        """Write an array of float32 values at ``addr``."""
+        values = np.asarray(values, dtype=np.float32)
+        segment = self.segment_of(addr, 4 * values.size)
+        off = addr - segment.base
+        segment.raw[off: off + 4 * values.size] = values.view(np.uint8).reshape(-1)
+
+    def read_i32_vec(self, addr: int, lanes: int) -> np.ndarray:
+        """Read ``lanes`` consecutive int32 values."""
+        segment = self.segment_of(addr, 4 * lanes)
+        off = addr - segment.base
+        return segment.raw[off: off + 4 * lanes].view(np.int32).copy()
+
+
+def _align(addr: int, page: int = _PAGE) -> int:
+    return (addr + page - 1) // page * page

@@ -1,0 +1,74 @@
+"""Perf-style reports: named counter sets, comparisons, ASCII tables.
+
+The evaluation section of the paper presents results as relative metrics —
+speedups over baselines (Figs. 9-10) and per-event ratios (Table II,
+Fig. 11).  :class:`PerfReport` is the container the bench harness uses to
+collect named runs and render those comparisons.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.machine.counters import Counters
+
+__all__ = ["PerfReport"]
+
+
+@dataclass
+class PerfReport:
+    """A set of named measurement runs with comparison helpers."""
+
+    title: str = ""
+    runs: dict[str, Counters] = field(default_factory=dict)
+    ghz: float = 3.7
+
+    def add(self, name: str, counters: Counters) -> None:
+        self.runs[name] = counters
+
+    def seconds(self, name: str) -> float:
+        return self.runs[name].seconds(self.ghz)
+
+    def speedup(self, baseline: str, contender: str) -> float:
+        """How much faster ``contender`` is than ``baseline`` (>1 = faster)."""
+        base = self.runs[baseline].cycles
+        cont = self.runs[contender].cycles
+        if cont == 0:
+            raise ZeroDivisionError(f"run {contender!r} has zero cycles")
+        return base / cont
+
+    def ratio(self, metric: str, baseline: str, contender: str) -> float:
+        """Event-count ratio baseline/contender (>1 = contender uses fewer)."""
+        base = getattr(self.runs[baseline], metric)
+        cont = getattr(self.runs[contender], metric)
+        if cont == 0:
+            return float("inf") if base else 1.0
+        return base / cont
+
+    def table(self, metrics: tuple[str, ...] = (
+        "instructions", "memory_loads", "branches", "branch_misses", "cycles",
+    )) -> str:
+        """Render the report as a fixed-width ASCII table."""
+        headers = ["run", *metrics, "seconds"]
+        rows = [headers]
+        for name, counters in self.runs.items():
+            row = [name]
+            for metric in metrics:
+                value = getattr(counters, metric)
+                row.append(f"{value:,.0f}" if isinstance(value, float) else f"{value:,}")
+            row.append(f"{counters.seconds(self.ghz):.6f}")
+            rows.append(row)
+        widths = [max(len(row[i]) for row in rows) for i in range(len(headers))]
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        for index, row in enumerate(rows):
+            lines.append(
+                "  ".join(cell.rjust(width) for cell, width in zip(row, widths))
+            )
+            if index == 0:
+                lines.append("  ".join("-" * width for width in widths))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.table()

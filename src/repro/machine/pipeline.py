@@ -1,0 +1,244 @@
+"""Dependency-scoreboard pipeline model for cycle estimation.
+
+The paper's coarse-grain column merging exists to "maximize
+instruction-level parallelism" (§IV-C): independent vector accumulators
+remove the serial dependence that a single scalar accumulator creates.
+Counting instructions cannot see that difference — a latency/port model
+can.  This scoreboard models an out-of-order core the way analytical
+tools like llvm-mca do:
+
+* the front end issues at most ``issue_width`` instructions per cycle;
+* each instruction starts when its register inputs are ready and its
+  execution group has had aggregate capacity for all earlier work
+  (cumulative-work bound: out-of-order cores do not suffer head-of-line
+  blocking on ports, so groups bound *throughput*, not order);
+* loads add the serving cache level's load-to-use latency, and misses to
+  memory additionally queue on a per-core DRAM bandwidth bound;
+* a load from a line with an in-flight older store waits for that store
+  (store-to-load forwarding), which is what serializes kernels that
+  accumulate output rows in memory instead of registers (paper §IV-D.1);
+* a mispredicted branch stalls the front end for ``branch_miss_penalty``
+  cycles (pipeline flush + refill, §III-B);
+* the register-zeroing idiom (``vxorps r,r,r``) breaks dependencies, as
+  on real hardware.
+
+Geometry and latencies default to Skylake-SP-like values (the paper's
+Xeon Gold 6126).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.isa.instructions import InsnKind, Instruction
+from repro.isa.registers import Register, VectorRegister
+
+__all__ = ["PipelineModel", "PipelineSpec"]
+
+
+@dataclass(frozen=True)
+class PipelineSpec:
+    """Microarchitecture parameters for the scoreboard."""
+
+    issue_width: int = 4
+    branch_miss_penalty: float = 16.0
+    #: load-to-use latency per serving level
+    load_latency: tuple[tuple[str, float], ...] = (
+        ("l1", 5.0), ("l2", 14.0), ("mem", 80.0),
+    )
+    #: cycles of per-core DRAM bandwidth consumed per missing cache line
+    dram_service: float = 6.0
+    #: store-to-load forwarding latency (store data -> dependent load)
+    forward_latency: float = 5.0
+    #: execution-port groups: name -> number of identical pipes
+    ports: tuple[tuple[str, int], ...] = (
+        ("alu", 4), ("vec", 2), ("shuffle", 1),
+        ("load", 2), ("store", 1), ("branch", 1), ("dram", 1),
+    )
+    #: instruction kind -> (latency cycles, port group)
+    kind_costs: tuple[tuple[InsnKind, float, str], ...] = (
+        (InsnKind.MOV_INT, 1.0, "alu"),
+        (InsnKind.ALU_INT, 1.0, "alu"),
+        (InsnKind.MUL_INT, 3.0, "alu"),
+        (InsnKind.LEA, 1.0, "alu"),
+        (InsnKind.BRANCH, 1.0, "branch"),
+        (InsnKind.COND_BRANCH, 1.0, "branch"),
+        (InsnKind.RET, 1.0, "branch"),
+        (InsnKind.NOP, 0.0, "alu"),
+        (InsnKind.ATOMIC, 20.0, "alu"),
+        (InsnKind.VEC_MOV, 1.0, "vec"),
+        (InsnKind.VEC_XOR, 1.0, "vec"),
+        (InsnKind.VEC_ALU, 4.0, "vec"),
+        (InsnKind.VEC_MUL, 4.0, "vec"),
+        (InsnKind.VEC_FMA, 4.0, "vec"),
+        (InsnKind.VEC_IMUL, 10.0, "vec"),
+        (InsnKind.VEC_BCAST, 3.0, "shuffle"),
+        (InsnKind.VEC_GATHER, 22.0, "load"),
+        (InsnKind.VEC_HADD, 6.0, "shuffle"),
+        (InsnKind.VEC_EXTRACT, 3.0, "shuffle"),
+    )
+
+    def load_latency_map(self) -> dict[str, float]:
+        return dict(self.load_latency)
+
+    def kind_cost_map(self) -> dict[InsnKind, tuple[float, str]]:
+        return {kind: (lat, group) for kind, lat, group in self.kind_costs}
+
+
+def _reg_key(reg: Register) -> tuple[str, int]:
+    # XMM/YMM/ZMM aliases of the same physical register share a key, so a
+    # write to zmm0 correctly feeds a later read of xmm0 (paper §IV-D.1).
+    if isinstance(reg, VectorRegister):
+        return ("v", reg.code)
+    return ("g", reg.code)
+
+
+class _PortGroup:
+    """Aggregate-throughput bound: ``start >= total_prior_work / pipes``.
+
+    An out-of-order core can execute ready instructions in any order, so
+    per-pipe future reservations would wrongly serialize independent work
+    behind one stalled instruction.  The cumulative-work bound keeps the
+    group's *throughput* limit (no more than ``pipes`` service-cycles per
+    cycle in the long run) without imposing order.
+    """
+
+    __slots__ = ("pipes", "work")
+
+    def __init__(self, pipes: int) -> None:
+        self.pipes = pipes
+        self.work = 0.0
+
+    def issue(self, ready: float, service: float = 1.0) -> float:
+        start = self.work / self.pipes
+        if ready > start:
+            start = ready
+        self.work += service
+        return start
+
+
+class PipelineModel:
+    """Online scoreboard; feed it the dynamic instruction stream."""
+
+    def __init__(self, spec: PipelineSpec | None = None) -> None:
+        self.spec = spec or PipelineSpec()
+        self._kind_cost = self.spec.kind_cost_map()
+        self._load_latency = self.spec.load_latency_map()
+        self._groups = {
+            name: _PortGroup(count) for name, count in self.spec.ports
+        }
+        self._load_ports = dict(self.spec.ports).get("load", 2)
+        self._reg_ready: dict[tuple[str, int], float] = {}
+        self._line_ready: dict[int, float] = {}
+        self._flags_ready = 0.0
+        self._fetch_time = 0.0
+        self._fetch_step = 1.0 / self.spec.issue_width
+        self._last_complete = 0.0
+
+    # ------------------------------------------------------------------
+    def issue(
+        self,
+        insn: Instruction,
+        load_refs: tuple[tuple[str, int], ...] = (),
+        store_refs: tuple[tuple[str, int], ...] = (),
+        mispredicted: bool = False,
+        gather_lanes: int = 0,
+    ) -> float:
+        """Account for one executed instruction; returns completion cycle.
+
+        ``load_refs`` / ``store_refs`` carry ``(cache_level, line_id)``
+        pairs for each memory line the instruction touches.
+        """
+        latency, group = self._kind_cost[insn.kind]
+
+        fetch = self._fetch_time
+        reg_ready = self._reg_ready
+
+        def ready_of(regs, base: float) -> float:
+            t = base
+            for reg in regs:
+                v = reg_ready.get(_reg_key(reg))
+                if v is not None and v > t:
+                    t = v
+            return t
+
+        # Load micro-op: needs only the address registers (and, when an
+        # older store to the same line is in flight, that store's data —
+        # store-to-load forwarding).  Splitting it from the execution
+        # micro-op lets e.g. an FMA's memory operand load ahead of the
+        # accumulator chain, as real out-of-order cores do.
+        load_done = 0.0
+        if load_refs:
+            addr_ready = ready_of(insn.registers_read_addr(), fetch)
+            line_ready = self._line_ready
+            forwarded = set()
+            for _, line in load_refs:
+                t = line_ready.get(line)
+                if t is not None:
+                    forwarded.add(line)
+                    if t > addr_ready:
+                        addr_ready = t
+            load_start = self._groups["load"].issue(addr_ready)
+            worst = 0.0
+            dram = self._groups["dram"]
+            for level, line in load_refs:
+                if line in forwarded:
+                    lat = self.spec.forward_latency
+                else:
+                    lat = self._load_latency[level]
+                    if level == "mem":
+                        dram_start = dram.issue(load_start,
+                                                self.spec.dram_service)
+                        lat += dram_start - load_start
+                if lat > worst:
+                    worst = lat
+            load_done = load_start + worst
+
+        ready = ready_of(insn.registers_read_data(), fetch)
+        if insn.info.reads_flags and self._flags_ready > ready:
+            ready = self._flags_ready
+        if load_done > ready:
+            ready = load_done
+
+        if gather_lanes:
+            # a gather occupies the load pipes; Skylake-class gathers
+            # sustain ~2 lanes per cycle per load pipe
+            service = max(1.0, gather_lanes / (2 * self._load_ports))
+            start = self._groups[group].issue(ready, service=service)
+        else:
+            start = self._groups[group].issue(ready)
+        complete = start + latency
+
+        if store_refs:
+            self._groups["store"].issue(start)
+            line_ready = self._line_ready
+            dram = self._groups["dram"]
+            for level, line in store_refs:
+                line_ready[line] = complete
+                if level == "mem":
+                    dram.issue(start, self.spec.dram_service)
+
+        for reg in insn.registers_written():
+            reg_ready[_reg_key(reg)] = complete
+        if insn.info.writes_flags:
+            self._flags_ready = complete
+
+        self._fetch_time += self._fetch_step
+        if mispredicted:
+            # flush: the front end resumes after the branch resolves plus
+            # the refill penalty
+            self._fetch_time = complete + self.spec.branch_miss_penalty
+        if complete > self._last_complete:
+            self._last_complete = complete
+        return complete
+
+    @property
+    def cycles(self) -> float:
+        """Total elapsed cycles so far."""
+        return max(self._last_complete, self._fetch_time)
+
+    def advance(self, cycles: float) -> None:
+        """Externally stall the core (e.g. atomic serialization in SMP)."""
+        target = self.cycles + cycles
+        if target > self._fetch_time:
+            self._fetch_time = target

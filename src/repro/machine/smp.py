@@ -1,0 +1,151 @@
+"""Multi-core execution: threads, round-robin scheduling, atomicity.
+
+Mirrors the paper's execution model (Fig. 5): a number of threads are
+spawned, each independently determines its workload and invokes the
+jit-function; when all complete, results are joined.  Threads share the
+:class:`Memory` but have private registers, caches, predictors and
+pipelines (the paper's Xeon has private L1/L2 per core; we do not model
+shared-L3 contention).
+
+Scheduling interleaves threads at a fixed instruction quantum, which is
+what makes the ``lock xadd`` dynamic row dispatcher (paper Listing 1)
+meaningful: threads race for batches exactly as on real hardware, just
+with a deterministic interleaving.  Instructions never interleave
+*within* an instruction, so ``lock``-prefixed read-modify-writes are
+atomic by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ExecutionLimitExceeded
+from repro.isa.assembler import Program
+from repro.machine.counters import Counters
+from repro.machine.cpu import Cpu, CpuConfig
+from repro.machine.memory import Memory
+
+__all__ = ["Machine", "ThreadSpec"]
+
+#: Modeled fixed cost of spawning a thread team and joining it (cycles).
+#: Kept small relative to kernel runtimes on the scaled twins; at the
+#: paper's matrix sizes any constant here is invisible.
+THREAD_OVERHEAD_CYCLES = 200.0
+
+
+@dataclass
+class ThreadSpec:
+    """One thread's work order: a program plus initial register values."""
+
+    program: Program
+    init_gpr: dict = field(default_factory=dict)
+    name: str = ""
+
+
+class _ThreadState:
+    def __init__(self, cpu: Cpu, spec: ThreadSpec) -> None:
+        self.cpu = cpu
+        self.spec = spec
+        for reg, value in spec.init_gpr.items():
+            cpu.set_gpr(reg, value)
+        self.steps = cpu._compile(spec.program)
+        self.pc = 0
+        self.done = len(self.steps) == 0
+        self.executed = 0
+
+    def run_quantum(self, quantum: int) -> None:
+        steps = self.steps
+        pc = self.pc
+        n = len(steps)
+        remaining = quantum
+        while remaining > 0:
+            pc = steps[pc]()
+            self.executed += 1
+            remaining -= 1
+            if not 0 <= pc < n:
+                self.done = True
+                break
+        self.pc = pc
+
+    def finalize(self) -> Counters:
+        if self.cpu.pipeline is not None:
+            self.cpu.counters.cycles = self.cpu.pipeline.cycles
+        return self.cpu.counters
+
+
+class Machine:
+    """A multi-core machine over one shared memory."""
+
+    def __init__(
+        self,
+        memory: Memory,
+        config: CpuConfig | None = None,
+        quantum: int = 64,
+    ) -> None:
+        if quantum <= 0:
+            raise ValueError(f"quantum must be positive, got {quantum}")
+        self.memory = memory
+        self.config = config or CpuConfig()
+        self.quantum = quantum
+
+    def run(
+        self,
+        threads: list[ThreadSpec],
+        warmup: bool = False,
+        between_runs=None,
+    ) -> tuple[Counters, list[Counters]]:
+        """Run all threads to completion.
+
+        Returns ``(merged, per_thread)`` counters.  Merged counters sum all
+        events except cycles, which take the slowest thread (that is the
+        machine's elapsed time) plus a fixed spawn/join overhead.
+
+        With ``warmup=True`` the whole workload executes twice and only
+        the second (warm caches, trained predictors) run is measured —
+        the steady state the paper's average-of-ten methodology reports.
+        ``between_runs()`` is called after the warm-up pass so the caller
+        can reset non-idempotent shared state (the dynamic dispatcher's
+        ``NEXT`` counter).
+        """
+        cpus = [Cpu(self.memory, self.config) for _ in threads]
+        if warmup:
+            for cpu in cpus:
+                cpu.disable_pipeline()  # warm caches/predictors cheaply
+            self._execute([_ThreadState(cpu, spec)
+                           for cpu, spec in zip(cpus, threads)])
+            for cpu in cpus:
+                cpu.reset_metrics()
+            if between_runs is not None:
+                between_runs()
+        states = [_ThreadState(cpu, spec) for cpu, spec in zip(cpus, threads)]
+        self._execute(states)
+        per_thread = [state.finalize() for state in states]
+        merged = Counters()
+        for counters in per_thread:
+            merged.merge(counters)
+        if merged.cycles:
+            merged.cycles += THREAD_OVERHEAD_CYCLES
+        return merged, per_thread
+
+    def _execute(self, states: list[_ThreadState]) -> None:
+        budget = self.config.max_instructions
+        total_executed = 0
+        while True:
+            alive = False
+            for state in states:
+                if state.done:
+                    continue
+                alive = True
+                state.run_quantum(self.quantum)
+                total_executed += self.quantum
+            if not alive:
+                break
+            if total_executed > budget * max(1, len(states)):
+                raise ExecutionLimitExceeded(
+                    f"machine exceeded {budget} instructions per thread"
+                )
+
+    def run_single(self, spec: ThreadSpec) -> Counters:
+        """Convenience wrapper for single-thread programs."""
+        merged, _ = self.run([spec])
+        return merged

@@ -1,0 +1,89 @@
+"""Execution tracing: a perf-record-like facility for the simulator.
+
+Wraps a :class:`Cpu` so every retired instruction is appended to a
+bounded trace with its program counter, disassembly, and running event
+counts.  Useful for debugging generated kernels ("why is this branch
+always mispredicted?") and for teaching — the examples print annotated
+traces of the paper's Listing-2 inner loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.isa.assembler import Program
+from repro.machine.cpu import Cpu
+
+__all__ = ["TraceEntry", "Tracer"]
+
+
+@dataclass(frozen=True)
+class TraceEntry:
+    """One retired instruction."""
+
+    seq: int
+    pc: int
+    text: str
+    cycles: float
+
+    def __str__(self) -> str:
+        return f"{self.seq:8d}  pc={self.pc:5d}  cyc={self.cycles:12,.1f}  {self.text}"
+
+
+@dataclass
+class Tracer:
+    """Bounded instruction trace recorder for one CPU.
+
+    Attributes:
+        limit: Keep at most this many most-recent entries (ring buffer
+            semantics; old entries are dropped).
+    """
+
+    cpu: Cpu
+    limit: int = 10_000
+    entries: list[TraceEntry] = field(default_factory=list)
+    _installed: bool = False
+
+    def run(self, program: Program, **kwargs) -> None:
+        """Execute ``program`` on the wrapped CPU, recording the trace."""
+        steps = self.cpu._compile(program)
+        texts = [str(insn) for insn in program.instructions]
+        wrapped = [self._wrap(step, pc, texts[pc])
+                   for pc, step in enumerate(steps)]
+        # temporarily substitute the compiled steps
+        self.cpu._compiled[id(program)] = wrapped
+        try:
+            self.cpu.run(program, **kwargs)
+        finally:
+            del self.cpu._compiled[id(program)]
+
+    def _wrap(self, step, pc: int, text: str):
+        entries = self.entries
+        limit = self.limit
+        cpu = self.cpu
+
+        def traced() -> int:
+            nxt = step()
+            cycles = cpu.pipeline.cycles if cpu.pipeline is not None else 0.0
+            entries.append(TraceEntry(len(entries), pc, text, cycles))
+            if len(entries) > 2 * limit:
+                del entries[:limit]
+            return nxt
+
+        return traced
+
+    def tail(self, count: int = 20) -> list[TraceEntry]:
+        return self.entries[-count:]
+
+    def render(self, count: int = 20) -> str:
+        return "\n".join(str(entry) for entry in self.tail(count))
+
+    def histogram(self) -> dict[str, int]:
+        """Dynamic mnemonic histogram of the recorded window."""
+        counts: dict[str, int] = {}
+        for entry in self.entries:
+            mnemonic = entry.text.split()[0]
+            if mnemonic == "lock":
+                mnemonic = "lock " + entry.text.split()[1]
+            counts[mnemonic] = counts.get(mnemonic, 0) + 1
+        return counts

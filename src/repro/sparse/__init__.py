@@ -1,0 +1,26 @@
+"""Sparse-matrix substrate: CSR/COO containers and reference kernels.
+
+The paper stores the sparse operand in Compressed Sparse Row (CSR) form
+(paper §II-A, Figure 2).  This subpackage provides a from-scratch CSR
+implementation (:class:`CsrMatrix`), a COO builder (:class:`CooMatrix`),
+and pure-numpy reference SpMM kernels used as the correctness oracle for
+every generated-code backend in the library.
+"""
+
+from repro.sparse.coo import CooMatrix
+from repro.sparse.csr import CsrMatrix
+from repro.sparse.ops import (
+    spmm_reference,
+    spmm_rowwise,
+    spmm_scalar,
+    spmv_reference,
+)
+
+__all__ = [
+    "CooMatrix",
+    "CsrMatrix",
+    "spmm_reference",
+    "spmm_rowwise",
+    "spmm_scalar",
+    "spmv_reference",
+]

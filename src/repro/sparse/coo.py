@@ -1,0 +1,114 @@
+"""Coordinate-format (COO) sparse matrix.
+
+COO is the natural construction format: a list of ``(row, col, value)``
+triples.  It exists here mainly as a staging container for building
+:class:`repro.sparse.csr.CsrMatrix` instances from edge lists produced by
+the dataset generators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ShapeError, SparseFormatError
+
+__all__ = ["CooMatrix"]
+
+
+@dataclass(frozen=True)
+class CooMatrix:
+    """An immutable sparse matrix in coordinate format.
+
+    Attributes:
+        nrows: Number of rows (``m`` in the paper's notation).
+        ncols: Number of columns (``n``).
+        rows: int64 array of row indices, one per non-zero.
+        cols: int64 array of column indices, one per non-zero.
+        vals: float32 array of non-zero values.
+
+    Duplicate ``(row, col)`` entries are permitted and are summed when the
+    matrix is converted to CSR, mirroring scipy's convention.
+    """
+
+    nrows: int
+    ncols: int
+    rows: np.ndarray
+    cols: np.ndarray
+    vals: np.ndarray
+
+    def __post_init__(self) -> None:
+        rows = np.ascontiguousarray(self.rows, dtype=np.int64)
+        cols = np.ascontiguousarray(self.cols, dtype=np.int64)
+        vals = np.ascontiguousarray(self.vals, dtype=np.float32)
+        if not (rows.ndim == cols.ndim == vals.ndim == 1):
+            raise SparseFormatError("COO arrays must be one-dimensional")
+        if not (rows.size == cols.size == vals.size):
+            raise SparseFormatError(
+                "COO arrays must have equal length: "
+                f"rows={rows.size} cols={cols.size} vals={vals.size}"
+            )
+        if self.nrows < 0 or self.ncols < 0:
+            raise ShapeError(f"negative matrix shape {self.nrows}x{self.ncols}")
+        if rows.size:
+            if rows.min() < 0 or rows.max() >= self.nrows:
+                raise SparseFormatError("row index out of range")
+            if cols.min() < 0 or cols.max() >= self.ncols:
+                raise SparseFormatError("column index out of range")
+        object.__setattr__(self, "rows", rows)
+        object.__setattr__(self, "cols", cols)
+        object.__setattr__(self, "vals", vals)
+
+    @property
+    def nnz(self) -> int:
+        """Number of stored entries (duplicates counted separately)."""
+        return int(self.rows.size)
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (self.nrows, self.ncols)
+
+    @classmethod
+    def from_dense(cls, dense: np.ndarray) -> "CooMatrix":
+        """Build a COO matrix from a dense 2-D array, dropping exact zeros."""
+        dense = np.asarray(dense)
+        if dense.ndim != 2:
+            raise ShapeError(f"expected a 2-D array, got ndim={dense.ndim}")
+        rows, cols = np.nonzero(dense)
+        vals = dense[rows, cols].astype(np.float32)
+        return cls(dense.shape[0], dense.shape[1], rows, cols, vals)
+
+    def to_dense(self) -> np.ndarray:
+        """Materialize as a dense float32 array (duplicates summed)."""
+        out = np.zeros(self.shape, dtype=np.float32)
+        np.add.at(out, (self.rows, self.cols), self.vals)
+        return out
+
+    def transpose(self) -> "CooMatrix":
+        """Return the transpose (swaps row/col index arrays)."""
+        return CooMatrix(self.ncols, self.nrows, self.cols, self.rows, self.vals)
+
+    def sorted_by_row(self) -> "CooMatrix":
+        """Return a copy sorted by (row, col), the CSR-friendly order."""
+        order = np.lexsort((self.cols, self.rows))
+        return CooMatrix(
+            self.nrows,
+            self.ncols,
+            self.rows[order],
+            self.cols[order],
+            self.vals[order],
+        )
+
+    def sum_duplicates(self) -> "CooMatrix":
+        """Return a copy with duplicate coordinates summed into one entry."""
+        if self.nnz == 0:
+            return self
+        sorted_self = self.sorted_by_row()
+        keys = sorted_self.rows * self.ncols + sorted_self.cols
+        unique_keys, inverse = np.unique(keys, return_inverse=True)
+        vals = np.zeros(unique_keys.size, dtype=np.float32)
+        np.add.at(vals, inverse, sorted_self.vals)
+        rows = (unique_keys // self.ncols).astype(np.int64)
+        cols = (unique_keys % self.ncols).astype(np.int64)
+        return CooMatrix(self.nrows, self.ncols, rows, cols, vals)

@@ -1,0 +1,210 @@
+"""Compressed Sparse Row (CSR) matrix, the paper's storage format.
+
+CSR stores a sparse ``m x n`` matrix in three arrays (paper §II-A, Fig. 2):
+
+* ``row_ptr``  — ``m + 1`` offsets; row ``i`` owns the half-open slice
+  ``[row_ptr[i], row_ptr[i+1])`` of the other two arrays;
+* ``col_indices`` — the column index of each non-zero, in row order;
+* ``vals``     — the value of each non-zero.
+
+The class deliberately mirrors the paper's field names (``row_ptr``,
+``col_indices``, ``vals``) so that generated-code listings read the same as
+the paper's Listings 1–2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ShapeError, SparseFormatError
+from repro.sparse.coo import CooMatrix
+
+__all__ = ["CsrMatrix"]
+
+INDEX_DTYPE = np.int64
+VALUE_DTYPE = np.float32
+
+
+@dataclass(frozen=True)
+class CsrMatrix:
+    """An immutable CSR sparse matrix with float32 values.
+
+    Attributes:
+        nrows: Number of rows (``m``).
+        ncols: Number of columns (``n``).
+        row_ptr: int64 array of length ``nrows + 1``.
+        col_indices: int64 array of length ``nnz``.
+        vals: float32 array of length ``nnz``.
+        name: Optional human-readable dataset name (used in reports).
+    """
+
+    nrows: int
+    ncols: int
+    row_ptr: np.ndarray
+    col_indices: np.ndarray
+    vals: np.ndarray
+    name: str = field(default="", compare=False)
+
+    def __post_init__(self) -> None:
+        row_ptr = np.ascontiguousarray(self.row_ptr, dtype=INDEX_DTYPE)
+        col_indices = np.ascontiguousarray(self.col_indices, dtype=INDEX_DTYPE)
+        vals = np.ascontiguousarray(self.vals, dtype=VALUE_DTYPE)
+        object.__setattr__(self, "row_ptr", row_ptr)
+        object.__setattr__(self, "col_indices", col_indices)
+        object.__setattr__(self, "vals", vals)
+        self.validate()
+
+    # ------------------------------------------------------------------
+    # Construction and validation
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Raise :class:`SparseFormatError` if the structure is inconsistent."""
+        if self.nrows < 0 or self.ncols < 0:
+            raise ShapeError(f"negative matrix shape {self.nrows}x{self.ncols}")
+        if self.row_ptr.ndim != 1 or self.row_ptr.size != self.nrows + 1:
+            raise SparseFormatError(
+                f"row_ptr must have length nrows+1={self.nrows + 1}, "
+                f"got {self.row_ptr.size}"
+            )
+        if self.row_ptr[0] != 0:
+            raise SparseFormatError("row_ptr[0] must be 0")
+        diffs = np.diff(self.row_ptr)
+        if diffs.size and diffs.min() < 0:
+            raise SparseFormatError("row_ptr must be non-decreasing")
+        nnz = int(self.row_ptr[-1])
+        if self.col_indices.size != nnz or self.vals.size != nnz:
+            raise SparseFormatError(
+                f"row_ptr[-1]={nnz} disagrees with col_indices/vals lengths "
+                f"{self.col_indices.size}/{self.vals.size}"
+            )
+        if nnz:
+            if self.col_indices.min() < 0 or self.col_indices.max() >= self.ncols:
+                raise SparseFormatError("column index out of range")
+
+    @classmethod
+    def from_coo(cls, coo: CooMatrix, name: str = "") -> "CsrMatrix":
+        """Convert a COO matrix to CSR, summing duplicate coordinates."""
+        deduped = coo.sum_duplicates()
+        row_ptr = np.zeros(coo.nrows + 1, dtype=INDEX_DTYPE)
+        np.add.at(row_ptr, deduped.rows + 1, 1)
+        np.cumsum(row_ptr, out=row_ptr)
+        return cls(
+            coo.nrows, coo.ncols, row_ptr, deduped.cols, deduped.vals, name=name
+        )
+
+    @classmethod
+    def from_dense(cls, dense: np.ndarray, name: str = "") -> "CsrMatrix":
+        """Build a CSR matrix from a dense array, dropping exact zeros."""
+        return cls.from_coo(CooMatrix.from_dense(dense), name=name)
+
+    @classmethod
+    def from_arrays(
+        cls,
+        nrows: int,
+        ncols: int,
+        row_ptr: np.ndarray,
+        col_indices: np.ndarray,
+        vals: np.ndarray,
+        name: str = "",
+    ) -> "CsrMatrix":
+        """Build directly from the three CSR arrays (validated)."""
+        return cls(nrows, ncols, row_ptr, col_indices, vals, name=name)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def nnz(self) -> int:
+        """Number of stored non-zeros."""
+        return int(self.row_ptr[-1])
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (self.nrows, self.ncols)
+
+    def row_lengths(self) -> np.ndarray:
+        """Per-row non-zero counts, as an int64 array of length ``nrows``."""
+        return np.diff(self.row_ptr)
+
+    def row_slice(self, i: int) -> tuple[np.ndarray, np.ndarray]:
+        """Return ``(col_indices, vals)`` views for row ``i``."""
+        if not 0 <= i < self.nrows:
+            raise IndexError(f"row {i} out of range [0, {self.nrows})")
+        lo, hi = int(self.row_ptr[i]), int(self.row_ptr[i + 1])
+        return self.col_indices[lo:hi], self.vals[lo:hi]
+
+    def density(self) -> float:
+        """Fraction of cells that are stored, ``nnz / (nrows * ncols)``."""
+        cells = self.nrows * self.ncols
+        return self.nnz / cells if cells else 0.0
+
+    def mean_row_length(self) -> float:
+        """Average non-zeros per row."""
+        return self.nnz / self.nrows if self.nrows else 0.0
+
+    def max_row_length(self) -> int:
+        """Largest number of non-zeros in any row (0 for empty matrices)."""
+        lengths = self.row_lengths()
+        return int(lengths.max()) if lengths.size else 0
+
+    def gini_row_imbalance(self) -> float:
+        """Gini coefficient of the row-length distribution, in ``[0, 1)``.
+
+        0 means perfectly uniform rows; values near 1 mean a few rows hold
+        almost all non-zeros.  Used by the dataset suite to check that the
+        scaled twins preserve the skew of the originals.
+        """
+        lengths = np.sort(self.row_lengths().astype(np.float64))
+        if lengths.size == 0 or lengths.sum() == 0:
+            return 0.0
+        n = lengths.size
+        ranks = np.arange(1, n + 1, dtype=np.float64)
+        return float((2.0 * (ranks * lengths).sum()) / (n * lengths.sum()) - (n + 1) / n)
+
+    # ------------------------------------------------------------------
+    # Conversions
+    # ------------------------------------------------------------------
+    def to_dense(self) -> np.ndarray:
+        """Materialize as a dense float32 array."""
+        out = np.zeros(self.shape, dtype=VALUE_DTYPE)
+        rows = np.repeat(np.arange(self.nrows), self.row_lengths())
+        out[rows, self.col_indices] = self.vals
+        return out
+
+    def to_coo(self) -> CooMatrix:
+        """Convert back to coordinate format."""
+        rows = np.repeat(
+            np.arange(self.nrows, dtype=INDEX_DTYPE), self.row_lengths()
+        )
+        return CooMatrix(self.nrows, self.ncols, rows, self.col_indices, self.vals)
+
+    def to_scipy(self):
+        """Convert to :class:`scipy.sparse.csr_matrix` (test-only helper)."""
+        import scipy.sparse as sp
+
+        return sp.csr_matrix(
+            (self.vals, self.col_indices, self.row_ptr), shape=self.shape
+        )
+
+    @classmethod
+    def from_scipy(cls, mat, name: str = "") -> "CsrMatrix":
+        """Build from any scipy sparse matrix (test-only helper)."""
+        csr = mat.tocsr()
+        csr.sum_duplicates()
+        return cls(
+            csr.shape[0],
+            csr.shape[1],
+            csr.indptr.astype(INDEX_DTYPE),
+            csr.indices.astype(INDEX_DTYPE),
+            csr.data.astype(VALUE_DTYPE),
+            name=name,
+        )
+
+    def __repr__(self) -> str:
+        label = f" {self.name!r}" if self.name else ""
+        return (
+            f"CsrMatrix({self.nrows}x{self.ncols}, nnz={self.nnz}, "
+            f"mean_row={self.mean_row_length():.2f}{label})"
+        )

@@ -1,0 +1,31 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sparse import CsrMatrix
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+def random_csr(
+    rng: np.random.Generator,
+    nrows: int,
+    ncols: int,
+    density: float = 0.2,
+    name: str = "random",
+) -> CsrMatrix:
+    """Build a random CSR matrix with about ``density`` fill."""
+    mask = rng.random((nrows, ncols)) < density
+    dense = np.where(mask, rng.standard_normal((nrows, ncols)), 0.0)
+    return CsrMatrix.from_dense(dense.astype(np.float32), name=name)
+
+
+@pytest.fixture
+def small_csr(rng: np.random.Generator) -> CsrMatrix:
+    return random_csr(rng, 40, 30, density=0.15)

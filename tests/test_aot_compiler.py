@@ -1,0 +1,131 @@
+"""End-to-end AOT compiler tests: every personality computes correct SpMM."""
+
+import numpy as np
+import pytest
+
+from repro.aot.compiler import AotCompiler, PERSONALITIES, register_pools_for
+from repro.aot.kernels import scalar_spmm_kernel, vectorized_spmm_kernel
+from repro.aot.mkl import MklKernel
+from repro.core.runner import run_aot, run_mkl
+from repro.errors import CodegenError, CompileError
+from repro.isa.isainfo import IsaLevel
+from repro.sparse import spmm_reference
+from tests.conftest import random_csr
+
+
+class TestKernelConstruction:
+    def test_scalar_kernel_validates(self):
+        scalar_spmm_kernel(1).validate()
+        scalar_spmm_kernel(4).validate()
+
+    def test_bad_unroll_rejected(self):
+        with pytest.raises(CompileError):
+            scalar_spmm_kernel(0)
+
+    def test_vectorized_kernel_validates(self):
+        vectorized_spmm_kernel(16).validate()
+        vectorized_spmm_kernel(8).validate()
+
+    def test_bad_lanes_rejected(self):
+        with pytest.raises(CompileError):
+            vectorized_spmm_kernel(5)
+
+    def test_unroll_shrinks_branch_density(self):
+        # the Table II effect: more unrolling, fewer loop back edges
+        one = scalar_spmm_kernel(1)
+        four = scalar_spmm_kernel(4)
+        count_one = sum(len(b.instrs) for b in one.blocks)
+        count_four = sum(len(b.instrs) for b in four.blocks)
+        assert count_four > count_one  # unrolled body is statically bigger
+
+
+class TestCompilerDriver:
+    def test_unknown_personality(self):
+        with pytest.raises(CompileError):
+            AotCompiler("msvc")
+
+    def test_personalities_registered(self):
+        assert set(PERSONALITIES) == {"gcc", "clang", "icc", "icc-avx512"}
+
+    def test_pools_respect_isa(self):
+        avx2 = register_pools_for(IsaLevel.AVX2)
+        avx512 = register_pools_for(IsaLevel.AVX512)
+        assert max(avx2.vec_pool) < 16
+        assert max(avx512.vec_pool) == 31
+        assert "rbp" not in avx2.int_pool
+        assert "rsp" not in avx2.int_pool
+
+    @pytest.mark.parametrize("name", sorted(PERSONALITIES))
+    def test_compiles_and_encodes(self, name):
+        kernel = AotCompiler(name).compile_spmm()
+        assert len(kernel.program.instructions) > 20
+        assert kernel.program.code_size() > 50
+        assert kernel.spill_bytes % 64 == 0
+
+    def test_listing_available(self):
+        kernel = AotCompiler("gcc").compile_spmm()
+        assert "row_head" in kernel.listing()
+
+
+@pytest.mark.parametrize("name", sorted(PERSONALITIES))
+class TestCorrectness:
+    def test_matches_reference(self, rng, name):
+        matrix = random_csr(rng, 35, 28, density=0.18)
+        x = rng.random((28, 5)).astype(np.float32)
+        result = run_aot(matrix, x, personality=name, threads=2, timing=False)
+        assert np.allclose(result.y, spmm_reference(matrix, x), atol=1e-3)
+
+    def test_multiple_thread_counts(self, rng, name):
+        matrix = random_csr(rng, 30, 30, density=0.15)
+        x = rng.random((30, 17)).astype(np.float32)  # odd d exercises tails
+        expected = spmm_reference(matrix, x)
+        for threads in (1, 3):
+            result = run_aot(matrix, x, personality=name, threads=threads,
+                             timing=False)
+            assert np.allclose(result.y, expected, atol=1e-3)
+
+
+class TestMklKernel:
+    def test_bad_lanes(self):
+        with pytest.raises(CodegenError):
+            MklKernel(lanes=4).build()
+
+    @pytest.mark.parametrize("lanes", [8, 16])
+    def test_matches_reference(self, rng, lanes):
+        matrix = random_csr(rng, 30, 25, density=0.2)
+        x = rng.random((25, 19)).astype(np.float32)  # d % lanes != 0
+        result = run_mkl(matrix, x, threads=2, lanes=lanes, timing=False)
+        assert np.allclose(result.y, spmm_reference(matrix, x), atol=1e-3)
+
+    def test_accumulates_in_memory(self, rng):
+        # MKL-like kernels store into Y once per (nnz, strip): far more
+        # stores than the JIT's once-per-row write-back (paper §IV-D.1)
+        matrix = random_csr(rng, 30, 25, density=0.2)
+        x = rng.random((25, 16)).astype(np.float32)
+        result = run_mkl(matrix, x, threads=1, timing=False)
+        assert result.counters.memory_stores > matrix.nnz
+
+
+class TestProfileShape:
+    """The Table II orderings must hold on any reasonable matrix."""
+
+    def test_branch_counts_fall_with_unroll(self, rng):
+        matrix = random_csr(rng, 40, 40, density=0.12)
+        x = rng.random((40, 8)).astype(np.float32)
+        branches = {}
+        for name in ("gcc", "clang", "icc"):
+            result = run_aot(matrix, x, personality=name, threads=1,
+                             timing=False)
+            branches[name] = result.counters.branches
+        assert branches["gcc"] > branches["clang"] > branches["icc"]
+
+    def test_loads_track_column_count(self, rng):
+        # AOT reloads col/vals per column: loads scale ~linearly with d
+        matrix = random_csr(rng, 30, 30, density=0.15)
+        loads = {}
+        for d in (4, 8):
+            x = rng.random((30, d)).astype(np.float32)
+            result = run_aot(matrix, x, personality="gcc", threads=1,
+                             timing=False)
+            loads[d] = result.counters.memory_loads
+        assert loads[8] > 1.7 * loads[4]

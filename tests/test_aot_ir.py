@@ -1,0 +1,108 @@
+"""Tests for the IR, builder, and structural validation."""
+
+import pytest
+
+from repro.aot.builder import IRBuilder
+from repro.aot.ir import Block, Function, Instr, IrType, VReg
+from repro.errors import CompileError
+
+
+def loop_function() -> Function:
+    b = IRBuilder("loop", 1, ("n",))
+    i = b.const(0, "i")
+    total = b.const(0, "total")
+    b.br("head")
+    b.start_block("head", depth=1)
+    b.cbr("ge", i, b.param(0), "exit", "body")
+    b.start_block("body", depth=1)
+    b.iadd(total, i)
+    b.iadd(i, 1)
+    b.br("head")
+    b.start_block("exit")
+    b.ret()
+    return b.finish()
+
+
+class TestInstr:
+    def test_unknown_op_rejected(self):
+        with pytest.raises(CompileError):
+            Instr("frobnicate")
+
+    def test_bad_cbr_condition(self):
+        with pytest.raises(CompileError):
+            Instr("cbr", None, (), {"cond": "whatever",
+                                    "then_label": "a", "else_label": "b"})
+
+    def test_reads_include_address_registers(self):
+        base = VReg("p", IrType.I64)
+        index = VReg("i", IrType.I64)
+        load = Instr("load", VReg("d", IrType.I64), (),
+                     {"base": base, "index": index, "scale": 8, "disp": 0,
+                      "size": 8})
+        assert set(load.vregs_read()) == {base, index}
+
+    def test_fma_reads_destination(self):
+        acc = VReg("acc", IrType.V16F)
+        a = VReg("a", IrType.V16F)
+        b = VReg("b", IrType.V16F)
+        fma = Instr("vfma", acc, (a, b))
+        assert acc in fma.vregs_read()
+
+    def test_zero_idiom_reads_nothing(self):
+        v = VReg("z", IrType.V16F)
+        zero = Instr("vadd", v, (v, v), {"zero": True})
+        assert zero.vregs_read() == ()
+
+    def test_vreg_identity_hash(self):
+        a = VReg("x", IrType.I64)
+        b = VReg("x", IrType.I64)
+        assert a != b  # identity semantics: same name, distinct registers
+
+
+class TestFunction:
+    def test_builder_produces_valid_function(self):
+        func = loop_function()
+        func.validate()
+        assert [b.label for b in func.blocks] == ["entry", "head", "body", "exit"]
+
+    def test_successors(self):
+        func = loop_function()
+        blocks = func.block_map()
+        assert blocks["entry"].successors() == ("head",)
+        assert set(blocks["head"].successors()) == {"exit", "body"}
+        assert blocks["exit"].successors() == ()
+
+    def test_block_depth_recorded(self):
+        func = loop_function()
+        assert func.block_map()["body"].depth == 1
+        assert func.block_map()["exit"].depth == 0
+
+    def test_missing_terminator_detected(self):
+        func = Function("bad")
+        func.block("entry").instrs.append(Instr("const", VReg("x", IrType.I64), (1,)))
+        with pytest.raises(CompileError):
+            func.validate()
+
+    def test_branch_to_unknown_block(self):
+        func = Function("bad")
+        func.block("entry").instrs.append(Instr("br", None, (), {"label": "nope"}))
+        with pytest.raises(CompileError):
+            func.validate()
+
+    def test_terminator_mid_block_detected(self):
+        func = Function("bad")
+        entry = func.block("entry")
+        entry.instrs.append(Instr("ret"))
+        entry.instrs.append(Instr("ret"))
+        with pytest.raises(CompileError):
+            func.validate()
+
+    def test_all_vregs_collects_params(self):
+        func = loop_function()
+        names = {v.name for v in func.all_vregs()}
+        assert "n" in names
+
+    def test_listing_renders(self):
+        listing = loop_function().listing()
+        assert "func loop" in listing
+        assert "head:" in listing

@@ -1,0 +1,91 @@
+"""Tests for liveness analysis and interval construction."""
+
+from repro.aot.builder import IRBuilder
+from repro.aot.liveness import analyze
+
+
+def make_loop():
+    b = IRBuilder("f", 1, ("n",))
+    i = b.const(0, "i")
+    acc = b.const(0, "acc")
+    dead = b.const(99, "dead")  # defined, never used
+    b.br("head")
+    b.start_block("head", depth=1)
+    b.cbr("ge", i, b.param(0), "exit", "body")
+    b.start_block("body", depth=2)
+    b.iadd(acc, i)
+    b.iadd(i, 1)
+    b.br("head")
+    b.start_block("exit")
+    b.ret()
+    return b.finish(), i, acc, dead
+
+
+class TestBlockSets:
+    def test_loop_variable_live_into_header(self):
+        func, i, acc, dead = make_loop()
+        live = analyze(func)
+        assert i in live.live_in["head"]
+        assert acc in live.live_in["body"]
+
+    def test_dead_value_not_live_anywhere_after_def(self):
+        func, _, _, dead = make_loop()
+        live = analyze(func)
+        assert dead not in live.live_in["head"]
+        assert dead not in live.live_out["entry"]
+
+    def test_param_live_into_loop(self):
+        func, *_ = make_loop()
+        live = analyze(func)
+        n = func.params[0]
+        assert n in live.live_in["head"]
+
+
+class TestIntervals:
+    def test_loop_carried_interval_spans_loop(self):
+        func, i, acc, _ = make_loop()
+        live = analyze(func)
+        interval = live.intervals[i]
+        # must cover every block of the loop (through "body")
+        body_positions = [
+            pos for pos, label in _positions(func) if label == "body"
+        ]
+        assert interval.start <= body_positions[0]
+        assert interval.end > body_positions[-1]
+
+    def test_dead_value_interval_is_point(self):
+        func, _, _, dead = make_loop()
+        live = analyze(func)
+        interval = live.intervals[dead]
+        assert interval.end - interval.start == 1
+
+    def test_use_counts_weighted_by_depth(self):
+        func, i, acc, dead = make_loop()
+        live = analyze(func)
+        # i is used in head (depth 1) and twice in body (depth 2):
+        # weight 10 + 2*100
+        assert live.intervals[i].use_count == 10 + 200
+        assert live.intervals[dead].use_count == 0
+
+    def test_intervals_by_start_sorted(self):
+        func, *_ = make_loop()
+        live = analyze(func)
+        starts = [iv.start for iv in live.intervals_by_start()]
+        assert starts == sorted(starts)
+
+    def test_overlap_predicate(self):
+        func, i, acc, dead = make_loop()
+        live = analyze(func)
+        assert live.intervals[i].overlaps(live.intervals[acc])
+        assert not live.intervals[dead].overlaps(
+            live.intervals[dead].__class__(dead, 10_000, 10_001))
+
+
+def _positions(func):
+    position = 0
+    out = []
+    for block in func.blocks:
+        for _ in block.instrs:
+            out.append((position, block.label))
+            position += 1
+    return out

@@ -1,0 +1,25 @@
+"""Tests for the ``python -m repro.bench`` command-line interface."""
+
+import pytest
+
+from repro.bench.__main__ import EXPERIMENTS, main
+
+
+class TestCli:
+    def test_experiments_registry_complete(self):
+        assert set(EXPERIMENTS) == {
+            "table2", "table4", "fig9", "fig10", "fig11", "ablations"}
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["figure42"])
+
+    def test_runs_selected_experiment(self, capsys, monkeypatch):
+        # tiny configuration so the CLI test stays fast
+        monkeypatch.setenv("REPRO_BENCH_DATASETS", "uk-2005")
+        monkeypatch.setenv("REPRO_BENCH_THREADS", "2")
+        exit_code = main(["table2", "--scale", str(2.0 ** -22)])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "table2" in out
+        assert "Table II" in out

@@ -1,0 +1,73 @@
+"""Integration tests for the per-experiment bench modules (tiny scale)."""
+
+import pytest
+
+from repro.bench.fig9 import run_fig9
+from repro.bench.fig10 import run_fig10
+from repro.bench.fig11 import run_fig11
+from repro.bench.harness import BenchConfig
+from repro.bench.table2 import run_table2
+from repro.bench.table4 import run_table4
+
+
+@pytest.fixture(scope="module")
+def tiny_config():
+    return BenchConfig(scale=2.0 ** -22, threads=2,
+                       datasets=("uk-2005", "GAP-urand"))
+
+
+class TestTable2:
+    def test_runs_and_orders(self, tiny_config):
+        result = run_table2(tiny_config)
+        assert set(result.counters) == {"gcc", "clang", "icc", "jit"}
+        # headline orderings at any scale
+        assert result.ratio("instructions", "gcc") > 2.0
+        assert result.ratio("memory_loads", "gcc") > 1.5
+        assert result.counters["gcc"].branches > result.counters["icc"].branches
+
+    def test_render_mentions_paper(self, tiny_config):
+        text = run_table2(tiny_config).render()
+        assert "Table II" in text
+        assert "2.4/2.6/2.7x" in text  # paper column present
+
+
+class TestTable4:
+    def test_overhead_bounded(self, tiny_config):
+        result = run_table4(tiny_config)
+        for name in tiny_config.datasets:
+            assert 0.0 < result.overhead_pct[name] < 100.0
+            assert result.codegen_seconds[name] > 0
+
+    def test_render(self, tiny_config):
+        assert "Table IV" in run_table4(tiny_config).render()
+
+
+class TestFigures:
+    def test_fig9_speedups_positive(self, tiny_config):
+        result = run_fig9(tiny_config)
+        assert all(v > 0 for v in result.data.speedups.values())
+        assert len(result.data.speedups) == 2 * 2 * 3  # datasets x d x splits
+        assert "Fig. 9" in result.render()
+
+    def test_fig10_narrower_than_fig9(self, tiny_config):
+        fig9 = run_fig9(tiny_config)
+        fig10 = run_fig10(tiny_config)
+        for d in (16, 32):
+            for split in ("row", "nnz", "merge"):
+                assert fig10.data.average(d, split) < fig9.data.average(d, split)
+
+    def test_fig11_jit_lowest_on_instructions(self, tiny_config):
+        result = run_fig11(tiny_config)
+        for dataset in tiny_config.datasets:
+            jit = result.value("jit", dataset, "instructions")
+            assert result.value("icc-avx512", dataset, "instructions") > jit
+            assert result.value("mkl", dataset, "instructions") > jit
+        assert "Fig. 11" in result.render()
+
+    def test_fig11_reuses_cached_runs(self, tiny_config):
+        before = len(tiny_config._runs)
+        run_fig11(tiny_config)
+        middle = len(tiny_config._runs)
+        run_fig11(tiny_config)
+        assert len(tiny_config._runs) == middle
+        assert middle >= before

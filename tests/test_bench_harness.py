@@ -1,0 +1,78 @@
+"""Tests for the bench harness (on tiny scales to stay fast)."""
+
+import numpy as np
+import pytest
+
+from repro.bench.harness import (
+    BenchConfig,
+    arithmetic_mean,
+    geometric_mean,
+    render_table,
+)
+from repro.errors import DatasetError
+
+TINY = dict(scale=2.0 ** -22, threads=2, datasets=("uk-2005", "GAP-urand"))
+
+
+class TestConfig:
+    def test_rejects_unknown_dataset(self):
+        with pytest.raises(DatasetError):
+            BenchConfig(datasets=("uk-2005", "nope"))
+
+    def test_matrix_and_dense_cached(self):
+        config = BenchConfig(**TINY)
+        assert config.matrix("uk-2005") is config.matrix("uk-2005")
+        assert config.dense("uk-2005", 8) is config.dense("uk-2005", 8)
+
+    def test_dense_shapes(self):
+        config = BenchConfig(**TINY)
+        x = config.dense("uk-2005", 16)
+        assert x.shape == (config.matrix("uk-2005").ncols, 16)
+        assert x.dtype == np.float32
+
+    def test_aot_kernel_cached(self):
+        config = BenchConfig(**TINY)
+        assert config.aot_kernel("gcc") is config.aot_kernel("gcc")
+
+
+class TestRunMemo:
+    def test_run_cached(self):
+        config = BenchConfig(**TINY)
+        first = config.run("jit", "uk-2005", 8, timing=False)
+        second = config.run("jit", "uk-2005", 8, timing=False)
+        assert first is second
+
+    def test_distinct_keys_not_shared(self):
+        config = BenchConfig(**TINY)
+        a = config.run("jit", "uk-2005", 8, timing=False)
+        b = config.run("jit", "uk-2005", 8, split="nnz", timing=False)
+        assert a is not b
+
+    @pytest.mark.parametrize("system", ["jit", "mkl", "gcc", "icc-avx512"])
+    def test_all_systems_runnable(self, system):
+        config = BenchConfig(**TINY)
+        result = config.run(system, "GAP-urand", 8, timing=False)
+        assert result.counters.instructions > 0
+        # correctness against the reference on the twin
+        from repro.sparse import spmm_reference
+        expected = spmm_reference(config.matrix("GAP-urand"),
+                                  config.dense("GAP-urand", 8))
+        assert np.allclose(result.y, expected, atol=1e-3)
+
+
+class TestHelpers:
+    def test_geometric_mean(self):
+        assert geometric_mean([2.0, 8.0]) == pytest.approx(4.0)
+        assert geometric_mean([]) == 0.0
+
+    def test_arithmetic_mean(self):
+        assert arithmetic_mean([1.0, 3.0]) == 2.0
+        assert arithmetic_mean([]) == 0.0
+
+    def test_render_table_alignment(self):
+        table = render_table(["a", "metric"], [["x", "1"], ["longer", "22"]],
+                             title="T")
+        lines = table.splitlines()
+        assert lines[0] == "T"
+        widths = {len(line) for line in lines[1:]}
+        assert len(widths) == 1  # all rows padded to equal width

@@ -1,0 +1,115 @@
+"""Tests for the JIT code generator (paper Listings 1-2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.codegen import JitCodegen, JitKernelSpec
+from repro.errors import CodegenError
+from repro.isa.isainfo import IsaLevel
+
+
+def spec(d=16, m=100, **kw):
+    defaults = dict(
+        d=d, m=m, row_ptr_addr=0x10000, col_addr=0x20000,
+        vals_addr=0x30000, x_addr=0x40000, y_addr=0x50000,
+        next_addr=0x60000, batch=128, isa=IsaLevel.AVX512,
+    )
+    defaults.update(kw)
+    return JitKernelSpec(**defaults)
+
+
+class TestSpecValidation:
+    def test_rejects_bad_d(self):
+        with pytest.raises(CodegenError):
+            JitCodegen(spec(d=0))
+
+    def test_dynamic_needs_next(self):
+        gen = JitCodegen(spec(next_addr=0))
+        with pytest.raises(CodegenError):
+            gen.build_dynamic_kernel()
+
+    def test_dynamic_needs_positive_batch(self):
+        gen = JitCodegen(spec(batch=0))
+        with pytest.raises(CodegenError):
+            gen.build_dynamic_kernel()
+
+
+class TestListing2Structure:
+    """The generated code must match the paper's Listing 2 shape."""
+
+    def test_d16_uses_one_fma_per_nnz(self):
+        program = JitCodegen(spec(d=16)).build_range_kernel()
+        counts = program.static_counts()
+        assert counts["vfmadd231ps"] == 1
+        assert counts["vxorps"] == 1
+        assert counts["vbroadcastss"] == 1
+        assert counts["vmovups"] == 1  # one write-back
+
+    def test_d45_matches_paper_listing(self):
+        # Listing 2: 5 vxorps, 4 vfmadd231ps + 1 vfmadd231ss,
+        # 4 vmovups + 1 vmovss
+        program = JitCodegen(spec(d=45)).build_range_kernel()
+        counts = program.static_counts()
+        assert counts["vxorps"] == 5
+        assert counts["vfmadd231ps"] == 4
+        assert counts["vfmadd231ss"] == 1
+        assert counts["vmovups"] == 4
+        assert counts["vmovss"] == 1
+
+    def test_no_column_loop(self):
+        # CCM unrolls the column loop away: exactly two loop branches
+        # remain in a range kernel (row loop + nnz loop)
+        program = JitCodegen(spec(d=45)).build_range_kernel()
+        counts = program.static_counts()
+        assert counts["jge"] == 2
+        assert counts["jmp"] == 2
+
+    def test_addresses_baked_as_immediates(self):
+        program = JitCodegen(spec()).build_range_kernel()
+        listing = program.listing()
+        assert f"{0x20000:#x}" in listing  # col base is an immediate
+
+    def test_scalar_isa_uses_mul_add(self):
+        program = JitCodegen(spec(d=8, isa=IsaLevel.SCALAR)).build_range_kernel()
+        counts = program.static_counts()
+        assert counts["vmulss"] == 8
+        assert counts["vaddss"] == 8
+        assert "vfmadd231ps" not in counts
+        assert counts["vmovss"] >= 8
+
+    def test_column_tiling_for_wide_d(self):
+        gen = JitCodegen(spec(d=16 * 35))
+        assert len(gen.tiles) > 1
+        program = gen.build_range_kernel()
+        # one nnz loop per tile
+        assert program.static_counts()["jge"] == 1 + len(gen.tiles)
+
+
+class TestListing1Structure:
+    def test_dynamic_kernel_has_lock_xadd(self):
+        program = JitCodegen(spec()).build_dynamic_kernel()
+        xadds = [i for i in program.instructions if i.mnemonic == "xadd"]
+        assert len(xadds) == 1
+        assert xadds[0].lock
+
+    def test_batch_baked_as_immediate(self):
+        program = JitCodegen(spec(batch=128)).build_dynamic_kernel()
+        movs = [
+            i for i in program.instructions
+            if i.mnemonic == "mov" and getattr(i.operands[1], "value", None) == 128
+        ]
+        assert movs, "batch size must be baked into the instruction stream"
+
+
+class TestGenerate:
+    def test_generate_times_codegen(self):
+        output = JitCodegen(spec()).generate()
+        assert output.codegen_seconds > 0
+        assert output.code_bytes == len(output.program.encode())
+
+    def test_generated_code_encodes_and_decodes(self):
+        from repro.isa.disasm import disassemble
+        for dynamic in (False, True):
+            output = JitCodegen(spec(d=45)).generate(dynamic=dynamic)
+            decoded = disassemble(output.program.encode())
+            assert len(decoded) == len(output.program.instructions)

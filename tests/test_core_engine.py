@@ -1,0 +1,128 @@
+"""Tests for the JitSpMM engine and the runner."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.engine import JitSpMM
+from repro.core.runner import run_jit
+from repro.errors import ShapeError
+from repro.sparse import CsrMatrix, spmm_reference
+from tests.conftest import random_csr
+
+
+class TestMultiplyFastPath:
+    @pytest.mark.parametrize("split", ["row", "nnz", "merge"])
+    def test_matches_reference(self, rng, split):
+        matrix = random_csr(rng, 50, 40)
+        x = rng.random((40, 9)).astype(np.float32)
+        engine = JitSpMM(split=split, threads=4)
+        assert np.allclose(engine.multiply(matrix, x),
+                           spmm_reference(matrix, x), atol=1e-4)
+
+    def test_shape_errors(self, rng):
+        matrix = random_csr(rng, 10, 10)
+        engine = JitSpMM()
+        with pytest.raises(ShapeError):
+            engine.multiply(matrix, rng.random((11, 3)).astype(np.float32))
+        with pytest.raises(ShapeError):
+            engine.multiply(matrix, rng.random(10).astype(np.float32))
+
+    def test_bad_config(self):
+        with pytest.raises(ShapeError):
+            JitSpMM(threads=0)
+        with pytest.raises(ShapeError):
+            JitSpMM(split="nnz", dynamic=True)
+
+    def test_empty_matrix(self):
+        matrix = CsrMatrix.from_dense(np.zeros((8, 8), dtype=np.float32))
+        x = np.ones((8, 4), dtype=np.float32)
+        assert np.all(JitSpMM(threads=2).multiply(matrix, x) == 0)
+
+
+class TestProfileSimulatedPath:
+    @pytest.mark.parametrize("split,dynamic", [
+        ("row", True), ("row", False), ("nnz", False), ("merge", False),
+    ])
+    def test_simulated_result_correct(self, rng, split, dynamic):
+        matrix = random_csr(rng, 40, 30, density=0.15)
+        x = rng.random((30, 16)).astype(np.float32)
+        engine = JitSpMM(split=split, threads=3, dynamic=dynamic, timing=False)
+        result = engine.profile(matrix, x)
+        assert np.allclose(result.y, spmm_reference(matrix, x), atol=1e-3)
+        assert result.counters.instructions > 0
+        assert result.codegen_seconds > 0
+
+    def test_result_independent_of_thread_count(self, rng):
+        matrix = random_csr(rng, 30, 30, density=0.2)
+        x = rng.random((30, 8)).astype(np.float32)
+        outputs = []
+        for threads in (1, 2, 5):
+            engine = JitSpMM(threads=threads, timing=False)
+            outputs.append(engine.profile(matrix, x).y.copy())
+        assert np.array_equal(outputs[0], outputs[1])
+        assert np.array_equal(outputs[1], outputs[2])
+
+    def test_dynamic_processes_every_row_once(self, rng):
+        # identity matrix: Y must equal X exactly; any double-processed
+        # row would double its output values
+        n = 70
+        matrix = CsrMatrix.from_dense(np.eye(n, dtype=np.float32))
+        x = rng.random((n, 4)).astype(np.float32)
+        engine = JitSpMM(split="row", threads=4, batch=16, timing=False)
+        result = engine.profile(matrix, x)
+        assert np.allclose(result.y, x, atol=1e-6)
+        assert result.counters.atomic_ops >= n // 16
+
+    def test_per_thread_counters_sum(self, rng):
+        matrix = random_csr(rng, 40, 30, density=0.15)
+        x = rng.random((30, 8)).astype(np.float32)
+        result = JitSpMM(threads=3, timing=False).profile(matrix, x)
+        assert result.counters.instructions == sum(
+            c.instructions for c in result.per_thread)
+
+    def test_timing_mode_counts_match_counts_mode(self, rng):
+        matrix = random_csr(rng, 25, 25, density=0.2)
+        x = rng.random((25, 16)).astype(np.float32)
+        fast = JitSpMM(threads=2, timing=False).profile(matrix, x).counters
+        slow = JitSpMM(threads=2, timing=True).profile(matrix, x).counters
+        for key in ("instructions", "memory_loads", "memory_stores",
+                    "branches", "atomic_ops"):
+            assert getattr(fast, key) == getattr(slow, key)
+        assert slow.cycles > 0 and fast.cycles == 0
+
+    def test_codegen_overhead_metric(self, rng):
+        matrix = random_csr(rng, 30, 30, density=0.2)
+        x = rng.random((30, 8)).astype(np.float32)
+        result = JitSpMM(threads=2, timing=True).profile(matrix, x)
+        assert 0 < result.codegen_overhead() < 1
+
+
+class TestInspection:
+    def test_inspect_lists_assembly(self, rng):
+        matrix = random_csr(rng, 10, 10)
+        x = rng.random((10, 45)).astype(np.float32)
+        listing = JitSpMM(threads=1).inspect(matrix, x)
+        assert "vfmadd231ps" in listing
+        assert "lock xadd" in listing  # row-split default is dynamic
+
+    def test_plan_reports_tiles(self):
+        engine = JitSpMM()
+        tiles = engine.plan(45)
+        assert len(tiles) == 1
+        assert [p.lanes for p in tiles[0].layout.pieces] == [16, 16, 8, 4, 1]
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    seed=st.integers(0, 2**32 - 1),
+    d=st.sampled_from([1, 3, 8, 16, 32, 45]),
+    split=st.sampled_from(["row", "nnz", "merge"]),
+)
+def test_property_simulated_jit_equals_reference(seed, d, split):
+    rng = np.random.default_rng(seed)
+    matrix = random_csr(rng, 20, 15, density=0.25)
+    x = rng.random((15, d)).astype(np.float32)
+    result = run_jit(matrix, x, split=split, threads=2, timing=False)
+    assert np.allclose(result.y, spmm_reference(matrix, x), atol=1e-3)

@@ -1,0 +1,117 @@
+"""Tests for the register layout planner (paper Fig. 8)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.layout import (
+    accumulator_capacity,
+    decompose,
+    plan_layout,
+    tile_columns,
+)
+from repro.errors import CodegenError
+from repro.isa.isainfo import IsaLevel, isa_spec
+
+
+class TestDecompose:
+    def test_paper_example_d45(self):
+        # paper §IV-D.1: 45 = 16(ZMM0)+16(ZMM1)+8(YMM2)+4(XMM3)+1(XMM4)
+        layout = plan_layout(45, IsaLevel.AVX512)
+        assert [p.lanes for p in layout.pieces] == [16, 16, 8, 4, 1]
+        assert [p.offset for p in layout.pieces] == [0, 16, 32, 40, 44]
+        assert [p.register.name for p in layout.pieces] == [
+            "zmm0", "zmm1", "ymm2", "xmm3", "xmm4"]
+        assert layout.broadcast.name == "zmm31"
+
+    def test_d16_single_zmm(self):
+        layout = plan_layout(16, IsaLevel.AVX512)
+        assert [p.lanes for p in layout.pieces] == [16]
+
+    def test_d32_two_zmm(self):
+        layout = plan_layout(32, IsaLevel.AVX512)
+        assert [p.lanes for p in layout.pieces] == [16, 16]
+
+    def test_avx2_maxes_at_8(self):
+        layout = plan_layout(20, IsaLevel.AVX2)
+        assert [p.lanes for p in layout.pieces] == [8, 8, 4]
+        assert layout.broadcast.name.startswith("ymm")
+
+    def test_scalar_isa_one_lane_each(self):
+        layout = plan_layout(8, IsaLevel.SCALAR)
+        assert [p.lanes for p in layout.pieces] == [1] * 8
+        # paper Table II: accumulators in XMM0-7, broadcast in XMM31
+        assert [p.register.name for p in layout.pieces] == [
+            f"xmm{i}" for i in range(8)]
+        assert layout.broadcast.name == "xmm31"
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(CodegenError):
+            plan_layout(0)
+
+    def test_rejects_over_capacity(self):
+        with pytest.raises(CodegenError):
+            plan_layout(16 * 31, IsaLevel.AVX512)
+
+
+class TestTiling:
+    def test_single_tile_when_fits(self):
+        tiles = tile_columns(45, IsaLevel.AVX512)
+        assert len(tiles) == 1
+        assert tiles[0].start == 0
+
+    def test_wide_d_splits(self):
+        tiles = tile_columns(16 * 40, IsaLevel.AVX512)
+        assert len(tiles) >= 2
+        # contiguous, covering
+        cursor = 0
+        for tile in tiles:
+            assert tile.start == cursor
+            cursor += tile.layout.d
+        assert cursor == 16 * 40
+
+    def test_scalar_isa_tiles(self):
+        tiles = tile_columns(64, IsaLevel.SCALAR)
+        assert sum(t.layout.d for t in tiles) == 64
+        capacity = accumulator_capacity(isa_spec(IsaLevel.SCALAR))
+        for tile in tiles:
+            assert tile.layout.num_accumulators <= capacity
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    d=st.integers(1, 2000),
+    isa=st.sampled_from([IsaLevel.SCALAR, IsaLevel.SSE2, IsaLevel.AVX2,
+                         IsaLevel.AVX512]),
+)
+def test_property_layout_invariants(d, isa):
+    spec = isa_spec(isa)
+    tiles = tile_columns(d, isa)
+    covered = 0
+    for tile in tiles:
+        layout = tile.layout
+        assert tile.start == covered
+        # pieces cover the tile exactly, in offset order, no overlap
+        offset = 0
+        for piece in layout.pieces:
+            assert piece.offset == offset
+            offset += piece.lanes
+        assert offset == layout.d
+        # register budget respected, broadcast register untouched
+        assert layout.num_accumulators <= spec.num_vector_regs - 2
+        codes = [p.code for p in layout.pieces]
+        assert len(set(codes)) == len(codes)
+        assert layout.broadcast_code not in codes
+        assert layout.scratch_code not in codes
+        # greedy decomposition is minimal ("fewest registers", §IV-D.1):
+        # verify against brute-force DP for small tile widths
+        if layout.d <= 128:
+            widths = [w // 32 for w in spec.register_widths()] + [1]
+            best = [0] + [10**9] * layout.d
+            for target in range(1, layout.d + 1):
+                for width in widths:
+                    if width <= target:
+                        best[target] = min(best[target], best[target - width] + 1)
+            assert len(decompose(layout.d, spec)) == best[layout.d]
+        covered += layout.d
+    assert covered == d

@@ -1,0 +1,132 @@
+"""Tests for row/nnz/merge-split partitioners (paper §IV-B, Fig. 6)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.split import merge_split, nnz_split, partition, row_split
+from repro.errors import ShapeError
+from repro.sparse import CsrMatrix
+from tests.conftest import random_csr
+
+
+def skewed_matrix() -> CsrMatrix:
+    """One monster row followed by many light rows (Fig. 6(a) pathology)."""
+    dense = np.zeros((64, 64), dtype=np.float32)
+    dense[0, :] = 1.0          # 64 nnz in row 0
+    dense[1:, 0] = 1.0         # 1 nnz in each other row
+    return CsrMatrix.from_dense(dense)
+
+
+def _assert_covering(ranges, nrows):
+    cursor = 0
+    for r0, r1 in ranges:
+        assert r0 == cursor
+        assert r1 >= r0
+        cursor = r1
+    assert cursor == nrows
+
+
+class TestRowSplit:
+    def test_even_rows(self):
+        mat = skewed_matrix()
+        ranges = row_split(mat, 4)
+        _assert_covering(ranges, 64)
+        sizes = [r1 - r0 for r0, r1 in ranges]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_rejects_bad_thread_count(self):
+        with pytest.raises(ShapeError):
+            row_split(skewed_matrix(), 0)
+
+    def test_more_threads_than_rows(self):
+        mat = CsrMatrix.from_dense(np.eye(3, dtype=np.float32))
+        ranges = row_split(mat, 8)
+        _assert_covering(ranges, 3)  # some ranges are empty, all covered
+
+
+class TestNnzSplit:
+    def test_balances_nonzeros(self):
+        mat = skewed_matrix()
+        ranges = nnz_split(mat, 2)
+        _assert_covering(ranges, 64)
+        nnz_per = [int(mat.row_ptr[r1] - mat.row_ptr[r0]) for r0, r1 in ranges]
+        # the 64-nnz monster row goes alone-ish; totals within one row's nnz
+        assert abs(nnz_per[0] - nnz_per[1]) <= 64
+
+    def test_beats_row_split_on_skew(self):
+        mat = skewed_matrix()
+
+        def worst(ranges):
+            return max(int(mat.row_ptr[r1] - mat.row_ptr[r0])
+                       for r0, r1 in ranges)
+
+        assert worst(nnz_split(mat, 4)) < worst(row_split(mat, 4))
+
+
+class TestMergeSplit:
+    def test_balances_rows_plus_nnz(self):
+        mat = skewed_matrix()
+        ranges = merge_split(mat, 4)
+        _assert_covering(ranges, 64)
+        work = [
+            (r1 - r0) + int(mat.row_ptr[r1] - mat.row_ptr[r0])
+            for r0, r1 in ranges
+        ]
+        total = mat.nrows + mat.nnz
+        # each thread within one max-row of the ideal diagonal share
+        assert max(work) <= total / 4 + mat.max_row_length() + 1
+
+    def test_many_empty_rows(self):
+        # nnz-split struggles on empty-row-heavy matrices; merge-split
+        # still balances because rows count as work (paper §IV-B.1)
+        dense = np.zeros((100, 4), dtype=np.float32)
+        dense[:4, :] = 1.0
+        mat = CsrMatrix.from_dense(dense)
+        ranges = merge_split(mat, 4)
+        _assert_covering(ranges, 100)
+        rows_per = [r1 - r0 for r0, r1 in ranges]
+        assert max(rows_per) < 100  # not everything on one thread
+
+
+class TestDispatch:
+    def test_partition_dispatches(self):
+        mat = skewed_matrix()
+        assert partition(mat, 2, "row") == row_split(mat, 2)
+        assert partition(mat, 2, "nnz") == nnz_split(mat, 2)
+        assert partition(mat, 2, "merge") == merge_split(mat, 2)
+
+    def test_unknown_kind(self):
+        with pytest.raises(ShapeError):
+            partition(skewed_matrix(), 2, "zigzag")
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    seed=st.integers(0, 2**32 - 1),
+    threads=st.integers(1, 12),
+    kind=st.sampled_from(["row", "nnz", "merge"]),
+)
+def test_property_partitions_cover_exactly(seed, threads, kind):
+    rng = np.random.default_rng(seed)
+    mat = random_csr(rng, int(rng.integers(1, 60)), 20, density=0.2)
+    ranges = partition(mat, threads, kind)
+    assert len(ranges) == threads
+    _assert_covering(ranges, mat.nrows)
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 2**32 - 1))
+def test_property_merge_path_monotone(seed):
+    """More threads never increase the per-thread merge-path work."""
+    rng = np.random.default_rng(seed)
+    mat = random_csr(rng, 50, 30, density=0.25)
+
+    def worst(threads):
+        return max(
+            (r1 - r0) + int(mat.row_ptr[r1] - mat.row_ptr[r0])
+            for r0, r1 in merge_split(mat, threads)
+        )
+
+    assert worst(8) <= worst(4) <= worst(2) <= worst(1)

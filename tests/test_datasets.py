@@ -1,0 +1,130 @@
+"""Tests for the dataset generators and the Table III twin registry."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    DATASET_NAMES,
+    corpus_graph,
+    load,
+    mycielskian,
+    power_law_graph,
+    rmat,
+    spec,
+    summary_table,
+    uniform_random,
+)
+from repro.errors import DatasetError
+
+
+class TestGenerators:
+    def test_uniform_shape_and_determinism(self):
+        a = uniform_random(100, 1000, seed=3)
+        b = uniform_random(100, 1000, seed=3)
+        assert a.shape == (100, 100)
+        assert np.array_equal(a.vals, b.vals)
+        assert np.array_equal(a.col_indices, b.col_indices)
+
+    def test_uniform_rejects_bad_shape(self):
+        with pytest.raises(DatasetError):
+            uniform_random(0, 10)
+
+    def test_uniform_is_balanced(self):
+        mat = uniform_random(200, 6000, seed=1)
+        assert mat.gini_row_imbalance() < 0.25
+
+    def test_rmat_is_skewed(self):
+        mat = rmat(9, 8000, seed=1)
+        assert mat.shape == (512, 512)
+        assert mat.gini_row_imbalance() > 0.5
+
+    def test_rmat_validates(self):
+        with pytest.raises(DatasetError):
+            rmat(0, 100)
+        with pytest.raises(DatasetError):
+            rmat(5, 100, a=0.6, b=0.3, c=0.3)
+
+    def test_power_law_is_skewed(self):
+        mat = power_law_graph(300, 7000, alpha=1.9, seed=2)
+        assert mat.gini_row_imbalance() > 0.35
+
+    def test_power_law_validates(self):
+        with pytest.raises(DatasetError):
+            power_law_graph(10, 100, alpha=1.0)
+        with pytest.raises(DatasetError):
+            power_law_graph(10, 100, locality=2.0)
+
+    def test_corpus_high_degree(self):
+        mat = corpus_graph(200, 8000, seed=2)
+        assert mat.mean_row_length() > 10
+
+    def test_mycielskian_sizes(self):
+        # M_k has 3 * 2^(k-2) - 1 vertices
+        for k in (2, 3, 4, 7):
+            mat = mycielskian(k)
+            assert mat.nrows == 3 * 2 ** (k - 2) - 1
+
+    def test_mycielskian_symmetric(self):
+        mat = mycielskian(5)
+        dense = (mat.to_dense() != 0)
+        assert np.array_equal(dense, dense.T)
+        assert not dense.diagonal().any()  # triangle-free family, no loops
+
+    def test_mycielskian_validates(self):
+        with pytest.raises(DatasetError):
+            mycielskian(1)
+
+
+class TestSuite:
+    def test_all_fourteen_registered(self):
+        assert len(DATASET_NAMES) == 14
+        assert "uk-2005" in DATASET_NAMES
+        assert "AGATHA_2015" in DATASET_NAMES
+
+    def test_unknown_name(self):
+        with pytest.raises(DatasetError):
+            spec("enron")
+
+    def test_paper_shapes_recorded(self):
+        entry = spec("uk-2005")
+        assert entry.paper_rows == 39_459_925
+        assert entry.paper_nnz == 936_364_282
+
+    def test_load_caches(self):
+        assert load("uk-2005") is load("uk-2005")
+
+    def test_twins_are_square(self):
+        twin = load("GAP-kron")
+        assert twin.nrows == twin.ncols
+
+    @pytest.mark.parametrize("name", [n for n in DATASET_NAMES
+                                      if "mycielskian" not in n
+                                      and n != "MOLIERE_2016"])
+    def test_mean_row_length_preserved(self, name):
+        entry = spec(name)
+        twin = load(name)
+        ratio = twin.mean_row_length() / entry.paper_mean_row
+        assert 0.6 < ratio < 1.7, (
+            f"{name}: twin mean {twin.mean_row_length():.1f} vs paper "
+            f"{entry.paper_mean_row:.1f}"
+        )
+
+    def test_nnz_ordering_roughly_preserved(self):
+        # Table III is sorted by nnz; the twins (excluding the exact
+        # Mycielskian constructions, which cannot be freely sized) should
+        # keep a growing trend
+        names = [n for n in DATASET_NAMES if "mycielskian" not in n]
+        sizes = [load(name).nnz for name in names]
+        bigger = sum(b >= a for a, b in zip(sizes, sizes[1:]))
+        assert bigger >= len(sizes) - 3
+        # the span of the suite is preserved: largest twin dwarfs smallest
+        assert max(sizes) > 8 * min(sizes)
+
+    def test_skewed_families_are_skewed(self):
+        assert load("GAP-twitter").gini_row_imbalance() > 0.4
+        assert load("GAP-urand").gini_row_imbalance() < 0.2
+
+    def test_summary_table_renders(self):
+        table = summary_table()
+        assert "uk-2005" in table
+        assert "AGATHA_2015" in table

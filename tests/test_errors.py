@@ -1,0 +1,24 @@
+"""The exception hierarchy: everything under ReproError, as documented."""
+
+import pytest
+
+from repro import errors
+
+
+def test_all_errors_derive_from_repro_error():
+    for name in dir(errors):
+        obj = getattr(errors, name)
+        if isinstance(obj, type) and issubclass(obj, Exception):
+            assert issubclass(obj, errors.ReproError), name
+
+
+def test_specialization_relationships():
+    assert issubclass(errors.EncodingError, errors.AssemblyError)
+    assert issubclass(errors.SegmentationFault, errors.MachineError)
+    assert issubclass(errors.ExecutionLimitExceeded, errors.MachineError)
+    assert issubclass(errors.RegisterPressureError, errors.CompileError)
+
+
+def test_catchable_as_library_failure():
+    with pytest.raises(errors.ReproError):
+        raise errors.CodegenError("boom")

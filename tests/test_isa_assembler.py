@@ -1,0 +1,100 @@
+"""Tests for the two-pass assembler."""
+
+import pytest
+
+from repro.errors import AssemblyError
+from repro.isa.assembler import Assembler
+from repro.isa.operands import Imm, Mem
+from repro.isa.registers import regs
+
+
+def tiny_loop() -> Assembler:
+    asm = Assembler("tiny")
+    asm.mov(regs.rcx, 0)
+    asm.label("loop")
+    asm.cmp(regs.rcx, 4)
+    asm.jge("done")
+    asm.inc(regs.rcx)
+    asm.jmp("loop")
+    asm.label("done")
+    asm.ret()
+    return asm
+
+
+class TestEmission:
+    def test_integer_promotion(self):
+        asm = Assembler()
+        insn = asm.mov(regs.rax, 7)
+        assert isinstance(insn.operands[1], Imm)
+        assert insn.operands[1].value == 7
+
+    def test_unknown_mnemonic_attribute(self):
+        asm = Assembler()
+        with pytest.raises(AttributeError):
+            asm.frobnicate(regs.rax)
+
+    def test_emit_returns_instruction(self):
+        asm = Assembler()
+        insn = asm.emit("nop")
+        assert insn.mnemonic == "nop"
+
+    def test_len_counts_instructions_not_labels(self):
+        asm = tiny_loop()
+        assert len(asm) == 6
+
+
+class TestLabels:
+    def test_resolution(self):
+        program = tiny_loop().finish()
+        assert program.target_index("loop") == 1
+        assert program.target_index("done") == 5
+
+    def test_duplicate_label_rejected(self):
+        asm = Assembler()
+        asm.label("x")
+        with pytest.raises(AssemblyError):
+            asm.label("x")
+
+    def test_undefined_branch_target_rejected(self):
+        asm = Assembler()
+        asm.jmp("nowhere")
+        with pytest.raises(AssemblyError):
+            asm.finish()
+
+    def test_label_at_end(self):
+        asm = Assembler()
+        asm.jmp("end")
+        asm.label("end")
+        program = asm.finish()
+        assert program.target_index("end") == 1
+
+    def test_fresh_labels_unique(self):
+        asm = Assembler()
+        names = {asm.fresh_label() for _ in range(100)}
+        assert len(names) == 100
+
+    def test_unknown_label_lookup(self):
+        program = tiny_loop().finish()
+        with pytest.raises(AssemblyError):
+            program.target_index("nope")
+
+
+class TestProgram:
+    def test_listing_contains_labels_and_instructions(self):
+        listing = tiny_loop().finish().listing()
+        assert ".loop:" in listing
+        assert ".done:" in listing
+        assert "inc" in listing
+        assert listing.splitlines()[0] == "tiny:"
+
+    def test_static_counts(self):
+        counts = tiny_loop().finish().static_counts()
+        assert counts["mov"] == 1
+        assert counts["jmp"] == 1
+
+    def test_encode_cached(self):
+        program = tiny_loop().finish()
+        assert program.encode() is program.encode()
+
+    def test_code_size_positive(self):
+        assert tiny_loop().finish().code_size() > 0

@@ -1,0 +1,44 @@
+"""Strictness tests for the disassembler's error paths."""
+
+import pytest
+
+from repro.errors import DisassemblyError
+from repro.isa.disasm import decode_one, disassemble
+from repro.isa.encoder import encode_instruction
+from repro.isa.instructions import Instruction
+from repro.isa.registers import regs
+
+
+class TestErrorPaths:
+    def test_empty_buffer(self):
+        with pytest.raises(DisassemblyError):
+            decode_one(b"")
+
+    def test_truncated_instruction(self):
+        code = encode_instruction(Instruction("inc", (regs.r10,)))
+        with pytest.raises(DisassemblyError):
+            decode_one(code[:-1])
+
+    def test_unknown_opcode(self):
+        with pytest.raises(DisassemblyError):
+            decode_one(b"\x06")  # invalid in 64-bit mode
+
+    def test_unknown_0f_opcode(self):
+        with pytest.raises(DisassemblyError):
+            decode_one(b"\x0f\x0b")  # ud2: deliberately unsupported
+
+    def test_unknown_vector_opcode(self):
+        # valid VEX prefix, opcode we never emit
+        with pytest.raises(DisassemblyError):
+            decode_one(bytes([0xC4, 0xE1, 0x7C, 0x99, 0xC0]))
+
+    def test_lock_on_vector_rejected(self):
+        vxorps = encode_instruction(
+            Instruction("vxorps", (regs.zmm0, regs.zmm0, regs.zmm0)))
+        with pytest.raises(DisassemblyError):
+            decode_one(b"\xf0" + vxorps)
+
+    def test_garbage_stream_reports_offset(self):
+        good = encode_instruction(Instruction("ret"))
+        with pytest.raises(DisassemblyError):
+            disassemble(good + b"\x06")

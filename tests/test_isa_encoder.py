@@ -1,0 +1,258 @@
+"""Encoder tests: golden byte sequences + encode/decode round-trips."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import EncodingError
+from repro.isa.assembler import Assembler
+from repro.isa.disasm import decode_one, disassemble
+from repro.isa.encoder import encode_instruction, encode_program, instruction_length
+from repro.isa.instructions import Instruction
+from repro.isa.operands import Imm, Mem
+from repro.isa.registers import gpr, regs, xmm, ymm, zmm
+
+
+class TestGoldenEncodings:
+    """Byte sequences verified against the Intel SDM encoding rules."""
+
+    def test_ret(self):
+        assert encode_instruction(Instruction("ret")) == b"\xc3"
+
+    def test_nop(self):
+        assert encode_instruction(Instruction("nop")) == b"\x90"
+
+    def test_inc_r10(self):
+        # REX.WB FF /0 -> 49 FF C2
+        insn = Instruction("inc", (regs.r10,))
+        assert encode_instruction(insn) == bytes([0x49, 0xFF, 0xC2])
+
+    def test_mov_imm64(self):
+        # REX.W B8+rdi io
+        insn = Instruction("mov", (regs.rax, Imm(0x1122334455667788, 64)))
+        code = encode_instruction(insn)
+        assert code[:2] == bytes([0x48, 0xB8])
+        assert code[2:] == (0x1122334455667788).to_bytes(8, "little")
+
+    def test_lock_xadd(self):
+        # paper Listing 1 line 7: lock xadd QWORD PTR [rdi], rsi
+        insn = Instruction("xadd", (Mem(regs.rdi, size=8), regs.rsi), lock=True)
+        assert encode_instruction(insn) == bytes([0xF0, 0x48, 0x0F, 0xC1, 0x37])
+
+    def test_cmp_r10_r11(self):
+        # 3B /r form: REX.WRB 3B /r -> 4D 3B D3
+        insn = Instruction("cmp", (regs.r10, regs.r11))
+        assert encode_instruction(insn) == bytes([0x4D, 0x3B, 0xD3])
+
+    def test_vxorps_xmm_vex(self):
+        # VEX.128.0F 57 /r, all operands xmm3
+        insn = Instruction("vxorps", (xmm(3), xmm(3), xmm(3)))
+        code = encode_instruction(insn)
+        assert code[0] == 0xC4  # three-byte VEX
+        assert code[3] == 0x57
+
+    def test_vxorps_zmm_needs_evex(self):
+        insn = Instruction("vxorps", (zmm(0), zmm(0), zmm(0)))
+        code = encode_instruction(insn)
+        assert code[0] == 0x62  # EVEX
+        assert code[4] == 0x57
+
+    def test_register_31_requires_evex(self):
+        insn = Instruction("vbroadcastss", (zmm(31), Mem(regs.rax, size=4)))
+        assert encode_instruction(insn)[0] == 0x62
+
+    def test_vhaddps_has_no_evex_form(self):
+        insn = Instruction("vhaddps", (xmm(17), xmm(17), xmm(17)))
+        with pytest.raises(EncodingError):
+            encode_instruction(insn)
+
+    def test_rsp_index_rejected(self):
+        with pytest.raises(EncodingError):
+            encode_instruction(
+                Instruction("mov", (regs.rax, Mem(regs.rbx, regs.rsp, 1, 0, size=8)))
+            )
+
+    def test_branch_lengths_fixed(self):
+        assert instruction_length(Instruction("jmp", ("x",))) == 5
+        assert instruction_length(Instruction("jge", ("x",))) == 6
+
+
+class TestMemForms:
+    def test_rbp_base_gets_disp(self):
+        # [rbp] must encode as [rbp+disp8 0] (mod=01)
+        insn = Instruction("mov", (regs.rax, Mem(regs.rbp, size=8)))
+        decoded = decode_one(encode_instruction(insn)).instruction
+        mem = decoded.operands[1]
+        assert mem.base == regs.rbp and mem.disp == 0
+
+    def test_r12_base_needs_sib(self):
+        insn = Instruction("mov", (regs.rax, Mem(regs.r12, size=8)))
+        decoded = decode_one(encode_instruction(insn)).instruction
+        assert decoded.operands[1].base == regs.r12
+
+    def test_rsp_base(self):
+        insn = Instruction("mov", (regs.rax, Mem(regs.rsp, disp=8, size=8)))
+        decoded = decode_one(encode_instruction(insn)).instruction
+        assert decoded.operands[1].base == regs.rsp
+        assert decoded.operands[1].disp == 8
+
+    def test_32bit_load_drops_rex_w(self):
+        insn = Instruction("mov", (regs.rax, Mem(regs.rbx, size=4)))
+        code = encode_instruction(insn)
+        assert code[0] == 0x8B  # no REX needed at all
+        decoded = decode_one(code).instruction
+        assert decoded.operands[1].size == 4
+
+    def test_large_disp(self):
+        insn = Instruction("mov", (regs.rax, Mem(regs.rbx, disp=1 << 20, size=8)))
+        decoded = decode_one(encode_instruction(insn)).instruction
+        assert decoded.operands[1].disp == 1 << 20
+
+    def test_negative_disp8(self):
+        insn = Instruction("mov", (regs.rax, Mem(regs.rbx, disp=-16, size=8)))
+        decoded = decode_one(encode_instruction(insn)).instruction
+        assert decoded.operands[1].disp == -16
+
+
+class TestProgramEncoding:
+    def test_backward_and_forward_branches(self):
+        asm = Assembler("branches")
+        asm.mov(regs.rcx, 0)
+        asm.label("loop")
+        asm.inc(regs.rcx)
+        asm.cmp(regs.rcx, 10)
+        asm.jge("done")
+        asm.jmp("loop")
+        asm.label("done")
+        asm.ret()
+        program = asm.finish()
+        decoded = disassemble(program.encode())
+        assert len(decoded) == len(program.instructions)
+        # the jmp must point back at the inc instruction's offset
+        jmp = next(d for d in decoded if d.instruction.mnemonic == "jmp")
+        inc = next(d for d in decoded if d.instruction.mnemonic == "inc")
+        assert jmp.instruction.operands[0].value == inc.offset
+        # the jge must point at the ret
+        jge = next(d for d in decoded if d.instruction.mnemonic == "jge")
+        ret = next(d for d in decoded if d.instruction.mnemonic == "ret")
+        assert jge.instruction.operands[0].value == ret.offset
+
+    def test_branch_to_end_label(self):
+        asm = Assembler()
+        asm.jmp("end")
+        asm.label("end")
+        program = asm.finish()
+        decoded = disassemble(program.encode())
+        assert decoded[0].instruction.operands[0].value == len(program.encode())
+
+
+# ----------------------------------------------------------------------
+# Property-based round-trip: encode -> decode -> re-encode must be stable
+# ----------------------------------------------------------------------
+
+_GPRS = st.sampled_from([gpr(i) for i in range(16)])
+_XMM = st.builds(xmm, st.integers(0, 15))
+_VECS = st.one_of(
+    st.builds(xmm, st.integers(0, 31)),
+    st.builds(ymm, st.integers(0, 31)),
+    st.builds(zmm, st.integers(0, 31)),
+)
+_SCALE = st.sampled_from([1, 2, 4, 8])
+_DISP = st.sampled_from([0, 4, 8, 64, 127, 128, -8, -128, 4096])
+_BASE = st.sampled_from([gpr(i) for i in range(16)])
+_INDEX = st.sampled_from([None] + [gpr(i) for i in range(16) if i != 4])
+
+
+@st.composite
+def int_mem(draw, size=8):
+    return Mem(draw(_BASE), draw(_INDEX), draw(_SCALE), draw(_DISP), size)
+
+
+@st.composite
+def int_instruction(draw):
+    choice = draw(st.integers(0, 6))
+    if choice == 0:
+        return Instruction("mov", (draw(_GPRS), draw(int_mem())))
+    if choice == 1:
+        return Instruction("mov", (draw(int_mem()), draw(_GPRS)))
+    if choice == 2:
+        name = draw(st.sampled_from(["add", "sub", "and", "or", "xor", "cmp"]))
+        return Instruction(name, (draw(_GPRS), draw(_GPRS)))
+    if choice == 3:
+        name = draw(st.sampled_from(["add", "sub", "cmp"]))
+        value = draw(st.sampled_from([1, 100, 1000, -5]))
+        return Instruction(name, (draw(_GPRS), Imm(value)))
+    if choice == 4:
+        return Instruction("lea", (draw(_GPRS), draw(int_mem())))
+    if choice == 5:
+        name = draw(st.sampled_from(["inc", "dec", "neg"]))
+        return Instruction(name, (draw(_GPRS),))
+    return Instruction("imul", (draw(_GPRS), draw(_GPRS), Imm(draw(
+        st.sampled_from([2, 4, 100, 1000])))))
+
+
+@st.composite
+def vec_instruction(draw):
+    choice = draw(st.integers(0, 4))
+    if choice == 0:
+        width = draw(st.sampled_from([xmm, ymm, zmm]))
+        a, b, c = (width(draw(st.integers(0, 31))) for _ in range(3))
+        name = draw(st.sampled_from(["vaddps", "vmulps", "vsubps", "vxorps"]))
+        if name == "vhaddps":
+            a, b, c = xmm(a.code % 16), xmm(b.code % 16), xmm(c.code % 16)
+        return Instruction(name, (a, b, c))
+    if choice == 1:
+        width = draw(st.sampled_from([xmm, ymm, zmm]))
+        reg = width(draw(st.integers(0, 31)))
+        mem = Mem(draw(_BASE), draw(_INDEX), draw(_SCALE), draw(_DISP),
+                  reg.width // 8)
+        direction = draw(st.booleans())
+        if direction:
+            return Instruction("vmovups", (reg, mem))
+        return Instruction("vmovups", (mem, reg))
+    if choice == 2:
+        width = draw(st.sampled_from([xmm, ymm, zmm]))
+        reg = width(draw(st.integers(0, 31)))
+        mem = Mem(draw(_BASE), draw(_INDEX), draw(_SCALE), draw(_DISP), 4)
+        return Instruction("vbroadcastss", (reg, mem))
+    if choice == 3:
+        width = draw(st.sampled_from([xmm, ymm, zmm]))
+        dst = width(draw(st.integers(0, 31)))
+        a = width(draw(st.integers(0, 31)))
+        mem = Mem(draw(_BASE), draw(_INDEX), draw(_SCALE), draw(_DISP),
+                  dst.width // 8)
+        return Instruction("vfmadd231ps", (dst, a, mem))
+    dst = xmm(draw(st.integers(0, 15)))
+    mem = Mem(draw(_BASE), None, 1, draw(_DISP), 4)
+    direction = draw(st.booleans())
+    if direction:
+        return Instruction("vmovss", (dst, mem))
+    return Instruction("vmovss", (mem, dst))
+
+
+@settings(max_examples=300, deadline=None)
+@given(insn=st.one_of(int_instruction(), vec_instruction()))
+def test_property_encode_decode_reencode(insn):
+    code = encode_instruction(insn)
+    decoded = decode_one(code)
+    assert decoded.length == len(code)
+    recoded = encode_instruction(decoded.instruction)
+    assert recoded == code, (
+        f"{insn} -> {code.hex()} -> {decoded.instruction} -> {recoded.hex()}"
+    )
+
+
+@settings(max_examples=50, deadline=None)
+@given(insns=st.lists(st.one_of(int_instruction(), vec_instruction()),
+                      min_size=1, max_size=20))
+def test_property_stream_decode(insns):
+    asm = Assembler("stream")
+    for insn in insns:
+        asm.emit(insn.mnemonic, *insn.operands, lock=insn.lock)
+    asm.ret()
+    program = asm.finish()
+    decoded = disassemble(program.encode())
+    assert len(decoded) == len(insns) + 1
+    assert decoded[-1].instruction.mnemonic == "ret"
+    mnemonics = [d.instruction.mnemonic for d in decoded[:-1]]
+    assert mnemonics == [insn.mnemonic for insn in insns]

@@ -1,0 +1,102 @@
+"""Tests for instruction objects and mnemonic metadata."""
+
+import pytest
+
+from repro.errors import AssemblyError
+from repro.isa.instructions import Instruction, MNEMONICS, mnemonic_info
+from repro.isa.operands import Imm, Mem
+from repro.isa.registers import regs, xmm, zmm
+
+
+class TestRegistry:
+    def test_paper_listing2_mnemonics_present(self):
+        # every mnemonic in the paper's Listing 1 and Listing 2 must exist
+        for name in ("mov", "xadd", "cmp", "jge", "jmp", "ret", "vxorps",
+                     "vbroadcastss", "vfmadd231ps", "vfmadd231ss", "vmovups",
+                     "vmovss", "inc"):
+            assert name in MNEMONICS
+
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AssemblyError):
+            mnemonic_info("bogus")
+
+    def test_cond_branches_read_flags(self):
+        assert mnemonic_info("jge").reads_flags
+        assert not mnemonic_info("jmp").reads_flags
+
+    def test_cmp_writes_flags(self):
+        assert mnemonic_info("cmp").writes_flags
+
+
+class TestInstructionValidation:
+    def test_arity_checked(self):
+        with pytest.raises(AssemblyError):
+            Instruction("inc", (regs.rax, regs.rbx))
+
+    def test_lock_only_on_atomics(self):
+        with pytest.raises(AssemblyError):
+            Instruction("mov", (regs.rax, Imm(1)), lock=True)
+        Instruction("xadd", (Mem(regs.rdi, size=8), regs.rsi), lock=True)
+
+    def test_one_memory_operand_max(self):
+        with pytest.raises(AssemblyError):
+            Instruction("mov", (Mem(regs.rax, size=8), Mem(regs.rbx, size=8)))
+
+    def test_imul_flexible_arity(self):
+        Instruction("imul", (regs.rax, regs.rbx))
+        Instruction("imul", (regs.rax, regs.rbx, Imm(8)))
+
+
+class TestDataflow:
+    def test_mov_reads_and_writes(self):
+        insn = Instruction("mov", (regs.rax, regs.rbx))
+        assert insn.registers_written() == (regs.rax,)
+        assert insn.registers_read() == (regs.rbx,)
+
+    def test_memory_address_registers_are_read(self):
+        insn = Instruction("mov", (regs.rax, Mem(regs.rbx, regs.rcx, 8, 0, size=8)))
+        assert set(insn.registers_read()) == {regs.rbx, regs.rcx}
+
+    def test_store_reads_value_and_address(self):
+        insn = Instruction("mov", (Mem(regs.rbx, size=8), regs.rax))
+        assert set(insn.registers_read()) == {regs.rax, regs.rbx}
+        assert insn.registers_written() == ()
+
+    def test_fma_reads_destination(self):
+        insn = Instruction("vfmadd231ps", (zmm(0), zmm(31), zmm(1)))
+        assert zmm(0) in insn.registers_read()  # dst += src1 * src2
+        assert insn.registers_written() == (zmm(0),)
+
+    def test_zero_idiom_breaks_dependency(self):
+        # vxorps z,z,z reads nothing (hardware dependency-breaking idiom)
+        insn = Instruction("vxorps", (zmm(3), zmm(3), zmm(3)))
+        assert insn.registers_read() == ()
+
+    def test_non_idiom_xor_reads(self):
+        insn = Instruction("vxorps", (zmm(3), zmm(1), zmm(2)))
+        assert set(insn.registers_read()) == {zmm(1), zmm(2)}
+
+    def test_memory_refs_direction(self):
+        load = Instruction("mov", (regs.rax, Mem(regs.rbx, size=8)))
+        store = Instruction("mov", (Mem(regs.rbx, size=8), regs.rax))
+        assert load.memory_refs()[0][1] == "r"
+        assert store.memory_refs()[0][1] == "w"
+
+    def test_xadd_memory_is_rmw(self):
+        insn = Instruction("xadd", (Mem(regs.rdi, size=8), regs.rsi), lock=True)
+        assert insn.memory_refs()[0][1] == "rw"
+
+
+class TestClassification:
+    def test_branch_target(self):
+        insn = Instruction("jge", ("end",))
+        assert insn.is_branch and insn.is_cond_branch
+        assert insn.branch_target == "end"
+
+    def test_jmp_not_conditional(self):
+        insn = Instruction("jmp", ("start",))
+        assert insn.is_branch and not insn.is_cond_branch
+
+    def test_str_rendering(self):
+        insn = Instruction("xadd", (Mem(regs.rdi, size=8), regs.rsi), lock=True)
+        assert str(insn).startswith("lock xadd")

@@ -1,0 +1,51 @@
+"""Tests for ISA levels and vector geometry."""
+
+import pytest
+
+from repro.isa.isainfo import ISA_SPECS, IsaLevel, VEC_LANES_F32, isa_spec
+
+
+class TestLevels:
+    def test_parse_strings(self):
+        assert IsaLevel.parse("avx512") is IsaLevel.AVX512
+        assert IsaLevel.parse("AVX2") is IsaLevel.AVX2
+        assert IsaLevel.parse(IsaLevel.SSE2) is IsaLevel.SSE2
+
+    def test_parse_unknown(self):
+        with pytest.raises(ValueError):
+            IsaLevel.parse("avx10")
+
+    def test_all_levels_have_specs(self):
+        for level in IsaLevel:
+            assert level in ISA_SPECS
+
+
+class TestSpecs:
+    def test_avx512_geometry(self):
+        spec = isa_spec("avx512")
+        assert spec.max_lanes_f32 == 16
+        assert spec.num_vector_regs == 32
+        assert spec.has_fma and spec.has_gather
+        assert spec.register_widths() == (512, 256, 128)
+
+    def test_avx2_geometry(self):
+        spec = isa_spec("avx2")
+        assert spec.max_lanes_f32 == 8
+        assert spec.num_vector_regs == 16
+        assert spec.register_widths() == (256, 128)
+
+    def test_sse2_geometry(self):
+        spec = isa_spec("sse2")
+        assert spec.max_lanes_f32 == 4
+        assert not spec.has_fma and not spec.has_gather
+
+    def test_scalar_geometry(self):
+        # scalar = no packed ops on an AVX-512-capable core (paper Table II
+        # keeps accumulators in XMM0-7 and the value in XMM31)
+        spec = isa_spec("scalar")
+        assert spec.max_lanes_f32 == 1
+        assert spec.num_vector_regs == 32
+        assert spec.register_widths() == ()
+
+    def test_lane_table(self):
+        assert VEC_LANES_F32 == {128: 4, 256: 8, 512: 16}

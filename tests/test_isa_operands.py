@@ -1,0 +1,70 @@
+"""Tests for immediate and memory operands."""
+
+import pytest
+
+from repro.errors import AssemblyError
+from repro.isa.operands import Imm, Mem
+from repro.isa.registers import regs, zmm
+
+
+class TestImm:
+    def test_natural_width_8(self):
+        assert Imm(5).width == 8
+        assert Imm(-128).width == 8
+
+    def test_natural_width_32(self):
+        assert Imm(128).width == 32
+        assert Imm(-(1 << 20)).width == 32
+
+    def test_natural_width_64(self):
+        assert Imm(1 << 40).width == 64
+
+    def test_explicit_width_kept(self):
+        assert Imm(5, 32).width == 32
+
+    def test_out_of_range(self):
+        with pytest.raises(AssemblyError):
+            Imm(1 << 64)
+
+    def test_invalid_width(self):
+        with pytest.raises(AssemblyError):
+            Imm(5, 16)
+
+
+class TestMem:
+    def test_base_only(self):
+        mem = Mem(regs.rax, size=8)
+        assert mem.registers() == (regs.rax,)
+        assert not mem.is_gather
+
+    def test_full_form(self):
+        mem = Mem(regs.rax, regs.r10, 4, 16, size=4)
+        assert mem.registers() == (regs.rax, regs.r10)
+
+    def test_vector_index_is_gather(self):
+        mem = Mem(regs.rax, zmm(2), 4, 0, size=4)
+        assert mem.is_gather
+
+    def test_requires_some_register(self):
+        with pytest.raises(AssemblyError):
+            Mem(None)
+
+    def test_rejects_non_gpr_base(self):
+        with pytest.raises(AssemblyError):
+            Mem(zmm(0))
+
+    def test_rejects_bad_scale(self):
+        with pytest.raises(AssemblyError):
+            Mem(regs.rax, regs.rbx, 3)
+
+    def test_rejects_bad_size(self):
+        with pytest.raises(AssemblyError):
+            Mem(regs.rax, size=7)
+
+    def test_rejects_wide_disp(self):
+        with pytest.raises(AssemblyError):
+            Mem(regs.rax, disp=1 << 40)
+
+    def test_repr_readable(self):
+        text = repr(Mem(regs.rax, regs.r10, 4, 8, size=4))
+        assert "rax" in text and "r10*4" in text

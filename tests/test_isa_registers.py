@@ -1,0 +1,73 @@
+"""Tests for the register model."""
+
+import pytest
+
+from repro.isa.registers import GPR_NAMES, gpr, regs, xmm, ymm, zmm
+
+
+class TestGpr:
+    def test_all_sixteen_by_code(self):
+        for code in range(16):
+            reg = gpr(code)
+            assert reg.code == code
+            assert reg.width == 64
+
+    def test_lookup_by_name(self):
+        assert gpr("rdi").code == 7
+        assert gpr("r10").code == 10
+
+    def test_names_match_hardware_encoding_order(self):
+        # rax=0 ... rdi=7, r8=8 ... r15=15 (Intel SDM Vol 2, Table 2-2)
+        assert GPR_NAMES[0] == "rax"
+        assert GPR_NAMES[4] == "rsp"
+        assert GPR_NAMES[5] == "rbp"
+        assert GPR_NAMES[15] == "r15"
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            gpr("r16")
+
+    def test_out_of_range_code_raises(self):
+        with pytest.raises(KeyError):
+            gpr(16)
+
+    def test_extended_flag(self):
+        assert not gpr("rax").is_extended
+        assert gpr("r8").is_extended
+
+    def test_interned(self):
+        assert gpr(3) is gpr(3)
+
+
+class TestVector:
+    def test_widths_and_lanes(self):
+        assert xmm(0).width == 128 and xmm(0).lanes_f32 == 4
+        assert ymm(0).width == 256 and ymm(0).lanes_f32 == 8
+        assert zmm(0).width == 512 and zmm(0).lanes_f32 == 16
+
+    def test_thirty_two_registers(self):
+        assert zmm(31).name == "zmm31"
+        with pytest.raises(KeyError):
+            zmm(32)
+
+    def test_aliasing_shares_code(self):
+        # paper §IV-D.1: xmm/ymm alias the low bits of the same zmm
+        assert xmm(5).code == ymm(5).code == zmm(5).code
+
+    def test_with_width(self):
+        assert zmm(7).with_width(128) is xmm(7)
+
+    def test_is_vector(self):
+        assert zmm(0).is_vector
+        assert not gpr(0).is_vector
+
+
+class TestNamespace:
+    def test_attribute_access(self):
+        assert regs.rdi is gpr("rdi")
+        assert regs.zmm31 is zmm(31)
+        assert regs.xmm4 is xmm(4)
+
+    def test_unknown_attribute(self):
+        with pytest.raises(AttributeError):
+            regs.bogus

@@ -1,0 +1,91 @@
+"""Tests for the set-associative cache model."""
+
+import pytest
+
+from repro.machine.cache import Cache, CacheConfig, CacheHierarchy
+
+
+class TestConfig:
+    def test_num_sets(self):
+        config = CacheConfig(size_bytes=32 * 1024, ways=8, line_bytes=64)
+        assert config.num_sets == 64
+
+    def test_rejects_non_power_of_two_sets(self):
+        with pytest.raises(ValueError):
+            CacheConfig(size_bytes=3 * 1024, ways=1, line_bytes=64).num_sets
+
+
+class TestCache:
+    def test_miss_then_hit(self):
+        cache = Cache(CacheConfig(1024, 2, 64))
+        assert cache.access(5) is False
+        assert cache.access(5) is True
+
+    def test_lru_eviction(self):
+        cache = Cache(CacheConfig(2 * 64, 2, 64))  # 1 set, 2 ways
+        cache.access(0)
+        cache.access(1)
+        cache.access(0)  # 0 is now most-recent
+        cache.access(2)  # evicts 1
+        assert cache.access(0) is True
+        assert cache.access(1) is False
+
+    def test_distinct_sets_do_not_conflict(self):
+        cache = Cache(CacheConfig(4 * 64, 1, 64))  # 4 sets, direct-mapped
+        assert cache.access(0) is False
+        assert cache.access(1) is False
+        assert cache.access(0) is True  # different set, no eviction
+
+    def test_reset(self):
+        cache = Cache(CacheConfig(1024, 2, 64))
+        cache.access(5)
+        cache.reset()
+        assert cache.access(5) is False
+
+
+class TestHierarchy:
+    def test_first_access_goes_to_memory(self):
+        h = CacheHierarchy()
+        assert h.access(0x1000, 4) == "mem"
+
+    def test_second_access_hits_l1(self):
+        h = CacheHierarchy()
+        h.access(0x1000, 4)
+        assert h.access(0x1000, 4) == "l1"
+
+    def test_sequential_accesses_share_line(self):
+        h = CacheHierarchy()
+        h.access(0x1000, 4)
+        assert h.access(0x1004, 4) == "l1"  # same 64-byte line
+
+    def test_l2_serves_l1_evictions(self):
+        h = CacheHierarchy(
+            l1=CacheConfig(2 * 64, 2, 64),      # tiny L1: 1 set, 2 ways
+            l2=CacheConfig(64 * 64, 64, 64),    # big L2
+        )
+        h.access(0 * 64, 4)
+        h.access(1 * 64, 4)
+        h.access(2 * 64, 4)  # evicts line 0 from L1; still in L2
+        assert h.access(0 * 64, 4) == "l2"
+
+    def test_straddling_access_touches_both_lines(self):
+        h = CacheHierarchy()
+        h.access(0x1000, 64)   # loads line at 0x1000
+        # 60 bytes into the line, a 16-byte access straddles into 0x1040
+        assert h.access(0x103C, 16) == "mem"  # second line is cold
+
+    def test_sequential_stream_miss_rate_is_line_rate(self):
+        # CCM's argument (paper Fig. 7): sequential access misses once per
+        # line; strided access misses every time.
+        h = CacheHierarchy()
+        misses = sum(h.access(0x10000 + 4 * i, 4) != "l1" for i in range(1024))
+        assert misses == 1024 * 4 // 64  # one miss per 64-byte line
+
+    def test_strided_stream_misses_every_line(self):
+        h = CacheHierarchy(l1=CacheConfig(32 * 1024, 8, 64),
+                           l2=CacheConfig(64 * 1024, 16, 64))
+        stride = 4096  # one access per page: every access a new line
+        misses = sum(
+            h.access(0x100000 + stride * i, 4) != "l1" for i in range(512)
+        )
+        assert misses == 512

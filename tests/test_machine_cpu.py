@@ -1,0 +1,338 @@
+"""Tests for the functional CPU interpreter."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ExecutionLimitExceeded
+from repro.isa.assembler import Assembler
+from repro.isa.operands import Imm, Mem
+from repro.isa.registers import regs, xmm, ymm, zmm
+from repro.machine import Cpu, CpuConfig, Memory
+
+
+def run(builder, timing=False, init=None, memory=None):
+    """Assemble, run, return (cpu, counters)."""
+    asm = Assembler("t")
+    builder(asm)
+    asm.ret()
+    cpu = Cpu(memory or Memory(), CpuConfig(timing=timing))
+    counters = cpu.run(asm.finish(), init_gpr=init or {})
+    return cpu, counters
+
+
+class TestIntegerOps:
+    def test_mov_imm_and_reg(self):
+        cpu, _ = run(lambda a: (a.mov(regs.rax, 42), a.mov(regs.rbx, regs.rax)))
+        assert cpu.get_gpr("rbx") == 42
+
+    def test_add_sub(self):
+        def body(a):
+            a.mov(regs.rax, 10)
+            a.add(regs.rax, 5)
+            a.sub(regs.rax, 3)
+        cpu, _ = run(body)
+        assert cpu.get_gpr("rax") == 12
+
+    def test_imul_forms(self):
+        def body(a):
+            a.mov(regs.rax, 6)
+            a.mov(regs.rbx, 7)
+            a.imul(regs.rax, regs.rbx)
+            a.imul(regs.rcx, regs.rax, Imm(2))
+        cpu, _ = run(body)
+        assert cpu.get_gpr("rax") == 42
+        assert cpu.get_gpr("rcx") == 84
+
+    def test_lea(self):
+        def body(a):
+            a.mov(regs.rbx, 100)
+            a.mov(regs.rcx, 5)
+            a.lea(regs.rax, Mem(regs.rbx, regs.rcx, 8, 4, size=8))
+        cpu, _ = run(body)
+        assert cpu.get_gpr("rax") == 100 + 5 * 8 + 4
+
+    def test_shifts(self):
+        def body(a):
+            a.mov(regs.rax, 3)
+            a.shl(regs.rax, 4)
+            a.mov(regs.rbx, 64)
+            a.shr(regs.rbx, 3)
+        cpu, _ = run(body)
+        assert cpu.get_gpr("rax") == 48
+        assert cpu.get_gpr("rbx") == 8
+
+    def test_inc_dec_neg(self):
+        def body(a):
+            a.mov(regs.rax, 5)
+            a.inc(regs.rax)
+            a.dec(regs.rbx)
+            a.mov(regs.rcx, 9)
+            a.neg(regs.rcx)
+        cpu, _ = run(body, init={"rbx": 2})
+        assert cpu.get_gpr("rax") == 6
+        assert cpu.get_gpr("rbx") == 1
+        assert cpu.get_gpr("rcx") == -9
+
+    def test_memory_round_trip(self):
+        mem = Memory()
+        base, _ = mem.map_zeros(64)
+
+        def body(a):
+            a.mov(regs.rbx, Imm(base, 64))
+            a.mov(regs.rax, 12345)
+            a.mov(Mem(regs.rbx, disp=8, size=8), regs.rax)
+            a.mov(regs.rcx, Mem(regs.rbx, disp=8, size=8))
+        cpu, _ = run(body, memory=mem)
+        assert cpu.get_gpr("rcx") == 12345
+
+    def test_32bit_load_zero_extends(self):
+        mem = Memory()
+        arr = np.array([7, 9], dtype=np.int32)
+        base = mem.map_array(arr)
+
+        def body(a):
+            a.mov(regs.rbx, Imm(base, 64))
+            a.mov(regs.rax, Mem(regs.rbx, disp=4, size=4))
+        cpu, _ = run(body, memory=mem)
+        assert cpu.get_gpr("rax") == 9
+
+
+class TestControlFlow:
+    def test_loop_counts(self):
+        def body(a):
+            a.mov(regs.rcx, 0)
+            a.mov(regs.rax, 0)
+            a.label("loop")
+            a.cmp(regs.rcx, 10)
+            a.jge("done")
+            a.add(regs.rax, regs.rcx)
+            a.inc(regs.rcx)
+            a.jmp("loop")
+            a.label("done")
+        cpu, counters = run(body)
+        assert cpu.get_gpr("rax") == sum(range(10))
+        assert counters.cond_branches == 11
+
+    @pytest.mark.parametrize("jcc,a,b,expect_taken", [
+        ("je", 5, 5, True), ("je", 5, 6, False),
+        ("jne", 5, 6, True), ("jne", 5, 5, False),
+        ("jl", 4, 5, True), ("jl", 5, 4, False),
+        ("jge", 5, 5, True), ("jge", 4, 5, False),
+        ("jle", 5, 5, True), ("jg", 6, 5, True),
+        ("jb", 4, 5, True), ("jae", 5, 5, True),
+        ("jbe", 5, 5, True), ("ja", 6, 5, True),
+    ])
+    def test_condition_codes(self, jcc, a, b, expect_taken):
+        def body(asm):
+            asm.mov(regs.rax, a)
+            asm.mov(regs.rbx, b)
+            asm.mov(regs.rcx, 0)
+            asm.cmp(regs.rax, regs.rbx)
+            asm.emit(jcc, "taken")
+            asm.jmp("end")
+            asm.label("taken")
+            asm.mov(regs.rcx, 1)
+            asm.label("end")
+        cpu, _ = run(body)
+        assert cpu.get_gpr("rcx") == (1 if expect_taken else 0)
+
+    def test_fuel_limit(self):
+        asm = Assembler("inf")
+        asm.label("x")
+        asm.jmp("x")
+        cpu = Cpu(Memory(), CpuConfig(timing=False))
+        with pytest.raises(ExecutionLimitExceeded):
+            cpu.run(asm.finish(), fuel=1000)
+
+    def test_entry_by_label(self):
+        asm = Assembler("entry")
+        asm.mov(regs.rax, 1)
+        asm.ret()
+        asm.label("alt")
+        asm.mov(regs.rax, 2)
+        asm.ret()
+        cpu = Cpu(Memory(), CpuConfig(timing=False))
+        cpu.run(asm.finish(), entry="alt")
+        assert cpu.get_gpr("rax") == 2
+
+
+class TestAtomics:
+    def test_xadd_fetch_add(self):
+        mem = Memory()
+        base, arr = mem.map_zeros(8)
+
+        def body(a):
+            a.mov(regs.rdi, Imm(base, 64))
+            a.mov(regs.rsi, 128)
+            a.xadd(Mem(regs.rdi, size=8), regs.rsi, lock=True)
+            a.mov(regs.rsi, 128)
+            a.xadd(Mem(regs.rdi, size=8), regs.rsi, lock=True)
+        cpu, counters = run(body, memory=mem)
+        assert cpu.get_gpr("rsi") == 128  # old value of second fetch-add
+        assert mem.read_int(base, 8) == 256
+        assert counters.atomic_ops == 2
+
+
+class TestVectorOps:
+    def test_vxorps_zeroes(self):
+        def body(a):
+            a.vxorps(zmm(3), zmm(3), zmm(3))
+        cpu, _ = run(body)
+        assert np.all(cpu.get_vec(zmm(3)) == 0)
+
+    def test_broadcast_and_fma(self):
+        mem = Memory()
+        x = np.arange(16, dtype=np.float32)
+        scalar = np.array([2.0], dtype=np.float32)
+        xb = mem.map_array(x)
+        sb = mem.map_array(scalar)
+
+        def body(a):
+            a.mov(regs.rax, Imm(xb, 64))
+            a.mov(regs.rbx, Imm(sb, 64))
+            a.vxorps(zmm(0), zmm(0), zmm(0))
+            a.vbroadcastss(zmm(31), Mem(regs.rbx, size=4))
+            a.vfmadd231ps(zmm(0), zmm(31), Mem(regs.rax, size=64))
+        cpu, _ = run(body, memory=mem)
+        assert np.allclose(cpu.get_vec(zmm(0)), 2.0 * x)
+
+    def test_vmovups_store(self):
+        mem = Memory()
+        out = np.zeros(8, dtype=np.float32)
+        src = np.arange(8, dtype=np.float32)
+        ob = mem.map_array(out)
+        sb = mem.map_array(src)
+
+        def body(a):
+            a.mov(regs.rax, Imm(sb, 64))
+            a.mov(regs.rbx, Imm(ob, 64))
+            a.vmovups(ymm(1), Mem(regs.rax, size=32))
+            a.vmovups(Mem(regs.rbx, size=32), ymm(1))
+        run(body, memory=mem)
+        assert np.array_equal(out, src)
+
+    def test_scalar_ss_ops(self):
+        mem = Memory()
+        vals = np.array([3.0, 4.0], dtype=np.float32)
+        base = mem.map_array(vals)
+
+        def body(a):
+            a.mov(regs.rax, Imm(base, 64))
+            a.vmovss(xmm(0), Mem(regs.rax, size=4))
+            a.vmovss(xmm(1), Mem(regs.rax, disp=4, size=4))
+            a.vmulss(xmm(2), xmm(0), xmm(1))
+            a.vaddss(xmm(3), xmm(2), xmm(0))
+        cpu, _ = run(body, memory=mem)
+        assert cpu.get_vec(xmm(2))[0] == pytest.approx(12.0)
+        assert cpu.get_vec(xmm(3))[0] == pytest.approx(15.0)
+
+    def test_fma_scalar(self):
+        mem = Memory()
+        vals = np.array([2.0, 10.0], dtype=np.float32)
+        base = mem.map_array(vals)
+
+        def body(a):
+            a.mov(regs.rax, Imm(base, 64))
+            a.vxorps(xmm(4), xmm(4), xmm(4))
+            a.vmovss(xmm(5), Mem(regs.rax, size=4))
+            a.vfmadd231ss(xmm(4), xmm(5), Mem(regs.rax, disp=4, size=4))
+        cpu, _ = run(body, memory=mem)
+        assert cpu.get_vec(xmm(4))[0] == pytest.approx(20.0)
+
+    def test_horizontal_reduction_sequence(self):
+        # the reduction the AOT vectorizer emits: zmm -> scalar sum
+        mem = Memory()
+        data = np.arange(16, dtype=np.float32)
+        base = mem.map_array(data)
+
+        def body(a):
+            a.mov(regs.rax, Imm(base, 64))
+            a.vmovups(zmm(0), Mem(regs.rax, size=64))
+            a.vextractf64x4(ymm(1), zmm(0), Imm(1))
+            a.vaddps(ymm(0), ymm(0), ymm(1))
+            a.vextractf128(xmm(1), ymm(0), Imm(1))
+            a.vaddps(xmm(0), xmm(0), xmm(1))
+            a.vhaddps(xmm(0), xmm(0), xmm(0))
+            a.vhaddps(xmm(0), xmm(0), xmm(0))
+        cpu, _ = run(body, memory=mem)
+        assert cpu.get_vec(xmm(0))[0] == pytest.approx(data.sum())
+
+    def test_gather(self):
+        mem = Memory()
+        table = np.arange(100, dtype=np.float32) * 10
+        indices = np.array([5, 1, 7, 3, 0, 2, 9, 4], dtype=np.int32)
+        tb = mem.map_array(table)
+        ib = mem.map_array(indices)
+
+        def body(a):
+            a.mov(regs.rax, Imm(tb, 64))
+            a.mov(regs.rbx, Imm(ib, 64))
+            a.vmovdqu32(ymm(1), Mem(regs.rbx, size=32))
+            a.vgatherdps(ymm(2), Mem(regs.rax, ymm(1), 4, 0, size=4))
+        cpu, counters = run(body, memory=mem)
+        assert np.array_equal(cpu.get_vec(ymm(2)), table[indices])
+        assert counters.gather_elements == 8
+
+    def test_int_vector_ops(self):
+        mem = Memory()
+        vals = np.arange(8, dtype=np.int32)
+        scalar = np.array([3], dtype=np.int32)
+        vb = mem.map_array(vals)
+        sb = mem.map_array(scalar)
+
+        def body(a):
+            a.mov(regs.rax, Imm(vb, 64))
+            a.mov(regs.rbx, Imm(sb, 64))
+            a.vmovdqu32(ymm(0), Mem(regs.rax, size=32))
+            a.vpbroadcastd(ymm(1), Mem(regs.rbx, size=4))
+            a.vpmulld(ymm(2), ymm(0), ymm(1))
+            a.vpaddd(ymm(3), ymm(2), ymm(0))
+            a.vpslld(ymm(4), ymm(0), Imm(2))
+        cpu, _ = run(body, memory=mem)
+        i32 = cpu.vec_i32
+        assert np.array_equal(i32[2, :8], vals * 3)
+        assert np.array_equal(i32[3, :8], vals * 4)
+        assert np.array_equal(i32[4, :8], vals << 2)
+
+
+class TestCounting:
+    def test_instruction_and_load_counts(self):
+        mem = Memory()
+        base = mem.map_array(np.arange(4, dtype=np.float32))
+
+        def body(a):
+            a.mov(regs.rax, Imm(base, 64))      # 1 insn
+            a.vmovups(xmm(0), Mem(regs.rax, size=16))  # 1 insn, 1 load
+            a.vmovss(xmm(1), Mem(regs.rax, size=4))    # 1 insn, 1 load
+        _, counters = run(body, memory=mem)
+        assert counters.instructions == 4  # + ret
+        assert counters.memory_loads == 2
+        assert counters.loaded_bytes == 20
+
+    def test_counts_mode_matches_timing_mode(self):
+        mem1, mem2 = Memory(), Memory()
+        data1 = np.arange(64, dtype=np.float32)
+        data2 = np.arange(64, dtype=np.float32)
+        base1 = mem1.map_array(data1)
+        base2 = mem2.map_array(data2)
+        assert base1 == base2  # same layout
+
+        def body(a):
+            a.mov(regs.rax, Imm(base1, 64))
+            a.mov(regs.rcx, 0)
+            a.vxorps(zmm(0), zmm(0), zmm(0))
+            a.label("loop")
+            a.cmp(regs.rcx, 4)
+            a.jge("done")
+            a.mov(regs.rdx, regs.rcx)
+            a.shl(regs.rdx, 6)
+            a.vfmadd231ps(zmm(0), zmm(0), Mem(regs.rax, regs.rdx, 1, 0, size=64))
+            a.inc(regs.rcx)
+            a.jmp("loop")
+            a.label("done")
+
+        _, fast = run(body, timing=False, memory=mem1)
+        _, slow = run(body, timing=True, memory=mem2)
+        for key in ("instructions", "memory_loads", "branches", "branch_misses"):
+            assert getattr(fast, key) == getattr(slow, key)
+        assert fast.cycles == 0 and slow.cycles > 0

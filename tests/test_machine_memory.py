@@ -1,0 +1,101 @@
+"""Tests for the simulated flat memory."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MachineError, SegmentationFault
+from repro.machine import Memory
+
+
+class TestMapping:
+    def test_segments_do_not_overlap(self):
+        mem = Memory()
+        bases = [mem.map_array(np.zeros(100, dtype=np.float32)) for _ in range(5)]
+        segs = mem.segments
+        for a, b in zip(segs, segs[1:]):
+            assert a.end <= b.base
+
+    def test_zero_copy_aliasing(self):
+        mem = Memory()
+        arr = np.zeros(4, dtype=np.float32)
+        base = mem.map_array(arr)
+        mem.write_f32(base + 4, np.array([2.5], dtype=np.float32))
+        assert arr[1] == 2.5  # simulated store visible to host
+        arr[2] = 7.0
+        assert mem.read_f32(base + 8)[0] == 7.0  # host store visible to sim
+
+    def test_map_zeros(self):
+        mem = Memory()
+        base, arr = mem.map_zeros(64, "scratch")
+        assert arr.size == 64
+        assert mem.read_int(base, 8) == 0
+
+    def test_map_zeros_rejects_nonpositive(self):
+        with pytest.raises(MachineError):
+            Memory().map_zeros(0)
+
+    def test_unmapped_access_faults(self):
+        mem = Memory()
+        mem.map_array(np.zeros(8, dtype=np.float32))
+        with pytest.raises(SegmentationFault):
+            mem.read_int(0x100, 8)
+
+    def test_overrun_into_guard_faults(self):
+        mem = Memory()
+        base = mem.map_array(np.zeros(2, dtype=np.float32))
+        with pytest.raises(SegmentationFault):
+            mem.read_int(base + 8, 8)  # past the 8-byte segment
+
+
+class TestScalarAccess:
+    def test_int_round_trip(self):
+        mem = Memory()
+        base, _ = mem.map_zeros(32)
+        mem.write_int(base, 8, 0x1122334455667788)
+        assert mem.read_int(base, 8) == 0x1122334455667788
+
+    def test_int32_round_trip(self):
+        mem = Memory()
+        base, _ = mem.map_zeros(32)
+        mem.write_int(base + 4, 4, 0xDEADBEEF)
+        assert mem.read_int(base + 4, 4) == 0xDEADBEEF
+
+    def test_little_endian(self):
+        mem = Memory()
+        base, arr = mem.map_zeros(8)
+        mem.write_int(base, 4, 0x01020304)
+        assert list(arr[:4]) == [0x04, 0x03, 0x02, 0x01]
+
+    def test_negative_value_masked(self):
+        mem = Memory()
+        base, _ = mem.map_zeros(8)
+        mem.write_int(base, 8, -1)
+        assert mem.read_int(base, 8) == (1 << 64) - 1
+
+
+class TestVectorAccess:
+    def test_f32_vector_round_trip(self):
+        mem = Memory()
+        base, _ = mem.map_zeros(64)
+        values = np.arange(16, dtype=np.float32)
+        mem.write_f32(base, values)
+        assert np.array_equal(mem.read_f32(base, 16), values)
+
+    def test_unaligned_f32(self):
+        mem = Memory()
+        base, _ = mem.map_zeros(64)
+        mem.write_f32(base + 4, np.array([1.5, 2.5], dtype=np.float32))
+        out = mem.read_f32(base + 4, 2)
+        assert list(out) == [1.5, 2.5]
+
+    def test_i32_vector(self):
+        mem = Memory()
+        arr = np.arange(8, dtype=np.int32)
+        base = mem.map_array(arr)
+        assert np.array_equal(mem.read_i32_vec(base, 8), arr)
+
+    def test_int64_array_view(self):
+        mem = Memory()
+        arr = np.array([10, 20, 30], dtype=np.int64)
+        base = mem.map_array(arr)
+        assert mem.read_int(base + 8, 8) == 20

@@ -1,0 +1,77 @@
+"""Tests for PerfReport and Counters arithmetic."""
+
+import pytest
+
+from repro.machine.counters import Counters
+from repro.machine.perf import PerfReport
+
+
+def sample(cycles: float, loads: int = 100) -> Counters:
+    counters = Counters()
+    counters.cycles = cycles
+    counters.memory_loads = loads
+    counters.instructions = 10 * loads
+    return counters
+
+
+class TestCounters:
+    def test_merge_sums_events_maxes_cycles(self):
+        a = sample(100.0, loads=10)
+        b = sample(250.0, loads=20)
+        a.merge(b)
+        assert a.memory_loads == 30
+        assert a.cycles == 250.0
+
+    def test_scaled(self):
+        scaled = sample(100.0, loads=10).scaled(0.5)
+        assert scaled.memory_loads == 5
+        assert scaled.cycles == 50.0
+
+    def test_seconds(self):
+        counters = sample(3.7e9)
+        assert counters.seconds(ghz=3.7) == pytest.approx(1.0)
+
+    def test_as_dict_roundtrip(self):
+        data = sample(5.0).as_dict()
+        assert data["cycles"] == 5.0
+        assert "branch_misses" in data
+
+    def test_str_compact(self):
+        assert "loads=" in str(sample(1.0))
+
+
+class TestPerfReport:
+    def test_speedup(self):
+        report = PerfReport("t")
+        report.add("slow", sample(1000.0))
+        report.add("fast", sample(250.0))
+        assert report.speedup("slow", "fast") == pytest.approx(4.0)
+
+    def test_speedup_zero_contender(self):
+        report = PerfReport()
+        report.add("a", sample(10.0))
+        report.add("b", sample(0.0))
+        with pytest.raises(ZeroDivisionError):
+            report.speedup("a", "b")
+
+    def test_ratio(self):
+        report = PerfReport()
+        report.add("base", sample(1.0, loads=300))
+        report.add("jit", sample(1.0, loads=100))
+        assert report.ratio("memory_loads", "base", "jit") == pytest.approx(3.0)
+
+    def test_ratio_infinite(self):
+        report = PerfReport()
+        report.add("base", sample(1.0, loads=300))
+        zero = Counters()
+        report.add("none", zero)
+        assert report.ratio("memory_loads", "base", "none") == float("inf")
+
+    def test_table_renders_all_runs(self):
+        report = PerfReport("title")
+        report.add("one", sample(10.0))
+        report.add("two", sample(20.0))
+        text = report.table()
+        assert "title" in text
+        assert "one" in text and "two" in text
+        assert "seconds" in text

@@ -1,0 +1,118 @@
+"""Tests for the scoreboard pipeline model."""
+
+from repro.isa.instructions import Instruction
+from repro.isa.operands import Imm, Mem
+from repro.isa.registers import regs, zmm
+from repro.machine.pipeline import PipelineModel, PipelineSpec
+
+
+def fma(dst, a, b):
+    return Instruction("vfmadd231ps", (zmm(dst), zmm(a), zmm(b)))
+
+
+class TestDependencyChains:
+    def test_serial_fma_chain_is_latency_bound(self):
+        # 8 FMAs all accumulating into zmm0: each waits for the previous.
+        model = PipelineModel()
+        for _ in range(8):
+            model.issue(fma(0, 1, 2))
+        serial = model.cycles
+
+        model2 = PipelineModel()
+        for i in range(8):
+            model2.issue(fma(i, 8, 9))  # independent accumulators
+        parallel = model2.cycles
+        # CCM's whole point (paper §IV-C): independent accumulators overlap.
+        assert serial > parallel * 2
+
+    def test_fma_latency_visible(self):
+        spec = PipelineSpec()
+        model = PipelineModel(spec)
+        model.issue(fma(0, 1, 2))
+        model.issue(fma(0, 1, 2))  # depends on previous
+        fma_latency = dict((k, lat) for k, lat, _ in spec.kind_costs)[
+            fma(0, 1, 2).kind]
+        assert model.cycles >= 2 * fma_latency
+
+    def test_zero_idiom_breaks_chain(self):
+        model = PipelineModel()
+        model.issue(fma(0, 1, 2))
+        model.issue(Instruction("vxorps", (zmm(0), zmm(0), zmm(0))))
+        zeroing_done = model.cycles
+        model2 = PipelineModel()
+        model2.issue(fma(0, 1, 2))
+        model2.issue(Instruction("vaddps", (zmm(0), zmm(0), zmm(3))))
+        dependent_done = model2.cycles
+        assert zeroing_done < dependent_done
+
+
+class TestPorts:
+    def test_port_contention_serializes(self):
+        # Only 2 vector pipes: 8 independent FMAs take >= 4 issue slots.
+        model = PipelineModel()
+        for i in range(8):
+            model.issue(fma(i, 10, 11))
+        assert model.cycles >= 4.0
+
+    def test_issue_width_bounds_throughput(self):
+        spec = PipelineSpec(issue_width=4)
+        model = PipelineModel(spec)
+        for _ in range(100):
+            model.issue(Instruction("nop"))
+        assert model.cycles >= 100 / 4
+
+
+class TestMemory:
+    def test_load_latency_by_level(self):
+        insn = Instruction("mov", (regs.rax, Mem(regs.rbx, size=8)))
+        use = Instruction("add", (regs.rcx, regs.rax))
+        results = {}
+        for level in ("l1", "l2", "mem"):
+            model = PipelineModel()
+            model.issue(insn, load_refs=((level, 100),))
+            model.issue(use)
+            results[level] = model.cycles
+        assert results["l1"] < results["l2"] < results["mem"]
+
+    def test_stores_do_not_stall(self):
+        model = PipelineModel()
+        store = Instruction("mov", (Mem(regs.rbx, size=8), regs.rax))
+        for i in range(10):
+            model.issue(store, store_refs=(("l1", i),))
+        # bound by store port (1/cycle), not by any latency chain
+        assert model.cycles <= 16
+
+
+class TestBranches:
+    def test_mispredict_costs_flush(self):
+        spec = PipelineSpec(branch_miss_penalty=16.0)
+        correct = PipelineModel(spec)
+        correct.issue(Instruction("jge", ("x",)), mispredicted=False)
+        correct.issue(Instruction("nop"))
+        wrong = PipelineModel(spec)
+        wrong.issue(Instruction("jge", ("x",)), mispredicted=True)
+        wrong.issue(Instruction("nop"))
+        assert wrong.cycles >= correct.cycles + spec.branch_miss_penalty
+
+    def test_advance_stalls(self):
+        model = PipelineModel()
+        model.issue(Instruction("nop"))
+        before = model.cycles
+        model.advance(50.0)
+        assert model.cycles >= before + 50.0
+
+
+class TestGather:
+    def test_gather_occupies_load_pipes(self):
+        from repro.isa.operands import Mem as M
+        gather = Instruction(
+            "vgatherdps", (zmm(0), M(regs.rax, zmm(1), 4, 0, size=4))
+        )
+        model = PipelineModel()
+        model.issue(gather, load_refs=tuple(("l1", i) for i in range(16)), gather_lanes=16)
+        single = PipelineModel()
+        single.issue(
+            Instruction("vmovups", (zmm(0), M(regs.rax, size=64))),
+            load_refs=(("l1", 0),),
+        )
+        assert model.cycles > single.cycles

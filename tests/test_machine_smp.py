@@ -1,0 +1,123 @@
+"""Tests for the multi-core machine and scheduler."""
+
+import numpy as np
+import pytest
+
+from repro.isa.assembler import Assembler
+from repro.isa.operands import Imm, Mem
+from repro.isa.registers import regs
+from repro.machine import CpuConfig, Machine, Memory, ThreadSpec
+from repro.machine.smp import THREAD_OVERHEAD_CYCLES
+
+
+def counting_program(counter_base: int, per_thread: int):
+    """Each thread adds 1 to a shared counter ``per_thread`` times via xadd."""
+    asm = Assembler("count")
+    asm.mov(regs.rdi, Imm(counter_base, 64))
+    asm.mov(regs.rcx, 0)
+    asm.label("loop")
+    asm.cmp(regs.rcx, per_thread)
+    asm.jge("done")
+    asm.mov(regs.rsi, 1)
+    asm.xadd(Mem(regs.rdi, size=8), regs.rsi, lock=True)
+    asm.inc(regs.rcx)
+    asm.jmp("loop")
+    asm.label("done")
+    asm.ret()
+    return asm.finish()
+
+
+def range_sum_program(data_base: int, out_base: int):
+    """Sum data[start:end) into out[tid]; start/end/tid passed in registers."""
+    asm = Assembler("rangesum")
+    # rdi = start index, rsi = end index, rdx = tid
+    asm.mov(regs.rax, Imm(data_base, 64))
+    asm.mov(regs.rbx, 0)
+    asm.label("loop")
+    asm.cmp(regs.rdi, regs.rsi)
+    asm.jge("done")
+    asm.add(regs.rbx, Mem(regs.rax, regs.rdi, 8, 0, size=8))
+    asm.inc(regs.rdi)
+    asm.jmp("loop")
+    asm.label("done")
+    asm.mov(regs.rcx, Imm(out_base, 64))
+    asm.mov(regs.r9, regs.rdx)
+    asm.shl(regs.r9, 3)
+    asm.add(regs.rcx, regs.r9)
+    asm.mov(Mem(regs.rcx, size=8), regs.rbx)
+    asm.ret()
+    return asm.finish()
+
+
+class TestAtomicity:
+    @pytest.mark.parametrize("threads,quantum", [(2, 1), (4, 3), (8, 64)])
+    def test_shared_counter_is_exact(self, threads, quantum):
+        mem = Memory()
+        base, _ = mem.map_zeros(8)
+        program = counting_program(base, per_thread=25)
+        machine = Machine(mem, CpuConfig(timing=False), quantum=quantum)
+        machine.run([ThreadSpec(program) for _ in range(threads)])
+        assert mem.read_int(base, 8) == threads * 25
+
+    def test_result_independent_of_quantum(self):
+        results = []
+        for quantum in (1, 7, 128):
+            mem = Memory()
+            base, _ = mem.map_zeros(8)
+            machine = Machine(mem, CpuConfig(timing=False), quantum=quantum)
+            machine.run([ThreadSpec(counting_program(base, 10))] * 3)
+            results.append(mem.read_int(base, 8))
+        assert results == [30, 30, 30]
+
+
+class TestWorkPartitioning:
+    def test_disjoint_ranges_sum_correctly(self):
+        mem = Memory()
+        data = np.arange(100, dtype=np.int64)
+        out = np.zeros(4, dtype=np.int64)
+        db = mem.map_array(data)
+        ob = mem.map_array(out)
+        program = range_sum_program(db, ob)
+        threads = [
+            ThreadSpec(program, init_gpr={"rdi": t * 25, "rsi": (t + 1) * 25,
+                                          "rdx": t})
+            for t in range(4)
+        ]
+        machine = Machine(mem, CpuConfig(timing=False))
+        merged, per_thread = machine.run(threads)
+        assert out.sum() == data.sum()
+        assert len(per_thread) == 4
+        # per-thread counters sum into merged (except cycles)
+        assert merged.instructions == sum(c.instructions for c in per_thread)
+
+
+class TestTiming:
+    def test_elapsed_is_max_thread_plus_overhead(self):
+        mem = Memory()
+        data = np.arange(64, dtype=np.int64)
+        out = np.zeros(2, dtype=np.int64)
+        db = mem.map_array(data)
+        ob = mem.map_array(out)
+        program = range_sum_program(db, ob)
+        # thread 0 does 4 elements, thread 1 does 60: very imbalanced
+        threads = [
+            ThreadSpec(program, init_gpr={"rdi": 0, "rsi": 4, "rdx": 0}),
+            ThreadSpec(program, init_gpr={"rdi": 4, "rsi": 64, "rdx": 1}),
+        ]
+        machine = Machine(mem, CpuConfig(timing=True))
+        merged, per_thread = machine.run(threads)
+        slowest = max(c.cycles for c in per_thread)
+        assert merged.cycles == pytest.approx(slowest + THREAD_OVERHEAD_CYCLES)
+        assert per_thread[1].cycles > per_thread[0].cycles
+
+    def test_rejects_bad_quantum(self):
+        with pytest.raises(ValueError):
+            Machine(Memory(), quantum=0)
+
+    def test_run_single(self):
+        mem = Memory()
+        base, _ = mem.map_zeros(8)
+        machine = Machine(mem, CpuConfig(timing=False))
+        counters = machine.run_single(ThreadSpec(counting_program(base, 5)))
+        assert mem.read_int(base, 8) == 5
+        assert counters.atomic_ops == 5

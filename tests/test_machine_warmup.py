@@ -1,0 +1,104 @@
+"""Tests for warm-run measurement (Machine.run(warmup=True))."""
+
+import numpy as np
+
+from repro.core.runner import run_jit
+from repro.isa.assembler import Assembler
+from repro.isa.operands import Imm, Mem
+from repro.isa.registers import regs, zmm
+from repro.machine import CpuConfig, Machine, Memory, ThreadSpec
+from repro.sparse import spmm_reference
+from tests.conftest import random_csr
+
+
+def streaming_program(base: int, lines: int):
+    """Touch `lines` cache lines, 64 bytes apart."""
+    asm = Assembler("stream")
+    asm.mov(regs.rax, Imm(base, 64))
+    asm.mov(regs.rcx, 0)
+    asm.label("loop")
+    asm.cmp(regs.rcx, lines)
+    asm.jge("done")
+    asm.mov(regs.rdx, regs.rcx)
+    asm.shl(regs.rdx, 6)
+    asm.vmovups(zmm(0), Mem(regs.rax, regs.rdx, 1, 0, size=64))
+    asm.inc(regs.rcx)
+    asm.jmp("loop")
+    asm.label("done")
+    asm.ret()
+    return asm.finish()
+
+
+class TestWarmup:
+    def test_warm_run_has_fewer_misses(self):
+        lines = 32
+        results = {}
+        for warmup in (False, True):
+            mem = Memory()
+            base = mem.map_array(np.zeros(64 * lines, dtype=np.uint8))
+            program = streaming_program(base, lines)
+            machine = Machine(mem, CpuConfig(timing=True))
+            merged, _ = machine.run([ThreadSpec(program)], warmup=warmup)
+            results[warmup] = merged
+        cold, warm = results[False], results[True]
+        assert cold.l1_misses >= lines          # every line cold-missed
+        assert warm.l1_misses == 0              # fully warmed
+        assert warm.cycles < cold.cycles
+        # event counts other than cache/branch state are identical
+        assert warm.instructions == cold.instructions
+        assert warm.memory_loads == cold.memory_loads
+
+    def test_warm_predictor_reduces_misses(self):
+        # use the PC-indexed two-bit predictor: unlike gshare (whose
+        # global history crosses the warmup boundary), its warm state is
+        # strictly no worse than cold
+        config = CpuConfig(timing=True, predictor="two_bit")
+        mem = Memory()
+        base = mem.map_array(np.zeros(64 * 16, dtype=np.uint8))
+        program = streaming_program(base, 16)
+        cold, _ = Machine(mem, config).run([ThreadSpec(program)])
+        mem2 = Memory()
+        base2 = mem2.map_array(np.zeros(64 * 16, dtype=np.uint8))
+        warm, _ = Machine(mem2, config).run(
+            [ThreadSpec(streaming_program(base2, 16))], warmup=True)
+        assert warm.branch_misses <= cold.branch_misses
+
+    def test_between_runs_hook_called(self):
+        mem = Memory()
+        base = mem.map_array(np.zeros(64 * 4, dtype=np.uint8))
+        program = streaming_program(base, 4)
+        machine = Machine(mem, CpuConfig(timing=True))
+        calls = []
+        machine.run([ThreadSpec(program)], warmup=True,
+                    between_runs=lambda: calls.append(1))
+        assert calls == [1]
+
+    def test_counts_mode_ignores_warmup_flag(self):
+        mem = Memory()
+        base = mem.map_array(np.zeros(64 * 4, dtype=np.uint8))
+        program = streaming_program(base, 4)
+        machine = Machine(mem, CpuConfig(timing=False))
+        merged, _ = machine.run([ThreadSpec(program)])
+        assert merged.cycles == 0
+
+
+class TestWarmJitRuns:
+    def test_dynamic_dispatch_correct_after_warmup(self, rng):
+        # warmup runs the xadd dispatcher once; the NEXT counter must be
+        # reset before the measured run or no rows would be processed
+        matrix = random_csr(rng, 50, 40, density=0.2)
+        x = rng.random((40, 8)).astype(np.float32)
+        result = run_jit(matrix, x, split="row", threads=3, dynamic=True,
+                         timing=True, warmup=True)
+        assert np.allclose(result.y, spmm_reference(matrix, x), atol=1e-3)
+        assert result.counters.instructions > 0
+
+    def test_warm_counts_equal_cold_counts(self, rng):
+        matrix = random_csr(rng, 30, 30, density=0.2)
+        x = rng.random((30, 16)).astype(np.float32)
+        cold = run_jit(matrix, x, split="nnz", threads=2, timing=True)
+        warm = run_jit(matrix, x, split="nnz", threads=2, timing=True,
+                       warmup=True)
+        assert warm.counters.instructions == cold.counters.instructions
+        assert warm.counters.memory_loads == cold.counters.memory_loads
+        assert warm.counters.cycles < cold.counters.cycles

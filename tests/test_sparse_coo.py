@@ -1,0 +1,103 @@
+"""Unit tests for the COO container."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError, SparseFormatError
+from repro.sparse import CooMatrix
+
+
+def make_coo() -> CooMatrix:
+    return CooMatrix(
+        3, 4,
+        rows=np.array([0, 0, 2, 2]),
+        cols=np.array([1, 3, 0, 3]),
+        vals=np.array([1.0, 2.0, 3.0, 4.0]),
+    )
+
+
+class TestConstruction:
+    def test_basic_properties(self):
+        coo = make_coo()
+        assert coo.nnz == 4
+        assert coo.shape == (3, 4)
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(SparseFormatError):
+            CooMatrix(2, 2, np.array([0]), np.array([0, 1]), np.array([1.0]))
+
+    def test_rejects_out_of_range_row(self):
+        with pytest.raises(SparseFormatError):
+            CooMatrix(2, 2, np.array([2]), np.array([0]), np.array([1.0]))
+
+    def test_rejects_out_of_range_col(self):
+        with pytest.raises(SparseFormatError):
+            CooMatrix(2, 2, np.array([0]), np.array([5]), np.array([1.0]))
+
+    def test_rejects_negative_shape(self):
+        with pytest.raises(ShapeError):
+            CooMatrix(-1, 2, np.array([], dtype=int), np.array([], dtype=int),
+                      np.array([], dtype=np.float32))
+
+    def test_rejects_2d_arrays(self):
+        with pytest.raises(SparseFormatError):
+            CooMatrix(2, 2, np.zeros((1, 1), dtype=int), np.array([0]),
+                      np.array([1.0]))
+
+    def test_arrays_coerced_to_canonical_dtypes(self):
+        coo = make_coo()
+        assert coo.rows.dtype == np.int64
+        assert coo.cols.dtype == np.int64
+        assert coo.vals.dtype == np.float32
+
+
+class TestConversions:
+    def test_dense_round_trip(self):
+        dense = np.array([[0, 1.5], [2.5, 0]], dtype=np.float32)
+        coo = CooMatrix.from_dense(dense)
+        assert np.array_equal(coo.to_dense(), dense)
+
+    def test_from_dense_drops_zeros(self):
+        dense = np.array([[0, 1], [0, 0]], dtype=np.float32)
+        assert CooMatrix.from_dense(dense).nnz == 1
+
+    def test_from_dense_rejects_1d(self):
+        with pytest.raises(ShapeError):
+            CooMatrix.from_dense(np.array([1.0, 2.0]))
+
+    def test_to_dense_sums_duplicates(self):
+        coo = CooMatrix(1, 1, np.array([0, 0]), np.array([0, 0]),
+                        np.array([1.0, 2.0]))
+        assert coo.to_dense()[0, 0] == pytest.approx(3.0)
+
+    def test_transpose(self):
+        coo = make_coo()
+        transposed = coo.transpose()
+        assert transposed.shape == (4, 3)
+        assert np.array_equal(transposed.to_dense(), coo.to_dense().T)
+
+    def test_transpose_is_involution(self):
+        coo = make_coo()
+        back = coo.transpose().transpose()
+        assert np.array_equal(back.to_dense(), coo.to_dense())
+
+
+class TestNormalization:
+    def test_sorted_by_row_orders_lexicographically(self):
+        coo = CooMatrix(3, 3, np.array([2, 0, 2, 0]), np.array([1, 2, 0, 0]),
+                        np.array([1.0, 2.0, 3.0, 4.0]))
+        out = coo.sorted_by_row()
+        assert list(out.rows) == [0, 0, 2, 2]
+        assert list(out.cols) == [0, 2, 0, 1]
+
+    def test_sum_duplicates_merges(self):
+        coo = CooMatrix(2, 2, np.array([0, 0, 1]), np.array([1, 1, 0]),
+                        np.array([1.0, 4.0, 2.0]))
+        out = coo.sum_duplicates()
+        assert out.nnz == 2
+        assert np.array_equal(out.to_dense(), coo.to_dense())
+
+    def test_sum_duplicates_empty(self):
+        coo = CooMatrix(2, 2, np.array([], dtype=int), np.array([], dtype=int),
+                        np.array([], dtype=np.float32))
+        assert coo.sum_duplicates().nnz == 0

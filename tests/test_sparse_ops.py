@@ -1,0 +1,107 @@
+"""Tests for the reference SpMM kernels (the correctness oracles)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ShapeError
+from repro.sparse import (
+    CsrMatrix,
+    spmm_reference,
+    spmm_rowwise,
+    spmm_scalar,
+    spmv_reference,
+)
+from tests.conftest import random_csr
+
+
+class TestShapes:
+    def test_rejects_dimension_mismatch(self, rng):
+        mat = random_csr(rng, 5, 6)
+        with pytest.raises(ShapeError):
+            spmm_reference(mat, rng.random((7, 3)).astype(np.float32))
+
+    def test_rejects_1d_dense(self, rng):
+        mat = random_csr(rng, 5, 6)
+        with pytest.raises(ShapeError):
+            spmm_reference(mat, rng.random(6).astype(np.float32))
+
+    def test_output_shape(self, rng):
+        mat = random_csr(rng, 5, 6)
+        x = rng.random((6, 4)).astype(np.float32)
+        assert spmm_reference(mat, x).shape == (5, 4)
+        assert spmm_reference(mat, x).dtype == np.float32
+
+
+class TestAgainstDense:
+    @pytest.mark.parametrize("d", [1, 3, 8, 16, 45])
+    def test_reference_matches_numpy_matmul(self, rng, d):
+        mat = random_csr(rng, 30, 25)
+        x = rng.random((25, d)).astype(np.float32)
+        expected = mat.to_dense() @ x
+        assert np.allclose(spmm_reference(mat, x), expected, atol=1e-3)
+
+    def test_empty_rows_give_zero(self, rng):
+        dense = np.zeros((4, 4), dtype=np.float32)
+        dense[0, 1] = 2.0
+        mat = CsrMatrix.from_dense(dense)
+        x = rng.random((4, 3)).astype(np.float32)
+        y = spmm_reference(mat, x)
+        assert np.all(y[1:] == 0)
+
+    def test_empty_matrix(self):
+        mat = CsrMatrix.from_dense(np.zeros((3, 3), dtype=np.float32))
+        x = np.ones((3, 2), dtype=np.float32)
+        assert np.all(spmm_reference(mat, x) == 0)
+
+    def test_spmv_is_d1_column(self, rng):
+        mat = random_csr(rng, 10, 10)
+        v = rng.random(10).astype(np.float32)
+        assert np.allclose(spmv_reference(mat, v),
+                           spmm_reference(mat, v[:, None])[:, 0])
+
+    def test_spmv_rejects_matrix(self, rng):
+        mat = random_csr(rng, 4, 4)
+        with pytest.raises(ShapeError):
+            spmv_reference(mat, rng.random((4, 2)).astype(np.float32))
+
+
+class TestKernelAgreement:
+    """All three traversal orders must agree (the paper's Alg. 1 vs Alg. 2)."""
+
+    def test_scalar_matches_reference(self, rng):
+        mat = random_csr(rng, 12, 10)
+        x = rng.random((10, 5)).astype(np.float32)
+        assert np.allclose(spmm_scalar(mat, x), spmm_reference(mat, x), atol=1e-4)
+
+    def test_rowwise_matches_reference(self, rng):
+        mat = random_csr(rng, 12, 10)
+        x = rng.random((10, 5)).astype(np.float32)
+        assert np.allclose(spmm_rowwise(mat, x), spmm_reference(mat, x), atol=1e-4)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(0, 2**32 - 1),
+    d=st.integers(1, 20),
+)
+def test_property_linear_in_x(seed, d):
+    """SpMM is linear: A @ (X1 + X2) == A @ X1 + A @ X2."""
+    rng = np.random.default_rng(seed)
+    mat = random_csr(rng, 15, 12)
+    x1 = rng.random((12, d)).astype(np.float32)
+    x2 = rng.random((12, d)).astype(np.float32)
+    lhs = spmm_reference(mat, x1 + x2)
+    rhs = spmm_reference(mat, x1) + spmm_reference(mat, x2)
+    assert np.allclose(lhs, rhs, atol=1e-3)
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 2**32 - 1))
+def test_property_identity_is_noop(seed):
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(1, 20))
+    mat = CsrMatrix.from_dense(np.eye(n, dtype=np.float32))
+    x = rng.random((n, 3)).astype(np.float32)
+    assert np.allclose(spmm_reference(mat, x), x, atol=1e-6)
