@@ -1,0 +1,13 @@
+"""Benchmark target for the serving amortization experiment."""
+
+from repro.bench.serving import run_serving
+
+
+def test_serving(benchmark, bench_config, record_result):
+    result = benchmark.pedantic(
+        run_serving, args=(bench_config,), rounds=1, iterations=1)
+    record_result("serving", result.render())
+    # codegen must run exactly once per registered matrix...
+    assert result.codegen_amortized()
+    # ...and its amortized share of the stream must strictly fall
+    assert result.overhead_strictly_decreasing()

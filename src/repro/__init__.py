@@ -12,6 +12,8 @@ Public API highlights:
   SuiteSparse matrices;
 * :mod:`repro.core.runner` — run JIT / AOT personalities / MKL-like
   kernels on the simulated machine with perf counters;
+* :class:`repro.serve.SpmmService` / :class:`repro.serve.KernelCache` —
+  the serving subsystem: cached, autotuned kernels over request traffic;
 * :mod:`repro.bench` — harnesses regenerating every table and figure of
   the paper's evaluation.
 """
@@ -19,15 +21,18 @@ Public API highlights:
 from repro.core.engine import JitSpMM, SpmmResult
 from repro.core.layout import plan_layout
 from repro.core.split import merge_split, nnz_split, row_split
+from repro.serve import KernelCache, SpmmService
 from repro.sparse import CooMatrix, CsrMatrix, spmm_reference
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "CooMatrix",
     "CsrMatrix",
     "JitSpMM",
+    "KernelCache",
     "SpmmResult",
+    "SpmmService",
     "__version__",
     "merge_split",
     "nnz_split",

@@ -7,7 +7,9 @@ One module per experiment (see DESIGN.md's experiment index):
 * :mod:`repro.bench.fig9`   — speedups over icc auto-vectorization;
 * :mod:`repro.bench.fig10`  — speedups over the MKL-like kernel;
 * :mod:`repro.bench.fig11`  — profiling metrics across systems;
-* :mod:`repro.bench.ablations` — design-choice studies beyond the paper.
+* :mod:`repro.bench.ablations` — design-choice studies beyond the paper;
+* :mod:`repro.bench.serving` — codegen amortization under request
+  traffic (the live Table IV, via :mod:`repro.serve`).
 
 All harnesses run on the scaled dataset twins (:mod:`repro.datasets`) and
 report the paper's expected values next to the measured ones; shapes, not

@@ -16,6 +16,7 @@ from repro.bench.fig9 import run_fig9
 from repro.bench.fig10 import run_fig10
 from repro.bench.fig11 import run_fig11
 from repro.bench.harness import BenchConfig
+from repro.bench.serving import run_serving
 from repro.bench.table2 import run_table2
 from repro.bench.table4 import run_table4
 
@@ -26,6 +27,7 @@ EXPERIMENTS = {
     "fig10": run_fig10,
     "fig11": run_fig11,
     "ablations": run_ablations,
+    "serving": run_serving,
 }
 
 

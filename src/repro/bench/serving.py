@@ -1,0 +1,112 @@
+"""Serving experiment: codegen overhead amortizes to ~0 under traffic.
+
+The live extension of Table IV.  The paper measures codegen as a
+fraction of *one* run's time; a service pays codegen once per kernel
+and divides it over every request that reuses it, so the amortized
+ratio ``codegen / (codegen + cumulative execution)`` — the same
+``codegen_overhead`` metric — must fall strictly as the request count
+grows, per dataset.  Each dataset is registered with a fresh
+:class:`repro.serve.SpmmService` handle, a fixed-``d`` request stream
+is replayed through the numpy fast path, and the overhead curve is
+sampled at power-of-two checkpoints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bench.harness import BenchConfig, render_table
+from repro.serve import SpmmService
+
+__all__ = ["ServingResult", "run_serving"]
+
+_D = 16
+
+#: request counts at which the amortized overhead curve is sampled
+CHECKPOINTS = (1, 2, 4, 8, 16, 32)
+
+
+@dataclass
+class ServingResult:
+    config: BenchConfig
+    #: dataset -> [(requests_so_far, amortized codegen overhead %)]
+    curves: dict[str, list[tuple[int, float]]]
+    codegen_runs: dict[str, int]
+    codegen_ms: dict[str, float]
+    cold_ms: dict[str, float]
+    warm_ms: dict[str, float]
+    cache_report: str
+
+    def render(self) -> str:
+        headers = ["dataset", "codegen", "cold ms", "warm ms",
+                   *[f"ovh% @{n}" for n in CHECKPOINTS]]
+        rows = []
+        for name, curve in self.curves.items():
+            by_count = dict(curve)
+            rows.append([
+                name,
+                f"{self.codegen_runs[name]}x {self.codegen_ms[name]:.2f}ms",
+                f"{self.cold_ms[name]:.2f}",
+                f"{self.warm_ms[name]:.3f}",
+                *[f"{by_count[n]:.2f}" for n in CHECKPOINTS],
+            ])
+        title = (
+            f"Serving amortization — SpmmService request replay (auto split, "
+            f"d={_D}, {self.config.threads} threads).\n"
+            "Codegen runs once per handle; the amortized Table-IV overhead "
+            "falls toward zero as requests accumulate.\n"
+            f"{self.cache_report}"
+        )
+        return render_table(headers, rows, title)
+
+    # ------------------------------------------------------------------
+    def overhead_strictly_decreasing(self) -> bool:
+        """Acceptance check: every curve falls at every checkpoint.
+
+        A curve that is identically zero (the handle's kernel was
+        already cached under a shared identity, so its stream never
+        paid codegen) is vacuously amortized and accepted.
+        """
+        return all(
+            all(value == 0.0 for _, value in curve)
+            or all(later < earlier for (_, earlier), (_, later)
+                   in zip(curve, curve[1:]))
+            for curve in self.curves.values()
+        )
+
+    def codegen_amortized(self) -> bool:
+        """Codegen ran at most once per dataset despite many requests.
+
+        Zero runs means the dataset's kernel identity collided with an
+        earlier dataset's (same-shaped twins share one cached kernel) —
+        amortization at its best.
+        """
+        return all(runs <= 1 for runs in self.codegen_runs.values())
+
+
+def run_serving(config: BenchConfig | None = None) -> ServingResult:
+    """Replay ``max(CHECKPOINTS)`` requests per dataset, sampling curves."""
+    config = config or BenchConfig()
+    service = SpmmService(threads=config.threads, split="auto", timing=False)
+    curves: dict[str, list[tuple[int, float]]] = {}
+    codegen_runs, codegen_ms, cold_ms, warm_ms = {}, {}, {}, {}
+    for name in config.datasets:
+        matrix = config.matrix(name)
+        x = config.dense(name, _D)
+        handle = service.register(matrix, name)
+        curve = []
+        for count in range(1, max(CHECKPOINTS) + 1):
+            service.multiply(handle, x)
+            if count in CHECKPOINTS:
+                stats = service.handle_stats(handle)
+                curve.append((count, 100.0 * stats.codegen_overhead()))
+        curves[name] = curve
+        stats = service.handle_stats(handle)
+        codegen_runs[name] = stats.codegen_runs
+        codegen_ms[name] = 1e3 * stats.codegen_seconds
+        cold_ms[name] = 1e3 * stats.cold.mean_seconds
+        warm_ms[name] = 1e3 * stats.warm.mean_seconds
+    return ServingResult(
+        config, curves, codegen_runs, codegen_ms, cold_ms, warm_ms,
+        cache_report=service.cache.stats().render(),
+    )

@@ -18,41 +18,108 @@ Example::
     result = engine.profile(A, X)                # simulated, with counters
     print(result.counters)
     print(engine.inspect(A, X))                  # generated assembly
+
+``split="auto"`` defers the workload-division choice to
+:func:`repro.core.autotune.choose_split`, re-deciding per matrix — the
+natural extension of JIT specialization, since the matrix is in hand
+when code is generated anyway.  Passing a shared
+:class:`repro.serve.KernelCache` lets repeated :meth:`profile` calls on
+same-shaped problems skip codegen entirely (see :mod:`repro.serve` for
+the full serving workflow).
 """
 
 from __future__ import annotations
 
+import weakref
+
 import numpy as np
 
-from repro.core.codegen import JitCodegen, JitKernelSpec
+from repro.core.autotune import SplitChoice, choose_split
+from repro.core.codegen import JitCodegen
 from repro.core.layout import tile_columns
-from repro.core.runner import RunResult, auto_batch, run_jit
+from repro.core.runner import (
+    PLACEHOLDER_ADDRESSES,
+    PLACEHOLDER_NEXT_ADDR,
+    RunResult,
+    make_jit_spec,
+    run_jit,
+)
 from repro.core.split import partition
 from repro.errors import ShapeError
 from repro.isa.isainfo import IsaLevel
 from repro.sparse.csr import CsrMatrix
 from repro.sparse.ops import spmm_reference
 
-__all__ = ["JitSpMM", "SpmmResult"]
+__all__ = ["JitSpMM", "SPLITS", "SpmmResult", "check_operands",
+           "multiply_partitioned"]
 
 SpmmResult = RunResult  # public alias
+
+#: accepted ``split=`` values for the engine and the serving subsystem
+SPLITS = ("row", "nnz", "merge", "auto")
+
+
+def check_operands(matrix: CsrMatrix, x: np.ndarray) -> np.ndarray:
+    """Validate ``(A, X)`` compatibility; returns X as contiguous f32.
+
+    Shared by the engine and the serving subsystem so every entry point
+    rejects malformed operands with identical errors.
+    """
+    x = np.asarray(x)
+    if x.ndim != 2:
+        raise ShapeError(f"X must be 2-D, got ndim={x.ndim}")
+    if x.shape[0] != matrix.ncols:
+        raise ShapeError(
+            f"dimension mismatch: A is {matrix.nrows}x{matrix.ncols}, "
+            f"X is {x.shape[0]}x{x.shape[1]}"
+        )
+    if x.shape[1] <= 0:
+        raise ShapeError("X must have at least one column")
+    return np.ascontiguousarray(x, dtype=np.float32)
+
+
+def multiply_partitioned(matrix: CsrMatrix, x: np.ndarray,
+                         ranges: list[tuple[int, int]]) -> np.ndarray:
+    """Numpy fast path: evaluate each partition's rows independently.
+
+    Shared by :meth:`JitSpMM.multiply` and the serving subsystem — the
+    same row ranges the simulated threads would own, evaluated with
+    vectorized numpy.  Bit-equal to the reference kernel.
+    """
+    y = np.zeros((matrix.nrows, x.shape[1]), dtype=np.float32)
+    for r0, r1 in ranges:
+        if r0 == r1:
+            continue
+        sub = CsrMatrix(
+            r1 - r0, matrix.ncols,
+            matrix.row_ptr[r0:r1 + 1] - matrix.row_ptr[r0],
+            matrix.col_indices[matrix.row_ptr[r0]:matrix.row_ptr[r1]],
+            matrix.vals[matrix.row_ptr[r0]:matrix.row_ptr[r1]],
+        )
+        y[r0:r1] = spmm_reference(sub, x)
+    return y
 
 
 class JitSpMM:
     """Just-in-time SpMM engine: ``Y = A @ X`` on the simulated CPU.
 
     Args:
-        split: Workload division — ``"row"`` (default), ``"nnz"`` or
-            ``"merge"`` (paper §IV-B).
+        split: Workload division — ``"row"`` (default), ``"nnz"``,
+            ``"merge"`` (paper §IV-B) or ``"auto"`` (pick per matrix via
+            :func:`repro.core.autotune.choose_split`).
         threads: Simulated CPU threads.
         dynamic: Use Listing-1 dynamic row dispatching (defaults to True
-            for row-split, as in the paper; forced False otherwise).
+            for row-split, as in the paper; forced False otherwise; must
+            stay None for ``"auto"``, where the tuner decides).
         batch: Dynamic dispatch batch size; None (default) sizes it
             automatically from the row count (the paper's fixed 128 is
             the cap — see :func:`repro.core.runner.auto_batch`).
         isa: ISA level for code generation (``"avx512"`` default).
         timing: Model caches/pipeline when profiling (slower, gives
             cycle estimates); counts are identical either way.
+        cache: Optional shared :class:`repro.serve.KernelCache`;
+            :meth:`profile` reuses cached kernels across calls when the
+            full kernel identity matches.
     """
 
     def __init__(
@@ -63,17 +130,55 @@ class JitSpMM:
         batch: int | None = None,
         isa: IsaLevel | str = IsaLevel.AVX512,
         timing: bool = True,
+        cache=None,
     ) -> None:
         if threads <= 0:
             raise ShapeError(f"thread count must be positive, got {threads}")
+        if split not in SPLITS:
+            raise ShapeError(
+                f"unknown split {split!r}; expected one of {SPLITS}")
+        if split == "auto" and dynamic is not None:
+            raise ShapeError("split='auto' chooses dispatch itself; "
+                             "leave dynamic=None")
         self.split = split
         self.threads = threads
         self.dynamic = (split == "row") if dynamic is None else dynamic
-        if self.dynamic and split != "row":
+        if self.dynamic and split not in ("row", "auto"):
             raise ShapeError("dynamic dispatch applies to row-split only")
         self.batch = batch
         self.isa = IsaLevel.parse(isa)
         self.timing = timing
+        self.cache = cache
+        # (id(matrix), d) -> (weakref to matrix, SplitChoice); the
+        # weakref guards against id() reuse after garbage collection
+        self._choices: dict[tuple[int, int], tuple] = {}
+
+    # ------------------------------------------------------------------
+    def choose(self, matrix: CsrMatrix, d: int) -> SplitChoice:
+        """The tuner's verdict for (matrix, d), memoized per matrix.
+
+        Autotuning is O(m) per candidate — cheap next to codegen but
+        not free, so like codegen it is paid once per (matrix, d) when
+        the engine is reused across requests.
+        """
+        key = (id(matrix), d)
+        cached = self._choices.get(key)
+        if cached is not None and cached[0]() is matrix:
+            return cached[1]
+        choice = choose_split(matrix, d, self.threads, self.isa)
+        # drop entries whose matrix has been collected, so a long-lived
+        # engine serving transient matrices doesn't grow without bound
+        self._choices = {k: v for k, v in self._choices.items()
+                         if v[0]() is not None}
+        self._choices[key] = (weakref.ref(matrix), choice)
+        return choice
+
+    def _resolve(self, matrix: CsrMatrix, d: int) -> tuple[str, bool, int | None]:
+        """The concrete ``(split, dynamic, batch)`` for this instance."""
+        if self.split != "auto":
+            return self.split, self.dynamic, self.batch
+        choice = self.choose(matrix, d)
+        return choice.split, choice.dynamic, self.batch or choice.batch
 
     # ------------------------------------------------------------------
     def multiply(self, matrix: CsrMatrix, x: np.ndarray) -> np.ndarray:
@@ -84,28 +189,19 @@ class JitSpMM:
         rows with vectorized numpy.  Bit-equal to the reference kernel.
         """
         x = self._check_operands(matrix, x)
-        ranges = partition(matrix, self.threads, self.split)
-        y = np.zeros((matrix.nrows, x.shape[1]), dtype=np.float32)
-        for r0, r1 in ranges:
-            if r0 == r1:
-                continue
-            sub = CsrMatrix(
-                r1 - r0, matrix.ncols,
-                matrix.row_ptr[r0:r1 + 1] - matrix.row_ptr[r0],
-                matrix.col_indices[matrix.row_ptr[r0]:matrix.row_ptr[r1]],
-                matrix.vals[matrix.row_ptr[r0]:matrix.row_ptr[r1]],
-            )
-            y[r0:r1] = spmm_reference(sub, x)
-        return y
+        split, _, _ = self._resolve(matrix, int(x.shape[1]))
+        ranges = partition(matrix, self.threads, split)
+        return multiply_partitioned(matrix, x, ranges)
 
     # ------------------------------------------------------------------
     def profile(self, matrix: CsrMatrix, x: np.ndarray) -> RunResult:
         """Generate the specialized kernel and run it on the simulator."""
         x = self._check_operands(matrix, x)
+        split, dynamic, batch = self._resolve(matrix, int(x.shape[1]))
         return run_jit(
-            matrix, x, split=self.split, threads=self.threads,
-            dynamic=self.dynamic, batch=self.batch, isa=self.isa,
-            timing=self.timing,
+            matrix, x, split=split, threads=self.threads,
+            dynamic=dynamic, batch=batch, isa=self.isa,
+            timing=self.timing, cache=self.cache,
         )
 
     # ------------------------------------------------------------------
@@ -116,16 +212,14 @@ class JitSpMM:
         shape is what matters for inspection.
         """
         x = self._check_operands(matrix, x)
-        spec = JitKernelSpec(
-            d=int(x.shape[1]), m=matrix.nrows,
-            row_ptr_addr=0x10000, col_addr=0x20000, vals_addr=0x30000,
-            x_addr=0x40000, y_addr=0x50000,
-            next_addr=0x60000 if self.dynamic else 0,
-            batch=self.batch or auto_batch(matrix.nrows, self.threads),
-            isa=self.isa,
+        _, dynamic, batch = self._resolve(matrix, int(x.shape[1]))
+        spec = make_jit_spec(
+            int(x.shape[1]), matrix.nrows, PLACEHOLDER_ADDRESSES,
+            next_addr=PLACEHOLDER_NEXT_ADDR if dynamic else 0,
+            batch=batch, threads=self.threads, isa=self.isa,
         )
         gen = JitCodegen(spec)
-        program = (gen.build_dynamic_kernel() if self.dynamic
+        program = (gen.build_dynamic_kernel() if dynamic
                    else gen.build_range_kernel())
         return program.listing()
 
@@ -134,16 +228,4 @@ class JitSpMM:
         return tile_columns(d, self.isa)
 
     # ------------------------------------------------------------------
-    @staticmethod
-    def _check_operands(matrix: CsrMatrix, x: np.ndarray) -> np.ndarray:
-        x = np.asarray(x)
-        if x.ndim != 2:
-            raise ShapeError(f"X must be 2-D, got ndim={x.ndim}")
-        if x.shape[0] != matrix.ncols:
-            raise ShapeError(
-                f"dimension mismatch: A is {matrix.nrows}x{matrix.ncols}, "
-                f"X is {x.shape[0]}x{x.shape[1]}"
-            )
-        if x.shape[1] <= 0:
-            raise ShapeError("X must have at least one column")
-        return np.ascontiguousarray(x, dtype=np.float32)
+    _check_operands = staticmethod(check_operands)

@@ -26,7 +26,27 @@ from repro.isa.isainfo import IsaLevel
 from repro.machine import CacheConfig, Counters, CpuConfig, Machine, Memory, ThreadSpec
 from repro.sparse.csr import CsrMatrix
 
-__all__ = ["MappedOperands", "RunResult", "auto_batch", "run_aot", "run_jit", "run_mkl"]
+__all__ = [
+    "MappedOperands",
+    "PLACEHOLDER_ADDRESSES",
+    "RunResult",
+    "auto_batch",
+    "jit_thread_specs",
+    "make_jit_spec",
+    "map_jit_operands",
+    "run_aot",
+    "run_jit",
+    "run_mkl",
+]
+
+#: Spaced synthetic addresses for address-independent kernel inspection
+#: (:meth:`repro.core.engine.JitSpMM.inspect`): the instruction-stream
+#: shape is identical to a real run's, only the baked immediates differ.
+PLACEHOLDER_ADDRESSES = {
+    "row_ptr_addr": 0x10000, "col_addr": 0x20000, "vals_addr": 0x30000,
+    "x_addr": 0x40000, "y_addr": 0x50000,
+}
+PLACEHOLDER_NEXT_ADDR = 0x60000
 
 
 @dataclass
@@ -42,6 +62,7 @@ class MappedOperands:
     y_addr: int
     d: int
     m: int
+    x_host: np.ndarray | None = None
 
     @classmethod
     def create(cls, matrix: CsrMatrix, x: np.ndarray) -> "MappedOperands":
@@ -66,7 +87,17 @@ class MappedOperands:
             y_addr=memory.map_array(y, "Y"),
             d=int(x.shape[1]),
             m=matrix.nrows,
+            x_host=x,
         )
+
+    @property
+    def addresses(self) -> dict[str, int]:
+        """The five base addresses, keyed by their spec field names."""
+        return {
+            "row_ptr_addr": self.row_ptr_addr, "col_addr": self.col_addr,
+            "vals_addr": self.vals_addr, "x_addr": self.x_addr,
+            "y_addr": self.y_addr,
+        }
 
 
 @dataclass
@@ -83,6 +114,7 @@ class RunResult:
     split: str = ""
     threads: int = 1
     partitions: list[tuple[int, int]] = field(default_factory=list)
+    cache_hit: bool = False
 
     def modeled_seconds(self, ghz: float = 3.7) -> float:
         return self.counters.seconds(ghz)
@@ -111,6 +143,90 @@ def auto_batch(m: int, threads: int) -> int:
     return max(1, min(DEFAULT_BATCH, m // (threads * 4)))
 
 
+def make_jit_spec(
+    d: int,
+    m: int,
+    addresses: dict[str, int],
+    *,
+    next_addr: int = 0,
+    batch: int | None = None,
+    threads: int = 1,
+    isa: IsaLevel | str = IsaLevel.AVX512,
+) -> JitKernelSpec:
+    """Single construction point for JIT kernel specs.
+
+    Both the runner (real mapped addresses) and the engine's ``inspect``
+    (:data:`PLACEHOLDER_ADDRESSES`) build their specs here, so the
+    defaulting rules — ``batch`` from :func:`auto_batch`, ``next_addr``
+    nonzero exactly when dispatch is dynamic — cannot drift apart.
+    """
+    if batch is None:
+        batch = auto_batch(m, threads)
+    return JitKernelSpec(
+        d=d, m=m, next_addr=next_addr, batch=batch,
+        isa=IsaLevel.parse(isa), **addresses,
+    )
+
+
+def map_jit_operands(
+    matrix: CsrMatrix,
+    x: np.ndarray,
+    *,
+    split: str = "row",
+    threads: int = 1,
+    dynamic: bool | None = None,
+    batch: int | None = None,
+    isa: IsaLevel | str = IsaLevel.AVX512,
+) -> tuple[MappedOperands, JitKernelSpec, bool, list[tuple[int, int]]]:
+    """Set up one JIT execution: mapped operands, spec, thread ranges.
+
+    The single place (shared by :func:`run_jit` and the serving
+    subsystem's persistent workspaces) that applies the execution
+    contract: ``dynamic`` defaults to True exactly for row-split, the
+    NEXT counter is mapped iff dispatch is dynamic, and static splits
+    get host-side partitions while dynamic threads self-dispatch.
+    Returns ``(operands, spec, dynamic, partitions)``.
+    """
+    operands = MappedOperands.create(matrix, x)
+    if dynamic is None:
+        dynamic = split == "row"
+    next_addr = 0
+    if dynamic:
+        if split != "row":
+            raise ShapeError("dynamic dispatch applies to row-split only")
+        next_addr, _ = operands.memory.map_zeros(8, "NEXT")
+    spec = make_jit_spec(
+        operands.d, operands.m, operands.addresses,
+        next_addr=next_addr, batch=batch, threads=threads, isa=isa,
+    )
+    partitions = [] if dynamic else partition(matrix, threads, split)
+    return operands, spec, dynamic, partitions
+
+
+def jit_thread_specs(
+    program: Program,
+    threads: int,
+    partitions: list[tuple[int, int]],
+    dynamic: bool,
+    name_prefix: str = "jit",
+) -> list[ThreadSpec]:
+    """Thread launch plan for a JIT kernel (shared with the server).
+
+    Dynamic kernels self-dispatch via the NEXT counter, so every thread
+    runs the bare program; range kernels get their row window in the
+    ABI argument registers.
+    """
+    if dynamic:
+        return [ThreadSpec(program, name=f"{name_prefix}{t}")
+                for t in range(threads)]
+    return [
+        ThreadSpec(program,
+                   init_gpr={abi.ARG_ROW_START: r0, abi.ARG_ROW_END: r1},
+                   name=f"{name_prefix}{t}")
+        for t, (r0, r1) in enumerate(partitions)
+    ]
+
+
 def run_jit(
     matrix: CsrMatrix,
     x: np.ndarray,
@@ -123,6 +239,7 @@ def run_jit(
     warmup: bool = False,
     l1: CacheConfig | None = None,
     l2: CacheConfig | None = None,
+    cache=None,
 ) -> RunResult:
     """Run JITSPMM: generate specialized code, then execute it.
 
@@ -131,51 +248,42 @@ def run_jit(
     defaults to :func:`auto_batch`.  ``warmup=True`` measures the second
     of two runs (warm caches/predictors, the paper's methodology);
     ``l1``/``l2`` override the cache geometry (the bench harness scales
-    caches down with the dataset twins).
+    caches down with the dataset twins).  ``cache`` — a
+    :class:`repro.serve.KernelCache` — reuses a previously generated
+    kernel when the full identity (shapes, ISA, baked addresses)
+    matches, reporting ``codegen_seconds=0`` and ``cache_hit=True`` on
+    a hit: codegen amortized away, the serving subsystem's premise.
+    The probe-generate-insert sequence is not serialized across
+    concurrent ``run_jit`` callers (racing callers may each generate;
+    results stay correct, work is merely duplicated) — request streams
+    that need codegen-once guarantees go through
+    :class:`repro.serve.SpmmService`, which serializes per kernel
+    identity.
     """
-    if batch is None:
-        batch = auto_batch(matrix.nrows, threads)
-    operands = MappedOperands.create(matrix, x)
-    if dynamic is None:
-        dynamic = split == "row"
-    next_addr = 0
-    if dynamic:
-        if split != "row":
-            raise ShapeError("dynamic dispatch applies to row-split only")
-        next_addr, _ = operands.memory.map_zeros(8, "NEXT")
-
-    spec = JitKernelSpec(
-        d=operands.d, m=operands.m,
-        row_ptr_addr=operands.row_ptr_addr, col_addr=operands.col_addr,
-        vals_addr=operands.vals_addr, x_addr=operands.x_addr,
-        y_addr=operands.y_addr, next_addr=next_addr, batch=batch,
-        isa=IsaLevel.parse(isa) if isinstance(isa, str) else isa,
+    operands, spec, dynamic, partitions = map_jit_operands(
+        matrix, x, split=split, threads=threads, dynamic=dynamic,
+        batch=batch, isa=isa,
     )
-    output = JitCodegen(spec).generate(dynamic=dynamic)
+    output = cache.get_jit(spec, dynamic) if cache is not None else None
+    cache_hit = output is not None
+    if output is None:
+        output = JitCodegen(spec).generate(dynamic=dynamic)
+        if cache is not None:
+            cache.put_jit(spec, dynamic, output)
 
-    if dynamic:
-        specs = [ThreadSpec(output.program, name=f"jit{t}")
-                 for t in range(threads)]
-        partitions = []
-    else:
-        partitions = partition(matrix, threads, split)
-        specs = [
-            ThreadSpec(output.program,
-                       init_gpr={abi.ARG_ROW_START: r0, abi.ARG_ROW_END: r1},
-                       name=f"jit{t}")
-            for t, (r0, r1) in enumerate(partitions)
-        ]
+    specs = jit_thread_specs(output.program, threads, partitions, dynamic)
     def reset_next() -> None:
-        if next_addr:
-            operands.memory.write_int(next_addr, 8, 0)
+        if spec.next_addr:
+            operands.memory.write_int(spec.next_addr, 8, 0)
 
     merged, per_thread = _machine(operands, timing, l1, l2).run(
         specs, warmup=warmup and timing, between_runs=reset_next)
     return RunResult(
         y=operands.y_host, counters=merged, per_thread=per_thread,
-        program=output.program, codegen_seconds=output.codegen_seconds,
+        program=output.program,
+        codegen_seconds=0.0 if cache_hit else output.codegen_seconds,
         code_bytes=output.code_bytes, system="jit", split=split,
-        threads=threads, partitions=partitions,
+        threads=threads, partitions=partitions, cache_hit=cache_hit,
     )
 
 
@@ -191,6 +299,7 @@ def _run_param_block_kernel(
     warmup: bool = False,
     l1: CacheConfig | None = None,
     l2: CacheConfig | None = None,
+    cache_hit: bool = False,
 ) -> RunResult:
     """Shared driver for AOT and MKL kernels (param-block ABI)."""
     operands = MappedOperands.create(matrix, x)
@@ -222,7 +331,7 @@ def _run_param_block_kernel(
     return RunResult(
         y=operands.y_host, counters=merged, per_thread=per_thread,
         program=program, system=system, split=split, threads=threads,
-        partitions=partitions,
+        partitions=partitions, cache_hit=cache_hit,
     )
 
 
@@ -237,18 +346,30 @@ def run_aot(
     warmup: bool = False,
     l1: CacheConfig | None = None,
     l2: CacheConfig | None = None,
+    cache=None,
 ) -> RunResult:
     """Run an AOT-compiled baseline (gcc / clang / icc / icc-avx512).
 
-    Pass a pre-compiled ``kernel`` to amortize compilation across runs
-    (AOT compilation happens "before shipping", so it is never part of
-    the measured execution, unlike the JIT's codegen overhead).
+    Pass a pre-compiled ``kernel`` — or a :class:`repro.serve.KernelCache`
+    via ``cache``, keyed on the personality name since the param-block
+    ABI makes the template address-free — to amortize compilation across
+    runs (AOT compilation happens "before shipping", so it is never part
+    of the measured execution, unlike the JIT's codegen overhead).
     """
-    compiled = kernel or AotCompiler(personality).compile_spmm()
+    compiled = kernel
+    cache_hit = False
+    if compiled is None and cache is not None:
+        compiled = cache.get_aot(personality)
+        cache_hit = compiled is not None
+    if compiled is None:
+        compiled = AotCompiler(personality).compile_spmm()
+        if cache is not None:
+            cache.put_aot(personality, compiled)
     return _run_param_block_kernel(
         matrix, x, compiled.program, compiled.spill_bytes,
         system=f"aot-{compiled.personality.name}", split=split,
         threads=threads, timing=timing, warmup=warmup, l1=l1, l2=l2,
+        cache_hit=cache_hit,
     )
 
 

@@ -1,0 +1,37 @@
+"""Serving subsystem: cached, autotuned SpMM over request traffic.
+
+The paper pays JIT code generation once per run (Table IV); a serving
+workload pays it once per *kernel identity* and amortizes it across the
+request stream.  Components:
+
+* :mod:`repro.serve.cache` — :class:`KernelCache`, a thread-safe LRU
+  over compiled kernels with a byte budget and hit/miss/eviction
+  counters; also pluggable into :func:`repro.core.runner.run_jit` /
+  :func:`~repro.core.runner.run_aot` and :class:`repro.core.engine.JitSpMM`;
+* :mod:`repro.serve.service` — :class:`SpmmService`: register a matrix,
+  get a handle, serve ``multiply`` (numpy fast path) and ``profile``
+  (simulated, counter-reporting) requests with one-time autotuning and
+  codegen;
+* :mod:`repro.serve.stats` — per-handle and service-wide request
+  statistics, including the amortized Table-IV ``codegen_overhead``.
+
+See :mod:`repro.bench.serving` for the amortization experiment and
+``examples/serving_traffic.py`` for a request-replay demo.
+"""
+
+from repro.serve.cache import CacheStats, KernelCache, KernelKey, aot_key, jit_key
+from repro.serve.service import MatrixHandle, SpmmService
+from repro.serve.stats import HandleStats, LatencyStat, ServiceStats
+
+__all__ = [
+    "CacheStats",
+    "HandleStats",
+    "KernelCache",
+    "KernelKey",
+    "LatencyStat",
+    "MatrixHandle",
+    "ServiceStats",
+    "SpmmService",
+    "aot_key",
+    "jit_key",
+]

@@ -1,0 +1,236 @@
+"""Thread-safe LRU cache for compiled SpMM kernels.
+
+The paper's Table IV measures JIT codegen as a fraction of one run's
+total time; a serving workload pays that cost on *every* request unless
+the compiled kernel is kept.  :class:`KernelCache` is the keep: a byte-
+budgeted LRU map from a kernel's full identity — shape, ISA, dispatch
+mode, batch size and the operand addresses baked into the instruction
+stream — to the generated :class:`~repro.core.codegen.CodegenOutput`
+(or an AOT :class:`~repro.aot.compiler.CompiledKernel`, whose identity
+is address-free).
+
+Because :class:`repro.machine.memory.Memory` lays segments out
+deterministically, two runs over operands of identical shapes bake
+identical addresses, so the address tuple doubles as a shape
+fingerprint: ``run_jit`` on a same-shaped problem is a cache hit even
+across independently mapped address spaces.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.core.codegen import CodegenOutput, JitKernelSpec
+
+__all__ = ["CacheStats", "KernelCache", "KernelKey", "aot_key", "jit_key"]
+
+
+@dataclass(frozen=True)
+class KernelKey:
+    """Full identity of one compiled kernel.
+
+    Attributes:
+        kind: ``"jit-dynamic"``, ``"jit-range"``, ``"aot"`` or ``"mkl"``.
+        d: Dense column count baked into the code (0 for address-free
+            AOT kernels, which read ``d`` from the param block).
+        m: Sparse row count (baked into the dynamic kernel's bounds).
+        isa: ISA level name.
+        batch: Dynamic-dispatch batch size (baked immediate).
+        addresses: The baked operand addresses ``(row_ptr, col, vals,
+            x, y, next)`` — empty for address-free templates.
+        variant: Free-form discriminator (AOT personality, MKL lanes).
+    """
+
+    kind: str
+    d: int = 0
+    m: int = 0
+    isa: str = ""
+    batch: int = 0
+    addresses: tuple[int, ...] = ()
+    variant: str = ""
+
+
+def jit_key(spec: JitKernelSpec, dynamic: bool) -> KernelKey:
+    """The cache identity of the JIT kernel ``spec`` would generate."""
+    return KernelKey(
+        kind="jit-dynamic" if dynamic else "jit-range",
+        d=spec.d, m=spec.m, isa=spec.isa.name, batch=spec.batch,
+        addresses=(spec.row_ptr_addr, spec.col_addr, spec.vals_addr,
+                   spec.x_addr, spec.y_addr, spec.next_addr),
+    )
+
+
+def aot_key(personality: str) -> KernelKey:
+    """The cache identity of an AOT personality (address-free template)."""
+    return KernelKey(kind="aot", variant=personality)
+
+
+@dataclass
+class CacheStats:
+    """A point-in-time snapshot of one cache's counters."""
+
+    hits: int
+    misses: int
+    evictions: int
+    entries: int
+    bytes: int
+    budget_bytes: int | None
+
+    @property
+    def requests(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.requests if self.requests else 0.0
+
+    def render(self) -> str:
+        budget = (f"{self.budget_bytes:,}" if self.budget_bytes is not None
+                  else "unbounded")
+        return (f"kernel cache: {self.entries} entries, {self.bytes:,} B "
+                f"(budget {budget}), {self.hits}/{self.requests} hits "
+                f"({100.0 * self.hit_rate:.1f}%), "
+                f"{self.evictions} evictions")
+
+
+class _Entry:
+    __slots__ = ("value", "nbytes")
+
+    def __init__(self, value, nbytes: int) -> None:
+        self.value = value
+        self.nbytes = nbytes
+
+
+class KernelCache:
+    """Thread-safe LRU kernel cache with an optional byte budget.
+
+    Values are opaque (``CodegenOutput`` for JIT entries, a
+    ``CompiledKernel`` for AOT ones); eviction is strictly LRU over the
+    caller-reported entry sizes.  The most recently inserted entry is
+    never evicted by its own insertion, so a single kernel larger than
+    the budget still serves (the budget bounds *retained* history, not
+    admission).
+    """
+
+    def __init__(self, budget_bytes: int | None = None,
+                 max_entries: int | None = None) -> None:
+        if budget_bytes is not None and budget_bytes <= 0:
+            raise ValueError(f"budget_bytes must be positive, got {budget_bytes}")
+        if max_entries is not None and max_entries <= 0:
+            raise ValueError(f"max_entries must be positive, got {max_entries}")
+        self.budget_bytes = budget_bytes
+        self.max_entries = max_entries
+        self._entries: OrderedDict[KernelKey, _Entry] = OrderedDict()
+        self._bytes = 0
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._lock = threading.RLock()
+
+    # ------------------------------------------------------------------
+    def get(self, key: KernelKey):
+        """Return the cached value for ``key`` (marking it MRU), or None."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self._misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return entry.value
+
+    def peek(self, key: KernelKey):
+        """Like :meth:`get`, but without touching the hit/miss counters.
+
+        For double-checked lookups: the caller already recorded the
+        outcome with a counted probe and only needs to re-check under
+        its own lock.
+        """
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                return None
+            self._entries.move_to_end(key)
+            return entry.value
+
+    def discard(self, key: KernelKey) -> bool:
+        """Drop ``key`` if present (not counted as an eviction)."""
+        with self._lock:
+            entry = self._entries.pop(key, None)
+            if entry is None:
+                return False
+            self._bytes -= entry.nbytes
+            return True
+
+    def put(self, key: KernelKey, value, nbytes: int) -> None:
+        """Insert ``value`` (of ``nbytes``) as MRU, evicting LRU entries."""
+        if nbytes < 0:
+            raise ValueError(f"nbytes must be non-negative, got {nbytes}")
+        with self._lock:
+            old = self._entries.pop(key, None)
+            if old is not None:
+                self._bytes -= old.nbytes
+            self._entries[key] = _Entry(value, nbytes)
+            self._bytes += nbytes
+            self._evict()
+
+    def _evict(self) -> None:
+        def over() -> bool:
+            if self.max_entries is not None and len(self._entries) > self.max_entries:
+                return True
+            return (self.budget_bytes is not None
+                    and self._bytes > self.budget_bytes)
+
+        while over() and len(self._entries) > 1:
+            _, entry = self._entries.popitem(last=False)
+            self._bytes -= entry.nbytes
+            self._evictions += 1
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self._bytes = 0
+
+    # ------------------------------------------------------------------
+    # Typed convenience wrappers (the runner talks to these)
+    # ------------------------------------------------------------------
+    def get_jit(self, spec: JitKernelSpec, dynamic: bool) -> CodegenOutput | None:
+        """Look up the JIT kernel for ``spec``; None on a miss."""
+        return self.get(jit_key(spec, dynamic))
+
+    def put_jit(self, spec: JitKernelSpec, dynamic: bool,
+                output: CodegenOutput) -> None:
+        """Cache a freshly generated JIT kernel under its full identity."""
+        self.put(jit_key(spec, dynamic), output, output.code_bytes)
+
+    def get_aot(self, personality: str):
+        """Look up a compiled AOT personality; None on a miss."""
+        return self.get(aot_key(personality))
+
+    def put_aot(self, personality: str, kernel) -> None:
+        """Cache a compiled AOT kernel (sized by its encoded bytes)."""
+        self.put(aot_key(personality), kernel, len(kernel.program.encode()))
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: KernelKey) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    @property
+    def nbytes(self) -> int:
+        with self._lock:
+            return self._bytes
+
+    def stats(self) -> CacheStats:
+        with self._lock:
+            return CacheStats(
+                hits=self._hits, misses=self._misses,
+                evictions=self._evictions, entries=len(self._entries),
+                bytes=self._bytes, budget_bytes=self.budget_bytes,
+            )

@@ -1,0 +1,396 @@
+"""`SpmmService`: an SpMM request server that amortizes JIT codegen.
+
+The paper's trade-off (Table IV) is codegen time vs. specialized-kernel
+speedup, measured for a single run.  A service turns that into a
+streaming question: register a matrix once, pay autotuning
+(:func:`repro.core.autotune.choose_split`) and code generation on the
+first request, and serve every later request from the
+:class:`~repro.serve.cache.KernelCache` — the amortized codegen
+overhead converges to zero as traffic accumulates.
+
+Two request paths, mirroring :class:`repro.core.engine.JitSpMM`:
+
+* :meth:`SpmmService.multiply` — production path; numpy fast backend
+  over the tuned partitioning, bit-equal to the generated kernel;
+* :meth:`SpmmService.profile` — opt-in simulated path that re-executes
+  the *cached* :class:`~repro.isa.assembler.Program` on the persistent
+  per-handle address space (operand segments are zero-copy views, so a
+  new ``X`` is written in place and the baked addresses stay valid).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.autotune import SplitChoice, choose_split
+from repro.core.codegen import CodegenOutput, JitCodegen, JitKernelSpec
+from repro.core.engine import (
+    SPLITS,
+    check_operands,
+    multiply_partitioned,
+)
+from repro.core.runner import (
+    MappedOperands,
+    RunResult,
+    jit_thread_specs,
+    map_jit_operands,
+)
+from repro.core.split import partition
+from repro.errors import ShapeError
+from repro.isa.isainfo import IsaLevel
+from repro.machine import CpuConfig, Machine
+from repro.serve.cache import KernelCache, jit_key
+from repro.serve.stats import HandleStats, ServiceStats
+from repro.sparse.csr import CsrMatrix
+
+__all__ = ["MatrixHandle", "SpmmService"]
+
+#: default retained-kernel budget: plenty for dozens of live kernels
+#: (a generated SpMM kernel encodes to a few hundred bytes)
+DEFAULT_CACHE_BUDGET = 1 << 20
+
+
+@dataclass(frozen=True)
+class MatrixHandle:
+    """An opaque ticket for one registered matrix."""
+
+    handle_id: int
+    matrix: CsrMatrix = field(compare=False, repr=False)
+    name: str = field(default="", compare=False)
+
+    def __repr__(self) -> str:
+        label = f" {self.name!r}" if self.name else ""
+        return (f"MatrixHandle(#{self.handle_id}{label}, "
+                f"{self.matrix.nrows}x{self.matrix.ncols}, "
+                f"nnz={self.matrix.nnz})")
+
+
+@dataclass
+class _Workspace:
+    """Per-(handle, d) state: tuned plan + persistent address space."""
+
+    operands: MappedOperands
+    spec: JitKernelSpec
+    choice: SplitChoice | None
+    split: str
+    dynamic: bool
+    ranges: list[tuple[int, int]]      # numpy fast-path row ranges
+    partitions: list[tuple[int, int]]  # simulated thread ranges (static)
+    #: serializes simulated runs over this address space (its mapped
+    #: X/Y segments are shared mutable state); fast-path requests never
+    #: take it, so a long profile stalls only concurrent profiles of
+    #: this same (handle, d).  Codegen has its own per-identity lock in
+    #: the service.
+    lock: threading.Lock = field(default_factory=threading.Lock)
+
+
+class SpmmService:
+    """Serve ``Y = A @ X`` requests with cached, autotuned JIT kernels.
+
+    Args:
+        threads: Worker threads each kernel is generated/partitioned for.
+        split: ``"auto"`` (default: tune per matrix), or a fixed
+            ``"row"`` / ``"nnz"`` / ``"merge"``.
+        isa: ISA level for code generation.
+        timing: Model caches/pipeline on the simulated ``profile`` path.
+        cache: Shared :class:`KernelCache`; a private one (with
+            ``cache_budget_bytes``) is created when omitted.
+        cache_budget_bytes: Byte budget for the private cache.
+        l1 / l2: Cache-geometry overrides for the simulated ``profile``
+            path (same knobs as :func:`repro.core.runner.run_jit`, used
+            by the bench harness to scale caches with dataset twins).
+
+    Resource model: the kernel cache's byte budget bounds *compiled
+    code*; each live (handle, d) pair additionally pins a workspace
+    (mapped operand copies sized by the matrix and width) until
+    :meth:`unregister`.  Workspace eviction / lazy mapping for
+    multiply-only traffic is deliberate future work — today the caller
+    manages workspace lifetime through registration.  ``multiply``
+    always ensures the kernel exists (codegen on first use or after an
+    eviction) so the cached program stays warm for ``profile`` and the
+    codegen-once-per-identity accounting holds.
+    """
+
+    def __init__(
+        self,
+        threads: int = 8,
+        split: str = "auto",
+        isa: IsaLevel | str = IsaLevel.AVX512,
+        timing: bool = False,
+        cache: KernelCache | None = None,
+        cache_budget_bytes: int = DEFAULT_CACHE_BUDGET,
+        l1=None,
+        l2=None,
+    ) -> None:
+        if threads <= 0:
+            raise ShapeError(f"thread count must be positive, got {threads}")
+        if split not in SPLITS:
+            raise ShapeError(
+                f"unknown split {split!r}; expected one of {SPLITS}")
+        self.threads = threads
+        self.split = split
+        self.isa = IsaLevel.parse(isa)
+        self.timing = timing
+        self.l1 = l1
+        self.l2 = l2
+        self._private_cache = cache is None
+        self.cache = cache if cache is not None else KernelCache(
+            budget_bytes=cache_budget_bytes)
+        self.stats = ServiceStats()
+        self._handles: dict[int, MatrixHandle] = {}
+        self._workspaces: dict[tuple[int, int], _Workspace] = {}
+        # codegen serialization is keyed on kernel *identity*, not on
+        # the workspace: same-shaped handles share one kernel, and two
+        # concurrent cold requests must not both generate it
+        self._keylocks: dict = {}
+        self._next_id = 0
+        self._lock = threading.RLock()
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def register(self, matrix: CsrMatrix, name: str = "") -> MatrixHandle:
+        """Register a matrix for serving; returns its handle.
+
+        Registration is cheap — autotuning and code generation are
+        deferred to the first request for each dense width ``d``.
+        """
+        with self._lock:
+            handle = MatrixHandle(self._next_id, matrix,
+                                  name or matrix.name)
+            self._handles[handle.handle_id] = handle
+            self._next_id += 1
+            self.stats.handle(handle.handle_id, handle.name)
+        return handle
+
+    def unregister(self, handle: MatrixHandle) -> None:
+        """Release a handle: its workspaces and cached kernels are
+        dropped, so a long-lived service does not pin operand buffers
+        for matrices it no longer serves.
+
+        The handle's accumulated :class:`HandleStats` are kept (the
+        stream history stays in :meth:`report`).  Requests already in
+        flight complete against their own references; new requests for
+        the handle raise :class:`~repro.errors.ShapeError`.  Cached
+        kernels are dropped only from a service-private cache, and only
+        when no surviving workspace shares the kernel identity (same-
+        shaped matrices legitimately share one cached kernel); an
+        externally supplied cache is never mutated here.
+        """
+        self._validate_handle(handle)
+        with self._lock:
+            self._handles.pop(handle.handle_id, None)
+            dropped = [self._workspaces.pop(key)
+                       for key in list(self._workspaces)
+                       if key[0] == handle.handle_id]
+            live = {jit_key(ws.spec, ws.dynamic)
+                    for ws in self._workspaces.values()}
+            for ws in dropped:
+                key = jit_key(ws.spec, ws.dynamic)
+                if key not in live:
+                    self._keylocks.pop(key, None)
+                    if self._private_cache:
+                        self.cache.discard(key)
+
+    def handle_stats(self, handle: MatrixHandle) -> HandleStats:
+        """The request statistics accumulated for ``handle``."""
+        self._validate_handle(handle)
+        with self._lock:
+            return self.stats.handle(handle.handle_id, handle.name)
+
+    def _validate_handle(self, handle: MatrixHandle) -> None:
+        known = self._handles.get(handle.handle_id)
+        if known is None or known.matrix is not handle.matrix:
+            raise ShapeError(f"unknown handle {handle!r}; "
+                             "register the matrix with this service first")
+
+    # ------------------------------------------------------------------
+    # Kernel resolution
+    # ------------------------------------------------------------------
+    def _make_workspace(self, handle: MatrixHandle, d: int) -> _Workspace:
+        matrix = handle.matrix
+        choice = None
+        if self.split == "auto":
+            choice = choose_split(matrix, d, self.threads, self.isa)
+            split, dynamic, batch = choice.split, choice.dynamic, choice.batch
+        else:
+            split = self.split
+            dynamic = None   # map_jit_operands applies the contract
+            batch = None
+        x0 = np.zeros((matrix.ncols, d), dtype=np.float32)
+        operands, spec, dynamic, partitions = map_jit_operands(
+            matrix, x0, split=split, threads=self.threads,
+            dynamic=dynamic, batch=batch, isa=self.isa,
+        )
+        ranges = (partition(matrix, self.threads, "row") if dynamic
+                  else partitions)
+        return _Workspace(
+            operands=operands, spec=spec, choice=choice, split=split,
+            dynamic=dynamic, ranges=ranges, partitions=partitions,
+        )
+
+    def _workspace(self, handle: MatrixHandle,
+                   d: int) -> tuple[_Workspace, bool]:
+        """Get or create the tuned workspace for (handle, d) — no codegen.
+
+        Returns ``(workspace, created)``; created marks the first
+        request for this (handle, d), which paid autotune + mapping.
+        """
+        self._validate_handle(handle)
+        key = (handle.handle_id, d)
+        with self._lock:
+            ws = self._workspaces.get(key)
+        if ws is not None:
+            return ws, False
+        # autotune + operand mapping happen outside the service lock;
+        # a concurrent duplicate loses the setdefault race and is
+        # simply dropped
+        built = self._make_workspace(handle, d)
+        with self._lock:
+            # re-check liveness: an unregister() racing with us must
+            # not be followed by an insertion it can never sweep
+            self._validate_handle(handle)
+            ws = self._workspaces.setdefault(key, built)
+        return ws, ws is built
+
+    def _resolve(
+        self, handle: MatrixHandle, d: int,
+    ) -> tuple[_Workspace, CodegenOutput, float, bool, bool]:
+        """Workspace + kernel for (handle, d).
+
+        Returns ``(workspace, output, codegen_seconds, cold,
+        generated)`` — generated is True iff code generation ran in
+        this call (the kernel was not served from the cache); cold is
+        True when the request paid one-time setup: the first request for
+        this (handle, d) (autotune + operand mapping, even if the kernel
+        itself was already cached under a shared key) or a code
+        generation run (first kernel use, or regeneration after
+        eviction).
+        """
+        ws, created = self._workspace(handle, d)
+        # lock-free warm path: a long profile() holding ws.lock must not
+        # stall concurrent numpy-path requests (KernelCache locks itself)
+        output = self.cache.get_jit(ws.spec, ws.dynamic)
+        if output is not None:
+            return ws, output, 0.0, created, False
+        key = jit_key(ws.spec, ws.dynamic)
+        with self._lock:
+            keylock = self._keylocks.setdefault(key, threading.Lock())
+        with keylock:
+            # uncounted re-check: the probe above already recorded the
+            # miss; a hit here means a peer generated it meanwhile
+            output = self.cache.peek(key)
+            if output is not None:
+                return ws, output, 0.0, created, False
+            output = JitCodegen(ws.spec).generate(dynamic=ws.dynamic)
+            with self._lock:
+                # don't re-insert behind a racing unregister: cache the
+                # kernel only while some workspace still carries its
+                # identity (this request is still served either way);
+                # the put stays under the service lock so unregister
+                # cannot interleave between check and insertion
+                if any(jit_key(w.spec, w.dynamic) == key
+                       for w in self._workspaces.values()):
+                    self.cache.put(key, output, output.code_bytes)
+        with self._lock:
+            self.stats.handle(handle.handle_id, handle.name).record_codegen(
+                output.codegen_seconds)
+        return ws, output, output.codegen_seconds, True, True
+
+    def kernel(self, handle: MatrixHandle, d: int) -> CodegenOutput:
+        """The (cached) generated kernel serving (handle, d) requests.
+
+        Usable as a prefetch: generation triggered here is charged to
+        the handle's codegen stats like any cold request, so later
+        ``multiply`` calls are warm.
+        """
+        _, output, _, _, _ = self._resolve(handle, d)
+        return output
+
+    def choice(self, handle: MatrixHandle, d: int) -> SplitChoice | None:
+        """The autotuner's verdict for (handle, d); None for fixed splits.
+
+        Tunes (and maps operands) if this (handle, d) is new, but never
+        generates code — inspecting the plan costs no codegen.
+        """
+        ws, _ = self._workspace(handle, d)
+        return ws.choice
+
+    # ------------------------------------------------------------------
+    # Request paths
+    # ------------------------------------------------------------------
+    def multiply(self, handle: MatrixHandle, x: np.ndarray) -> np.ndarray:
+        """Serve one ``Y = A @ X`` request on the fast numpy backend.
+
+        The first request for a given ``x.shape[1]`` autotunes and
+        generates the kernel (cold); later requests hit the cache and
+        pay execution only.
+        """
+        x = check_operands(handle.matrix, x)
+        t0 = time.perf_counter()
+        ws, _, _, cold, _ = self._resolve(handle, int(x.shape[1]))
+        t1 = time.perf_counter()
+        y = multiply_partitioned(handle.matrix, x, ws.ranges)
+        t2 = time.perf_counter()
+        with self._lock:
+            self.stats.handle(handle.handle_id, handle.name).observe(
+                t2 - t0, cold, exec_seconds=t2 - t1)
+        return y
+
+    def profile(self, handle: MatrixHandle, x: np.ndarray,
+                timing: bool | None = None) -> RunResult:
+        """Serve one request on the simulated machine, with counters.
+
+        Re-executes the cached program in the handle's persistent
+        address space: the new ``X`` is written into the mapped segment
+        the kernel's baked addresses already point at, ``Y`` and the
+        dynamic dispatcher's ``NEXT`` counter are reset, and the
+        simulated threads run the identical instruction stream.
+        """
+        x = check_operands(handle.matrix, x)
+        t0 = time.perf_counter()
+        ws, output, codegen_seconds, cold, generated = self._resolve(
+            handle, int(x.shape[1]))
+        specs = jit_thread_specs(output.program, self.threads,
+                                 ws.partitions, ws.dynamic,
+                                 name_prefix="serve")
+        timing = self.timing if timing is None else timing
+        # the workspace's mapped segments are shared mutable state:
+        # serialize concurrent profiles of the same (handle, d)
+        with ws.lock:
+            # exec clock starts inside the lock: wait time behind a
+            # contended workspace must not inflate exec_seconds
+            t1 = time.perf_counter()
+            operands = ws.operands
+            operands.x_host[:] = x
+            operands.y_host[:] = 0.0
+            if ws.spec.next_addr:
+                operands.memory.write_int(ws.spec.next_addr, 8, 0)
+            machine = Machine(operands.memory, CpuConfig(
+                timing=timing, l1=self.l1, l2=self.l2))
+            merged, per_thread = machine.run(specs)
+            y = operands.y_host.copy()
+        t2 = time.perf_counter()
+        with self._lock:
+            self.stats.handle(handle.handle_id, handle.name).observe(
+                t2 - t0, cold, exec_seconds=t2 - t1, profiled=True)
+        return RunResult(
+            y=y, counters=merged,
+            per_thread=per_thread, program=output.program,
+            codegen_seconds=codegen_seconds, code_bytes=output.code_bytes,
+            system="jit-serve", split=ws.split, threads=self.threads,
+            # cache_hit mirrors run_jit: True iff the kernel was served
+            # from the cache (cold can also mean first-use setup of a
+            # workspace whose kernel a same-shaped handle already built)
+            partitions=ws.partitions, cache_hit=not generated,
+        )
+
+    # ------------------------------------------------------------------
+    def report(self) -> str:
+        """Human-readable service-wide stats (live Table IV)."""
+        with self._lock:
+            return self.stats.render(self.cache.stats())

@@ -8,7 +8,8 @@ from repro.bench.__main__ import EXPERIMENTS, main
 class TestCli:
     def test_experiments_registry_complete(self):
         assert set(EXPERIMENTS) == {
-            "table2", "table4", "fig9", "fig10", "fig11", "ablations"}
+            "table2", "table4", "fig9", "fig10", "fig11", "ablations",
+            "serving"}
 
     def test_unknown_experiment_rejected(self):
         with pytest.raises(SystemExit):
@@ -23,3 +24,12 @@ class TestCli:
         out = capsys.readouterr().out
         assert "table2" in out
         assert "Table II" in out
+
+    def test_runs_serving_experiment(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_DATASETS", "uk-2005")
+        monkeypatch.setenv("REPRO_BENCH_THREADS", "2")
+        exit_code = main(["serving", "--scale", str(2.0 ** -22)])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "Serving amortization" in out
+        assert "kernel cache" in out

@@ -99,6 +99,50 @@ class TestProfileSimulatedPath:
         assert 0 < result.codegen_overhead() < 1
 
 
+class TestAutoSplit:
+    def test_auto_multiply_matches_reference(self, rng):
+        matrix = random_csr(rng, 50, 40)
+        x = rng.random((40, 9)).astype(np.float32)
+        engine = JitSpMM(split="auto", threads=4)
+        assert np.allclose(engine.multiply(matrix, x),
+                           spmm_reference(matrix, x), atol=1e-4)
+
+    def test_auto_profile_matches_reference(self, rng):
+        matrix = random_csr(rng, 40, 30, density=0.15)
+        x = rng.random((30, 8)).astype(np.float32)
+        result = JitSpMM(split="auto", threads=3, timing=False).profile(
+            matrix, x)
+        assert np.allclose(result.y, spmm_reference(matrix, x), atol=1e-3)
+
+    def test_auto_resolves_via_tuner(self, rng):
+        from repro.core.autotune import choose_split
+        matrix = random_csr(rng, 40, 30)
+        engine = JitSpMM(split="auto", threads=4)
+        choice = choose_split(matrix, 8, 4, engine.isa)
+        assert engine._resolve(matrix, 8) == (
+            choice.split, choice.dynamic, choice.batch)
+
+    def test_auto_rejects_explicit_dynamic(self):
+        with pytest.raises(ShapeError):
+            JitSpMM(split="auto", dynamic=True)
+        with pytest.raises(ShapeError):
+            JitSpMM(split="bogus")
+
+
+class TestSharedCache:
+    def test_profile_reuses_cached_kernel(self, rng):
+        from repro.serve import KernelCache
+        matrix = random_csr(rng, 30, 30, density=0.2)
+        x = rng.random((30, 8)).astype(np.float32)
+        engine = JitSpMM(threads=2, timing=False, cache=KernelCache())
+        cold = engine.profile(matrix, x)
+        warm = engine.profile(matrix, x)
+        assert not cold.cache_hit and warm.cache_hit
+        assert warm.program is cold.program
+        assert warm.codegen_seconds == 0.0
+        assert np.array_equal(cold.y, warm.y)
+
+
 class TestInspection:
     def test_inspect_lists_assembly(self, rng):
         matrix = random_csr(rng, 10, 10)

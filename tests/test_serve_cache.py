@@ -1,0 +1,197 @@
+"""Tests for the kernel cache (repro.serve.cache)."""
+
+import threading
+
+import pytest
+
+from repro.core.codegen import JitCodegen
+from repro.core.runner import PLACEHOLDER_ADDRESSES, make_jit_spec, run_jit
+from repro.serve.cache import KernelCache, KernelKey, aot_key, jit_key
+from tests.conftest import random_csr
+
+
+def spec_for(d=16, m=32, batch=8, isa="avx512", next_addr=0x60000):
+    return make_jit_spec(d, m, PLACEHOLDER_ADDRESSES,
+                         next_addr=next_addr, batch=batch, isa=isa)
+
+
+class TestKeys:
+    def test_same_spec_same_key(self):
+        assert jit_key(spec_for(), True) == jit_key(spec_for(), True)
+
+    @pytest.mark.parametrize("other", [
+        dict(d=32), dict(m=64), dict(batch=4), dict(isa="avx2"),
+        dict(next_addr=0x70000),
+    ])
+    def test_any_identity_field_changes_key(self, other):
+        assert jit_key(spec_for(), True) != jit_key(spec_for(**other), True)
+
+    def test_dynamic_flag_changes_key(self):
+        assert jit_key(spec_for(), True) != jit_key(spec_for(), False)
+
+    def test_aot_key_is_address_free(self):
+        assert aot_key("gcc") == aot_key("gcc")
+        assert aot_key("gcc") != aot_key("icc")
+
+
+class TestLru:
+    def test_hit_returns_same_object(self):
+        cache = KernelCache()
+        spec = spec_for()
+        output = JitCodegen(spec).generate(dynamic=True)
+        cache.put_jit(spec, True, output)
+        assert cache.get_jit(spec, True) is output
+        assert cache.get_jit(spec, True) is output  # stable across hits
+
+    def test_miss_returns_none_and_counts(self):
+        cache = KernelCache()
+        assert cache.get(KernelKey(kind="jit-range", d=3)) is None
+        stats = cache.stats()
+        assert (stats.hits, stats.misses) == (0, 1)
+        assert stats.hit_rate == 0.0
+
+    def test_byte_budget_evicts_lru(self):
+        cache = KernelCache(budget_bytes=100)
+        keys = [KernelKey(kind="jit-range", d=d) for d in (1, 2, 3)]
+        for key in keys:
+            cache.put(key, f"kernel-{key.d}", 40)
+        # 120 B > 100 B: the least recently used entry (d=1) is gone
+        assert cache.get(keys[0]) is None
+        assert cache.get(keys[1]) == "kernel-2"
+        assert cache.get(keys[2]) == "kernel-3"
+        assert cache.stats().evictions == 1
+        assert cache.nbytes == 80
+
+    def test_get_refreshes_recency(self):
+        cache = KernelCache(budget_bytes=100)
+        keys = [KernelKey(kind="jit-range", d=d) for d in (1, 2, 3)]
+        cache.put(keys[0], "a", 40)
+        cache.put(keys[1], "b", 40)
+        cache.get(keys[0])          # touch: now keys[1] is LRU
+        cache.put(keys[2], "c", 40)
+        assert cache.get(keys[1]) is None
+        assert cache.get(keys[0]) == "a"
+
+    def test_oversized_entry_survives_alone(self):
+        cache = KernelCache(budget_bytes=10)
+        key = KernelKey(kind="jit-range", d=1)
+        cache.put(key, "big", 1000)
+        assert cache.get(key) == "big"
+        assert len(cache) == 1
+
+    def test_replacing_entry_updates_bytes(self):
+        cache = KernelCache()
+        key = KernelKey(kind="jit-range", d=1)
+        cache.put(key, "a", 40)
+        cache.put(key, "b", 10)
+        assert cache.nbytes == 10
+        assert len(cache) == 1
+
+    def test_max_entries(self):
+        cache = KernelCache(max_entries=2)
+        for d in (1, 2, 3):
+            cache.put(KernelKey(kind="jit-range", d=d), d, 1)
+        assert len(cache) == 2
+        assert KernelKey(kind="jit-range", d=1) not in cache
+
+    def test_peek_does_not_count(self):
+        cache = KernelCache()
+        key = KernelKey(kind="jit-range", d=1)
+        assert cache.peek(key) is None
+        cache.put(key, "a", 40)
+        assert cache.peek(key) == "a"
+        stats = cache.stats()
+        assert stats.hits == 0 and stats.misses == 0
+
+    def test_discard(self):
+        cache = KernelCache()
+        key = KernelKey(kind="jit-range", d=1)
+        cache.put(key, "a", 40)
+        assert cache.discard(key)
+        assert not cache.discard(key)
+        assert len(cache) == 0 and cache.nbytes == 0
+        assert cache.stats().evictions == 0
+
+    def test_clear(self):
+        cache = KernelCache()
+        cache.put(KernelKey(kind="jit-range", d=1), "a", 40)
+        cache.clear()
+        assert len(cache) == 0 and cache.nbytes == 0
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            KernelCache(budget_bytes=0)
+        with pytest.raises(ValueError):
+            KernelCache(max_entries=-1)
+
+    def test_concurrent_access_consistent(self):
+        cache = KernelCache(budget_bytes=400)
+        errors = []
+
+        def worker(base):
+            try:
+                for i in range(50):
+                    key = KernelKey(kind="jit-range", d=base * 100 + i)
+                    cache.put(key, i, 10)
+                    cache.get(key)
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(t,))
+                   for t in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert cache.nbytes <= 400
+
+
+class TestRunnerIntegration:
+    def test_run_jit_reuses_cached_program(self, rng):
+        matrix = random_csr(rng, 30, 25, density=0.2)
+        x = rng.random((25, 8)).astype("float32")
+        cache = KernelCache()
+        first = run_jit(matrix, x, threads=2, timing=False, cache=cache)
+        second = run_jit(matrix, x, threads=2, timing=False, cache=cache)
+        assert not first.cache_hit and second.cache_hit
+        assert second.program is first.program
+        assert second.codegen_seconds == 0.0
+        assert first.codegen_seconds > 0.0
+
+    def test_cached_result_bit_equal(self, rng):
+        import numpy as np
+        matrix = random_csr(rng, 30, 25, density=0.2)
+        x = rng.random((25, 8)).astype("float32")
+        cache = KernelCache()
+        for split in ("row", "nnz", "merge"):
+            fresh = run_jit(matrix, x, split=split, threads=2, timing=False)
+            cached = run_jit(matrix, x, split=split, threads=2,
+                             timing=False, cache=cache)
+            warm = run_jit(matrix, x, split=split, threads=2,
+                           timing=False, cache=cache)
+            assert warm.cache_hit
+            assert np.array_equal(fresh.y, cached.y)
+            assert np.array_equal(cached.y, warm.y)
+
+    def test_different_shape_is_a_miss(self, rng):
+        matrix = random_csr(rng, 30, 25, density=0.2)
+        cache = KernelCache()
+        run_jit(matrix, rng.random((25, 8)).astype("float32"),
+                threads=2, timing=False, cache=cache)
+        wider = run_jit(matrix, rng.random((25, 16)).astype("float32"),
+                        threads=2, timing=False, cache=cache)
+        assert not wider.cache_hit
+        assert len(cache) == 2
+
+    def test_run_aot_caches_personality(self, rng):
+        from repro.core.runner import run_aot
+        matrix = random_csr(rng, 20, 20, density=0.2)
+        x = rng.random((20, 4)).astype("float32")
+        cache = KernelCache()
+        a = run_aot(matrix, x, threads=2, timing=False, cache=cache)
+        b = run_aot(matrix, x, threads=2, timing=False, cache=cache)
+        assert b.program is a.program
+        assert not a.cache_hit and b.cache_hit
+        stats = cache.stats()
+        assert stats.hits == 1 and stats.misses == 1
