@@ -1,0 +1,102 @@
+"""Registering a third-party system with `repro.api`.
+
+The registry is open: anything implementing the `System` protocol plugs
+into `repro.run`, the staged prepare/bind/execute pipeline, and even
+`SpmmService` — without touching the repro package.  This demo
+registers a numpy "oracle" baseline (no simulated machine, no counters:
+it just computes the truth at host speed) and runs it side by side with
+the built-in systems.
+
+Run:  python examples/custom_system.py
+"""
+
+import time
+
+import numpy as np
+
+import repro
+from repro.api import BoundPlan, System
+from repro.core.runner import RunResult
+from repro.core.split import partition
+from repro.machine import Counters
+from repro.serve.cache import KernelKey
+from repro.sparse import spmm_reference
+
+
+class OraclePlan(BoundPlan):
+    """A bound oracle problem: keeps X host-side, no address space."""
+
+    def __init__(self, artifact, matrix, x, name_prefix=None):
+        config = artifact.config
+        ranges = partition(matrix, config.threads, config.split)
+        super().__init__(
+            artifact, matrix, key=KernelKey(kind="oracle"),
+            split=config.split, partitions=ranges, ranges=ranges,
+            name_prefix=name_prefix)
+        self._x = x
+
+    def refresh(self, x):
+        self._x = x
+        return self
+
+    def execute(self, *, timing=None):
+        self.ensure_kernel()           # keeps the cache accounting alive
+        return RunResult(
+            y=spmm_reference(self.matrix, self._x), counters=Counters(),
+            per_thread=[], program=None, system="oracle", split=self.split,
+            threads=self.threads, partitions=self.partitions,
+            cache_hit=self.cache_hit)
+
+
+class OracleSystem(System):
+    """Numpy reference SpMM masquerading as a registered system."""
+
+    name = "oracle"
+    address_free = True               # nothing problem-specific to build
+
+    def prepare_key(self, config):
+        return KernelKey(kind="oracle")
+
+    def bind(self, artifact, matrix, x, name_prefix=None):
+        from repro.core.engine import check_operands
+        return OraclePlan(artifact, matrix, check_operands(matrix, x),
+                          name_prefix=name_prefix)
+
+    def build_kernel(self, plan):
+        started = time.perf_counter()
+        kernel = spmm_reference           # the "compiled artifact"
+        return kernel, time.perf_counter() - started
+
+    def kernel_nbytes(self, kernel):
+        return 0
+
+
+def main() -> None:
+    repro.register("oracle", OracleSystem())
+    print(f"registered systems: {', '.join(repro.available_systems())}\n")
+
+    rng = np.random.default_rng(11)
+    dense = np.where(rng.random((300, 300)) < 0.05,
+                     rng.standard_normal((300, 300)), 0.0)
+    matrix = repro.CsrMatrix.from_dense(dense.astype(np.float32),
+                                        name="demo")
+    x = rng.random((300, 16), dtype=np.float32)
+
+    # the one-call pipeline treats the custom system like any built-in
+    oracle = repro.run(matrix, x, system="oracle", threads=4)
+    jit = repro.run(matrix, x, system="jit", threads=4, timing=False)
+    mkl = repro.run(matrix, x, system="mkl", threads=4, timing=False)
+    print(f"oracle vs jit bit-identical: {np.array_equal(oracle.y, jit.y)}")
+    print(f"oracle vs mkl bit-identical: {np.array_equal(oracle.y, mkl.y)}")
+
+    # ...and the serving subsystem can serve it, too
+    service = repro.SpmmService(threads=4, split="row", system="oracle")
+    handle = service.register(matrix, "demo")
+    for _ in range(8):
+        service.multiply(handle, rng.random((300, 16), dtype=np.float32))
+    print()
+    print(service.report())
+
+
+if __name__ == "__main__":
+    main()

@@ -5,8 +5,8 @@ Run:  python examples/quickstart.py
 
 import numpy as np
 
+import repro
 from repro import CsrMatrix, JitSpMM, spmm_reference
-from repro.core.runner import run_aot
 
 
 def main() -> None:
@@ -43,13 +43,27 @@ def main() -> None:
     print(f"  modeled time       : {result.modeled_seconds() * 1e3:.3f} ms "
           f"at 3.7 GHz\n")
 
-    # 3. Compare with the auto-vectorized AOT baseline on the same machine.
-    baseline = run_aot(matrix, x, personality="icc-avx512", split="merge",
-                       threads=8)
+    # 3. Compare with the auto-vectorized AOT baseline on the same
+    #    machine — any registered system runs through the same one-call
+    #    pipeline (repro.available_systems() lists them all).
+    baseline = repro.run(matrix, x, system="aot:icc-avx512", split="merge",
+                         threads=8)
     speedup = baseline.counters.cycles / counters.cycles
     print(f"icc-avx512 baseline: {baseline.counters.instructions:,} "
           f"instructions, {baseline.counters.memory_loads:,} loads")
-    print(f"JITSPMM speedup over auto-vectorization: {speedup:.2f}x")
+    print(f"JITSPMM speedup over auto-vectorization: {speedup:.2f}x\n")
+
+    # 4. The staged pipeline: prepare once (codegen, cached), bind per
+    #    problem, execute per request — the serving subsystem's shape.
+    artifact = repro.get_system("jit").prepare(
+        repro.ExecutionConfig(split="merge", threads=8,
+                              cache=repro.KernelCache()))
+    plan = artifact.bind(matrix, x)             # generates the kernel
+    first = plan.execute()
+    rerun = artifact.bind(matrix, x).execute()  # same shape: cache hit
+    print(f"prepare/bind/execute: first bind cache_hit={first.cache_hit}, "
+          f"re-bind cache_hit={rerun.cache_hit} "
+          f"(codegen {rerun.codegen_seconds * 1e3:.3f} ms the second time)")
 
 
 if __name__ == "__main__":

@@ -10,7 +10,7 @@ Run:  python examples/workload_balance.py
 
 import numpy as np
 
-from repro import JitSpMM, merge_split, nnz_split, row_split
+from repro import merge_split, nnz_split, row_split
 from repro.core.runner import run_jit
 from repro.datasets import load
 

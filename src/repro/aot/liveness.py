@@ -56,7 +56,6 @@ def analyze(func: Function) -> Liveness:
     """Run liveness analysis; parameters are treated as defined at entry."""
     func.validate()
     blocks = func.blocks
-    block_map = func.block_map()
 
     # use/def sets per block (use = read before any write in the block)
     uses: dict[str, set[VReg]] = {}

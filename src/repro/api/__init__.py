@@ -1,0 +1,75 @@
+"""`repro.api`: unified system registry + plan → bind → execute pipeline.
+
+One measurement harness over many systems is the paper's whole
+evaluation; this package is the abstraction that makes it one *API*:
+
+* :class:`ExecutionConfig` — every execution knob, validated once;
+* :class:`System` / :func:`register` / :func:`get_system` — the open
+  registry of runnable SpMM implementations (``"jit"``,
+  ``"aot:<personality>"`` + bare-personality aliases, ``"mkl"``);
+* the three-stage pipeline — ``system.prepare(config)`` (codegen /
+  compile, the cacheable unit) → ``artifact.bind(matrix, x)`` (operand
+  mapping + partitioning, reusable across same-shaped requests) →
+  ``plan.execute()`` (simulated run with counters);
+* :func:`run` — the one-call convenience over all of the above.
+
+Example::
+
+    import repro
+
+    result = repro.run(A, X, system="aot:icc-avx512", threads=8)
+
+    # explicit staging, amortizing prepare across problems:
+    system = repro.get_system("jit")
+    artifact = system.prepare(repro.ExecutionConfig(threads=8,
+                                                    cache=cache))
+    plan = artifact.bind(A, X)        # codegen happens here (cached)
+    r1 = plan.execute()
+    plan.refresh(X2)                  # same-shaped follow-up request
+    r2 = plan.execute()
+
+The legacy entry points (``run_jit`` / ``run_aot`` / ``run_mkl``,
+``JitSpMM.profile``, ``SpmmService``) remain as thin shims over this
+pipeline.
+"""
+
+from __future__ import annotations
+
+from repro.api.config import ExecutionConfig
+from repro.api.pipeline import Artifact, BoundPlan, System
+from repro.api.registry import (
+    available_systems,
+    get_system,
+    register,
+    unregister,
+)
+from repro.core.runner import RunResult
+
+__all__ = [
+    "Artifact",
+    "BoundPlan",
+    "ExecutionConfig",
+    "RunResult",
+    "System",
+    "available_systems",
+    "get_system",
+    "register",
+    "run",
+    "unregister",
+]
+
+
+def run(matrix, x, system: str = "jit", *,
+        config: ExecutionConfig | None = None, **overrides) -> RunResult:
+    """One-call pipeline: resolve, prepare, bind, execute.
+
+    ``system`` is any registered name (``repro.available_systems()``).
+    Pass a prebuilt ``config`` or :class:`ExecutionConfig` fields as
+    keywords — ``repro.run(A, X, system="jit", split="merge",
+    threads=8)``.
+    """
+    if config is None:
+        config = ExecutionConfig(**overrides)
+    elif overrides:
+        config = config.with_overrides(**overrides)
+    return get_system(system).prepare(config).bind(matrix, x).execute()

@@ -1,0 +1,93 @@
+"""`ExecutionConfig`: one validated home for every execution knob.
+
+Before :mod:`repro.api`, the ``split / threads / dynamic / batch / isa /
+timing / warmup / l1 / l2 / cache`` contract was re-declared — with
+subtly different defaults and checks — by ``run_jit``-style runner
+functions, :class:`repro.core.engine.JitSpMM`, and
+:class:`repro.serve.SpmmService`.  This dataclass is the single place
+the contract lives: construct one (any entry point's keyword arguments
+map 1:1 onto its fields), and validation, normalization (ISA parsing)
+and the dynamic-dispatch defaulting rule happen once, identically, for
+every caller.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.core.split import SPLITS
+from repro.errors import ShapeError
+from repro.isa.isainfo import IsaLevel
+from repro.machine.cache import CacheConfig
+
+__all__ = ["ExecutionConfig", "SPLITS"]
+
+
+@dataclass(frozen=True)
+class ExecutionConfig:
+    """Validated execution knobs shared by every system in the registry.
+
+    Attributes:
+        split: Workload division — ``"row"`` / ``"nnz"`` / ``"merge"``,
+            or ``"auto"`` (JIT only: the autotuner decides per matrix at
+            bind time).
+        threads: Simulated CPU threads (positive).
+        dynamic: Listing-1 dynamic row dispatching.  ``None`` (default)
+            resolves to True exactly for row-split, the paper's pairing;
+            True with any other split is rejected, and ``"auto"``
+            requires None (the tuner decides).
+        batch: Dynamic-dispatch batch size; ``None`` sizes it from the
+            row count (:func:`repro.core.runner.auto_batch`).
+        isa: ISA level for JIT code generation (AOT personalities and
+            the MKL kernel fix their own ISA).  Parsed at construction.
+        timing: Model caches/pipeline on the simulated machine.
+        warmup: Measure the second of two runs (warm caches/predictors,
+            the paper's methodology); only meaningful with ``timing``.
+        l1 / l2: Cache-geometry overrides for the simulated machine.
+        cache: Optional :class:`repro.serve.KernelCache` shared across
+            artifacts; ``None`` means no cross-artifact kernel reuse.
+    """
+
+    split: str = "row"
+    threads: int = 1
+    dynamic: bool | None = None
+    batch: int | None = None
+    isa: IsaLevel | str = IsaLevel.AVX512
+    timing: bool = True
+    warmup: bool = False
+    l1: CacheConfig | None = None
+    l2: CacheConfig | None = None
+    cache: object | None = None
+
+    def __post_init__(self) -> None:
+        if self.threads <= 0:
+            raise ShapeError(
+                f"thread count must be positive, got {self.threads}")
+        if self.split not in SPLITS:
+            raise ShapeError(
+                f"unknown split {self.split!r}; expected one of {SPLITS}")
+        if self.split == "auto" and self.dynamic is not None:
+            raise ShapeError("split='auto' chooses dispatch itself; "
+                             "leave dynamic=None")
+        if self.dynamic and self.split != "row":
+            raise ShapeError("dynamic dispatch applies to row-split only")
+        if self.batch is not None and self.batch <= 0:
+            raise ShapeError(
+                f"batch size must be positive, got {self.batch}")
+        object.__setattr__(self, "isa", IsaLevel.parse(self.isa))
+
+    @property
+    def effective_dynamic(self) -> bool:
+        """The resolved dispatch mode for a non-``"auto"`` split.
+
+        ``dynamic`` as given when explicit, else the paper's default:
+        dynamic exactly for row-split.  (For ``"auto"`` the tuner's
+        verdict applies instead; this property then reports False.)
+        """
+        if self.dynamic is not None:
+            return self.dynamic
+        return self.split == "row"
+
+    def with_overrides(self, **changes) -> "ExecutionConfig":
+        """A copy with ``changes`` applied — re-validated on construction."""
+        return replace(self, **changes)

@@ -1,0 +1,330 @@
+"""The three-stage execution pipeline: prepare → bind → execute.
+
+The paper itself distinguishes the phases this module reifies:
+
+* **prepare** — code generation / compilation, the cacheable unit
+  (Table IV measures it; the serving subsystem amortizes it).
+  ``system.prepare(config)`` returns an :class:`Artifact` whose kernels
+  are keyed by the same identity :class:`repro.serve.KernelCache` uses.
+* **bind** — operand mapping and work partitioning for one concrete
+  ``(A, X)`` problem.  ``artifact.bind(matrix, x)`` returns a
+  :class:`BoundPlan` that is reusable across same-shaped requests
+  (:meth:`BoundPlan.refresh` writes a new ``X`` into the already-mapped
+  segment, exactly what the serving workspaces do).
+* **execute** — ``plan.execute()`` runs the simulated machine and
+  returns a :class:`repro.core.runner.RunResult`.
+
+Systems differ in *when* their kernel exists.  Address-free templates
+(AOT personalities, the MKL-like kernel read operands from a parameter
+block) have a prepare-time identity: the artifact compiles them once
+and every bind reuses the template.  Specialized JIT kernels bake the
+operand addresses into the instruction stream, so their identity is
+only known at bind time; the artifact then resolves the kernel through
+its cache per plan.  :attr:`System.address_free` records which regime a
+system lives in — the bench harness also uses it to decide which
+systems' codegen belongs inside the measured run.
+"""
+
+from __future__ import annotations
+
+import abc
+import threading
+
+import numpy as np
+
+from repro.core.engine import check_operands, multiply_partitioned
+from repro.core.runner import RunResult
+from repro.errors import ReproError, ShapeError
+from repro.machine import CpuConfig, Machine
+
+from repro.api.config import ExecutionConfig
+
+__all__ = ["Artifact", "BoundPlan", "System"]
+
+
+class System(abc.ABC):
+    """One runnable SpMM implementation (the registry's unit).
+
+    Subclasses provide the three hooks below; the pipeline mechanics —
+    caching, lazy kernel resolution, machine execution — are shared by
+    :class:`Artifact` and :class:`BoundPlan`.
+
+    Attributes:
+        name: Registry name (``"jit"``, ``"aot:<personality>"``,
+            ``"mkl"``).
+        address_free: True when the compiled kernel is a template with
+            no problem state baked in (reusable across any operands);
+            False for specialized kernels whose identity exists only
+            once operands are mapped.
+        supports_autotune: True when ``split="auto"`` is meaningful for
+            this system (the JIT, whose cost model the tuner uses).
+    """
+
+    name: str = ""
+    address_free: bool = False
+    supports_autotune: bool = False
+
+    # ------------------------------------------------------------------
+    def prepare(self, config: ExecutionConfig | None = None, *,
+                kernel=None, **overrides) -> "Artifact":
+        """Stage 1: an :class:`Artifact` holding this system's kernels.
+
+        Pass a ready :class:`ExecutionConfig`, or keyword overrides to
+        build one.  ``kernel`` injects a pre-compiled kernel (address-
+        free systems only — the ``run_aot(kernel=...)`` compatibility
+        path), bypassing the cache entirely.
+        """
+        if config is None:
+            config = ExecutionConfig(**overrides)
+        elif overrides:
+            config = config.with_overrides(**overrides)
+        if kernel is not None and not self.address_free:
+            raise ReproError(
+                f"system {self.name!r} specializes kernels per problem; "
+                "a pre-compiled kernel cannot be injected at prepare()")
+        return Artifact(self, config, kernel=kernel)
+
+    # -- hooks ----------------------------------------------------------
+    @abc.abstractmethod
+    def bind(self, artifact: "Artifact", matrix, x,
+             name_prefix: str | None = None) -> "BoundPlan":
+        """Map operands + partition work for one problem (no codegen)."""
+
+    @abc.abstractmethod
+    def build_kernel(self, plan: "BoundPlan | None") -> tuple[object, float]:
+        """Compile/generate one kernel; returns ``(kernel, seconds)``.
+
+        Pure codegen — no cache interaction (the artifact and the
+        serving subsystem each apply their own cache discipline around
+        this hook).  ``plan`` is None for address-free templates.
+        """
+
+    @abc.abstractmethod
+    def kernel_nbytes(self, kernel) -> int:
+        """Cache-accounting size of one compiled kernel."""
+
+    def prepare_key(self, config: ExecutionConfig):
+        """Cache identity known at prepare time (address-free systems);
+        None when the identity needs bound operands (the JIT)."""
+        return None
+
+
+class Artifact:
+    """Stage-1 output: a system + config, resolving kernels on demand.
+
+    The artifact is the cache boundary.  With ``config.cache`` set, all
+    kernel lookups go through that shared :class:`KernelCache` (counted
+    probes, exactly like the pre-pipeline ``run_jit(cache=...)`` path);
+    without one, address-free templates are memoized on the artifact
+    itself and specialized kernels are generated per bind.
+    """
+
+    def __init__(self, system: System, config: ExecutionConfig,
+                 kernel=None) -> None:
+        self.system = system
+        self.config = config
+        self.cache = config.cache
+        self._kernel = kernel          # template (or injected) kernel
+        self._injected = kernel is not None
+        #: wall time spent compiling at this artifact (0 when every
+        #: kernel came from the cache or was injected)
+        self.prepare_seconds = 0.0
+
+    @property
+    def key(self):
+        """Prepare-time cache identity; None for specialized systems."""
+        return self.system.prepare_key(self.config)
+
+    # ------------------------------------------------------------------
+    @property
+    def kernel(self):
+        """The template kernel (address-free systems), compiled on first
+        access through the cache.  Specialized systems have no prepare-
+        time kernel — bind a problem and use ``plan.kernel`` instead."""
+        if not self.system.address_free:
+            raise ReproError(
+                f"system {self.system.name!r} specializes kernels per "
+                "problem; bind(matrix, x) and read plan.kernel")
+        kernel, _, _ = self._template_kernel()
+        return kernel
+
+    def _template_kernel(self):
+        """Resolve the address-free template: ``(kernel, cache_hit, s)``.
+
+        ``cache_hit`` is True when this call avoided a compile via the
+        shared cache or the artifact's own memo; injected kernels never
+        count as hits (they are "bring your own kernel", not a cache
+        event — mirroring the legacy ``run_aot(kernel=...)`` contract).
+        """
+        if self._kernel is not None:
+            return self._kernel, not self._injected, 0.0
+        kernel = None
+        if self.cache is not None:
+            kernel = self.cache.get(self.key)
+        if kernel is not None:
+            self._kernel = kernel
+            return kernel, True, 0.0
+        kernel, seconds = self.system.build_kernel(None)
+        if self.cache is not None:
+            self.cache.put(self.key, kernel,
+                           self.system.kernel_nbytes(kernel))
+        self._kernel = kernel
+        self.prepare_seconds += seconds
+        return kernel, False, seconds
+
+    # ------------------------------------------------------------------
+    def bind(self, matrix, x, *, ensure_kernel: bool = True,
+             name_prefix: str | None = None) -> "BoundPlan":
+        """Stage 2: map operands and partition work for ``(matrix, x)``.
+
+        With ``ensure_kernel=False`` the kernel stays unresolved (no
+        cache probe, no codegen) until :meth:`BoundPlan.ensure_kernel`
+        or the first execute — the serving subsystem uses this to pay
+        autotune + mapping without touching the cache counters.
+        """
+        plan = self.system.bind(self, matrix, x, name_prefix=name_prefix)
+        if ensure_kernel:
+            self.ensure_kernel(plan)
+        return plan
+
+    def ensure_kernel(self, plan: "BoundPlan") -> "BoundPlan":
+        """Resolve ``plan``'s kernel: cache probe, then codegen on miss."""
+        if plan.kernel is not None:
+            return plan
+        if self.system.address_free:
+            kernel, cache_hit, seconds = self._template_kernel()
+            plan.attach_kernel(kernel, cache_hit=cache_hit,
+                               codegen_seconds=seconds)
+            return plan
+        kernel = self.cache.get(plan.key) if self.cache is not None else None
+        if kernel is not None:
+            plan.attach_kernel(kernel, cache_hit=True, codegen_seconds=0.0)
+            return plan
+        kernel, seconds = self.system.build_kernel(plan)
+        if self.cache is not None:
+            self.cache.put(plan.key, kernel,
+                           self.system.kernel_nbytes(kernel))
+        self.prepare_seconds += seconds
+        plan.attach_kernel(kernel, cache_hit=False, codegen_seconds=seconds)
+        return plan
+
+
+class BoundPlan:
+    """Stage-2 output: one problem bound to one artifact, ready to run.
+
+    Carries the mapped address space, the resolved split and thread
+    partitions, and (once resolved) the compiled kernel.  Reusable
+    across same-shaped requests: :meth:`refresh` writes a new ``X``
+    into the mapped segment and re-arms the dispatcher, and
+    :meth:`execute` re-runs the identical instruction stream.
+    """
+
+    def __init__(self, artifact: Artifact, matrix, *, key, split: str,
+                 partitions, ranges, operands=None, dynamic: bool = False,
+                 choice=None, name_prefix: str | None = None) -> None:
+        self.artifact = artifact
+        self.matrix = matrix
+        self.key = key
+        self.split = split
+        self.dynamic = dynamic
+        self.partitions = partitions
+        #: row ranges for the numpy fast path (host-side equivalent of
+        #: the simulated threads' ownership)
+        self.ranges = ranges
+        self.operands = operands
+        self.choice = choice
+        self.name_prefix = name_prefix
+        self.kernel = None
+        self.cache_hit = False
+        self.codegen_seconds = 0.0
+        # kernel attachment finalizes kernel-dependent state (spill
+        # areas); concurrent resolvers (the serving subsystem) must not
+        # run that finalization twice
+        self._attach_lock = threading.Lock()
+
+    @property
+    def config(self) -> ExecutionConfig:
+        return self.artifact.config
+
+    @property
+    def threads(self) -> int:
+        return self.artifact.config.threads
+
+    @property
+    def d(self) -> int:
+        return self.operands.d
+
+    # ------------------------------------------------------------------
+    def attach_kernel(self, kernel, *, cache_hit: bool,
+                      codegen_seconds: float) -> None:
+        """Install a resolved kernel (idempotent for a given identity)."""
+        with self._attach_lock:
+            self.kernel = kernel
+            self.cache_hit = cache_hit
+            self.codegen_seconds = codegen_seconds
+            self._on_attach(kernel)
+
+    def _on_attach(self, kernel) -> None:
+        """Subclass hook: finalize kernel-dependent state (spill areas)."""
+
+    def ensure_kernel(self) -> "BoundPlan":
+        if self.kernel is None:
+            self.artifact.ensure_kernel(self)
+        return self
+
+    # ------------------------------------------------------------------
+    def refresh(self, x) -> "BoundPlan":
+        """Load a new same-shaped ``X`` into the bound address space.
+
+        Zeroes ``Y`` and re-arms the dynamic dispatcher, so the next
+        :meth:`execute` serves the new request on the cached kernel —
+        the operand segments are zero-copy views, so the baked addresses
+        stay valid.
+        """
+        x = check_operands(self.matrix, x)
+        if int(x.shape[1]) != self.d:
+            raise ShapeError(
+                f"plan is bound for d={self.d}, got X with d={x.shape[1]}")
+        self.operands.x_host[:] = x
+        self.operands.y_host[:] = 0.0
+        self._reset_dispatch()
+        return self
+
+    def _reset_dispatch(self) -> None:
+        """Subclass hook: reset shared dispatch state (NEXT counter)."""
+
+    # ------------------------------------------------------------------
+    def execute(self, *, timing: bool | None = None) -> RunResult:
+        """Stage 3: run the kernel on the simulated machine.
+
+        ``timing`` overrides the config's flag for this run (the serving
+        subsystem resolves it per request).  The returned ``y`` aliases
+        the plan's live output buffer — copy it before refreshing the
+        plan if the result must outlive the next request.
+        """
+        self.ensure_kernel()
+        config = self.artifact.config
+        timing = config.timing if timing is None else timing
+        machine = Machine(self.operands.memory,
+                          CpuConfig(timing=timing, l1=config.l1,
+                                    l2=config.l2))
+        merged, per_thread = machine.run(
+            self._thread_specs(), warmup=config.warmup and timing,
+            between_runs=self._between_runs())
+        return self._make_result(merged, per_thread)
+
+    def _thread_specs(self):
+        raise NotImplementedError
+
+    def _between_runs(self):
+        """Callable for the warmup path's state reset, or None."""
+        return None
+
+    def _make_result(self, merged, per_thread) -> RunResult:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    def multiply(self, x) -> np.ndarray:
+        """Fast-path ``Y = A @ x`` over this plan's row ranges (numpy)."""
+        x = check_operands(self.matrix, x)
+        return multiply_partitioned(self.matrix, x, self.ranges)

@@ -1,0 +1,107 @@
+"""The system registry: names → :class:`repro.api.System` instances.
+
+Built-in registrations (performed when :mod:`repro.api.systems` first
+loads): ``"jit"``, ``"mkl"``, and one ``"aot:<personality>"`` per
+compiler personality, each aliased by its bare personality name
+(``"gcc"``, ``"clang"``, ``"icc"``, ``"icc-avx512"``) so the bench
+harness's historical spellings keep working.  Unregistered
+``"aot:<p>"`` / ``"mkl:<lanes>"`` names resolve on demand, so a
+personality added to :data:`repro.aot.compiler.PERSONALITIES` or an
+AVX2 MKL variant is reachable without touching this module.
+
+The registry is open: third-party :class:`~repro.api.System`
+implementations plug in with :func:`register` and immediately work with
+``repro.run``, the bench harness, and :class:`repro.serve.SpmmService`
+(see ``examples/custom_system.py``).
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.errors import RegistryError
+
+__all__ = ["available_systems", "get_system", "register", "unregister"]
+
+_SYSTEMS: dict = {}
+_ALIASES: dict[str, str] = {}
+_LOCK = threading.Lock()
+_BUILTINS_LOADED = False
+
+
+def _ensure_builtins() -> None:
+    """Load the built-in system implementations exactly once.
+
+    The implementations live in :mod:`repro.api.systems`, which imports
+    the engine/runner/serve layers — deferring that import keeps the
+    registry itself dependency-free and breaks the import cycle (those
+    layers' compatibility shims call back into the registry).
+    """
+    global _BUILTINS_LOADED
+    if not _BUILTINS_LOADED:
+        import repro.api.systems  # noqa: F401  (registers on import)
+        _BUILTINS_LOADED = True
+
+
+def register(name: str, system, *, aliases: tuple[str, ...] = ()) -> None:
+    """Register ``system`` under ``name`` (and optional aliases).
+
+    Re-registering a name replaces the previous entry (last wins), so
+    reloading a module that registers at import stays idempotent.
+    """
+    if not name:
+        raise RegistryError("system name must be non-empty")
+    with _LOCK:
+        _SYSTEMS[name] = system
+        for alias in aliases:
+            _ALIASES[alias] = name
+
+
+def unregister(name: str) -> bool:
+    """Drop a registration (and any aliases pointing at it)."""
+    with _LOCK:
+        found = _SYSTEMS.pop(name, None) is not None
+        for alias in [a for a, target in _ALIASES.items() if target == name]:
+            del _ALIASES[alias]
+        return found
+
+
+def get_system(name: str):
+    """Resolve a system name (or alias) to its registered instance."""
+    _ensure_builtins()
+    with _LOCK:
+        canonical = _ALIASES.get(name, name)
+        system = _SYSTEMS.get(canonical)
+    if system is not None:
+        return system
+    lazy = _resolve_lazy(name)
+    if lazy is not None:
+        register(name, lazy)
+        return lazy
+    raise RegistryError(
+        f"unknown system {name!r}; available: "
+        f"{', '.join(available_systems())}")
+
+
+def _resolve_lazy(name: str):
+    """Construct prefix-named systems (``aot:<p>``, ``mkl:<lanes>``)."""
+    from repro.api.systems import AotSystem, MklSystem
+
+    if name.startswith("aot:"):
+        # unknown personalities raise CompileError inside AotSystem,
+        # matching the legacy run_aot() behaviour
+        return AotSystem(name[len("aot:"):])
+    if name.startswith("mkl:"):
+        try:
+            lanes = int(name[len("mkl:"):])
+        except ValueError:
+            return None
+        return MklSystem(lanes=lanes)
+    return None
+
+
+def available_systems() -> tuple[str, ...]:
+    """Every resolvable name: canonical registrations plus aliases."""
+    _ensure_builtins()
+    with _LOCK:
+        return tuple(sorted(set(_SYSTEMS) | set(_ALIASES)))

@@ -1,0 +1,297 @@
+"""Built-in :class:`~repro.api.System` implementations.
+
+Three systems mirror the paper's evaluation matrix:
+
+* :class:`JitSystem` (``"jit"``) — JITSPMM: specialized code generated
+  per problem (addresses baked, column loop folded away).  Kernel
+  identity exists at bind time; ``split="auto"`` autotunes per matrix.
+* :class:`AotSystem` (``"aot:<personality>"``) — the gcc / clang / icc
+  / icc-avx512 compiler personalities.  Address-free param-block
+  templates: compiled once per personality, reused for any operands.
+* :class:`MklSystem` (``"mkl"``) — the hand-scheduled MKL-like kernel,
+  likewise an address-free template (keyed by its SIMD lane count).
+
+All three produce :class:`~repro.core.runner.RunResult` objects that
+are bit-identical to what the pre-pipeline ``run_jit`` / ``run_aot`` /
+``run_mkl`` entry points produced: operand segments are mapped in the
+same order (so baked addresses — and therefore cache identities and
+modeled memory behaviour — are unchanged), and the machine is driven
+with the same warmup/dispatch contract.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.aot import abi
+from repro.aot.compiler import AotCompiler
+from repro.aot.mkl import MklKernel
+from repro.core.autotune import choose_split
+from repro.core.codegen import DEFAULT_BATCH, JitCodegen
+from repro.core.engine import check_operands
+from repro.core.runner import (
+    MappedOperands,
+    RunResult,
+    jit_thread_specs,
+    map_jit_operands,
+)
+from repro.core.split import partition
+from repro.machine import ThreadSpec
+from repro.serve.cache import aot_key, jit_key, mkl_key
+
+from repro.api.pipeline import Artifact, BoundPlan, System
+from repro.api.registry import register
+
+__all__ = ["AotSystem", "JitSystem", "MklSystem"]
+
+
+# ----------------------------------------------------------------------
+# JIT: specialized kernels, bind-time identity
+# ----------------------------------------------------------------------
+class JitPlan(BoundPlan):
+    """A JIT problem binding: spec + mapped operands + partitions."""
+
+    def __init__(self, artifact: Artifact, matrix, operands, spec, *,
+                 split: str, dynamic: bool, partitions, ranges, choice,
+                 name_prefix: str | None) -> None:
+        super().__init__(
+            artifact, matrix, key=jit_key(spec, dynamic), split=split,
+            partitions=partitions, ranges=ranges, operands=operands,
+            dynamic=dynamic, choice=choice, name_prefix=name_prefix,
+        )
+        self.spec = spec
+
+    def _thread_specs(self):
+        return jit_thread_specs(
+            self.kernel.program, self.threads, self.partitions,
+            self.dynamic, name_prefix=self.name_prefix or "jit")
+
+    def _reset_dispatch(self) -> None:
+        if self.spec.next_addr:
+            self.operands.memory.write_int(self.spec.next_addr, 8, 0)
+
+    def _between_runs(self):
+        return self._reset_dispatch
+
+    def _make_result(self, merged, per_thread) -> RunResult:
+        return RunResult(
+            y=self.operands.y_host, counters=merged, per_thread=per_thread,
+            program=self.kernel.program,
+            codegen_seconds=self.codegen_seconds,
+            code_bytes=self.kernel.code_bytes, system="jit",
+            split=self.split, threads=self.threads,
+            partitions=self.partitions, cache_hit=self.cache_hit,
+        )
+
+
+class JitSystem(System):
+    """JITSPMM: generate specialized code per problem, then execute."""
+
+    name = "jit"
+    address_free = False
+    supports_autotune = True
+
+    def bind(self, artifact: Artifact, matrix, x,
+             name_prefix: str | None = None) -> JitPlan:
+        config = artifact.config
+        # map a private copy: refresh() overwrites the mapped segment
+        # in place and must never clobber the caller's array
+        x = check_operands(matrix, x).copy()
+        d = int(x.shape[1])
+        choice = None
+        split, dynamic, batch = config.split, config.dynamic, config.batch
+        if split == "auto":
+            choice = choose_split(matrix, d, config.threads, config.isa)
+            split, dynamic = choice.split, choice.dynamic
+            batch = batch or choice.batch
+        operands, spec, dynamic, partitions = map_jit_operands(
+            matrix, x, split=split, threads=config.threads,
+            dynamic=dynamic, batch=batch, isa=config.isa,
+        )
+        ranges = (partition(matrix, config.threads, "row") if dynamic
+                  else partitions)
+        return JitPlan(
+            artifact, matrix, operands, spec, split=split, dynamic=dynamic,
+            partitions=partitions, ranges=ranges, choice=choice,
+            name_prefix=name_prefix,
+        )
+
+    def build_kernel(self, plan: JitPlan) -> tuple[object, float]:
+        output = JitCodegen(plan.spec).generate(dynamic=plan.dynamic)
+        return output, output.codegen_seconds
+
+    def kernel_nbytes(self, kernel) -> int:
+        return kernel.code_bytes
+
+
+# ----------------------------------------------------------------------
+# Param-block templates: AOT personalities and the MKL-like kernel
+# ----------------------------------------------------------------------
+class ParamBlockPlan(BoundPlan):
+    """A problem bound to an address-free param-block kernel.
+
+    Operand layout reproduces the legacy runner exactly: the five SpMM
+    arrays, then the parameter block, then the NEXT word, then one
+    spill area per thread.  Spill areas depend on the compiled kernel
+    (its register allocation), so they are mapped when the kernel
+    attaches — deterministically in the same position, since nothing
+    else maps segments in between.
+    """
+
+    def __init__(self, artifact: Artifact, matrix, x, *, key,
+                 name_prefix: str | None) -> None:
+        config = artifact.config
+        # private copy, same reason as the JIT bind: refresh() writes
+        # into the mapped segment
+        x = check_operands(matrix, x).copy()
+        operands = MappedOperands.create(matrix, x)
+        memory = operands.memory
+        pb = np.zeros(abi.PARAM_BLOCK_BYTES // 8, dtype=np.int64)
+        pb_addr = memory.map_array(pb, "param_block")
+        next_addr, _ = memory.map_zeros(8, "NEXT")
+        pb[abi.PARAM_ROW_PTR // 8] = operands.row_ptr_addr
+        pb[abi.PARAM_COL_INDICES // 8] = operands.col_addr
+        pb[abi.PARAM_VALS // 8] = operands.vals_addr
+        pb[abi.PARAM_X // 8] = operands.x_addr
+        pb[abi.PARAM_Y // 8] = operands.y_addr
+        pb[abi.PARAM_D // 8] = operands.d
+        pb[abi.PARAM_M // 8] = operands.m
+        pb[abi.PARAM_NEXT // 8] = next_addr
+        pb[abi.PARAM_BATCH // 8] = DEFAULT_BATCH
+        partitions = partition(matrix, config.threads, config.split)
+        super().__init__(
+            artifact, matrix, key=key, split=config.split,
+            partitions=partitions, ranges=partitions, operands=operands,
+            name_prefix=name_prefix,
+        )
+        self.pb_addr = pb_addr
+        self.next_addr = next_addr
+        self._init_gprs: list[dict] | None = None
+
+    # -- kernel adapters (overridden by the MKL plan) -------------------
+    def _program(self):
+        return self.kernel.program
+
+    def _spill_bytes(self) -> int:
+        return self.kernel.spill_bytes
+
+    def _label(self) -> str:
+        return f"aot-{self.kernel.personality.name}"
+
+    # ------------------------------------------------------------------
+    def _on_attach(self, kernel) -> None:
+        if self._init_gprs is not None:
+            return
+        memory = self.operands.memory
+        spill_bytes = self._spill_bytes()
+        init_gprs = []
+        for t, (r0, r1) in enumerate(self.partitions):
+            init = {abi.ARG_PARAM_BLOCK: self.pb_addr,
+                    abi.ARG_ROW_START: r0, abi.ARG_ROW_END: r1}
+            if spill_bytes:
+                spill_addr, _ = memory.map_zeros(spill_bytes, f"spill{t}")
+                init[abi.SPILL_BASE_REG] = spill_addr
+            init_gprs.append(init)
+        self._init_gprs = init_gprs
+
+    def _thread_specs(self):
+        prefix = self.name_prefix or self._label()
+        program = self._program()
+        return [ThreadSpec(program, init_gpr=init, name=f"{prefix}{t}")
+                for t, init in enumerate(self._init_gprs)]
+
+    def _reset_dispatch(self) -> None:
+        self.operands.memory.write_int(self.next_addr, 8, 0)
+
+    def _make_result(self, merged, per_thread) -> RunResult:
+        # codegen_seconds stays 0: AOT compilation happens "before
+        # shipping" and is never part of the measured execution (the
+        # serving subsystem accounts amortization separately)
+        return RunResult(
+            y=self.operands.y_host, counters=merged, per_thread=per_thread,
+            program=self._program(), system=self._label(),
+            split=self.split, threads=self.threads,
+            partitions=self.partitions, cache_hit=self.cache_hit,
+        )
+
+
+class AotSystem(System):
+    """An AOT compiler personality serving the param-block SpMM."""
+
+    address_free = True
+
+    def __init__(self, personality: str = "icc-avx512") -> None:
+        # resolve (and validate) eagerly so unknown personalities fail
+        # at registry time, matching the legacy AotCompiler error
+        self.personality = AotCompiler(personality).personality
+        self.name = f"aot:{self.personality.name}"
+
+    def prepare_key(self, config):
+        return aot_key(self.personality.name)
+
+    def bind(self, artifact: Artifact, matrix, x,
+             name_prefix: str | None = None) -> ParamBlockPlan:
+        return ParamBlockPlan(artifact, matrix, x,
+                              key=self.prepare_key(artifact.config),
+                              name_prefix=name_prefix)
+
+    def build_kernel(self, plan) -> tuple[object, float]:
+        started = time.perf_counter()
+        compiled = AotCompiler(self.personality).compile_spmm()
+        return compiled, time.perf_counter() - started
+
+    def kernel_nbytes(self, kernel) -> int:
+        return len(kernel.program.encode())
+
+
+class MklPlan(ParamBlockPlan):
+    """MKL template binding: the cached kernel is a bare ``Program``."""
+
+    def _program(self):
+        return self.kernel
+
+    def _spill_bytes(self) -> int:
+        return 0
+
+    def _label(self) -> str:
+        return "mkl"
+
+
+class MklSystem(System):
+    """The hand-scheduled MKL-like AOT kernel (``repro.aot.mkl``)."""
+
+    address_free = True
+
+    def __init__(self, lanes: int = 16) -> None:
+        self.lanes = lanes
+        self.name = "mkl" if lanes == 16 else f"mkl:{lanes}"
+
+    def prepare_key(self, config):
+        return mkl_key(self.lanes)
+
+    def bind(self, artifact: Artifact, matrix, x,
+             name_prefix: str | None = None) -> MklPlan:
+        return MklPlan(artifact, matrix, x,
+                       key=self.prepare_key(artifact.config),
+                       name_prefix=name_prefix)
+
+    def build_kernel(self, plan) -> tuple[object, float]:
+        started = time.perf_counter()
+        program = MklKernel(lanes=self.lanes).build()
+        return program, time.perf_counter() - started
+
+    def kernel_nbytes(self, kernel) -> int:
+        return len(kernel.encode())
+
+
+# ----------------------------------------------------------------------
+# Built-in registrations (imported once via the registry)
+# ----------------------------------------------------------------------
+register("jit", JitSystem())
+register("mkl", MklSystem())
+for _personality in ("gcc", "clang", "icc", "icc-avx512"):
+    register(f"aot:{_personality}", AotSystem(_personality),
+             aliases=(_personality,))
+del _personality

@@ -14,11 +14,13 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.aot.compiler import AotCompiler, CompiledKernel
-from repro.core.runner import RunResult, run_aot, run_jit, run_mkl
+from repro.aot.compiler import CompiledKernel
+from repro.api import ExecutionConfig, get_system
+from repro.core.runner import RunResult
 from repro.datasets import DATASET_NAMES, load
 from repro.errors import DatasetError
 from repro.machine.cache import CacheConfig
+from repro.serve.cache import KernelCache
 from repro.sparse.csr import CsrMatrix
 
 __all__ = [
@@ -64,7 +66,11 @@ class BenchConfig:
         unknown = set(self.datasets) - set(DATASET_NAMES)
         if unknown:
             raise DatasetError(f"unknown bench datasets: {sorted(unknown)}")
-        self._kernels: dict[str, CompiledKernel] = {}
+        # one artifact cache for every address-free template (AOT
+        # personalities, the MKL kernel): compiled once per identity,
+        # shared across the whole grid — the paper's baselines exist
+        # "before shipping", so their compile time is never measured
+        self._cache = KernelCache()
         self._runs: dict[tuple, RunResult] = {}
         self._dense: dict[tuple[str, int], np.ndarray] = {}
         # Warm the JIT code generator once: the very first Python codegen
@@ -90,9 +96,9 @@ class BenchConfig:
         return self._dense[key]
 
     def aot_kernel(self, personality: str) -> CompiledKernel:
-        if personality not in self._kernels:
-            self._kernels[personality] = AotCompiler(personality).compile_spmm()
-        return self._kernels[personality]
+        """The compiled template for one AOT personality, cached."""
+        return get_system(f"aot:{personality}").prepare(
+            ExecutionConfig(cache=self._cache)).kernel
 
     # ------------------------------------------------------------------
     def run(self, system: str, dataset: str, d: int, split: str = "row",
@@ -100,8 +106,10 @@ class BenchConfig:
             isa: str = "avx512") -> RunResult:
         """Run one (system, dataset, d, split) cell, memoized.
 
-        ``system`` is ``"jit"``, ``"mkl"``, or an AOT personality name
-        (``"gcc"``, ``"clang"``, ``"icc"``, ``"icc-avx512"``).
+        ``system`` is any :func:`repro.api.get_system`-resolvable name:
+        ``"jit"``, ``"mkl"``, ``"aot:<personality>"`` or a bare
+        personality name (``"gcc"``, ``"clang"``, ``"icc"``,
+        ``"icc-avx512"``).
         """
         threads = self.threads if threads is None else threads
         key = (system, dataset, d, split, threads, timing, isa)
@@ -109,17 +117,18 @@ class BenchConfig:
             return self._runs[key]
         matrix = self.matrix(dataset)
         x = self.dense(dataset, d)
-        machine = dict(timing=timing, warmup=True, l1=BENCH_L1, l2=BENCH_L2)
-        if system == "jit":
-            result = run_jit(matrix, x, split=split, threads=threads,
-                             isa=isa, **machine)
-        elif system == "mkl":
-            result = run_mkl(matrix, x, split=split, threads=threads,
-                             **machine)
-        else:
-            result = run_aot(matrix, x, personality=system, split=split,
-                             threads=threads, kernel=self.aot_kernel(system),
-                             **machine)
+        target = get_system(system)
+        # measurement policy: address-free templates come from the
+        # shared artifact cache (compiled once for the whole grid),
+        # while specialized JIT codegen stays inside each measured cell
+        # — Table IV measures exactly that per-run cost, and same-shaped
+        # twins would otherwise silently share one generated kernel
+        config = ExecutionConfig(
+            split=split, threads=threads, timing=timing, isa=isa,
+            warmup=True, l1=BENCH_L1, l2=BENCH_L2,
+            cache=self._cache if target.address_free else None,
+        )
+        result = target.prepare(config).bind(matrix, x).execute()
         self._runs[key] = result
         return result
 

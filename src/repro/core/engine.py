@@ -42,9 +42,8 @@ from repro.core.runner import (
     PLACEHOLDER_NEXT_ADDR,
     RunResult,
     make_jit_spec,
-    run_jit,
 )
-from repro.core.split import partition
+from repro.core.split import SPLITS, partition
 from repro.errors import ShapeError
 from repro.isa.isainfo import IsaLevel
 from repro.sparse.csr import CsrMatrix
@@ -54,9 +53,6 @@ __all__ = ["JitSpMM", "SPLITS", "SpmmResult", "check_operands",
            "multiply_partitioned"]
 
 SpmmResult = RunResult  # public alias
-
-#: accepted ``split=`` values for the engine and the serving subsystem
-SPLITS = ("row", "nnz", "merge", "auto")
 
 
 def check_operands(matrix: CsrMatrix, x: np.ndarray) -> np.ndarray:
@@ -132,21 +128,19 @@ class JitSpMM:
         timing: bool = True,
         cache=None,
     ) -> None:
-        if threads <= 0:
-            raise ShapeError(f"thread count must be positive, got {threads}")
-        if split not in SPLITS:
-            raise ShapeError(
-                f"unknown split {split!r}; expected one of {SPLITS}")
-        if split == "auto" and dynamic is not None:
-            raise ShapeError("split='auto' chooses dispatch itself; "
-                             "leave dynamic=None")
+        # one validation authority: the api-level config applies the
+        # same split/thread/dispatch contract for every entry point
+        from repro.api.config import ExecutionConfig
+
+        self.config = ExecutionConfig(
+            split=split, threads=threads, dynamic=dynamic, batch=batch,
+            isa=isa, timing=timing, cache=cache,
+        )
         self.split = split
         self.threads = threads
-        self.dynamic = (split == "row") if dynamic is None else dynamic
-        if self.dynamic and split not in ("row", "auto"):
-            raise ShapeError("dynamic dispatch applies to row-split only")
+        self.dynamic = self.config.effective_dynamic
         self.batch = batch
-        self.isa = IsaLevel.parse(isa)
+        self.isa = self.config.isa
         self.timing = timing
         self.cache = cache
         # (id(matrix), d) -> (weakref to matrix, SplitChoice); the
@@ -195,14 +189,19 @@ class JitSpMM:
 
     # ------------------------------------------------------------------
     def profile(self, matrix: CsrMatrix, x: np.ndarray) -> RunResult:
-        """Generate the specialized kernel and run it on the simulator."""
+        """Generate the specialized kernel and run it on the simulator.
+
+        Resolves the engine's (possibly autotuned) split, then executes
+        through the :mod:`repro.api` pipeline — the same prepare → bind
+        → execute path every registered system runs on.
+        """
+        from repro.api import get_system
+
         x = self._check_operands(matrix, x)
         split, dynamic, batch = self._resolve(matrix, int(x.shape[1]))
-        return run_jit(
-            matrix, x, split=split, threads=self.threads,
-            dynamic=dynamic, batch=batch, isa=self.isa,
-            timing=self.timing, cache=self.cache,
-        )
+        config = self.config.with_overrides(
+            split=split, dynamic=dynamic, batch=batch)
+        return get_system("jit").prepare(config).bind(matrix, x).execute()
 
     # ------------------------------------------------------------------
     def inspect(self, matrix: CsrMatrix, x: np.ndarray) -> str:

@@ -1,12 +1,13 @@
-"""Execution of SpMM systems on the simulated machine.
+"""Operand mapping, run results, and the legacy one-call entry points.
 
-This module is the experimental testbed: it maps the operands of
-``Y = A @ X`` into a fresh simulated address space, instantiates the
-requested system (JIT kernels, an AOT compiler personality, or the
-MKL-like kernel), partitions the work across simulated threads exactly
-as the paper describes (Fig. 5), runs the machine, and returns the
-result matrix together with perf counters — the same measurement setup
-for every system, which is what makes the comparisons meaningful.
+This module holds the experimental testbed's shared plumbing: mapping
+the operands of ``Y = A @ X`` into a simulated address space
+(:class:`MappedOperands`), the JIT spec/thread-launch helpers, and
+:class:`RunResult`.  The one-call entry points ``run_jit`` /
+``run_aot`` / ``run_mkl`` remain as thin compatibility shims over the
+:mod:`repro.api` pipeline (``get_system(name).prepare(config)
+.bind(A, X).execute()``) — same signatures, same results, one
+execution path for every system.
 """
 
 from __future__ import annotations
@@ -16,14 +17,13 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.aot import abi
-from repro.aot.compiler import AotCompiler, CompiledKernel
-from repro.aot.mkl import MklKernel
-from repro.core.codegen import DEFAULT_BATCH, JitCodegen, JitKernelSpec
+from repro.aot.compiler import CompiledKernel
+from repro.core.codegen import DEFAULT_BATCH, JitKernelSpec
 from repro.core.split import partition
 from repro.errors import ShapeError
 from repro.isa.assembler import Program
 from repro.isa.isainfo import IsaLevel
-from repro.machine import CacheConfig, Counters, CpuConfig, Machine, Memory, ThreadSpec
+from repro.machine import CacheConfig, Counters, Memory, ThreadSpec
 from repro.sparse.csr import CsrMatrix
 
 __all__ = [
@@ -123,13 +123,6 @@ class RunResult:
         """Codegen wall time / total time, the paper's Table IV metric."""
         total = self.codegen_seconds + self.modeled_seconds(ghz)
         return self.codegen_seconds / total if total else 0.0
-
-
-def _machine(operands: MappedOperands, timing: bool,
-             l1: CacheConfig | None = None, l2: CacheConfig | None = None,
-             quantum: int = 64) -> Machine:
-    return Machine(operands.memory, CpuConfig(timing=timing, l1=l1, l2=l2),
-                   quantum=quantum)
 
 
 def auto_batch(m: int, threads: int) -> int:
@@ -260,79 +253,16 @@ def run_jit(
     :class:`repro.serve.SpmmService`, which serializes per kernel
     identity.
     """
-    operands, spec, dynamic, partitions = map_jit_operands(
-        matrix, x, split=split, threads=threads, dynamic=dynamic,
-        batch=batch, isa=isa,
+    # imported lazily: the api package's system implementations import
+    # this module's helpers, so the shim resolves the registry at call
+    # time rather than at import time
+    from repro.api import ExecutionConfig, get_system
+
+    config = ExecutionConfig(
+        split=split, threads=threads, dynamic=dynamic, batch=batch,
+        isa=isa, timing=timing, warmup=warmup, l1=l1, l2=l2, cache=cache,
     )
-    output = cache.get_jit(spec, dynamic) if cache is not None else None
-    cache_hit = output is not None
-    if output is None:
-        output = JitCodegen(spec).generate(dynamic=dynamic)
-        if cache is not None:
-            cache.put_jit(spec, dynamic, output)
-
-    specs = jit_thread_specs(output.program, threads, partitions, dynamic)
-    def reset_next() -> None:
-        if spec.next_addr:
-            operands.memory.write_int(spec.next_addr, 8, 0)
-
-    merged, per_thread = _machine(operands, timing, l1, l2).run(
-        specs, warmup=warmup and timing, between_runs=reset_next)
-    return RunResult(
-        y=operands.y_host, counters=merged, per_thread=per_thread,
-        program=output.program,
-        codegen_seconds=0.0 if cache_hit else output.codegen_seconds,
-        code_bytes=output.code_bytes, system="jit", split=split,
-        threads=threads, partitions=partitions, cache_hit=cache_hit,
-    )
-
-
-def _run_param_block_kernel(
-    matrix: CsrMatrix,
-    x: np.ndarray,
-    program: Program,
-    spill_bytes: int,
-    system: str,
-    split: str,
-    threads: int,
-    timing: bool,
-    warmup: bool = False,
-    l1: CacheConfig | None = None,
-    l2: CacheConfig | None = None,
-    cache_hit: bool = False,
-) -> RunResult:
-    """Shared driver for AOT and MKL kernels (param-block ABI)."""
-    operands = MappedOperands.create(matrix, x)
-    memory = operands.memory
-    pb = np.zeros(abi.PARAM_BLOCK_BYTES // 8, dtype=np.int64)
-    pb_addr = memory.map_array(pb, "param_block")
-    next_addr, _ = memory.map_zeros(8, "NEXT")
-    pb[abi.PARAM_ROW_PTR // 8] = operands.row_ptr_addr
-    pb[abi.PARAM_COL_INDICES // 8] = operands.col_addr
-    pb[abi.PARAM_VALS // 8] = operands.vals_addr
-    pb[abi.PARAM_X // 8] = operands.x_addr
-    pb[abi.PARAM_Y // 8] = operands.y_addr
-    pb[abi.PARAM_D // 8] = operands.d
-    pb[abi.PARAM_M // 8] = operands.m
-    pb[abi.PARAM_NEXT // 8] = next_addr
-    pb[abi.PARAM_BATCH // 8] = DEFAULT_BATCH
-
-    partitions = partition(matrix, threads, split)
-    specs = []
-    for t, (r0, r1) in enumerate(partitions):
-        init = {abi.ARG_PARAM_BLOCK: pb_addr,
-                abi.ARG_ROW_START: r0, abi.ARG_ROW_END: r1}
-        if spill_bytes:
-            spill_addr, _ = memory.map_zeros(spill_bytes, f"spill{t}")
-            init[abi.SPILL_BASE_REG] = spill_addr
-        specs.append(ThreadSpec(program, init_gpr=init, name=f"{system}{t}"))
-    merged, per_thread = _machine(operands, timing, l1, l2).run(
-        specs, warmup=warmup and timing)
-    return RunResult(
-        y=operands.y_host, counters=merged, per_thread=per_thread,
-        program=program, system=system, split=split, threads=threads,
-        partitions=partitions, cache_hit=cache_hit,
-    )
+    return get_system("jit").prepare(config).bind(matrix, x).execute()
 
 
 def run_aot(
@@ -356,21 +286,18 @@ def run_aot(
     runs (AOT compilation happens "before shipping", so it is never part
     of the measured execution, unlike the JIT's codegen overhead).
     """
-    compiled = kernel
-    cache_hit = False
-    if compiled is None and cache is not None:
-        compiled = cache.get_aot(personality)
-        cache_hit = compiled is not None
-    if compiled is None:
-        compiled = AotCompiler(personality).compile_spmm()
-        if cache is not None:
-            cache.put_aot(personality, compiled)
-    return _run_param_block_kernel(
-        matrix, x, compiled.program, compiled.spill_bytes,
-        system=f"aot-{compiled.personality.name}", split=split,
-        threads=threads, timing=timing, warmup=warmup, l1=l1, l2=l2,
-        cache_hit=cache_hit,
+    from repro.api import ExecutionConfig, get_system
+
+    config = ExecutionConfig(
+        split=split, threads=threads, timing=timing, warmup=warmup,
+        l1=l1, l2=l2, cache=cache,
     )
+    if isinstance(personality, str):
+        system = get_system(f"aot:{personality}")
+    else:  # a CompilerPersonality instance, as AotCompiler accepts
+        from repro.api.systems import AotSystem
+        system = AotSystem(personality)
+    return system.prepare(config, kernel=kernel).bind(matrix, x).execute()
 
 
 def run_mkl(
@@ -383,10 +310,20 @@ def run_mkl(
     warmup: bool = False,
     l1: CacheConfig | None = None,
     l2: CacheConfig | None = None,
+    cache=None,
 ) -> RunResult:
-    """Run the MKL-like hand-scheduled AOT baseline."""
-    program = MklKernel(lanes=lanes).build()
-    return _run_param_block_kernel(
-        matrix, x, program, 0, system="mkl", split=split,
-        threads=threads, timing=timing, warmup=warmup, l1=l1, l2=l2,
+    """Run the MKL-like hand-scheduled AOT baseline.
+
+    ``cache`` — a :class:`repro.serve.KernelCache` — reuses the built
+    kernel across calls (keyed by lane count): the MKL template used to
+    be rebuilt on every call, which the registry's ``prepare()`` stage
+    now amortizes exactly like the other systems' kernels.
+    """
+    from repro.api import ExecutionConfig, get_system
+
+    config = ExecutionConfig(
+        split=split, threads=threads, timing=timing, warmup=warmup,
+        l1=l1, l2=l2, cache=cache,
     )
+    name = "mkl" if lanes == 16 else f"mkl:{lanes}"
+    return get_system(name).prepare(config).bind(matrix, x).execute()

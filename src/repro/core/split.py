@@ -24,7 +24,13 @@ import numpy as np
 from repro.errors import ShapeError
 from repro.sparse.csr import CsrMatrix
 
-__all__ = ["merge_split", "nnz_split", "partition", "row_split"]
+__all__ = ["SPLITS", "merge_split", "nnz_split", "partition", "row_split"]
+
+#: accepted ``split=`` names everywhere a split is configured (engine,
+#: serving subsystem, :class:`repro.api.ExecutionConfig`).  ``"auto"``
+#: is not a partitioner — it defers the choice to
+#: :func:`repro.core.autotune.choose_split` at bind time.
+SPLITS = ("row", "nnz", "merge", "auto")
 
 
 def _check_threads(num_threads: int) -> None:

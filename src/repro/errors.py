@@ -58,3 +58,7 @@ class CodegenError(ReproError):
 
 class DatasetError(ReproError):
     """A dataset name is unknown or a generator was misconfigured."""
+
+
+class RegistryError(ReproError):
+    """A system name could not be resolved by :mod:`repro.api`."""

@@ -17,7 +17,7 @@ import enum
 from dataclasses import dataclass, field
 
 from repro.errors import AssemblyError
-from repro.isa.operands import Imm, Mem, Operand
+from repro.isa.operands import Mem, Operand
 from repro.isa.registers import Register
 
 __all__ = ["InsnKind", "Instruction", "MnemonicInfo", "MNEMONICS", "mnemonic_info"]

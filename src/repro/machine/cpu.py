@@ -291,7 +291,6 @@ class Cpu:
         """Build the per-execution bookkeeping closure for one instruction."""
         counters = self.counters
         caches = self.caches
-        pipeline = self.pipeline
         is_simd = insn.mnemonic.startswith("v")
         is_fma = insn.mnemonic.startswith("vfmadd")
         flop = 0

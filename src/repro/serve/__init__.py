@@ -19,7 +19,14 @@ See :mod:`repro.bench.serving` for the amortization experiment and
 ``examples/serving_traffic.py`` for a request-replay demo.
 """
 
-from repro.serve.cache import CacheStats, KernelCache, KernelKey, aot_key, jit_key
+from repro.serve.cache import (
+    CacheStats,
+    KernelCache,
+    KernelKey,
+    aot_key,
+    jit_key,
+    mkl_key,
+)
 from repro.serve.service import MatrixHandle, SpmmService
 from repro.serve.stats import HandleStats, LatencyStat, ServiceStats
 
@@ -34,4 +41,5 @@ __all__ = [
     "SpmmService",
     "aot_key",
     "jit_key",
+    "mkl_key",
 ]

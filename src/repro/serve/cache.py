@@ -24,7 +24,8 @@ from dataclasses import dataclass
 
 from repro.core.codegen import CodegenOutput, JitKernelSpec
 
-__all__ = ["CacheStats", "KernelCache", "KernelKey", "aot_key", "jit_key"]
+__all__ = ["CacheStats", "KernelCache", "KernelKey", "aot_key", "jit_key",
+           "mkl_key"]
 
 
 @dataclass(frozen=True)
@@ -65,6 +66,12 @@ def jit_key(spec: JitKernelSpec, dynamic: bool) -> KernelKey:
 def aot_key(personality: str) -> KernelKey:
     """The cache identity of an AOT personality (address-free template)."""
     return KernelKey(kind="aot", variant=personality)
+
+
+def mkl_key(lanes: int = 16) -> KernelKey:
+    """The cache identity of the MKL-like kernel (address-free template,
+    discriminated by its SIMD strip width)."""
+    return KernelKey(kind="mkl", variant=f"lanes{lanes}")
 
 
 @dataclass

@@ -1,4 +1,4 @@
-"""`SpmmService`: an SpMM request server that amortizes JIT codegen.
+"""`SpmmService`: an SpMM request server that amortizes kernel setup.
 
 The paper's trade-off (Table IV) is codegen time vs. specialized-kernel
 speedup, measured for a single run.  A service turns that into a
@@ -8,42 +8,40 @@ first request, and serve every later request from the
 :class:`~repro.serve.cache.KernelCache` — the amortized codegen
 overhead converges to zero as traffic accumulates.
 
+Since the :mod:`repro.api` redesign the service is system-agnostic: it
+serves any registered :class:`~repro.api.System` (``system="jit"`` by
+default, or ``"aot:<personality>"`` / ``"mkl"``), holding one prepared
+artifact whose bound plans are the per-``(handle, d)`` workspaces.
+Address-free systems amortize their one-time compile across the stream
+exactly like JIT codegen.
+
 Two request paths, mirroring :class:`repro.core.engine.JitSpMM`:
 
 * :meth:`SpmmService.multiply` — production path; numpy fast backend
   over the tuned partitioning, bit-equal to the generated kernel;
 * :meth:`SpmmService.profile` — opt-in simulated path that re-executes
-  the *cached* :class:`~repro.isa.assembler.Program` on the persistent
-  per-handle address space (operand segments are zero-copy views, so a
-  new ``X`` is written in place and the baked addresses stay valid).
+  the *cached* kernel on the persistent per-handle address space
+  (operand segments are zero-copy views, so a new ``X`` is written in
+  place and the baked addresses stay valid).
 """
 
 from __future__ import annotations
 
 import threading
 import time
-from dataclasses import dataclass, field
+from collections import OrderedDict
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
-from repro.core.autotune import SplitChoice, choose_split
-from repro.core.codegen import CodegenOutput, JitCodegen, JitKernelSpec
-from repro.core.engine import (
-    SPLITS,
-    check_operands,
-    multiply_partitioned,
-)
-from repro.core.runner import (
-    MappedOperands,
-    RunResult,
-    jit_thread_specs,
-    map_jit_operands,
-)
-from repro.core.split import partition
+from repro.api.config import ExecutionConfig
+from repro.api.registry import get_system
+from repro.core.autotune import SplitChoice
+from repro.core.engine import check_operands, multiply_partitioned
+from repro.core.runner import RunResult
 from repro.errors import ShapeError
 from repro.isa.isainfo import IsaLevel
-from repro.machine import CpuConfig, Machine
-from repro.serve.cache import KernelCache, jit_key
+from repro.serve.cache import KernelCache
 from repro.serve.stats import HandleStats, ServiceStats
 from repro.sparse.csr import CsrMatrix
 
@@ -52,6 +50,12 @@ __all__ = ["MatrixHandle", "SpmmService"]
 #: default retained-kernel budget: plenty for dozens of live kernels
 #: (a generated SpMM kernel encodes to a few hundred bytes)
 DEFAULT_CACHE_BUDGET = 1 << 20
+
+#: default cap on live per-(handle, d) workspaces: bounds the simulated
+#: memory pinned by multiply-only traffic over many shapes (each
+#: workspace maps full operand copies), while staying far above any
+#: realistic working set of concurrently hot shapes
+DEFAULT_MAX_WORKSPACES = 64
 
 
 @dataclass(frozen=True)
@@ -71,15 +75,11 @@ class MatrixHandle:
 
 @dataclass
 class _Workspace:
-    """Per-(handle, d) state: tuned plan + persistent address space."""
+    """Per-(handle, d) state: one bound plan + its execution lock."""
 
-    operands: MappedOperands
-    spec: JitKernelSpec
-    choice: SplitChoice | None
-    split: str
-    dynamic: bool
-    ranges: list[tuple[int, int]]      # numpy fast-path row ranges
-    partitions: list[tuple[int, int]]  # simulated thread ranges (static)
+    #: the pipeline's stage-2 product: tuned split, mapped persistent
+    #: address space, partitions, and (once resolved) the kernel
+    plan: object
     #: serializes simulated runs over this address space (its mapped
     #: X/Y segments are shared mutable state); fast-path requests never
     #: take it, so a long profile stalls only concurrent profiles of
@@ -89,13 +89,14 @@ class _Workspace:
 
 
 class SpmmService:
-    """Serve ``Y = A @ X`` requests with cached, autotuned JIT kernels.
+    """Serve ``Y = A @ X`` requests with cached, autotuned kernels.
 
     Args:
         threads: Worker threads each kernel is generated/partitioned for.
-        split: ``"auto"`` (default: tune per matrix), or a fixed
-            ``"row"`` / ``"nnz"`` / ``"merge"``.
-        isa: ISA level for code generation.
+        split: ``"auto"`` (default: tune per matrix — JIT only), or a
+            fixed ``"row"`` / ``"nnz"`` / ``"merge"``.
+        isa: ISA level for JIT code generation (AOT personalities and
+            MKL fix their own).
         timing: Model caches/pipeline on the simulated ``profile`` path.
         cache: Shared :class:`KernelCache`; a private one (with
             ``cache_budget_bytes``) is created when omitted.
@@ -103,16 +104,21 @@ class SpmmService:
         l1 / l2: Cache-geometry overrides for the simulated ``profile``
             path (same knobs as :func:`repro.core.runner.run_jit`, used
             by the bench harness to scale caches with dataset twins).
+        system: Registered system name to serve (``"jit"`` default;
+            any :func:`repro.api.get_system`-resolvable name works —
+            the service's workspaces are that system's bound plans).
+        max_workspaces: LRU cap on live (handle, d) workspaces (None =
+            unbounded).  Evicting a workspace releases its mapped
+            operand copies but not its cached kernel, so a re-requested
+            shape pays re-mapping, never re-codegen.
 
     Resource model: the kernel cache's byte budget bounds *compiled
     code*; each live (handle, d) pair additionally pins a workspace
-    (mapped operand copies sized by the matrix and width) until
-    :meth:`unregister`.  Workspace eviction / lazy mapping for
-    multiply-only traffic is deliberate future work — today the caller
-    manages workspace lifetime through registration.  ``multiply``
-    always ensures the kernel exists (codegen on first use or after an
-    eviction) so the cached program stays warm for ``profile`` and the
-    codegen-once-per-identity accounting holds.
+    (mapped operand copies sized by the matrix and width), LRU-bounded
+    by ``max_workspaces``.  ``multiply`` always ensures the kernel
+    exists (codegen on first use or after an eviction) so the cached
+    program stays warm for ``profile`` and the codegen-once-per-identity
+    accounting holds.
     """
 
     def __init__(
@@ -125,24 +131,41 @@ class SpmmService:
         cache_budget_bytes: int = DEFAULT_CACHE_BUDGET,
         l1=None,
         l2=None,
+        system: str = "jit",
+        max_workspaces: int | None = DEFAULT_MAX_WORKSPACES,
     ) -> None:
-        if threads <= 0:
-            raise ShapeError(f"thread count must be positive, got {threads}")
-        if split not in SPLITS:
-            raise ShapeError(
-                f"unknown split {split!r}; expected one of {SPLITS}")
-        self.threads = threads
-        self.split = split
-        self.isa = IsaLevel.parse(isa)
-        self.timing = timing
-        self.l1 = l1
-        self.l2 = l2
         self._private_cache = cache is None
         self.cache = cache if cache is not None else KernelCache(
             budget_bytes=cache_budget_bytes)
+        self._system = get_system(system)
+        if split == "auto" and not self._system.supports_autotune:
+            raise ShapeError(
+                f"split='auto' autotunes via the JIT cost model; system "
+                f"{system!r} serves fixed splits (row/nnz/merge)")
+        # validation (thread count, split name, ...) happens here, once,
+        # for the same contract every entry point shares
+        self._config = ExecutionConfig(
+            split=split, threads=threads, isa=isa, timing=timing,
+            l1=l1, l2=l2, cache=self.cache,
+        )
+        self._artifact = self._system.prepare(self._config)
+        if max_workspaces is not None and max_workspaces <= 0:
+            raise ShapeError(
+                f"max_workspaces must be positive or None, got "
+                f"{max_workspaces}")
+        self.system = self._system.name
+        self.threads = threads
+        self.split = split
+        self.isa = self._config.isa
+        self.timing = timing
+        self.l1 = l1
+        self.l2 = l2
+        self.max_workspaces = max_workspaces
         self.stats = ServiceStats()
         self._handles: dict[int, MatrixHandle] = {}
-        self._workspaces: dict[tuple[int, int], _Workspace] = {}
+        self._workspaces: OrderedDict[tuple[int, int], _Workspace] = (
+            OrderedDict())
+        self._workspace_evictions = 0
         # codegen serialization is keyed on kernel *identity*, not on
         # the workspace: same-shaped handles share one kernel, and two
         # concurrent cold requests must not both generate it
@@ -178,8 +201,9 @@ class SpmmService:
         the handle raise :class:`~repro.errors.ShapeError`.  Cached
         kernels are dropped only from a service-private cache, and only
         when no surviving workspace shares the kernel identity (same-
-        shaped matrices legitimately share one cached kernel); an
-        externally supplied cache is never mutated here.
+        shaped matrices — and all users of an address-free template —
+        legitimately share one cached kernel); an externally supplied
+        cache is never mutated here.
         """
         self._validate_handle(handle)
         with self._lock:
@@ -187,10 +211,9 @@ class SpmmService:
             dropped = [self._workspaces.pop(key)
                        for key in list(self._workspaces)
                        if key[0] == handle.handle_id]
-            live = {jit_key(ws.spec, ws.dynamic)
-                    for ws in self._workspaces.values()}
+            live = {ws.plan.key for ws in self._workspaces.values()}
             for ws in dropped:
-                key = jit_key(ws.spec, ws.dynamic)
+                key = ws.plan.key
                 if key not in live:
                     self._keylocks.pop(key, None)
                     if self._private_cache:
@@ -212,26 +235,12 @@ class SpmmService:
     # Kernel resolution
     # ------------------------------------------------------------------
     def _make_workspace(self, handle: MatrixHandle, d: int) -> _Workspace:
-        matrix = handle.matrix
-        choice = None
-        if self.split == "auto":
-            choice = choose_split(matrix, d, self.threads, self.isa)
-            split, dynamic, batch = choice.split, choice.dynamic, choice.batch
-        else:
-            split = self.split
-            dynamic = None   # map_jit_operands applies the contract
-            batch = None
-        x0 = np.zeros((matrix.ncols, d), dtype=np.float32)
-        operands, spec, dynamic, partitions = map_jit_operands(
-            matrix, x0, split=split, threads=self.threads,
-            dynamic=dynamic, batch=batch, isa=self.isa,
-        )
-        ranges = (partition(matrix, self.threads, "row") if dynamic
-                  else partitions)
-        return _Workspace(
-            operands=operands, spec=spec, choice=choice, split=split,
-            dynamic=dynamic, ranges=ranges, partitions=partitions,
-        )
+        x0 = np.zeros((handle.matrix.ncols, d), dtype=np.float32)
+        # stage 2 only: autotune + operand mapping + partitioning; the
+        # kernel stays unresolved so plan inspection costs no codegen
+        plan = self._artifact.bind(handle.matrix, x0, ensure_kernel=False,
+                                   name_prefix="serve")
+        return _Workspace(plan=plan)
 
     def _workspace(self, handle: MatrixHandle,
                    d: int) -> tuple[_Workspace, bool]:
@@ -244,8 +253,9 @@ class SpmmService:
         key = (handle.handle_id, d)
         with self._lock:
             ws = self._workspaces.get(key)
-        if ws is not None:
-            return ws, False
+            if ws is not None:
+                self._workspaces.move_to_end(key)
+                return ws, False
         # autotune + operand mapping happen outside the service lock;
         # a concurrent duplicate loses the setdefault race and is
         # simply dropped
@@ -255,61 +265,89 @@ class SpmmService:
             # not be followed by an insertion it can never sweep
             self._validate_handle(handle)
             ws = self._workspaces.setdefault(key, built)
+            self._workspaces.move_to_end(key)
+            if ws is built:
+                self._evict_workspaces()
         return ws, ws is built
 
-    def _resolve(
-        self, handle: MatrixHandle, d: int,
-    ) -> tuple[_Workspace, CodegenOutput, float, bool, bool]:
+    def _evict_workspaces(self) -> None:
+        """Drop least-recently-used workspaces beyond the cap.
+
+        Called under the service lock.  The just-touched entry sits at
+        the MRU end, so it is never its own victim; in-flight requests
+        holding an evicted workspace complete against their reference,
+        and the kernel cache is untouched (re-requesting an evicted
+        shape re-maps operands but never re-generates code).
+        """
+        if self.max_workspaces is None:
+            return
+        while len(self._workspaces) > self.max_workspaces:
+            _, evicted = self._workspaces.popitem(last=False)
+            self._workspace_evictions += 1
+            # drop the per-identity codegen lock when no survivor shares
+            # it (mirroring unregister) so heavy shape churn cannot grow
+            # _keylocks without bound; a racing generate holding the old
+            # lock finishes unharmed — a fresh request merely creates a
+            # new lock, risking one duplicated codegen, never corruption
+            key = evicted.plan.key
+            if all(w.plan.key != key for w in self._workspaces.values()):
+                self._keylocks.pop(key, None)
+
+    def _resolve(self, handle: MatrixHandle, d: int):
         """Workspace + kernel for (handle, d).
 
-        Returns ``(workspace, output, codegen_seconds, cold,
-        generated)`` — generated is True iff code generation ran in
+        Returns ``(workspace, kernel, codegen_seconds, cold,
+        generated)`` — generated is True iff kernel construction ran in
         this call (the kernel was not served from the cache); cold is
         True when the request paid one-time setup: the first request for
         this (handle, d) (autotune + operand mapping, even if the kernel
-        itself was already cached under a shared key) or a code
-        generation run (first kernel use, or regeneration after
-        eviction).
+        itself was already cached under a shared key) or a kernel
+        construction run (first use, or regeneration after eviction).
         """
         ws, created = self._workspace(handle, d)
+        plan = ws.plan
         # lock-free warm path: a long profile() holding ws.lock must not
         # stall concurrent numpy-path requests (KernelCache locks itself)
-        output = self.cache.get_jit(ws.spec, ws.dynamic)
-        if output is not None:
-            return ws, output, 0.0, created, False
-        key = jit_key(ws.spec, ws.dynamic)
+        kernel = self.cache.get(plan.key)
+        if kernel is not None:
+            plan.attach_kernel(kernel, cache_hit=True, codegen_seconds=0.0)
+            return ws, kernel, 0.0, created, False
         with self._lock:
-            keylock = self._keylocks.setdefault(key, threading.Lock())
+            keylock = self._keylocks.setdefault(plan.key, threading.Lock())
         with keylock:
             # uncounted re-check: the probe above already recorded the
             # miss; a hit here means a peer generated it meanwhile
-            output = self.cache.peek(key)
-            if output is not None:
-                return ws, output, 0.0, created, False
-            output = JitCodegen(ws.spec).generate(dynamic=ws.dynamic)
+            kernel = self.cache.peek(plan.key)
+            if kernel is not None:
+                plan.attach_kernel(kernel, cache_hit=True,
+                                   codegen_seconds=0.0)
+                return ws, kernel, 0.0, created, False
+            kernel, seconds = self._system.build_kernel(plan)
             with self._lock:
                 # don't re-insert behind a racing unregister: cache the
                 # kernel only while some workspace still carries its
                 # identity (this request is still served either way);
                 # the put stays under the service lock so unregister
                 # cannot interleave between check and insertion
-                if any(jit_key(w.spec, w.dynamic) == key
+                if any(w.plan.key == plan.key
                        for w in self._workspaces.values()):
-                    self.cache.put(key, output, output.code_bytes)
+                    self.cache.put(plan.key, kernel,
+                                   self._system.kernel_nbytes(kernel))
+        plan.attach_kernel(kernel, cache_hit=False, codegen_seconds=seconds)
         with self._lock:
             self.stats.handle(handle.handle_id, handle.name).record_codegen(
-                output.codegen_seconds)
-        return ws, output, output.codegen_seconds, True, True
+                seconds)
+        return ws, kernel, seconds, True, True
 
-    def kernel(self, handle: MatrixHandle, d: int) -> CodegenOutput:
-        """The (cached) generated kernel serving (handle, d) requests.
+    def kernel(self, handle: MatrixHandle, d: int):
+        """The (cached) compiled kernel serving (handle, d) requests.
 
         Usable as a prefetch: generation triggered here is charged to
         the handle's codegen stats like any cold request, so later
         ``multiply`` calls are warm.
         """
-        _, output, _, _, _ = self._resolve(handle, d)
-        return output
+        _, kernel, _, _, _ = self._resolve(handle, d)
+        return kernel
 
     def choice(self, handle: MatrixHandle, d: int) -> SplitChoice | None:
         """The autotuner's verdict for (handle, d); None for fixed splits.
@@ -318,7 +356,7 @@ class SpmmService:
         generates code — inspecting the plan costs no codegen.
         """
         ws, _ = self._workspace(handle, d)
-        return ws.choice
+        return ws.plan.choice
 
     # ------------------------------------------------------------------
     # Request paths
@@ -327,14 +365,14 @@ class SpmmService:
         """Serve one ``Y = A @ X`` request on the fast numpy backend.
 
         The first request for a given ``x.shape[1]`` autotunes and
-        generates the kernel (cold); later requests hit the cache and
-        pay execution only.
+        builds the kernel (cold); later requests hit the cache and pay
+        execution only.
         """
         x = check_operands(handle.matrix, x)
         t0 = time.perf_counter()
         ws, _, _, cold, _ = self._resolve(handle, int(x.shape[1]))
         t1 = time.perf_counter()
-        y = multiply_partitioned(handle.matrix, x, ws.ranges)
+        y = multiply_partitioned(handle.matrix, x, ws.plan.ranges)
         t2 = time.perf_counter()
         with self._lock:
             self.stats.handle(handle.handle_id, handle.name).observe(
@@ -345,19 +383,15 @@ class SpmmService:
                 timing: bool | None = None) -> RunResult:
         """Serve one request on the simulated machine, with counters.
 
-        Re-executes the cached program in the handle's persistent
-        address space: the new ``X`` is written into the mapped segment
-        the kernel's baked addresses already point at, ``Y`` and the
-        dynamic dispatcher's ``NEXT`` counter are reset, and the
+        Re-executes the cached kernel in the handle's persistent address
+        space: the new ``X`` is written into the mapped segment the
+        kernel reads, ``Y`` and the dispatch state are reset, and the
         simulated threads run the identical instruction stream.
         """
         x = check_operands(handle.matrix, x)
         t0 = time.perf_counter()
-        ws, output, codegen_seconds, cold, generated = self._resolve(
+        ws, _, codegen_seconds, cold, generated = self._resolve(
             handle, int(x.shape[1]))
-        specs = jit_thread_specs(output.program, self.threads,
-                                 ws.partitions, ws.dynamic,
-                                 name_prefix="serve")
         timing = self.timing if timing is None else timing
         # the workspace's mapped segments are shared mutable state:
         # serialize concurrent profiles of the same (handle, d)
@@ -365,32 +399,30 @@ class SpmmService:
             # exec clock starts inside the lock: wait time behind a
             # contended workspace must not inflate exec_seconds
             t1 = time.perf_counter()
-            operands = ws.operands
-            operands.x_host[:] = x
-            operands.y_host[:] = 0.0
-            if ws.spec.next_addr:
-                operands.memory.write_int(ws.spec.next_addr, 8, 0)
-            machine = Machine(operands.memory, CpuConfig(
-                timing=timing, l1=self.l1, l2=self.l2))
-            merged, per_thread = machine.run(specs)
-            y = operands.y_host.copy()
+            result = ws.plan.refresh(x).execute(timing=timing)
+            y = result.y.copy()
         t2 = time.perf_counter()
         with self._lock:
             self.stats.handle(handle.handle_id, handle.name).observe(
                 t2 - t0, cold, exec_seconds=t2 - t1, profiled=True)
-        return RunResult(
-            y=y, counters=merged,
-            per_thread=per_thread, program=output.program,
-            codegen_seconds=codegen_seconds, code_bytes=output.code_bytes,
-            system="jit-serve", split=ws.split, threads=self.threads,
-            # cache_hit mirrors run_jit: True iff the kernel was served
-            # from the cache (cold can also mean first-use setup of a
-            # workspace whose kernel a same-shaped handle already built)
-            partitions=ws.partitions, cache_hit=not generated,
+        return replace(
+            result, y=y, codegen_seconds=codegen_seconds,
+            system=f"{result.system}-serve",
+            # cache_hit mirrors the one-call entry points: True iff the
+            # kernel was served from the cache (cold can also mean
+            # first-use setup of a workspace whose kernel a same-shaped
+            # handle already built)
+            cache_hit=not generated,
         )
 
     # ------------------------------------------------------------------
     def report(self) -> str:
         """Human-readable service-wide stats (live Table IV)."""
         with self._lock:
-            return self.stats.render(self.cache.stats())
+            cap = ("unbounded" if self.max_workspaces is None
+                   else self.max_workspaces)
+            return "\n".join([
+                self.stats.render(self.cache.stats()),
+                f"workspaces: {len(self._workspaces)} live (cap {cap}), "
+                f"{self._workspace_evictions} evicted",
+            ])

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.aot.builder import IRBuilder
-from repro.aot.ir import Block, Function, Instr, IrType, VReg
+from repro.aot.ir import Function, Instr, IrType, VReg
 from repro.errors import CompileError
 
 

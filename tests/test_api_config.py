@@ -1,0 +1,69 @@
+"""Tests for the centralized ExecutionConfig contract."""
+
+import pytest
+
+from repro.api import ExecutionConfig
+from repro.errors import ShapeError
+from repro.isa.isainfo import IsaLevel
+
+
+class TestValidation:
+    def test_defaults(self):
+        config = ExecutionConfig()
+        assert config.split == "row"
+        assert config.threads == 1
+        assert config.dynamic is None
+        assert config.batch is None
+        assert config.isa == IsaLevel.AVX512
+        assert config.timing and not config.warmup
+        assert config.cache is None
+
+    def test_rejects_nonpositive_threads(self):
+        with pytest.raises(ShapeError):
+            ExecutionConfig(threads=0)
+        with pytest.raises(ShapeError):
+            ExecutionConfig(threads=-3)
+
+    def test_rejects_unknown_split(self):
+        with pytest.raises(ShapeError):
+            ExecutionConfig(split="diagonal")
+
+    def test_rejects_dynamic_with_non_row_split(self):
+        with pytest.raises(ShapeError):
+            ExecutionConfig(split="nnz", dynamic=True)
+        with pytest.raises(ShapeError):
+            ExecutionConfig(split="merge", dynamic=True)
+
+    def test_auto_split_requires_dynamic_none(self):
+        with pytest.raises(ShapeError):
+            ExecutionConfig(split="auto", dynamic=True)
+        with pytest.raises(ShapeError):
+            ExecutionConfig(split="auto", dynamic=False)
+        assert ExecutionConfig(split="auto").split == "auto"
+
+    def test_rejects_nonpositive_batch(self):
+        with pytest.raises(ShapeError):
+            ExecutionConfig(batch=0)
+
+    def test_explicit_dynamic_false_with_row_allowed(self):
+        config = ExecutionConfig(split="row", dynamic=False)
+        assert config.effective_dynamic is False
+
+
+class TestNormalization:
+    def test_isa_parsed_from_string(self):
+        assert ExecutionConfig(isa="avx2").isa == IsaLevel.AVX2
+        assert ExecutionConfig(isa="scalar").isa == IsaLevel.SCALAR
+
+    def test_effective_dynamic_defaults_per_split(self):
+        assert ExecutionConfig(split="row").effective_dynamic is True
+        assert ExecutionConfig(split="nnz").effective_dynamic is False
+        assert ExecutionConfig(split="merge").effective_dynamic is False
+
+    def test_with_overrides_revalidates(self):
+        config = ExecutionConfig(split="row", threads=4)
+        merged = config.with_overrides(split="merge")
+        assert merged.split == "merge" and merged.threads == 4
+        assert config.split == "row"  # frozen original untouched
+        with pytest.raises(ShapeError):
+            config.with_overrides(threads=0)

@@ -1,0 +1,143 @@
+"""Tests for the prepare → bind → execute pipeline."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.api import ExecutionConfig, get_system
+from repro.core.runner import run_jit, run_mkl
+from repro.errors import ReproError, ShapeError
+from repro.serve import KernelCache
+from repro.sparse import spmm_reference
+from tests.conftest import random_csr
+
+
+class TestPipelineEquivalence:
+    def test_jit_pipeline_matches_run_jit(self, rng):
+        matrix = random_csr(rng, 40, 30, density=0.2)
+        x = rng.random((30, 8)).astype(np.float32)
+        legacy = run_jit(matrix, x, split="nnz", threads=3, timing=False)
+        config = ExecutionConfig(split="nnz", threads=3, timing=False)
+        piped = get_system("jit").prepare(config).bind(matrix, x).execute()
+        assert np.array_equal(piped.y, legacy.y)
+        assert piped.counters.instructions == legacy.counters.instructions
+        assert piped.system == legacy.system == "jit"
+        assert piped.partitions == legacy.partitions
+
+    @pytest.mark.parametrize("system", ["aot:gcc", "aot:icc-avx512", "mkl"])
+    def test_template_systems_match_reference(self, rng, system):
+        matrix = random_csr(rng, 30, 25, density=0.2)
+        x = rng.random((25, 8)).astype(np.float32)
+        result = repro.run(matrix, x, system=system, threads=2, timing=False)
+        assert np.allclose(result.y, spmm_reference(matrix, x), atol=1e-4)
+
+    def test_run_accepts_prebuilt_config(self, rng):
+        matrix = random_csr(rng, 20, 20)
+        x = rng.random((20, 4)).astype(np.float32)
+        config = ExecutionConfig(split="merge", threads=2, timing=False)
+        result = repro.run(matrix, x, config=config)
+        assert result.split == "merge"
+        assert np.allclose(result.y, spmm_reference(matrix, x), atol=1e-4)
+
+    def test_jit_auto_split_via_pipeline(self, rng):
+        matrix = random_csr(rng, 40, 30)
+        x = rng.random((30, 8)).astype(np.float32)
+        result = repro.run(matrix, x, split="auto", threads=3, timing=False)
+        assert result.split in ("row", "nnz", "merge")
+        assert np.allclose(result.y, spmm_reference(matrix, x), atol=1e-4)
+
+
+class TestArtifactReuse:
+    def test_jit_artifact_reuses_cached_kernel_across_binds(self, rng):
+        matrix = random_csr(rng, 30, 25, density=0.2)
+        x = rng.random((25, 8)).astype(np.float32)
+        artifact = get_system("jit").prepare(
+            ExecutionConfig(threads=2, timing=False, cache=KernelCache()))
+        first = artifact.bind(matrix, x)
+        second = artifact.bind(matrix, x)
+        assert not first.cache_hit and second.cache_hit
+        assert second.kernel is first.kernel
+        assert second.codegen_seconds == 0.0
+
+    def test_template_artifact_compiles_once_without_cache(self, rng):
+        matrix = random_csr(rng, 25, 25, density=0.2)
+        x = rng.random((25, 8)).astype(np.float32)
+        artifact = get_system("aot:gcc").prepare(
+            ExecutionConfig(threads=2, timing=False))
+        first = artifact.bind(matrix, x)
+        second = artifact.bind(matrix, x)
+        assert not first.cache_hit and second.cache_hit
+        assert second.kernel is first.kernel
+        assert artifact.kernel is first.kernel
+
+    def test_jit_artifact_has_no_prepare_time_kernel(self):
+        artifact = get_system("jit").prepare(ExecutionConfig())
+        with pytest.raises(ReproError):
+            _ = artifact.kernel
+
+    def test_injected_kernel_rejected_for_specialized_system(self):
+        with pytest.raises(ReproError):
+            get_system("jit").prepare(ExecutionConfig(), kernel=object())
+
+    def test_mkl_cache_via_run_mkl(self, rng):
+        matrix = random_csr(rng, 20, 20, density=0.3)
+        x = rng.random((20, 4)).astype(np.float32)
+        cache = KernelCache()
+        a = run_mkl(matrix, x, threads=2, timing=False, cache=cache)
+        b = run_mkl(matrix, x, threads=2, timing=False, cache=cache)
+        assert not a.cache_hit and b.cache_hit
+        assert b.program is a.program
+        assert np.array_equal(a.y, b.y)
+
+
+class TestPlanReuse:
+    def test_refresh_serves_new_x_on_same_plan(self, rng):
+        matrix = random_csr(rng, 30, 25, density=0.2)
+        x1 = rng.random((25, 8)).astype(np.float32)
+        x2 = rng.random((25, 8)).astype(np.float32)
+        plan = get_system("jit").prepare(
+            ExecutionConfig(threads=3, timing=False)).bind(matrix, x1)
+        y1 = plan.execute().y.copy()
+        y2 = plan.refresh(x2).execute().y.copy()
+        assert np.array_equal(y1, spmm_reference(matrix, x1))
+        assert np.array_equal(y2, spmm_reference(matrix, x2))
+
+    def test_refresh_rejects_other_width(self, rng):
+        matrix = random_csr(rng, 20, 20)
+        plan = get_system("jit").prepare(
+            ExecutionConfig(threads=2, timing=False)).bind(
+                matrix, rng.random((20, 8)).astype(np.float32))
+        with pytest.raises(ShapeError):
+            plan.refresh(rng.random((20, 16)).astype(np.float32))
+
+    def test_template_plan_refresh(self, rng):
+        matrix = random_csr(rng, 25, 25, density=0.2)
+        x1 = rng.random((25, 8)).astype(np.float32)
+        x2 = rng.random((25, 8)).astype(np.float32)
+        plan = get_system("mkl").prepare(
+            ExecutionConfig(threads=2, timing=False)).bind(matrix, x1)
+        y1 = plan.execute().y.copy()
+        y2 = plan.refresh(x2).execute().y.copy()
+        assert np.array_equal(y1, spmm_reference(matrix, x1))
+        assert np.array_equal(y2, spmm_reference(matrix, x2))
+
+    def test_plan_multiply_fast_path(self, rng):
+        matrix = random_csr(rng, 30, 25, density=0.2)
+        x = rng.random((25, 8)).astype(np.float32)
+        plan = get_system("jit").prepare(
+            ExecutionConfig(threads=3, timing=False)).bind(
+                matrix, x, ensure_kernel=False)
+        assert np.array_equal(plan.multiply(x), spmm_reference(matrix, x))
+        assert plan.kernel is None  # fast path never triggered codegen
+
+    def test_lazy_bind_resolves_on_execute(self, rng):
+        matrix = random_csr(rng, 20, 20, density=0.3)
+        x = rng.random((20, 4)).astype(np.float32)
+        cache = KernelCache()
+        plan = get_system("jit").prepare(
+            ExecutionConfig(threads=2, timing=False, cache=cache)).bind(
+                matrix, x, ensure_kernel=False)
+        assert plan.kernel is None and len(cache) == 0
+        result = plan.execute()
+        assert plan.kernel is not None and len(cache) == 1
+        assert np.array_equal(result.y, spmm_reference(matrix, x))

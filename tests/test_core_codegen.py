@@ -1,6 +1,5 @@
 """Tests for the JIT code generator (paper Listings 1-2)."""
 
-import numpy as np
 import pytest
 
 from repro.core.codegen import JitCodegen, JitKernelSpec

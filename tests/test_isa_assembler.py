@@ -4,7 +4,7 @@ import pytest
 
 from repro.errors import AssemblyError
 from repro.isa.assembler import Assembler
-from repro.isa.operands import Imm, Mem
+from repro.isa.operands import Imm
 from repro.isa.registers import regs
 
 

@@ -7,7 +7,7 @@ from hypothesis import strategies as st
 from repro.errors import EncodingError
 from repro.isa.assembler import Assembler
 from repro.isa.disasm import decode_one, disassemble
-from repro.isa.encoder import encode_instruction, encode_program, instruction_length
+from repro.isa.encoder import encode_instruction, instruction_length
 from repro.isa.instructions import Instruction
 from repro.isa.operands import Imm, Mem
 from repro.isa.registers import gpr, regs, xmm, ymm, zmm

@@ -5,7 +5,7 @@ import pytest
 from repro.errors import AssemblyError
 from repro.isa.instructions import Instruction, MNEMONICS, mnemonic_info
 from repro.isa.operands import Imm, Mem
-from repro.isa.registers import regs, xmm, zmm
+from repro.isa.registers import regs, zmm
 
 
 class TestRegistry:

@@ -1,7 +1,7 @@
 """Tests for the scoreboard pipeline model."""
 
 from repro.isa.instructions import Instruction
-from repro.isa.operands import Imm, Mem
+from repro.isa.operands import Mem
 from repro.isa.registers import regs, zmm
 from repro.machine.pipeline import PipelineModel, PipelineSpec
 

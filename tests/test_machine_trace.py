@@ -1,9 +1,6 @@
 """Tests for the execution tracer."""
 
-import numpy as np
-
 from repro.isa.assembler import Assembler
-from repro.isa.operands import Imm, Mem
 from repro.isa.registers import regs
 from repro.machine import Cpu, CpuConfig, Memory
 from repro.machine.trace import Tracer

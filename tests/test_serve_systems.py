@@ -1,0 +1,145 @@
+"""Tests for system-agnostic serving and the workspace LRU cap."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.serve import SpmmService
+from repro.sparse import spmm_reference
+from tests.conftest import random_csr
+
+
+class TestServeTemplateSystems:
+    @pytest.mark.parametrize("system", ["aot:icc-avx512", "aot:gcc", "mkl"])
+    def test_multiply_matches_reference(self, rng, system):
+        service = SpmmService(threads=3, split="row", system=system)
+        matrix = random_csr(rng, 40, 30)
+        x = rng.random((30, 8)).astype(np.float32)
+        handle = service.register(matrix)
+        assert np.allclose(service.multiply(handle, x),
+                           spmm_reference(matrix, x), atol=1e-4)
+
+    def test_aot_trace_amortizes_like_jit(self, rng):
+        # the acceptance trace: two requests on an AOT system — the
+        # second is a cache hit and the amortized overhead falls
+        service = SpmmService(threads=2, split="row",
+                              system="aot:icc-avx512", timing=False)
+        matrix = random_csr(rng, 30, 30, density=0.2)
+        x = rng.random((30, 8)).astype(np.float32)
+        handle = service.register(matrix)
+        cold = service.profile(handle, x)
+        overhead_after_1 = service.handle_stats(handle).codegen_overhead()
+        warm = service.profile(handle, x)
+        overhead_after_2 = service.handle_stats(handle).codegen_overhead()
+        assert not cold.cache_hit and warm.cache_hit
+        assert cold.codegen_seconds > 0 and warm.codegen_seconds == 0.0
+        assert warm.program is cold.program
+        assert 0 < overhead_after_2 < overhead_after_1
+        assert service.handle_stats(handle).codegen_runs == 1
+        assert np.allclose(warm.y, spmm_reference(matrix, x), atol=1e-4)
+        assert warm.system == "aot-icc-avx512-serve"
+
+    def test_template_kernel_shared_across_handles_and_widths(self, rng):
+        # address-free kernels have one identity: a second handle and a
+        # second width both reuse it (unlike JIT, where each shape is a
+        # new kernel)
+        service = SpmmService(threads=2, split="row", system="mkl")
+        a = service.register(random_csr(rng, 20, 20, name="a"))
+        b = service.register(random_csr(rng, 35, 25, name="b"))
+        service.multiply(a, rng.random((20, 8)).astype(np.float32))
+        service.multiply(a, rng.random((20, 16)).astype(np.float32))
+        service.multiply(b, rng.random((25, 8)).astype(np.float32))
+        assert len(service.cache) == 1
+        assert service.stats.codegen_runs == 1
+
+    def test_profile_sees_fresh_x(self, rng):
+        service = SpmmService(threads=2, split="row", system="mkl")
+        matrix = random_csr(rng, 25, 25, density=0.2)
+        handle = service.register(matrix)
+        x1 = rng.random((25, 8)).astype(np.float32)
+        x2 = rng.random((25, 8)).astype(np.float32)
+        y1 = service.profile(handle, x1).y
+        y2 = service.profile(handle, x2).y
+        assert np.allclose(y1, spmm_reference(matrix, x1), atol=1e-3)
+        assert np.allclose(y2, spmm_reference(matrix, x2), atol=1e-3)
+
+    def test_auto_split_rejected_for_non_jit(self):
+        with pytest.raises(ShapeError, match="auto"):
+            SpmmService(threads=2, system="mkl")  # default split="auto"
+        with pytest.raises(ShapeError, match="auto"):
+            SpmmService(threads=2, split="auto", system="aot:gcc")
+
+
+class TestWorkspaceLru:
+    def test_cap_evicts_least_recently_used(self, rng):
+        service = SpmmService(threads=2, split="row", max_workspaces=2)
+        matrix = random_csr(rng, 30, 30)
+        handle = service.register(matrix)
+        for d in (4, 8, 16):
+            service.multiply(handle, rng.random((30, d)).astype(np.float32))
+        assert len(service._workspaces) == 2
+        assert service._workspace_evictions == 1
+        # d=4 was evicted; d=8 and d=16 survive
+        assert set(service._workspaces) == {(handle.handle_id, 8),
+                                            (handle.handle_id, 16)}
+
+    def test_eviction_keeps_kernels_warm(self, rng):
+        # a re-requested evicted shape re-maps operands but must not
+        # re-generate code: the kernel cache is not coupled to the
+        # workspace LRU
+        service = SpmmService(threads=2, split="row", max_workspaces=1)
+        matrix = random_csr(rng, 30, 30)
+        handle = service.register(matrix)
+        x8 = rng.random((30, 8)).astype(np.float32)
+        x16 = rng.random((30, 16)).astype(np.float32)
+        service.multiply(handle, x8)
+        service.multiply(handle, x16)          # evicts the d=8 workspace
+        y = service.multiply(handle, x8)       # recreates it
+        assert np.allclose(y, spmm_reference(matrix, x8), atol=1e-4)
+        assert service._workspace_evictions == 2
+        assert service.handle_stats(handle).codegen_runs == 2  # d=8, d=16
+        assert service.handle_stats(handle).cold.count == 3    # remapping
+
+    def test_touch_refreshes_recency(self, rng):
+        service = SpmmService(threads=2, split="row", max_workspaces=2)
+        matrix = random_csr(rng, 20, 20)
+        handle = service.register(matrix)
+        x4 = rng.random((20, 4)).astype(np.float32)
+        service.multiply(handle, x4)
+        service.multiply(handle, rng.random((20, 8)).astype(np.float32))
+        service.multiply(handle, x4)           # re-touch d=4
+        service.multiply(handle, rng.random((20, 16)).astype(np.float32))
+        assert set(service._workspaces) == {(handle.handle_id, 4),
+                                            (handle.handle_id, 16)}
+
+    def test_report_exposes_cap_and_evictions(self, rng):
+        service = SpmmService(threads=2, split="row", max_workspaces=1)
+        matrix = random_csr(rng, 20, 20)
+        handle = service.register(matrix)
+        service.multiply(handle, rng.random((20, 4)).astype(np.float32))
+        service.multiply(handle, rng.random((20, 8)).astype(np.float32))
+        report = service.report()
+        assert "workspaces: 1 live (cap 1), 1 evicted" in report
+
+    def test_eviction_drops_stale_keylocks(self, rng):
+        # per-identity codegen locks must not outlive every workspace
+        # carrying the identity, or shape churn grows them unboundedly
+        service = SpmmService(threads=2, split="row", max_workspaces=1)
+        matrix = random_csr(rng, 30, 30)
+        handle = service.register(matrix)
+        for d in (2, 4, 8, 16, 32):
+            service.multiply(handle, rng.random((30, d)).astype(np.float32))
+        assert len(service._keylocks) == 1  # only the live workspace's
+
+    def test_invalid_cap_rejected(self):
+        with pytest.raises(ShapeError):
+            SpmmService(threads=2, max_workspaces=0)
+
+    def test_unbounded_cap(self, rng):
+        service = SpmmService(threads=2, split="row", max_workspaces=None)
+        matrix = random_csr(rng, 20, 20)
+        handle = service.register(matrix)
+        for d in (2, 4, 8, 16):
+            service.multiply(handle, rng.random((20, d)).astype(np.float32))
+        assert len(service._workspaces) == 4
+        assert "cap unbounded" in service.report()
