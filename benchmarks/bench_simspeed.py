@@ -1,0 +1,17 @@
+"""Benchmark target for the per-backend simulated-instructions/sec grid."""
+
+from repro.bench.simspeed import run_simspeed
+
+
+def test_simspeed(benchmark, bench_config, record_result):
+    result = benchmark.pedantic(
+        run_simspeed, args=(bench_config,), rounds=1, iterations=1)
+    record_result("simspeed", result.render())
+    # the simulators retire identical instruction streams
+    for dataset in result.datasets():
+        counts = {backend: result.rows[(dataset, backend)]["instructions"]
+                  for backend in ("counts", "sim", "sim-fused")}
+        assert len(set(counts.values())) == 1, (dataset, counts)
+    # the acceptance target: superblock compilation buys >= 3x the
+    # simulated instruction throughput of the cycle-accurate backend
+    assert result.speedup_vs_sim("sim-fused") >= 3.0

@@ -9,6 +9,11 @@ Public API highlights:
   registry of systems (``"jit"``, ``"aot:<personality>"``, ``"mkl"``,
   plus anything you :func:`repro.register`) behind one prepare → bind →
   execute pipeline with a validated :class:`repro.ExecutionConfig`;
+* :mod:`repro.exec` — execution backends: ``"native"`` (host-speed
+  numpy), ``"counts"`` (functional + event counters), ``"sim"``
+  (cycle-accurate), ``"sim-fused"`` (superblock-compiled simulator),
+  selected via ``ExecutionConfig.backend`` / ``repro.run(backend=...)``
+  and extensible via :func:`repro.register_backend`;
 * :class:`repro.JitSpMM` — the JIT SpMM engine (fast numpy backend and
   simulator-backed profiling);
 * :class:`repro.CsrMatrix` — CSR sparse matrices;
@@ -31,6 +36,12 @@ from repro.api import (
     run,
 )
 from repro.core.engine import JitSpMM, SpmmResult
+from repro.exec import (
+    available_backends,
+    backend_capabilities,
+    get_backend,
+    register_backend,
+)
 from repro.core.layout import plan_layout
 from repro.core.split import merge_split, nnz_split, row_split
 from repro.serve import KernelCache, SpmmService

@@ -20,7 +20,11 @@ from repro.errors import ShapeError
 from repro.isa.isainfo import IsaLevel
 from repro.machine.cache import CacheConfig
 
-__all__ = ["ExecutionConfig", "SPLITS"]
+__all__ = ["DEFAULT_MAX_STEPS", "ExecutionConfig", "SPLITS"]
+
+#: default per-thread dynamic instruction budget (mirrors
+#: :class:`repro.machine.CpuConfig`'s historical constant)
+DEFAULT_MAX_STEPS = 500_000_000
 
 
 @dataclass(frozen=True)
@@ -40,7 +44,18 @@ class ExecutionConfig:
             row count (:func:`repro.core.runner.auto_batch`).
         isa: ISA level for JIT code generation (AOT personalities and
             the MKL kernel fix their own ISA).  Parsed at construction.
-        timing: Model caches/pipeline on the simulated machine.
+        timing: Model caches/pipeline on the simulated machine.  Legacy
+            spelling of the backend axis: with ``backend=None`` it
+            selects ``"sim"`` (True) or ``"counts"`` (False).
+        backend: Execution backend by registry name — ``"native"``,
+            ``"counts"``, ``"sim"``, ``"sim-fused"``, or anything
+            registered via :func:`repro.exec.register_backend`.
+            Validated (and alias-normalized) at construction; ``None``
+            defers to ``timing``.  When set, it overrides ``timing``.
+        max_steps: Per-thread dynamic instruction budget for the
+            simulated backends; the interpreter raises
+            :class:`repro.errors.ExecutionLimitExceeded` (naming the
+            limit and the owning thread) when a thread exceeds it.
         warmup: Measure the second of two runs (warm caches/predictors,
             the paper's methodology); only meaningful with ``timing``.
         l1 / l2: Cache-geometry overrides for the simulated machine.
@@ -54,6 +69,8 @@ class ExecutionConfig:
     batch: int | None = None
     isa: IsaLevel | str = IsaLevel.AVX512
     timing: bool = True
+    backend: str | None = None
+    max_steps: int = DEFAULT_MAX_STEPS
     warmup: bool = False
     l1: CacheConfig | None = None
     l2: CacheConfig | None = None
@@ -63,6 +80,17 @@ class ExecutionConfig:
         if self.threads <= 0:
             raise ShapeError(
                 f"thread count must be positive, got {self.threads}")
+        if self.max_steps <= 0:
+            raise ShapeError(
+                f"max_steps must be positive, got {self.max_steps}")
+        if self.backend is not None:
+            # resolve through the live registry: unknown names fail here
+            # with the full available-backend list, and aliases
+            # normalize to the canonical registry key
+            from repro.exec import canonical_name
+
+            object.__setattr__(self, "backend",
+                               canonical_name(self.backend))
         if self.split not in SPLITS:
             raise ShapeError(
                 f"unknown split {self.split!r}; expected one of {SPLITS}")
@@ -75,6 +103,18 @@ class ExecutionConfig:
             raise ShapeError(
                 f"batch size must be positive, got {self.batch}")
         object.__setattr__(self, "isa", IsaLevel.parse(self.isa))
+
+    @property
+    def effective_backend(self) -> str:
+        """The resolved execution-backend name for this config.
+
+        ``backend`` as given when explicit, else derived from the
+        legacy ``timing`` flag: ``"sim"`` (cycle-accurate) when True,
+        ``"counts"`` when False.
+        """
+        if self.backend is not None:
+            return self.backend
+        return "sim" if self.timing else "counts"
 
     @property
     def effective_dynamic(self) -> bool:

@@ -11,8 +11,13 @@ The paper itself distinguishes the phases this module reifies:
   :class:`BoundPlan` that is reusable across same-shaped requests
   (:meth:`BoundPlan.refresh` writes a new ``X`` into the already-mapped
   segment, exactly what the serving workspaces do).
-* **execute** — ``plan.execute()`` runs the simulated machine and
-  returns a :class:`repro.core.runner.RunResult`.
+* **execute** — ``plan.execute()`` resolves an execution backend from
+  the :mod:`repro.exec` registry (``config.backend``, or per-call
+  ``backend=`` / legacy ``timing=`` overrides) and returns that
+  backend's :class:`repro.core.runner.RunResult` — host-speed numpy
+  (``"native"``), functional counting (``"counts"``), cycle-accurate
+  simulation (``"sim"``), or the superblock-compiled simulator
+  (``"sim-fused"``).
 
 Systems differ in *when* their kernel exists.  Address-free templates
 (AOT personalities, the MKL-like kernel read operands from a parameter
@@ -35,7 +40,7 @@ import numpy as np
 from repro.core.engine import check_operands, multiply_partitioned
 from repro.core.runner import RunResult
 from repro.errors import ReproError, ShapeError
-from repro.machine import CpuConfig, Machine
+from repro.exec import canonical_name, get_backend
 
 from repro.api.config import ExecutionConfig
 
@@ -173,15 +178,21 @@ class Artifact:
         return kernel, False, seconds
 
     # ------------------------------------------------------------------
-    def bind(self, matrix, x, *, ensure_kernel: bool = True,
+    def bind(self, matrix, x, *, ensure_kernel: bool | None = None,
              name_prefix: str | None = None) -> "BoundPlan":
         """Stage 2: map operands and partition work for ``(matrix, x)``.
 
         With ``ensure_kernel=False`` the kernel stays unresolved (no
         cache probe, no codegen) until :meth:`BoundPlan.ensure_kernel`
         or the first execute — the serving subsystem uses this to pay
-        autotune + mapping without touching the cache counters.
+        autotune + mapping without touching the cache counters.  The
+        default (``None``) resolves the kernel exactly when the
+        config's execution backend needs one, so binding for the
+        ``"native"`` backend never pays codegen.
         """
+        if ensure_kernel is None:
+            ensure_kernel = get_backend(
+                self.config.effective_backend).requires_kernel
         plan = self.system.bind(self, matrix, x, name_prefix=name_prefix)
         if ensure_kernel:
             self.ensure_kernel(plan)
@@ -251,6 +262,10 @@ class BoundPlan:
         return self.artifact.config.threads
 
     @property
+    def system_name(self) -> str:
+        return self.artifact.system.name
+
+    @property
     def d(self) -> int:
         return self.operands.d
 
@@ -294,24 +309,33 @@ class BoundPlan:
         """Subclass hook: reset shared dispatch state (NEXT counter)."""
 
     # ------------------------------------------------------------------
-    def execute(self, *, timing: bool | None = None) -> RunResult:
-        """Stage 3: run the kernel on the simulated machine.
+    def execute(self, *, timing: bool | None = None,
+                backend: str | None = None) -> RunResult:
+        """Stage 3: run the plan through an execution backend.
 
-        ``timing`` overrides the config's flag for this run (the serving
-        subsystem resolves it per request).  The returned ``y`` aliases
-        the plan's live output buffer — copy it before refreshing the
-        plan if the result must outlive the next request.
+        The backend is resolved per run: an explicit ``backend=`` wins,
+        else a ``timing=`` override picks ``"sim"``/``"counts"`` (the
+        legacy spelling, kept for per-request fidelity switching in the
+        serving subsystem), else the config's
+        :attr:`~repro.api.ExecutionConfig.effective_backend`.  The
+        returned ``y`` aliases the plan's live output buffer — copy it
+        before refreshing the plan if the result must outlive the next
+        request.
         """
-        self.ensure_kernel()
-        config = self.artifact.config
-        timing = config.timing if timing is None else timing
-        machine = Machine(self.operands.memory,
-                          CpuConfig(timing=timing, l1=config.l1,
-                                    l2=config.l2))
-        merged, per_thread = machine.run(
-            self._thread_specs(), warmup=config.warmup and timing,
-            between_runs=self._between_runs())
-        return self._make_result(merged, per_thread)
+        return get_backend(
+            self.resolve_backend(timing=timing, backend=backend)
+        ).execute(self)
+
+    def resolve_backend(self, *, timing: bool | None = None,
+                        backend: str | None = None) -> str:
+        """The canonical backend name one :meth:`execute` call with
+        these arguments would dispatch to (aliases normalized, so
+        traffic accounting and memo keys never fragment a backend)."""
+        if backend is not None:
+            return canonical_name(backend)
+        if timing is not None:
+            return "sim" if timing else "counts"
+        return self.artifact.config.effective_backend
 
     def _thread_specs(self):
         raise NotImplementedError

@@ -17,6 +17,7 @@ from repro.bench.fig10 import run_fig10
 from repro.bench.fig11 import run_fig11
 from repro.bench.harness import BenchConfig
 from repro.bench.serving import run_serving
+from repro.bench.simspeed import run_simspeed
 from repro.bench.table2 import run_table2
 from repro.bench.table4 import run_table4
 
@@ -28,6 +29,7 @@ EXPERIMENTS = {
     "fig11": run_fig11,
     "ablations": run_ablations,
     "serving": run_serving,
+    "simspeed": run_simspeed,
 }
 
 

@@ -103,20 +103,19 @@ class BenchConfig:
     # ------------------------------------------------------------------
     def run(self, system: str, dataset: str, d: int, split: str = "row",
             threads: int | None = None, timing: bool = True,
-            isa: str = "avx512") -> RunResult:
-        """Run one (system, dataset, d, split) cell, memoized.
+            isa: str = "avx512", backend: str | None = None) -> RunResult:
+        """Run one (system, dataset, d, split, backend) cell, memoized.
 
         ``system`` is any :func:`repro.api.get_system`-resolvable name:
         ``"jit"``, ``"mkl"``, ``"aot:<personality>"`` or a bare
         personality name (``"gcc"``, ``"clang"``, ``"icc"``,
-        ``"icc-avx512"``).
+        ``"icc-avx512"``).  ``backend`` is any
+        :func:`repro.exec.get_backend`-resolvable execution backend
+        (``None`` defers to ``timing``); every returned
+        :class:`RunResult` records the backend that produced it in
+        :attr:`RunResult.backend`, so emitted rows are attributable.
         """
         threads = self.threads if threads is None else threads
-        key = (system, dataset, d, split, threads, timing, isa)
-        if key in self._runs:
-            return self._runs[key]
-        matrix = self.matrix(dataset)
-        x = self.dense(dataset, d)
         target = get_system(system)
         # measurement policy: address-free templates come from the
         # shared artifact cache (compiled once for the whole grid),
@@ -125,9 +124,18 @@ class BenchConfig:
         # twins would otherwise silently share one generated kernel
         config = ExecutionConfig(
             split=split, threads=threads, timing=timing, isa=isa,
-            warmup=True, l1=BENCH_L1, l2=BENCH_L2,
+            backend=backend, warmup=True, l1=BENCH_L1, l2=BENCH_L2,
             cache=self._cache if target.address_free else None,
         )
+        # memoize on the backend the config actually resolves to, so
+        # timing=True vs backend="sim" share one cell and alias
+        # spellings collapse (the config normalized them already)
+        key = (system, dataset, d, split, threads,
+               config.effective_backend, isa)
+        if key in self._runs:
+            return self._runs[key]
+        matrix = self.matrix(dataset)
+        x = self.dense(dataset, d)
         result = target.prepare(config).bind(matrix, x).execute()
         self._runs[key] = result
         return result

@@ -1,0 +1,151 @@
+"""Simspeed: simulated instructions/sec per execution backend.
+
+The tentpole claim of the :mod:`repro.exec` layer is that the
+superblock-compiled simulator (``"sim-fused"``) retires the Fig-9
+workloads' instruction streams several times faster than the
+cycle-accurate ``"sim"`` backend while staying bit-identical on results
+and event counters.  This micro-benchmark measures it: for each dataset
+twin, one JIT kernel is generated and bound once, then executed under
+every backend on the same plan, timing pure execution (codegen and
+operand mapping excluded).  Rows are emitted both as a rendered table
+and as ``BENCH_simspeed.json`` (path overridable via
+``REPRO_BENCH_SIMSPEED_JSON``), which CI regenerates at tiny scale so
+the simulator's performance trajectory is tracked per commit.
+
+``native`` rows report wall time only — the numpy backend retires no
+simulated instructions, so instructions/sec is not defined for it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass
+
+from repro.api import ExecutionConfig, get_system
+from repro.bench.harness import (
+    BENCH_L1,
+    BENCH_L2,
+    BenchConfig,
+    geometric_mean,
+    render_table,
+)
+
+__all__ = ["SimspeedResult", "run_simspeed"]
+
+#: the Fig-9 operating point: row split, d = 16 (the paper's common
+#: column count), the harness's thread count
+_D = 16
+
+#: measured backends, slowest-fidelity first; ``sim`` is the speedup
+#: baseline the acceptance target (>= 3x for ``sim-fused``) is against
+BACKENDS = ("native", "counts", "sim", "sim-fused")
+
+DEFAULT_JSON_PATH = "BENCH_simspeed.json"
+
+#: each cell reports the best of this many runs (single runs on the
+#: tiny twins are noisy); override via REPRO_BENCH_SIMSPEED_REPEATS
+DEFAULT_REPEATS = 3
+
+
+@dataclass
+class SimspeedResult:
+    config: BenchConfig
+    #: (dataset, backend) -> row dict (seconds, instructions, ips)
+    rows: dict[tuple[str, str], dict]
+    json_path: str
+
+    def ips(self, dataset: str, backend: str) -> float | None:
+        return self.rows[(dataset, backend)]["ips"]
+
+    def speedup_vs_sim(self, backend: str) -> float:
+        """Geometric-mean instructions/sec ratio over ``"sim"``."""
+        ratios = []
+        for dataset in self.datasets():
+            sim = self.ips(dataset, "sim")
+            other = self.ips(dataset, backend)
+            if sim and other:
+                ratios.append(other / sim)
+        return geometric_mean(ratios)
+
+    def datasets(self) -> list[str]:
+        return sorted({dataset for dataset, _ in self.rows},
+                      key=list(self.config.datasets).index)
+
+    # ------------------------------------------------------------------
+    def as_payload(self) -> dict:
+        """The JSON document CI archives (one row per backend cell)."""
+        return {
+            "experiment": "simspeed",
+            "scale": self.config.scale,
+            "threads": self.config.threads,
+            "d": _D,
+            "split": "row",
+            "rows": [
+                {"dataset": dataset, "backend": backend, **row}
+                for (dataset, backend), row in sorted(self.rows.items())
+            ],
+            "speedup_vs_sim": {
+                backend: self.speedup_vs_sim(backend)
+                for backend in BACKENDS if backend != "native"
+            },
+        }
+
+    def render(self) -> str:
+        headers = ["dataset", *[f"{b} Mi/s" for b in BACKENDS]]
+        table_rows = []
+        for dataset in self.datasets():
+            cells = [dataset]
+            for backend in BACKENDS:
+                ips = self.ips(dataset, backend)
+                cells.append("-" if ips is None else f"{ips / 1e6:.3f}")
+            table_rows.append(cells)
+        table_rows.append(["(speedup vs sim)", "-"] + [
+            f"{self.speedup_vs_sim(b):.2f}x"
+            for b in BACKENDS if b != "native"])
+        title = (
+            "Simspeed — simulated instructions/sec per execution backend "
+            f"(jit, row split, d={_D}, {self.config.threads} threads).\n"
+            "sim-fused runs the superblock-compiled simulator: "
+            "bit-identical results/counters to sim, no cycle model.\n"
+            f"JSON written to {self.json_path}"
+        )
+        return render_table(headers, table_rows, title)
+
+
+def run_simspeed(config: BenchConfig | None = None) -> SimspeedResult:
+    """Measure every backend on every dataset twin; write the JSON."""
+    config = config or BenchConfig()
+    repeats = max(1, int(os.environ.get("REPRO_BENCH_SIMSPEED_REPEATS",
+                                        DEFAULT_REPEATS)))
+    rows: dict[tuple[str, str], dict] = {}
+    for dataset in config.datasets:
+        matrix = config.matrix(dataset)
+        x = config.dense(dataset, _D)
+        # one plan per dataset: codegen and operand mapping are paid
+        # once, outside every timed region, so rows measure execution
+        plan = get_system("jit").prepare(ExecutionConfig(
+            split="row", threads=config.threads, timing=False,
+            l1=BENCH_L1, l2=BENCH_L2,
+        )).bind(matrix, x)
+        for backend in BACKENDS:
+            seconds = float("inf")
+            for _ in range(repeats):
+                plan.refresh(x)  # zero Y, re-arm the dynamic dispatcher
+                started = time.perf_counter()
+                result = plan.execute(backend=backend)
+                seconds = min(seconds, time.perf_counter() - started)
+            instructions = result.counters.instructions
+            rows[(dataset, backend)] = {
+                "seconds": seconds,
+                "instructions": instructions,
+                "ips": instructions / seconds if instructions else None,
+            }
+    json_path = os.environ.get("REPRO_BENCH_SIMSPEED_JSON",
+                               DEFAULT_JSON_PATH)
+    result = SimspeedResult(config=config, rows=rows, json_path=json_path)
+    with open(json_path, "w") as handle:
+        json.dump(result.as_payload(), handle, indent=2)
+        handle.write("\n")
+    return result

@@ -3,19 +3,26 @@
 :class:`JitSpMM` wraps the whole workflow — assembly code generation,
 thread spawning, execution, result joining — behind two entry points:
 
-* :meth:`JitSpMM.multiply` — compute ``Y = A @ X`` with the fast numpy
-  execution backend (same partitioning logic, host-speed arithmetic);
-  use this in applications;
+* :meth:`JitSpMM.multiply` — compute ``Y = A @ X`` with the ``"native"``
+  execution backend (same partitioning logic, host-speed numpy); use
+  this in applications;
 * :meth:`JitSpMM.profile` — generate the specialized kernel and execute
-  it instruction-by-instruction on the simulated machine, returning the
-  perf counters the paper's evaluation reports; use this to reproduce
-  the experiments.
+  it on a simulator backend (``"sim"`` / ``"counts"`` / ``"sim-fused"``
+  from the :mod:`repro.exec` registry), returning the perf counters the
+  paper's evaluation reports; use this to reproduce the experiments.
+
+:meth:`JitSpMM.run` is the engine's single pipeline-dispatch path;
+``profile`` forwards to it, and ``multiply`` runs the identical shared
+arithmetic (:func:`multiply_partitioned` over the resolved partitions,
+exactly what the native executor does) without binding a simulated
+address space the host-speed product would never read.
 
 Example::
 
     engine = JitSpMM(split="merge", threads=8)
     y = engine.multiply(A, X)                    # fast result
     result = engine.profile(A, X)                # simulated, with counters
+    fast = engine.profile(A, X, backend="sim-fused")  # superblock simulator
     print(result.counters)
     print(engine.inspect(A, X))                  # generated assembly
 
@@ -45,6 +52,7 @@ from repro.core.runner import (
 )
 from repro.core.split import SPLITS, partition
 from repro.errors import ShapeError
+from repro.exec import get_backend
 from repro.isa.isainfo import IsaLevel
 from repro.sparse.csr import CsrMatrix
 from repro.sparse.ops import spmm_reference
@@ -113,6 +121,10 @@ class JitSpMM:
         isa: ISA level for code generation (``"avx512"`` default).
         timing: Model caches/pipeline when profiling (slower, gives
             cycle estimates); counts are identical either way.
+        backend: Execution backend :meth:`profile` dispatches to
+            (``"counts"``, ``"sim"``, ``"sim-fused"``, or any
+            :func:`repro.exec.register_backend`-ed name); ``None``
+            defers to ``timing``.
         cache: Optional shared :class:`repro.serve.KernelCache`;
             :meth:`profile` reuses cached kernels across calls when the
             full kernel identity matches.
@@ -126,6 +138,7 @@ class JitSpMM:
         batch: int | None = None,
         isa: IsaLevel | str = IsaLevel.AVX512,
         timing: bool = True,
+        backend: str | None = None,
         cache=None,
     ) -> None:
         # one validation authority: the api-level config applies the
@@ -134,7 +147,7 @@ class JitSpMM:
 
         self.config = ExecutionConfig(
             split=split, threads=threads, dynamic=dynamic, batch=batch,
-            isa=isa, timing=timing, cache=cache,
+            isa=isa, timing=timing, backend=backend, cache=cache,
         )
         self.split = split
         self.threads = threads
@@ -175,25 +188,15 @@ class JitSpMM:
         return choice.split, choice.dynamic, self.batch or choice.batch
 
     # ------------------------------------------------------------------
-    def multiply(self, matrix: CsrMatrix, x: np.ndarray) -> np.ndarray:
-        """Compute ``Y = A @ X`` with the fast numpy backend.
+    def run(self, matrix: CsrMatrix, x: np.ndarray,
+            backend: str | None = None) -> RunResult:
+        """Execute ``Y = A @ X`` through one execution backend.
 
-        Runs the same partitioning as the simulated path (so a bad split
-        configuration fails identically), then evaluates each partition's
-        rows with vectorized numpy.  Bit-equal to the reference kernel.
-        """
-        x = self._check_operands(matrix, x)
-        split, _, _ = self._resolve(matrix, int(x.shape[1]))
-        ranges = partition(matrix, self.threads, split)
-        return multiply_partitioned(matrix, x, ranges)
-
-    # ------------------------------------------------------------------
-    def profile(self, matrix: CsrMatrix, x: np.ndarray) -> RunResult:
-        """Generate the specialized kernel and run it on the simulator.
-
-        Resolves the engine's (possibly autotuned) split, then executes
-        through the :mod:`repro.api` pipeline — the same prepare → bind
-        → execute path every registered system runs on.
+        The single execution path behind :meth:`multiply` and
+        :meth:`profile`: resolves the engine's (possibly autotuned)
+        split, then dispatches through the :mod:`repro.api` pipeline to
+        the requested :mod:`repro.exec` backend (default: the engine's
+        configured backend).
         """
         from repro.api import get_system
 
@@ -201,7 +204,36 @@ class JitSpMM:
         split, dynamic, batch = self._resolve(matrix, int(x.shape[1]))
         config = self.config.with_overrides(
             split=split, dynamic=dynamic, batch=batch)
-        return get_system("jit").prepare(config).bind(matrix, x).execute()
+        plan = get_system("jit").prepare(config).bind(
+            matrix, x,
+            ensure_kernel=None if backend is None else
+            get_backend(backend).requires_kernel)
+        return plan.execute(backend=backend)
+
+    def multiply(self, matrix: CsrMatrix, x: np.ndarray) -> np.ndarray:
+        """Compute ``Y = A @ X`` with the ``"native"`` backend.
+
+        Same partitioning as the simulated path (so a bad split
+        configuration fails identically) and the same arithmetic the
+        :class:`~repro.exec.backends.NativeExecutor` runs — but without
+        binding a simulated address space, which a host-speed product
+        never reads (``run(..., backend="native")`` gives the pipeline
+        form when a :class:`RunResult` is wanted).  Bit-equal to the
+        reference kernel.
+        """
+        x = self._check_operands(matrix, x)
+        split, _, _ = self._resolve(matrix, int(x.shape[1]))
+        return multiply_partitioned(
+            matrix, x, partition(matrix, self.threads, split))
+
+    # ------------------------------------------------------------------
+    def profile(self, matrix: CsrMatrix, x: np.ndarray,
+                backend: str | None = None) -> RunResult:
+        """Generate the specialized kernel and run it on the simulator.
+
+        ``backend`` overrides the engine's configured simulator backend
+        for this call (``"counts"``, ``"sim"``, ``"sim-fused"``)."""
+        return self.run(matrix, x, backend=backend)
 
     # ------------------------------------------------------------------
     def inspect(self, matrix: CsrMatrix, x: np.ndarray) -> str:

@@ -102,12 +102,17 @@ class MappedOperands:
 
 @dataclass
 class RunResult:
-    """Outcome of one simulated SpMM execution."""
+    """Outcome of one SpMM execution through an execution backend.
+
+    ``backend`` records which :class:`repro.exec.Executor` produced the
+    row — its capability flags say what the result can be trusted for
+    (``native`` rows carry no counters, only ``sim`` rows carry cycles).
+    """
 
     y: np.ndarray
     counters: Counters
     per_thread: list[Counters]
-    program: Program
+    program: Program | None
     codegen_seconds: float = 0.0
     code_bytes: int = 0
     system: str = ""
@@ -115,6 +120,7 @@ class RunResult:
     threads: int = 1
     partitions: list[tuple[int, int]] = field(default_factory=list)
     cache_hit: bool = False
+    backend: str = ""
 
     def modeled_seconds(self, ghz: float = 3.7) -> float:
         return self.counters.seconds(ghz)
@@ -229,6 +235,8 @@ def run_jit(
     batch: int | None = None,
     isa: IsaLevel | str = IsaLevel.AVX512,
     timing: bool = True,
+    backend: str | None = None,
+    max_steps: int | None = None,
     warmup: bool = False,
     l1: CacheConfig | None = None,
     l2: CacheConfig | None = None,
@@ -260,9 +268,16 @@ def run_jit(
 
     config = ExecutionConfig(
         split=split, threads=threads, dynamic=dynamic, batch=batch,
-        isa=isa, timing=timing, warmup=warmup, l1=l1, l2=l2, cache=cache,
+        isa=isa, timing=timing, backend=backend, warmup=warmup,
+        l1=l1, l2=l2, cache=cache, **_steps_override(max_steps),
     )
     return get_system("jit").prepare(config).bind(matrix, x).execute()
+
+
+def _steps_override(max_steps: int | None) -> dict:
+    """Keyword overrides for an optional per-call step limit (``None``
+    keeps :data:`repro.api.config.DEFAULT_MAX_STEPS`)."""
+    return {} if max_steps is None else {"max_steps": max_steps}
 
 
 def run_aot(
@@ -272,6 +287,8 @@ def run_aot(
     split: str = "row",
     threads: int = 1,
     timing: bool = True,
+    backend: str | None = None,
+    max_steps: int | None = None,
     kernel: CompiledKernel | None = None,
     warmup: bool = False,
     l1: CacheConfig | None = None,
@@ -289,8 +306,9 @@ def run_aot(
     from repro.api import ExecutionConfig, get_system
 
     config = ExecutionConfig(
-        split=split, threads=threads, timing=timing, warmup=warmup,
-        l1=l1, l2=l2, cache=cache,
+        split=split, threads=threads, timing=timing, backend=backend,
+        warmup=warmup, l1=l1, l2=l2, cache=cache,
+        **_steps_override(max_steps),
     )
     if isinstance(personality, str):
         system = get_system(f"aot:{personality}")
@@ -307,6 +325,8 @@ def run_mkl(
     threads: int = 1,
     lanes: int = 16,
     timing: bool = True,
+    backend: str | None = None,
+    max_steps: int | None = None,
     warmup: bool = False,
     l1: CacheConfig | None = None,
     l2: CacheConfig | None = None,
@@ -322,8 +342,9 @@ def run_mkl(
     from repro.api import ExecutionConfig, get_system
 
     config = ExecutionConfig(
-        split=split, threads=threads, timing=timing, warmup=warmup,
-        l1=l1, l2=l2, cache=cache,
+        split=split, threads=threads, timing=timing, backend=backend,
+        warmup=warmup, l1=l1, l2=l2, cache=cache,
+        **_steps_override(max_steps),
     )
     name = "mkl" if lanes == 16 else f"mkl:{lanes}"
     return get_system(name).prepare(config).bind(matrix, x).execute()

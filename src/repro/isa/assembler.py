@@ -9,6 +9,7 @@ machine-code bytes on demand.
 
 from __future__ import annotations
 
+import hashlib
 import itertools
 from dataclasses import dataclass, field
 
@@ -45,9 +46,45 @@ class Program:
     labels: dict[str, int]
     name: str = ""
     _encoded: bytes | None = field(default=None, repr=False, compare=False)
+    _fingerprint: str | None = field(default=None, repr=False, compare=False)
 
     def __len__(self) -> int:
         return len(self.instructions)
+
+    def fingerprint(self) -> str:
+        """Content identity of the instruction stream (cached).
+
+        Two programs with equal fingerprints have identical instructions
+        and label targets, hence identical execution semantics — the
+        interpreter keys its compiled-closure caches on this instead of
+        ``id(program)``, whose value a garbage-collected program can
+        bequeath to an unrelated new one.  ``name`` is excluded: it only
+        decorates listings and error messages.
+        """
+        if self._fingerprint is None:
+            digest = hashlib.sha256()
+            for insn in self.instructions:
+                digest.update(str(insn).encode())
+                digest.update(b"\n")
+            for label, index in sorted(self.labels.items()):
+                digest.update(f"{label}@{index}\n".encode())
+            self._fingerprint = digest.hexdigest()
+        return self._fingerprint
+
+    def block_starts(self) -> list[int]:
+        """Basic-block leader indices, in program order.
+
+        A leader is the entry point, any label (every branch target is a
+        label in this ISA), or the instruction following a branch/`ret`.
+        The straight-line run from one leader to the next is a basic
+        block — the unit the superblock-compiled simulator fuses.
+        """
+        leaders = {0}
+        for index, insn in enumerate(self.instructions):
+            if insn.is_branch or insn.mnemonic == "ret":
+                leaders.add(index + 1)
+        leaders.update(self.labels.values())
+        return sorted(i for i in leaders if i < len(self.instructions))
 
     def target_index(self, label: str) -> int:
         """Resolve a label to an instruction index."""

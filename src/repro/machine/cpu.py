@@ -1,10 +1,22 @@
 """Single-thread functional interpreter for the ISA subset.
 
-The interpreter pre-compiles every static instruction into a Python
-closure (operand decoding, effective-address formation and segment lookup
-are hoisted out of the execution loop), then runs the closure list — the
-same just-in-time trick the paper applies to SpMM, applied to the
-simulator itself.
+The interpreter pre-compiles every static instruction into Python
+closures (operand decoding, effective-address formation and segment
+lookup are hoisted out of the execution loop) — the same just-in-time
+trick the paper applies to SpMM, applied to the simulator itself.
+
+Compilation is split from the run loop: :meth:`Cpu.semantics` compiles a
+:class:`Program` into a :class:`ProgramSemantics` table holding, per
+instruction, a *body* closure (pure architectural semantics, no event
+accounting), the static counter *deltas* the instruction retires with,
+and a composed *step* closure (body + accounting, returning the next
+pc).  Both simulator backends share that one table: the per-instruction
+interpreter (:meth:`Cpu.run`) walks the step list, while the
+superblock-compiled backend (``fused=True``, see
+:mod:`repro.machine.fused`) batches the bodies of each basic block into
+a single closure with the counter bumps summed and hoisted, falling back
+to per-instruction stepping only at block boundaries, odd entry points,
+or when the execution-step limit is near.
 
 Semantics notes (documented deviations, none observable by the kernels
 this library generates):
@@ -32,11 +44,15 @@ from repro.isa.operands import Imm, Mem
 from repro.isa.registers import GPR64, VectorRegister, gpr
 from repro.machine.branch import make_predictor
 from repro.machine.cache import CacheConfig, CacheHierarchy
-from repro.machine.counters import Counters
+from repro.machine.counters import Counters, make_bump
 from repro.machine.memory import Memory
 from repro.machine.pipeline import PipelineModel, PipelineSpec
 
-__all__ = ["Cpu", "CpuConfig"]
+__all__ = ["Cpu", "CpuConfig", "InsnSemantics", "ProgramSemantics"]
+
+#: mnemonics retiring one FLOP per destination lane (FMAs retire two)
+_FLOP_MNEMONICS = ("vaddps", "vsubps", "vmulps", "vdivps",
+                   "vaddss", "vsubss", "vmulss", "vhaddps")
 
 
 @dataclass(frozen=True)
@@ -46,6 +62,8 @@ class CpuConfig:
     ``timing=False`` runs in *counts* mode: functional execution plus
     event counters only (no caches, no pipeline, cycles stay 0) — several
     times faster, used by tests that only check counts and results.
+    ``max_instructions`` bounds each thread's dynamic instruction count
+    (:class:`repro.api.ExecutionConfig` exposes it as ``max_steps``).
     """
 
     timing: bool = True
@@ -54,6 +72,70 @@ class CpuConfig:
     pipeline: PipelineSpec = field(default_factory=PipelineSpec)
     l1: CacheConfig | None = None
     l2: CacheConfig | None = None
+
+
+class InsnSemantics:
+    """Compiled closures + static metadata for one instruction.
+
+    Attributes:
+        step: Interpreter closure — executes the instruction including
+            event accounting, returns the next pc.
+        body: Pure architectural semantics (no counters, no pc) — the
+            unit the superblock compiler fuses.  None for control flow,
+            whose pc decision cannot be fused away.
+        deltas: Static counter increments this instruction retires with
+            in counts fidelity, or None when execution-dependent state
+            (caches, pipeline) makes accounting dynamic.
+    """
+
+    __slots__ = ("step", "body", "deltas")
+
+    def __init__(self, step, body=None, deltas=None) -> None:
+        self.step = step
+        self.body = body
+        self.deltas = deltas
+
+
+class ProgramSemantics:
+    """The shared semantics table for one ``(cpu, program)`` pair."""
+
+    __slots__ = ("insns", "steps")
+
+    def __init__(self, insns: list[InsnSemantics],
+                 steps: list | None = None) -> None:
+        self.insns = insns
+        self.steps = [sem.step for sem in insns] if steps is None else steps
+
+    def __len__(self) -> int:
+        return len(self.insns)
+
+
+def _static_deltas(insn: Instruction, load_size: int, store_size: int,
+                   extra: dict[str, int] | None = None) -> dict[str, int]:
+    """The counter increments one retirement of ``insn`` contributes.
+
+    Single source of truth for counts-fidelity accounting: both the
+    per-instruction bump closure and the superblock batch sum are built
+    from this dict, so they cannot drift apart.
+    """
+    name = insn.mnemonic
+    deltas = {"instructions": 1}
+    if load_size:
+        deltas["memory_loads"] = 1
+        deltas["loaded_bytes"] = load_size
+    if store_size:
+        deltas["memory_stores"] = 1
+        deltas["stored_bytes"] = store_size
+    if name.startswith("v"):
+        deltas["simd_instructions"] = 1
+    if name.startswith("vfmadd"):
+        deltas["fma_instructions"] = 1
+        deltas["flop"] = 2 * _dest_lanes(insn)
+    elif name in _FLOP_MNEMONICS:
+        deltas["flop"] = _dest_lanes(insn)
+    for key, amount in (extra or {}).items():
+        deltas[key] = deltas.get(key, 0) + amount
+    return deltas
 
 
 class Cpu:
@@ -86,7 +168,11 @@ class Cpu:
         else:
             self.caches = None
             self.pipeline = None
-        self._compiled: dict[int, list] = {}
+        # both caches are keyed on Program.fingerprint() — content
+        # identity — never id(program): a collected program's id can be
+        # reused by a new one, which would replay stale closures
+        self._compiled: dict[str, ProgramSemantics] = {}
+        self._superblocks: dict[str, list] = {}
 
     def reset_metrics(self) -> None:
         """Zero counters and restart the pipeline clock; keep caches and
@@ -96,6 +182,7 @@ class Cpu:
         if self.config.timing:
             self.pipeline = PipelineModel(self.config.pipeline)
         self._compiled.clear()  # closures captured the old pipeline
+        self._superblocks.clear()
 
     def disable_pipeline(self) -> None:
         """Drop to counts+caches fidelity (used for cheap warm-up passes).
@@ -104,6 +191,7 @@ class Cpu:
         """
         self.pipeline = None
         self._compiled.clear()
+        self._superblocks.clear()
 
     # ------------------------------------------------------------------
     # Register access helpers (used by tests and the SMP wrapper)
@@ -128,27 +216,38 @@ class Cpu:
         init_gpr: dict | None = None,
         entry: int | str = 0,
         fuel: int | None = None,
+        fused: bool = False,
     ) -> Counters:
         """Execute ``program`` until ``ret``; returns this CPU's counters.
 
         ``init_gpr`` maps registers (objects or names) to initial values,
         the simulated analogue of function arguments.  ``fuel`` bounds the
         dynamic instruction count (defaults to the config's limit).
+        ``fused=True`` executes whole basic blocks at a time through the
+        superblock compiler (counts fidelity only); results and counters
+        are bit-identical to per-instruction stepping.
         """
         if init_gpr:
             for reg, value in init_gpr.items():
                 self.set_gpr(reg, value)
-        steps = self._compile(program)
+        steps = self.semantics(program).steps
+        blocks = self.superblocks(program) if fused else None
         pc = program.target_index(entry) if isinstance(entry, str) else entry
         limit = fuel if fuel is not None else self.config.max_instructions
         executed = 0
         n = len(steps)
         while 0 <= pc < n:
+            if blocks is not None:
+                block = blocks[pc]
+                if block is not None and executed + block.length <= limit:
+                    pc = block.run()
+                    executed += block.length
+                    continue
             pc = steps[pc]()
             executed += 1
             if executed > limit:
                 raise ExecutionLimitExceeded(
-                    f"exceeded {limit} dynamic instructions in "
+                    f"exceeded the {limit}-instruction execution limit in "
                     f"{program.name!r} (infinite loop?)"
                 )
         if self.pipeline is not None:
@@ -158,16 +257,40 @@ class Cpu:
     # ------------------------------------------------------------------
     # Instruction compilation
     # ------------------------------------------------------------------
-    def _compile(self, program: Program):
-        cached = self._compiled.get(id(program))
+    def semantics(self, program: Program) -> ProgramSemantics:
+        """The compiled semantics table for ``program`` (cached)."""
+        key = program.fingerprint()
+        cached = self._compiled.get(key)
         if cached is not None:
             return cached
-        steps = [
+        table = ProgramSemantics([
             self._compile_insn(insn, index, program)
             for index, insn in enumerate(program.instructions)
-        ]
-        self._compiled[id(program)] = steps
-        return steps
+        ])
+        self._compiled[key] = table
+        return table
+
+    def _compile(self, program: Program) -> list:
+        """Back-compat shim: the interpreter step list for ``program``."""
+        return self.semantics(program).steps
+
+    def superblocks(self, program: Program) -> list:
+        """The superblock table for ``program`` (cached); see
+        :func:`repro.machine.fused.build_block_table`."""
+        if self.caches is not None:
+            raise MachineError(
+                "superblock execution models counts fidelity; build the "
+                "Cpu with timing=False (the sim backend steps per "
+                "instruction)")
+        key = program.fingerprint()
+        table = self._superblocks.get(key)
+        if table is None:
+            from repro.machine.fused import build_block_table
+
+            table = build_block_table(self.semantics(program), program,
+                                      self.counters)
+            self._superblocks[key] = table
+        return table
 
     # -- operand access factories ---------------------------------------
     def _addr_fn(self, mem: Mem):
@@ -280,15 +403,69 @@ class Cpu:
         return store, addr_fn
 
     # -- accounting factories --------------------------------------------
-    def _account_fn(
+    def _finish(
         self,
         insn: Instruction,
+        body,
+        nxt: int,
         load_addr_fn=None,
         load_size: int = 0,
         store_addr_fn=None,
         store_size: int = 0,
+        extra: dict[str, int] | None = None,
+    ) -> InsnSemantics:
+        """Compose one straight-line instruction: body + accounting.
+
+        In counts fidelity the accounting is a compiled static bump and
+        the (body, deltas) pair is exposed for superblock fusion; in
+        timing fidelity accounting touches caches and the pipeline per
+        execution, so the step stays the only runnable form.
+        """
+        if self.caches is None:
+            deltas = _static_deltas(
+                insn,
+                load_size if load_addr_fn is not None else 0,
+                store_size if store_addr_fn is not None else 0,
+                extra,
+            )
+            bump = make_bump(self.counters, deltas)
+
+            def step() -> int:
+                body()
+                bump()
+                return nxt
+
+            return InsnSemantics(step, body, deltas)
+
+        account = self._timing_account_fn(
+            insn, load_addr_fn, load_size, store_addr_fn, store_size, extra
+        )
+
+        def step() -> int:
+            body()
+            account()
+            return nxt
+
+        return InsnSemantics(step, body)
+
+    def _account_fn(self, insn: Instruction):
+        """Accounting-only closure for instructions with no fusible body
+        (control flow) — static bump in counts mode, cache/pipeline
+        accounting in timing mode."""
+        if self.caches is None:
+            return make_bump(self.counters, _static_deltas(insn, 0, 0))
+        return self._timing_account_fn(insn, None, 0, None, 0, None)
+
+    def _timing_account_fn(
+        self,
+        insn: Instruction,
+        load_addr_fn,
+        load_size: int,
+        store_addr_fn,
+        store_size: int,
+        extra: dict[str, int] | None,
     ):
-        """Build the per-execution bookkeeping closure for one instruction."""
+        """Per-execution bookkeeping with cache and pipeline modeling."""
         counters = self.counters
         caches = self.caches
         is_simd = insn.mnemonic.startswith("v")
@@ -296,25 +473,12 @@ class Cpu:
         flop = 0
         if is_fma:
             flop = 2 * _dest_lanes(insn)
-        elif insn.mnemonic in ("vaddps", "vsubps", "vmulps", "vdivps",
-                               "vaddss", "vsubss", "vmulss", "vhaddps"):
+        elif insn.mnemonic in _FLOP_MNEMONICS:
             flop = _dest_lanes(insn)
-
-        if caches is None:
-            def account() -> None:
-                counters.instructions += 1
-                if load_addr_fn is not None:
-                    counters.memory_loads += 1
-                    counters.loaded_bytes += load_size
-                if store_addr_fn is not None:
-                    counters.memory_stores += 1
-                    counters.stored_bytes += store_size
-                if is_simd:
-                    counters.simd_instructions += 1
-                if is_fma:
-                    counters.fma_instructions += 1
-                counters.flop += flop
-            return account
+        # every extra delta (atomic_ops today, anything tomorrow) is
+        # honored generically so the timing backend can never drift
+        # from the counts-fidelity _static_deltas accounting
+        extra_items = tuple(sorted((extra or {}).items()))
 
         cpu = self  # pipeline may be swapped out during warm-up passes
 
@@ -325,6 +489,8 @@ class Cpu:
             if is_fma:
                 counters.fma_instructions += 1
             counters.flop += flop
+            for name, amount in extra_items:
+                setattr(counters, name, getattr(counters, name) + amount)
             load_refs: tuple = ()
             store_refs: tuple = ()
             if load_addr_fn is not None:
@@ -348,7 +514,8 @@ class Cpu:
         return account
 
     # -- main translation --------------------------------------------------
-    def _compile_insn(self, insn: Instruction, index: int, program: Program):
+    def _compile_insn(self, insn: Instruction, index: int,
+                      program: Program) -> InsnSemantics:
         name = insn.mnemonic
         ops = insn.operands
         nxt = index + 1
@@ -363,7 +530,7 @@ class Cpu:
                 account()
                 counters.branches += 1
                 return -1
-            return step_ret
+            return InsnSemantics(step_ret)
 
         if name == "jmp":
             target = program.target_index(ops[0])
@@ -373,18 +540,15 @@ class Cpu:
                 account()
                 counters.branches += 1
                 return target
-            return step_jmp
+            return InsnSemantics(step_jmp)
 
         if insn.is_cond_branch:
             return self._compile_jcc(insn, index, program)
 
         if name == "nop":
-            account = self._account_fn(insn)
-
-            def step_nop() -> int:
-                account()
-                return nxt
-            return step_nop
+            def body_nop() -> None:
+                return None
+            return self._finish(insn, body_nop, nxt)
 
         # ---------------- integer ----------------
         if name == "mov":
@@ -392,13 +556,10 @@ class Cpu:
         if name == "lea":
             dst_code = ops[0].code
             addr_fn = self._addr_fn(ops[1])
-            account = self._account_fn(insn)
 
-            def step_lea() -> int:
+            def body_lea() -> None:
                 gpr_state[dst_code] = addr_fn()
-                account()
-                return nxt
-            return step_lea
+            return self._finish(insn, body_lea, nxt)
         if name in ("add", "sub", "and", "or", "xor", "imul"):
             return self._compile_alu(insn, nxt)
         if name in ("cmp", "test"):
@@ -435,7 +596,8 @@ class Cpu:
         raise MachineError(f"no interpreter for instruction: {insn}")
 
     # ------------------------------------------------------------------
-    def _compile_jcc(self, insn: Instruction, index: int, program: Program):
+    def _compile_jcc(self, insn: Instruction, index: int,
+                     program: Program) -> InsnSemantics:
         target = program.target_index(insn.operands[0])
         nxt = index + 1
         name = insn.mnemonic
@@ -467,7 +629,7 @@ class Cpu:
                 if not predictor.update(index, taken):
                     counters.branch_misses += 1
                 return target if taken else nxt
-            return step_jcc
+            return InsnSemantics(step_jcc)
 
         def step_jcc_timed() -> int:
             taken = cond()
@@ -480,64 +642,52 @@ class Cpu:
             pipeline.issue(insn, mispredicted=not correct)
             return target if taken else nxt
 
-        return step_jcc_timed
+        return InsnSemantics(step_jcc_timed)
 
-    def _compile_mov(self, insn: Instruction, nxt: int):
+    def _compile_mov(self, insn: Instruction, nxt: int) -> InsnSemantics:
         dst, src = insn.operands
         gpr_state = self.gpr
 
         if isinstance(dst, GPR64) and isinstance(src, Imm):
             value = src.value
-            account = self._account_fn(insn)
             code = dst.code
 
-            def step() -> int:
+            def body() -> None:
                 gpr_state[code] = value
-                account()
-                return nxt
-            return step
+            return self._finish(insn, body, nxt)
         if isinstance(dst, GPR64) and isinstance(src, GPR64):
-            account = self._account_fn(insn)
             dcode, scode = dst.code, src.code
 
-            def step() -> int:
+            def body() -> None:
                 gpr_state[dcode] = gpr_state[scode]
-                account()
-                return nxt
-            return step
+            return self._finish(insn, body, nxt)
         if isinstance(dst, GPR64) and isinstance(src, Mem):
             load, addr_fn = self._load_int_fn(src)
-            account = self._account_fn(insn, load_addr_fn=addr_fn, load_size=src.size)
             code = dst.code
 
-            def step() -> int:
+            def body() -> None:
                 gpr_state[code] = load()
-                account()
-                return nxt
-            return step
+            return self._finish(insn, body, nxt,
+                                load_addr_fn=addr_fn, load_size=src.size)
         if isinstance(dst, Mem) and isinstance(src, GPR64):
             store, addr_fn = self._store_int_fn(dst)
-            account = self._account_fn(insn, store_addr_fn=addr_fn, store_size=dst.size)
             code = src.code
 
-            def step() -> int:
+            def body() -> None:
                 store(gpr_state[code])
-                account()
-                return nxt
-            return step
+            return self._finish(insn, body, nxt,
+                                store_addr_fn=addr_fn, store_size=dst.size)
         if isinstance(dst, Mem) and isinstance(src, Imm):
             store, addr_fn = self._store_int_fn(dst)
-            account = self._account_fn(insn, store_addr_fn=addr_fn, store_size=dst.size)
             value = src.value
 
-            def step() -> int:
+            def body() -> None:
                 store(value)
-                account()
-                return nxt
-            return step
+            return self._finish(insn, body, nxt,
+                                store_addr_fn=addr_fn, store_size=dst.size)
         raise MachineError(f"unsupported mov form: {insn}")
 
-    def _compile_alu(self, insn: Instruction, nxt: int):
+    def _compile_alu(self, insn: Instruction, nxt: int) -> InsnSemantics:
         name = insn.mnemonic
         ops = insn.operands
         gpr_state = self.gpr
@@ -551,16 +701,13 @@ class Cpu:
             src, imm = ops[1], ops[2]
             if not isinstance(src, GPR64) or not isinstance(imm, Imm):
                 raise MachineError(f"unsupported imul form: {insn}")
-            account = self._account_fn(insn)
             scode, k = src.code, imm.value
 
-            def step() -> int:
+            def body() -> None:
                 value = gpr_state[scode] * k
                 gpr_state[dcode] = value
                 cpu.zf, cpu.sf, cpu.cf = value == 0, value < 0, False
-                account()
-                return nxt
-            return step
+            return self._finish(insn, body, nxt)
 
         src = ops[1]
         operations = {
@@ -576,48 +723,40 @@ class Cpu:
 
         if isinstance(src, Imm):
             k = src.value
-            account = self._account_fn(insn)
 
-            def step() -> int:
+            def body() -> None:
                 a = gpr_state[dcode]
                 value = op(a, k)
                 gpr_state[dcode] = value
                 cpu.zf, cpu.sf = value == 0, value < 0
                 cpu.cf = a < k if is_sub else False
-                account()
-                return nxt
-            return step
+            return self._finish(insn, body, nxt)
         if isinstance(src, GPR64):
             scode = src.code
-            account = self._account_fn(insn)
 
-            def step() -> int:
+            def body() -> None:
                 a = gpr_state[dcode]
                 b = gpr_state[scode]
                 value = op(a, b)
                 gpr_state[dcode] = value
                 cpu.zf, cpu.sf = value == 0, value < 0
                 cpu.cf = a < b if is_sub else False
-                account()
-                return nxt
-            return step
+            return self._finish(insn, body, nxt)
         if isinstance(src, Mem):
             load, addr_fn = self._load_int_fn(src)
-            account = self._account_fn(insn, load_addr_fn=addr_fn, load_size=src.size)
 
-            def step() -> int:
+            def body() -> None:
                 a = gpr_state[dcode]
                 b = load()
                 value = op(a, b)
                 gpr_state[dcode] = value
                 cpu.zf, cpu.sf = value == 0, value < 0
                 cpu.cf = a < b if is_sub else False
-                account()
-                return nxt
-            return step
+            return self._finish(insn, body, nxt,
+                                load_addr_fn=addr_fn, load_size=src.size)
         raise MachineError(f"unsupported {name} form: {insn}")
 
-    def _compile_cmp(self, insn: Instruction, nxt: int):
+    def _compile_cmp(self, insn: Instruction, nxt: int) -> InsnSemantics:
         a_op, b_op = insn.operands
         gpr_state = self.gpr
         cpu = self
@@ -639,26 +778,19 @@ class Cpu:
         b_fn, b_addr, b_size = value_fn(b_op)
         load_addr = a_addr or b_addr
         load_size = a_size or b_size
-        account = self._account_fn(
-            insn, load_addr_fn=load_addr, load_size=load_size
-        )
 
         if is_test:
-            def step() -> int:
+            def body() -> None:
                 value = a_fn() & b_fn()
                 cpu.zf, cpu.sf, cpu.cf = value == 0, value < 0, False
-                account()
-                return nxt
-            return step
+        else:
+            def body() -> None:
+                a, b = a_fn(), b_fn()
+                cpu.zf, cpu.sf, cpu.cf = a == b, a < b, a < b
+        return self._finish(insn, body, nxt,
+                            load_addr_fn=load_addr, load_size=load_size)
 
-        def step() -> int:
-            a, b = a_fn(), b_fn()
-            cpu.zf, cpu.sf, cpu.cf = a == b, a < b, a < b
-            account()
-            return nxt
-        return step
-
-    def _compile_unary(self, insn: Instruction, nxt: int):
+    def _compile_unary(self, insn: Instruction, nxt: int) -> InsnSemantics:
         (dst,) = insn.operands
         if not isinstance(dst, GPR64):
             raise MachineError(f"unary op destination must be a register: {insn}")
@@ -666,33 +798,26 @@ class Cpu:
         cpu = self
         code = dst.code
         name = insn.mnemonic
-        account = self._account_fn(insn)
 
         if name == "inc":
-            def step() -> int:
+            def body() -> None:
                 value = gpr_state[code] + 1
                 gpr_state[code] = value
                 cpu.zf, cpu.sf = value == 0, value < 0
-                account()
-                return nxt
         elif name == "dec":
-            def step() -> int:
+            def body() -> None:
                 value = gpr_state[code] - 1
                 gpr_state[code] = value
                 cpu.zf, cpu.sf = value == 0, value < 0
-                account()
-                return nxt
         else:  # neg
-            def step() -> int:
+            def body() -> None:
                 value = -gpr_state[code]
                 gpr_state[code] = value
                 cpu.zf, cpu.sf = value == 0, value < 0
                 cpu.cf = value != 0
-                account()
-                return nxt
-        return step
+        return self._finish(insn, body, nxt)
 
-    def _compile_shift(self, insn: Instruction, nxt: int):
+    def _compile_shift(self, insn: Instruction, nxt: int) -> InsnSemantics:
         dst, amount = insn.operands
         if not isinstance(dst, GPR64) or not isinstance(amount, Imm):
             raise MachineError(f"unsupported shift form: {insn}")
@@ -700,55 +825,46 @@ class Cpu:
         cpu = self
         code, k = dst.code, amount.value
         name = insn.mnemonic
-        account = self._account_fn(insn)
 
         if name == "shl":
-            def step() -> int:
+            def body() -> None:
                 value = gpr_state[code] << k
                 gpr_state[code] = value
                 cpu.zf, cpu.sf = value == 0, value < 0
-                account()
-                return nxt
         else:  # shr/sar agree on non-negative values; we never shift negatives
-            def step() -> int:
+            def body() -> None:
                 value = gpr_state[code] >> k
                 gpr_state[code] = value
                 cpu.zf, cpu.sf = value == 0, value < 0
-                account()
-                return nxt
-        return step
+        return self._finish(insn, body, nxt)
 
-    def _compile_xadd(self, insn: Instruction, nxt: int):
+    def _compile_xadd(self, insn: Instruction, nxt: int) -> InsnSemantics:
         dst, src = insn.operands
         if not isinstance(dst, Mem) or not isinstance(src, GPR64):
             raise MachineError(f"unsupported xadd form: {insn}")
         load, addr_fn = self._load_int_fn(dst)
         store, _ = self._store_int_fn(dst)
-        account = self._account_fn(
-            insn,
-            load_addr_fn=addr_fn, load_size=dst.size,
-            store_addr_fn=addr_fn, store_size=dst.size,
-        )
         gpr_state = self.gpr
-        counters = self.counters
         cpu = self
         scode = src.code
 
-        def step() -> int:
+        def body() -> None:
             old = load()
             total = old + gpr_state[scode]
             store(total)
             gpr_state[scode] = old
             cpu.zf, cpu.sf, cpu.cf = total == 0, total < 0, False
-            counters.atomic_ops += 1
-            account()
-            return nxt
-        return step
+        return self._finish(
+            insn, body, nxt,
+            load_addr_fn=addr_fn, load_size=dst.size,
+            store_addr_fn=addr_fn, store_size=dst.size,
+            extra={"atomic_ops": 1},
+        )
 
     # ------------------------------------------------------------------
     # Vector handlers
     # ------------------------------------------------------------------
-    def _compile_vmov(self, insn: Instruction, nxt: int):
+    def _compile_vmov(self, insn: Instruction, nxt: int) -> InsnSemantics:
         dst, src = insn.operands
         vec = self.vec
         name = insn.mnemonic
@@ -757,71 +873,55 @@ class Cpu:
         if isinstance(dst, VectorRegister) and isinstance(src, Mem):
             lanes = 1 if scalar else dst.lanes_f32
             load, addr_fn = self._load_f32_fn(src, lanes)
-            account = self._account_fn(
-                insn, load_addr_fn=addr_fn, load_size=4 * lanes
-            )
-            code, width_lanes = dst.code, dst.lanes_f32
+            code = dst.code
 
-            def step() -> int:
+            def body() -> None:
                 row = vec[code]
                 row[:] = 0.0
                 row[:lanes] = load()
-                account()
-                return nxt
-            return step
+            return self._finish(insn, body, nxt,
+                                load_addr_fn=addr_fn, load_size=4 * lanes)
         if isinstance(dst, Mem) and isinstance(src, VectorRegister):
             lanes = 1 if scalar else src.lanes_f32
             store, addr_fn = self._store_f32_fn(dst, lanes)
-            account = self._account_fn(
-                insn, store_addr_fn=addr_fn, store_size=4 * lanes
-            )
             code = src.code
 
-            def step() -> int:
+            def body() -> None:
                 store(vec[code, :lanes])
-                account()
-                return nxt
-            return step
+            return self._finish(insn, body, nxt,
+                                store_addr_fn=addr_fn, store_size=4 * lanes)
         if isinstance(dst, VectorRegister) and isinstance(src, VectorRegister):
             lanes = 1 if scalar else max(dst.lanes_f32, src.lanes_f32)
-            account = self._account_fn(insn)
             dcode, scode = dst.code, src.code
 
-            def step() -> int:
+            def body() -> None:
                 row = vec[dcode]
                 row[:] = 0.0
                 row[:lanes] = vec[scode, :lanes]
-                account()
-                return nxt
-            return step
+            return self._finish(insn, body, nxt)
         raise MachineError(f"unsupported {name} form: {insn}")
 
-    def _compile_vxorps(self, insn: Instruction, nxt: int):
+    def _compile_vxorps(self, insn: Instruction, nxt: int) -> InsnSemantics:
         dst, a, b = insn.operands
         vec_i32 = self.vec_i32
         vec = self.vec
-        account = self._account_fn(insn)
         lanes = dst.lanes_f32
         dcode = dst.code
 
         if isinstance(a, VectorRegister) and isinstance(b, VectorRegister):
             if a.code == b.code:
-                def step() -> int:
+                def body() -> None:
                     vec[dcode, :] = 0.0
-                    account()
-                    return nxt
-                return step
+                return self._finish(insn, body, nxt)
             acode, bcode = a.code, b.code
 
-            def step() -> int:
+            def body() -> None:
                 vec_i32[dcode, :] = 0
                 vec_i32[dcode, :lanes] = vec_i32[acode, :lanes] ^ vec_i32[bcode, :lanes]
-                account()
-                return nxt
-            return step
+            return self._finish(insn, body, nxt)
         raise MachineError(f"unsupported vxorps form: {insn}")
 
-    def _compile_broadcast(self, insn: Instruction, nxt: int):
+    def _compile_broadcast(self, insn: Instruction, nxt: int) -> InsnSemantics:
         dst, src = insn.operands
         vec = self.vec
         vec_i32 = self.vec_i32
@@ -832,43 +932,33 @@ class Cpu:
         if isinstance(src, Mem):
             if is_int:
                 load, addr_fn = self._load_int_fn(src)
-            else:
-                load, addr_fn = self._load_f32_fn(src, 1)
-            account = self._account_fn(insn, load_addr_fn=addr_fn, load_size=4)
 
-            if is_int:
-                def step() -> int:
+                def body() -> None:
                     vec_i32[dcode, :] = 0
                     vec_i32[dcode, :lanes] = load()
-                    account()
-                    return nxt
             else:
-                def step() -> int:
+                load, addr_fn = self._load_f32_fn(src, 1)
+
+                def body() -> None:
                     vec[dcode, :] = 0.0
                     vec[dcode, :lanes] = load()[0]
-                    account()
-                    return nxt
-            return step
+            return self._finish(insn, body, nxt,
+                                load_addr_fn=addr_fn, load_size=4)
         if isinstance(src, VectorRegister):
             scode = src.code
-            account = self._account_fn(insn)
 
             if is_int:
-                def step() -> int:
+                def body() -> None:
                     vec_i32[dcode, :] = 0
                     vec_i32[dcode, :lanes] = vec_i32[scode, 0]
-                    account()
-                    return nxt
             else:
-                def step() -> int:
+                def body() -> None:
                     vec[dcode, :] = 0.0
                     vec[dcode, :lanes] = vec[scode, 0]
-                    account()
-                    return nxt
-            return step
+            return self._finish(insn, body, nxt)
         raise MachineError(f"unsupported broadcast form: {insn}")
 
-    def _compile_vec3(self, insn: Instruction, nxt: int):
+    def _compile_vec3(self, insn: Instruction, nxt: int) -> InsnSemantics:
         dst, a, b = insn.operands
         vec = self.vec
         vec_i32 = self.vec_i32
@@ -887,33 +977,26 @@ class Cpu:
 
         if isinstance(b, VectorRegister):
             bcode = b.code
-            account = self._account_fn(insn)
 
-            def step() -> int:
+            def body() -> None:
                 result = op(state[acode, :lanes], state[bcode, :lanes])
                 state[dcode, lanes:] = 0
                 state[dcode, :lanes] = result
-                account()
-                return nxt
-            return step
+            return self._finish(insn, body, nxt)
         if isinstance(b, Mem):
             if is_int:
                 raise MachineError(f"memory form not supported: {insn}")
             load, addr_fn = self._load_f32_fn(b, lanes)
-            account = self._account_fn(
-                insn, load_addr_fn=addr_fn, load_size=4 * lanes
-            )
 
-            def step() -> int:
+            def body() -> None:
                 result = op(state[acode, :lanes], load())
                 state[dcode, lanes:] = 0
                 state[dcode, :lanes] = result
-                account()
-                return nxt
-            return step
+            return self._finish(insn, body, nxt,
+                                load_addr_fn=addr_fn, load_size=4 * lanes)
         raise MachineError(f"unsupported {name} form: {insn}")
 
-    def _compile_vec3_scalar(self, insn: Instruction, nxt: int):
+    def _compile_vec3_scalar(self, insn: Instruction, nxt: int) -> InsnSemantics:
         dst, a, b = insn.operands
         vec = self.vec
         dcode, acode = dst.code, a.code
@@ -924,35 +1007,30 @@ class Cpu:
 
         if isinstance(b, VectorRegister):
             bcode = b.code
-            account = self._account_fn(insn)
 
-            def step() -> int:
+            def body() -> None:
                 value = op(np.float32(vec[acode, 0]), np.float32(vec[bcode, 0]))
                 row = vec[dcode]
                 upper = vec[acode, 1:4].copy()
                 row[:] = 0.0
                 row[0] = value
                 row[1:4] = upper
-                account()
-                return nxt
-            return step
+            return self._finish(insn, body, nxt)
         if isinstance(b, Mem):
             load, addr_fn = self._load_f32_fn(b, 1)
-            account = self._account_fn(insn, load_addr_fn=addr_fn, load_size=4)
 
-            def step() -> int:
+            def body() -> None:
                 value = op(np.float32(vec[acode, 0]), np.float32(load()[0]))
                 row = vec[dcode]
                 upper = vec[acode, 1:4].copy()
                 row[:] = 0.0
                 row[0] = value
                 row[1:4] = upper
-                account()
-                return nxt
-            return step
+            return self._finish(insn, body, nxt,
+                                load_addr_fn=addr_fn, load_size=4)
         raise MachineError(f"unsupported {name} form: {insn}")
 
-    def _compile_fma(self, insn: Instruction, nxt: int):
+    def _compile_fma(self, insn: Instruction, nxt: int) -> InsnSemantics:
         dst, a, b = insn.operands
         vec = self.vec
         scalar = insn.mnemonic == "vfmadd231ss"
@@ -961,35 +1039,27 @@ class Cpu:
 
         if isinstance(b, VectorRegister):
             bcode = b.code
-            account = self._account_fn(insn)
 
-            def step() -> int:
+            def body() -> None:
                 vec[dcode, :lanes] += vec[acode, :lanes] * vec[bcode, :lanes]
-                account()
-                return nxt
-            return step
+            return self._finish(insn, body, nxt)
         if isinstance(b, Mem):
             load, addr_fn = self._load_f32_fn(b, lanes)
-            account = self._account_fn(
-                insn, load_addr_fn=addr_fn, load_size=4 * lanes
-            )
 
-            def step() -> int:
+            def body() -> None:
                 vec[dcode, :lanes] += vec[acode, :lanes] * load()
-                account()
-                return nxt
-            return step
+            return self._finish(insn, body, nxt,
+                                load_addr_fn=addr_fn, load_size=4 * lanes)
         raise MachineError(f"unsupported fma form: {insn}")
 
-    def _compile_vhaddps(self, insn: Instruction, nxt: int):
+    def _compile_vhaddps(self, insn: Instruction, nxt: int) -> InsnSemantics:
         dst, a, b = insn.operands
         if dst.width != 128:
             raise MachineError("vhaddps supported for xmm only in this subset")
         vec = self.vec
         dcode, acode, bcode = dst.code, a.code, b.code
-        account = self._account_fn(insn)
 
-        def step() -> int:
+        def body() -> None:
             av = vec[acode, :4]
             bv = vec[bcode, :4]
             result = np.array(
@@ -999,11 +1069,9 @@ class Cpu:
             row = vec[dcode]
             row[:] = 0.0
             row[:4] = result
-            account()
-            return nxt
-        return step
+        return self._finish(insn, body, nxt)
 
-    def _compile_extract(self, insn: Instruction, nxt: int):
+    def _compile_extract(self, insn: Instruction, nxt: int) -> InsnSemantics:
         dst, src, imm = insn.operands
         if not isinstance(dst, VectorRegister):
             raise MachineError("memory destination extract unsupported")
@@ -1011,33 +1079,27 @@ class Cpu:
         offset = imm.value * out_lanes
         vec = self.vec
         dcode, scode = dst.code, src.code
-        account = self._account_fn(insn)
 
-        def step() -> int:
+        def body() -> None:
             chunk = vec[scode, offset: offset + out_lanes].copy()
             row = vec[dcode]
             row[:] = 0.0
             row[:out_lanes] = chunk
-            account()
-            return nxt
-        return step
+        return self._finish(insn, body, nxt)
 
-    def _compile_vpslld(self, insn: Instruction, nxt: int):
+    def _compile_vpslld(self, insn: Instruction, nxt: int) -> InsnSemantics:
         dst, src, imm = insn.operands
         vec_i32 = self.vec_i32
         lanes = dst.lanes_f32
         dcode, scode, k = dst.code, src.code, imm.value
-        account = self._account_fn(insn)
 
-        def step() -> int:
+        def body() -> None:
             result = vec_i32[scode, :lanes] << k
             vec_i32[dcode, :] = 0
             vec_i32[dcode, :lanes] = result
-            account()
-            return nxt
-        return step
+        return self._finish(insn, body, nxt)
 
-    def _compile_gather(self, insn: Instruction, nxt: int):
+    def _compile_gather(self, insn: Instruction, nxt: int) -> InsnSemantics:
         dst, mem = insn.operands
         if not mem.is_gather or mem.base is None:
             raise MachineError(f"vgatherdps needs base + vector index: {insn}")
@@ -1052,9 +1114,37 @@ class Cpu:
         memory = self.memory
         counters = self.counters
         caches = self.caches
-        pipeline = self.pipeline
 
-        def step() -> int:
+        def body() -> None:
+            base = gpr_state[base_code] + disp
+            indices = vec_i32[icode, :lanes]
+            row = vec[dcode]
+            row[lanes:] = 0.0
+            for lane in range(lanes):
+                addr = base + int(indices[lane]) * scale
+                seg = memory.segment_of(addr, 4)
+                off = addr - seg.base
+                row[lane] = seg.f32v[off >> 2] if not off & 3 else np.frombuffer(
+                    seg.raw[off: off + 4].tobytes(), np.float32
+                )[0]
+
+        if caches is None:
+            deltas = {
+                "instructions": 1, "simd_instructions": 1,
+                "memory_loads": lanes, "loaded_bytes": 4 * lanes,
+                "gather_elements": lanes,
+            }
+            bump = make_bump(counters, deltas)
+
+            def step() -> int:
+                body()
+                bump()
+                return nxt
+            return InsnSemantics(step, body, deltas)
+
+        cpu = self  # pipeline may be swapped out during warm-up passes
+
+        def step_timed() -> int:
             base = gpr_state[base_code] + disp
             indices = vec_i32[icode, :lanes]
             refs = []
@@ -1067,19 +1157,19 @@ class Cpu:
                 row[lane] = seg.f32v[off >> 2] if not off & 3 else np.frombuffer(
                     seg.raw[off: off + 4].tobytes(), np.float32
                 )[0]
-                if caches is not None:
-                    level = caches.access(addr, 4)
-                    _count_level(counters, level)
-                    refs.append((level, addr >> 6))
+                level = caches.access(addr, 4)
+                _count_level(counters, level)
+                refs.append((level, addr >> 6))
             counters.instructions += 1
             counters.simd_instructions += 1
             counters.memory_loads += lanes
             counters.loaded_bytes += 4 * lanes
             counters.gather_elements += lanes
-            if pipeline is not None:
-                pipeline.issue(insn, load_refs=tuple(refs), gather_lanes=lanes)
+            if cpu.pipeline is not None:
+                cpu.pipeline.issue(insn, load_refs=tuple(refs),
+                                   gather_lanes=lanes)
             return nxt
-        return step
+        return InsnSemantics(step_timed, body)
 
 
 def _dest_lanes(insn: Instruction) -> int:

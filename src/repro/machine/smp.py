@@ -13,6 +13,13 @@ meaningful: threads race for batches exactly as on real hardware, just
 with a deterministic interleaving.  Instructions never interleave
 *within* an instruction, so ``lock``-prefixed read-modify-writes are
 atomic by construction.
+
+Superblock execution (``fused=True``, the ``sim-fused`` backend)
+preserves that contract exactly: a thread's turn still retires exactly
+``quantum`` instructions — whole blocks while they fit, per-instruction
+steps for the residue — so the global interleaving, and with it every
+``lock xadd`` race outcome and per-thread counter, is bit-identical to
+per-instruction scheduling.
 """
 
 from __future__ import annotations
@@ -43,25 +50,72 @@ class ThreadSpec:
 
 
 class _ThreadState:
-    def __init__(self, cpu: Cpu, spec: ThreadSpec) -> None:
+    def __init__(self, cpu: Cpu, spec: ThreadSpec, fused: bool = False) -> None:
         self.cpu = cpu
         self.spec = spec
         for reg, value in spec.init_gpr.items():
             cpu.set_gpr(reg, value)
-        self.steps = cpu._compile(spec.program)
+        self.steps = cpu.semantics(spec.program).steps
+        self.blocks = cpu.superblocks(spec.program) if fused else None
+        self.limit = cpu.config.max_instructions
         self.pc = 0
         self.done = len(self.steps) == 0
         self.executed = 0
 
     def run_quantum(self, quantum: int) -> None:
+        if self.executed + quantum > self.limit:
+            self._run_quantum_near_limit(quantum)
+            return
         steps = self.steps
         pc = self.pc
         n = len(steps)
         remaining = quantum
-        while remaining > 0:
+        blocks = self.blocks
+        if blocks is None:
+            while remaining > 0:
+                pc = steps[pc]()
+                self.executed += 1
+                remaining -= 1
+                if not 0 <= pc < n:
+                    self.done = True
+                    break
+        else:
+            while remaining > 0:
+                block = blocks[pc]
+                if block is not None and block.length <= remaining:
+                    pc = block.run()
+                    self.executed += block.length
+                    remaining -= block.length
+                else:
+                    pc = steps[pc]()
+                    self.executed += 1
+                    remaining -= 1
+                if not 0 <= pc < n:
+                    self.done = True
+                    break
+        self.pc = pc
+
+    def _run_quantum_near_limit(self, quantum: int) -> None:
+        """Per-instruction stepping with an exact limit check.
+
+        Within one quantum of the execution-step budget the scheduler
+        abandons superblocks, so the limit triggers at precisely the
+        instruction it would under per-instruction interpretation.
+        """
+        steps = self.steps
+        pc = self.pc
+        n = len(steps)
+        for _ in range(quantum):
             pc = steps[pc]()
             self.executed += 1
-            remaining -= 1
+            if self.executed > self.limit:
+                self.pc = pc
+                raise ExecutionLimitExceeded(
+                    f"thread {self.spec.name or '<unnamed>'!r} exceeded the "
+                    f"{self.limit}-instruction execution limit in program "
+                    f"{self.spec.program.name!r} (infinite loop? raise "
+                    f"ExecutionConfig.max_steps for long workloads)"
+                )
             if not 0 <= pc < n:
                 self.done = True
                 break
@@ -93,6 +147,7 @@ class Machine:
         threads: list[ThreadSpec],
         warmup: bool = False,
         between_runs=None,
+        fused: bool = False,
     ) -> tuple[Counters, list[Counters]]:
         """Run all threads to completion.
 
@@ -105,19 +160,22 @@ class Machine:
         the steady state the paper's average-of-ten methodology reports.
         ``between_runs()`` is called after the warm-up pass so the caller
         can reset non-idempotent shared state (the dynamic dispatcher's
-        ``NEXT`` counter).
+        ``NEXT`` counter).  ``fused=True`` executes through the
+        superblock compiler (counts fidelity only; bit-identical
+        results, counters and interleaving).
         """
         cpus = [Cpu(self.memory, self.config) for _ in threads]
         if warmup:
             for cpu in cpus:
                 cpu.disable_pipeline()  # warm caches/predictors cheaply
-            self._execute([_ThreadState(cpu, spec)
+            self._execute([_ThreadState(cpu, spec, fused=fused)
                            for cpu, spec in zip(cpus, threads)])
             for cpu in cpus:
                 cpu.reset_metrics()
             if between_runs is not None:
                 between_runs()
-        states = [_ThreadState(cpu, spec) for cpu, spec in zip(cpus, threads)]
+        states = [_ThreadState(cpu, spec, fused=fused)
+                  for cpu, spec in zip(cpus, threads)]
         self._execute(states)
         per_thread = [state.finalize() for state in states]
         merged = Counters()
@@ -128,22 +186,16 @@ class Machine:
         return merged, per_thread
 
     def _execute(self, states: list[_ThreadState]) -> None:
-        budget = self.config.max_instructions
-        total_executed = 0
+        quantum = self.quantum
         while True:
             alive = False
             for state in states:
                 if state.done:
                     continue
                 alive = True
-                state.run_quantum(self.quantum)
-                total_executed += self.quantum
+                state.run_quantum(quantum)
             if not alive:
                 break
-            if total_executed > budget * max(1, len(states)):
-                raise ExecutionLimitExceeded(
-                    f"machine exceeded {budget} instructions per thread"
-                )
 
     def run_single(self, spec: ThreadSpec) -> Counters:
         """Convenience wrapper for single-thread programs."""

@@ -45,17 +45,32 @@ class Tracer:
     _installed: bool = False
 
     def run(self, program: Program, **kwargs) -> None:
-        """Execute ``program`` on the wrapped CPU, recording the trace."""
-        steps = self.cpu._compile(program)
+        """Execute ``program`` on the wrapped CPU, recording the trace.
+
+        Execution is always per-instruction: superblocks run unwrapped
+        bodies, which would silently drop fused instructions from the
+        trace, so a ``fused=True`` request is rejected rather than
+        producing a misleading partial recording.
+        """
+        from repro.machine.cpu import ProgramSemantics
+
+        if kwargs.pop("fused", False):
+            raise ValueError(
+                "Tracer records per-retired-instruction; superblock "
+                "execution (fused=True) would bypass the trace hooks")
+        semantics = self.cpu.semantics(program)
         texts = [str(insn) for insn in program.instructions]
         wrapped = [self._wrap(step, pc, texts[pc])
-                   for pc, step in enumerate(steps)]
-        # temporarily substitute the compiled steps
-        self.cpu._compiled[id(program)] = wrapped
+                   for pc, step in enumerate(semantics.steps)]
+        # temporarily substitute the compiled steps (the cache is keyed
+        # on content fingerprint, not object identity)
+        key = program.fingerprint()
+        self.cpu._compiled[key] = ProgramSemantics(semantics.insns,
+                                                   steps=wrapped)
         try:
             self.cpu.run(program, **kwargs)
         finally:
-            del self.cpu._compiled[id(program)]
+            self.cpu._compiled.pop(key, None)
 
     def _wrap(self, step, pc: int, text: str):
         entries = self.entries

@@ -36,6 +36,7 @@ import numpy as np
 
 from repro.api.config import ExecutionConfig
 from repro.api.registry import get_system
+from repro.exec import get_backend
 from repro.core.autotune import SplitChoice
 from repro.core.engine import check_operands, multiply_partitioned
 from repro.core.runner import RunResult
@@ -97,7 +98,14 @@ class SpmmService:
             fixed ``"row"`` / ``"nnz"`` / ``"merge"``.
         isa: ISA level for JIT code generation (AOT personalities and
             MKL fix their own).
-        timing: Model caches/pipeline on the simulated ``profile`` path.
+        timing: Model caches/pipeline on the simulated ``profile`` path
+            (legacy spelling of ``backend``: sim vs counts).
+        backend: Default execution backend for ``profile`` requests —
+            any :func:`repro.exec.get_backend`-resolvable name
+            (``"counts"``, ``"sim"``, ``"sim-fused"``, ...); ``None``
+            defers to ``timing``.  ``multiply`` always serves on the
+            ``"native"`` backend.  Per-request overrides win;
+            :meth:`report` breaks traffic down per backend.
         cache: Shared :class:`KernelCache`; a private one (with
             ``cache_budget_bytes``) is created when omitted.
         cache_budget_bytes: Byte budget for the private cache.
@@ -127,6 +135,7 @@ class SpmmService:
         split: str = "auto",
         isa: IsaLevel | str = IsaLevel.AVX512,
         timing: bool = False,
+        backend: str | None = None,
         cache: KernelCache | None = None,
         cache_budget_bytes: int = DEFAULT_CACHE_BUDGET,
         l1=None,
@@ -142,11 +151,11 @@ class SpmmService:
             raise ShapeError(
                 f"split='auto' autotunes via the JIT cost model; system "
                 f"{system!r} serves fixed splits (row/nnz/merge)")
-        # validation (thread count, split name, ...) happens here, once,
-        # for the same contract every entry point shares
+        # validation (thread count, split name, backend name, ...)
+        # happens here, once, for the contract every entry point shares
         self._config = ExecutionConfig(
             split=split, threads=threads, isa=isa, timing=timing,
-            l1=l1, l2=l2, cache=self.cache,
+            backend=backend, l1=l1, l2=l2, cache=self.cache,
         )
         self._artifact = self._system.prepare(self._config)
         if max_workspaces is not None and max_workspaces <= 0:
@@ -158,6 +167,7 @@ class SpmmService:
         self.split = split
         self.isa = self._config.isa
         self.timing = timing
+        self.backend = self._config.backend
         self.l1 = l1
         self.l2 = l2
         self.max_workspaces = max_workspaces
@@ -376,35 +386,50 @@ class SpmmService:
         t2 = time.perf_counter()
         with self._lock:
             self.stats.handle(handle.handle_id, handle.name).observe(
-                t2 - t0, cold, exec_seconds=t2 - t1)
+                t2 - t0, cold, exec_seconds=t2 - t1, backend="native")
         return y
 
     def profile(self, handle: MatrixHandle, x: np.ndarray,
-                timing: bool | None = None) -> RunResult:
+                timing: bool | None = None,
+                backend: str | None = None) -> RunResult:
         """Serve one request on the simulated machine, with counters.
 
         Re-executes the cached kernel in the handle's persistent address
         space: the new ``X`` is written into the mapped segment the
         kernel reads, ``Y`` and the dispatch state are reset, and the
         simulated threads run the identical instruction stream.
+
+        ``backend`` picks the simulator backend for this request
+        (``"counts"`` / ``"sim"`` / ``"sim-fused"``); ``timing`` is the
+        legacy boolean spelling.  Explicit per-request arguments beat
+        the service defaults.
         """
         x = check_operands(handle.matrix, x)
         t0 = time.perf_counter()
         ws, _, codegen_seconds, cold, generated = self._resolve(
             handle, int(x.shape[1]))
-        timing = self.timing if timing is None else timing
+        if backend is None and timing is None:
+            backend = self._config.effective_backend
+        resolved = ws.plan.resolve_backend(timing=timing, backend=backend)
+        if not get_backend(resolved).provides_counters:
+            raise ShapeError(
+                f"profile() returns perf counters, which backend "
+                f"{resolved!r} does not produce; use multiply() for the "
+                f"plain product or a simulator backend "
+                f"(counts/sim/sim-fused)")
         # the workspace's mapped segments are shared mutable state:
         # serialize concurrent profiles of the same (handle, d)
         with ws.lock:
             # exec clock starts inside the lock: wait time behind a
             # contended workspace must not inflate exec_seconds
             t1 = time.perf_counter()
-            result = ws.plan.refresh(x).execute(timing=timing)
+            result = ws.plan.refresh(x).execute(backend=resolved)
             y = result.y.copy()
         t2 = time.perf_counter()
         with self._lock:
             self.stats.handle(handle.handle_id, handle.name).observe(
-                t2 - t0, cold, exec_seconds=t2 - t1, profiled=True)
+                t2 - t0, cold, exec_seconds=t2 - t1, profiled=True,
+                backend=resolved)
         return replace(
             result, y=y, codegen_seconds=codegen_seconds,
             system=f"{result.system}-serve",

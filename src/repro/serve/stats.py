@@ -54,6 +54,9 @@ class HandleStats:
     exec_seconds: float = 0.0
     cold: LatencyStat = field(default_factory=LatencyStat)
     warm: LatencyStat = field(default_factory=LatencyStat)
+    #: requests per execution backend (``"native"`` for the fast path,
+    #: the resolved simulator backend for profiled requests)
+    backends: dict[str, int] = field(default_factory=dict)
 
     def record_codegen(self, seconds: float) -> None:
         """Record one code-generation run (whether or not it served a
@@ -63,7 +66,8 @@ class HandleStats:
 
     def observe(self, seconds: float, cold: bool,
                 exec_seconds: float | None = None,
-                profiled: bool = False) -> None:
+                profiled: bool = False,
+                backend: str | None = None) -> None:
         """Record one served request.
 
         ``seconds`` is the request's total wall latency (what the
@@ -71,7 +75,8 @@ class HandleStats:
         part — excluding codegen, autotuning and operand mapping, which
         are one-time cold costs — and is the denominator the amortized
         Table-IV ratio accumulates.  Defaults to ``seconds`` when the
-        request had no setup component.
+        request had no setup component.  ``backend`` attributes the
+        request to one execution backend's traffic bucket.
         """
         self.requests += 1
         if profiled:
@@ -80,6 +85,8 @@ class HandleStats:
             self.cold.observe(seconds)
         else:
             self.warm.observe(seconds)
+        if backend:
+            self.backends[backend] = self.backends.get(backend, 0) + 1
         self.exec_seconds += max(
             0.0, seconds if exec_seconds is None else exec_seconds)
 
@@ -90,7 +97,7 @@ class HandleStats:
 
     def render(self) -> str:
         label = self.name or "<anonymous>"
-        return "\n".join([
+        lines = [
             f"{label}: {self.requests} requests "
             f"({self.codegen_runs} codegen runs, "
             f"{self.profiled_requests} profiled)",
@@ -98,7 +105,12 @@ class HandleStats:
             f"  warm  {self.warm.render()}",
             f"  codegen {self.codegen_seconds * 1e3:.3f}ms total, "
             f"amortized overhead {100.0 * self.codegen_overhead():.4f}%",
-        ])
+        ]
+        if self.backends:
+            lines.append("  backends " + " ".join(
+                f"{name}={count}"
+                for name, count in sorted(self.backends.items())))
+        return "\n".join(lines)
 
 
 @dataclass
@@ -130,6 +142,15 @@ class ServiceStats:
     def exec_seconds(self) -> float:
         return sum(h.exec_seconds for h in self.handles.values())
 
+    @property
+    def backend_traffic(self) -> dict[str, int]:
+        """Service-wide requests per execution backend."""
+        traffic: dict[str, int] = {}
+        for handle in self.handles.values():
+            for name, count in handle.backends.items():
+                traffic[name] = traffic.get(name, 0) + count
+        return traffic
+
     def codegen_overhead(self) -> float:
         """Amortized Table-IV metric across all handles."""
         total = self.codegen_seconds + self.exec_seconds
@@ -142,6 +163,11 @@ class ServiceStats:
             f"runs, amortized codegen overhead "
             f"{100.0 * self.codegen_overhead():.4f}%",
         ]
+        traffic = self.backend_traffic
+        if traffic:
+            lines.append("traffic by backend: " + ", ".join(
+                f"{name}={count}"
+                for name, count in sorted(traffic.items())))
         if cache_stats is not None:
             lines.append(cache_stats.render())
         lines.extend(stats.render()

@@ -9,7 +9,28 @@ class TestCli:
     def test_experiments_registry_complete(self):
         assert set(EXPERIMENTS) == {
             "table2", "table4", "fig9", "fig10", "fig11", "ablations",
-            "serving"}
+            "serving", "simspeed"}
+
+    def test_runs_simspeed_experiment(self, capsys, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_BENCH_DATASETS", "uk-2005")
+        monkeypatch.setenv("REPRO_BENCH_THREADS", "2")
+        json_path = tmp_path / "BENCH_simspeed.json"
+        monkeypatch.setenv("REPRO_BENCH_SIMSPEED_JSON", str(json_path))
+        exit_code = main(["simspeed", "--scale", str(2.0 ** -22)])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "Simspeed" in out
+        assert "sim-fused" in out
+        import json
+        payload = json.loads(json_path.read_text())
+        assert payload["experiment"] == "simspeed"
+        backends = {row["backend"] for row in payload["rows"]}
+        assert backends == {"native", "counts", "sim", "sim-fused"}
+        # the instruction streams must agree between the simulators
+        counts = {row["backend"]: row["instructions"]
+                  for row in payload["rows"]}
+        assert counts["counts"] == counts["sim"] == counts["sim-fused"]
+        assert "sim-fused" in payload["speedup_vs_sim"]
 
     def test_unknown_experiment_rejected(self):
         with pytest.raises(SystemExit):

@@ -1,0 +1,344 @@
+"""Tests for the execution-backend layer (`repro.exec`).
+
+The heart of this file is the fused-simulator conformance contract:
+``sim-fused`` must be bit-identical to the per-instruction simulators on
+results and event counters — across every registered system, across
+dynamic-dispatch races, per thread — while the backend axis stays
+selectable from every entry point (``repro.run``, ``JitSpMM``,
+``SpmmService``, ``run_jit``/``run_aot``/``run_mkl``).
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core.runner import run_aot, run_jit, run_mkl
+from repro.datasets import load
+from repro.errors import ExecutionLimitExceeded, RegistryError, ShapeError
+from repro.exec import Executor, backend_capabilities, get_backend
+from repro.serve import SpmmService
+
+_TWINS = ("uk-2005", "GAP-urand")
+
+#: aliases resolve to the same instances; test canonical spellings once
+_CANONICAL = [name for name in repro.available_systems()
+              if repro.get_system(name).name == name]
+
+
+@pytest.fixture(scope="module")
+def twins():
+    return {name: load(name, scale=2.0 ** -21, seed=7) for name in _TWINS}
+
+
+def _dense(matrix, d=16, seed=99):
+    rng = np.random.default_rng(seed)
+    return rng.random((matrix.ncols, d), dtype=np.float32)
+
+
+def _counter_dicts(result):
+    return (result.counters.as_dict(),
+            [c.as_dict() for c in result.per_thread])
+
+
+class TestRegistry:
+    def test_builtin_backends_available(self):
+        names = repro.available_backends()
+        for required in ("native", "counts", "sim", "sim-fused"):
+            assert required in names
+
+    def test_aliases_resolve_to_canonical(self):
+        assert get_backend("fused").name == "sim-fused"
+        assert get_backend("numpy").name == "native"
+
+    def test_unknown_backend_raises(self):
+        with pytest.raises(RegistryError, match="unknown execution backend"):
+            get_backend("gpu")
+
+    def test_capability_matrix(self):
+        matrix = backend_capabilities()
+        assert matrix["native"] == {"result": True, "counters": False,
+                                    "cycles": False}
+        assert matrix["counts"] == {"result": True, "counters": True,
+                                    "cycles": False}
+        assert matrix["sim"] == {"result": True, "counters": True,
+                                 "cycles": True}
+        assert matrix["sim-fused"] == {"result": True, "counters": True,
+                                       "cycles": False}
+
+    def test_native_needs_no_kernel(self):
+        assert get_backend("native").requires_kernel is False
+        assert get_backend("sim-fused").requires_kernel is True
+
+    def test_alias_cannot_shadow_a_canonical_backend(self):
+        """Regression: an alias colliding with a builtin name used to
+        silently hijack it for every resolver."""
+        class Hijack(Executor):
+            def execute(self, plan):
+                raise NotImplementedError
+
+        with pytest.raises(RegistryError, match="shadow"):
+            repro.register_backend("turbo", Hijack(), aliases=("sim",))
+        # the builtin is untouched either way
+        assert get_backend("sim").provides_cycles
+
+    def test_nameless_third_party_backend_gets_its_registry_name(self):
+        """An executor that never sets `name` is still addressable and
+        normalizes correctly through ExecutionConfig (regression: the
+        config once normalized via executor.name, collapsing to '')."""
+        class Anonymous(Executor):
+            requires_kernel = False
+
+            def execute(self, plan):
+                raise NotImplementedError
+
+        repro.register_backend("anon", Anonymous(), aliases=("anon-alias",))
+        try:
+            assert get_backend("anon").name == "anon"
+            config = repro.ExecutionConfig(backend="anon-alias")
+            assert config.backend == "anon"
+        finally:
+            from repro.exec import unregister_backend
+            assert unregister_backend("anon")
+
+    def test_third_party_backend_plugs_in(self, twins):
+        class Recording(Executor):
+            name = "recording"
+            requires_kernel = False
+
+            def execute(self, plan):
+                result = get_backend("native").execute(plan)
+                return dataclasses.replace(result, backend=self.name)
+
+        repro.register_backend("recording", Recording())
+        try:
+            matrix = twins["uk-2005"]
+            x = _dense(matrix)
+            result = repro.run(matrix, x, system="jit", threads=2,
+                               backend="recording")
+            assert result.backend == "recording"
+            assert np.array_equal(result.y, repro.spmm_reference(matrix, x))
+        finally:
+            from repro.exec import unregister_backend
+            assert unregister_backend("recording")
+
+
+class TestExecutionConfig:
+    def test_backend_validated_and_normalized(self):
+        config = repro.ExecutionConfig(backend="fused")
+        assert config.backend == "sim-fused"
+        assert config.effective_backend == "sim-fused"
+
+    def test_unknown_backend_rejected_at_construction(self):
+        with pytest.raises(RegistryError):
+            repro.ExecutionConfig(backend="warp-drive")
+
+    def test_effective_backend_derives_from_timing(self):
+        assert repro.ExecutionConfig(timing=True).effective_backend == "sim"
+        assert repro.ExecutionConfig(
+            timing=False).effective_backend == "counts"
+
+    def test_explicit_backend_beats_timing(self):
+        config = repro.ExecutionConfig(timing=True, backend="counts")
+        assert config.effective_backend == "counts"
+
+    def test_max_steps_validated(self):
+        with pytest.raises(ShapeError, match="max_steps"):
+            repro.ExecutionConfig(max_steps=0)
+
+
+class TestBackendSelection:
+    """All four backends, from every entry point (acceptance criterion)."""
+
+    @pytest.mark.parametrize("backend", ["native", "counts", "sim",
+                                         "sim-fused"])
+    def test_repro_run(self, twins, backend):
+        matrix = twins["uk-2005"]
+        x = _dense(matrix)
+        result = repro.run(matrix, x, system="jit", threads=3,
+                           backend=backend)
+        assert result.backend == backend
+        assert np.array_equal(result.y, repro.spmm_reference(matrix, x))
+        if backend == "native":
+            assert result.counters.instructions == 0
+        else:
+            assert result.counters.instructions > 0
+        assert (result.counters.cycles > 0) == (backend == "sim")
+
+    @pytest.mark.parametrize("backend", ["counts", "sim", "sim-fused"])
+    def test_jitspmm(self, twins, backend):
+        matrix = twins["GAP-urand"]
+        x = _dense(matrix)
+        engine = repro.JitSpMM(split="nnz", threads=2, backend=backend)
+        result = engine.profile(matrix, x)
+        assert result.backend == backend
+        assert np.array_equal(result.y, repro.spmm_reference(matrix, x))
+        # multiply always serves on the native backend, no codegen
+        assert np.array_equal(engine.multiply(matrix, x),
+                              repro.spmm_reference(matrix, x))
+
+    @pytest.mark.parametrize("backend", ["counts", "sim", "sim-fused"])
+    def test_runner_shims(self, twins, backend):
+        matrix = twins["uk-2005"]
+        x = _dense(matrix)
+        expected = repro.spmm_reference(matrix, x)
+        for result in (
+            run_jit(matrix, x, threads=2, backend=backend),
+            run_aot(matrix, x, personality="gcc", threads=2,
+                    backend=backend),
+            run_mkl(matrix, x, threads=2, backend=backend),
+        ):
+            assert result.backend == backend
+            assert np.allclose(result.y, expected, atol=1e-4)
+
+    @pytest.mark.parametrize("backend", ["counts", "sim", "sim-fused"])
+    def test_service(self, twins, backend):
+        matrix = twins["uk-2005"]
+        x = _dense(matrix)
+        service = SpmmService(threads=2, split="auto", backend=backend)
+        handle = service.register(matrix, "t")
+        result = service.profile(handle, x)
+        assert result.backend == backend
+        assert np.array_equal(result.y, repro.spmm_reference(matrix, x))
+
+    def test_bench_harness(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", str(2.0 ** -22))
+        monkeypatch.setenv("REPRO_BENCH_DATASETS", "uk-2005")
+        monkeypatch.setenv("REPRO_BENCH_THREADS", "2")
+        from repro.bench.harness import BenchConfig
+
+        config = BenchConfig()
+        for backend in ("counts", "sim", "sim-fused"):
+            row = config.run("jit", "uk-2005", 16, backend=backend,
+                             timing=backend == "sim")
+            assert row.backend == backend
+        # an alias spelling hits the canonical memo cell, not a rerun
+        fused = config.run("jit", "uk-2005", 16, backend="sim-fused",
+                           timing=False)
+        assert config.run("jit", "uk-2005", 16, backend="fused",
+                          timing=False) is fused
+
+
+class TestFusedConformance:
+    """`sim-fused` is bit-identical to the stepping simulators."""
+
+    @pytest.mark.parametrize("dataset", _TWINS)
+    @pytest.mark.parametrize("system", _CANONICAL)
+    def test_bit_identical_to_counts_across_registry(self, twins, system,
+                                                     dataset):
+        matrix = twins[dataset]
+        x = _dense(matrix)
+        stepped = repro.run(matrix, x, system=system, threads=3,
+                            backend="counts")
+        fused = repro.run(matrix, x, system=system, threads=3,
+                          backend="sim-fused")
+        assert np.array_equal(stepped.y, fused.y), system
+        assert _counter_dicts(stepped) == _counter_dicts(fused), system
+
+    def test_event_counters_match_sim(self, twins):
+        """Against cycle-accurate `sim`: every architectural event
+        agrees; only the timing model's own products (cycles, cache
+        hit/miss levels) are extra on the sim side."""
+        timing_model_fields = {"cycles", "l1_hits", "l1_misses",
+                               "l2_hits", "l2_misses"}
+        matrix = twins["uk-2005"]
+        x = _dense(matrix)
+        sim = repro.run(matrix, x, system="jit", threads=3, backend="sim")
+        fused = repro.run(matrix, x, system="jit", threads=3,
+                          backend="sim-fused")
+        assert np.array_equal(sim.y, fused.y)
+        for merged_sim, merged_fused in zip(
+                [sim.counters, *sim.per_thread],
+                [fused.counters, *fused.per_thread]):
+            a, b = merged_sim.as_dict(), merged_fused.as_dict()
+            assert a["cycles"] > 0 and b["cycles"] == 0
+            for name in timing_model_fields:
+                a.pop(name), b.pop(name)
+            assert a == b
+
+    @pytest.mark.parametrize("split,dynamic", [("row", True),
+                                               ("row", False),
+                                               ("merge", None)])
+    def test_dispatch_races_are_reproduced(self, twins, split, dynamic):
+        """The lock-xadd batch race resolves identically per thread:
+        superblock scheduling preserves the exact interleaving."""
+        matrix = twins["GAP-urand"]
+        x = _dense(matrix, d=8)
+        kwargs = dict(split=split, dynamic=dynamic, threads=4)
+        stepped = run_jit(matrix, x, timing=False, **kwargs)
+        fused = run_jit(matrix, x, backend="sim-fused", **kwargs)
+        assert np.array_equal(stepped.y, fused.y)
+        assert _counter_dicts(stepped) == _counter_dicts(fused)
+
+
+class TestMaxSteps:
+    def test_limit_threads_through_config(self, twins):
+        matrix = twins["uk-2005"]
+        x = _dense(matrix)
+        with pytest.raises(ExecutionLimitExceeded) as excinfo:
+            repro.run(matrix, x, system="jit", threads=2, timing=False,
+                      max_steps=50)
+        message = str(excinfo.value)
+        assert "50" in message          # the limit
+        assert "thread" in message      # the owning thread
+        assert "jit" in message         # its name prefix
+
+    @pytest.mark.parametrize("backend", ["counts", "sim-fused"])
+    def test_limit_is_backend_independent(self, twins, backend):
+        matrix = twins["uk-2005"]
+        x = _dense(matrix)
+        with pytest.raises(ExecutionLimitExceeded):
+            repro.run(matrix, x, system="jit", threads=2, backend=backend,
+                      max_steps=50)
+
+    def test_generous_limit_passes(self, twins):
+        matrix = twins["uk-2005"]
+        x = _dense(matrix)
+        result = repro.run(matrix, x, system="jit", threads=2,
+                           backend="sim-fused", max_steps=10_000_000)
+        assert np.array_equal(result.y, repro.spmm_reference(matrix, x))
+
+
+class TestServiceBackendTraffic:
+    def test_traffic_is_attributed_per_backend(self, twins):
+        matrix = twins["uk-2005"]
+        x = _dense(matrix)
+        service = SpmmService(threads=2, split="auto", timing=False)
+        handle = service.register(matrix, "traffic")
+        service.multiply(handle, x)
+        service.multiply(handle, x)
+        service.profile(handle, x)                        # counts default
+        service.profile(handle, x, backend="sim-fused")   # explicit
+        service.profile(handle, x, backend="fused")       # alias: same bucket
+        service.profile(handle, x, timing=True)           # legacy boolean
+        traffic = service.stats.backend_traffic
+        assert traffic == {"native": 2, "counts": 1, "sim-fused": 2,
+                           "sim": 1}
+        report = service.report()
+        assert "traffic by backend" in report
+        assert "sim-fused=2" in report
+
+    def test_profile_rejects_counterless_backends(self, twins):
+        """profile() promises counters; a backend that produces none
+        (native) is rejected rather than returning zeros."""
+        matrix = twins["uk-2005"]
+        x = _dense(matrix)
+        service = SpmmService(threads=2, split="row", backend="native")
+        handle = service.register(matrix)
+        assert np.array_equal(service.multiply(handle, x),
+                              repro.spmm_reference(matrix, x))
+        with pytest.raises(ShapeError, match="counters"):
+            service.profile(handle, x)
+        other = SpmmService(threads=2, split="row")
+        with pytest.raises(ShapeError, match="counters"):
+            other.profile(other.register(matrix), x, backend="native")
+
+    def test_constructor_backend_is_the_profile_default(self, twins):
+        matrix = twins["uk-2005"]
+        x = _dense(matrix)
+        service = SpmmService(threads=2, split="row", backend="sim-fused")
+        handle = service.register(matrix)
+        result = service.profile(handle, x)
+        assert result.backend == "sim-fused"
+        assert service.stats.backend_traffic == {"sim-fused": 1}

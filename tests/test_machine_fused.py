@@ -1,0 +1,249 @@
+"""Tests for superblock compilation and the content-keyed closure cache."""
+
+import gc
+
+import numpy as np
+import pytest
+
+from repro.errors import ExecutionLimitExceeded, MachineError
+from repro.isa.assembler import Assembler
+from repro.isa.operands import Imm, Mem
+from repro.isa.registers import regs, zmm
+from repro.machine import Cpu, CpuConfig, Machine, Memory, ThreadSpec
+
+
+def loop_program(data_base: int, out_base: int, count: int):
+    """Sum data[0:count) into out[0], with a multi-instruction loop body."""
+    asm = Assembler("loop")
+    asm.mov(regs.rax, Imm(data_base, 64))
+    asm.mov(regs.rbx, 0)          # accumulator
+    asm.mov(regs.rcx, 0)          # index
+    asm.label("loop")
+    asm.cmp(regs.rcx, count)
+    asm.jge("done")
+    asm.add(regs.rbx, Mem(regs.rax, regs.rcx, 8, 0, size=8))
+    asm.inc(regs.rcx)
+    asm.jmp("loop")
+    asm.label("done")
+    asm.mov(regs.rdx, Imm(out_base, 64))
+    asm.mov(Mem(regs.rdx, size=8), regs.rbx)
+    asm.ret()
+    return asm.finish()
+
+
+def setup_memory(count=20):
+    mem = Memory()
+    data = np.arange(1, count + 1, dtype=np.int64)
+    out = np.zeros(1, dtype=np.int64)
+    db = mem.map_array(data)
+    ob = mem.map_array(out)
+    return mem, db, ob, out, int(data.sum())
+
+
+class TestBlockDiscovery:
+    def test_block_starts_at_entry_labels_and_branch_successors(self):
+        program = loop_program(0x1000, 0x2000, 4)
+        # layout: 0-2 prologue, 3 cmp, 4 jge, 5 add, 6 inc, 7 jmp,
+        #         8 mov, 9 mov-store, 10 ret
+        assert program.block_starts() == [0, 3, 5, 8]
+
+    def test_superblock_table_shape(self):
+        program = loop_program(0x1000, 0x2000, 4)
+        cpu = Cpu(Memory(), CpuConfig(timing=False))
+        table = cpu.superblocks(program)
+        starts = [block.start for block in table if block is not None]
+        assert starts == [0, 3, 5, 8]
+        lengths = {block.start: block.length
+                   for block in table if block is not None}
+        # prologue (3 insns, falls through into the loop label)
+        assert lengths[0] == 3
+        # loop header: cmp + jge terminator
+        assert lengths[3] == 2
+        # loop body: add + inc + jmp terminator
+        assert lengths[5] == 3
+        # epilogue: mov + store + ret terminator
+        assert lengths[8] == 3
+
+    def test_timing_cpu_refuses_superblocks(self):
+        program = loop_program(0x1000, 0x2000, 4)
+        cpu = Cpu(Memory(), CpuConfig(timing=True))
+        with pytest.raises(MachineError, match="counts fidelity"):
+            cpu.superblocks(program)
+
+
+class TestFusedEquivalence:
+    def test_single_cpu_fused_matches_stepped(self):
+        mem, db, ob, out, expected = setup_memory()
+        program = loop_program(db, ob, 20)
+        stepped = Cpu(mem, CpuConfig(timing=False))
+        counters_stepped = stepped.run(program)
+        first = out[0]
+        out[0] = 0
+        fused_cpu = Cpu(mem, CpuConfig(timing=False))
+        counters_fused = fused_cpu.run(program, fused=True)
+        assert out[0] == first == expected
+        assert counters_stepped.as_dict() == counters_fused.as_dict()
+        assert fused_cpu.gpr == stepped.gpr
+
+    def test_entry_mid_block_falls_back_to_stepping(self):
+        mem, db, ob, out, _ = setup_memory()
+        program = loop_program(db, ob, 20)
+        # entry index 1 is inside the prologue block: no superblock
+        # covers it, so execution starts on per-instruction steps (rax
+        # is preloaded to compensate for the skipped instruction)
+        cpu = Cpu(mem, CpuConfig(timing=False))
+        cpu.set_gpr("rax", db)
+        cpu.run(program, entry=1, fused=True)
+        assert out[0] == sum(range(1, 21))
+
+    def test_fuel_limit_is_exact_under_fusion(self):
+        for fuel in (1, 2, 3, 7, 10, 50):
+            mem_a = setup_memory(1000)
+            mem_b = setup_memory(1000)
+            prog_a = loop_program(mem_a[1], mem_a[2], 1000)
+            prog_b = loop_program(mem_b[1], mem_b[2], 1000)
+            cpu_a = Cpu(mem_a[0], CpuConfig(timing=False))
+            cpu_b = Cpu(mem_b[0], CpuConfig(timing=False))
+            with pytest.raises(ExecutionLimitExceeded):
+                cpu_a.run(prog_a, fuel=fuel)
+            with pytest.raises(ExecutionLimitExceeded):
+                cpu_b.run(prog_b, fuel=fuel, fused=True)
+            # the raise happens at the same instruction: identical
+            # architectural and counter state either way
+            assert cpu_a.gpr == cpu_b.gpr
+            assert cpu_a.counters.as_dict() == cpu_b.counters.as_dict()
+
+    @pytest.mark.parametrize("quantum", [1, 2, 3, 5, 8, 64])
+    def test_machine_fused_matches_stepped_per_quantum(self, quantum):
+        results = []
+        for fused in (False, True):
+            mem, db, ob, out, expected = setup_memory(50)
+            program = loop_program(db, ob, 50)
+            machine = Machine(mem, CpuConfig(timing=False), quantum=quantum)
+            merged, per_thread = machine.run(
+                [ThreadSpec(program, name=f"t{i}") for i in range(3)],
+                fused=fused)
+            results.append((int(out[0]), merged.as_dict(),
+                            [c.as_dict() for c in per_thread]))
+        assert results[0] == results[1]
+
+    def test_faulting_block_matches_stepped_state(self):
+        """A body faulting mid-block retires the completed prefix's
+        counters: fault-time counter and architectural state are
+        bit-identical to per-instruction stepping."""
+        from repro.errors import SegmentationFault
+
+        def build(base):
+            asm = Assembler("faulty")
+            asm.mov(regs.rax, Imm(base, 64))
+            asm.mov(regs.rbx, 7)
+            asm.mov(Mem(regs.rax, size=8), regs.rbx)       # ok
+            asm.add(regs.rbx, 1)
+            asm.mov(regs.rcx, Imm(0xDEAD0000, 64))
+            asm.mov(Mem(regs.rcx, size=8), regs.rbx)       # faults
+            asm.add(regs.rbx, 100)                          # never runs
+            asm.ret()
+            return asm.finish()
+
+        states = []
+        for fused in (False, True):
+            mem = Memory()
+            base, _ = mem.map_zeros(8)
+            cpu = Cpu(mem, CpuConfig(timing=False))
+            with pytest.raises(SegmentationFault):
+                cpu.run(build(base), fused=fused)
+            states.append((cpu.gpr[:], cpu.counters.as_dict(),
+                           mem.read_int(base, 8)))
+        assert states[0] == states[1]
+        # five instructions retired before the fault
+        assert states[0][1]["instructions"] == 5
+
+    def test_vector_blocks_fuse(self):
+        """A block containing SIMD bodies fuses and counts flops
+        identically to stepping."""
+        mem = Memory()
+        data = np.arange(32, dtype=np.float32)
+        out = np.zeros(16, dtype=np.float32)
+        db = mem.map_array(data)
+        ob = mem.map_array(out)
+
+        def build():
+            asm = Assembler("vec")
+            asm.mov(regs.rax, Imm(db, 64))
+            asm.vmovups(zmm(0), Mem(regs.rax, size=64))
+            asm.vmovups(zmm(1), Mem(regs.rax, disp=64, size=64))
+            asm.vfmadd231ps(zmm(2), zmm(0), zmm(1))
+            asm.mov(regs.rbx, Imm(ob, 64))
+            asm.vmovups(Mem(regs.rbx, size=64), zmm(2))
+            asm.ret()
+            return asm.finish()
+
+        outputs, counter_dicts = [], []
+        for fused in (False, True):
+            out[:] = 0.0
+            cpu = Cpu(mem, CpuConfig(timing=False))
+            counters = cpu.run(build(), fused=fused)
+            outputs.append(out.copy())
+            counter_dicts.append(counters.as_dict())
+        assert np.array_equal(outputs[0], outputs[1])
+        assert counter_dicts[0] == counter_dicts[1]
+        assert counter_dicts[0]["flop"] == 32
+        assert counter_dicts[0]["simd_instructions"] == 4
+
+
+class TestCompiledCacheKeying:
+    """Regression: `Cpu._compiled` used to key on `id(program)`."""
+
+    def test_cache_is_content_keyed(self):
+        cpu = Cpu(Memory(), CpuConfig(timing=False))
+        asm = Assembler("a")
+        asm.mov(regs.rax, 1)
+        asm.ret()
+        p1 = asm.finish()
+        semantics = cpu.semantics(p1)
+        # an equal-content program compiled separately shares the entry
+        asm2 = Assembler("b")  # name differs: excluded from identity
+        asm2.mov(regs.rax, 1)
+        asm2.ret()
+        assert cpu.semantics(asm2.finish()) is semantics
+        # different content gets its own entry
+        asm3 = Assembler("a")
+        asm3.mov(regs.rax, 2)
+        asm3.ret()
+        assert cpu.semantics(asm3.finish()) is not semantics
+
+    def test_id_reuse_cannot_replay_stale_closures(self):
+        """A collected program's id may be handed to a new program; the
+        content-keyed cache must never replay the old closures."""
+        cpu = Cpu(Memory(), CpuConfig(timing=False))
+
+        def make(value):
+            asm = Assembler("prog")
+            asm.mov(regs.rax, value)
+            asm.ret()
+            return asm.finish()
+
+        p1 = make(111)
+        cpu.run(p1)
+        assert cpu.get_gpr("rax") == 111
+        stale_id = id(p1)
+        del p1
+        gc.collect()
+        # allocate until one program lands on the reused id (CPython
+        # usually reuses it immediately; bail out after a bounded hunt)
+        for value in range(222, 322):
+            p2 = make(value)
+            if id(p2) == stale_id:
+                break
+        cpu.run(p2)
+        # correct regardless of whether the id collided; when it did,
+        # this is exactly the stale-replay scenario the fingerprint fixes
+        assert cpu.get_gpr("rax") == value
+
+    def test_fingerprint_is_cached_and_stable(self):
+        program = loop_program(0x1000, 0x2000, 4)
+        assert program.fingerprint() == program.fingerprint()
+        clone = loop_program(0x1000, 0x2000, 4)
+        assert clone.fingerprint() == program.fingerprint()
+        other = loop_program(0x1000, 0x2000, 5)
+        assert other.fingerprint() != program.fingerprint()

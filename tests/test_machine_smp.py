@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro.errors import ExecutionLimitExceeded
 from repro.isa.assembler import Assembler
 from repro.isa.operands import Imm, Mem
 from repro.isa.registers import regs
@@ -68,6 +69,151 @@ class TestAtomicity:
             machine.run([ThreadSpec(counting_program(base, 10))] * 3)
             results.append(mem.read_int(base, 8))
         assert results == [30, 30, 30]
+
+
+def batch_claim_program(next_base: int, claims_base: int, batches: int):
+    """Listing-1-style dynamic dispatcher: claim batches via lock xadd.
+
+    Each claimed batch index gets its claims[] slot incremented, so the
+    exactly-once contract is directly observable: any double dispatch
+    leaves a slot > 1, any lost batch leaves a slot == 0.
+    """
+    asm = Assembler("claim")
+    asm.mov(regs.rdi, Imm(next_base, 64))
+    asm.mov(regs.r8, Imm(claims_base, 64))
+    asm.label("loop")
+    asm.mov(regs.rsi, 1)
+    asm.xadd(Mem(regs.rdi, size=8), regs.rsi, lock=True)  # rsi = old NEXT
+    asm.cmp(regs.rsi, batches)
+    asm.jge("done")
+    # claims[old] += 1
+    asm.mov(regs.rax, Mem(regs.r8, regs.rsi, 8, 0, size=8))
+    asm.inc(regs.rax)
+    asm.mov(Mem(regs.r8, regs.rsi, 8, 0, size=8), regs.rax)
+    asm.jmp("loop")
+    asm.label("done")
+    asm.ret()
+    return asm.finish()
+
+
+class TestSchedulingDeterminism:
+    """Satellite coverage: interleaving and dispatch across quanta."""
+
+    QUANTA = (1, 2, 3, 5, 8, 64, 1000)
+
+    def test_interleaving_is_deterministic_per_quantum(self):
+        """Two identical machines replay the identical interleaving:
+        per-thread counters (not just totals) match run for run."""
+        def run_once(quantum):
+            mem = Memory()
+            base, _ = mem.map_zeros(8)
+            machine = Machine(mem, CpuConfig(timing=False), quantum=quantum)
+            _, per_thread = machine.run(
+                [ThreadSpec(counting_program(base, 10), name=f"t{i}")
+                 for i in range(3)])
+            return [c.as_dict() for c in per_thread]
+
+        for quantum in self.QUANTA:
+            assert run_once(quantum) == run_once(quantum)
+
+    def test_static_partition_counters_invariant_across_quanta(self):
+        """Threads with disjoint static work retire the same per-thread
+        instruction stream whatever the quantum: the interleaving moves,
+        the per-thread counters must not."""
+        reference = None
+        for quantum in self.QUANTA:
+            mem = Memory()
+            data = np.arange(60, dtype=np.int64)
+            out = np.zeros(3, dtype=np.int64)
+            db = mem.map_array(data)
+            ob = mem.map_array(out)
+            program = range_sum_program(db, ob)
+            threads = [
+                ThreadSpec(program, init_gpr={"rdi": t * 20,
+                                              "rsi": (t + 1) * 20,
+                                              "rdx": t})
+                for t in range(3)
+            ]
+            machine = Machine(mem, CpuConfig(timing=False), quantum=quantum)
+            _, per_thread = machine.run(threads)
+            snapshot = [c.as_dict() for c in per_thread]
+            assert out.sum() == data.sum()
+            if reference is None:
+                reference = snapshot
+            else:
+                assert snapshot == reference, f"quantum={quantum}"
+
+    @pytest.mark.parametrize("quantum", QUANTA)
+    @pytest.mark.parametrize("fused", [False, True])
+    def test_lock_xadd_claims_every_batch_exactly_once(self, quantum,
+                                                       fused):
+        """The dynamic-dispatch race: whatever the interleaving (and
+        whether blocks are superblock-fused), every batch is claimed by
+        exactly one thread."""
+        batches, threads = 37, 4
+        mem = Memory()
+        next_base, _ = mem.map_zeros(8)
+        claims = np.zeros(batches, dtype=np.int64)
+        claims_base = mem.map_array(claims)
+        program = batch_claim_program(next_base, claims_base, batches)
+        machine = Machine(mem, CpuConfig(timing=False), quantum=quantum)
+        merged, _ = machine.run(
+            [ThreadSpec(program, name=f"w{t}") for t in range(threads)],
+            fused=fused)
+        assert claims.tolist() == [1] * batches
+        # every claim plus every thread's terminating probe is an xadd
+        assert merged.atomic_ops == batches + threads
+
+    def test_fused_reproduces_the_same_race_winners(self):
+        """Superblock scheduling preserves the interleaving exactly, so
+        the *same* thread wins each batch — not merely some thread."""
+        for quantum in (1, 3, 64):
+            outcomes = []
+            for fused in (False, True):
+                mem = Memory()
+                next_base, _ = mem.map_zeros(8)
+                claims = np.zeros(23, dtype=np.int64)
+                claims_base = mem.map_array(claims)
+                program = batch_claim_program(next_base, claims_base, 23)
+                machine = Machine(mem, CpuConfig(timing=False),
+                                  quantum=quantum)
+                _, per_thread = machine.run(
+                    [ThreadSpec(program, name=f"w{t}") for t in range(4)],
+                    fused=fused)
+                outcomes.append([c.as_dict() for c in per_thread])
+            assert outcomes[0] == outcomes[1], f"quantum={quantum}"
+
+
+class TestExecutionLimit:
+    def test_limit_names_thread_and_limit(self):
+        mem = Memory()
+        asm = Assembler("spin")
+        asm.label("loop")
+        asm.jmp("loop")
+        program = asm.finish()
+        machine = Machine(mem, CpuConfig(timing=False,
+                                         max_instructions=100))
+        with pytest.raises(ExecutionLimitExceeded) as excinfo:
+            machine.run([ThreadSpec(program, name="spinner")])
+        message = str(excinfo.value)
+        assert "spinner" in message
+        assert "100" in message
+
+    def test_limit_is_per_thread(self):
+        """One thread spinning cannot borrow budget from finished
+        peers: the limit applies to each thread's own stream."""
+        mem = Memory()
+        base, _ = mem.map_zeros(8)
+        finite = counting_program(base, 1)
+        asm = Assembler("spin")
+        asm.label("loop")
+        asm.jmp("loop")
+        spinner = asm.finish()
+        machine = Machine(mem, CpuConfig(timing=False,
+                                         max_instructions=500))
+        with pytest.raises(ExecutionLimitExceeded, match="spin"):
+            machine.run([ThreadSpec(finite, name="finite"),
+                         ThreadSpec(spinner, name="spin")])
 
 
 class TestWorkPartitioning:
