@@ -10,8 +10,9 @@ def test_simspeed(benchmark, bench_config, record_result):
     # the simulators retire identical instruction streams
     for dataset in result.datasets():
         counts = {backend: result.rows[(dataset, backend)]["instructions"]
-                  for backend in ("counts", "sim", "sim-fused")}
+                  for backend in ("counts", "sim-ref", "sim", "sim-fused")}
         assert len(set(counts.values())) == 1, (dataset, counts)
-    # the acceptance target: superblock compilation buys >= 3x the
-    # simulated instruction throughput of the cycle-accurate backend
+    # the acceptance target: the record/replay timing engine (plus
+    # superblock compilation) buys >= 3x the cycle-accurate instruction
+    # throughput of the per-access sim-ref path
     assert result.speedup_vs_sim("sim-fused") >= 3.0

@@ -223,35 +223,81 @@ class Artifact:
 class BoundPlan:
     """Stage-2 output: one problem bound to one artifact, ready to run.
 
-    Carries the mapped address space, the resolved split and thread
-    partitions, and (once resolved) the compiled kernel.  Reusable
-    across same-shaped requests: :meth:`refresh` writes a new ``X``
-    into the mapped segment and re-arms the dispatcher, and
-    :meth:`execute` re-runs the identical instruction stream.
+    Carries the host-side operand buffers, the resolved split and
+    thread partitions, and (once resolved) the compiled kernel.  The
+    *simulated* address space is bound lazily: ``bind`` only validates
+    operands and partitions work, and the mapping is materialized the
+    first time something actually reads it (kernel identity resolution
+    or a simulated-machine backend).  A ``repro.run(..., backend=
+    "native")`` therefore never maps the address space it never reads.
+    Reusable across same-shaped requests: :meth:`refresh` writes a new
+    ``X`` into the (possibly mapped) buffer and re-arms the dispatcher,
+    and :meth:`execute` re-runs the identical instruction stream.
     """
 
     def __init__(self, artifact: Artifact, matrix, *, key, split: str,
-                 partitions, ranges, operands=None, dynamic: bool = False,
-                 choice=None, name_prefix: str | None = None) -> None:
+                 partitions, ranges, operands=None, x_host=None,
+                 dynamic: bool = False, choice=None,
+                 name_prefix: str | None = None) -> None:
         self.artifact = artifact
         self.matrix = matrix
-        self.key = key
+        self._key = key
         self.split = split
         self.dynamic = dynamic
         self.partitions = partitions
         #: row ranges for the numpy fast path (host-side equivalent of
         #: the simulated threads' ownership)
         self.ranges = ranges
-        self.operands = operands
         self.choice = choice
         self.name_prefix = name_prefix
         self.kernel = None
         self.cache_hit = False
         self.codegen_seconds = 0.0
+        self._operands = operands
+        if operands is not None:
+            # eager binding (third-party systems): host views come from
+            # the already-mapped segments
+            self.x_host = operands.x_host
+            self.y_host = operands.y_host
+        else:
+            self.x_host = x_host
+            self.y_host = (None if x_host is None else
+                           np.zeros((matrix.nrows, x_host.shape[1]),
+                                    dtype=np.float32))
         # kernel attachment finalizes kernel-dependent state (spill
         # areas); concurrent resolvers (the serving subsystem) must not
-        # run that finalization twice
+        # run that finalization twice — the same lock also serializes
+        # lazy operand materialization
         self._attach_lock = threading.Lock()
+
+    @property
+    def key(self):
+        """Kernel-cache identity (may materialize operands: specialized
+        kernels bake mapped addresses into their identity)."""
+        return self._key
+
+    @property
+    def operands(self):
+        """The simulated address space, mapped on first access."""
+        operands = self._operands
+        if operands is None:
+            with self._attach_lock:
+                operands = self._operands
+                if operands is None:
+                    operands = self._operands = self._materialize()
+        return operands
+
+    @property
+    def mapped(self) -> bool:
+        """Whether the simulated address space has been materialized."""
+        return self._operands is not None
+
+    def _materialize(self):
+        """Subclass hook: map the simulated address space."""
+        raise ReproError(
+            f"plan for system {self.system_name!r} has no simulated "
+            "operands; pass operands= at construction or override "
+            "_materialize()")
 
     @property
     def config(self) -> ExecutionConfig:
@@ -267,7 +313,7 @@ class BoundPlan:
 
     @property
     def d(self) -> int:
-        return self.operands.d
+        return int(self.x_host.shape[1])
 
     # ------------------------------------------------------------------
     def attach_kernel(self, kernel, *, cache_hit: bool,
@@ -300,8 +346,8 @@ class BoundPlan:
         if int(x.shape[1]) != self.d:
             raise ShapeError(
                 f"plan is bound for d={self.d}, got X with d={x.shape[1]}")
-        self.operands.x_host[:] = x
-        self.operands.y_host[:] = 0.0
+        self.x_host[:] = x
+        self.y_host[:] = 0.0
         self._reset_dispatch()
         return self
 

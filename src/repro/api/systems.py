@@ -36,6 +36,7 @@ from repro.core.runner import (
     RunResult,
     jit_thread_specs,
     map_jit_operands,
+    resolve_jit_dispatch,
 )
 from repro.core.split import partition
 from repro.machine import ThreadSpec
@@ -51,17 +52,41 @@ __all__ = ["AotSystem", "JitSystem", "MklSystem"]
 # JIT: specialized kernels, bind-time identity
 # ----------------------------------------------------------------------
 class JitPlan(BoundPlan):
-    """A JIT problem binding: spec + mapped operands + partitions."""
+    """A JIT problem binding: spec + partitions, operands mapped lazily.
 
-    def __init__(self, artifact: Artifact, matrix, operands, spec, *,
-                 split: str, dynamic: bool, partitions, ranges, choice,
+    The kernel's cache identity bakes the mapped base addresses, so
+    resolving :attr:`key` materializes the address space; a plan served
+    purely by the ``"native"`` backend never does either.
+    """
+
+    def __init__(self, artifact: Artifact, matrix, x, *, split: str,
+                 dynamic: bool, batch, partitions, ranges, choice,
                  name_prefix: str | None) -> None:
         super().__init__(
-            artifact, matrix, key=jit_key(spec, dynamic), split=split,
-            partitions=partitions, ranges=ranges, operands=operands,
+            artifact, matrix, key=None, split=split,
+            partitions=partitions, ranges=ranges, x_host=x,
             dynamic=dynamic, choice=choice, name_prefix=name_prefix,
         )
+        self._batch = batch
+        self.spec = None
+
+    def _materialize(self):
+        config = self.config
+        operands, spec, _, _ = map_jit_operands(
+            self.matrix, self.x_host, split=self.split,
+            threads=config.threads, dynamic=self.dynamic,
+            batch=self._batch, isa=config.isa, y=self.y_host,
+            partitions=self.partitions,
+        )
         self.spec = spec
+        return operands
+
+    @property
+    def key(self):
+        """Kernel identity: needs the baked addresses, so the first
+        resolution maps the operands."""
+        self.operands
+        return jit_key(self.spec, self.dynamic)
 
     def _thread_specs(self):
         return jit_thread_specs(
@@ -69,15 +94,15 @@ class JitPlan(BoundPlan):
             self.dynamic, name_prefix=self.name_prefix or "jit")
 
     def _reset_dispatch(self) -> None:
-        if self.spec.next_addr:
-            self.operands.memory.write_int(self.spec.next_addr, 8, 0)
+        if self.spec is not None and self.spec.next_addr:
+            self._operands.memory.write_int(self.spec.next_addr, 8, 0)
 
     def _between_runs(self):
         return self._reset_dispatch
 
     def _make_result(self, merged, per_thread) -> RunResult:
         return RunResult(
-            y=self.operands.y_host, counters=merged, per_thread=per_thread,
+            y=self.y_host, counters=merged, per_thread=per_thread,
             program=self.kernel.program,
             codegen_seconds=self.codegen_seconds,
             code_bytes=self.kernel.code_bytes, system="jit",
@@ -96,8 +121,9 @@ class JitSystem(System):
     def bind(self, artifact: Artifact, matrix, x,
              name_prefix: str | None = None) -> JitPlan:
         config = artifact.config
-        # map a private copy: refresh() overwrites the mapped segment
-        # in place and must never clobber the caller's array
+        # bind a private copy: refresh() overwrites the buffer (and,
+        # once mapped, the segment aliasing it) in place and must never
+        # clobber the caller's array
         x = check_operands(matrix, x).copy()
         d = int(x.shape[1])
         choice = None
@@ -106,19 +132,18 @@ class JitSystem(System):
             choice = choose_split(matrix, d, config.threads, config.isa)
             split, dynamic = choice.split, choice.dynamic
             batch = batch or choice.batch
-        operands, spec, dynamic, partitions = map_jit_operands(
-            matrix, x, split=split, threads=config.threads,
-            dynamic=dynamic, batch=batch, isa=config.isa,
-        )
+        dynamic, partitions = resolve_jit_dispatch(
+            matrix, split, config.threads, dynamic)
         ranges = (partition(matrix, config.threads, "row") if dynamic
                   else partitions)
         return JitPlan(
-            artifact, matrix, operands, spec, split=split, dynamic=dynamic,
+            artifact, matrix, x, split=split, dynamic=dynamic, batch=batch,
             partitions=partitions, ranges=ranges, choice=choice,
             name_prefix=name_prefix,
         )
 
     def build_kernel(self, plan: JitPlan) -> tuple[object, float]:
+        plan.operands  # specialization bakes the mapped addresses
         output = JitCodegen(plan.spec).generate(dynamic=plan.dynamic)
         return output, output.codegen_seconds
 
@@ -134,10 +159,11 @@ class ParamBlockPlan(BoundPlan):
 
     Operand layout reproduces the legacy runner exactly: the five SpMM
     arrays, then the parameter block, then the NEXT word, then one
-    spill area per thread.  Spill areas depend on the compiled kernel
-    (its register allocation), so they are mapped when the kernel
-    attaches — deterministically in the same position, since nothing
-    else maps segments in between.
+    spill area per thread.  The whole address space is materialized
+    lazily (native-backend plans never map it); spill areas depend on
+    the compiled kernel (its register allocation), so they are mapped
+    when the kernel attaches — deterministically in the same position,
+    since nothing else maps segments in between.
     """
 
     def __init__(self, artifact: Artifact, matrix, x, *, key,
@@ -146,11 +172,23 @@ class ParamBlockPlan(BoundPlan):
         # private copy, same reason as the JIT bind: refresh() writes
         # into the mapped segment
         x = check_operands(matrix, x).copy()
-        operands = MappedOperands.create(matrix, x)
+        partitions = partition(matrix, config.threads, config.split)
+        super().__init__(
+            artifact, matrix, key=key, split=config.split,
+            partitions=partitions, ranges=partitions, x_host=x,
+            name_prefix=name_prefix,
+        )
+        self.pb_addr = None
+        self.next_addr = None
+        self._init_gprs: list[dict] | None = None
+
+    def _materialize(self):
+        operands = MappedOperands.create(self.matrix, self.x_host,
+                                         y=self.y_host)
         memory = operands.memory
         pb = np.zeros(abi.PARAM_BLOCK_BYTES // 8, dtype=np.int64)
-        pb_addr = memory.map_array(pb, "param_block")
-        next_addr, _ = memory.map_zeros(8, "NEXT")
+        self.pb_addr = memory.map_array(pb, "param_block")
+        self.next_addr, _ = memory.map_zeros(8, "NEXT")
         pb[abi.PARAM_ROW_PTR // 8] = operands.row_ptr_addr
         pb[abi.PARAM_COL_INDICES // 8] = operands.col_addr
         pb[abi.PARAM_VALS // 8] = operands.vals_addr
@@ -158,17 +196,9 @@ class ParamBlockPlan(BoundPlan):
         pb[abi.PARAM_Y // 8] = operands.y_addr
         pb[abi.PARAM_D // 8] = operands.d
         pb[abi.PARAM_M // 8] = operands.m
-        pb[abi.PARAM_NEXT // 8] = next_addr
+        pb[abi.PARAM_NEXT // 8] = self.next_addr
         pb[abi.PARAM_BATCH // 8] = DEFAULT_BATCH
-        partitions = partition(matrix, config.threads, config.split)
-        super().__init__(
-            artifact, matrix, key=key, split=config.split,
-            partitions=partitions, ranges=partitions, operands=operands,
-            name_prefix=name_prefix,
-        )
-        self.pb_addr = pb_addr
-        self.next_addr = next_addr
-        self._init_gprs: list[dict] | None = None
+        return operands
 
     # -- kernel adapters (overridden by the MKL plan) -------------------
     def _program(self):
@@ -184,7 +214,11 @@ class ParamBlockPlan(BoundPlan):
     def _on_attach(self, kernel) -> None:
         if self._init_gprs is not None:
             return
-        memory = self.operands.memory
+        # the attach lock is already held; materialize directly rather
+        # than through the (re-entrant-unsafe) operands property
+        if self._operands is None:
+            self._operands = self._materialize()
+        memory = self._operands.memory
         spill_bytes = self._spill_bytes()
         init_gprs = []
         for t, (r0, r1) in enumerate(self.partitions):
@@ -203,14 +237,15 @@ class ParamBlockPlan(BoundPlan):
                 for t, init in enumerate(self._init_gprs)]
 
     def _reset_dispatch(self) -> None:
-        self.operands.memory.write_int(self.next_addr, 8, 0)
+        if self._operands is not None:
+            self._operands.memory.write_int(self.next_addr, 8, 0)
 
     def _make_result(self, merged, per_thread) -> RunResult:
         # codegen_seconds stays 0: AOT compilation happens "before
         # shipping" and is never part of the measured execution (the
         # serving subsystem accounts amortization separately)
         return RunResult(
-            y=self.operands.y_host, counters=merged, per_thread=per_thread,
+            y=self.y_host, counters=merged, per_thread=per_thread,
             program=self._program(), system=self._label(),
             split=self.split, threads=self.threads,
             partitions=self.partitions, cache_hit=self.cache_hit,

@@ -34,6 +34,7 @@ __all__ = [
     "jit_thread_specs",
     "make_jit_spec",
     "map_jit_operands",
+    "resolve_jit_dispatch",
     "run_aot",
     "run_jit",
     "run_mkl",
@@ -65,7 +66,11 @@ class MappedOperands:
     x_host: np.ndarray | None = None
 
     @classmethod
-    def create(cls, matrix: CsrMatrix, x: np.ndarray) -> "MappedOperands":
+    def create(cls, matrix: CsrMatrix, x: np.ndarray,
+               y: np.ndarray | None = None) -> "MappedOperands":
+        """Map the five arrays; pass ``y`` to alias an existing output
+        buffer (the lazy-binding plans hand in the host-side ``y`` they
+        created at bind time, so the mapping stays zero-copy)."""
         x = np.asarray(x)
         if x.ndim != 2 or x.shape[0] != matrix.ncols:
             raise ShapeError(
@@ -76,7 +81,8 @@ class MappedOperands:
         # col_indices are stored as int32 in kernel memory (the common
         # choice of real SpMM libraries, incl. MKL's default ILP32).
         col32 = np.ascontiguousarray(matrix.col_indices, dtype=np.int32)
-        y = np.zeros((matrix.nrows, x.shape[1]), dtype=np.float32)
+        if y is None:
+            y = np.zeros((matrix.nrows, x.shape[1]), dtype=np.float32)
         return cls(
             memory=memory,
             y_host=y,
@@ -167,6 +173,27 @@ def make_jit_spec(
     )
 
 
+def resolve_jit_dispatch(
+    matrix: CsrMatrix,
+    split: str,
+    threads: int,
+    dynamic: bool | None,
+) -> tuple[bool, list[tuple[int, int]]]:
+    """The single home of the JIT dispatch contract: ``dynamic``
+    defaults to True exactly for row-split (and is rejected for any
+    other split), static splits get host-side partitions while dynamic
+    threads self-dispatch.  Shared by :func:`map_jit_operands` and the
+    lazy ``JitSystem.bind`` (which resolves dispatch before — possibly
+    ever — mapping operands).  Returns ``(dynamic, partitions)``.
+    """
+    if dynamic is None:
+        dynamic = split == "row"
+    if dynamic and split != "row":
+        raise ShapeError("dynamic dispatch applies to row-split only")
+    partitions = [] if dynamic else partition(matrix, threads, split)
+    return dynamic, partitions
+
+
 def map_jit_operands(
     matrix: CsrMatrix,
     x: np.ndarray,
@@ -176,29 +203,32 @@ def map_jit_operands(
     dynamic: bool | None = None,
     batch: int | None = None,
     isa: IsaLevel | str = IsaLevel.AVX512,
+    y: np.ndarray | None = None,
+    partitions: list[tuple[int, int]] | None = None,
 ) -> tuple[MappedOperands, JitKernelSpec, bool, list[tuple[int, int]]]:
     """Set up one JIT execution: mapped operands, spec, thread ranges.
 
     The single place (shared by :func:`run_jit` and the serving
     subsystem's persistent workspaces) that applies the execution
-    contract: ``dynamic`` defaults to True exactly for row-split, the
-    NEXT counter is mapped iff dispatch is dynamic, and static splits
-    get host-side partitions while dynamic threads self-dispatch.
-    Returns ``(operands, spec, dynamic, partitions)``.
+    contract (:func:`resolve_jit_dispatch`) and maps the NEXT counter
+    iff dispatch is dynamic.  A caller that already resolved dispatch
+    (the lazy bind path) passes its ``partitions`` to skip the
+    recomputation.  Returns ``(operands, spec, dynamic, partitions)``.
     """
-    operands = MappedOperands.create(matrix, x)
-    if dynamic is None:
-        dynamic = split == "row"
+    if partitions is None:
+        dynamic, partitions = resolve_jit_dispatch(matrix, split, threads,
+                                                   dynamic)
+    elif dynamic is None:
+        raise ShapeError(
+            "precomputed partitions need a resolved dynamic flag")
+    operands = MappedOperands.create(matrix, x, y=y)
     next_addr = 0
     if dynamic:
-        if split != "row":
-            raise ShapeError("dynamic dispatch applies to row-split only")
         next_addr, _ = operands.memory.map_zeros(8, "NEXT")
     spec = make_jit_spec(
         operands.d, operands.m, operands.addresses,
         next_addr=next_addr, batch=batch, threads=threads, isa=isa,
     )
-    partitions = [] if dynamic else partition(matrix, threads, split)
     return operands, spec, dynamic, partitions
 
 

@@ -11,8 +11,13 @@ backend      result  counters  cycles
 native        yes      no        no
 counts        yes      yes       no
 sim           yes      yes       yes
-sim-fused     yes      yes       no
+sim-fused     yes      yes       yes
+sim-ref       yes      yes       yes
 ===========  ======  ========  ======
+
+``sim`` and ``sim-fused`` run the record/replay timing engine
+(:mod:`repro.machine.replay`); ``sim-ref`` is the per-access reference
+implementation, bit-identical on every counter.
 
 The registry mirrors :mod:`repro.api.registry` for systems: built-ins
 load lazily, third-party executors plug in with

@@ -1,21 +1,25 @@
 """Built-in :class:`~repro.exec.Executor` implementations.
 
-Four backends cover today's speed/fidelity spectrum:
+Five backends cover today's speed/fidelity spectrum:
 
 * :class:`NativeExecutor` (``"native"``) — host-speed numpy over the
   plan's tuned row ranges; the production answer path.  No simulated
   machine, no kernel, no counters.
 * :class:`CountsExecutor` (``"counts"``) — functional execution of the
   generated kernel with event counters (the pre-exec ``timing=False``).
-* :class:`SimExecutor` (``"sim"``) — cycle-accurate: caches, branch
-  predictors and the pipeline scoreboard run per instruction (the
-  pre-exec ``timing=True``).
-* :class:`FusedExecutor` (``"sim-fused"``) — counts fidelity through
-  the superblock compiler (:mod:`repro.machine.fused`): basic blocks of
-  instruction bodies fused into single closures with batched counter
-  retirement.  Bit-identical results and event counters to ``counts``
-  (and to ``sim``'s event counts), several times the simulated
-  instructions/sec of ``sim``.
+* :class:`SimExecutor` (``"sim"``) — cycle-accurate via the
+  record/replay timing engine (:mod:`repro.machine.replay`): stepped
+  execution records a columnar trace, the vectorized cache / predictor
+  / scoreboard models replay it in batch.
+* :class:`FusedExecutor` (``"sim-fused"``) — cycle-accurate *and*
+  superblock-compiled: fused basic-block execution feeds the same
+  record/replay timing engine.  Bit-identical counters (cycles
+  included) to ``sim`` and ``sim-ref``; several times the simulated
+  instructions/sec of the per-access path.
+* :class:`SimRefExecutor` (``"sim-ref"``) — the per-access reference:
+  caches, predictors and the pipeline scoreboard interpreted per
+  instruction.  The conformance oracle (and escape hatch) for the
+  replay engine.
 """
 
 from __future__ import annotations
@@ -27,7 +31,7 @@ from repro.machine import Counters, CpuConfig, Machine
 from repro.exec.backend import Executor, register_backend
 
 __all__ = ["CountsExecutor", "FusedExecutor", "NativeExecutor",
-           "SimExecutor"]
+           "SimExecutor", "SimRefExecutor"]
 
 
 class NativeExecutor(Executor):
@@ -43,11 +47,12 @@ class NativeExecutor(Executor):
     requires_kernel = False
 
     def execute(self, plan) -> RunResult:
-        operands = plan.operands
-        y = multiply_partitioned(plan.matrix, operands.x_host, plan.ranges)
-        operands.y_host[:] = y
+        # host-side buffers only: the simulated address space is never
+        # read here, and the lazy-binding plans never map it for us
+        y = multiply_partitioned(plan.matrix, plan.x_host, plan.ranges)
+        plan.y_host[:] = y
         return RunResult(
-            y=operands.y_host,
+            y=plan.y_host,
             counters=Counters(),
             per_thread=[],
             program=plan.kernel.program if plan.kernel is not None else None,
@@ -66,6 +71,7 @@ class MachineExecutor(Executor):
 
     provides_counters = True
     timing = False
+    engine = "replay"
     fused = False
 
     def execute(self, plan) -> RunResult:
@@ -73,7 +79,8 @@ class MachineExecutor(Executor):
         config = plan.config
         machine = Machine(
             plan.operands.memory,
-            CpuConfig(timing=self.timing, l1=config.l1, l2=config.l2,
+            CpuConfig(timing=self.timing, engine=self.engine,
+                      l1=config.l1, l2=config.l2,
                       max_instructions=config.max_steps),
         )
         merged, per_thread = machine.run(
@@ -94,20 +101,35 @@ class CountsExecutor(MachineExecutor):
 
 
 class SimExecutor(MachineExecutor):
-    """Cycle-accurate simulation: caches, predictors, pipeline."""
+    """Cycle-accurate simulation through the record/replay timing
+    engine: stepped execution, trace-replayed caches / predictors /
+    scoreboard.  Bit-identical counters to ``sim-ref``."""
 
     name = "sim"
     provides_cycles = True
     timing = True
 
 
-class FusedExecutor(MachineExecutor):
-    """Superblock-compiled counts-fidelity simulation.
+class SimRefExecutor(SimExecutor):
+    """Cycle-accurate per-access reference: caches, predictors and the
+    pipeline scoreboard interpreted at every instruction — the engine
+    ``sim`` used before trace replay.  Slow; kept as the conformance
+    oracle and escape hatch."""
+
+    name = "sim-ref"
+    engine = "ref"
+
+
+class FusedExecutor(SimExecutor):
+    """Superblock-compiled cycle-accurate simulation.
 
     The paper's specialize-don't-interpret trick applied to the
-    simulator itself; see :mod:`repro.machine.fused` for the fidelity
-    contract (bit-identical to ``counts`` on everything, to ``sim`` on
-    results and event counters; cycles stay 0).
+    simulator itself, twice over: basic blocks of instruction bodies
+    fuse into single closures with batched counter retirement
+    (:mod:`repro.machine.fused`), and the timing models replay the
+    recorded trace in vectorized batches (:mod:`repro.machine.replay`).
+    Bit-identical counters — cycles included — to ``sim`` and
+    ``sim-ref``, at several times their simulated instructions/sec.
     """
 
     name = "sim-fused"
@@ -117,4 +139,5 @@ class FusedExecutor(MachineExecutor):
 register_backend("native", NativeExecutor(), aliases=("numpy",))
 register_backend("counts", CountsExecutor())
 register_backend("sim", SimExecutor())
+register_backend("sim-ref", SimRefExecutor())
 register_backend("sim-fused", FusedExecutor(), aliases=("fused",))

@@ -11,19 +11,28 @@ Components:
 * :class:`Memory` — flat address space over numpy-backed segments;
 * :class:`Cpu` — single-thread functional interpreter with counters;
 * :class:`BranchPredictor` family — 2-bit and gshare predictors;
-* :class:`CacheHierarchy` — set-associative L1D/L2 model;
+* :class:`CacheHierarchy` — set-associative L1D/L2 model (and its
+  array-based twin :class:`VectorCacheHierarchy` for trace replay);
 * :class:`PipelineModel` — port/latency scoreboard for cycle estimates;
+* :class:`ReplayEngine` — record/replay timing: columnar traces
+  replayed through the vectorized cache/predictor/scoreboard models;
 * :class:`Machine` — multi-core wrapper with a round-robin scheduler and
   ``lock xadd`` atomicity, mirroring the paper's thread model (Fig. 5).
 """
 
 from repro.machine.branch import BranchPredictor, GShare, TwoBit
-from repro.machine.cache import CacheConfig, CacheHierarchy
+from repro.machine.cache import (
+    CacheConfig,
+    CacheHierarchy,
+    VectorCache,
+    VectorCacheHierarchy,
+)
 from repro.machine.counters import Counters
 from repro.machine.cpu import Cpu, CpuConfig
 from repro.machine.memory import Memory
 from repro.machine.perf import PerfReport
 from repro.machine.pipeline import PipelineModel, PipelineSpec
+from repro.machine.replay import ReplayEngine, TraceRecorder
 from repro.machine.smp import Machine, ThreadSpec
 
 __all__ = [
@@ -39,6 +48,10 @@ __all__ = [
     "PerfReport",
     "PipelineModel",
     "PipelineSpec",
+    "ReplayEngine",
     "ThreadSpec",
+    "TraceRecorder",
     "TwoBit",
+    "VectorCache",
+    "VectorCacheHierarchy",
 ]

@@ -10,7 +10,8 @@ fixed miss rate — these are the standard two designs.
 
 from __future__ import annotations
 
-__all__ = ["BranchPredictor", "GShare", "TwoBit", "make_predictor"]
+__all__ = ["BranchPredictor", "GShare", "TwoBit", "make_predictor",
+           "replay_outcomes"]
 
 
 class BranchPredictor:
@@ -102,3 +103,58 @@ def make_predictor(kind: str = "gshare") -> BranchPredictor:
     if kind == "gshare":
         return GShare()
     raise ValueError(f"unknown branch predictor kind {kind!r}")
+
+
+def replay_outcomes(predictor: BranchPredictor, packed: list) -> list:
+    """Classify a recorded outcome vector; returns per-branch miss flags.
+
+    ``packed`` holds one ``(pc << 1) | taken`` integer per executed
+    conditional branch, in execution order — the columnar form the
+    trace recorder emits.  The predictor's tables advance exactly as
+    they would have under per-instruction interpretation; the built-in
+    predictors get an inlined update loop (no per-branch method
+    dispatch), anything else falls back to :meth:`~BranchPredictor.update`.
+    """
+    misses: list = []
+    append = misses.append
+    if type(predictor) is GShare:
+        table = predictor._table
+        mask = predictor._mask
+        history = predictor._history
+        hmask = predictor._history_mask
+        for word in packed:
+            taken = word & 1
+            slot = ((word >> 1) ^ history) & mask
+            state = table[slot]
+            if taken:
+                if state < 3:
+                    table[slot] = state + 1
+                history = ((history << 1) | 1) & hmask
+                append(state < 2)
+            else:
+                if state > 0:
+                    table[slot] = state - 1
+                history = (history << 1) & hmask
+                append(state >= 2)
+        predictor._history = history
+        return misses
+    if type(predictor) is TwoBit:
+        table = predictor._table
+        mask = predictor._mask
+        for word in packed:
+            taken = word & 1
+            slot = (word >> 1) & mask
+            state = table[slot]
+            if taken:
+                if state < 3:
+                    table[slot] = state + 1
+                append(state < 2)
+            else:
+                if state > 0:
+                    table[slot] = state - 1
+                append(state >= 2)
+        return misses
+    for word in packed:
+        taken = bool(word & 1)
+        append(not predictor.update(word >> 1, taken))
+    return misses

@@ -46,13 +46,18 @@ from repro.machine.branch import make_predictor
 from repro.machine.cache import CacheConfig, CacheHierarchy
 from repro.machine.counters import Counters, make_bump
 from repro.machine.memory import Memory
-from repro.machine.pipeline import PipelineModel, PipelineSpec
+from repro.machine.pipeline import PipelineModel, PipelineSpec, ReplayInsn
+from repro.machine.replay import ReplayEngine
 
 __all__ = ["Cpu", "CpuConfig", "InsnSemantics", "ProgramSemantics"]
 
 #: mnemonics retiring one FLOP per destination lane (FMAs retire two)
 _FLOP_MNEMONICS = ("vaddps", "vsubps", "vmulps", "vdivps",
                    "vaddss", "vsubss", "vmulss", "vhaddps")
+
+#: instructions between recorder flush-pressure checks in the run loop
+#: (far below the recorder's event limit, far above per-instruction)
+_FLUSH_CHECK_STRIDE = 4096
 
 
 @dataclass(frozen=True)
@@ -62,16 +67,30 @@ class CpuConfig:
     ``timing=False`` runs in *counts* mode: functional execution plus
     event counters only (no caches, no pipeline, cycles stay 0) — several
     times faster, used by tests that only check counts and results.
-    ``max_instructions`` bounds each thread's dynamic instruction count
+    With ``timing=True``, ``engine`` picks the timing implementation:
+    ``"ref"`` interprets the cache/predictor/pipeline models per access
+    (the reference path, the ``sim-ref`` backend), ``"replay"`` records
+    a columnar trace and replays it through the vectorized models in
+    :mod:`repro.machine.replay` — bit-identical counters, several times
+    the simulated instruction throughput, and compatible with
+    superblock-fused execution.  ``max_instructions`` bounds each
+    thread's dynamic instruction count
     (:class:`repro.api.ExecutionConfig` exposes it as ``max_steps``).
     """
 
     timing: bool = True
+    engine: str = "ref"
     predictor: str = "gshare"
     max_instructions: int = 500_000_000
     pipeline: PipelineSpec = field(default_factory=PipelineSpec)
     l1: CacheConfig | None = None
     l2: CacheConfig | None = None
+
+    def __post_init__(self) -> None:
+        if self.engine not in ("ref", "replay"):
+            raise ValueError(
+                f"unknown timing engine {self.engine!r}; "
+                "expected 'ref' or 'replay'")
 
 
 class InsnSemantics:
@@ -81,19 +100,25 @@ class InsnSemantics:
         step: Interpreter closure — executes the instruction including
             event accounting, returns the next pc.
         body: Pure architectural semantics (no counters, no pc) — the
-            unit the superblock compiler fuses.  None for control flow,
-            whose pc decision cannot be fused away.
+            unit the superblock compiler fuses.  In record mode the
+            body also appends the instruction's effective addresses to
+            the trace.  None for control flow, whose pc decision cannot
+            be fused away.
         deltas: Static counter increments this instruction retires with
             in counts fidelity, or None when execution-dependent state
             (caches, pipeline) makes accounting dynamic.
+        replay: Static :class:`~repro.machine.pipeline.ReplayInsn`
+            metadata for the trace-replay timing engine (record mode
+            only; None otherwise).
     """
 
-    __slots__ = ("step", "body", "deltas")
+    __slots__ = ("step", "body", "deltas", "replay")
 
-    def __init__(self, step, body=None, deltas=None) -> None:
+    def __init__(self, step, body=None, deltas=None, replay=None) -> None:
         self.step = step
         self.body = body
         self.deltas = deltas
+        self.replay = replay
 
 
 class ProgramSemantics:
@@ -157,14 +182,26 @@ class Cpu:
         self.sf = False
         self.cf = False
         self.predictor = make_predictor(self.config.predictor)
-        if self.config.timing:
+        self.record = self.config.timing and self.config.engine == "replay"
+        self.replay: ReplayEngine | None = None
+        if self.record:
+            # record/replay timing: no per-access model objects — the
+            # trace recorder stands in, and flush() runs the vectorized
+            # cache / predictor / scoreboard models over the columns
+            self.caches: CacheHierarchy | None = None
+            self.pipeline: PipelineModel | None = None
+            self.replay = ReplayEngine(
+                self.counters, self.predictor, self.config.pipeline,
+                l1=self.config.l1, l2=self.config.l2,
+            )
+        elif self.config.timing:
             kwargs = {}
             if self.config.l1 is not None:
                 kwargs["l1"] = self.config.l1
             if self.config.l2 is not None:
                 kwargs["l2"] = self.config.l2
-            self.caches: CacheHierarchy | None = CacheHierarchy(**kwargs)
-            self.pipeline: PipelineModel | None = PipelineModel(self.config.pipeline)
+            self.caches = CacheHierarchy(**kwargs)
+            self.pipeline = PipelineModel(self.config.pipeline)
         else:
             self.caches = None
             self.pipeline = None
@@ -178,6 +215,17 @@ class Cpu:
         """Zero counters and restart the pipeline clock; keep caches and
         branch-predictor state (warm-run measurement, like the paper's
         average-of-ten methodology)."""
+        if self.record:
+            # retire any pending trace first: the warm-up pass's events
+            # must warm the cache/predictor state before the counters
+            # they produced are discarded
+            self.replay.flush()
+            self.counters.__init__()
+            self.replay.reset_scoreboard()
+            # compiled closures capture only the recorder lists (cleared
+            # in place) and the counters object (re-initialized, same
+            # identity), so they stay valid — no recompilation needed
+            return
         self.counters.__init__()
         if self.config.timing:
             self.pipeline = PipelineModel(self.config.pipeline)
@@ -189,9 +237,28 @@ class Cpu:
 
         The next :meth:`reset_metrics` restores full timing fidelity.
         """
+        if self.record:
+            self.replay.flush()
+            self.replay.scoreboard_enabled = False
+            return
         self.pipeline = None
         self._compiled.clear()
         self._superblocks.clear()
+
+    def flush_timing(self, set_cycles: bool = False) -> None:
+        """Replay any recorded trace (no-op outside record mode).
+
+        ``set_cycles=True`` additionally publishes the modeled cycle
+        count into the counters — the record-mode analogue of reading
+        ``pipeline.cycles`` at the end of a run.  Fault paths flush
+        with ``set_cycles=False``: per-access interpretation leaves
+        ``cycles`` unset when a run dies, and so does the replay.
+        """
+        if not self.record:
+            return
+        self.replay.flush()
+        if set_cycles and self.replay.scoreboard_enabled:
+            self.counters.cycles = self.replay.cycles
 
     # ------------------------------------------------------------------
     # Register access helpers (used by tests and the SMP wrapper)
@@ -230,28 +297,52 @@ class Cpu:
         if init_gpr:
             for reg, value in init_gpr.items():
                 self.set_gpr(reg, value)
-        steps = self.semantics(program).steps
+        semantics = self.semantics(program)
+        steps = semantics.steps
         blocks = self.superblocks(program) if fused else None
+        replay = self.replay
+        if replay is not None:
+            replay.begin(program, semantics)
         pc = program.target_index(entry) if isinstance(entry, str) else entry
         limit = fuel if fuel is not None else self.config.max_instructions
         executed = 0
         n = len(steps)
-        while 0 <= pc < n:
-            if blocks is not None:
-                block = blocks[pc]
-                if block is not None and executed + block.length <= limit:
-                    pc = block.run()
-                    executed += block.length
-                    continue
-            pc = steps[pc]()
-            executed += 1
-            if executed > limit:
-                raise ExecutionLimitExceeded(
-                    f"exceeded the {limit}-instruction execution limit in "
-                    f"{program.name!r} (infinite loop?)"
-                )
+        # flush-pressure watermark: the recorder only needs a bounded-
+        # memory check every so often, so the hot loop compares one
+        # local int instead of calling into the engine per instruction
+        check_at = _FLUSH_CHECK_STRIDE if replay is not None else 1 << 62
+        try:
+            while 0 <= pc < n:
+                if blocks is not None:
+                    block = blocks[pc]
+                    if block is not None and executed + block.length <= limit:
+                        pc = block.run()
+                        executed += block.length
+                        if executed >= check_at:
+                            check_at = executed + _FLUSH_CHECK_STRIDE
+                            if replay.should_flush():
+                                replay.flush()
+                        continue
+                pc = steps[pc]()
+                executed += 1
+                if executed > limit:
+                    raise ExecutionLimitExceeded(
+                        f"exceeded the {limit}-instruction execution limit in "
+                        f"{program.name!r} (infinite loop?)"
+                    )
+                if executed >= check_at:
+                    check_at = executed + _FLUSH_CHECK_STRIDE
+                    if replay.should_flush():
+                        replay.flush()
+        except BaseException:
+            # retire the completed prefix's timing so fault-time counters
+            # are bit-identical to per-access interpretation
+            self.flush_timing()
+            raise
         if self.pipeline is not None:
             self.counters.cycles = self.pipeline.cycles
+        else:
+            self.flush_timing(set_cycles=True)
         return self.counters
 
     # ------------------------------------------------------------------
@@ -279,16 +370,19 @@ class Cpu:
         :func:`repro.machine.fused.build_block_table`."""
         if self.caches is not None:
             raise MachineError(
-                "superblock execution models counts fidelity; build the "
-                "Cpu with timing=False (the sim backend steps per "
+                "superblock execution models counts fidelity or "
+                "record/replay timing; build the Cpu with timing=False "
+                "or engine='replay' (the sim-ref backend steps per "
                 "instruction)")
         key = program.fingerprint()
         table = self._superblocks.get(key)
         if table is None:
             from repro.machine.fused import build_block_table
 
-            table = build_block_table(self.semantics(program), program,
-                                      self.counters)
+            table = build_block_table(
+                self.semantics(program), program, self.counters,
+                recorder=self.replay.recorder if self.record else None,
+            )
             self._superblocks[key] = table
         return table
 
@@ -418,17 +512,34 @@ class Cpu:
 
         In counts fidelity the accounting is a compiled static bump and
         the (body, deltas) pair is exposed for superblock fusion; in
-        timing fidelity accounting touches caches and the pipeline per
-        execution, so the step stays the only runnable form.
+        record mode the body additionally appends the instruction's
+        effective addresses to the trace (computed after the body runs,
+        exactly when the reference accounting computes them); in
+        reference timing fidelity accounting touches caches and the
+        pipeline per execution, so the step stays the only runnable
+        form.
         """
         if self.caches is None:
-            deltas = _static_deltas(
-                insn,
-                load_size if load_addr_fn is not None else 0,
-                store_size if store_addr_fn is not None else 0,
-                extra,
-            )
+            load = load_size if load_addr_fn is not None else 0
+            store = store_size if store_addr_fn is not None else 0
+            deltas = _static_deltas(insn, load, store, extra)
             bump = make_bump(self.counters, deltas)
+            replay_insn = None
+            if self.record:
+                replay_insn = ReplayInsn(insn, load_size=load,
+                                         store_size=store)
+                body = self._recording_body(body, load_addr_fn,
+                                            store_addr_fn)
+                unit_append = self.replay.recorder.units.append
+                unit = (nxt - 1, nxt)
+
+                def step() -> int:
+                    body()
+                    bump()
+                    unit_append(unit)
+                    return nxt
+
+                return InsnSemantics(step, body, deltas, replay_insn)
 
             def step() -> int:
                 body()
@@ -447,6 +558,29 @@ class Cpu:
             return nxt
 
         return InsnSemantics(step, body)
+
+    def _recording_body(self, body, load_addr_fn, store_addr_fn):
+        """Wrap a pure body so it appends its effective addresses to the
+        trace — in the order (loads, then stores) and at the time (after
+        the body executed) the reference accounting touches the cache."""
+        record = self.replay.recorder.addrs.append
+        if load_addr_fn is not None and store_addr_fn is not None:
+            def recording_body() -> None:
+                body()
+                record(load_addr_fn())
+                record(store_addr_fn())
+            return recording_body
+        if load_addr_fn is not None:
+            def recording_body() -> None:
+                body()
+                record(load_addr_fn())
+            return recording_body
+        if store_addr_fn is not None:
+            def recording_body() -> None:
+                body()
+                record(store_addr_fn())
+            return recording_body
+        return body
 
     def _account_fn(self, insn: Instruction):
         """Accounting-only closure for instructions with no fusible body
@@ -524,6 +658,17 @@ class Cpu:
 
         # ---------------- control flow ----------------
         if name == "ret":
+            if self.record:
+                bump = make_bump(counters,
+                                 {"instructions": 1, "branches": 1})
+                unit_append = self.replay.recorder.units.append
+                unit = (index, index + 1)
+
+                def step_ret_rec() -> int:
+                    bump()
+                    unit_append(unit)
+                    return -1
+                return InsnSemantics(step_ret_rec, replay=ReplayInsn(insn))
             account = self._account_fn(insn)
 
             def step_ret() -> int:
@@ -534,6 +679,17 @@ class Cpu:
 
         if name == "jmp":
             target = program.target_index(ops[0])
+            if self.record:
+                bump = make_bump(counters,
+                                 {"instructions": 1, "branches": 1})
+                unit_append = self.replay.recorder.units.append
+                unit = (index, index + 1)
+
+                def step_jmp_rec() -> int:
+                    bump()
+                    unit_append(unit)
+                    return target
+                return InsnSemantics(step_jmp_rec, replay=ReplayInsn(insn))
             account = self._account_fn(insn)
 
             def step_jmp() -> int:
@@ -619,6 +775,26 @@ class Cpu:
             "ja": lambda: not (cpu.cf or cpu.zf),
         }
         cond = conditions[name]
+
+        if self.record:
+            # no live predictor update: the taken bit is recorded and the
+            # replay sweep classifies (and counts) mispredictions
+            recorder = self.replay.recorder
+            unit_append = recorder.units.append
+            branch_append = recorder.branches.append
+            unit = (index, index + 1)
+            packed_base = index << 1
+            bump = make_bump(counters, {"instructions": 1, "branches": 1,
+                                        "cond_branches": 1})
+
+            def step_jcc_rec() -> int:
+                taken = cond()
+                bump()
+                branch_append(packed_base | 1 if taken else packed_base)
+                unit_append(unit)
+                return target if taken else nxt
+
+            return InsnSemantics(step_jcc_rec, replay=ReplayInsn(insn))
 
         if pipeline is None:
             def step_jcc() -> int:
@@ -1135,6 +1311,38 @@ class Cpu:
                 "gather_elements": lanes,
             }
             bump = make_bump(counters, deltas)
+            if self.record:
+                # per-lane address recording interleaved with the lane
+                # reads, mirroring the reference timed step: a lane's
+                # address is recorded only once its read succeeded, so a
+                # mid-gather fault leaves exactly the completed lanes'
+                # cache events in the trace
+                record = self.replay.recorder.addrs.append
+                unit_append = self.replay.recorder.units.append
+                unit = (nxt - 1, nxt)
+
+                def body_rec() -> None:
+                    base = gpr_state[base_code] + disp
+                    indices = vec_i32[icode, :lanes]
+                    row = vec[dcode]
+                    row[lanes:] = 0.0
+                    for lane in range(lanes):
+                        addr = base + int(indices[lane]) * scale
+                        seg = memory.segment_of(addr, 4)
+                        off = addr - seg.base
+                        row[lane] = (seg.f32v[off >> 2] if not off & 3
+                                     else np.frombuffer(
+                                         seg.raw[off: off + 4].tobytes(),
+                                         np.float32)[0])
+                        record(addr)
+
+                def step_rec() -> int:
+                    body_rec()
+                    bump()
+                    unit_append(unit)
+                    return nxt
+                return InsnSemantics(step_rec, body_rec, deltas,
+                                     ReplayInsn(insn, gather_lanes=lanes))
 
             def step() -> int:
                 body()

@@ -72,13 +72,16 @@ _MAX_SPECIALIZED_BODIES = 64
 MAX_BLOCK_INSNS = 32
 
 
-def _make_run(bodies: tuple, bump, terminator, exit_pc: int, repair):
+def _make_run(bodies: tuple, bump, terminator, exit_pc: int, repair,
+              record=None):
     """Compile the driver closure for one block.
 
     ``terminator`` is the interpreter step of the block-ending branch
     (``jcc``/``jmp``/``ret``) — it keeps its own accounting and returns
     the next pc; ``exit_pc`` is returned instead when the block falls
-    through into a label.
+    through into a label.  ``record`` is ``(units.append, unit)`` when a
+    trace recorder is attached: the chunk's pc range is appended right
+    after the counter batch, inline in the generated driver.
 
     The driver tracks its progress in a local so a *faulting* body
     (e.g. a simulated segmentation fault) falls back to per-instruction
@@ -88,6 +91,7 @@ def _make_run(bodies: tuple, bump, terminator, exit_pc: int, repair):
     """
     count = len(bodies)
     has_term = terminator is not None
+    unit_append, unit = record if record is not None else (None, None)
     if count > _MAX_SPECIALIZED_BODIES:
         if has_term:
             def run() -> int:
@@ -97,6 +101,8 @@ def _make_run(bodies: tuple, bump, terminator, exit_pc: int, repair):
                         body()
                         retired += 1
                     bump()
+                    if unit_append is not None:
+                        unit_append(unit)
                     return terminator()
                 except BaseException:
                     if retired < count:
@@ -110,23 +116,28 @@ def _make_run(bodies: tuple, bump, terminator, exit_pc: int, repair):
                         body()
                         retired += 1
                     bump()
+                    if unit_append is not None:
+                        unit_append(unit)
                     return exit_pc
                 except BaseException:
                     if retired < count:
                         repair(retired)
                     raise
         return run
-    builder = _RUN_BUILDERS.get((count, has_term))
+    has_rec = record is not None
+    builder = _RUN_BUILDERS.get((count, has_term, has_rec))
     if builder is None:
         args = "".join(f"b{i}, " for i in range(count))
         calls = "\n".join(f"            b{i}()\n            i = {i + 1}"
                           for i in range(count))
+        rec = "            ua(u)\n" if has_rec else ""
         tail = "return term()" if has_term else "return exit_pc"
-        source = (f"def _make({args}bump, term, exit_pc, repair):\n"
+        source = (f"def _make({args}bump, term, exit_pc, repair, ua, u):\n"
                   f"    def run():\n"
                   f"        i = 0\n"
                   f"        try:\n{calls}\n"
                   f"            bump()\n"
+                  f"{rec}"
                   f"            {tail}\n"
                   f"        except BaseException:\n"
                   f"            if i < {count}:\n"
@@ -135,30 +146,42 @@ def _make_run(bodies: tuple, bump, terminator, exit_pc: int, repair):
                   f"    return run\n")
         namespace: dict = {}
         exec(source, namespace)  # generated from a fixed template
-        builder = _RUN_BUILDERS[(count, has_term)] = namespace["_make"]
-    return builder(*bodies, bump, terminator, exit_pc, repair)
+        builder = _RUN_BUILDERS[(count, has_term, has_rec)] = namespace["_make"]
+    return builder(*bodies, bump, terminator, exit_pc, repair, unit_append,
+                   unit)
 
 
-def _make_repair(chunk, counters: Counters):
+def _make_repair(chunk, counters: Counters, recorder=None,
+                 chunk_start: int = 0):
     """Accounting fallback for a faulting block: retire the first
     ``retired`` instructions' deltas individually (slow path — runs at
-    most once, on the way out of a fatal machine error)."""
+    most once, on the way out of a fatal machine error).  Under trace
+    recording the completed prefix is also appended as a partial unit,
+    so the replayed timing at fault matches per-instruction stepping."""
 
     def repair(retired: int) -> None:
         for sem in chunk[:retired]:
             for name, amount in sem.deltas.items():
                 setattr(counters, name, getattr(counters, name) + amount)
+        if recorder is not None and retired:
+            recorder.units.append((chunk_start, chunk_start + retired))
 
     return repair
 
 
-def build_block_table(semantics, program, counters: Counters) -> list:
+def build_block_table(semantics, program, counters: Counters,
+                      recorder=None) -> list:
     """Superblock table for one compiled program: pc -> block or None.
 
     The table is indexed by instruction index; entries are non-None only
     at basic-block leaders whose block could be fused (at least one
     straight-line body).  Lone branches and unfusible blocks stay None
     and execute through the per-instruction step list.
+
+    With a ``recorder`` (record/replay timing), each chunk's driver
+    appends the chunk's pc range to the trace — the bodies themselves
+    append their effective addresses, and the terminator step records
+    its own unit and outcome, so the columnar trace is complete.
     """
     insns = semantics.insns
     n = len(insns)
@@ -184,12 +207,16 @@ def build_block_table(semantics, program, counters: Counters) -> list:
             for sem in chunk:
                 for name, amount in sem.deltas.items():
                     totals[name] = totals.get(name, 0) + amount
+            record = None
+            if recorder is not None:
+                record = (recorder.units.append, (chunk_start, chunk_end))
             run = _make_run(
                 tuple(sem.body for sem in chunk),
                 make_bump(counters, totals),
                 terminator if is_last else None,
                 end if is_last else chunk_end,
-                _make_repair(chunk, counters),
+                _make_repair(chunk, counters, recorder, chunk_start),
+                record,
             )
             length = len(chunk) + (1 if is_last and terminator is not None
                                    else 0)

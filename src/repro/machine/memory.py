@@ -55,10 +55,19 @@ class Segment:
 class Memory:
     """Simulated flat memory composed of non-overlapping segments."""
 
+    #: process-wide count of segment mappings ever performed — the
+    #: observable the lazy-binding tests pin down ("a native run maps
+    #: nothing": no Memory object even exists, so only a global counter
+    #: can witness it).  Test/observability aid only — the increment is
+    #: not atomic, so concurrent mappers may undercount; nothing in the
+    #: product reads it.
+    map_events: int = 0
+
     def __init__(self, base: int = 0x10000) -> None:
         self._cursor = base
         self._segments: list[Segment] = []
         self._bases: list[int] = []
+        self._last: Segment | None = None
 
     # ------------------------------------------------------------------
     # Mapping
@@ -76,6 +85,7 @@ class Memory:
         self._segments.append(segment)
         self._bases.append(base)
         self._cursor = _align(base + max(1, raw.size) + _GUARD)
+        Memory.map_events += 1
         return base
 
     def map_zeros(self, size: int, name: str = "") -> tuple[int, np.ndarray]:
@@ -86,11 +96,23 @@ class Memory:
         return self.map_array(array, name=name), array
 
     def segment_of(self, addr: int, size: int = 1) -> Segment:
-        """Find the segment containing ``[addr, addr+size)``."""
+        """Find the segment containing ``[addr, addr+size)``.
+
+        The last-hit segment is cached: hot loops walking one array
+        (the trace recorder's gather lanes, scalar ``read_int`` sweeps)
+        skip the bisect entirely.  Guard pages stay guarded — a miss
+        falls through to the full lookup, and an address in no segment
+        still raises :class:`SegmentationFault`.
+        """
+        last = self._last
+        if last is not None and last.base <= addr:
+            if addr + size <= last.end:
+                return last
         index = bisect.bisect_right(self._bases, addr) - 1
         if index >= 0:
             segment = self._segments[index]
             if segment.contains(addr, size):
+                self._last = segment
                 return segment
         raise SegmentationFault(
             f"access to unmapped address {addr:#x} (+{size} bytes)"

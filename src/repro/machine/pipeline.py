@@ -33,7 +33,7 @@ from dataclasses import dataclass
 from repro.isa.instructions import InsnKind, Instruction
 from repro.isa.registers import Register, VectorRegister
 
-__all__ = ["PipelineModel", "PipelineSpec"]
+__all__ = ["PipelineModel", "PipelineSpec", "ReplayInsn", "ScoreboardReplay"]
 
 
 @dataclass(frozen=True)
@@ -242,3 +242,264 @@ class PipelineModel:
         target = self.cycles + cycles
         if target > self._fetch_time:
             self._fetch_time = target
+
+
+# ----------------------------------------------------------------------
+# Trace-replay scoreboard
+# ----------------------------------------------------------------------
+def _dense_reg(reg: Register) -> int:
+    """Dense scoreboard slot for a register (GPRs 0-15, vectors 16-47);
+    same aliasing rule as :func:`_reg_key`."""
+    if isinstance(reg, VectorRegister):
+        return 16 + reg.code
+    return reg.code
+
+
+def _dense_regs(regs) -> tuple[int, ...]:
+    """Ordered, deduplicated dense slots (a duplicate register cannot
+    change a running max, so dropping it preserves the reference math)."""
+    return tuple(dict.fromkeys(_dense_reg(reg) for reg in regs))
+
+
+class ReplayInsn:
+    """Static per-instruction replay metadata, built once at semantics
+    compilation (record mode) and consumed by the trace-replay engine.
+
+    ``ev_sizes`` lists the instruction's memory events in the exact
+    order the reference accounting touches the cache — loads first,
+    then stores; one size-4 event per gather lane."""
+
+    __slots__ = ("insn", "loads", "stores", "ev_sizes", "gather_lanes",
+                 "is_cond")
+
+    def __init__(self, insn: Instruction, load_size: int = 0,
+                 store_size: int = 0, gather_lanes: int = 0) -> None:
+        self.insn = insn
+        self.gather_lanes = gather_lanes
+        if gather_lanes:
+            self.loads = gather_lanes
+            self.stores = 0
+            self.ev_sizes: tuple[int, ...] = (4,) * gather_lanes
+        else:
+            self.loads = 1 if load_size else 0
+            self.stores = 1 if store_size else 0
+            sizes = []
+            if load_size:
+                sizes.append(load_size)
+            if store_size:
+                sizes.append(store_size)
+            self.ev_sizes = tuple(sizes)
+        self.is_cond = insn.is_cond_branch
+
+
+#: compiled unit-function builders keyed by generated source — the
+#: ``exec`` cost is paid once per distinct unit shape per process, not
+#: per run (every execute builds fresh CPUs, hence fresh replayers).
+#: Cleared wholesale past a cap so a long-lived serving process that
+#: profiles a stream of distinct kernels cannot grow it forever.
+_UNIT_BUILDERS: dict[str, object] = {}
+_UNIT_BUILDERS_CAP = 65536
+
+
+class ScoreboardReplay:
+    """The scoreboard of :class:`PipelineModel`, replayed over a trace.
+
+    Instead of one ``issue()`` call — closure allocations, dict lookups
+    keyed by register tuples, attribute chases — per retired
+    instruction, the replay engine compiles one straight-line Python
+    function per *trace unit* (a contiguous pc range: a superblock
+    chunk or a stepped instruction) with every static quantity baked in
+    as a literal: latencies, port-group slots, issue-width step, dense
+    register indices.  The generated code performs the same float
+    operations in the same order as ``issue()``, so the resulting cycle
+    count is bit-identical to the reference pipeline; only the dynamic
+    inputs (cache level and line per memory event, mispredict flag per
+    conditional branch) are read from the replayed trace columns.
+
+    State lives in lists that are reset *in place* so the compiled unit
+    closures stay valid across :meth:`reset`.
+    """
+
+    def __init__(self, spec: PipelineSpec | None = None) -> None:
+        self.spec = spec or PipelineSpec()
+        self._group_index = {name: i
+                             for i, (name, _) in enumerate(self.spec.ports)}
+        self._pipes = [count for _, count in self.spec.ports]
+        self._kind_cost = self.spec.kind_cost_map()
+        latency = self.spec.load_latency_map()
+        self._level_latency = (latency["l1"], latency["l2"], latency["mem"])
+        self._load_ports = dict(self.spec.ports).get("load", 2)
+        #: fetch_time, flags_ready, last_complete
+        self._scalars = [0.0, 0.0, 0.0]
+        self._work = [0.0] * len(self._pipes)
+        self._reg_ready = [0.0] * 48
+        self._line_ready: dict = {}
+        self._fetch_step = 1.0 / self.spec.issue_width
+
+    def reset(self) -> None:
+        """Restart the clock (a fresh :class:`PipelineModel`)."""
+        scalars = self._scalars
+        scalars[0] = scalars[1] = scalars[2] = 0.0
+        for i in range(len(self._work)):
+            self._work[i] = 0.0
+        for i in range(48):
+            self._reg_ready[i] = 0.0
+        self._line_ready.clear()
+
+    @property
+    def cycles(self) -> float:
+        """Total elapsed cycles so far (matches ``PipelineModel.cycles``)."""
+        scalars = self._scalars
+        return max(scalars[2], scalars[0])
+
+    # ------------------------------------------------------------------
+    # Unit compilation
+    # ------------------------------------------------------------------
+    def unit_builder(self, replay_insns: list[ReplayInsn]):
+        """The compiled builder for one straight-line run of
+        instructions — caller-cachable (the replay engine keys it by
+        program fingerprint and pc range so the source is emitted once
+        per process, not per run)."""
+        body: list[str] = []
+        for replay_insn in replay_insns:
+            self._emit(body, replay_insn)
+        source = (
+            "def _make(S, rr, w, lr):\n"
+            "    lr_get = lr.get\n"
+            "    def unit(lv, ln, mi, ei, bi):\n"
+            "        fetch = S[0]; flags = S[1]; last = S[2]\n"
+            + "".join(f"        {line}\n" for line in body)
+            + "        S[0] = fetch; S[1] = flags; S[2] = last\n"
+            "        return ei, bi\n"
+            "    return unit\n"
+        )
+        builder = _UNIT_BUILDERS.get(source)
+        if builder is None:
+            if len(_UNIT_BUILDERS) >= _UNIT_BUILDERS_CAP:
+                _UNIT_BUILDERS.clear()
+            namespace: dict = {}
+            exec(source, namespace)  # generated from static metadata
+            builder = _UNIT_BUILDERS[source] = namespace["_make"]
+        return builder
+
+    def bind_unit(self, builder):
+        """Instantiate a unit builder over this replayer's state.
+
+        The returned closure has signature ``unit(lv, ln, mi, ei, bi)``
+        — cache-level and line columns, mispredict flags, and the event
+        / branch cursors — and returns the advanced cursors.
+        """
+        return builder(self._scalars, self._reg_ready, self._work,
+                       self._line_ready)
+
+    def compile_unit(self, replay_insns: list[ReplayInsn]):
+        """Build and bind in one step (uncached callers, tests)."""
+        return self.bind_unit(self.unit_builder(replay_insns))
+
+    def _emit(self, out: list[str], r: ReplayInsn) -> None:
+        """Append the replay statements for one instruction (the exact
+        float-operation sequence of :meth:`PipelineModel.issue`)."""
+        insn = r.insn
+        latency, group = self._kind_cost[insn.kind]
+        gidx = self._group_index[group]
+        pipes = self._pipes[gidx]
+        load_g = self._group_index["load"]
+        load_p = self._pipes[load_g]
+        dram_g = self._group_index["dram"]
+        dram_p = self._pipes[dram_g]
+        l1_lat, l2_lat, mem_lat = map(repr, self._level_latency)
+        fwd = repr(self.spec.forward_latency)
+        dsv = repr(self.spec.dram_service)
+
+        def ready_of(regs) -> None:
+            out.append("t = fetch")
+            for slot in _dense_regs(regs):
+                out.append(f"v = rr[{slot}]")
+                out.append("if v > t: t = v")
+
+        def dram_penalty(level_var: str) -> list[str]:
+            return [
+                f"if {level_var} == 2:",
+                f"    dd = w[{dram_g}] / {dram_p}",
+                "    if s > dd: dd = s",
+                f"    w[{dram_g}] = w[{dram_g}] + {dsv}",
+                f"    wl = {mem_lat} + (dd - s)",
+                f"elif {level_var} == 1:",
+                f"    wl = {l2_lat}",
+                "else:",
+                f"    wl = {l1_lat}",
+            ]
+
+        if r.loads == 1:
+            out.append("L0 = lv[ei]; N0 = ln[ei]; ei = ei + 1")
+            ready_of(insn.registers_read_addr())
+            out.append("fw = lr_get(N0)")
+            out.append("if fw is not None and fw > t: t = fw")
+            out.append(f"s = w[{load_g}] / {load_p}")
+            out.append("if t > s: s = t")
+            out.append(f"w[{load_g}] = w[{load_g}] + 1.0")
+            out.append("if fw is not None:")
+            out.append(f"    wl = {fwd}")
+            first, *rest = dram_penalty("L0")
+            out.append("el" + first)
+            out.extend(rest)
+            out.append("ld = s + wl")
+        elif r.loads > 1:
+            ready_of(insn.registers_read_addr())
+            out.append(f"e2 = ei + {r.loads}")
+            out.append("fws = set()")
+            out.append("j = ei")
+            out.append("while j < e2:")
+            out.append("    nn = ln[j]")
+            out.append("    fv = lr_get(nn)")
+            out.append("    if fv is not None:")
+            out.append("        fws.add(nn)")
+            out.append("        if fv > t: t = fv")
+            out.append("    j = j + 1")
+            out.append(f"s = w[{load_g}] / {load_p}")
+            out.append("if t > s: s = t")
+            out.append(f"w[{load_g}] = w[{load_g}] + 1.0")
+            out.append("worst = 0.0")
+            out.append("j = ei")
+            out.append("while j < e2:")
+            out.append("    nn = ln[j]")
+            out.append("    if nn in fws:")
+            out.append(f"        wl = {fwd}")
+            first, *rest = dram_penalty("lv[j]")
+            out.append("    el" + first)
+            out.extend("    " + line for line in rest)
+            out.append("    if wl > worst: worst = wl")
+            out.append("    j = j + 1")
+            out.append("ld = s + worst")
+            out.append("ei = e2")
+
+        ready_of(insn.registers_read_data())
+        if insn.info.reads_flags:
+            out.append("if flags > t: t = flags")
+        if r.loads:
+            out.append("if ld > t: t = ld")
+        if r.gather_lanes:
+            service = repr(max(1.0, r.gather_lanes / (2 * self._load_ports)))
+        else:
+            service = "1.0"
+        out.append(f"s = w[{gidx}] / {pipes}")
+        out.append("if t > s: s = t")
+        out.append(f"w[{gidx}] = w[{gidx}] + {service}")
+        out.append(f"c = s + {latency!r}")
+        if r.stores:
+            store_g = self._group_index["store"]
+            out.append(f"w[{store_g}] = w[{store_g}] + 1.0")
+            out.append("L1 = lv[ei]; N1 = ln[ei]; ei = ei + 1")
+            out.append("lr[N1] = c")
+            out.append("if L1 == 2:")
+            out.append(f"    w[{dram_g}] = w[{dram_g}] + {dsv}")
+        for slot in _dense_regs(insn.registers_written()):
+            out.append(f"rr[{slot}] = c")
+        if insn.info.writes_flags:
+            out.append("flags = c")
+        out.append(f"fetch = fetch + {self._fetch_step!r}")
+        if r.is_cond:
+            out.append("if mi[bi]:")
+            out.append(f"    fetch = c + {self.spec.branch_miss_penalty!r}")
+            out.append("bi = bi + 1")
+        out.append("if c > last: last = c")

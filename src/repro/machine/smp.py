@@ -29,7 +29,7 @@ from dataclasses import dataclass, field
 from repro.errors import ExecutionLimitExceeded
 from repro.isa.assembler import Program
 from repro.machine.counters import Counters
-from repro.machine.cpu import Cpu, CpuConfig
+from repro.machine.cpu import _FLUSH_CHECK_STRIDE, Cpu, CpuConfig
 from repro.machine.memory import Memory
 
 __all__ = ["Machine", "ThreadSpec"]
@@ -55,14 +55,39 @@ class _ThreadState:
         self.spec = spec
         for reg, value in spec.init_gpr.items():
             cpu.set_gpr(reg, value)
-        self.steps = cpu.semantics(spec.program).steps
+        semantics = cpu.semantics(spec.program)
+        self.steps = semantics.steps
         self.blocks = cpu.superblocks(spec.program) if fused else None
+        if cpu.record:
+            cpu.replay.begin(spec.program, semantics)
         self.limit = cpu.config.max_instructions
         self.pc = 0
         self.done = len(self.steps) == 0
         self.executed = 0
 
     def run_quantum(self, quantum: int) -> None:
+        replay = self.cpu.replay
+        if replay is None:
+            self._run_slice(quantum)
+            return
+        # the recorder's memory bound must hold inside one turn too: an
+        # oversized custom quantum is run in stride-sized slices with a
+        # flush-pressure check between them.  Slicing never changes
+        # semantics — the turn still retires exactly ``quantum``
+        # instructions, and a block that no longer fits a slice residue
+        # is stepped, which is bit-identical by the fusion contract.
+        while True:
+            if replay.should_flush():
+                replay.flush()
+            if quantum <= _FLUSH_CHECK_STRIDE:
+                self._run_slice(quantum)
+                return
+            self._run_slice(_FLUSH_CHECK_STRIDE)
+            quantum -= _FLUSH_CHECK_STRIDE
+            if self.done:
+                return
+
+    def _run_slice(self, quantum: int) -> None:
         if self.executed + quantum > self.limit:
             self._run_quantum_near_limit(quantum)
             return
@@ -124,6 +149,8 @@ class _ThreadState:
     def finalize(self) -> Counters:
         if self.cpu.pipeline is not None:
             self.cpu.counters.cycles = self.cpu.pipeline.cycles
+        else:
+            self.cpu.flush_timing(set_cycles=True)
         return self.cpu.counters
 
 
@@ -187,15 +214,23 @@ class Machine:
 
     def _execute(self, states: list[_ThreadState]) -> None:
         quantum = self.quantum
-        while True:
-            alive = False
+        try:
+            while True:
+                alive = False
+                for state in states:
+                    if state.done:
+                        continue
+                    alive = True
+                    state.run_quantum(quantum)
+                if not alive:
+                    break
+        except BaseException:
+            # a faulting thread ends the run: replay every thread's
+            # recorded prefix so fault-time counters match per-access
+            # interpretation (cycles stay unset, as on the ref path)
             for state in states:
-                if state.done:
-                    continue
-                alive = True
-                state.run_quantum(quantum)
-            if not alive:
-                break
+                state.cpu.flush_timing()
+            raise
 
     def run_single(self, spec: ThreadSpec) -> Counters:
         """Convenience wrapper for single-thread programs."""

@@ -25,7 +25,8 @@ class TestCli:
         payload = json.loads(json_path.read_text())
         assert payload["experiment"] == "simspeed"
         backends = {row["backend"] for row in payload["rows"]}
-        assert backends == {"native", "counts", "sim", "sim-fused"}
+        assert backends == {"native", "counts", "sim-ref", "sim",
+                            "sim-fused"}
         # the instruction streams must agree between the simulators
         counts = {row["backend"]: row["instructions"]
                   for row in payload["rows"]}

@@ -1,10 +1,11 @@
 """Tests for the execution-backend layer (`repro.exec`).
 
-The heart of this file is the fused-simulator conformance contract:
-``sim-fused`` must be bit-identical to the per-instruction simulators on
-results and event counters — across every registered system, across
-dynamic-dispatch races, per thread — while the backend axis stays
-selectable from every entry point (``repro.run``, ``JitSpMM``,
+The heart of this file is the simulator conformance contract: the
+trace-replay backends (``sim``, ``sim-fused``) must be bit-identical to
+the per-access reference (``sim-ref``) on *every* counter field —
+cycles and cache levels included — across every registered system,
+across dynamic-dispatch races, per thread — while the backend axis
+stays selectable from every entry point (``repro.run``, ``JitSpMM``,
 ``SpmmService``, ``run_jit``/``run_aot``/``run_mkl``).
 """
 
@@ -45,7 +46,7 @@ def _counter_dicts(result):
 class TestRegistry:
     def test_builtin_backends_available(self):
         names = repro.available_backends()
-        for required in ("native", "counts", "sim", "sim-fused"):
+        for required in ("native", "counts", "sim", "sim-fused", "sim-ref"):
             assert required in names
 
     def test_aliases_resolve_to_canonical(self):
@@ -65,7 +66,9 @@ class TestRegistry:
         assert matrix["sim"] == {"result": True, "counters": True,
                                  "cycles": True}
         assert matrix["sim-fused"] == {"result": True, "counters": True,
-                                       "cycles": False}
+                                       "cycles": True}
+        assert matrix["sim-ref"] == {"result": True, "counters": True,
+                                     "cycles": True}
 
     def test_native_needs_no_kernel(self):
         assert get_backend("native").requires_kernel is False
@@ -164,7 +167,8 @@ class TestBackendSelection:
             assert result.counters.instructions == 0
         else:
             assert result.counters.instructions > 0
-        assert (result.counters.cycles > 0) == (backend == "sim")
+        assert (result.counters.cycles > 0) == (backend in ("sim",
+                                                            "sim-fused"))
 
     @pytest.mark.parametrize("backend", ["counts", "sim", "sim-fused"])
     def test_jitspmm(self, twins, backend):
@@ -220,39 +224,42 @@ class TestBackendSelection:
                           timing=False) is fused
 
 
-class TestFusedConformance:
-    """`sim-fused` is bit-identical to the stepping simulators."""
+class TestReplayConformance:
+    """`sim`/`sim-fused` are bit-identical to the per-access reference."""
 
     @pytest.mark.parametrize("dataset", _TWINS)
     @pytest.mark.parametrize("system", _CANONICAL)
-    def test_bit_identical_to_counts_across_registry(self, twins, system,
-                                                     dataset):
+    def test_bit_identical_to_ref_across_registry(self, twins, system,
+                                                  dataset):
         matrix = twins[dataset]
         x = _dense(matrix)
-        stepped = repro.run(matrix, x, system=system, threads=3,
-                            backend="counts")
-        fused = repro.run(matrix, x, system=system, threads=3,
-                          backend="sim-fused")
-        assert np.array_equal(stepped.y, fused.y), system
-        assert _counter_dicts(stepped) == _counter_dicts(fused), system
+        ref = repro.run(matrix, x, system=system, threads=3,
+                        backend="sim-ref")
+        for backend in ("sim", "sim-fused"):
+            replayed = repro.run(matrix, x, system=system, threads=3,
+                                 backend=backend)
+            assert np.array_equal(ref.y, replayed.y), (system, backend)
+            assert _counter_dicts(ref) == _counter_dicts(replayed), (
+                system, backend)
 
-    def test_event_counters_match_sim(self, twins):
-        """Against cycle-accurate `sim`: every architectural event
-        agrees; only the timing model's own products (cycles, cache
-        hit/miss levels) are extra on the sim side."""
+    def test_event_counters_match_counts(self, twins):
+        """Against the counts backend: every architectural event agrees;
+        the timing model's own products (cycles, cache hit/miss levels)
+        are extra on the replay side."""
         timing_model_fields = {"cycles", "l1_hits", "l1_misses",
                                "l2_hits", "l2_misses"}
         matrix = twins["uk-2005"]
         x = _dense(matrix)
-        sim = repro.run(matrix, x, system="jit", threads=3, backend="sim")
+        counts = repro.run(matrix, x, system="jit", threads=3,
+                           backend="counts")
         fused = repro.run(matrix, x, system="jit", threads=3,
                           backend="sim-fused")
-        assert np.array_equal(sim.y, fused.y)
-        for merged_sim, merged_fused in zip(
-                [sim.counters, *sim.per_thread],
+        assert np.array_equal(counts.y, fused.y)
+        for merged_counts, merged_fused in zip(
+                [counts.counters, *counts.per_thread],
                 [fused.counters, *fused.per_thread]):
-            a, b = merged_sim.as_dict(), merged_fused.as_dict()
-            assert a["cycles"] > 0 and b["cycles"] == 0
+            a, b = merged_counts.as_dict(), merged_fused.as_dict()
+            assert a["cycles"] == 0 and b["cycles"] > 0
             for name in timing_model_fields:
                 a.pop(name), b.pop(name)
             assert a == b
@@ -262,14 +269,28 @@ class TestFusedConformance:
                                                ("merge", None)])
     def test_dispatch_races_are_reproduced(self, twins, split, dynamic):
         """The lock-xadd batch race resolves identically per thread:
-        superblock scheduling preserves the exact interleaving."""
+        superblock scheduling preserves the exact interleaving, and the
+        replayed timing agrees with per-access interpretation of the
+        same interleaving."""
         matrix = twins["GAP-urand"]
         x = _dense(matrix, d=8)
         kwargs = dict(split=split, dynamic=dynamic, threads=4)
-        stepped = run_jit(matrix, x, timing=False, **kwargs)
+        ref = run_jit(matrix, x, backend="sim-ref", **kwargs)
         fused = run_jit(matrix, x, backend="sim-fused", **kwargs)
-        assert np.array_equal(stepped.y, fused.y)
-        assert _counter_dicts(stepped) == _counter_dicts(fused)
+        assert np.array_equal(ref.y, fused.y)
+        assert _counter_dicts(ref) == _counter_dicts(fused)
+
+    def test_warmup_measures_the_warm_run(self, twins):
+        """warmup=True warms caches/predictors through the replay
+        engine exactly as the reference path does."""
+        matrix = twins["uk-2005"]
+        x = _dense(matrix)
+        for backend in ("sim", "sim-fused"):
+            ref = run_jit(matrix, x, split="nnz", threads=2,
+                          backend="sim-ref", warmup=True)
+            warm = run_jit(matrix, x, split="nnz", threads=2,
+                           backend=backend, warmup=True)
+            assert _counter_dicts(ref) == _counter_dicts(warm), backend
 
 
 class TestMaxSteps:

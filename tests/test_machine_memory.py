@@ -46,6 +46,51 @@ class TestMapping:
         with pytest.raises(SegmentationFault):
             mem.read_int(base + 8, 8)  # past the 8-byte segment
 
+    def test_map_events_counts_every_mapping(self):
+        before = Memory.map_events
+        mem = Memory()
+        mem.map_array(np.zeros(8, dtype=np.float32))
+        mem.map_zeros(16)
+        assert Memory.map_events == before + 2
+
+
+class TestLastHitCache:
+    """segment_of caches the last-hit segment; guard pages stay guarded."""
+
+    def test_hot_loop_reuses_segment(self):
+        mem = Memory()
+        base = mem.map_array(np.arange(64, dtype=np.int64))
+        seg = mem.segment_of(base, 8)
+        for i in range(64):
+            assert mem.segment_of(base + 8 * i, 8) is seg
+
+    def test_guard_page_fault_after_warm_hit(self):
+        """Regression: a warm last-hit segment must not swallow an
+        overrun into the guard page right behind it."""
+        mem = Memory()
+        base = mem.map_array(np.zeros(4, dtype=np.int64))
+        assert mem.segment_of(base, 8) is not None  # warm the cache
+        with pytest.raises(SegmentationFault):
+            mem.segment_of(base + 32, 8)  # first byte past the segment
+        with pytest.raises(SegmentationFault):
+            mem.segment_of(base + 28, 8)  # straddles into the guard
+
+    def test_warm_hit_does_not_shadow_other_segments(self):
+        mem = Memory()
+        a = mem.map_array(np.zeros(8, dtype=np.int64))
+        b = mem.map_array(np.arange(8, dtype=np.int64))
+        assert mem.segment_of(b, 8).base == b   # warm with b
+        assert mem.segment_of(a, 8).base == a   # a still resolves
+        with pytest.raises(SegmentationFault):
+            mem.segment_of(a - 8, 8)  # below every segment
+
+    def test_unmapped_low_address_still_faults_when_cache_warm(self):
+        mem = Memory()
+        base = mem.map_array(np.zeros(8, dtype=np.int64))
+        mem.segment_of(base, 8)
+        with pytest.raises(SegmentationFault):
+            mem.segment_of(0x10, 4)
+
 
 class TestScalarAccess:
     def test_int_round_trip(self):
