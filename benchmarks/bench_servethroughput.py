@@ -1,0 +1,13 @@
+"""Benchmark target for the serving-throughput coalescing grid."""
+
+from repro.bench.servethroughput import run_servethroughput
+
+
+def test_servethroughput(benchmark, bench_config, record_result):
+    result = benchmark.pedantic(
+        run_servethroughput, args=(bench_config,), rounds=1, iterations=1)
+    record_result("servethroughput", result.render())
+    # the acceptance target: coalescing concurrent requests into
+    # stacked-operand batches buys >= 2x the per-request throughput on
+    # the same closed-loop workload
+    assert result.speedup_coalesced() >= 2.0

@@ -59,8 +59,20 @@ class ExecutionConfig:
         warmup: Measure the second of two runs (warm caches/predictors,
             the paper's methodology); only meaningful with ``timing``.
         l1 / l2: Cache-geometry overrides for the simulated machine.
-        cache: Optional :class:`repro.serve.KernelCache` shared across
-            artifacts; ``None`` means no cross-artifact kernel reuse.
+        cache: Optional :class:`repro.serve.KernelCache` (or the duck-
+            compatible :class:`repro.serve.ShardedKernelCache`) shared
+            across artifacts; ``None`` means no cross-artifact kernel
+            reuse.
+        max_batch: Request-coalescing cap for the serving fast path:
+            up to this many concurrent same-kernel ``multiply`` requests
+            execute as one stacked-operand SpMM.  1 (default) disables
+            coalescing — every request executes alone, today's
+            behavior.
+        flush_us: Microseconds a coalescing batch leader lingers for
+            followers before executing, when the batch is not yet full.
+            0 (default) executes immediately — batches then form only
+            from requests that arrive while an earlier batch is in
+            flight (the closed-loop steady state).
     """
 
     split: str = "row"
@@ -75,6 +87,8 @@ class ExecutionConfig:
     l1: CacheConfig | None = None
     l2: CacheConfig | None = None
     cache: object | None = None
+    max_batch: int = 1
+    flush_us: float = 0.0
 
     def __post_init__(self) -> None:
         if self.threads <= 0:
@@ -102,6 +116,12 @@ class ExecutionConfig:
         if self.batch is not None and self.batch <= 0:
             raise ShapeError(
                 f"batch size must be positive, got {self.batch}")
+        if self.max_batch < 1:
+            raise ShapeError(
+                f"max_batch must be at least 1, got {self.max_batch}")
+        if self.flush_us < 0:
+            raise ShapeError(
+                f"flush_us must be non-negative, got {self.flush_us}")
         object.__setattr__(self, "isa", IsaLevel.parse(self.isa))
 
     @property

@@ -16,6 +16,7 @@ from repro.bench.fig9 import run_fig9
 from repro.bench.fig10 import run_fig10
 from repro.bench.fig11 import run_fig11
 from repro.bench.harness import BenchConfig
+from repro.bench.servethroughput import run_servethroughput
 from repro.bench.serving import run_serving
 from repro.bench.simspeed import run_simspeed
 from repro.bench.table2 import run_table2
@@ -30,6 +31,7 @@ EXPERIMENTS = {
     "ablations": run_ablations,
     "serving": run_serving,
     "simspeed": run_simspeed,
+    "servethroughput": run_servethroughput,
 }
 
 

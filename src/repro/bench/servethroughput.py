@@ -1,0 +1,216 @@
+"""Serve-throughput experiment: request coalescing vs per-request serving.
+
+The serving subsystem's amortization story (Table IV, live) removes
+codegen from the steady state; this harness measures whether the steady
+state itself is request-overhead-bound.  Closed-loop client threads
+hammer one registered matrix through ``SpmmService.multiply`` and the
+harness reports requests/sec plus p50/p99 latency per (backend,
+``max_batch``) cell:
+
+* ``native`` / ``max_batch=1`` — today's per-request path, one SpMM and
+  one pass of Python/lock overhead per request;
+* ``native`` / ``max_batch>1`` — the coalescing fast path: concurrent
+  requests for one kernel identity execute as a single stacked-operand
+  SpMM (bit-identical results), so per-request overhead is paid once
+  per batch;
+* ``counts`` / ``max_batch=1`` — the simulated ``profile`` path as a
+  baseline (coalescing is a multiply-path feature; profiled requests
+  serialize on the workspace's mapped address space).
+
+Emitted as a table and as ``BENCH_servethroughput.json`` (path
+overridable via ``REPRO_BENCH_SERVETHROUGHPUT_JSON``), which CI
+regenerates at tiny scale and gates on: coalesced throughput must stay
+>= 2x the per-request throughput of the same workload.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.bench.harness import BenchConfig, render_table
+from repro.serve import SpmmService
+
+__all__ = ["ServeThroughputResult", "run_servethroughput"]
+
+#: dense operand width: small enough that per-request Python overhead
+#: dominates a twin-scale SpMM — the regime the fast path targets
+_D = 8
+
+#: measured (backend, max_batch, flush_us) cells; batch 1 is the
+#: baseline the acceptance gate compares against.  Coalesced cells
+#: linger 100us for followers — at closed-loop request rates that fills
+#: the batch (and, counter-intuitively, *improves* tail latency: fewer,
+#: larger numpy calls mean less GIL thrash between client threads)
+MODES = (("native", 1, 0.0), ("native", 8, 100.0), ("native", 32, 100.0),
+         ("counts", 1, 0.0))
+
+#: the coalesced cell the >= 2x acceptance gate reads
+COALESCED = ("native", 32)
+
+DEFAULT_JSON_PATH = "BENCH_servethroughput.json"
+
+#: closed-loop client threads (env: REPRO_BENCH_SERVE_CLIENTS)
+DEFAULT_CLIENTS = 8
+
+#: multiply requests per client per cell (env: REPRO_BENCH_SERVE_REQUESTS);
+#: the simulated counts cell runs an eighth of this (it is orders of
+#: magnitude slower per request and only provides a reference point)
+DEFAULT_REQUESTS = 40
+
+
+@dataclass
+class ServeThroughputResult:
+    config: BenchConfig
+    dataset: str
+    clients: int
+    requests_per_client: int
+    #: (backend, max_batch) -> row dict (rps, p50_ms, p99_ms, ...)
+    rows: dict[tuple[str, int], dict]
+    json_path: str
+
+    def rps(self, backend: str, max_batch: int) -> float:
+        return self.rows[(backend, max_batch)]["rps"]
+
+    def speedup_coalesced(self) -> float:
+        """Coalesced requests/sec over per-request requests/sec (the
+        CI acceptance ratio — target >= 2x)."""
+        return self.rps(*COALESCED) / self.rps("native", 1)
+
+    # ------------------------------------------------------------------
+    def as_payload(self) -> dict:
+        """The JSON document CI archives (one row per measured cell)."""
+        return {
+            "experiment": "servethroughput",
+            "scale": self.config.scale,
+            "threads": self.config.threads,
+            "d": _D,
+            "dataset": self.dataset,
+            "clients": self.clients,
+            "requests_per_client": self.requests_per_client,
+            "rows": [
+                {"backend": backend, "max_batch": max_batch, **row}
+                for (backend, max_batch), row in sorted(self.rows.items())
+            ],
+            "speedup_coalesced": self.speedup_coalesced(),
+        }
+
+    def render(self) -> str:
+        headers = ["backend", "max_batch", "flush us", "requests", "req/s",
+                   "p50 ms", "p99 ms", "mean batch", "lock waits"]
+        table_rows = []
+        for (backend, max_batch), row in sorted(self.rows.items()):
+            table_rows.append([
+                backend, max_batch, f"{row['flush_us']:.0f}",
+                row["requests"], f"{row['rps']:.0f}",
+                f"{row['p50_ms']:.3f}", f"{row['p99_ms']:.3f}",
+                f"{row['mean_batch']:.2f}", row["lock_waits"],
+            ])
+        title = (
+            "Serve throughput — closed-loop multiply traffic against "
+            f"SpmmService ({self.dataset}, d={_D}, "
+            f"{self.config.threads} threads, {self.clients} clients x "
+            f"{self.requests_per_client} requests).\n"
+            "Coalescing executes concurrent same-kernel requests as one "
+            "stacked-operand SpMM (bit-identical results); the gate "
+            f"requires >= 2x req/s vs max_batch=1 "
+            f"(measured {self.speedup_coalesced():.2f}x).\n"
+            f"JSON written to {self.json_path}"
+        )
+        return render_table(headers, table_rows, title)
+
+
+def _run_cell(config: BenchConfig, matrix, backend: str, max_batch: int,
+              flush_us: float, clients: int, requests: int) -> dict:
+    """Drive one (backend, max_batch) cell; returns its row dict."""
+    service = SpmmService(threads=config.threads, split="auto",
+                          timing=False, max_batch=max_batch,
+                          flush_us=flush_us)
+    handle = service.register(matrix, matrix.name or "bench")
+    # per-client operand sets: distinct contents, identical shape, so
+    # every request is coalescible but results are distinguishable
+    rng = np.random.default_rng(config.seed)
+    operands = [
+        [rng.random((matrix.ncols, _D), dtype=np.float32) for _ in range(4)]
+        for _ in range(clients)
+    ]
+    if backend == "native":
+        def serve(x):
+            return service.multiply(handle, x)
+    else:
+        def serve(x):
+            return service.profile(handle, x, backend=backend)
+    serve(operands[0][0])       # codegen + autotune happen off the clock
+    latencies: list[list[float]] = [[] for _ in range(clients)]
+    barrier = threading.Barrier(clients + 1)
+
+    def client(index: int) -> None:
+        mine = operands[index]
+        record = latencies[index].append
+        barrier.wait()
+        for count in range(requests):
+            started = time.perf_counter()
+            serve(mine[count % len(mine)])
+            record(time.perf_counter() - started)
+
+    workers = [threading.Thread(target=client, args=(index,))
+               for index in range(clients)]
+    for worker in workers:
+        worker.start()
+    barrier.wait()
+    started = time.perf_counter()
+    for worker in workers:
+        worker.join()
+    wall = time.perf_counter() - started
+    flat = np.array([value for client_lat in latencies
+                     for value in client_lat])
+    stats = service.handle_stats(handle)
+    sizes = stats.batches
+    batches = sum(sizes.values())
+    served = sum(size * count for size, count in sizes.items())
+    return {
+        "flush_us": flush_us,
+        "requests": int(flat.size),
+        "seconds": wall,
+        "rps": flat.size / wall,
+        "p50_ms": 1e3 * float(np.percentile(flat, 50)),
+        "p99_ms": 1e3 * float(np.percentile(flat, 99)),
+        "mean_batch": served / batches if batches else 1.0,
+        "batch_histogram": {str(size): count
+                            for size, count in sorted(sizes.items())},
+        "lock_waits": service.lock_stats().waits,
+    }
+
+
+def run_servethroughput(config: BenchConfig | None = None
+                        ) -> ServeThroughputResult:
+    """Measure every (backend, max_batch) cell; write the JSON."""
+    config = config or BenchConfig()
+    clients = max(2, int(os.environ.get("REPRO_BENCH_SERVE_CLIENTS",
+                                        DEFAULT_CLIENTS)))
+    requests = max(1, int(os.environ.get("REPRO_BENCH_SERVE_REQUESTS",
+                                         DEFAULT_REQUESTS)))
+    dataset = config.datasets[0]
+    matrix = config.matrix(dataset)
+    rows = {}
+    for backend, max_batch, flush_us in MODES:
+        cell_requests = requests if backend == "native" else max(
+            1, requests // 8)
+        rows[(backend, max_batch)] = _run_cell(
+            config, matrix, backend, max_batch, flush_us, clients,
+            cell_requests)
+    json_path = os.environ.get("REPRO_BENCH_SERVETHROUGHPUT_JSON",
+                               DEFAULT_JSON_PATH)
+    result = ServeThroughputResult(
+        config=config, dataset=dataset, clients=clients,
+        requests_per_client=requests, rows=rows, json_path=json_path,
+    )
+    with open(json_path, "w") as handle:
+        json.dump(result.as_payload(), handle, indent=2)
+        handle.write("\n")
+    return result

@@ -13,6 +13,8 @@ probing: O(m) per candidate.
 
 from __future__ import annotations
 
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass
 
 from repro.core.analytic import AnalyticCounts, jit_dynamic_counts, jit_range_counts
@@ -22,7 +24,8 @@ from repro.core.split import partition
 from repro.isa.isainfo import IsaLevel
 from repro.sparse.csr import CsrMatrix
 
-__all__ = ["SplitChoice", "choose_split", "predicted_makespan"]
+__all__ = ["SplitChoice", "autotune_memo_stats", "choose_split",
+           "clear_autotune_memo", "predicted_makespan"]
 
 #: crude per-event cycle weights for ranking (not a timing model — only
 #: relative ordering between strategies matters here)
@@ -105,9 +108,55 @@ def _spec(matrix: CsrMatrix, d: int, isa: IsaLevel | str,
     )
 
 
+#: process-wide memo of tuning verdicts — the tuner is a pure function
+#: of (matrix contents, d, threads, isa), so a re-registered matrix, a
+#: copied twin, or a second service never re-tunes.  LRU-bounded: the
+#: verdicts are tiny, but unbounded growth over an unbounded matrix
+#: stream would still be a leak.
+_MEMO_CAP = 1024
+_memo: OrderedDict[tuple, SplitChoice] = OrderedDict()
+_memo_lock = threading.Lock()
+_memo_hits = 0
+_memo_misses = 0
+
+
+def autotune_memo_stats() -> dict:
+    """Counters for the process-wide tuning memo (hits/misses/entries)."""
+    with _memo_lock:
+        return {"hits": _memo_hits, "misses": _memo_misses,
+                "entries": len(_memo)}
+
+
+def clear_autotune_memo() -> None:
+    """Drop every memoized verdict and zero the counters (test hook)."""
+    global _memo_hits, _memo_misses
+    with _memo_lock:
+        _memo.clear()
+        _memo_hits = 0
+        _memo_misses = 0
+
+
 def choose_split(matrix: CsrMatrix, d: int, threads: int,
-                 isa: IsaLevel | str = IsaLevel.AVX512) -> SplitChoice:
-    """Pick the predicted-fastest workload division for this instance."""
+                 isa: IsaLevel | str = IsaLevel.AVX512,
+                 memo: bool = True) -> SplitChoice:
+    """Pick the predicted-fastest workload division for this instance.
+
+    Verdicts are memoized process-wide, keyed by the matrix content
+    fingerprint plus ``(d, threads, isa)`` — hashing the CSR arrays is
+    far cheaper than re-scoring four candidate plans, and the scoring
+    is deterministic, so memoization is invisible apart from the time
+    saved.  ``memo=False`` forces a fresh scoring run.
+    """
+    global _memo_hits, _memo_misses
+    isa = IsaLevel.parse(isa)
+    if memo:
+        key = (matrix.fingerprint(), d, threads, isa.name)
+        with _memo_lock:
+            cached = _memo.get(key)
+            if cached is not None:
+                _memo.move_to_end(key)
+                _memo_hits += 1
+                return cached
     batch = auto_batch(matrix.nrows, threads)
     scores = {
         "row (static)": predicted_makespan(matrix, d, threads, "row", isa),
@@ -117,6 +166,15 @@ def choose_split(matrix: CsrMatrix, d: int, threads: int,
     }
     best = min(scores, key=scores.get)
     if best == "row (dynamic)":
-        return SplitChoice("row", True, batch, scores[best], scores)
-    split = "row" if best == "row (static)" else best
-    return SplitChoice(split, False, batch, scores[best], scores)
+        choice = SplitChoice("row", True, batch, scores[best], scores)
+    else:
+        split = "row" if best == "row (static)" else best
+        choice = SplitChoice(split, False, batch, scores[best], scores)
+    if memo:
+        with _memo_lock:
+            _memo_misses += 1
+            _memo[key] = choice
+            _memo.move_to_end(key)
+            while len(_memo) > _MEMO_CAP:
+                _memo.popitem(last=False)
+    return choice

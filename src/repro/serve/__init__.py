@@ -6,29 +6,44 @@ request stream.  Components:
 
 * :mod:`repro.serve.cache` — :class:`KernelCache`, a thread-safe LRU
   over compiled kernels with a byte budget and hit/miss/eviction
-  counters; also pluggable into :func:`repro.core.runner.run_jit` /
-  :func:`~repro.core.runner.run_aot` and :class:`repro.core.engine.JitSpMM`;
+  counters (also pluggable into :func:`repro.core.runner.run_jit` /
+  :func:`~repro.core.runner.run_aot` and
+  :class:`repro.core.engine.JitSpMM`), and :class:`ShardedKernelCache`,
+  the same contract striped over per-shard LRUs with a combined budget;
 * :mod:`repro.serve.service` — :class:`SpmmService`: register a matrix,
-  get a handle, serve ``multiply`` (numpy fast path) and ``profile``
-  (simulated, counter-reporting) requests with one-time autotuning and
-  codegen;
+  get a handle, serve ``multiply`` (numpy fast path, optionally
+  coalescing concurrent requests into stacked-operand batches) and
+  ``profile`` (simulated, counter-reporting) requests with one-time
+  autotuning and codegen;
+* :mod:`repro.serve.pool` — :class:`WorkspacePool`, the size-bucketed
+  free-list recycling batch gather buffers;
 * :mod:`repro.serve.stats` — per-handle and service-wide request
-  statistics, including the amortized Table-IV ``codegen_overhead``.
+  statistics, including the amortized Table-IV ``codegen_overhead``,
+  the coalescing batch-size histogram and lock-contention counters.
 
-See :mod:`repro.bench.serving` for the amortization experiment and
-``examples/serving_traffic.py`` for a request-replay demo.
+See :mod:`repro.bench.serving` for the amortization experiment,
+:mod:`repro.bench.servethroughput` for the coalescing throughput
+harness, and ``examples/serving_traffic.py`` for a request-replay demo.
 """
 
 from repro.serve.cache import (
     CacheStats,
     KernelCache,
     KernelKey,
+    ShardedKernelCache,
     aot_key,
     jit_key,
     mkl_key,
 )
+from repro.serve.pool import PoolStats, WorkspacePool
 from repro.serve.service import MatrixHandle, SpmmService
-from repro.serve.stats import HandleStats, LatencyStat, ServiceStats
+from repro.serve.stats import (
+    HandleStats,
+    LatencyStat,
+    LockStats,
+    ServiceStats,
+    TimedLock,
+)
 
 __all__ = [
     "CacheStats",
@@ -36,9 +51,14 @@ __all__ = [
     "KernelCache",
     "KernelKey",
     "LatencyStat",
+    "LockStats",
     "MatrixHandle",
+    "PoolStats",
     "ServiceStats",
+    "ShardedKernelCache",
     "SpmmService",
+    "TimedLock",
+    "WorkspacePool",
     "aot_key",
     "jit_key",
     "mkl_key",

@@ -14,6 +14,12 @@ deterministically, two runs over operands of identical shapes bake
 identical addresses, so the address tuple doubles as a shape
 fingerprint: ``run_jit`` on a same-shaped problem is a cache hit even
 across independently mapped address spaces.
+
+:class:`ShardedKernelCache` spreads one combined byte budget over
+independent :class:`KernelCache` shards (keys routed by hash), so
+register/evict traffic on one kernel identity never serializes lookups
+of another behind a single cache lock — the serving subsystem's
+default.
 """
 
 from __future__ import annotations
@@ -24,8 +30,8 @@ from dataclasses import dataclass
 
 from repro.core.codegen import CodegenOutput, JitKernelSpec
 
-__all__ = ["CacheStats", "KernelCache", "KernelKey", "aot_key", "jit_key",
-           "mkl_key"]
+__all__ = ["CacheStats", "KernelCache", "KernelKey", "ShardedKernelCache",
+           "aot_key", "jit_key", "mkl_key"]
 
 
 @dataclass(frozen=True)
@@ -110,7 +116,32 @@ class _Entry:
         self.nbytes = nbytes
 
 
-class KernelCache:
+class _TypedLookups:
+    """Typed convenience wrappers shared by every kernel-cache flavor.
+
+    The runner talks to these; they only assume the core
+    ``get``/``put`` mapping interface.
+    """
+
+    def get_jit(self, spec: JitKernelSpec, dynamic: bool) -> CodegenOutput | None:
+        """Look up the JIT kernel for ``spec``; None on a miss."""
+        return self.get(jit_key(spec, dynamic))
+
+    def put_jit(self, spec: JitKernelSpec, dynamic: bool,
+                output: CodegenOutput) -> None:
+        """Cache a freshly generated JIT kernel under its full identity."""
+        self.put(jit_key(spec, dynamic), output, output.code_bytes)
+
+    def get_aot(self, personality: str):
+        """Look up a compiled AOT personality; None on a miss."""
+        return self.get(aot_key(personality))
+
+    def put_aot(self, personality: str, kernel) -> None:
+        """Cache a compiled AOT kernel (sized by its encoded bytes)."""
+        self.put(aot_key(personality), kernel, len(kernel.program.encode()))
+
+
+class KernelCache(_TypedLookups):
     """Thread-safe LRU kernel cache with an optional byte budget.
 
     Values are opaque (``CodegenOutput`` for JIT entries, a
@@ -201,26 +232,6 @@ class KernelCache:
             self._bytes = 0
 
     # ------------------------------------------------------------------
-    # Typed convenience wrappers (the runner talks to these)
-    # ------------------------------------------------------------------
-    def get_jit(self, spec: JitKernelSpec, dynamic: bool) -> CodegenOutput | None:
-        """Look up the JIT kernel for ``spec``; None on a miss."""
-        return self.get(jit_key(spec, dynamic))
-
-    def put_jit(self, spec: JitKernelSpec, dynamic: bool,
-                output: CodegenOutput) -> None:
-        """Cache a freshly generated JIT kernel under its full identity."""
-        self.put(jit_key(spec, dynamic), output, output.code_bytes)
-
-    def get_aot(self, personality: str):
-        """Look up a compiled AOT personality; None on a miss."""
-        return self.get(aot_key(personality))
-
-    def put_aot(self, personality: str, kernel) -> None:
-        """Cache a compiled AOT kernel (sized by its encoded bytes)."""
-        self.put(aot_key(personality), kernel, len(kernel.program.encode()))
-
-    # ------------------------------------------------------------------
     def __len__(self) -> int:
         with self._lock:
             return len(self._entries)
@@ -241,3 +252,97 @@ class KernelCache:
                 evictions=self._evictions, entries=len(self._entries),
                 bytes=self._bytes, budget_bytes=self.budget_bytes,
             )
+
+
+class ShardedKernelCache(_TypedLookups):
+    """A kernel cache striped over independent per-shard LRUs.
+
+    One combined ``budget_bytes`` is divided evenly across ``shards``
+    :class:`KernelCache` instances; a key's shard is fixed by its hash,
+    so every operation on one identity contends only with the identities
+    that share its shard — register/evict traffic on one matrix never
+    stalls lookups of another behind a global cache lock.
+
+    The interface matches :class:`KernelCache` (the two are duck-type
+    interchangeable anywhere a cache is accepted); :meth:`stats`
+    aggregates the shard counters into one :class:`CacheStats`.
+    Eviction stays LRU *within* each shard — a workload whose hot keys
+    hash into one shard may evict earlier than a single LRU of the same
+    total budget would, which is the usual sharding trade.
+    """
+
+    def __init__(self, budget_bytes: int | None = None,
+                 shards: int = 8, max_entries: int | None = None) -> None:
+        if shards <= 0:
+            raise ValueError(f"shards must be positive, got {shards}")
+        if budget_bytes is not None and budget_bytes < shards:
+            raise ValueError(
+                f"budget_bytes={budget_bytes} cannot be divided over "
+                f"{shards} shards; raise the budget or lower the shard "
+                f"count")
+        if max_entries is not None and max_entries < shards:
+            raise ValueError(
+                f"max_entries={max_entries} cannot be divided over "
+                f"{shards} shards")
+        self.budget_bytes = budget_bytes
+        self.max_entries = max_entries
+        self._shards = tuple(
+            KernelCache(
+                budget_bytes=self._portion(budget_bytes, index, shards),
+                max_entries=self._portion(max_entries, index, shards),
+            )
+            for index in range(shards)
+        )
+
+    @staticmethod
+    def _portion(total: int | None, index: int, shards: int) -> int | None:
+        if total is None:
+            return None
+        return total // shards + (1 if index < total % shards else 0)
+
+    @property
+    def shards(self) -> tuple[KernelCache, ...]:
+        """The underlying per-shard caches (read-only view)."""
+        return self._shards
+
+    def _shard(self, key: KernelKey) -> KernelCache:
+        return self._shards[hash(key) % len(self._shards)]
+
+    # -- core mapping interface (delegated per key) ---------------------
+    def get(self, key: KernelKey):
+        return self._shard(key).get(key)
+
+    def peek(self, key: KernelKey):
+        return self._shard(key).peek(key)
+
+    def put(self, key: KernelKey, value, nbytes: int) -> None:
+        self._shard(key).put(key, value, nbytes)
+
+    def discard(self, key: KernelKey) -> bool:
+        return self._shard(key).discard(key)
+
+    def clear(self) -> None:
+        for shard in self._shards:
+            shard.clear()
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return sum(len(shard) for shard in self._shards)
+
+    def __contains__(self, key: KernelKey) -> bool:
+        return key in self._shard(key)
+
+    @property
+    def nbytes(self) -> int:
+        return sum(shard.nbytes for shard in self._shards)
+
+    def stats(self) -> CacheStats:
+        parts = [shard.stats() for shard in self._shards]
+        return CacheStats(
+            hits=sum(p.hits for p in parts),
+            misses=sum(p.misses for p in parts),
+            evictions=sum(p.evictions for p in parts),
+            entries=sum(p.entries for p in parts),
+            bytes=sum(p.bytes for p in parts),
+            budget_bytes=self.budget_bytes,
+        )

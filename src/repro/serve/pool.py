@@ -1,0 +1,148 @@
+"""Size-bucketed free-list of float32 scratch buffers.
+
+The batched serving fast path gathers the dense operands of a whole
+request batch into one stacked buffer before the single coalesced SpMM.
+Allocating that buffer per batch would put a fresh ``O(n * d * k)``
+numpy allocation (and the page faults behind it) on the hot path;
+:class:`WorkspacePool` keeps released buffers on power-of-two free
+lists instead, so steady-state traffic recycles the same few arenas and
+the allocator drops out of the request path entirely.
+
+Buffers are handed out *flat* (1-D float32); callers slice and reshape
+views over them — zero-copy by construction — and must hand the flat
+buffer back with :meth:`WorkspacePool.release` once the batch result
+has been scattered.  Result buffers escape to callers as views and are
+therefore never pooled.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["PoolStats", "WorkspacePool"]
+
+#: smallest bucket handed out, in float32 elements (256 B): keeps tiny
+#: requests from fragmenting the free lists into dozens of classes
+_MIN_BUCKET = 64
+
+#: default retained-bytes cap: far above any realistic stacked-operand
+#: working set at bench scale, far below anything that would matter to
+#: a host serving real traffic
+DEFAULT_POOL_BYTES = 64 << 20
+
+
+@dataclass(frozen=True)
+class PoolStats:
+    """A point-in-time snapshot of one pool's counters."""
+
+    allocations: int
+    reuses: int
+    releases: int
+    dropped: int
+    retained_bytes: int
+    max_bytes: int | None
+
+    @property
+    def requests(self) -> int:
+        return self.allocations + self.reuses
+
+    @property
+    def reuse_rate(self) -> float:
+        return self.reuses / self.requests if self.requests else 0.0
+
+    def render(self) -> str:
+        cap = (f"{self.max_bytes:,}" if self.max_bytes is not None
+               else "unbounded")
+        return (f"workspace pool: {self.reuses}/{self.requests} reuses "
+                f"({100.0 * self.reuse_rate:.1f}%), "
+                f"{self.retained_bytes:,} B retained (cap {cap}), "
+                f"{self.dropped} dropped")
+
+
+class WorkspacePool:
+    """Thread-safe free-list of flat float32 buffers, bucketed by size.
+
+    :meth:`acquire` returns a 1-D float32 array of at least ``n``
+    elements (the next power-of-two bucket), recycled from the free
+    list when one is available.  :meth:`release` returns a buffer to
+    its bucket; buffers beyond ``max_bytes`` of total retained capacity
+    are dropped to the garbage collector instead, so a burst of huge
+    batches cannot pin memory forever.
+
+    Contents are *not* zeroed between uses — callers overwrite the
+    region they slice (the batched gather writes every element it
+    reads).
+    """
+
+    def __init__(self, max_bytes: int | None = DEFAULT_POOL_BYTES) -> None:
+        if max_bytes is not None and max_bytes < 0:
+            raise ValueError(
+                f"max_bytes must be non-negative or None, got {max_bytes}")
+        self.max_bytes = max_bytes
+        self._buckets: dict[int, list[np.ndarray]] = {}
+        self._retained = 0          # float32 elements across all buckets
+        self._allocations = 0
+        self._reuses = 0
+        self._releases = 0
+        self._dropped = 0
+        self._lock = threading.Lock()
+
+    @staticmethod
+    def bucket_size(n: int) -> int:
+        """The free-list class serving an ``n``-element request."""
+        if n <= _MIN_BUCKET:
+            return _MIN_BUCKET
+        return 1 << (n - 1).bit_length()
+
+    # ------------------------------------------------------------------
+    def acquire(self, n: int) -> np.ndarray:
+        """A flat float32 buffer of at least ``n`` elements."""
+        if n <= 0:
+            raise ValueError(f"buffer size must be positive, got {n}")
+        bucket = self.bucket_size(n)
+        with self._lock:
+            free = self._buckets.get(bucket)
+            if free:
+                self._reuses += 1
+                self._retained -= bucket
+                return free.pop()
+            self._allocations += 1
+        return np.empty(bucket, dtype=np.float32)
+
+    def release(self, buffer: np.ndarray) -> None:
+        """Return a buffer obtained from :meth:`acquire` to its bucket."""
+        bucket = buffer.size
+        if bucket != self.bucket_size(bucket):
+            raise ValueError(
+                f"buffer of {bucket} elements is not a pool bucket; "
+                f"release the flat array acquire() returned, not a view")
+        with self._lock:
+            self._releases += 1
+            retained_bytes = 4 * (self._retained + bucket)
+            if self.max_bytes is not None and retained_bytes > self.max_bytes:
+                self._dropped += 1
+                return
+            self._retained += bucket
+            self._buckets.setdefault(bucket, []).append(buffer)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._buckets.clear()
+            self._retained = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def retained_bytes(self) -> int:
+        with self._lock:
+            return 4 * self._retained
+
+    def stats(self) -> PoolStats:
+        with self._lock:
+            return PoolStats(
+                allocations=self._allocations, reuses=self._reuses,
+                releases=self._releases, dropped=self._dropped,
+                retained_bytes=4 * self._retained, max_bytes=self.max_bytes,
+            )

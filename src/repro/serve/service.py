@@ -15,6 +15,30 @@ artifact whose bound plans are the per-``(handle, d)`` workspaces.
 Address-free systems amortize their one-time compile across the stream
 exactly like JIT codegen.
 
+Throughput architecture — the paper's amortization argument only pays
+off if the steady-state multiply path is hardware-limited, not lock-
+and-Python-overhead-limited, so the service removes per-request
+overhead the same way codegen overhead was removed:
+
+* **striped locks** — service state is sharded: handles map to lock
+  stripes (workspace table + request stats per stripe) and the private
+  kernel cache is a :class:`~repro.serve.cache.ShardedKernelCache`, so
+  register/evict traffic on one matrix never stalls multiply traffic on
+  another;
+* **request coalescing** — with ``max_batch > 1``, concurrent
+  ``multiply`` calls for one kernel identity are grouped by a per-
+  workspace batch queue and executed as a single stacked-operand SpMM
+  (operand columns concatenated along ``d``, results scattered back as
+  zero-copy views).  Results are bit-identical to per-request execution
+  — every kernel accumulates each output column independently, in the
+  same non-zero order regardless of the stacked width;
+* **workspace pooling** — the per-``(handle, d)`` workspaces keep their
+  pre-mapped address spaces across requests (PR 4's lazy binding means
+  the fast path never maps at all), and batch gather buffers come from
+  a size-bucketed :class:`~repro.serve.pool.WorkspacePool` free-list,
+  so steady-state requests perform no allocations beyond the result
+  buffer their caller keeps.
+
 Two request paths, mirroring :class:`repro.core.engine.JitSpMM`:
 
 * :meth:`SpmmService.multiply` — production path; numpy fast backend
@@ -27,9 +51,10 @@ Two request paths, mirroring :class:`repro.core.engine.JitSpMM`:
 
 from __future__ import annotations
 
+import itertools
 import threading
 import time
-from collections import OrderedDict
+from collections import OrderedDict, deque
 from dataclasses import dataclass, field, replace
 
 import numpy as np
@@ -37,13 +62,20 @@ import numpy as np
 from repro.api.config import ExecutionConfig
 from repro.api.registry import get_system
 from repro.exec import get_backend
-from repro.core.autotune import SplitChoice
-from repro.core.engine import check_operands, multiply_partitioned
+from repro.core.autotune import SplitChoice, autotune_memo_stats
+from repro.core.engine import (
+    check_operands,
+    fast_check_operands,
+    multiply_partitioned,
+    scatter_columns,
+    stack_columns,
+)
 from repro.core.runner import RunResult
 from repro.errors import ShapeError
 from repro.isa.isainfo import IsaLevel
-from repro.serve.cache import KernelCache
-from repro.serve.stats import HandleStats, ServiceStats
+from repro.serve.cache import KernelCache, ShardedKernelCache
+from repro.serve.pool import WorkspacePool
+from repro.serve.stats import HandleStats, LockStats, ServiceStats, TimedLock
 from repro.sparse.csr import CsrMatrix
 
 __all__ = ["MatrixHandle", "SpmmService"]
@@ -57,6 +89,11 @@ DEFAULT_CACHE_BUDGET = 1 << 20
 #: workspace maps full operand copies), while staying far above any
 #: realistic working set of concurrently hot shapes
 DEFAULT_MAX_WORKSPACES = 64
+
+#: default stripe/shard width for the service's locks and private
+#: cache: enough that independent handles rarely collide, small enough
+#: that aggregation (reports, workspace counts) stays trivial
+DEFAULT_STRIPES = 8
 
 
 @dataclass(frozen=True)
@@ -74,19 +111,68 @@ class MatrixHandle:
                 f"nnz={self.matrix.nnz})")
 
 
+class _BatchSlot:
+    """One coalescible ``multiply`` request waiting in a batch queue."""
+
+    __slots__ = ("x", "t0", "cold", "y", "error", "event", "lead")
+
+    def __init__(self, x, t0: float, cold: bool) -> None:
+        self.x = x
+        self.t0 = t0
+        self.cold = cold
+        self.y = None
+        self.error = None
+        self.event = None       # created only for followers
+        self.lead = False       # set when promoted to batch leader
+
+
+class _BatchQueue:
+    """Per-workspace coalescing state: pending requests + leader flag.
+
+    At most one thread leads at a time; requests arriving while a batch
+    executes queue up and are drained into the next batch.  A finishing
+    leader promotes the oldest waiter to leader rather than serving
+    forever, so leadership (and its latency cost) rotates fairly.
+    """
+
+    __slots__ = ("lock", "pending", "leader")
+
+    def __init__(self) -> None:
+        self.lock = TimedLock()
+        self.pending: deque[_BatchSlot] = deque()
+        self.leader = False
+
+
 @dataclass
 class _Workspace:
-    """Per-(handle, d) state: one bound plan + its execution lock."""
+    """Per-(handle, d) state: one bound plan + its locks and queue."""
 
     #: the pipeline's stage-2 product: tuned split, mapped persistent
     #: address space, partitions, and (once resolved) the kernel
     plan: object
+    #: monotonic recency stamp (service-wide clock): reproduces the
+    #: global LRU order across stripes for workspace-cap eviction
+    touched: int = 0
     #: serializes simulated runs over this address space (its mapped
     #: X/Y segments are shared mutable state); fast-path requests never
     #: take it, so a long profile stalls only concurrent profiles of
     #: this same (handle, d).  Codegen has its own per-identity lock in
     #: the service.
     lock: threading.Lock = field(default_factory=threading.Lock)
+    #: coalescing queue for the fast path (used when ``max_batch > 1``)
+    queue: _BatchQueue = field(default_factory=_BatchQueue)
+
+
+class _Stripe:
+    """One lock stripe: the workspaces and stats of its handles."""
+
+    __slots__ = ("lock", "workspaces", "evictions")
+
+    def __init__(self) -> None:
+        self.lock = TimedLock()
+        self.workspaces: OrderedDict[tuple[int, int], _Workspace] = (
+            OrderedDict())
+        self.evictions = 0
 
 
 class SpmmService:
@@ -106,8 +192,10 @@ class SpmmService:
             defers to ``timing``.  ``multiply`` always serves on the
             ``"native"`` backend.  Per-request overrides win;
             :meth:`report` breaks traffic down per backend.
-        cache: Shared :class:`KernelCache`; a private one (with
-            ``cache_budget_bytes``) is created when omitted.
+        cache: Shared kernel cache (:class:`KernelCache` or
+            :class:`~repro.serve.cache.ShardedKernelCache`); when
+            omitted a private :class:`ShardedKernelCache` is created
+            with ``cache_budget_bytes`` spread over ``stripes`` shards.
         cache_budget_bytes: Byte budget for the private cache.
         l1 / l2: Cache-geometry overrides for the simulated ``profile``
             path (same knobs as :func:`repro.core.runner.run_jit`, used
@@ -115,18 +203,33 @@ class SpmmService:
         system: Registered system name to serve (``"jit"`` default;
             any :func:`repro.api.get_system`-resolvable name works —
             the service's workspaces are that system's bound plans).
-        max_workspaces: LRU cap on live (handle, d) workspaces (None =
+        max_workspaces: Cap on live (handle, d) workspaces (None =
             unbounded).  Evicting a workspace releases its mapped
             operand copies but not its cached kernel, so a re-requested
-            shape pays re-mapping, never re-codegen.
+            shape pays re-mapping, never re-codegen.  Enforced strictly
+            over the service-wide count with least-recently-used
+            eviction across stripes (monotonic touch stamps order
+            recency globally); the just-touched workspace is never its
+            own victim.
+        max_batch: Coalescing cap for ``multiply``: up to this many
+            concurrent same-``(handle, d)`` requests execute as one
+            stacked-operand SpMM (bit-identical results, one pass of
+            per-request overhead).  1 (default) disables coalescing.
+        flush_us: Microseconds a batch leader lingers for followers
+            before executing a non-full batch; 0 (default) executes
+            immediately, so batches form only from requests arriving
+            while an earlier batch is in flight.
+        stripes: Lock stripes for service state, and the shard count of
+            the private kernel cache.
 
     Resource model: the kernel cache's byte budget bounds *compiled
     code*; each live (handle, d) pair additionally pins a workspace
-    (mapped operand copies sized by the matrix and width), LRU-bounded
-    by ``max_workspaces``.  ``multiply`` always ensures the kernel
-    exists (codegen on first use or after an eviction) so the cached
-    program stays warm for ``profile`` and the codegen-once-per-identity
-    accounting holds.
+    (mapped operand copies sized by the matrix and width), bounded by
+    ``max_workspaces``.  ``multiply`` always ensures the kernel exists
+    (codegen on first use or after an eviction) so the cached program
+    stays warm for ``profile`` and the codegen-once-per-identity
+    accounting holds.  Batch gather buffers are recycled through a
+    :class:`~repro.serve.pool.WorkspacePool` (``service.pool``).
     """
 
     def __init__(
@@ -142,20 +245,27 @@ class SpmmService:
         l2=None,
         system: str = "jit",
         max_workspaces: int | None = DEFAULT_MAX_WORKSPACES,
+        max_batch: int = 1,
+        flush_us: float = 0.0,
+        stripes: int = DEFAULT_STRIPES,
     ) -> None:
+        if stripes <= 0:
+            raise ShapeError(f"stripes must be positive, got {stripes}")
         self._private_cache = cache is None
-        self.cache = cache if cache is not None else KernelCache(
-            budget_bytes=cache_budget_bytes)
+        self.cache = cache if cache is not None else ShardedKernelCache(
+            budget_bytes=cache_budget_bytes, shards=stripes)
         self._system = get_system(system)
         if split == "auto" and not self._system.supports_autotune:
             raise ShapeError(
                 f"split='auto' autotunes via the JIT cost model; system "
                 f"{system!r} serves fixed splits (row/nnz/merge)")
-        # validation (thread count, split name, backend name, ...)
-        # happens here, once, for the contract every entry point shares
+        # validation (thread count, split name, backend name, batching
+        # knobs, ...) happens here, once, for the contract every entry
+        # point shares
         self._config = ExecutionConfig(
             split=split, threads=threads, isa=isa, timing=timing,
             backend=backend, l1=l1, l2=l2, cache=self.cache,
+            max_batch=max_batch, flush_us=flush_us,
         )
         self._artifact = self._system.prepare(self._config)
         if max_workspaces is not None and max_workspaces <= 0:
@@ -171,17 +281,53 @@ class SpmmService:
         self.l1 = l1
         self.l2 = l2
         self.max_workspaces = max_workspaces
+        self.max_batch = self._config.max_batch
+        self.flush_us = self._config.flush_us
         self.stats = ServiceStats()
+        self.pool = WorkspacePool()
         self._handles: dict[int, MatrixHandle] = {}
-        self._workspaces: OrderedDict[tuple[int, int], _Workspace] = (
-            OrderedDict())
-        self._workspace_evictions = 0
-        # codegen serialization is keyed on kernel *identity*, not on
-        # the workspace: same-shaped handles share one kernel, and two
-        # concurrent cold requests must not both generate it
-        self._keylocks: dict = {}
         self._next_id = 0
-        self._lock = threading.RLock()
+        # service-wide recency clock for cross-stripe LRU eviction
+        # (itertools.count.__next__ is GIL-atomic)
+        self._ws_clock = itertools.count(1)
+        # handle -> stripe: workspace table + stats mutation lock per
+        # stripe, so traffic on one matrix never serializes behind
+        # traffic on another
+        self._stripes = [_Stripe() for _ in range(stripes)]
+        self._registry_lock = TimedLock()
+        # kernel-identity bookkeeping, shared across stripes (twin
+        # handles on different stripes legitimately share one kernel):
+        # codegen serialization locks plus a refcount of the live
+        # workspaces carrying each identity — cache insert/discard
+        # decisions serialize on this guard
+        self._keylock_guard = TimedLock()
+        self._keylocks: dict = {}
+        self._key_refs: dict = {}
+        self._retired_locks = LockStats()
+
+    # ------------------------------------------------------------------
+    # Sharded-state accessors (also the tests' introspection surface)
+    # ------------------------------------------------------------------
+    def _stripe(self, handle_id: int) -> _Stripe:
+        return self._stripes[handle_id % len(self._stripes)]
+
+    def _live_workspaces(self) -> int:
+        # len() per stripe is GIL-atomic; the sum is a consistent-enough
+        # snapshot for eviction decisions and reporting
+        return sum(len(stripe.workspaces) for stripe in self._stripes)
+
+    @property
+    def _workspaces(self) -> dict:
+        """Merged (handle_id, d) -> workspace snapshot across stripes."""
+        merged: dict = {}
+        for stripe in self._stripes:
+            with stripe.lock:
+                merged.update(stripe.workspaces)
+        return merged
+
+    @property
+    def _workspace_evictions(self) -> int:
+        return sum(stripe.evictions for stripe in self._stripes)
 
     # ------------------------------------------------------------------
     # Registration
@@ -190,9 +336,13 @@ class SpmmService:
         """Register a matrix for serving; returns its handle.
 
         Registration is cheap — autotuning and code generation are
-        deferred to the first request for each dense width ``d``.
+        deferred to the first request for each dense width ``d``.  The
+        matrix side of the operand contract is validated here, once
+        (:class:`CsrMatrix` self-validates on construction and is
+        immutable), so per-request validation reduces to a cheap assert
+        on ``x``.
         """
-        with self._lock:
+        with self._registry_lock:
             handle = MatrixHandle(self._next_id, matrix,
                                   name or matrix.name)
             self._handles[handle.handle_id] = handle
@@ -216,33 +366,58 @@ class SpmmService:
         cache is never mutated here.
         """
         self._validate_handle(handle)
-        with self._lock:
+        with self._registry_lock:
             self._handles.pop(handle.handle_id, None)
-            dropped = [self._workspaces.pop(key)
-                       for key in list(self._workspaces)
+        stripe = self._stripe(handle.handle_id)
+        with stripe.lock:
+            dropped = [stripe.workspaces.pop(key)
+                       for key in list(stripe.workspaces)
                        if key[0] == handle.handle_id]
-            live = {ws.plan.key for ws in self._workspaces.values()}
-            for ws in dropped:
-                key = ws.plan.key
-                if key not in live:
-                    self._keylocks.pop(key, None)
-                    if self._private_cache:
-                        self.cache.discard(key)
+        for ws in dropped:
+            self._retire_workspace(ws, drop_kernel=True)
 
     def handle_stats(self, handle: MatrixHandle) -> HandleStats:
         """The request statistics accumulated for ``handle``."""
         self._validate_handle(handle)
-        with self._lock:
+        with self._stripe(handle.handle_id).lock:
             return self.stats.handle(handle.handle_id, handle.name)
 
     def _validate_handle(self, handle: MatrixHandle) -> None:
+        # lock-free read: dict.get is atomic under the GIL, and an
+        # unregister racing past it is indistinguishable from one that
+        # completed just after this request was admitted
         known = self._handles.get(handle.handle_id)
         if known is None or known.matrix is not handle.matrix:
             raise ShapeError(f"unknown handle {handle!r}; "
                              "register the matrix with this service first")
 
     # ------------------------------------------------------------------
-    # Kernel resolution
+    # Kernel identity bookkeeping (refcounted across stripes)
+    # ------------------------------------------------------------------
+    def _retire_workspace(self, ws: _Workspace, drop_kernel: bool) -> None:
+        """Release one removed workspace's kernel-identity reference.
+
+        When the last workspace carrying an identity goes, its codegen
+        lock is dropped (so heavy shape churn cannot grow ``_keylocks``
+        without bound) and — on unregister of a service-private cache —
+        so is the cached kernel.  Eviction keeps the kernel warm: a
+        re-requested shape pays re-mapping, never re-codegen.
+        """
+        key = ws.plan.key
+        with self._keylock_guard:
+            # keep the contention history of retired queues visible
+            self._retired_locks = self._retired_locks + ws.queue.lock.stats()
+            refs = self._key_refs.get(key, 0) - 1
+            if refs > 0:
+                self._key_refs[key] = refs
+                return
+            self._key_refs.pop(key, None)
+            self._keylocks.pop(key, None)
+            if drop_kernel and self._private_cache:
+                self.cache.discard(key)
+
+    # ------------------------------------------------------------------
+    # Workspace resolution
     # ------------------------------------------------------------------
     def _make_workspace(self, handle: MatrixHandle, d: int) -> _Workspace:
         x0 = np.zeros((handle.matrix.ncols, d), dtype=np.float32)
@@ -261,47 +436,80 @@ class SpmmService:
         """
         self._validate_handle(handle)
         key = (handle.handle_id, d)
-        with self._lock:
-            ws = self._workspaces.get(key)
+        stripe = self._stripe(handle.handle_id)
+        with stripe.lock:
+            ws = stripe.workspaces.get(key)
             if ws is not None:
-                self._workspaces.move_to_end(key)
+                stripe.workspaces.move_to_end(key)
+                ws.touched = next(self._ws_clock)
                 return ws, False
-        # autotune + operand mapping happen outside the service lock;
-        # a concurrent duplicate loses the setdefault race and is
-        # simply dropped
+        # autotune + operand mapping happen outside the stripe lock; a
+        # concurrent duplicate loses the setdefault race and is simply
+        # dropped.  The kernel identity is resolved here too (it bakes
+        # the mapped addresses), so the refcount below pairs exactly
+        # with the insertion.
         built = self._make_workspace(handle, d)
-        with self._lock:
+        identity = built.plan.key
+        with stripe.lock:
             # re-check liveness: an unregister() racing with us must
             # not be followed by an insertion it can never sweep
             self._validate_handle(handle)
-            ws = self._workspaces.setdefault(key, built)
-            self._workspaces.move_to_end(key)
+            ws = stripe.workspaces.setdefault(key, built)
+            stripe.workspaces.move_to_end(key)
+            ws.touched = next(self._ws_clock)
             if ws is built:
-                self._evict_workspaces()
+                with self._keylock_guard:
+                    self._key_refs[identity] = (
+                        self._key_refs.get(identity, 0) + 1)
+        if ws is built:
+            for victim in self._enforce_workspace_cap(protect=ws):
+                self._retire_workspace(victim, drop_kernel=False)
         return ws, ws is built
 
-    def _evict_workspaces(self) -> None:
-        """Drop least-recently-used workspaces beyond the cap.
+    def _enforce_workspace_cap(self,
+                               protect: _Workspace) -> list[_Workspace]:
+        """Evict least-recently-touched workspaces service-wide until
+        the live count is back under the cap.
 
-        Called under the service lock.  The just-touched entry sits at
-        the MRU end, so it is never its own victim; in-flight requests
-        holding an evicted workspace complete against their reference,
-        and the kernel cache is untouched (re-requesting an evicted
-        shape re-maps operands but never re-generates code).
+        Locks one stripe at a time (never nested), so traffic on other
+        stripes proceeds during enforcement; the global touch stamps
+        reproduce the pre-sharding single-LRU eviction order.
+        ``protect`` — the workspace whose insertion triggered the pass
+        — is never a victim, so an insertion cannot evict itself.
+        In-flight requests holding an evicted workspace complete
+        against their reference, and the kernel cache is untouched.
         """
         if self.max_workspaces is None:
-            return
-        while len(self._workspaces) > self.max_workspaces:
-            _, evicted = self._workspaces.popitem(last=False)
-            self._workspace_evictions += 1
-            # drop the per-identity codegen lock when no survivor shares
-            # it (mirroring unregister) so heavy shape churn cannot grow
-            # _keylocks without bound; a racing generate holding the old
-            # lock finishes unharmed — a fresh request merely creates a
-            # new lock, risking one duplicated codegen, never corruption
-            key = evicted.plan.key
-            if all(w.plan.key != key for w in self._workspaces.values()):
-                self._keylocks.pop(key, None)
+            return []
+        victims: list[_Workspace] = []
+        stalls = 0
+        while (self._live_workspaces() > self.max_workspaces
+               and stalls < 2 * len(self._stripes)):
+            best = None
+            for stripe in self._stripes:
+                with stripe.lock:
+                    # dict order is per-stripe LRU (touches move_to_end)
+                    for key, ws in stripe.workspaces.items():
+                        if ws is protect:
+                            continue
+                        if best is None or ws.touched < best[0]:
+                            best = (ws.touched, stripe, key, ws)
+                        break
+            if best is None:            # nothing evictable remains
+                break
+            stamp, stripe, key, ws = best
+            with stripe.lock:
+                # re-check under the owning lock: the candidate may have
+                # been touched, evicted, or swept since the scan
+                current = stripe.workspaces.get(key)
+                if current is ws and ws.touched == stamp:
+                    stripe.workspaces.pop(key)
+                    stripe.evictions += 1
+                    victims.append(ws)
+                    stalls = 0
+                else:
+                    stalls += 1
+        return victims
 
     def _resolve(self, handle: MatrixHandle, d: int):
         """Workspace + kernel for (handle, d).
@@ -317,12 +525,16 @@ class SpmmService:
         ws, created = self._workspace(handle, d)
         plan = ws.plan
         # lock-free warm path: a long profile() holding ws.lock must not
-        # stall concurrent numpy-path requests (KernelCache locks itself)
+        # stall concurrent numpy-path requests (the cache locks itself,
+        # per shard)
         kernel = self.cache.get(plan.key)
         if kernel is not None:
             plan.attach_kernel(kernel, cache_hit=True, codegen_seconds=0.0)
             return ws, kernel, 0.0, created, False
-        with self._lock:
+        # codegen serialization is keyed on kernel *identity*, not on
+        # the workspace: same-shaped handles share one kernel, and two
+        # concurrent cold requests must not both generate it
+        with self._keylock_guard:
             keylock = self._keylocks.setdefault(plan.key, threading.Lock())
         with keylock:
             # uncounted re-check: the probe above already recorded the
@@ -333,18 +545,17 @@ class SpmmService:
                                    codegen_seconds=0.0)
                 return ws, kernel, 0.0, created, False
             kernel, seconds = self._system.build_kernel(plan)
-            with self._lock:
+            with self._keylock_guard:
                 # don't re-insert behind a racing unregister: cache the
                 # kernel only while some workspace still carries its
                 # identity (this request is still served either way);
-                # the put stays under the service lock so unregister
-                # cannot interleave between check and insertion
-                if any(w.plan.key == plan.key
-                       for w in self._workspaces.values()):
+                # the refcount check and the put share the guard, so an
+                # unregister cannot interleave between them
+                if self._key_refs.get(plan.key):
                     self.cache.put(plan.key, kernel,
                                    self._system.kernel_nbytes(kernel))
         plan.attach_kernel(kernel, cache_hit=False, codegen_seconds=seconds)
-        with self._lock:
+        with self._stripe(handle.handle_id).lock:
             self.stats.handle(handle.handle_id, handle.name).record_codegen(
                 seconds)
         return ws, kernel, seconds, True, True
@@ -376,19 +587,151 @@ class SpmmService:
 
         The first request for a given ``x.shape[1]`` autotunes and
         builds the kernel (cold); later requests hit the cache and pay
-        execution only.
+        execution only.  Well-formed operands (contiguous float32 of
+        the registered height) pass a hoisted cheap assert instead of
+        full validation.  With ``max_batch > 1``, concurrent requests
+        for the same (handle, d) coalesce into one stacked-operand
+        SpMM; the returned array is then a zero-copy view of the batch
+        result (bit-identical to a per-request multiply).  A view
+        keeps the whole stacked batch product alive — a caller
+        retaining results long-term should ``.copy()`` them, trading
+        one copy for releasing up to ``max_batch - 1`` neighbors'
+        columns.
         """
-        x = check_operands(handle.matrix, x)
+        x = fast_check_operands(handle.matrix, x)
         t0 = time.perf_counter()
         ws, _, _, cold, _ = self._resolve(handle, int(x.shape[1]))
+        if self.max_batch > 1:
+            return self._serve_batched(handle, ws, x, t0, cold)
         t1 = time.perf_counter()
         y = multiply_partitioned(handle.matrix, x, ws.plan.ranges)
         t2 = time.perf_counter()
-        with self._lock:
+        with self._stripe(handle.handle_id).lock:
             self.stats.handle(handle.handle_id, handle.name).observe(
                 t2 - t0, cold, exec_seconds=t2 - t1, backend="native")
         return y
 
+    # -- coalescing -----------------------------------------------------
+    def _serve_batched(self, handle: MatrixHandle, ws: _Workspace,
+                       x: np.ndarray, t0: float, cold: bool) -> np.ndarray:
+        """Enqueue one request; lead a batch or wait to be served.
+
+        The first arrival becomes the batch leader; requests landing
+        while it executes queue up and are drained by the next leader
+        (the finishing leader promotes the oldest waiter), so batches
+        form under concurrency without any request waiting behind an
+        unrelated workspace.
+        """
+        queue = ws.queue
+        slot = _BatchSlot(x, t0, cold)
+        with queue.lock:
+            if queue.leader:
+                slot.event = threading.Event()
+                queue.pending.append(slot)
+            else:
+                queue.leader = True
+                slot.lead = True
+        if not slot.lead:
+            slot.event.wait()
+            if not slot.lead:           # served by some leader's batch
+                if slot.error is not None:
+                    self._raise_batch_error(slot.error)
+                return slot.y
+        return self._lead_batch(handle, ws, slot)
+
+    @staticmethod
+    def _raise_batch_error(error: BaseException) -> None:
+        """Re-raise a batch failure for one member.
+
+        Every member of a failed batch shares one recorded exception;
+        raising that single object from up to ``max_batch`` threads
+        concurrently would interleave their frames on its shared
+        ``__traceback__``.  Each caller therefore raises its own
+        reconstructed instance chained to the original; types that
+        cannot be rebuilt from ``args`` fall back to the shared object.
+        """
+        try:
+            clone = type(error)(*error.args)
+        except BaseException:
+            raise error
+        raise clone from error
+
+    def _lead_batch(self, handle: MatrixHandle, ws: _Workspace,
+                    slot: _BatchSlot) -> np.ndarray:
+        queue = ws.queue
+        if self.flush_us:
+            # linger for followers only while the batch is not full
+            with queue.lock:
+                short = len(queue.pending) < self.max_batch - 1
+            if short:
+                time.sleep(self.flush_us * 1e-6)
+        batch = [slot]
+        try:
+            with queue.lock:
+                while queue.pending and len(batch) < self.max_batch:
+                    batch.append(queue.pending.popleft())
+            self._execute_batch(handle, ws, batch)
+        finally:
+            # hand over leadership before waking this batch: requests
+            # that piled up during execution start immediately
+            with queue.lock:
+                promoted = (queue.pending.popleft() if queue.pending
+                            else None)
+                if promoted is None:
+                    queue.leader = False
+                else:
+                    promoted.lead = True
+            if promoted is not None:
+                promoted.event.set()
+            for member in batch[1:]:
+                member.event.set()
+        if slot.error is not None:
+            self._raise_batch_error(slot.error)
+        return slot.y
+
+    def _execute_batch(self, handle: MatrixHandle, ws: _Workspace,
+                       batch: list[_BatchSlot]) -> None:
+        """Run one coalesced SpMM over a batch's stacked operands.
+
+        Never raises: a failure is recorded on every member and re-
+        raised by each waiting caller.  Per-request results are column-
+        block views of one stacked product, bit-identical to what each
+        request would have computed alone (column-independent
+        accumulation in identical non-zero order, over the identical
+        tuned partitions).
+        """
+        matrix = handle.matrix
+        gather = None
+        try:
+            t1 = time.perf_counter()
+            if len(batch) == 1:
+                batch[0].y = multiply_partitioned(
+                    matrix, batch[0].x, ws.plan.ranges)
+            else:
+                xs = [member.x for member in batch]
+                n, d = xs[0].shape
+                gather = self.pool.acquire(n * d * len(xs))
+                stacked = stack_columns(xs, out=gather)
+                ys = multiply_partitioned(matrix, stacked, ws.plan.ranges)
+                for member, y in zip(batch, scatter_columns(ys, len(batch))):
+                    member.y = y
+            t2 = time.perf_counter()
+        except BaseException as error:  # propagated by every caller
+            for member in batch:
+                member.error = error
+            return
+        finally:
+            if gather is not None:
+                self.pool.release(gather)
+        share = (t2 - t1) / len(batch)
+        with self._stripe(handle.handle_id).lock:
+            stats = self.stats.handle(handle.handle_id, handle.name)
+            stats.record_batch(len(batch))
+            for member in batch:
+                stats.observe(t2 - member.t0, member.cold,
+                              exec_seconds=share, backend="native")
+
+    # ------------------------------------------------------------------
     def profile(self, handle: MatrixHandle, x: np.ndarray,
                 timing: bool | None = None,
                 backend: str | None = None) -> RunResult:
@@ -426,7 +769,7 @@ class SpmmService:
             result = ws.plan.refresh(x).execute(backend=resolved)
             y = result.y.copy()
         t2 = time.perf_counter()
-        with self._lock:
+        with self._stripe(handle.handle_id).lock:
             self.stats.handle(handle.handle_id, handle.name).observe(
                 t2 - t0, cold, exec_seconds=t2 - t1, profiled=True,
                 backend=resolved)
@@ -441,13 +784,33 @@ class SpmmService:
         )
 
     # ------------------------------------------------------------------
+    def lock_stats(self) -> LockStats:
+        """Aggregated contention counters over every service lock.
+
+        Covers the registry lock, the kernel-identity guard, every
+        stripe lock and every live batch-queue lock, plus the
+        accumulated history of retired (evicted/unregistered)
+        workspaces' queues.
+        """
+        total = self._registry_lock.stats() + self._keylock_guard.stats()
+        for stripe in self._stripes:
+            total = total + stripe.lock.stats()
+            with stripe.lock:
+                for ws in stripe.workspaces.values():
+                    total = total + ws.queue.lock.stats()
+        with self._keylock_guard:
+            return total + self._retired_locks
+
     def report(self) -> str:
         """Human-readable service-wide stats (live Table IV)."""
-        with self._lock:
-            cap = ("unbounded" if self.max_workspaces is None
-                   else self.max_workspaces)
-            return "\n".join([
-                self.stats.render(self.cache.stats()),
-                f"workspaces: {len(self._workspaces)} live (cap {cap}), "
-                f"{self._workspace_evictions} evicted",
-            ])
+        cap = ("unbounded" if self.max_workspaces is None
+               else self.max_workspaces)
+        memo = autotune_memo_stats()
+        return "\n".join([
+            self.stats.render(self.cache.stats(), self.lock_stats()),
+            f"workspaces: {self._live_workspaces()} live (cap {cap}), "
+            f"{self._workspace_evictions} evicted",
+            self.pool.stats().render(),
+            f"autotune memo: {memo['hits']} hits / {memo['misses']} "
+            f"misses ({memo['entries']} entries, process-wide)",
+        ])

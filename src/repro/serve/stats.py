@@ -10,9 +10,71 @@ converges toward zero as traffic accumulates.
 
 from __future__ import annotations
 
+import threading
+import time
 from dataclasses import dataclass, field
 
-__all__ = ["HandleStats", "LatencyStat", "ServiceStats"]
+__all__ = ["HandleStats", "LatencyStat", "LockStats", "ServiceStats",
+           "TimedLock", "render_batch_histogram"]
+
+
+@dataclass(frozen=True)
+class LockStats:
+    """Aggregated contention counters over a set of timed locks."""
+
+    acquisitions: int = 0
+    waits: int = 0
+    wait_seconds: float = 0.0
+
+    def __add__(self, other: "LockStats") -> "LockStats":
+        return LockStats(
+            acquisitions=self.acquisitions + other.acquisitions,
+            waits=self.waits + other.waits,
+            wait_seconds=self.wait_seconds + other.wait_seconds,
+        )
+
+    @property
+    def contention_rate(self) -> float:
+        return self.waits / self.acquisitions if self.acquisitions else 0.0
+
+    def render(self) -> str:
+        return (f"lock contention: {self.waits}/{self.acquisitions} "
+                f"contended acquisitions "
+                f"({100.0 * self.contention_rate:.2f}%), "
+                f"{1e3 * self.wait_seconds:.3f}ms waited")
+
+
+class TimedLock:
+    """A mutex that counts contended acquisitions and time spent waiting.
+
+    The uncontended path is one extra non-blocking ``acquire`` attempt;
+    only a failed attempt pays two clock reads.  Counters are mutated
+    while the lock is held, so they need no lock of their own.
+    """
+
+    __slots__ = ("_lock", "acquisitions", "waits", "wait_seconds")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.acquisitions = 0
+        self.waits = 0
+        self.wait_seconds = 0.0
+
+    def __enter__(self) -> "TimedLock":
+        if not self._lock.acquire(blocking=False):
+            started = time.perf_counter()
+            self._lock.acquire()
+            self.wait_seconds += time.perf_counter() - started
+            self.waits += 1
+        self.acquisitions += 1
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._lock.release()
+
+    def stats(self) -> LockStats:
+        return LockStats(acquisitions=self.acquisitions, waits=self.waits,
+                         wait_seconds=self.wait_seconds)
 
 
 @dataclass
@@ -57,6 +119,13 @@ class HandleStats:
     #: requests per execution backend (``"native"`` for the fast path,
     #: the resolved simulator backend for profiled requests)
     backends: dict[str, int] = field(default_factory=dict)
+    #: coalesced-execution histogram: batch size -> executed batches
+    #: (a per-request execution is a batch of 1)
+    batches: dict[int, int] = field(default_factory=dict)
+
+    def record_batch(self, size: int) -> None:
+        """Record one coalesced execution that served ``size`` requests."""
+        self.batches[size] = self.batches.get(size, 0) + 1
 
     def record_codegen(self, seconds: float) -> None:
         """Record one code-generation run (whether or not it served a
@@ -110,53 +179,85 @@ class HandleStats:
             lines.append("  backends " + " ".join(
                 f"{name}={count}"
                 for name, count in sorted(self.backends.items())))
+        if self.batches:
+            lines.append("  batches " + render_batch_histogram(self.batches))
         return "\n".join(lines)
 
 
 @dataclass
 class ServiceStats:
-    """Service-wide aggregation over every handle's stream."""
+    """Service-wide aggregation over every handle's stream.
+
+    Aggregate properties snapshot the shared dicts with single C-level
+    ``list(...)`` calls before iterating, so a report taken during live
+    traffic (handles registering, new batch sizes appearing) never
+    observes a dict resizing mid-iteration.
+    """
 
     handles: dict[int, HandleStats] = field(default_factory=dict)
 
     def handle(self, handle_id: int, name: str = "") -> HandleStats:
-        """The (created-on-demand) stats bucket for one handle."""
+        """The (created-on-demand) stats bucket for one handle.
+
+        Creation is ``setdefault``-atomic: callers serialized per
+        handle (the service's lock stripes) may still race the *first*
+        touch of a handle from different stripes' critical sections.
+        """
         stats = self.handles.get(handle_id)
         if stats is None:
-            stats = self.handles[handle_id] = HandleStats(name=name)
+            stats = self.handles.setdefault(handle_id, HandleStats(name=name))
         return stats
+
+    def _snapshot(self) -> list[HandleStats]:
+        return list(self.handles.values())
 
     @property
     def requests(self) -> int:
-        return sum(h.requests for h in self.handles.values())
+        return sum(h.requests for h in self._snapshot())
 
     @property
     def codegen_runs(self) -> int:
-        return sum(h.codegen_runs for h in self.handles.values())
+        return sum(h.codegen_runs for h in self._snapshot())
 
     @property
     def codegen_seconds(self) -> float:
-        return sum(h.codegen_seconds for h in self.handles.values())
+        return sum(h.codegen_seconds for h in self._snapshot())
 
     @property
     def exec_seconds(self) -> float:
-        return sum(h.exec_seconds for h in self.handles.values())
+        return sum(h.exec_seconds for h in self._snapshot())
 
     @property
     def backend_traffic(self) -> dict[str, int]:
         """Service-wide requests per execution backend."""
         traffic: dict[str, int] = {}
-        for handle in self.handles.values():
-            for name, count in handle.backends.items():
+        for handle in self._snapshot():
+            for name, count in list(handle.backends.items()):
                 traffic[name] = traffic.get(name, 0) + count
         return traffic
+
+    @property
+    def batch_sizes(self) -> dict[int, int]:
+        """Service-wide coalescing histogram: batch size -> batches."""
+        sizes: dict[int, int] = {}
+        for handle in self._snapshot():
+            for size, count in list(handle.batches.items()):
+                sizes[size] = sizes.get(size, 0) + count
+        return sizes
+
+    def mean_batch_size(self) -> float:
+        """Requests served per coalesced execution, on average."""
+        sizes = self.batch_sizes
+        batches = sum(sizes.values())
+        served = sum(size * count for size, count in sizes.items())
+        return served / batches if batches else 0.0
 
     def codegen_overhead(self) -> float:
         """Amortized Table-IV metric across all handles."""
         total = self.codegen_seconds + self.exec_seconds
         return self.codegen_seconds / total if total else 0.0
 
-    def render(self, cache_stats=None) -> str:
+    def render(self, cache_stats=None, lock_stats=None) -> str:
         lines = [
             f"SpmmService: {self.requests} requests over "
             f"{len(self.handles)} handles, {self.codegen_runs} codegen "
@@ -168,8 +269,21 @@ class ServiceStats:
             lines.append("traffic by backend: " + ", ".join(
                 f"{name}={count}"
                 for name, count in sorted(traffic.items())))
+        sizes = self.batch_sizes
+        if sizes:
+            lines.append(
+                f"batches: {render_batch_histogram(sizes)} "
+                f"(mean size {self.mean_batch_size():.2f})")
+        if lock_stats is not None:
+            lines.append(lock_stats.render())
         if cache_stats is not None:
             lines.append(cache_stats.render())
         lines.extend(stats.render()
                      for _, stats in sorted(self.handles.items()))
         return "\n".join(lines)
+
+
+def render_batch_histogram(sizes: dict[int, int]) -> str:
+    """``size x count`` pairs, ascending by batch size."""
+    return " ".join(f"{size}x{count}"
+                    for size, count in sorted(sizes.items()))

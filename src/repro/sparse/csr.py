@@ -14,6 +14,7 @@ the paper's Listings 1–2.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -127,6 +128,27 @@ class CsrMatrix:
     def row_lengths(self) -> np.ndarray:
         """Per-row non-zero counts, as an int64 array of length ``nrows``."""
         return np.diff(self.row_ptr)
+
+    def fingerprint(self) -> str:
+        """Content hash over shape, structure and values (memoized).
+
+        Two matrices with equal CSR arrays share a fingerprint even as
+        distinct objects, so process-wide memo tables (the autotuner's
+        split memo) recognize a re-registered or copied matrix.  The
+        matrix is immutable, so the digest is computed once and cached
+        on the instance; ``name`` is excluded (it does not affect any
+        computed result, matching ``__eq__``).
+        """
+        cached = self.__dict__.get("_fingerprint")
+        if cached is None:
+            digest = hashlib.sha256()
+            digest.update(np.int64([self.nrows, self.ncols]).tobytes())
+            digest.update(self.row_ptr.tobytes())
+            digest.update(self.col_indices.tobytes())
+            digest.update(self.vals.tobytes())
+            cached = digest.hexdigest()
+            object.__setattr__(self, "_fingerprint", cached)
+        return cached
 
     def row_slice(self, i: int) -> tuple[np.ndarray, np.ndarray]:
         """Return ``(col_indices, vals)`` views for row ``i``."""

@@ -67,3 +67,29 @@ class TestNormalization:
         assert config.split == "row"  # frozen original untouched
         with pytest.raises(ShapeError):
             config.with_overrides(threads=0)
+
+
+class TestBatchingKnobs:
+    def test_defaults_disable_coalescing(self):
+        config = ExecutionConfig()
+        assert config.max_batch == 1
+        assert config.flush_us == 0.0
+
+    def test_accepts_valid_values(self):
+        config = ExecutionConfig(max_batch=32, flush_us=150.0)
+        assert config.max_batch == 32
+        assert config.flush_us == 150.0
+
+    def test_rejects_invalid_values(self):
+        with pytest.raises(ShapeError):
+            ExecutionConfig(max_batch=0)
+        with pytest.raises(ShapeError):
+            ExecutionConfig(max_batch=-3)
+        with pytest.raises(ShapeError):
+            ExecutionConfig(flush_us=-0.5)
+
+    def test_with_overrides_revalidates_batching(self):
+        config = ExecutionConfig()
+        assert config.with_overrides(max_batch=8).max_batch == 8
+        with pytest.raises(ShapeError):
+            config.with_overrides(max_batch=0)

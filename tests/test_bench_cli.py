@@ -9,7 +9,7 @@ class TestCli:
     def test_experiments_registry_complete(self):
         assert set(EXPERIMENTS) == {
             "table2", "table4", "fig9", "fig10", "fig11", "ablations",
-            "serving", "simspeed"}
+            "serving", "simspeed", "servethroughput"}
 
     def test_runs_simspeed_experiment(self, capsys, monkeypatch, tmp_path):
         monkeypatch.setenv("REPRO_BENCH_DATASETS", "uk-2005")
@@ -32,6 +32,31 @@ class TestCli:
                   for row in payload["rows"]}
         assert counts["counts"] == counts["sim"] == counts["sim-fused"]
         assert "sim-fused" in payload["speedup_vs_sim"]
+
+    def test_runs_servethroughput_experiment(self, capsys, monkeypatch,
+                                             tmp_path):
+        monkeypatch.setenv("REPRO_BENCH_DATASETS", "uk-2005")
+        monkeypatch.setenv("REPRO_BENCH_THREADS", "2")
+        monkeypatch.setenv("REPRO_BENCH_SERVE_CLIENTS", "2")
+        monkeypatch.setenv("REPRO_BENCH_SERVE_REQUESTS", "8")
+        json_path = tmp_path / "BENCH_servethroughput.json"
+        monkeypatch.setenv("REPRO_BENCH_SERVETHROUGHPUT_JSON",
+                           str(json_path))
+        exit_code = main(["servethroughput", "--scale", str(2.0 ** -22)])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "Serve throughput" in out
+        import json
+        payload = json.loads(json_path.read_text())
+        assert payload["experiment"] == "servethroughput"
+        cells = {(row["backend"], row["max_batch"])
+                 for row in payload["rows"]}
+        assert cells == {("native", 1), ("native", 8), ("native", 32),
+                         ("counts", 1)}
+        for row in payload["rows"]:
+            assert row["rps"] > 0
+            assert row["p99_ms"] >= row["p50_ms"]
+        assert payload["speedup_coalesced"] > 0
 
     def test_unknown_experiment_rejected(self):
         with pytest.raises(SystemExit):

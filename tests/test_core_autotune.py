@@ -75,3 +75,71 @@ class TestChoice:
         pred_row = predicted_makespan(mat, 16, 8, "row")
         pred_nnz = predicted_makespan(mat, 16, 8, "nnz")
         assert (pred_row > pred_nnz) == (sim["row"] > sim["nnz"])
+
+
+class TestMemo:
+    def setup_method(self):
+        from repro.core.autotune import clear_autotune_memo
+        clear_autotune_memo()
+
+    def test_same_matrix_hits(self, rng):
+        from repro.core.autotune import autotune_memo_stats, choose_split
+        from tests.conftest import random_csr
+        matrix = random_csr(rng, 50, 40)
+        first = choose_split(matrix, 8, 4)
+        second = choose_split(matrix, 8, 4)
+        assert second is first
+        stats = autotune_memo_stats()
+        assert stats == {"hits": 1, "misses": 1, "entries": 1}
+
+    def test_twin_object_hits_via_fingerprint(self, rng):
+        from repro.core.autotune import autotune_memo_stats, choose_split
+        from tests.conftest import random_csr
+        matrix = random_csr(rng, 50, 40)
+        twin = type(matrix)(matrix.nrows, matrix.ncols,
+                            matrix.row_ptr.copy(),
+                            matrix.col_indices.copy(), matrix.vals.copy())
+        assert matrix.fingerprint() == twin.fingerprint()
+        first = choose_split(matrix, 8, 4)
+        assert choose_split(twin, 8, 4) is first
+        assert autotune_memo_stats()["hits"] == 1
+
+    def test_key_includes_d_threads_isa(self, rng):
+        from repro.core.autotune import autotune_memo_stats, choose_split
+        from tests.conftest import random_csr
+        matrix = random_csr(rng, 50, 40)
+        choose_split(matrix, 8, 4)
+        choose_split(matrix, 16, 4)
+        choose_split(matrix, 8, 2)
+        choose_split(matrix, 8, 4, isa="avx2")
+        stats = autotune_memo_stats()
+        assert stats["misses"] == 4 and stats["hits"] == 0
+
+    def test_memo_false_bypasses(self, rng):
+        from repro.core.autotune import autotune_memo_stats, choose_split
+        from tests.conftest import random_csr
+        matrix = random_csr(rng, 50, 40)
+        baseline = choose_split(matrix, 8, 4, memo=False)
+        again = choose_split(matrix, 8, 4, memo=False)
+        assert again is not baseline
+        assert again == baseline            # deterministic either way
+        assert autotune_memo_stats() == {"hits": 0, "misses": 0,
+                                         "entries": 0}
+
+    def test_cap_bounds_entries(self, rng, monkeypatch):
+        import repro.core.autotune as autotune
+        from tests.conftest import random_csr
+        monkeypatch.setattr(autotune, "_MEMO_CAP", 3)
+        matrix = random_csr(rng, 30, 30)
+        for d in (2, 4, 8, 16, 32):
+            autotune.choose_split(matrix, d, 2)
+        assert autotune.autotune_memo_stats()["entries"] == 3
+
+    def test_fingerprint_distinguishes_values(self, rng):
+        from tests.conftest import random_csr
+        matrix = random_csr(rng, 30, 30)
+        altered = type(matrix)(matrix.nrows, matrix.ncols,
+                               matrix.row_ptr.copy(),
+                               matrix.col_indices.copy(),
+                               matrix.vals * np.float32(2.0))
+        assert matrix.fingerprint() != altered.fingerprint()

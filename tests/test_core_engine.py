@@ -5,7 +5,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core.engine import JitSpMM
+from repro.core.engine import JitSpMM, multiply_partitioned
 from repro.core.runner import run_jit
 from repro.errors import ShapeError
 from repro.sparse import CsrMatrix, spmm_reference
@@ -170,3 +170,104 @@ def test_property_simulated_jit_equals_reference(seed, d, split):
     x = rng.random((15, d)).astype(np.float32)
     result = run_jit(matrix, x, split=split, threads=2, timing=False)
     assert np.allclose(result.y, spmm_reference(matrix, x), atol=1e-3)
+
+
+class TestFastCheckOperands:
+    def test_wellformed_passthrough_no_copy(self, rng, small_csr):
+        from repro.core.engine import fast_check_operands
+        x = rng.random((small_csr.ncols, 8)).astype(np.float32)
+        assert fast_check_operands(small_csr, x) is x
+
+    def test_fallback_matches_full_check(self, rng, small_csr):
+        from repro.core.engine import check_operands, fast_check_operands
+        # float64 input: both paths coerce identically (fresh array)
+        x64 = rng.random((small_csr.ncols, 8))
+        assert np.array_equal(fast_check_operands(small_csr, x64),
+                              check_operands(small_csr, x64))
+        # non-contiguous input
+        strided = np.asfortranarray(
+            rng.random((small_csr.ncols, 8)).astype(np.float32))
+        assert np.array_equal(fast_check_operands(small_csr, strided),
+                              check_operands(small_csr, strided))
+
+    def test_rejects_malformed_like_full_check(self, rng, small_csr):
+        from repro.core.engine import fast_check_operands
+        with pytest.raises(ShapeError):
+            fast_check_operands(small_csr, rng.random((3, 3, 3)))
+        with pytest.raises(ShapeError):
+            fast_check_operands(
+                small_csr,
+                rng.random((small_csr.ncols + 1, 4)).astype(np.float32))
+        with pytest.raises(ShapeError):
+            fast_check_operands(
+                small_csr, np.zeros((small_csr.ncols, 0), dtype=np.float32))
+
+    def test_engine_multiply_accepts_lists(self, small_csr, rng):
+        # the fallback keeps the legacy coercion behavior alive
+        engine = JitSpMM(split="row", threads=2, timing=False)
+        x = rng.random((small_csr.ncols, 4)).astype(np.float32)
+        assert np.array_equal(engine.multiply(small_csr, x.tolist()),
+                              engine.multiply(small_csr, x))
+
+
+class TestColumnStacking:
+    def test_stack_scatter_roundtrip(self, rng):
+        from repro.core.engine import scatter_columns, stack_columns
+        xs = [rng.random((10, 3)).astype(np.float32) for _ in range(4)]
+        stacked = stack_columns(xs)
+        assert stacked.shape == (10, 12)
+        for x, view in zip(xs, scatter_columns(stacked, 4)):
+            assert np.array_equal(view, x)
+            assert view.base is not None        # zero-copy views
+
+    def test_stack_into_pooled_buffer(self, rng):
+        from repro.core.engine import stack_columns
+        xs = [rng.random((6, 2)).astype(np.float32) for _ in range(3)]
+        flat = np.empty(64, dtype=np.float32)
+        stacked = stack_columns(xs, out=flat)
+        assert stacked.base is flat or stacked.base is not None
+        assert np.array_equal(stacked[:, 2:4], xs[1])
+
+    def test_stacked_multiply_bit_identical_per_column_block(self, rng,
+                                                            small_csr):
+        # the coalescing correctness anchor: one stacked product equals
+        # the per-request products bit for bit
+        from repro.core.engine import (
+            multiply_partitioned, scatter_columns, stack_columns)
+        from repro.core.split import partition
+        ranges = partition(small_csr, 3, "nnz")
+        xs = [rng.random((small_csr.ncols, 5)).astype(np.float32)
+              for _ in range(6)]
+        stacked = multiply_partitioned(small_csr, stack_columns(xs), ranges)
+        for x, block in zip(xs, scatter_columns(stacked, 6)):
+            assert np.array_equal(
+                block, multiply_partitioned(small_csr, x, ranges))
+
+
+class TestRangeProductConformance:
+    def test_scipy_and_numpy_paths_bit_identical(self, rng, monkeypatch):
+        import repro.core.engine as engine_module
+        if engine_module._scipy_sparse is None:
+            pytest.skip("scipy unavailable; only one path exists")
+        from repro.core.split import partition
+        for trial in range(5):
+            matrix = random_csr(rng, 30 + trial * 7, 25, density=0.3)
+            x = (rng.standard_normal((25, 6)) * 100).astype(np.float32)
+            ranges = partition(matrix, 3, "row")
+            fast = multiply_partitioned(matrix, x, ranges)
+            with monkeypatch.context() as patch:
+                patch.setattr(engine_module, "_scipy_sparse", None)
+                reference = multiply_partitioned(matrix, x, ranges)
+            assert np.array_equal(fast, reference)
+
+    def test_matches_spmm_reference(self, rng):
+        from repro.sparse.ops import spmm_reference
+        from repro.core.split import partition
+        matrix = random_csr(rng, 40, 30, density=0.25)
+        x = rng.random((30, 7)).astype(np.float32)
+        full = [(0, matrix.nrows)]
+        assert np.array_equal(multiply_partitioned(matrix, x, full),
+                              spmm_reference(matrix, x))
+        ranges = partition(matrix, 4, "merge")
+        assert np.array_equal(multiply_partitioned(matrix, x, ranges),
+                              spmm_reference(matrix, x))

@@ -1,0 +1,231 @@
+"""Tests for the serving fast path: request coalescing and pooling."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.api import available_systems
+from repro.errors import ShapeError
+from repro.serve import SpmmService
+from repro.sparse import spmm_reference
+from tests.conftest import random_csr
+
+
+def _concurrent(service, handle, xs):
+    """Issue one multiply per operand from concurrent threads."""
+    results = [None] * len(xs)
+    errors = []
+    barrier = threading.Barrier(len(xs))
+
+    def run(index):
+        barrier.wait()
+        try:
+            results[index] = service.multiply(handle, xs[index])
+        except BaseException as error:  # noqa: BLE001 - re-raised below
+            errors.append(error)
+
+    threads = [threading.Thread(target=run, args=(index,))
+               for index in range(len(xs))]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    if errors:
+        raise errors[0]
+    return results
+
+
+class TestCoalescingConformance:
+    def test_batched_bit_identical_to_sequential_every_system(self, rng):
+        # the acceptance criterion: for every system in the registry,
+        # coalesced execution returns bit-for-bit what per-request
+        # execution returns
+        matrix = random_csr(rng, 40, 36, density=0.25)
+        xs = [rng.random((36, 8)).astype(np.float32) for _ in range(12)]
+        for system in available_systems():
+            split = "auto" if system == "jit" else "row"
+            batched = SpmmService(threads=3, split=split, system=system,
+                                  max_batch=4, flush_us=200)
+            sequential = SpmmService(threads=3, split=split, system=system)
+            bh = batched.register(matrix, "b")
+            sh = sequential.register(matrix, "s")
+            got = _concurrent(batched, bh, xs)
+            for x, y in zip(xs, got):
+                assert np.array_equal(y, sequential.multiply(sh, x)), system
+
+    def test_batched_matches_reference(self, rng):
+        service = SpmmService(threads=3, split="auto", max_batch=8)
+        matrix = random_csr(rng, 50, 40)
+        handle = service.register(matrix)
+        xs = [rng.random((40, 6)).astype(np.float32) for _ in range(8)]
+        for x, y in zip(xs, _concurrent(service, handle, xs)):
+            assert np.allclose(y, spmm_reference(matrix, x), atol=1e-4)
+
+    def test_single_threaded_traffic_is_batches_of_one(self, rng):
+        service = SpmmService(threads=2, split="row", max_batch=8)
+        matrix = random_csr(rng, 30, 30)
+        handle = service.register(matrix)
+        x = rng.random((30, 4)).astype(np.float32)
+        for _ in range(5):
+            y = service.multiply(handle, x)
+        assert np.allclose(y, spmm_reference(matrix, x), atol=1e-4)
+        stats = service.handle_stats(handle)
+        assert stats.batches == {1: 5}
+        assert stats.requests == 5
+
+    def test_mixed_widths_never_share_a_batch(self, rng):
+        # coalescing is keyed per (handle, d): interleaved widths work
+        # and each width's histogram stands alone
+        service = SpmmService(threads=2, split="row", max_batch=8)
+        matrix = random_csr(rng, 30, 30)
+        handle = service.register(matrix)
+        x4 = rng.random((30, 4)).astype(np.float32)
+        x8 = rng.random((30, 8)).astype(np.float32)
+        xs = [x4, x8] * 6
+        got = _concurrent(service, handle, xs)
+        for x, y in zip(xs, got):
+            assert y.shape == (30, x.shape[1])
+            assert np.allclose(y, spmm_reference(matrix, x), atol=1e-4)
+
+
+class TestBatchMechanics:
+    def test_max_batch_caps_batch_size(self, rng):
+        service = SpmmService(threads=2, split="row", max_batch=3,
+                              flush_us=500)
+        matrix = random_csr(rng, 25, 25)
+        handle = service.register(matrix)
+        xs = [rng.random((25, 4)).astype(np.float32) for _ in range(9)]
+        _concurrent(service, handle, xs)
+        stats = service.handle_stats(handle)
+        assert stats.requests == 9
+        assert sum(size * count for size, count in stats.batches.items()) == 9
+        assert max(stats.batches) <= 3
+
+    def test_histogram_accounts_every_request(self, rng):
+        service = SpmmService(threads=2, split="row", max_batch=16,
+                              flush_us=300)
+        matrix = random_csr(rng, 25, 25)
+        handle = service.register(matrix)
+        xs = [rng.random((25, 4)).astype(np.float32) for _ in range(10)]
+        _concurrent(service, handle, xs)
+        stats = service.handle_stats(handle)
+        served = sum(size * count for size, count in stats.batches.items())
+        assert served == stats.requests == 10
+        assert service.stats.batch_sizes == stats.batches
+        assert service.stats.mean_batch_size() == pytest.approx(
+            10 / sum(stats.batches.values()))
+
+    def test_execution_failure_reaches_every_member(self, rng, monkeypatch):
+        service = SpmmService(threads=2, split="row", max_batch=8,
+                              flush_us=300)
+        matrix = random_csr(rng, 25, 25)
+        handle = service.register(matrix)
+        xs = [rng.random((25, 4)).astype(np.float32) for _ in range(6)]
+        service.multiply(handle, xs[0])     # codegen before the fault
+
+        def boom(*args, **kwargs):
+            raise RuntimeError("injected batch failure")
+
+        import repro.serve.service as service_module
+        monkeypatch.setattr(service_module, "multiply_partitioned", boom)
+        with pytest.raises(RuntimeError, match="injected"):
+            _concurrent(service, handle, xs)
+        monkeypatch.undo()
+        # the queue recovered: leadership was handed back and a later
+        # request is served normally
+        y = service.multiply(handle, xs[0])
+        assert np.allclose(y, spmm_reference(matrix, xs[0]), atol=1e-4)
+
+    def test_gather_buffers_are_pooled(self, rng):
+        service = SpmmService(threads=2, split="row", max_batch=8,
+                              flush_us=300)
+        matrix = random_csr(rng, 25, 25)
+        handle = service.register(matrix)
+        xs = [rng.random((25, 4)).astype(np.float32) for _ in range(6)]
+        for _ in range(3):
+            _concurrent(service, handle, xs)
+        stats = service.pool.stats()
+        if stats.requests:          # at least one multi-request batch ran
+            assert stats.releases == stats.requests
+            if stats.requests > 1:
+                assert stats.reuses >= 1
+
+    def test_batched_results_are_views_of_one_product(self, rng):
+        # the zero-copy contract: members of a real batch share a base
+        service = SpmmService(threads=2, split="row", max_batch=8,
+                              flush_us=500)
+        matrix = random_csr(rng, 25, 25)
+        handle = service.register(matrix)
+        xs = [rng.random((25, 4)).astype(np.float32) for _ in range(6)]
+        results = _concurrent(service, handle, xs)
+        sizes = service.handle_stats(handle).batches
+        if any(size > 1 for size in sizes):
+            assert any(y.base is not None for y in results)
+
+    def test_invalid_operand_rejected_before_enqueue(self, rng):
+        service = SpmmService(threads=2, split="row", max_batch=8)
+        handle = service.register(random_csr(rng, 20, 20))
+        with pytest.raises(ShapeError):
+            service.multiply(handle, rng.random((21, 4)).astype(np.float32))
+        with pytest.raises(ShapeError):
+            service.multiply(handle, np.zeros((20, 0), dtype=np.float32))
+
+    def test_config_validates_knobs(self):
+        with pytest.raises(ShapeError):
+            SpmmService(threads=2, split="row", max_batch=0)
+        with pytest.raises(ShapeError):
+            SpmmService(threads=2, split="row", flush_us=-1.0)
+        with pytest.raises(ShapeError):
+            SpmmService(threads=2, split="row", stripes=0)
+
+    def test_profile_unaffected_by_coalescing(self, rng):
+        service = SpmmService(threads=2, split="row", max_batch=8)
+        matrix = random_csr(rng, 25, 25, density=0.2)
+        handle = service.register(matrix)
+        x = rng.random((25, 4)).astype(np.float32)
+        result = service.profile(handle, x)
+        assert np.allclose(result.y, spmm_reference(matrix, x), atol=1e-3)
+        assert service.handle_stats(handle).batches == {}
+
+
+class TestBatchErrorIsolation:
+    def test_each_member_raises_its_own_exception_instance(self, rng,
+                                                           monkeypatch):
+        service = SpmmService(threads=2, split="row", max_batch=8,
+                              flush_us=300)
+        matrix = random_csr(rng, 25, 25)
+        handle = service.register(matrix)
+        xs = [rng.random((25, 4)).astype(np.float32) for _ in range(5)]
+        service.multiply(handle, xs[0])
+
+        def boom(*args, **kwargs):
+            raise RuntimeError("injected batch failure")
+
+        import repro.serve.service as service_module
+        monkeypatch.setattr(service_module, "multiply_partitioned", boom)
+        caught = []
+        barrier = threading.Barrier(len(xs))
+
+        def run(index):
+            barrier.wait()
+            try:
+                service.multiply(handle, xs[index])
+            except RuntimeError as error:
+                caught.append(error)
+
+        threads = [threading.Thread(target=run, args=(index,))
+                   for index in range(len(xs))]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(caught) == len(xs)
+        assert all("injected" in str(error) for error in caught)
+        # members of one batch must not share the raised instance (a
+        # shared object would interleave tracebacks across threads);
+        # chained clones point back to one original via __cause__
+        assert len(set(map(id, caught))) == len(caught)
+        causes = {id(error.__cause__) for error in caught
+                  if error.__cause__ is not None}
+        assert len(causes) <= 2     # at most one original per batch

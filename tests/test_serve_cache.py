@@ -195,3 +195,100 @@ class TestRunnerIntegration:
         assert not a.cache_hit and b.cache_hit
         stats = cache.stats()
         assert stats.hits == 1 and stats.misses == 1
+
+
+class TestShardedKernelCache:
+    def _keys(self, count):
+        return [KernelKey(kind="jit-range", d=d) for d in range(1, count + 1)]
+
+    def test_roundtrip_and_len(self):
+        from repro.serve import ShardedKernelCache
+        cache = ShardedKernelCache(shards=4)
+        keys = self._keys(16)
+        for index, key in enumerate(keys):
+            cache.put(key, f"kernel-{index}", 10)
+        assert len(cache) == 16
+        assert cache.nbytes == 160
+        for index, key in enumerate(keys):
+            assert key in cache
+            assert cache.get(key) == f"kernel-{index}"
+
+    def test_budget_divided_across_shards(self):
+        from repro.serve import ShardedKernelCache
+        cache = ShardedKernelCache(budget_bytes=801, shards=4)
+        budgets = sorted(shard.budget_bytes for shard in cache.shards)
+        assert sum(budgets) == 801
+        assert budgets == [200, 200, 200, 201]
+
+    def test_eviction_is_per_shard(self):
+        from repro.serve import ShardedKernelCache
+        cache = ShardedKernelCache(budget_bytes=80, shards=2)
+        for key in self._keys(12):
+            cache.put(key, "k", 15)
+        stats = cache.stats()
+        assert stats.evictions > 0
+        # every shard respects its own slice of the budget
+        for shard in cache.shards:
+            assert shard.nbytes <= shard.budget_bytes or len(shard) == 1
+
+    def test_stats_aggregate(self):
+        from repro.serve import ShardedKernelCache
+        cache = ShardedKernelCache(budget_bytes=1000, shards=4)
+        keys = self._keys(8)
+        for key in keys:
+            cache.put(key, "k", 10)
+        for key in keys:
+            assert cache.get(key) == "k"
+        assert cache.get(KernelKey(kind="jit-range", d=99)) is None
+        stats = cache.stats()
+        assert stats.hits == 8 and stats.misses == 1
+        assert stats.entries == 8
+        assert stats.budget_bytes == 1000
+
+    def test_peek_and_discard_route_to_shard(self):
+        from repro.serve import ShardedKernelCache
+        cache = ShardedKernelCache(shards=3)
+        key = KernelKey(kind="jit-range", d=7)
+        cache.put(key, "k", 5)
+        assert cache.peek(key) == "k"
+        assert cache.stats().hits == 0          # peek is uncounted
+        assert cache.discard(key)
+        assert not cache.discard(key)
+        assert key not in cache
+
+    def test_typed_wrappers_shared_with_plain_cache(self):
+        from repro.serve import ShardedKernelCache
+        cache = ShardedKernelCache(shards=2)
+        spec = spec_for()
+        output = JitCodegen(spec).generate(dynamic=True)
+        cache.put_jit(spec, True, output)
+        assert cache.get_jit(spec, True) is output
+        assert cache.get_jit(spec, False) is None
+
+    def test_clear_empties_every_shard(self):
+        from repro.serve import ShardedKernelCache
+        cache = ShardedKernelCache(shards=2)
+        for key in self._keys(6):
+            cache.put(key, "k", 5)
+        cache.clear()
+        assert len(cache) == 0 and cache.nbytes == 0
+
+    def test_invalid_configuration_rejected(self):
+        from repro.serve import ShardedKernelCache
+        with pytest.raises(ValueError):
+            ShardedKernelCache(shards=0)
+        with pytest.raises(ValueError):
+            ShardedKernelCache(budget_bytes=4, shards=8)
+        with pytest.raises(ValueError):
+            ShardedKernelCache(max_entries=2, shards=4)
+
+    def test_serves_run_jit_like_plain_cache(self, rng):
+        from repro.serve import ShardedKernelCache
+        import numpy as np
+        matrix = random_csr(rng, 30, 25, density=0.2)
+        x = rng.random((25, 8)).astype("float32")
+        cache = ShardedKernelCache(shards=4)
+        cold = run_jit(matrix, x, threads=2, timing=False, cache=cache)
+        warm = run_jit(matrix, x, threads=2, timing=False, cache=cache)
+        assert not cold.cache_hit and warm.cache_hit
+        assert np.array_equal(cold.y, warm.y)

@@ -1,0 +1,102 @@
+"""Tests for the workspace pool (repro.serve.pool)."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.serve import WorkspacePool
+from repro.serve.pool import _MIN_BUCKET
+
+
+class TestBuckets:
+    def test_minimum_bucket(self):
+        assert WorkspacePool.bucket_size(1) == _MIN_BUCKET
+        assert WorkspacePool.bucket_size(_MIN_BUCKET) == _MIN_BUCKET
+
+    def test_power_of_two_rounding(self):
+        assert WorkspacePool.bucket_size(65) == 128
+        assert WorkspacePool.bucket_size(128) == 128
+        assert WorkspacePool.bucket_size(129) == 256
+
+    def test_acquire_returns_bucket_sized_flat_f32(self):
+        pool = WorkspacePool()
+        buffer = pool.acquire(100)
+        assert buffer.dtype == np.float32
+        assert buffer.ndim == 1
+        assert buffer.size == 128
+
+    def test_invalid_sizes_rejected(self):
+        pool = WorkspacePool()
+        with pytest.raises(ValueError):
+            pool.acquire(0)
+        with pytest.raises(ValueError):
+            pool.release(np.zeros(100, dtype=np.float32))  # not a bucket
+        with pytest.raises(ValueError):
+            WorkspacePool(max_bytes=-1)
+
+
+class TestReuse:
+    def test_release_then_acquire_recycles(self):
+        pool = WorkspacePool()
+        first = pool.acquire(200)
+        pool.release(first)
+        second = pool.acquire(200)
+        assert second is first
+        stats = pool.stats()
+        assert stats.allocations == 1 and stats.reuses == 1
+        assert stats.reuse_rate == 0.5
+
+    def test_distinct_buckets_do_not_mix(self):
+        pool = WorkspacePool()
+        small = pool.acquire(10)
+        pool.release(small)
+        big = pool.acquire(10_000)
+        assert big is not small
+        assert big.size >= 10_000
+
+    def test_cap_drops_instead_of_retaining(self):
+        pool = WorkspacePool(max_bytes=4 * 128)     # one 128-element slot
+        a = pool.acquire(128)
+        b = pool.acquire(128)
+        pool.release(a)
+        pool.release(b)                              # over the cap: dropped
+        stats = pool.stats()
+        assert stats.dropped == 1
+        assert stats.retained_bytes == 4 * 128
+
+    def test_clear_releases_retained(self):
+        pool = WorkspacePool()
+        pool.release(pool.acquire(64))
+        assert pool.retained_bytes > 0
+        pool.clear()
+        assert pool.retained_bytes == 0
+
+    def test_stats_render(self):
+        pool = WorkspacePool()
+        pool.release(pool.acquire(64))
+        pool.acquire(64)
+        text = pool.stats().render()
+        assert "workspace pool" in text and "reuses" in text
+
+    def test_thread_safety_smoke(self):
+        pool = WorkspacePool()
+        errors = []
+
+        def churn():
+            try:
+                for _ in range(200):
+                    buffer = pool.acquire(512)
+                    buffer[:4] = 1.0
+                    pool.release(buffer)
+            except BaseException as error:  # noqa: BLE001
+                errors.append(error)
+
+        threads = [threading.Thread(target=churn) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        stats = pool.stats()
+        assert stats.requests == 800 and stats.releases == 800

@@ -366,3 +366,69 @@ class TestStats:
         assert stats.codegen_runs == 1
         assert stats.codegen_overhead() == pytest.approx(0.1 / 0.5)
         assert "a" in stats.render() and "b" in stats.render()
+
+
+class TestThroughputStats:
+    def test_batch_histogram_and_mean(self):
+        stats = HandleStats(name="h")
+        stats.record_batch(1)
+        stats.record_batch(4)
+        stats.record_batch(4)
+        assert stats.batches == {1: 1, 4: 2}
+        service_stats = ServiceStats(handles={0: stats})
+        assert service_stats.batch_sizes == {1: 1, 4: 2}
+        assert service_stats.mean_batch_size() == pytest.approx(3.0)
+        assert "batches" in service_stats.render()
+        assert "1x1 4x2" in stats.render()
+
+    def test_mean_batch_size_empty(self):
+        assert ServiceStats().mean_batch_size() == 0.0
+        assert ServiceStats().batch_sizes == {}
+
+    def test_timed_lock_counts_contention(self):
+        import time
+        from repro.serve import TimedLock
+        lock = TimedLock()
+        with lock:
+            pass
+        assert lock.stats().acquisitions == 1
+        assert lock.stats().waits == 0
+
+        def holder():
+            with lock:
+                time.sleep(0.05)
+
+        thread = threading.Thread(target=holder)
+        thread.start()
+        time.sleep(0.01)
+        with lock:                       # contends with the holder
+            pass
+        thread.join()
+        stats = lock.stats()
+        assert stats.acquisitions == 3
+        assert stats.waits == 1
+        assert stats.wait_seconds > 0
+        assert stats.contention_rate == pytest.approx(1 / 3)
+
+    def test_lock_stats_addition_and_render(self):
+        from repro.serve import LockStats
+        total = (LockStats(acquisitions=4, waits=1, wait_seconds=0.5)
+                 + LockStats(acquisitions=6, waits=1, wait_seconds=0.25))
+        assert total.acquisitions == 10 and total.waits == 2
+        assert total.wait_seconds == pytest.approx(0.75)
+        assert "lock contention" in total.render()
+
+    def test_service_report_includes_new_sections(self, rng, service):
+        handle = service.register(random_csr(rng, 30, 30), name="demo")
+        service.multiply(handle, rng.random((30, 8)).astype(np.float32))
+        report = service.report()
+        assert "lock contention" in report
+        assert "workspace pool" in report
+        assert "autotune memo" in report
+
+    def test_service_lock_stats_aggregate(self, rng, service):
+        handle = service.register(random_csr(rng, 30, 30))
+        service.multiply(handle, rng.random((30, 8)).astype(np.float32))
+        stats = service.lock_stats()
+        assert stats.acquisitions > 0
+        assert stats.waits >= 0

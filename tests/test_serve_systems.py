@@ -143,3 +143,34 @@ class TestWorkspaceLru:
             service.multiply(handle, rng.random((20, d)).astype(np.float32))
         assert len(service._workspaces) == 4
         assert "cap unbounded" in service.report()
+
+
+class TestCrossStripeCap:
+    def test_cap_enforced_across_stripes(self, rng):
+        # 8 handles land on 8 distinct stripes; the service-wide cap
+        # must hold anyway (eviction reaches into idle stripes)
+        service = SpmmService(threads=2, split="row", max_workspaces=4)
+        x_by_handle = {}
+        for index in range(8):
+            matrix = random_csr(rng, 20 + index, 20)
+            handle = service.register(matrix)
+            x_by_handle[handle] = rng.random((20, 4)).astype(np.float32)
+            service.multiply(handle, x_by_handle[handle])
+        assert len(service._workspaces) == 4
+        assert service._workspace_evictions == 4
+        # the survivors are the four most recently used
+        live_handles = {key[0] for key in service._workspaces}
+        assert live_handles == {4, 5, 6, 7}
+
+    def test_eviction_order_is_global_lru(self, rng):
+        service = SpmmService(threads=2, split="row", max_workspaces=2)
+        a = service.register(random_csr(rng, 20, 20))
+        b = service.register(random_csr(rng, 21, 20))
+        c = service.register(random_csr(rng, 22, 20))
+        xa = rng.random((20, 4)).astype(np.float32)
+        service.multiply(a, xa)
+        service.multiply(b, rng.random((20, 4)).astype(np.float32))
+        service.multiply(a, xa)                 # re-touch a: b is now LRU
+        service.multiply(c, rng.random((20, 4)).astype(np.float32))
+        live_handles = {key[0] for key in service._workspaces}
+        assert live_handles == {a.handle_id, c.handle_id}
