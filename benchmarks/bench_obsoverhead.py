@@ -1,0 +1,17 @@
+"""Benchmark target for the observability-overhead measurement."""
+
+from repro.bench.obsoverhead import (
+    DISABLED_SPAN_NS_LIMIT,
+    OVERHEAD_PCT_LIMIT,
+    run_obsoverhead,
+)
+
+
+def test_obsoverhead(benchmark, bench_config, record_result):
+    result = benchmark.pedantic(
+        run_obsoverhead, args=(bench_config,), rounds=1, iterations=1)
+    record_result("obsoverhead", result.render())
+    # the acceptance targets: the disabled span() path stays a cheap
+    # no-op, and recording spans costs < 5% of serving throughput
+    assert result.disabled_span_ns < DISABLED_SPAN_NS_LIMIT
+    assert result.overhead_pct() < OVERHEAD_PCT_LIMIT

@@ -10,11 +10,12 @@ metric — falls toward zero as traffic accumulates.
 The service is system-agnostic since the `repro.api` redesign: a later
 section serves the same traffic from the MKL-like baseline
 (``system="mkl"``) to compare amortization across systems.  The
-closing section replays a *concurrent* burst against a coalescing
+closing sections replay a *concurrent* burst against a coalescing
 service (``max_batch``/``flush_us``): simultaneous requests for one
 matrix execute as a single stacked-operand SpMM with bit-identical
 results, trading a bounded flush window of latency for a multiple of
-the throughput.
+the throughput — and then replay it once more with :mod:`repro.obs`
+tracing on, writing ``serving_trace.json`` for https://ui.perfetto.dev.
 
 Run:  python examples/serving_traffic.py
 """
@@ -24,6 +25,7 @@ import time
 
 import numpy as np
 
+import repro.obs as obs
 from repro import CsrMatrix
 from repro.serve import SpmmService
 
@@ -130,6 +132,46 @@ def main() -> None:
         label = (f"max_batch={max_batch:2d} flush_us={flush_us:5.0f}")
         print(f"  {label}: {clients * requests / wall:7.0f} req/s "
               f"(mean batch {stats.mean_batch_size() or 1.0:.2f})")
+
+    # -- the same burst, traced: one Perfetto-loadable artifact ---------
+    # Spans cover the whole lifecycle (serve.multiply roots, the batch
+    # protocol's serve.batch.execute / serve.batch.wait joined by batch
+    # id, autotune/codegen on cold requests); the coalescing service is
+    # reused so the trace shows real leader/follower interleaving.
+    print()
+    print("tracing one coalesced burst (repro.obs)...")
+    obs.enable_tracing()
+    traced = SpmmService(threads=8, split="auto", max_batch=16,
+                         flush_us=100.0)
+    handle = traced.register(matrix, "traced-burst")
+    operands = [rng.random((300, 8), dtype=np.float32)
+                for _ in range(8)]
+    barrier = threading.Barrier(len(operands))
+
+    def traced_client(x):
+        barrier.wait()
+        for _ in range(20):
+            traced.multiply(handle, x)
+
+    workers = [threading.Thread(target=traced_client, args=(x,))
+               for x in operands]
+    for worker in workers:
+        worker.start()
+    for worker in workers:
+        worker.join()
+    path = obs.write_chrome_trace("serving_trace.json")
+    spans = obs.get_tracer().spans()
+    executes = [s for s in spans if s.name == "serve.batch.execute"]
+    print(f"  {len(spans)} spans recorded ({len(executes)} coalesced "
+          f"executions); trace written to {path}")
+    print("  load it at https://ui.perfetto.dev (or chrome://tracing)")
+    print("  unified metrics for the burst service:")
+    snapshot = obs.get_registry().snapshot()
+    for name in ("serve_requests_total", "serve_cache_hits_total",
+                 "serve_lock_waits_total"):
+        value = snapshot.value(name, service=traced.obs_label)
+        print(f"    {name}{{service={traced.obs_label!r}}} = {value:.0f}")
+    obs.disable_tracing()
 
 
 if __name__ == "__main__":

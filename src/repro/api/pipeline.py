@@ -41,6 +41,7 @@ from repro.core.engine import check_operands, multiply_partitioned
 from repro.core.runner import RunResult
 from repro.errors import ReproError, ShapeError
 from repro.exec import canonical_name, get_backend
+from repro.obs.trace import span as _span
 
 from repro.api.config import ExecutionConfig
 
@@ -193,9 +194,12 @@ class Artifact:
         if ensure_kernel is None:
             ensure_kernel = get_backend(
                 self.config.effective_backend).requires_kernel
-        plan = self.system.bind(self, matrix, x, name_prefix=name_prefix)
-        if ensure_kernel:
-            self.ensure_kernel(plan)
+        with _span("pipeline.bind", system=self.system.name,
+                   d=int(x.shape[1]) if getattr(x, "ndim", 0) == 2 else 0):
+            plan = self.system.bind(self, matrix, x,
+                                    name_prefix=name_prefix)
+            if ensure_kernel:
+                self.ensure_kernel(plan)
         return plan
 
     def ensure_kernel(self, plan: "BoundPlan") -> "BoundPlan":
@@ -368,9 +372,10 @@ class BoundPlan:
         before refreshing the plan if the result must outlive the next
         request.
         """
-        return get_backend(
-            self.resolve_backend(timing=timing, backend=backend)
-        ).execute(self)
+        resolved = self.resolve_backend(timing=timing, backend=backend)
+        with _span("pipeline.execute", backend=resolved,
+                   system=self.artifact.system.name):
+            return get_backend(resolved).execute(self)
 
     def resolve_backend(self, *, timing: bool | None = None,
                         backend: str | None = None) -> str:

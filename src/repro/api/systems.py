@@ -40,6 +40,7 @@ from repro.core.runner import (
 )
 from repro.core.split import partition
 from repro.machine import ThreadSpec
+from repro.obs.trace import span as _span
 from repro.serve.cache import aot_key, jit_key, mkl_key
 
 from repro.api.pipeline import Artifact, BoundPlan, System
@@ -143,8 +144,10 @@ class JitSystem(System):
         )
 
     def build_kernel(self, plan: JitPlan) -> tuple[object, float]:
-        plan.operands  # specialization bakes the mapped addresses
-        output = JitCodegen(plan.spec).generate(dynamic=plan.dynamic)
+        with _span("codegen.jit", dynamic=plan.dynamic,
+                   split=str(plan.split)):
+            plan.operands  # specialization bakes the mapped addresses
+            output = JitCodegen(plan.spec).generate(dynamic=plan.dynamic)
         return output, output.codegen_seconds
 
     def kernel_nbytes(self, kernel) -> int:
@@ -273,9 +276,10 @@ class AotSystem(System):
                               name_prefix=name_prefix)
 
     def build_kernel(self, plan) -> tuple[object, float]:
-        started = time.perf_counter()
-        compiled = AotCompiler(self.personality).compile_spmm()
-        return compiled, time.perf_counter() - started
+        with _span("codegen.aot", personality=self.personality):
+            started = time.perf_counter()
+            compiled = AotCompiler(self.personality).compile_spmm()
+            return compiled, time.perf_counter() - started
 
     def kernel_nbytes(self, kernel) -> int:
         return len(kernel.program.encode())
@@ -313,9 +317,10 @@ class MklSystem(System):
                        name_prefix=name_prefix)
 
     def build_kernel(self, plan) -> tuple[object, float]:
-        started = time.perf_counter()
-        program = MklKernel(lanes=self.lanes).build()
-        return program, time.perf_counter() - started
+        with _span("codegen.mkl", lanes=self.lanes):
+            started = time.perf_counter()
+            program = MklKernel(lanes=self.lanes).build()
+            return program, time.perf_counter() - started
 
     def kernel_nbytes(self, kernel) -> int:
         return len(kernel.encode())

@@ -16,6 +16,7 @@ from repro.bench.fig9 import run_fig9
 from repro.bench.fig10 import run_fig10
 from repro.bench.fig11 import run_fig11
 from repro.bench.harness import BenchConfig
+from repro.bench.obsoverhead import run_obsoverhead
 from repro.bench.servethroughput import run_servethroughput
 from repro.bench.serving import run_serving
 from repro.bench.simspeed import run_simspeed
@@ -32,6 +33,7 @@ EXPERIMENTS = {
     "serving": run_serving,
     "simspeed": run_simspeed,
     "servethroughput": run_servethroughput,
+    "obsoverhead": run_obsoverhead,
 }
 
 

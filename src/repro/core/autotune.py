@@ -22,6 +22,7 @@ from repro.core.codegen import JitKernelSpec
 from repro.core.runner import auto_batch
 from repro.core.split import partition
 from repro.isa.isainfo import IsaLevel
+from repro.obs.trace import span as _span
 from repro.sparse.csr import CsrMatrix
 
 __all__ = ["SplitChoice", "autotune_memo_stats", "choose_split",
@@ -149,32 +150,38 @@ def choose_split(matrix: CsrMatrix, d: int, threads: int,
     """
     global _memo_hits, _memo_misses
     isa = IsaLevel.parse(isa)
-    if memo:
-        key = (matrix.fingerprint(), d, threads, isa.name)
-        with _memo_lock:
-            cached = _memo.get(key)
-            if cached is not None:
+    with _span("autotune.choose_split", d=d, threads=threads) as sp:
+        if memo:
+            key = (matrix.fingerprint(), d, threads, isa.name)
+            with _memo_lock:
+                cached = _memo.get(key)
+                if cached is not None:
+                    _memo.move_to_end(key)
+                    _memo_hits += 1
+                    sp.annotate(memo_hit=True, split=cached.split)
+                    return cached
+        batch = auto_batch(matrix.nrows, threads)
+        scores = {
+            "row (static)": predicted_makespan(matrix, d, threads, "row",
+                                               isa),
+            "nnz": predicted_makespan(matrix, d, threads, "nnz", isa),
+            "merge": predicted_makespan(matrix, d, threads, "merge", isa),
+            "row (dynamic)": _dynamic_makespan(matrix, d, threads, batch,
+                                               isa),
+        }
+        best = min(scores, key=scores.get)
+        if best == "row (dynamic)":
+            choice = SplitChoice("row", True, batch, scores[best], scores)
+        else:
+            split = "row" if best == "row (static)" else best
+            choice = SplitChoice(split, False, batch, scores[best], scores)
+        if memo:
+            with _memo_lock:
+                _memo_misses += 1
+                _memo[key] = choice
                 _memo.move_to_end(key)
-                _memo_hits += 1
-                return cached
-    batch = auto_batch(matrix.nrows, threads)
-    scores = {
-        "row (static)": predicted_makespan(matrix, d, threads, "row", isa),
-        "nnz": predicted_makespan(matrix, d, threads, "nnz", isa),
-        "merge": predicted_makespan(matrix, d, threads, "merge", isa),
-        "row (dynamic)": _dynamic_makespan(matrix, d, threads, batch, isa),
-    }
-    best = min(scores, key=scores.get)
-    if best == "row (dynamic)":
-        choice = SplitChoice("row", True, batch, scores[best], scores)
-    else:
-        split = "row" if best == "row (static)" else best
-        choice = SplitChoice(split, False, batch, scores[best], scores)
-    if memo:
-        with _memo_lock:
-            _memo_misses += 1
-            _memo[key] = choice
-            _memo.move_to_end(key)
-            while len(_memo) > _MEMO_CAP:
-                _memo.popitem(last=False)
-    return choice
+                while len(_memo) > _MEMO_CAP:
+                    _memo.popitem(last=False)
+        sp.annotate(memo_hit=False, split=choice.split,
+                    dynamic=choice.dynamic)
+        return choice

@@ -27,6 +27,7 @@ from __future__ import annotations
 from repro.core.engine import multiply_partitioned
 from repro.core.runner import RunResult
 from repro.machine import Counters, CpuConfig, Machine
+from repro.obs import record_counters
 
 from repro.exec.backend import Executor, register_backend
 
@@ -91,6 +92,10 @@ class MachineExecutor(Executor):
         )
         result = plan._make_result(merged, per_thread)
         result.backend = self.name
+        # every simulated run's counters flow into the unified metrics
+        # registry, labeled by backend and system
+        record_counters(result.counters, backend=self.name,
+                        system=plan.system_name)
         return result
 
 

@@ -35,6 +35,8 @@ propagates, leaving counter state identical to stepping.
 
 from __future__ import annotations
 
+import threading
+
 import numpy as np
 
 from repro.errors import MachineError
@@ -48,7 +50,8 @@ from repro.machine.cache import (
 from repro.machine.counters import Counters
 from repro.machine.pipeline import PipelineSpec, ReplayInsn, ScoreboardReplay
 
-__all__ = ["ReplayEngine", "ReplayMeta", "TraceRecorder"]
+__all__ = ["ReplayEngine", "ReplayMeta", "TraceRecorder",
+           "clear_flush_stats", "flush_stats"]
 
 #: replay (and clear) the trace once any column buffers this many
 #: entries, bounding recorder memory for long runs — memory events and
@@ -67,6 +70,36 @@ FLUSH_EVENT_LIMIT = 1 << 20
 #: wholesale past a cap — regeneration is cheap and correctness-free.
 _UNIT_STATICS: dict = {}
 _UNIT_STATICS_CAP = 65536
+
+# process-wide flush accounting, exported through repro.obs as
+# ``sim_replay_*_total``: how many record/replay flushes ran and how
+# much trace volume (merged units, memory events, branches) they
+# replayed.  One dict + one lock; flushes are rare relative to the
+# instructions they cover, so the lock is off every hot path.
+_FLUSH_LOCK = threading.Lock()
+_FLUSH_STATS = {"flushes": 0, "replayed_units": 0,
+                "replayed_events": 0, "replayed_branches": 0}
+
+
+def flush_stats() -> dict:
+    """A consistent snapshot of the process-wide flush counters."""
+    with _FLUSH_LOCK:
+        return dict(_FLUSH_STATS)
+
+
+def clear_flush_stats() -> None:
+    """Reset the flush counters (test isolation)."""
+    with _FLUSH_LOCK:
+        for key in _FLUSH_STATS:
+            _FLUSH_STATS[key] = 0
+
+
+def _count_flush(units: int, events: int, branches: int) -> None:
+    with _FLUSH_LOCK:
+        _FLUSH_STATS["flushes"] += 1
+        _FLUSH_STATS["replayed_units"] += units
+        _FLUSH_STATS["replayed_events"] += events
+        _FLUSH_STATS["replayed_branches"] += branches
 
 
 class TraceRecorder:
@@ -295,6 +328,7 @@ class ReplayEngine:
                 raise MachineError(
                     "replay cursor mismatch: the trace columns do not "
                     "line up with the recorded units")
+        _count_flush(len(units), len(addrs), len(recorder.branches))
         recorder.clear()
 
     def _count_levels(self, tri: np.ndarray) -> None:

@@ -54,6 +54,7 @@ from __future__ import annotations
 import itertools
 import threading
 import time
+import weakref
 from collections import OrderedDict, deque
 from dataclasses import dataclass, field, replace
 
@@ -73,12 +74,14 @@ from repro.core.engine import (
 from repro.core.runner import RunResult
 from repro.errors import ShapeError
 from repro.isa.isainfo import IsaLevel
-from repro.serve.cache import KernelCache, ShardedKernelCache
-from repro.serve.pool import WorkspacePool
+from repro.obs.metrics import Sample, get_registry, labels_key
+from repro.obs.trace import current_trace_id, span as _span
+from repro.serve.cache import CacheStats, KernelCache, ShardedKernelCache
+from repro.serve.pool import PoolStats, WorkspacePool
 from repro.serve.stats import HandleStats, LockStats, ServiceStats, TimedLock
 from repro.sparse.csr import CsrMatrix
 
-__all__ = ["MatrixHandle", "SpmmService"]
+__all__ = ["MatrixHandle", "ServiceSnapshot", "SpmmService"]
 
 #: default retained-kernel budget: plenty for dozens of live kernels
 #: (a generated SpMM kernel encodes to a few hundred bytes)
@@ -114,7 +117,8 @@ class MatrixHandle:
 class _BatchSlot:
     """One coalescible ``multiply`` request waiting in a batch queue."""
 
-    __slots__ = ("x", "t0", "cold", "y", "error", "event", "lead")
+    __slots__ = ("x", "t0", "cold", "y", "error", "event", "lead",
+                 "batch_id", "leader_trace")
 
     def __init__(self, x, t0: float, cold: bool) -> None:
         self.x = x
@@ -124,6 +128,8 @@ class _BatchSlot:
         self.error = None
         self.event = None       # created only for followers
         self.lead = False       # set when promoted to batch leader
+        self.batch_id = None    # stamped by the executing leader
+        self.leader_trace = ""  # the leader's trace id (tracing on)
 
 
 class _BatchQueue:
@@ -175,6 +181,113 @@ class _Stripe:
         self.evictions = 0
 
 
+@dataclass(frozen=True)
+class ServiceSnapshot:
+    """One consistent point-in-time view of a service's observability.
+
+    Everything :meth:`SpmmService.report` prints and everything the
+    service exports to the metrics registry renders from one of these,
+    so the human summary and the machine export can never disagree:
+    per-handle stats are copied under their owning stripe locks (no
+    torn ``requests`` vs ``exec_seconds`` reads under traffic), and the
+    cache/lock/pool counters are each taken with their native
+    consistent-snapshot calls.
+    """
+
+    stats: ServiceStats
+    cache: CacheStats
+    locks: LockStats
+    pool: PoolStats
+    workspaces_live: int
+    workspace_cap: int | None
+    workspace_evictions: int
+    autotune_memo: dict
+
+    def render(self) -> str:
+        """The service report (live Table IV) — byte-identical to what
+        the pre-snapshot ``report()`` rendered from live state."""
+        cap = ("unbounded" if self.workspace_cap is None
+               else self.workspace_cap)
+        memo = self.autotune_memo
+        return "\n".join([
+            self.stats.render(self.cache, self.locks),
+            f"workspaces: {self.workspaces_live} live (cap {cap}), "
+            f"{self.workspace_evictions} evicted",
+            self.pool.render(),
+            f"autotune memo: {memo['hits']} hits / {memo['misses']} "
+            f"misses ({memo['entries']} entries, process-wide)",
+        ])
+
+    def metric_samples(self, **labels) -> list[Sample]:
+        """The snapshot as registry samples (``serve_*`` series)."""
+        base = labels_key(labels)
+
+        def sample(name, value, kind="counter", **extra):
+            return Sample(name, base + labels_key(extra), float(value),
+                          kind)
+
+        stats = self.stats
+        out = [
+            sample("serve_requests_total", stats.requests),
+            sample("serve_profiled_requests_total",
+                   sum(h.profiled_requests
+                       for h in stats.handles.values())),
+            sample("serve_codegen_runs_total", stats.codegen_runs),
+            sample("serve_codegen_seconds_total", stats.codegen_seconds),
+            sample("serve_exec_seconds_total", stats.exec_seconds),
+            sample("serve_codegen_overhead_ratio",
+                   stats.codegen_overhead(), "gauge"),
+            sample("serve_handles", len(stats.handles), "gauge"),
+            sample("serve_cache_hits_total", self.cache.hits),
+            sample("serve_cache_misses_total", self.cache.misses),
+            sample("serve_cache_evictions_total", self.cache.evictions),
+            sample("serve_cache_entries", self.cache.entries, "gauge"),
+            sample("serve_cache_bytes", self.cache.bytes, "gauge"),
+            sample("serve_lock_acquisitions_total", self.locks.acquisitions),
+            sample("serve_lock_waits_total", self.locks.waits),
+            sample("serve_lock_wait_seconds_total", self.locks.wait_seconds),
+            sample("serve_pool_allocations_total", self.pool.allocations),
+            sample("serve_pool_reuses_total", self.pool.reuses),
+            sample("serve_pool_releases_total", self.pool.releases),
+            sample("serve_pool_dropped_total", self.pool.dropped),
+            sample("serve_pool_retained_bytes", self.pool.retained_bytes,
+                   "gauge"),
+            sample("serve_workspaces_live", self.workspaces_live, "gauge"),
+            sample("serve_workspace_evictions_total",
+                   self.workspace_evictions),
+        ]
+        out.extend(
+            sample("serve_backend_requests_total", count, backend=name)
+            for name, count in sorted(stats.backend_traffic.items()))
+        out.extend(
+            sample("serve_batches_total", count, size=size)
+            for size, count in sorted(stats.batch_sizes.items()))
+        return out
+
+
+def _service_collector(ref: "weakref.ref[SpmmService]", label: str):
+    """A registry collector bound to one service by weak reference.
+
+    Marks itself dead once the service is collected, so a long-lived
+    process churning through services never leaks collectors.
+    """
+
+    def collect():
+        service = ref()
+        if service is None:
+            collect.dead = True
+            return ()
+        return service.metric_samples()
+
+    collect.dead = False
+    collect.label = label
+    return collect
+
+
+#: distinguishes the metric streams of multiple services in one process
+_SERVICE_IDS = itertools.count(0)
+
+
 class SpmmService:
     """Serve ``Y = A @ X`` requests with cached, autotuned kernels.
 
@@ -221,6 +334,9 @@ class SpmmService:
             while an earlier batch is in flight.
         stripes: Lock stripes for service state, and the shard count of
             the private kernel cache.
+        obs_label: The ``service=`` label on this service's exported
+            metrics (:mod:`repro.obs`); defaults to a process-unique
+            ``spmmN``.
 
     Resource model: the kernel cache's byte budget bounds *compiled
     code*; each live (handle, d) pair additionally pins a workspace
@@ -248,6 +364,7 @@ class SpmmService:
         max_batch: int = 1,
         flush_us: float = 0.0,
         stripes: int = DEFAULT_STRIPES,
+        obs_label: str | None = None,
     ) -> None:
         if stripes <= 0:
             raise ShapeError(f"stripes must be positive, got {stripes}")
@@ -304,6 +421,15 @@ class SpmmService:
         self._keylocks: dict = {}
         self._key_refs: dict = {}
         self._retired_locks = LockStats()
+        # observability: batch ids are always assigned (error reports
+        # must attribute failures to a batch whether or not tracing is
+        # on); the metrics collector holds only a weak reference, so a
+        # dropped service is pruned from the registry, not pinned by it
+        self.obs_label = obs_label or f"spmm{next(_SERVICE_IDS)}"
+        self._batch_ids = itertools.count(1)
+        self._collector = _service_collector(weakref.ref(self),
+                                             self.obs_label)
+        get_registry().register_collector(self._collector)
 
     # ------------------------------------------------------------------
     # Sharded-state accessors (also the tests' introspection surface)
@@ -342,12 +468,15 @@ class SpmmService:
         immutable), so per-request validation reduces to a cheap assert
         on ``x``.
         """
-        with self._registry_lock:
-            handle = MatrixHandle(self._next_id, matrix,
-                                  name or matrix.name)
-            self._handles[handle.handle_id] = handle
-            self._next_id += 1
-            self.stats.handle(handle.handle_id, handle.name)
+        with _span("serve.register", name=name or matrix.name,
+                   nnz=matrix.nnz) as sp:
+            with self._registry_lock:
+                handle = MatrixHandle(self._next_id, matrix,
+                                      name or matrix.name)
+                self._handles[handle.handle_id] = handle
+                self._next_id += 1
+                self.stats.handle(handle.handle_id, handle.name)
+            sp.annotate(handle=handle.handle_id)
         return handle
 
     def unregister(self, handle: MatrixHandle) -> None:
@@ -366,15 +495,16 @@ class SpmmService:
         cache is never mutated here.
         """
         self._validate_handle(handle)
-        with self._registry_lock:
-            self._handles.pop(handle.handle_id, None)
-        stripe = self._stripe(handle.handle_id)
-        with stripe.lock:
-            dropped = [stripe.workspaces.pop(key)
-                       for key in list(stripe.workspaces)
-                       if key[0] == handle.handle_id]
-        for ws in dropped:
-            self._retire_workspace(ws, drop_kernel=True)
+        with _span("serve.unregister", handle=handle.handle_id):
+            with self._registry_lock:
+                self._handles.pop(handle.handle_id, None)
+            stripe = self._stripe(handle.handle_id)
+            with stripe.lock:
+                dropped = [stripe.workspaces.pop(key)
+                           for key in list(stripe.workspaces)
+                           if key[0] == handle.handle_id]
+            for ws in dropped:
+                self._retire_workspace(ws, drop_kernel=True)
 
     def handle_stats(self, handle: MatrixHandle) -> HandleStats:
         """The request statistics accumulated for ``handle``."""
@@ -448,7 +578,8 @@ class SpmmService:
         # dropped.  The kernel identity is resolved here too (it bakes
         # the mapped addresses), so the refcount below pairs exactly
         # with the insertion.
-        built = self._make_workspace(handle, d)
+        with _span("serve.bind", handle=handle.handle_id, d=d):
+            built = self._make_workspace(handle, d)
         identity = built.plan.key
         with stripe.lock:
             # re-check liveness: an unregister() racing with us must
@@ -536,15 +667,18 @@ class SpmmService:
         # concurrent cold requests must not both generate it
         with self._keylock_guard:
             keylock = self._keylocks.setdefault(plan.key, threading.Lock())
-        with keylock:
+        with _span("serve.codegen", handle=handle.handle_id, d=d,
+                   system=self.system) as sp, keylock:
             # uncounted re-check: the probe above already recorded the
             # miss; a hit here means a peer generated it meanwhile
             kernel = self.cache.peek(plan.key)
             if kernel is not None:
                 plan.attach_kernel(kernel, cache_hit=True,
                                    codegen_seconds=0.0)
+                sp.annotate(generated=False)
                 return ws, kernel, 0.0, created, False
             kernel, seconds = self._system.build_kernel(plan)
+            sp.annotate(generated=True)
             with self._keylock_guard:
                 # don't re-insert behind a racing unregister: cache the
                 # kernel only while some workspace still carries its
@@ -599,16 +733,19 @@ class SpmmService:
         columns.
         """
         x = fast_check_operands(handle.matrix, x)
-        t0 = time.perf_counter()
-        ws, _, _, cold, _ = self._resolve(handle, int(x.shape[1]))
-        if self.max_batch > 1:
-            return self._serve_batched(handle, ws, x, t0, cold)
-        t1 = time.perf_counter()
-        y = multiply_partitioned(handle.matrix, x, ws.plan.ranges)
-        t2 = time.perf_counter()
-        with self._stripe(handle.handle_id).lock:
-            self.stats.handle(handle.handle_id, handle.name).observe(
-                t2 - t0, cold, exec_seconds=t2 - t1, backend="native")
+        with _span("serve.multiply", handle=handle.handle_id,
+                   d=int(x.shape[1])) as sp:
+            t0 = time.perf_counter()
+            ws, _, _, cold, _ = self._resolve(handle, int(x.shape[1]))
+            sp.annotate(cold=cold)
+            if self.max_batch > 1:
+                return self._serve_batched(handle, ws, x, t0, cold)
+            t1 = time.perf_counter()
+            y = multiply_partitioned(handle.matrix, x, ws.plan.ranges)
+            t2 = time.perf_counter()
+            with self._stripe(handle.handle_id).lock:
+                self.stats.handle(handle.handle_id, handle.name).observe(
+                    t2 - t0, cold, exec_seconds=t2 - t1, backend="native")
         return y
 
     # -- coalescing -----------------------------------------------------
@@ -632,7 +769,18 @@ class SpmmService:
                 queue.leader = True
                 slot.lead = True
         if not slot.lead:
-            slot.event.wait()
+            # the queue-wait span is the follower half of the coalescing
+            # protocol's trace: it carries the executing leader's batch
+            # id and trace id, so a Perfetto view of one burst shows the
+            # leader's execute span and every follower's wait span
+            # joined by one batch id
+            with _span("serve.batch.wait", handle=handle.handle_id) as sp:
+                slot.event.wait()
+                if slot.lead:
+                    sp.annotate(promoted=True)
+                else:
+                    sp.annotate(batch_id=slot.batch_id,
+                                leader_trace=slot.leader_trace)
             if not slot.lead:           # served by some leader's batch
                 if slot.error is not None:
                     self._raise_batch_error(slot.error)
@@ -649,28 +797,40 @@ class SpmmService:
         ``__traceback__``.  Each caller therefore raises its own
         reconstructed instance chained to the original; types that
         cannot be rebuilt from ``args`` fall back to the shared object.
+        Clones carry the original's ``batch_id`` and ``trace_id``
+        attributes (stamped by :meth:`_execute_batch`), so a follower's
+        exception still names the coalesced execution that failed.
         """
         try:
             clone = type(error)(*error.args)
         except BaseException:
             raise error
+        try:
+            clone.batch_id = getattr(error, "batch_id", None)
+            clone.trace_id = getattr(error, "trace_id", "")
+        except Exception:
+            pass
         raise clone from error
 
     def _lead_batch(self, handle: MatrixHandle, ws: _Workspace,
                     slot: _BatchSlot) -> np.ndarray:
         queue = ws.queue
+        lingered = False
         if self.flush_us:
             # linger for followers only while the batch is not full
             with queue.lock:
                 short = len(queue.pending) < self.max_batch - 1
             if short:
                 time.sleep(self.flush_us * 1e-6)
+                lingered = True
         batch = [slot]
         try:
             with queue.lock:
                 while queue.pending and len(batch) < self.max_batch:
                     batch.append(queue.pending.popleft())
-            self._execute_batch(handle, ws, batch)
+            flush = ("full" if len(batch) >= self.max_batch
+                     else "linger" if lingered else "immediate")
+            self._execute_batch(handle, ws, batch, flush)
         finally:
             # hand over leadership before waking this batch: requests
             # that piled up during execution start immediately
@@ -690,33 +850,53 @@ class SpmmService:
         return slot.y
 
     def _execute_batch(self, handle: MatrixHandle, ws: _Workspace,
-                       batch: list[_BatchSlot]) -> None:
+                       batch: list[_BatchSlot], flush: str) -> None:
         """Run one coalesced SpMM over a batch's stacked operands.
 
         Never raises: a failure is recorded on every member and re-
-        raised by each waiting caller.  Per-request results are column-
-        block views of one stacked product, bit-identical to what each
-        request would have computed alone (column-independent
+        raised by each waiting caller (annotated with this batch's id
+        and the leader's trace id, so a follower's exception names the
+        execution that actually failed).  Per-request results are
+        column-block views of one stacked product, bit-identical to
+        what each request would have computed alone (column-independent
         accumulation in identical non-zero order, over the identical
         tuned partitions).
         """
         matrix = handle.matrix
+        # stamp every member before executing: followers read these for
+        # their wait spans and error reports, and the ids must be there
+        # even when execution fails on the first instruction
+        batch_id = next(self._batch_ids)
+        leader_trace = current_trace_id()
+        for member in batch:
+            member.batch_id = batch_id
+            member.leader_trace = leader_trace
         gather = None
         try:
-            t1 = time.perf_counter()
-            if len(batch) == 1:
-                batch[0].y = multiply_partitioned(
-                    matrix, batch[0].x, ws.plan.ranges)
-            else:
-                xs = [member.x for member in batch]
-                n, d = xs[0].shape
-                gather = self.pool.acquire(n * d * len(xs))
-                stacked = stack_columns(xs, out=gather)
-                ys = multiply_partitioned(matrix, stacked, ws.plan.ranges)
-                for member, y in zip(batch, scatter_columns(ys, len(batch))):
-                    member.y = y
-            t2 = time.perf_counter()
+            with _span("serve.batch.execute", handle=handle.handle_id,
+                       batch_id=batch_id, size=len(batch), flush=flush):
+                t1 = time.perf_counter()
+                if len(batch) == 1:
+                    batch[0].y = multiply_partitioned(
+                        matrix, batch[0].x, ws.plan.ranges)
+                else:
+                    xs = [member.x for member in batch]
+                    n, d = xs[0].shape
+                    gather = self.pool.acquire(n * d * len(xs))
+                    stacked = stack_columns(xs, out=gather)
+                    ys = multiply_partitioned(matrix, stacked,
+                                              ws.plan.ranges)
+                    for member, y in zip(batch,
+                                         scatter_columns(ys, len(batch))):
+                        member.y = y
+                t2 = time.perf_counter()
         except BaseException as error:  # propagated by every caller
+            try:
+                error.batch_id = batch_id
+                error.trace_id = leader_trace
+            except Exception:
+                pass                    # __slots__ exceptions: ids are
+                                        # still on the members' slots
             for member in batch:
                 member.error = error
             return
@@ -748,31 +928,35 @@ class SpmmService:
         the service defaults.
         """
         x = check_operands(handle.matrix, x)
-        t0 = time.perf_counter()
-        ws, _, codegen_seconds, cold, generated = self._resolve(
-            handle, int(x.shape[1]))
-        if backend is None and timing is None:
-            backend = self._config.effective_backend
-        resolved = ws.plan.resolve_backend(timing=timing, backend=backend)
-        if not get_backend(resolved).provides_counters:
-            raise ShapeError(
-                f"profile() returns perf counters, which backend "
-                f"{resolved!r} does not produce; use multiply() for the "
-                f"plain product or a simulator backend "
-                f"(counts/sim/sim-fused)")
-        # the workspace's mapped segments are shared mutable state:
-        # serialize concurrent profiles of the same (handle, d)
-        with ws.lock:
-            # exec clock starts inside the lock: wait time behind a
-            # contended workspace must not inflate exec_seconds
-            t1 = time.perf_counter()
-            result = ws.plan.refresh(x).execute(backend=resolved)
-            y = result.y.copy()
-        t2 = time.perf_counter()
-        with self._stripe(handle.handle_id).lock:
-            self.stats.handle(handle.handle_id, handle.name).observe(
-                t2 - t0, cold, exec_seconds=t2 - t1, profiled=True,
-                backend=resolved)
+        with _span("serve.profile", handle=handle.handle_id,
+                   d=int(x.shape[1])) as sp:
+            t0 = time.perf_counter()
+            ws, _, codegen_seconds, cold, generated = self._resolve(
+                handle, int(x.shape[1]))
+            if backend is None and timing is None:
+                backend = self._config.effective_backend
+            resolved = ws.plan.resolve_backend(timing=timing,
+                                               backend=backend)
+            sp.annotate(backend=resolved, cold=cold)
+            if not get_backend(resolved).provides_counters:
+                raise ShapeError(
+                    f"profile() returns perf counters, which backend "
+                    f"{resolved!r} does not produce; use multiply() for "
+                    f"the plain product or a simulator backend "
+                    f"(counts/sim/sim-fused)")
+            # the workspace's mapped segments are shared mutable state:
+            # serialize concurrent profiles of the same (handle, d)
+            with ws.lock:
+                # exec clock starts inside the lock: wait time behind a
+                # contended workspace must not inflate exec_seconds
+                t1 = time.perf_counter()
+                result = ws.plan.refresh(x).execute(backend=resolved)
+                y = result.y.copy()
+            t2 = time.perf_counter()
+            with self._stripe(handle.handle_id).lock:
+                self.stats.handle(handle.handle_id, handle.name).observe(
+                    t2 - t0, cold, exec_seconds=t2 - t1, profiled=True,
+                    backend=resolved)
         return replace(
             result, y=y, codegen_seconds=codegen_seconds,
             system=f"{result.system}-serve",
@@ -801,16 +985,48 @@ class SpmmService:
         with self._keylock_guard:
             return total + self._retired_locks
 
+    def stats_snapshot(self) -> ServiceStats:
+        """An independent copy of every handle's stats.
+
+        Each handle's copy is taken under its owning stripe lock, so
+        the fields *within* a handle are mutually consistent even while
+        requests are completing — ``report()`` during a multiply storm
+        never shows a request counted whose latency is missing.
+        """
+        copies: dict[int, HandleStats] = {}
+        width = len(self._stripes)
+        for index, stripe in enumerate(self._stripes):
+            with stripe.lock:
+                # list(...) first: a concurrent register() adds keys
+                # under the registry lock, not this stripe's lock
+                for handle_id, hs in list(self.stats.handles.items()):
+                    if handle_id % width == index:
+                        copies[handle_id] = hs.snapshot()
+        return ServiceStats(handles=copies)
+
+    def snapshot(self) -> ServiceSnapshot:
+        """One consistent observability snapshot of the whole service."""
+        return ServiceSnapshot(
+            stats=self.stats_snapshot(),
+            cache=self.cache.stats(),
+            locks=self.lock_stats(),
+            pool=self.pool.stats(),
+            workspaces_live=self._live_workspaces(),
+            workspace_cap=self.max_workspaces,
+            workspace_evictions=self._workspace_evictions,
+            autotune_memo=autotune_memo_stats(),
+        )
+
+    def metric_samples(self) -> list[Sample]:
+        """This service's stats as registry samples (the collector
+        registered at construction calls this on every registry
+        snapshot)."""
+        return self.snapshot().metric_samples(service=self.obs_label)
+
     def report(self) -> str:
-        """Human-readable service-wide stats (live Table IV)."""
-        cap = ("unbounded" if self.max_workspaces is None
-               else self.max_workspaces)
-        memo = autotune_memo_stats()
-        return "\n".join([
-            self.stats.render(self.cache.stats(), self.lock_stats()),
-            f"workspaces: {self._live_workspaces()} live (cap {cap}), "
-            f"{self._workspace_evictions} evicted",
-            self.pool.stats().render(),
-            f"autotune memo: {memo['hits']} hits / {memo['misses']} "
-            f"misses ({memo['entries']} entries, process-wide)",
-        ])
+        """Human-readable service-wide stats (live Table IV).
+
+        Renders one :meth:`snapshot`, so every line describes the same
+        instant (summary fields are byte-compatible with the historical
+        live-state report)."""
+        return self.snapshot().render()

@@ -73,8 +73,19 @@ class TimedLock:
         self._lock.release()
 
     def stats(self) -> LockStats:
-        return LockStats(acquisitions=self.acquisitions, waits=self.waits,
-                         wait_seconds=self.wait_seconds)
+        """One *consistent* snapshot of the three counters.
+
+        Counters are mutated while the lock is held, so reading them
+        field-by-field from another thread can tear (an acquisition
+        counted whose wait time is not yet added).  Taking the
+        underlying lock — uncounted, so profiling reads never inflate
+        the contention they measure — makes the triplet atomic; lock
+        hold times in this codebase are all short, bounded sections.
+        """
+        with self._lock:
+            return LockStats(acquisitions=self.acquisitions,
+                             waits=self.waits,
+                             wait_seconds=self.wait_seconds)
 
 
 @dataclass
@@ -91,6 +102,12 @@ class LatencyStat:
         self.total_seconds += seconds
         self.min_seconds = min(self.min_seconds, seconds)
         self.max_seconds = max(self.max_seconds, seconds)
+
+    def snapshot(self) -> "LatencyStat":
+        return LatencyStat(count=self.count,
+                           total_seconds=self.total_seconds,
+                           min_seconds=self.min_seconds,
+                           max_seconds=self.max_seconds)
 
     @property
     def mean_seconds(self) -> float:
@@ -158,6 +175,20 @@ class HandleStats:
             self.backends[backend] = self.backends.get(backend, 0) + 1
         self.exec_seconds += max(
             0.0, seconds if exec_seconds is None else exec_seconds)
+
+    def snapshot(self) -> "HandleStats":
+        """An independent copy (taken under the owning stripe lock by
+        the service, so every field of the copy is mutually consistent
+        — no torn reads of ``requests`` vs ``exec_seconds``)."""
+        return HandleStats(
+            name=self.name, requests=self.requests,
+            profiled_requests=self.profiled_requests,
+            codegen_runs=self.codegen_runs,
+            codegen_seconds=self.codegen_seconds,
+            exec_seconds=self.exec_seconds,
+            cold=self.cold.snapshot(), warm=self.warm.snapshot(),
+            backends=dict(self.backends), batches=dict(self.batches),
+        )
 
     def codegen_overhead(self) -> float:
         """Amortized Table-IV metric: codegen time / total stream time."""

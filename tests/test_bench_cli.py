@@ -9,7 +9,7 @@ class TestCli:
     def test_experiments_registry_complete(self):
         assert set(EXPERIMENTS) == {
             "table2", "table4", "fig9", "fig10", "fig11", "ablations",
-            "serving", "simspeed", "servethroughput"}
+            "serving", "simspeed", "servethroughput", "obsoverhead"}
 
     def test_runs_simspeed_experiment(self, capsys, monkeypatch, tmp_path):
         monkeypatch.setenv("REPRO_BENCH_DATASETS", "uk-2005")
@@ -57,6 +57,37 @@ class TestCli:
             assert row["rps"] > 0
             assert row["p99_ms"] >= row["p50_ms"]
         assert payload["speedup_coalesced"] > 0
+
+    def test_runs_obsoverhead_experiment(self, capsys, monkeypatch,
+                                         tmp_path):
+        monkeypatch.setenv("REPRO_BENCH_DATASETS", "uk-2005")
+        monkeypatch.setenv("REPRO_BENCH_THREADS", "2")
+        monkeypatch.setenv("REPRO_BENCH_OBS_CLIENTS", "2")
+        monkeypatch.setenv("REPRO_BENCH_OBS_REQUESTS", "8")
+        json_path = tmp_path / "BENCH_obsoverhead.json"
+        trace_path = tmp_path / "BENCH_obsoverhead_trace.json"
+        monkeypatch.setenv("REPRO_BENCH_OBSOVERHEAD_JSON", str(json_path))
+        monkeypatch.setenv("REPRO_BENCH_OBS_TRACE_JSON", str(trace_path))
+        exit_code = main(["obsoverhead", "--scale", str(2.0 ** -22)])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "Observability overhead" in out
+        import json
+        payload = json.loads(json_path.read_text())
+        assert payload["experiment"] == "obsoverhead"
+        assert {row["mode"] for row in payload["rows"]} == {
+            "tracing off", "tracing on"}
+        assert payload["disabled_span_ns"] > 0
+        assert payload["overhead_pct"] >= 0
+        # the archived trace is loadable Chrome-trace JSON with real
+        # serving spans in it
+        trace = json.loads(trace_path.read_text())
+        names = {e["name"] for e in trace["traceEvents"]
+                 if e["ph"] == "X"}
+        assert "serve.multiply" in names
+        # the bench must not leave the process-wide tracer enabled
+        import repro.obs as obs
+        assert not obs.tracing_enabled()
 
     def test_unknown_experiment_rejected(self):
         with pytest.raises(SystemExit):

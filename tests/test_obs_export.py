@@ -1,0 +1,140 @@
+"""repro.obs.export: Chrome-trace JSON, Prometheus text, metrics JSON."""
+
+import json
+
+import pytest
+
+from repro.obs.export import (
+    chrome_trace,
+    chrome_trace_json,
+    metrics_json,
+    prometheus_text,
+    write_chrome_trace,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
+
+
+@pytest.fixture
+def tracer():
+    tracer = Tracer(capacity=32, enabled=True)
+    with tracer.span("serve.multiply", handle=0, d=8):
+        with tracer.span("serve.codegen", generated=True):
+            pass
+    return tracer
+
+
+@pytest.fixture
+def registry():
+    registry = MetricsRegistry()
+    registry.counter("req_total", service="a").inc(3)
+    registry.gauge("live").set(2)
+    registry.histogram("lat_seconds", buckets=(0.1, 1.0)).observe(0.5)
+    return registry
+
+
+# ----------------------------------------------------------------------
+# Chrome trace
+# ----------------------------------------------------------------------
+class TestChromeTrace:
+    def test_document_shape(self, tracer):
+        document = chrome_trace(tracer=tracer)
+        assert document["displayTimeUnit"] == "ms"
+        assert document["otherData"]["producer"] == "repro.obs"
+        assert document["otherData"]["spans"] == 2
+        assert document["otherData"]["dropped_spans"] == 0
+        kinds = {e["ph"] for e in document["traceEvents"]}
+        assert kinds == {"M", "X"}
+
+    def test_events_carry_attrs_trace_id_and_category(self, tracer):
+        events = [e for e in chrome_trace(tracer=tracer)["traceEvents"]
+                  if e["ph"] == "X"]
+        by_name = {e["name"]: e for e in events}
+        multiply = by_name["serve.multiply"]
+        assert multiply["cat"] == "serve"
+        assert multiply["args"]["handle"] == 0
+        assert multiply["args"]["trace_id"]
+        codegen = by_name["serve.codegen"]
+        assert codegen["args"]["trace_id"] == (
+            multiply["args"]["trace_id"])
+        assert codegen["dur"] <= multiply["dur"]
+
+    def test_json_round_trips(self, tracer):
+        document = json.loads(chrome_trace_json(tracer=tracer))
+        assert len(document["traceEvents"]) == 3   # 1 meta + 2 spans
+
+    def test_write_chrome_trace(self, tracer, tmp_path):
+        path = write_chrome_trace(str(tmp_path / "trace.json"),
+                                  tracer=tracer)
+        document = json.loads(open(path).read())
+        assert document["otherData"]["spans"] == 2
+
+    def test_explicit_spans_list_wins(self, tracer):
+        spans = tracer.spans()[:1]
+        document = chrome_trace(spans, tracer=tracer)
+        assert document["otherData"]["spans"] == 1
+
+    def test_dropped_spans_surface_in_other_data(self):
+        tracer = Tracer(capacity=4, enabled=True)
+        for _ in range(10):
+            with tracer.span("w"):
+                pass
+        document = chrome_trace(tracer=tracer)
+        assert document["otherData"]["dropped_spans"] == 6
+
+    def test_non_json_attrs_are_stringified(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("odd", key=(1, 2), obj=object()):
+            pass
+        json.loads(chrome_trace_json(tracer=tracer))   # must not raise
+
+
+# ----------------------------------------------------------------------
+# Prometheus text
+# ----------------------------------------------------------------------
+class TestPrometheus:
+    def test_type_headers_and_lines(self, registry):
+        text = prometheus_text(registry=registry)
+        assert "# TYPE req_total counter" in text
+        assert 'req_total{service="a"} 3' in text
+        assert "# TYPE live gauge" in text
+        assert "live 2" in text
+
+    def test_histogram_children_share_one_header(self, registry):
+        text = prometheus_text(registry=registry)
+        assert text.count("# TYPE lat_seconds histogram") == 1
+        assert 'lat_seconds_bucket{le="+Inf"} 1' in text
+        assert "lat_seconds_count 1" in text
+        assert "lat_seconds_sum 0.5" in text
+
+    def test_label_values_are_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("esc_total", path='a"b\\c\nd').inc()
+        text = prometheus_text(registry=registry)
+        assert r'path="a\"b\\c\nd"' in text
+
+    def test_empty_registry_renders_empty(self):
+        assert prometheus_text(registry=MetricsRegistry()) == ""
+
+
+# ----------------------------------------------------------------------
+# Metrics JSON
+# ----------------------------------------------------------------------
+class TestMetricsJson:
+    def test_document_round_trips(self, registry):
+        document = json.loads(json.dumps(metrics_json(registry=registry)))
+        by_name = {}
+        for entry in document["metrics"]:
+            by_name.setdefault(entry["name"], []).append(entry)
+        assert by_name["req_total"][0]["labels"] == {"service": "a"}
+        assert by_name["req_total"][0]["value"] == 3
+        assert by_name["req_total"][0]["kind"] == "counter"
+        assert "lat_seconds_bucket" in by_name
+
+    def test_snapshot_argument_wins(self, registry):
+        snapshot = registry.snapshot()
+        registry.counter("req_total", service="a").inc(100)
+        document = metrics_json(snapshot)
+        (entry,) = [e for e in document["metrics"]
+                    if e["name"] == "req_total"]
+        assert entry["value"] == 3

@@ -1,0 +1,147 @@
+"""repro.obs.metrics: instruments, collectors, snapshots."""
+
+import threading
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry, Sample, labels_key
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry()
+
+
+# ----------------------------------------------------------------------
+# Instruments
+# ----------------------------------------------------------------------
+class TestInstruments:
+    def test_counter_accumulates_and_rejects_negative(self, registry):
+        counter = registry.counter("req_total", service="a")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_gauge_set_inc_dec(self, registry):
+        gauge = registry.gauge("live")
+        gauge.set(10)
+        gauge.inc(2)
+        gauge.dec(5)
+        assert gauge.value == 7
+
+    def test_get_or_create_returns_same_instrument(self, registry):
+        assert registry.counter("x", a=1) is registry.counter("x", a=1)
+        assert registry.counter("x", a=1) is not registry.counter("x", a=2)
+
+    def test_kind_conflict_is_an_error(self, registry):
+        registry.counter("x")
+        with pytest.raises(ValueError):
+            registry.gauge("x")
+        with pytest.raises(ValueError):
+            registry.gauge("x", other="labels")
+
+    def test_histogram_buckets_are_cumulative(self, registry):
+        hist = registry.histogram("lat", buckets=(0.1, 1.0, 10.0))
+        for value in (0.05, 0.5, 0.5, 5.0, 50.0):
+            hist.observe(value)
+        samples = {(s.name, s.labels): s.value for s in hist.samples()}
+        assert samples[("lat_bucket", (("le", "0.1"),))] == 1
+        assert samples[("lat_bucket", (("le", "1.0"),))] == 3
+        assert samples[("lat_bucket", (("le", "10.0"),))] == 4
+        assert samples[("lat_bucket", (("le", "+Inf"),))] == 5
+        assert samples[("lat_count", ())] == 5
+        assert samples[("lat_sum", ())] == pytest.approx(56.05)
+
+    def test_histogram_boundary_lands_in_its_bucket(self, registry):
+        hist = registry.histogram("edge", buckets=(1.0, 2.0))
+        hist.observe(1.0)   # le="1.0" is inclusive
+        samples = {(s.name, s.labels): s.value for s in hist.samples()}
+        assert samples[("edge_bucket", (("le", "1.0"),))] == 1
+
+    def test_histogram_rejects_unsorted_buckets(self, registry):
+        with pytest.raises(ValueError):
+            registry.histogram("bad", buckets=(2.0, 1.0))
+        with pytest.raises(ValueError):
+            registry.histogram("empty", buckets=())
+
+    def test_concurrent_increments_lose_nothing(self, registry):
+        counter = registry.counter("contended_total")
+        threads, per_thread = 8, 2000
+        barrier = threading.Barrier(threads)
+
+        def worker():
+            barrier.wait()
+            for _ in range(per_thread):
+                counter.inc()
+
+        workers = [threading.Thread(target=worker) for _ in range(threads)]
+        for t in workers:
+            t.start()
+        for t in workers:
+            t.join()
+        assert counter.value == threads * per_thread
+
+
+# ----------------------------------------------------------------------
+# Collectors + snapshots
+# ----------------------------------------------------------------------
+class TestSnapshot:
+    def test_snapshot_merges_instruments_and_collectors(self, registry):
+        registry.counter("native_total").inc(3)
+        registry.register_collector(
+            lambda: [Sample("derived", (("k", "v"),), 7.0, "gauge")])
+        snap = registry.snapshot()
+        assert snap.value("native_total") == 3
+        assert snap.value("derived", k="v") == 7.0
+
+    def test_samples_are_sorted_and_immutable(self, registry):
+        registry.counter("b_total").inc()
+        registry.counter("a_total").inc()
+        snap = registry.snapshot()
+        names = [s.name for s in snap.samples]
+        assert names == sorted(names)
+        assert isinstance(snap.samples, tuple)
+
+    def test_value_matches_label_superset_and_raises_on_miss(
+            self, registry):
+        registry.counter("req_total", service="a", backend="native").inc()
+        snap = registry.snapshot()
+        assert snap.value("req_total", service="a") == 1
+        with pytest.raises(KeyError):
+            snap.value("req_total", service="zzz")
+        with pytest.raises(KeyError):
+            snap.value("missing")
+
+    def test_dead_collector_is_pruned(self, registry):
+        def collect():
+            return [Sample("ghost", (), 1.0, "gauge")]
+
+        collect.dead = False
+        registry.register_collector(collect)
+        assert registry.snapshot().value("ghost") == 1.0
+        collect.dead = True
+        assert "ghost" not in registry.snapshot().names()
+        # pruned for good, not just skipped
+        collect.dead = False
+        assert "ghost" not in registry.snapshot().names()
+
+    def test_unregister_collector(self, registry):
+        collect = registry.register_collector(
+            lambda: [Sample("tmp", (), 1.0, "gauge")])
+        assert registry.unregister_collector(collect)
+        assert not registry.unregister_collector(collect)
+        assert "tmp" not in registry.snapshot().names()
+
+    def test_filter_and_names(self, registry):
+        registry.counter("x_total", a=1).inc()
+        registry.counter("x_total", a=2).inc()
+        snap = registry.snapshot()
+        assert len(snap.filter("x_total")) == 2
+        assert snap.names() == ["x_total"]
+
+
+def test_labels_key_is_order_insensitive():
+    assert labels_key({"b": 2, "a": 1}) == labels_key({"a": 1, "b": 2})
+    assert labels_key({"a": 1}) == (("a", "1"),)

@@ -1,0 +1,279 @@
+"""repro.obs.trace: rings, spans, trace ids, concurrency."""
+
+import json
+import threading
+
+import pytest
+
+from repro.obs.export import chrome_trace_json
+from repro.obs.trace import (
+    Tracer,
+    current_trace_id,
+    disable_tracing,
+    enable_tracing,
+    get_tracer,
+    span,
+    trace_context,
+    tracing_enabled,
+)
+
+
+@pytest.fixture
+def tracer():
+    return Tracer(capacity=64, enabled=True)
+
+
+# ----------------------------------------------------------------------
+# Basic span mechanics
+# ----------------------------------------------------------------------
+class TestSpans:
+    def test_span_records_name_attrs_and_duration(self, tracer):
+        with tracer.span("unit.work", kind="test") as sp:
+            sp.annotate(extra=7)
+        (record,) = tracer.spans()
+        assert record.name == "unit.work"
+        assert record.attrs == {"kind": "test", "extra": 7}
+        assert record.end >= record.start
+        assert record.duration == record.end - record.start
+
+    def test_disabled_tracer_returns_shared_noop(self):
+        tracer = Tracer(enabled=False)
+        first = tracer.span("a")
+        second = tracer.span("b", x=1)
+        assert first is second           # one shared no-op object
+        with first as sp:
+            sp.annotate(anything=True)   # all no-ops
+        assert tracer.spans() == []
+
+    def test_exception_annotates_error_and_propagates(self, tracer):
+        with pytest.raises(ValueError):
+            with tracer.span("unit.fails"):
+                raise ValueError("boom")
+        (record,) = tracer.spans()
+        assert record.attrs["error"] == "ValueError"
+
+    def test_name_may_also_be_an_attribute(self, tracer):
+        with tracer.span("unit.named", name="the-attr"):
+            pass
+        (record,) = tracer.spans()
+        assert record.name == "unit.named"
+        assert record.attrs["name"] == "the-attr"
+
+    def test_event_records_zero_duration_marker(self, tracer):
+        tracer.event("unit.marker", n=3)
+        (record,) = tracer.spans()
+        assert record.start == record.end
+        assert record.attrs == {"n": 3}
+
+    def test_clear_resets_rings_in_place(self, tracer):
+        with tracer.span("unit.work"):
+            pass
+        tracer.clear()
+        assert tracer.spans() == []
+        with tracer.span("unit.more"):
+            pass
+        assert [r.name for r in tracer.spans()] == ["unit.more"]
+
+
+# ----------------------------------------------------------------------
+# Trace-id scoping
+# ----------------------------------------------------------------------
+class TestTraceIds:
+    def test_nested_spans_share_the_root_id(self, tracer):
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        inner, outer = tracer.spans()
+        assert inner.name == "inner" and outer.name == "outer"
+        assert inner.trace_id == outer.trace_id != ""
+
+    def test_sibling_roots_get_distinct_ids(self, tracer):
+        with tracer.span("first"):
+            pass
+        with tracer.span("second"):
+            pass
+        first, second = tracer.spans()
+        assert first.trace_id != second.trace_id
+
+    def test_trace_context_pins_an_explicit_id(self, tracer):
+        with tracer.trace_context("req-42"):
+            with tracer.span("root"):
+                pass
+            with tracer.span("another"):
+                pass
+        assert {r.trace_id for r in tracer.spans()} == {"req-42"}
+        with tracer.span("after"):
+            pass
+        after = tracer.spans()[-1]
+        assert after.trace_id not in ("", "req-42")
+
+    def test_current_trace_id_inside_and_outside(self, tracer):
+        assert tracer.current_trace_id() == ""
+        with tracer.span("root"):
+            inside = tracer.current_trace_id()
+            assert inside != ""
+        assert tracer.current_trace_id() == ""
+        (record,) = tracer.spans()
+        assert record.trace_id == inside
+
+
+# ----------------------------------------------------------------------
+# Ring buffer behavior
+# ----------------------------------------------------------------------
+class TestRing:
+    def test_wraparound_keeps_newest_and_counts_drops(self):
+        tracer = Tracer(capacity=8, enabled=True)
+        for index in range(20):
+            with tracer.span("unit.w", index=index):
+                pass
+        records = tracer.spans()
+        assert len(records) == 8
+        assert [r.attrs["index"] for r in records] == list(range(12, 20))
+        assert tracer.dropped() == 12
+
+    def test_no_drops_below_capacity(self, tracer):
+        for index in range(10):
+            with tracer.span("unit.w", index=index):
+                pass
+        assert tracer.dropped() == 0
+        assert len(tracer.spans()) == 10
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Tracer(capacity=0)
+
+
+# ----------------------------------------------------------------------
+# Concurrency: per-thread rings, no cross-talk, monotonic per thread
+# ----------------------------------------------------------------------
+class TestConcurrency:
+    def test_contended_emission_loses_nothing_within_capacity(self):
+        threads, per_thread = 8, 200
+        tracer = Tracer(capacity=per_thread, enabled=True)
+        barrier = threading.Barrier(threads)
+
+        def worker(wid):
+            barrier.wait()
+            for index in range(per_thread):
+                with tracer.span("unit.cc", wid=wid, index=index):
+                    pass
+
+        workers = [threading.Thread(target=worker, args=(wid,))
+                   for wid in range(threads)]
+        for t in workers:
+            t.start()
+        for t in workers:
+            t.join()
+        records = tracer.spans()
+        assert len(records) == threads * per_thread
+        assert tracer.dropped() == 0
+        # each thread's records are complete and in emission order
+        by_wid = {}
+        for record in records:
+            by_wid.setdefault(record.attrs["wid"], []).append(record)
+        assert set(by_wid) == set(range(threads))
+        for batch in by_wid.values():
+            assert [r.attrs["index"] for r in batch] == list(
+                range(per_thread))
+            starts = [r.start for r in batch]
+            assert starts == sorted(starts)
+
+    def test_wraparound_under_contention_counts_drops(self):
+        threads, per_thread, capacity = 4, 300, 64
+        tracer = Tracer(capacity=capacity, enabled=True)
+        barrier = threading.Barrier(threads)
+
+        def worker():
+            barrier.wait()
+            for _ in range(per_thread):
+                with tracer.span("unit.wrap"):
+                    pass
+
+        workers = [threading.Thread(target=worker) for _ in range(threads)]
+        for t in workers:
+            t.start()
+        for t in workers:
+            t.join()
+        assert len(tracer.spans()) == threads * capacity
+        assert tracer.dropped() == threads * (per_thread - capacity)
+
+    def test_threads_get_independent_trace_ids(self):
+        tracer = Tracer(enabled=True)
+        seen = []
+
+        def worker():
+            with tracer.span("unit.root"):
+                seen.append(tracer.current_trace_id())
+
+        workers = [threading.Thread(target=worker) for _ in range(6)]
+        for t in workers:
+            t.start()
+        for t in workers:
+            t.join()
+        assert len(set(seen)) == 6
+
+    def test_chrome_export_round_trips_and_is_monotonic_per_thread(self):
+        threads, per_thread = 4, 50
+        tracer = Tracer(capacity=per_thread, enabled=True)
+        # all workers overlap in time, so OS thread ids are distinct
+        # (a finished thread's ident is reusable)
+        barrier = threading.Barrier(threads)
+
+        def worker():
+            barrier.wait()
+            for _ in range(per_thread):
+                with tracer.span("unit.exp"):
+                    pass
+
+        workers = [threading.Thread(target=worker) for _ in range(threads)]
+        for t in workers:
+            t.start()
+        for t in workers:
+            t.join()
+        document = json.loads(chrome_trace_json(tracer=tracer))
+        events = [e for e in document["traceEvents"] if e["ph"] == "X"]
+        assert len(events) == threads * per_thread
+        by_tid = {}
+        for event in events:
+            by_tid.setdefault(event["tid"], []).append(event["ts"])
+        assert len(by_tid) == threads
+        for stamps in by_tid.values():
+            assert stamps == sorted(stamps)
+        assert document["otherData"]["dropped_spans"] == 0
+
+
+# ----------------------------------------------------------------------
+# Module-level switch
+# ----------------------------------------------------------------------
+class TestGlobalTracer:
+    def test_enable_disable_round_trip(self):
+        assert not tracing_enabled()
+        try:
+            enable_tracing()
+            assert tracing_enabled()
+            with span("unit.global", here=True):
+                assert current_trace_id() != ""
+            names = [r.name for r in get_tracer().spans()]
+            assert "unit.global" in names
+        finally:
+            disable_tracing()
+            get_tracer().clear()
+        assert not tracing_enabled()
+
+    def test_disabled_module_span_is_noop(self):
+        assert not tracing_enabled()
+        with span("unit.off") as sp:
+            sp.annotate(x=1)
+        assert all(r.name != "unit.off" for r in get_tracer().spans())
+
+    def test_trace_context_at_module_level(self):
+        try:
+            enable_tracing()
+            with trace_context() as trace_id:
+                with span("unit.pinned"):
+                    pass
+            assert any(r.trace_id == trace_id
+                       for r in get_tracer().spans())
+        finally:
+            disable_tracing()
+            get_tracer().clear()

@@ -175,3 +175,58 @@ def test_unregister_mid_flight_requests_complete(rng):
     for thread in threads:
         thread.join()
     assert not errors
+
+
+def test_report_is_consistent_during_multiply_storm(rng):
+    """Satellite regression: report()/snapshot() during live traffic.
+
+    Every line of a report must describe one instant: per-handle stats
+    are copied under their stripe locks, so a reader can never observe
+    a request counted in ``requests`` whose latency or exec time has
+    not landed yet.  The invariant checked here — cold+warm latency
+    counts always equal the request count, and exec time is present as
+    soon as requests are — held only probabilistically before the
+    snapshot rework (field-by-field reads of live mutable stats).
+    """
+    service = SpmmService(threads=2, split="row", max_batch=4,
+                          flush_us=50)
+    matrix = random_csr(rng, 30, 30, name="storm")
+    handle = service.register(matrix)
+    xs = [rng.random((30, 4)).astype(np.float32) for _ in range(4)]
+    service.multiply(handle, xs[0])
+    stop = threading.Event()
+    problems = []
+
+    def traffic(index):
+        while not stop.is_set():
+            service.multiply(handle, xs[index % len(xs)])
+
+    def reader():
+        while not stop.is_set():
+            snapshot = service.snapshot()
+            stats = snapshot.stats.handles[handle.handle_id]
+            observed = stats.cold.count + stats.warm.count
+            if observed != stats.requests:
+                problems.append(
+                    f"torn snapshot: {stats.requests} requests but "
+                    f"{observed} latency observations")
+            if stats.requests and stats.exec_seconds <= 0.0:
+                problems.append("requests counted with no exec time")
+            # the rendered report and the metric samples come from the
+            # same snapshot, so they can never disagree
+            rendered = snapshot.render()
+            if f"{stats.requests} requests" not in rendered.splitlines()[0]:
+                problems.append("render out of sync with snapshot")
+            service.report()            # exercises the full live path
+
+    workers = [threading.Thread(target=traffic, args=(index,))
+               for index in range(4)]
+    readers = [threading.Thread(target=reader) for _ in range(2)]
+    for thread in workers + readers:
+        thread.start()
+    import time
+    time.sleep(0.5)
+    stop.set()
+    for thread in workers + readers:
+        thread.join()
+    assert not problems, problems[:5]
