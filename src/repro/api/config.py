@@ -73,6 +73,17 @@ class ExecutionConfig:
             0 (default) executes immediately — batches then form only
             from requests that arrive while an earlier batch is in
             flight (the closed-loop steady state).
+        workers: Worker *processes* behind a serving gateway
+            (:class:`repro.serve.gateway.Gateway`), each running its own
+            :class:`~repro.serve.SpmmService`.  Irrelevant to in-process
+            entry points; 1 (default) means a single worker.
+        max_inflight: Gateway-wide cap on admitted-but-unanswered
+            requests; arrivals beyond it are rejected with
+            :class:`repro.errors.GatewayOverloaded` rather than queued
+            unboundedly.
+        tenant_quota: Per-tenant in-flight cap at the gateway (``None``
+            disables per-tenant accounting; the gateway-wide cap always
+            applies).
     """
 
     split: str = "row"
@@ -89,6 +100,9 @@ class ExecutionConfig:
     cache: object | None = None
     max_batch: int = 1
     flush_us: float = 0.0
+    workers: int = 1
+    max_inflight: int = 64
+    tenant_quota: int | None = None
 
     def __post_init__(self) -> None:
         if self.threads <= 0:
@@ -122,6 +136,16 @@ class ExecutionConfig:
         if self.flush_us < 0:
             raise ShapeError(
                 f"flush_us must be non-negative, got {self.flush_us}")
+        if self.workers < 1:
+            raise ShapeError(
+                f"workers must be at least 1, got {self.workers}")
+        if self.max_inflight < 1:
+            raise ShapeError(
+                f"max_inflight must be at least 1, got {self.max_inflight}")
+        if self.tenant_quota is not None and self.tenant_quota < 1:
+            raise ShapeError(
+                f"tenant_quota must be positive or None, got "
+                f"{self.tenant_quota}")
         object.__setattr__(self, "isa", IsaLevel.parse(self.isa))
 
     @property

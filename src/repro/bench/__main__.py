@@ -46,7 +46,15 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--scale", type=float, default=None,
                         help="dataset scale relative to Table III")
     parser.add_argument("--threads", type=int, default=None)
+    parser.add_argument("--networked", action="store_true",
+                        help="servethroughput only: also measure "
+                        "closed-loop clients over the real socket "
+                        "protocol against a local worker-pool gateway")
     args = parser.parse_args(argv)
+    if args.networked:
+        import os
+
+        os.environ["REPRO_BENCH_SERVE_NETWORKED"] = "1"
 
     names = args.experiments or list(EXPERIMENTS)
     unknown = [n for n in names if n not in EXPERIMENTS]

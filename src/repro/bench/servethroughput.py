@@ -17,6 +17,15 @@ harness reports requests/sec plus p50/p99 latency per (backend,
   baseline (coalescing is a multiply-path feature; profiled requests
   serialize on the workspace's mapped address space).
 
+With ``--networked`` (CLI) or ``REPRO_BENCH_SERVE_NETWORKED=1``, the
+harness additionally measures the *networked* path: closed-loop clients
+speaking the real socket protocol against a local
+:class:`~repro.serve.gateway.Gateway`, one cell per worker count in
+``NETWORKED_WORKER_COUNTS``.  Those cells carry the full wire cost
+(framing, shm copies, pipe round-trips) — the interesting ratio is
+networked-at-2-workers over in-process-at-1-batch, where process
+parallelism must beat protocol overhead (CI gates this at >= 1.5x).
+
 Emitted as a table and as ``BENCH_servethroughput.json`` (path
 overridable via ``REPRO_BENCH_SERVETHROUGHPUT_JSON``), which CI
 regenerates at tiny scale and gates on: coalesced throughput must stay
@@ -26,10 +35,11 @@ regenerates at tiny scale and gates on: coalesced throughput must stay
 from __future__ import annotations
 
 import json
+import multiprocessing
 import os
 import threading
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -53,6 +63,15 @@ MODES = (("native", 1, 0.0), ("native", 8, 100.0), ("native", 32, 100.0),
 #: the coalesced cell the >= 2x acceptance gate reads
 COALESCED = ("native", 32)
 
+#: gateway worker counts measured in networked mode; the last one is
+#: the cell the >= 1.5x networked acceptance gate reads
+NETWORKED_WORKER_COUNTS = (1, 2)
+
+#: per-worker coalescing knobs for the networked cells (the gateway's
+#: in-worker executor pipelines dispatches, so batches really form)
+NETWORKED_BATCH = 8
+NETWORKED_FLUSH_US = 100.0
+
 DEFAULT_JSON_PATH = "BENCH_servethroughput.json"
 
 #: closed-loop client threads (env: REPRO_BENCH_SERVE_CLIENTS)
@@ -70,9 +89,11 @@ class ServeThroughputResult:
     dataset: str
     clients: int
     requests_per_client: int
-    #: (backend, max_batch) -> row dict (rps, p50_ms, p99_ms, ...)
+    #: (backend, max_batch) -> row dict (rps, p50_ms, p99_ms, ...);
+    #: networked cells use backend "gateway:<N>w"
     rows: dict[tuple[str, int], dict]
     json_path: str
+    networked: bool = field(default=False)
 
     def rps(self, backend: str, max_batch: int) -> float:
         return self.rows[(backend, max_batch)]["rps"]
@@ -82,10 +103,20 @@ class ServeThroughputResult:
         CI acceptance ratio — target >= 2x)."""
         return self.rps(*COALESCED) / self.rps("native", 1)
 
+    def speedup_networked(self) -> float | None:
+        """Networked requests/sec (socket protocol, most-workers cell)
+        over the single-process in-process per-request baseline — the
+        networked CI acceptance ratio, target >= 1.5x.  None when the
+        networked cells were not measured."""
+        if not self.networked:
+            return None
+        backend = f"gateway:{NETWORKED_WORKER_COUNTS[-1]}w"
+        return self.rps(backend, NETWORKED_BATCH) / self.rps("native", 1)
+
     # ------------------------------------------------------------------
     def as_payload(self) -> dict:
         """The JSON document CI archives (one row per measured cell)."""
-        return {
+        payload = {
             "experiment": "servethroughput",
             "scale": self.config.scale,
             "threads": self.config.threads,
@@ -99,6 +130,9 @@ class ServeThroughputResult:
             ],
             "speedup_coalesced": self.speedup_coalesced(),
         }
+        if self.networked:
+            payload["speedup_networked"] = self.speedup_networked()
+        return payload
 
     def render(self) -> str:
         headers = ["backend", "max_batch", "flush us", "requests", "req/s",
@@ -122,6 +156,13 @@ class ServeThroughputResult:
             f"(measured {self.speedup_coalesced():.2f}x).\n"
             f"JSON written to {self.json_path}"
         )
+        if self.networked:
+            title += (
+                "\ngateway:* rows are networked: real socket protocol "
+                "against a local worker-pool gateway; the networked "
+                "gate requires >= 1.5x req/s vs in-process max_batch=1 "
+                f"(measured {self.speedup_networked():.2f}x)."
+            )
         return render_table(headers, table_rows, title)
 
 
@@ -187,6 +228,82 @@ def _run_cell(config: BenchConfig, matrix, backend: str, max_batch: int,
     }
 
 
+def _run_networked_cell(config: BenchConfig, matrix, workers: int,
+                        clients: int, requests: int) -> dict:
+    """Drive one gateway cell over the real socket protocol."""
+    from repro.api.config import ExecutionConfig
+    from repro.serve.gateway import Gateway
+
+    start_method = ("fork"
+                    if "fork" in multiprocessing.get_all_start_methods()
+                    else "spawn")
+    exec_config = ExecutionConfig(
+        split="auto", backend="native", threads=config.threads,
+        workers=workers, max_batch=NETWORKED_BATCH,
+        flush_us=NETWORKED_FLUSH_US, max_inflight=max(64, 4 * clients))
+    rng = np.random.default_rng(config.seed)
+    operands = [
+        [rng.random((matrix.ncols, _D), dtype=np.float32) for _ in range(4)]
+        for _ in range(clients)
+    ]
+    with Gateway(exec_config, mp_start=start_method,
+                 slots=max(8, 2 * clients)) as gateway:
+        conns = [gateway.connect() for _ in range(clients)]
+        try:
+            handle = conns[0].register(matrix, matrix.name or "bench")
+            # round-robin dispatch: 2*workers sequential warmups hit
+            # every worker's codegen + autotune off the clock
+            for _ in range(2 * workers):
+                conns[0].multiply(handle, operands[0][0])
+            latencies: list[list[float]] = [[] for _ in range(clients)]
+            barrier = threading.Barrier(clients + 1)
+
+            def client(index: int) -> None:
+                conn = conns[index]
+                mine = operands[index]
+                record = latencies[index].append
+                barrier.wait()
+                for count in range(requests):
+                    started = time.perf_counter()
+                    conn.multiply(handle, mine[count % len(mine)])
+                    record(time.perf_counter() - started)
+
+            threads = [threading.Thread(target=client, args=(index,))
+                       for index in range(clients)]
+            for thread in threads:
+                thread.start()
+            barrier.wait()
+            started = time.perf_counter()
+            for thread in threads:
+                thread.join()
+            wall = time.perf_counter() - started
+            sizes: dict[int, int] = {}
+            for _index, _pid, snap in gateway.worker_snapshots():
+                for handle_stats in snap.stats.handles.values():
+                    for size, count in handle_stats.batches.items():
+                        sizes[size] = sizes.get(size, 0) + count
+        finally:
+            for conn in conns:
+                conn.close()
+    flat = np.array([value for client_lat in latencies
+                     for value in client_lat])
+    batches = sum(sizes.values())
+    served = sum(size * count for size, count in sizes.items())
+    return {
+        "flush_us": NETWORKED_FLUSH_US,
+        "requests": int(flat.size),
+        "seconds": wall,
+        "rps": flat.size / wall,
+        "p50_ms": 1e3 * float(np.percentile(flat, 50)),
+        "p99_ms": 1e3 * float(np.percentile(flat, 99)),
+        "mean_batch": served / batches if batches else 1.0,
+        "batch_histogram": {str(size): count
+                            for size, count in sorted(sizes.items())},
+        "lock_waits": 0,
+        "workers": workers,
+    }
+
+
 def run_servethroughput(config: BenchConfig | None = None
                         ) -> ServeThroughputResult:
     """Measure every (backend, max_batch) cell; write the JSON."""
@@ -195,6 +312,8 @@ def run_servethroughput(config: BenchConfig | None = None
                                         DEFAULT_CLIENTS)))
     requests = max(1, int(os.environ.get("REPRO_BENCH_SERVE_REQUESTS",
                                          DEFAULT_REQUESTS)))
+    networked = os.environ.get("REPRO_BENCH_SERVE_NETWORKED", "") not in (
+        "", "0")
     dataset = config.datasets[0]
     matrix = config.matrix(dataset)
     rows = {}
@@ -204,11 +323,17 @@ def run_servethroughput(config: BenchConfig | None = None
         rows[(backend, max_batch)] = _run_cell(
             config, matrix, backend, max_batch, flush_us, clients,
             cell_requests)
+    if networked:
+        for workers in NETWORKED_WORKER_COUNTS:
+            rows[(f"gateway:{workers}w", NETWORKED_BATCH)] = (
+                _run_networked_cell(config, matrix, workers, clients,
+                                    requests))
     json_path = os.environ.get("REPRO_BENCH_SERVETHROUGHPUT_JSON",
                                DEFAULT_JSON_PATH)
     result = ServeThroughputResult(
         config=config, dataset=dataset, clients=clients,
         requests_per_client=requests, rows=rows, json_path=json_path,
+        networked=networked,
     )
     with open(json_path, "w") as handle:
         json.dump(result.as_payload(), handle, indent=2)

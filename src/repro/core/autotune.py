@@ -26,7 +26,8 @@ from repro.obs.trace import span as _span
 from repro.sparse.csr import CsrMatrix
 
 __all__ = ["SplitChoice", "autotune_memo_stats", "choose_split",
-           "clear_autotune_memo", "predicted_makespan"]
+           "clear_autotune_memo", "export_autotune_memo",
+           "predicted_makespan", "seed_autotune_memo"]
 
 #: crude per-event cycle weights for ranking (not a timing model — only
 #: relative ordering between strategies matters here)
@@ -135,6 +136,36 @@ def clear_autotune_memo() -> None:
         _memo.clear()
         _memo_hits = 0
         _memo_misses = 0
+
+
+def export_autotune_memo() -> dict[tuple, SplitChoice]:
+    """Every memoized verdict, keyed ``(fingerprint, d, threads, isa)``.
+
+    The key tuples and :class:`SplitChoice` values are plain picklable
+    data, so a multi-process serving gateway can ship one worker's
+    verdicts to its peers (:func:`seed_autotune_memo`) and each kernel
+    identity is tuned once per *fleet*, not once per process.
+    """
+    with _memo_lock:
+        return dict(_memo)
+
+
+def seed_autotune_memo(entries: dict[tuple, SplitChoice]) -> int:
+    """Install externally produced verdicts; returns how many were new.
+
+    Existing entries win (a verdict is deterministic, so a collision is
+    a no-op either way) and neither the hit nor the miss counter moves —
+    seeding is replication, not tuning.  The LRU cap still applies.
+    """
+    added = 0
+    with _memo_lock:
+        for key, choice in entries.items():
+            if key not in _memo:
+                _memo[key] = choice
+                added += 1
+        while len(_memo) > _MEMO_CAP:
+            _memo.popitem(last=False)
+    return added
 
 
 def choose_split(matrix: CsrMatrix, d: int, threads: int,

@@ -62,3 +62,41 @@ class DatasetError(ReproError):
 
 class RegistryError(ReproError):
     """A system name could not be resolved by :mod:`repro.api`."""
+
+
+class ServiceClosed(ReproError):
+    """A request reached a service after :meth:`SpmmService.close`."""
+
+
+class GatewayError(ReproError):
+    """Base class for serving-gateway failures (:mod:`repro.serve.gateway`).
+
+    Raised client-side for transport problems, and used as the fallback
+    for remote error names that do not map onto a known exception class.
+    """
+
+
+class ProtocolError(GatewayError):
+    """A wire frame is malformed: bad magic, unknown op, truncated or
+    inconsistent payload."""
+
+
+class FrameTooLarge(ProtocolError):
+    """A frame (or the shm slot it must fit) exceeds the size limit."""
+
+
+class GatewayOverloaded(GatewayError):
+    """The gateway rejected a request under backpressure.
+
+    Emitted instead of unbounded buffering when the gateway-wide
+    in-flight cap, a per-tenant quota, or the shared-memory ring is
+    exhausted; ``reason`` names which limit fired.
+    """
+
+    def __init__(self, message: str = "", reason: str = "overloaded"):
+        super().__init__(message or f"gateway overloaded ({reason})")
+        self.reason = reason
+
+
+class WorkerCrashed(GatewayError):
+    """A gateway worker process died while a request was in flight."""

@@ -1,0 +1,33 @@
+"""Network-facing serving gateway: sockets in, worker processes out.
+
+The package splits into four layers:
+
+* :mod:`~repro.serve.gateway.protocol` — the length-prefixed binary
+  wire protocol (struct-framed header, binary multiply payloads, JSON
+  control ops, typed error replies);
+* :mod:`~repro.serve.gateway.shm` — the shared-memory slot ring
+  operands and results travel through (the hot path never pickles a
+  matrix);
+* :mod:`~repro.serve.gateway.worker` — the per-process serving loop:
+  one :class:`~repro.serve.SpmmService` per worker, zero-copy operand
+  views, autotune-memo deltas riding back on replies;
+* :mod:`~repro.serve.gateway.gateway` / ``client`` — the asyncio front
+  end (admission control, backpressure, crash recovery, replication)
+  and the blocking client that mirrors the in-process service API.
+
+``python -m repro.serve.gateway`` runs a standalone gateway.
+"""
+
+from repro.serve.gateway.client import GatewayClient
+from repro.serve.gateway.gateway import Gateway
+from repro.serve.gateway.protocol import DEFAULT_MAX_FRAME
+from repro.serve.gateway.shm import DEFAULT_SLOT_BYTES, ShmRing, ShmRingStats
+
+__all__ = [
+    "DEFAULT_MAX_FRAME",
+    "DEFAULT_SLOT_BYTES",
+    "Gateway",
+    "GatewayClient",
+    "ShmRing",
+    "ShmRingStats",
+]

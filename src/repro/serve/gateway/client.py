@@ -1,0 +1,138 @@
+"""Blocking gateway client: the wire protocol behind a service-like API.
+
+:class:`GatewayClient` mirrors the in-process
+:class:`~repro.serve.SpmmService` surface — ``register`` / ``multiply``
+/ ``profile`` / ``unregister`` — over one TCP connection, so swapping a
+benchmark or an application between in-process and networked serving is
+a one-line change.  Each call is strict request-reply on the shared
+socket (guarded by a lock, so one client is safe to share across
+threads — concurrency across the pool comes from opening one client per
+closed-loop worker, the bench's shape).
+
+Remote failures arrive as typed :mod:`repro.errors` exceptions: a quota
+rejection raises :class:`~repro.errors.GatewayOverloaded` here exactly
+as it would in-process, and a worker death mid-request raises
+:class:`~repro.errors.WorkerCrashed`.
+"""
+
+from __future__ import annotations
+
+import itertools
+import socket
+import threading
+
+import numpy as np
+
+from repro.errors import ProtocolError
+from repro.serve.gateway import protocol as proto
+from repro.sparse.csr import CsrMatrix
+
+__all__ = ["GatewayClient"]
+
+
+class GatewayClient:
+    """One TCP connection to a :class:`~repro.serve.gateway.Gateway`.
+
+    Args:
+        host / port: The gateway's bound address.
+        tenant: Tenant name stamped on every request (the unit of
+            per-tenant quota accounting at the gateway).
+        timeout: Socket timeout in seconds for connect and each reply.
+        max_frame: Largest reply frame this client will accept.
+    """
+
+    def __init__(self, host: str, port: int, *, tenant: str = "default",
+                 timeout: float = 60.0,
+                 max_frame: int = proto.DEFAULT_MAX_FRAME) -> None:
+        self.tenant = tenant
+        self.max_frame = max_frame
+        self._sock = socket.create_connection((host, port),
+                                              timeout=timeout)
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._lock = threading.Lock()
+        self._request_ids = itertools.count(1)
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    def _request(self, op: int, payload: bytes) -> bytes:
+        """One request-reply exchange; returns the success body."""
+        request_id = next(self._request_ids)
+        with self._lock:
+            proto.send_frame(self._sock, op, payload, request_id)
+            reply_op, reply_id, reply = proto.recv_frame(
+                self._sock, self.max_frame)
+        if reply_op != proto.OP_REPLY:
+            raise ProtocolError(
+                f"expected a reply frame, got op "
+                f"{proto.OP_NAMES.get(reply_op, hex(reply_op))}")
+        if reply_id not in (request_id, 0):
+            # 0 is the gateway's connection-level error echo (it could
+            # not parse a request id out of the broken frame)
+            raise ProtocolError(
+                f"reply for request {reply_id} arrived while awaiting "
+                f"{request_id} (client is strict request-reply)")
+        return bytes(proto.decode_reply(reply))
+
+    # ------------------------------------------------------------------
+    def register(self, matrix: CsrMatrix, name: str = "") -> int:
+        """Register ``matrix`` on every gateway worker; returns the
+        gateway handle id."""
+        body = self._request(
+            proto.OP_REGISTER,
+            proto.encode_register(matrix, name, tenant=self.tenant))
+        return int(proto.decode_json_op(body)["handle"])
+
+    def unregister(self, handle: int) -> None:
+        self._request(proto.OP_UNREGISTER,
+                      proto.encode_json_op(handle=handle))
+
+    def multiply(self, handle: int, x: np.ndarray) -> np.ndarray:
+        """Serve ``A @ x`` for the registered matrix behind ``handle``."""
+        x = np.ascontiguousarray(x, dtype=np.float32)
+        if x.ndim == 1:
+            x = x.reshape(-1, 1)
+        body = self._request(proto.OP_MULTIPLY,
+                             proto.encode_multiply(handle, x, self.tenant))
+        return proto.decode_multiply_reply(body)
+
+    def profile(self, handle: int, x: np.ndarray,
+                backend: str | None = None) -> tuple[np.ndarray, dict]:
+        """Serve one profiled request; returns ``(y, counters meta)``."""
+        x = np.ascontiguousarray(x, dtype=np.float32)
+        if x.ndim == 1:
+            x = x.reshape(-1, 1)
+        body = self._request(
+            proto.OP_PROFILE,
+            proto.encode_profile(handle, x, backend, tenant=self.tenant))
+        meta, y = proto.decode_profile_reply(body)
+        return y, meta
+
+    def stats(self) -> str:
+        """Prometheus text combining gateway and all-worker series."""
+        return self._request(proto.OP_STATS,
+                             proto.encode_json_op()).decode("utf-8")
+
+    def ping(self) -> dict:
+        return proto.decode_json_op(
+            self._request(proto.OP_PING, proto.encode_json_op()))
+
+    def shutdown_gateway(self) -> None:
+        """Ask the gateway to shut down (its owner's ``serve_forever``
+        unblocks; in-flight requests still complete)."""
+        self._request(proto.OP_SHUTDOWN, proto.encode_json_op())
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._sock.close()
+        except OSError:                        # pragma: no cover
+            pass
+
+    def __enter__(self) -> "GatewayClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,455 @@
+"""Wire protocol for the serving gateway: length-prefixed binary frames.
+
+One frame per request and per reply, framed by a fixed 16-byte struct
+header (no per-request JSON on the hot path)::
+
+    <HBBIQ  little-endian
+    ┌───────┬─────────┬────┬─────────────┬────────────┐
+    │ magic │ version │ op │ payload_len │ request_id │
+    │  u16  │   u8    │ u8 │     u32     │    u64     │
+    └───────┴─────────┴────┴─────────────┴────────────┘
+
+``request_id`` is chosen by the client and echoed verbatim in the
+reply, so a client may pipeline requests on one connection and match
+replies out of band.  Payload layouts per op:
+
+* ``MULTIPLY``  — ``<IIIH`` (handle, rows, cols, tenant_len) + tenant
+  utf-8 + row-major float32 operand bytes.  The hottest op is parsed
+  with two ``struct`` calls and zero JSON.
+* ``REGISTER``  — ``<I`` meta_len + JSON meta (``nrows ncols nnz name
+  fingerprint tenant``) + raw ``row_ptr`` (int64) + ``col_indices``
+  (int64) + ``vals`` (float32) bytes: the CSR arrays cross the wire
+  exactly once, already in kernel layout.
+* ``PROFILE``   — ``<I`` meta_len + JSON meta (``handle tenant backend
+  rows cols``) + float32 operand bytes.
+* ``UNREGISTER`` / ``STATS`` / ``SHUTDOWN`` / ``PING`` — ``<I``
+  meta_len + JSON meta (tiny control ops).
+
+Replies reuse the header with ``op=OP_REPLY``; the payload starts with
+one status byte — 0 for success, 1 for failure.  A failure body is
+``<H`` name_len + exception class name + ``<H`` reason_len + reason
+(the machine-readable backpressure tag, usually empty) + utf-8
+message; the client maps the name back onto the
+:mod:`repro.errors` hierarchy
+(:func:`raise_remote_error`), so a quota rejection raises
+:class:`~repro.errors.GatewayOverloaded` on the caller's side of the
+socket, not a stringly-typed RuntimeError.
+
+Malformed input is rejected with typed errors at parse time:
+:class:`~repro.errors.ProtocolError` for bad magic/version/op or
+inconsistent lengths, :class:`~repro.errors.FrameTooLarge` for frames
+above the size limit, and truncation (EOF mid-frame) raises
+:class:`~repro.errors.ProtocolError` from the socket helpers.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+
+import numpy as np
+
+from repro import errors
+from repro.errors import FrameTooLarge, ProtocolError, ReproError
+from repro.sparse.csr import CsrMatrix
+
+__all__ = [
+    "DEFAULT_MAX_FRAME",
+    "HEADER",
+    "MAGIC",
+    "OP_MULTIPLY",
+    "OP_NAMES",
+    "OP_PING",
+    "OP_PROFILE",
+    "OP_REGISTER",
+    "OP_REPLY",
+    "OP_SHUTDOWN",
+    "OP_STATS",
+    "OP_UNREGISTER",
+    "VERSION",
+    "decode_json_op",
+    "decode_multiply",
+    "decode_multiply_reply",
+    "decode_profile",
+    "decode_profile_reply",
+    "decode_register",
+    "decode_reply",
+    "encode_frame",
+    "encode_json_op",
+    "encode_multiply",
+    "encode_multiply_reply",
+    "encode_profile",
+    "encode_profile_reply",
+    "encode_register",
+    "encode_reply_error",
+    "encode_reply_ok",
+    "parse_header",
+    "raise_remote_error",
+    "recv_frame",
+    "send_frame",
+]
+
+MAGIC = 0x5247                  # "GR": gateway repro
+VERSION = 1
+
+HEADER = struct.Struct("<HBBIQ")
+
+OP_REGISTER = 1
+OP_UNREGISTER = 2
+OP_MULTIPLY = 3
+OP_PROFILE = 4
+OP_STATS = 5
+OP_SHUTDOWN = 6
+OP_PING = 7
+OP_REPLY = 0x80
+
+OP_NAMES = {
+    OP_REGISTER: "register",
+    OP_UNREGISTER: "unregister",
+    OP_MULTIPLY: "multiply",
+    OP_PROFILE: "profile",
+    OP_STATS: "stats",
+    OP_SHUTDOWN: "shutdown",
+    OP_PING: "ping",
+    OP_REPLY: "reply",
+}
+
+#: refuse to even read frames above this (oversized-frame backpressure
+#: happens *before* the payload is buffered)
+DEFAULT_MAX_FRAME = 256 << 20
+
+_MULTIPLY = struct.Struct("<IIIH")
+_MULTIPLY_REPLY = struct.Struct("<II")
+_META_LEN = struct.Struct("<I")
+_ERR = struct.Struct("<H")
+
+_STATUS_OK = b"\x00"
+_STATUS_ERR = b"\x01"
+
+
+# ----------------------------------------------------------------------
+# Framing
+# ----------------------------------------------------------------------
+def encode_frame(op: int, payload: bytes, request_id: int = 0) -> bytes:
+    """One complete frame: header + payload."""
+    return HEADER.pack(MAGIC, VERSION, op, len(payload), request_id) + payload
+
+
+def parse_header(header: bytes,
+                 max_frame: int = DEFAULT_MAX_FRAME) -> tuple[int, int, int]:
+    """Validate a 16-byte header; returns ``(op, payload_len, request_id)``.
+
+    Raises :class:`ProtocolError` for bad magic/version/op and
+    :class:`FrameTooLarge` when the announced payload exceeds
+    ``max_frame`` — before any payload byte is read.
+    """
+    if len(header) != HEADER.size:
+        raise ProtocolError(
+            f"truncated header: {len(header)} of {HEADER.size} bytes")
+    magic, version, op, length, request_id = HEADER.unpack(header)
+    if magic != MAGIC:
+        raise ProtocolError(f"bad magic 0x{magic:04x} (expected "
+                            f"0x{MAGIC:04x}); not a gateway frame")
+    if version != VERSION:
+        raise ProtocolError(f"unsupported protocol version {version} "
+                            f"(this gateway speaks {VERSION})")
+    if op not in OP_NAMES:
+        raise ProtocolError(f"unknown op 0x{op:02x}")
+    if length > max_frame:
+        raise FrameTooLarge(
+            f"frame of {length} bytes exceeds the {max_frame}-byte limit")
+    return op, length, request_id
+
+
+# ----------------------------------------------------------------------
+# Request payloads
+# ----------------------------------------------------------------------
+def encode_multiply(handle: int, x: np.ndarray,
+                    tenant: str = "default") -> bytes:
+    """The ``MULTIPLY`` payload for one contiguous-float32 operand."""
+    tenant_bytes = tenant.encode("utf-8")
+    rows, cols = x.shape
+    return (_MULTIPLY.pack(handle, rows, cols, len(tenant_bytes))
+            + tenant_bytes + x.tobytes())
+
+
+def decode_multiply(payload: bytes | memoryview
+                    ) -> tuple[int, str, int, int, memoryview]:
+    """Parse a ``MULTIPLY`` payload without copying the operand.
+
+    Returns ``(handle, tenant, rows, cols, operand_bytes)``; the
+    operand stays a memoryview over the frame buffer so the gateway can
+    copy it straight into a shared-memory slot.
+    """
+    view = memoryview(payload)
+    if len(view) < _MULTIPLY.size:
+        raise ProtocolError(
+            f"multiply payload of {len(view)} bytes is shorter than its "
+            f"{_MULTIPLY.size}-byte fixed part")
+    handle, rows, cols, tenant_len = _MULTIPLY.unpack_from(view)
+    offset = _MULTIPLY.size + tenant_len
+    expected = offset + 4 * rows * cols
+    if len(view) != expected:
+        raise ProtocolError(
+            f"multiply payload is {len(view)} bytes, expected {expected} "
+            f"for a {rows}x{cols} float32 operand")
+    tenant = bytes(view[_MULTIPLY.size:offset]).decode("utf-8")
+    return handle, tenant, rows, cols, view[offset:]
+
+
+def encode_multiply_reply(y: np.ndarray | None, rows: int, cols: int,
+                          data: bytes | memoryview | None = None) -> bytes:
+    """The success body of a multiply reply: dims + result bytes.
+
+    Accepts either a result array or pre-serialized ``data`` (the
+    gateway reads result bytes straight out of the shm slot)."""
+    if data is None:
+        data = y.tobytes()
+    return _MULTIPLY_REPLY.pack(rows, cols) + bytes(data)
+
+
+def decode_multiply_reply(body: bytes | memoryview) -> np.ndarray:
+    """Parse a multiply reply body back into an owned float32 array."""
+    view = memoryview(body)
+    if len(view) < _MULTIPLY_REPLY.size:
+        raise ProtocolError("truncated multiply reply")
+    rows, cols = _MULTIPLY_REPLY.unpack_from(view)
+    expected = _MULTIPLY_REPLY.size + 4 * rows * cols
+    if len(view) != expected:
+        raise ProtocolError(
+            f"multiply reply is {len(view)} bytes, expected {expected} "
+            f"for a {rows}x{cols} result")
+    flat = np.frombuffer(view, dtype=np.float32,
+                         offset=_MULTIPLY_REPLY.size)
+    return flat.reshape(rows, cols).copy()
+
+
+def encode_profile_reply(meta: dict, data: bytes | memoryview) -> bytes:
+    """The success body of a profile reply: JSON meta + result bytes."""
+    meta_bytes = json.dumps(meta).encode("utf-8")
+    return _META_LEN.pack(len(meta_bytes)) + meta_bytes + bytes(data)
+
+
+def decode_profile_reply(body: bytes | memoryview
+                         ) -> tuple[dict, np.ndarray]:
+    """Parse a profile reply; returns ``(meta, owned float32 result)``."""
+    meta, offset, view = _decode_meta(body)
+    try:
+        rows, cols = int(meta["rows"]), int(meta["cols"])
+    except (KeyError, TypeError, ValueError) as error:
+        raise ProtocolError(f"profile reply meta missing dims: {error}")
+    if len(view) - offset != 4 * rows * cols:
+        raise ProtocolError(
+            f"profile reply carries {len(view) - offset} result bytes, "
+            f"expected {4 * rows * cols} for a {rows}x{cols} result")
+    flat = np.frombuffer(view, dtype=np.float32, offset=offset)
+    return meta, flat.reshape(rows, cols).copy()
+
+
+def encode_register(matrix: CsrMatrix, name: str = "",
+                    tenant: str = "default") -> bytes:
+    """The ``REGISTER`` payload: JSON meta + the three raw CSR arrays."""
+    meta = {
+        "nrows": matrix.nrows,
+        "ncols": matrix.ncols,
+        "nnz": matrix.nnz,
+        "name": name or matrix.name,
+        "fingerprint": matrix.fingerprint(),
+        "tenant": tenant,
+    }
+    meta_bytes = json.dumps(meta).encode("utf-8")
+    return b"".join([
+        _META_LEN.pack(len(meta_bytes)), meta_bytes,
+        matrix.row_ptr.tobytes(), matrix.col_indices.tobytes(),
+        matrix.vals.tobytes(),
+    ])
+
+
+def decode_register(payload: bytes | memoryview) -> tuple[dict, CsrMatrix]:
+    """Parse a ``REGISTER`` payload; returns ``(meta, matrix)``.
+
+    The matrix arrays are zero-copy views over the payload buffer
+    (read-only — :class:`CsrMatrix` never mutates them); construction
+    re-validates the CSR invariants, so a malformed registration fails
+    here with the library's own typed errors.
+    """
+    meta, offset, view = _decode_meta(payload)
+    try:
+        nrows = int(meta["nrows"])
+        ncols = int(meta["ncols"])
+        nnz = int(meta["nnz"])
+    except (KeyError, TypeError, ValueError) as error:
+        raise ProtocolError(f"register meta missing dims: {error}")
+    sizes = (8 * (nrows + 1), 8 * nnz, 4 * nnz)
+    if len(view) - offset != sum(sizes):
+        raise ProtocolError(
+            f"register payload carries {len(view) - offset} array bytes, "
+            f"expected {sum(sizes)} for nrows={nrows} nnz={nnz}")
+    row_ptr = np.frombuffer(view, dtype=np.int64, count=nrows + 1,
+                            offset=offset)
+    offset += sizes[0]
+    col = np.frombuffer(view, dtype=np.int64, count=nnz, offset=offset)
+    offset += sizes[1]
+    vals = np.frombuffer(view, dtype=np.float32, count=nnz, offset=offset)
+    matrix = CsrMatrix(nrows, ncols, row_ptr, col, vals,
+                       name=str(meta.get("name", "")))
+    return meta, matrix
+
+
+def encode_profile(handle: int, x: np.ndarray, backend: str | None = None,
+                   tenant: str = "default") -> bytes:
+    """The ``PROFILE`` payload: JSON meta + float32 operand bytes."""
+    rows, cols = x.shape
+    meta = {"handle": handle, "tenant": tenant, "backend": backend,
+            "rows": rows, "cols": cols}
+    meta_bytes = json.dumps(meta).encode("utf-8")
+    return _META_LEN.pack(len(meta_bytes)) + meta_bytes + x.tobytes()
+
+
+def decode_profile(payload: bytes | memoryview
+                   ) -> tuple[dict, memoryview]:
+    """Parse a ``PROFILE`` payload; returns ``(meta, operand_bytes)``."""
+    meta, offset, view = _decode_meta(payload)
+    try:
+        expected = 4 * int(meta["rows"]) * int(meta["cols"])
+    except (KeyError, TypeError, ValueError) as error:
+        raise ProtocolError(f"profile meta missing dims: {error}")
+    if len(view) - offset != expected:
+        raise ProtocolError(
+            f"profile payload carries {len(view) - offset} operand bytes, "
+            f"expected {expected}")
+    return meta, view[offset:]
+
+
+def encode_json_op(**meta) -> bytes:
+    """Payload for the small control ops (unregister/stats/shutdown)."""
+    meta_bytes = json.dumps(meta).encode("utf-8")
+    return _META_LEN.pack(len(meta_bytes)) + meta_bytes
+
+
+def decode_json_op(payload: bytes | memoryview) -> dict:
+    meta, offset, view = _decode_meta(payload)
+    if len(view) != offset:
+        raise ProtocolError(
+            f"{len(view) - offset} trailing bytes after control-op meta")
+    return meta
+
+
+def _decode_meta(payload: bytes | memoryview) -> tuple[dict, int, memoryview]:
+    view = memoryview(payload)
+    if len(view) < _META_LEN.size:
+        raise ProtocolError("payload shorter than its meta-length prefix")
+    (meta_len,) = _META_LEN.unpack_from(view)
+    offset = _META_LEN.size + meta_len
+    if len(view) < offset:
+        raise ProtocolError(
+            f"meta length {meta_len} overruns the {len(view)}-byte payload")
+    try:
+        meta = json.loads(bytes(view[_META_LEN.size:offset]))
+    except ValueError as error:
+        raise ProtocolError(f"meta is not valid JSON: {error}")
+    if not isinstance(meta, dict):
+        raise ProtocolError(f"meta must be a JSON object, got "
+                            f"{type(meta).__name__}")
+    return meta, offset, view
+
+
+# ----------------------------------------------------------------------
+# Replies
+# ----------------------------------------------------------------------
+def encode_reply_ok(body: bytes = b"") -> bytes:
+    return _STATUS_OK + body
+
+
+def encode_reply_error(error: BaseException) -> bytes:
+    """Serialize a failure as ``(class name, reason, message)``.
+
+    ``reason`` is the machine-readable backpressure tag carried by
+    :class:`~repro.errors.GatewayOverloaded` (empty for everything
+    else) — it survives the wire so clients can branch on *which*
+    limit fired without parsing the message."""
+    name = type(error).__name__.encode("utf-8")
+    reason = str(getattr(error, "reason", "") or "").encode("utf-8")
+    message = str(error).encode("utf-8")
+    return (_STATUS_ERR + _ERR.pack(len(name)) + name
+            + _ERR.pack(len(reason)) + reason + message)
+
+
+def decode_reply(payload: bytes | memoryview) -> memoryview:
+    """The success body of a reply; raises the typed remote error
+    otherwise."""
+    view = memoryview(payload)
+    if len(view) < 1:
+        raise ProtocolError("empty reply payload")
+    if view[0] == _STATUS_OK[0]:
+        return view[1:]
+    if view[0] != _STATUS_ERR[0]:
+        raise ProtocolError(f"unknown reply status {view[0]}")
+    body = view[1:]
+    name, offset = _decode_err_field(body, 0, "name")
+    reason, offset = _decode_err_field(body, offset, "reason")
+    message = bytes(body[offset:]).decode("utf-8")
+    raise_remote_error(name, message, reason)
+
+
+def _decode_err_field(body: memoryview, offset: int,
+                      label: str) -> tuple[str, int]:
+    if len(body) < offset + _ERR.size:
+        raise ProtocolError("truncated error reply")
+    (length,) = _ERR.unpack_from(body, offset)
+    offset += _ERR.size
+    if len(body) < offset + length:
+        raise ProtocolError(
+            f"error reply {label} overruns the payload")
+    return bytes(body[offset:offset + length]).decode("utf-8"), \
+        offset + length
+
+
+def raise_remote_error(name: str, message: str, reason: str = "") -> None:
+    """Re-raise a remote failure as its local typed equivalent.
+
+    Names resolving to a :class:`~repro.errors.ReproError` subclass in
+    :mod:`repro.errors` raise that class; anything else — including
+    remote programming errors — raises
+    :class:`~repro.errors.GatewayError` carrying the original name.
+    A non-empty ``reason`` is reattached to
+    :class:`~repro.errors.GatewayOverloaded` so backpressure handling
+    can branch on it client-side.
+    """
+    cls = getattr(errors, name, None)
+    if isinstance(cls, type) and issubclass(cls, ReproError):
+        if reason and issubclass(cls, errors.GatewayOverloaded):
+            raise cls(message, reason=reason)
+        raise cls(message)
+    raise errors.GatewayError(f"remote {name}: {message}")
+
+
+# ----------------------------------------------------------------------
+# Blocking-socket helpers (the client and the tests)
+# ----------------------------------------------------------------------
+def send_frame(sock, op: int, payload: bytes, request_id: int = 0) -> None:
+    sock.sendall(encode_frame(op, payload, request_id))
+
+
+def recv_exactly(sock, n: int) -> bytes:
+    """Read exactly ``n`` bytes; EOF mid-read is a typed protocol error."""
+    chunks: list[bytes] = []
+    remaining = n
+    while remaining:
+        chunk = sock.recv(min(remaining, 1 << 20))
+        if not chunk:
+            got = n - remaining
+            raise ProtocolError(
+                f"truncated frame: connection closed after {got} of "
+                f"{n} bytes")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_frame(sock, max_frame: int = DEFAULT_MAX_FRAME
+               ) -> tuple[int, int, bytes]:
+    """Read one frame; returns ``(op, request_id, payload)``."""
+    op, length, request_id = parse_header(recv_exactly(sock, HEADER.size),
+                                          max_frame)
+    return op, request_id, recv_exactly(sock, length)

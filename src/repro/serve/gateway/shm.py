@@ -1,0 +1,216 @@
+"""Shared-memory operand transport: a ring of fixed-size slots.
+
+The gateway and its worker processes exchange operands through one
+:class:`multiprocessing.shared_memory.SharedMemory` segment carved into
+``slots`` equal slices.  The gateway (the only allocator) copies a
+request's operand bytes into a free slot, ships the *slot index* over
+the worker's control pipe, and the worker maps a zero-copy numpy view
+over the same physical pages — no pickling of matrices, no per-request
+segment churn.  The worker writes the result back into the identical
+slot (request and result never overlap in time: the operand is fully
+consumed before the result exists) and the gateway serves the reply
+bytes straight out of the slot.
+
+Slot exhaustion is backpressure, not buffering: :meth:`ShmRing.acquire`
+returns ``None`` when every slot is in flight and the gateway turns
+that into a typed :class:`~repro.errors.GatewayOverloaded` rejection.
+
+Attachment detail: in CPython < 3.13, *attaching* to an existing
+segment also registers it with the process-local ``resource_tracker``,
+which then unlinks the segment when the attaching process exits —
+destroying it under every other user (bpo-38119).  :func:`attach_shm`
+unregisters after attach (or passes ``track=False`` where supported),
+so only the creating gateway ever unlinks.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+
+__all__ = ["ShmRing", "ShmRingStats", "attach_shm", "set_attach_untrack"]
+
+#: default slot size: comfortably holds tiny-CI-scale operands and
+#: results with room for production-ish widths; override per gateway
+DEFAULT_SLOT_BYTES = 1 << 20
+
+
+#: whether :func:`attach_shm` must undo the tracker registration.  True
+#: for spawn-started processes (each has its own tracker, which would
+#: unlink the segment under the owner at exit); False for fork-started
+#: workers, which *share* the owner's tracker — unregistering there
+#: would strip the owner's own registration (worker_main sets this).
+_untrack_on_attach = True
+
+
+def set_attach_untrack(flag: bool) -> None:
+    global _untrack_on_attach
+    _untrack_on_attach = bool(flag)
+
+
+def attach_shm(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment without adopting unlink duty."""
+    if not _untrack_on_attach:
+        return shared_memory.SharedMemory(name=name)
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:                        # Python < 3.13: no track=
+        segment = shared_memory.SharedMemory(name=name)
+        try:
+            from multiprocessing import resource_tracker
+
+            resource_tracker.unregister(segment._name, "shared_memory")
+        except Exception:                    # pragma: no cover - best effort
+            pass
+        return segment
+
+
+@dataclass(frozen=True)
+class ShmRingStats:
+    """Point-in-time counters for one ring."""
+
+    slots: int
+    slot_bytes: int
+    in_use: int
+    acquires: int
+    rejections: int
+    peak_in_use: int
+
+    def render(self) -> str:
+        return (f"shm ring: {self.in_use}/{self.slots} slots in use "
+                f"(peak {self.peak_in_use}), {self.acquires} acquires, "
+                f"{self.rejections} rejected, "
+                f"{self.slot_bytes:,} B/slot")
+
+
+class ShmRing:
+    """Fixed-slot allocator over one shared-memory segment.
+
+    The creating side (the gateway) owns allocation and the segment's
+    lifetime; attached sides (workers) only map views.  ``acquire`` /
+    ``release`` are thread-safe, but by design only the creator calls
+    them.
+    """
+
+    def __init__(self, slot_bytes: int = DEFAULT_SLOT_BYTES,
+                 slots: int = 16, *, name: str | None = None) -> None:
+        if slot_bytes <= 0:
+            raise ValueError(f"slot_bytes must be positive, got {slot_bytes}")
+        if slots <= 0:
+            raise ValueError(f"slots must be positive, got {slots}")
+        self.slot_bytes = slot_bytes
+        self.slots = slots
+        self._owner = name is None
+        if self._owner:
+            self._shm = shared_memory.SharedMemory(
+                create=True, size=slot_bytes * slots)
+        else:
+            self._shm = attach_shm(name)
+            if self._shm.size < slot_bytes * slots:
+                raise ValueError(
+                    f"segment {name!r} holds {self._shm.size} bytes, "
+                    f"ring needs {slot_bytes * slots}")
+        self._free = list(range(slots - 1, -1, -1))
+        self._lock = threading.Lock()
+        self._acquires = 0
+        self._rejections = 0
+        self._peak = 0
+        self._closed = False
+
+    @classmethod
+    def attach(cls, name: str, slot_bytes: int, slots: int) -> "ShmRing":
+        """A worker-side view of the gateway's ring (no allocation)."""
+        return cls(slot_bytes, slots, name=name)
+
+    @property
+    def name(self) -> str:
+        """The segment name workers attach by."""
+        return self._shm.name
+
+    # ------------------------------------------------------------------
+    def acquire(self) -> int | None:
+        """A free slot index, or ``None`` when the ring is exhausted."""
+        with self._lock:
+            if not self._free:
+                self._rejections += 1
+                return None
+            slot = self._free.pop()
+            self._acquires += 1
+            self._peak = max(self._peak, self.slots - len(self._free))
+            return slot
+
+    def release(self, slot: int) -> None:
+        """Return ``slot`` to the free list (double-release is a bug)."""
+        if not 0 <= slot < self.slots:
+            raise ValueError(f"slot {slot} out of range [0, {self.slots})")
+        with self._lock:
+            if slot in self._free:
+                raise ValueError(f"slot {slot} released twice")
+            self._free.append(slot)
+
+    def in_use(self) -> int:
+        with self._lock:
+            return self.slots - len(self._free)
+
+    def stats(self) -> ShmRingStats:
+        with self._lock:
+            return ShmRingStats(
+                slots=self.slots, slot_bytes=self.slot_bytes,
+                in_use=self.slots - len(self._free),
+                acquires=self._acquires, rejections=self._rejections,
+                peak_in_use=self._peak,
+            )
+
+    # ------------------------------------------------------------------
+    def view(self, slot: int, nbytes: int | None = None) -> memoryview:
+        """A writable view of ``slot``'s first ``nbytes`` bytes."""
+        if not 0 <= slot < self.slots:
+            raise ValueError(f"slot {slot} out of range [0, {self.slots})")
+        nbytes = self.slot_bytes if nbytes is None else nbytes
+        if nbytes > self.slot_bytes:
+            raise ValueError(
+                f"{nbytes} bytes exceed the {self.slot_bytes}-byte slot")
+        start = slot * self.slot_bytes
+        return self._shm.buf[start:start + nbytes]
+
+    def write(self, slot: int, data) -> int:
+        """Copy ``data`` (bytes / memoryview / ndarray) into ``slot``."""
+        raw = memoryview(data).cast("B")
+        view = self.view(slot, raw.nbytes)
+        try:
+            view[:] = raw
+        finally:
+            view.release()
+        return raw.nbytes
+
+    def read(self, slot: int, nbytes: int) -> bytes:
+        """An owned copy of ``slot``'s first ``nbytes`` bytes."""
+        view = self.view(slot, nbytes)
+        try:
+            return bytes(view)
+        finally:
+            view.release()
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Drop this process's mapping (and the segment, if owner)."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._shm.close()
+        except BufferError:                  # pragma: no cover - exported
+            return                           # views still alive; the OS
+                                             # reclaims at process exit
+        if self._owner:
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:        # pragma: no cover
+                pass
+
+    def __enter__(self) -> "ShmRing":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

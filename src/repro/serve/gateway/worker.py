@@ -1,0 +1,259 @@
+"""Gateway worker: one process, one :class:`SpmmService`, shm operands.
+
+Each worker is a separate interpreter — the whole point of the gateway:
+:class:`~repro.serve.SpmmService` is GIL-bound, so process boundaries
+are what let coalesced serving scale past one core's worth of Python.
+A worker owns a private service (its own sharded kernel cache and
+workspace pool) and speaks a tiny pickled control protocol with the
+gateway over a :class:`multiprocessing.connection.Connection`:
+
+* ``("reg", msg_id, segment, meta)`` — replicate one registration: the
+  CSR arrays arrive *once*, in a dedicated shared-memory segment, are
+  copied into worker-owned arrays, fingerprint-verified against the
+  client's digest, and registered with the service under the
+  gateway-assigned handle id;
+* ``("mul", msg_id, request_id, slot, handle, rows, cols)`` — serve one
+  multiply: the operand is a zero-copy numpy view over the shm ring
+  slot, the result is written back into the same slot, and only dims
+  (plus any fresh autotune verdicts) travel over the pipe;
+* ``("prof", ...)``, ``("unreg", ...)``, ``("stats", msg_id)``,
+  ``("seed", entries)``, ``("shutdown",)`` — the cold control plane.
+
+Requests are executed on a small thread pool so concurrent dispatches
+from the gateway coalesce inside the service exactly like in-process
+traffic (``max_batch``/``flush_us`` apply per worker).  Every reply is
+``("ok", msg_id, payload)`` or ``("err", msg_id, name, message)``;
+exceptions never cross the pipe as pickles, only as ``(class name,
+message)`` pairs the gateway re-frames for the client.
+
+Autotune replication: after any request that grew the process-wide
+:func:`~repro.core.autotune.choose_split` memo, the delta rides along
+on the reply; the gateway broadcasts it to the sibling workers
+(``seed``), so each kernel identity is tuned once per fleet.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import asdict
+
+import numpy as np
+
+from repro.core.autotune import export_autotune_memo, seed_autotune_memo
+from repro.obs.trace import span as _span
+from repro.serve.gateway.shm import ShmRing, attach_shm, set_attach_untrack
+from repro.serve.service import SpmmService
+from repro.sparse.csr import CsrMatrix
+
+__all__ = ["WORKER_EXECUTOR_THREADS", "worker_main"]
+
+#: request-execution threads per worker: enough concurrency for the
+#: service's coalescing to form batches from pipelined dispatches,
+#: small enough that a worker never oversubscribes its host share
+WORKER_EXECUTOR_THREADS = 4
+
+
+class _MemoSync:
+    """Tracks which autotune verdicts this worker already shipped."""
+
+    def __init__(self) -> None:
+        self._known = set(export_autotune_memo())
+        self._lock = threading.Lock()
+
+    def delta(self) -> dict | None:
+        memo = export_autotune_memo()
+        with self._lock:
+            fresh = {key: memo[key] for key in memo.keys() - self._known}
+            self._known |= set(fresh)
+        return fresh or None
+
+    def absorb(self, entries: dict) -> None:
+        seed_autotune_memo(entries)
+        with self._lock:
+            self._known |= set(entries)
+
+
+def worker_main(index: int, conn, ring_name: str, slot_bytes: int,
+                slots: int, service_kwargs: dict,
+                untrack_shm: bool = True) -> None:
+    """Entry point of one worker process (spawn- and fork-safe).
+
+    ``untrack_shm`` is False for fork-started workers: they share the
+    gateway's resource tracker, so undoing the attach-time registration
+    would strip the gateway's own.
+    """
+    set_attach_untrack(untrack_shm)
+    ring = ShmRing.attach(ring_name, slot_bytes, slots)
+    try:
+        service = SpmmService(obs_label=f"gateway-worker{index}",
+                              **service_kwargs)
+    except BaseException as error:
+        conn.send(("fail", type(error).__name__, str(error)))
+        conn.close()
+        return
+    conn.send(("ready", index, os.getpid()))
+    handles: dict[int, object] = {}
+    memo = _MemoSync()
+    send_lock = threading.Lock()
+    pool = ThreadPoolExecutor(
+        max_workers=WORKER_EXECUTOR_THREADS,
+        thread_name_prefix=f"gw-worker{index}")
+
+    def reply(msg_id: int, payload) -> None:
+        with send_lock:
+            conn.send(("ok", msg_id, payload))
+
+    def reply_error(msg_id: int, error: BaseException) -> None:
+        with send_lock:
+            conn.send(("err", msg_id, type(error).__name__, str(error)))
+
+    def serve_multiply(msg) -> None:
+        _, msg_id, request_id, slot, handle, rows, cols = msg
+        view = None
+        try:
+            with _span("gateway.worker.multiply", request=request_id,
+                       worker=index, handle=handle):
+                view = ring.view(slot, 4 * rows * cols)
+                x = np.frombuffer(view, dtype=np.float32).reshape(rows, cols)
+                y = service.multiply(handles[handle], x)
+                # the operand has been fully consumed; the result takes
+                # over the slot (y can be a batch-scatter column view —
+                # make it contiguous before the flat byte copy)
+                ring.write(slot, np.ascontiguousarray(y))
+            reply(msg_id, {"rows": int(y.shape[0]), "cols": int(y.shape[1]),
+                           "memo": memo.delta()})
+        except KeyError:
+            reply_error(msg_id, _unknown_handle(handle))
+        except BaseException as error:
+            reply_error(msg_id, error)
+        finally:
+            if view is not None:
+                view.release()
+
+    def serve_profile(msg) -> None:
+        _, msg_id, request_id, slot, handle, rows, cols, backend = msg
+        view = None
+        try:
+            with _span("gateway.worker.profile", request=request_id,
+                       worker=index, handle=handle):
+                view = ring.view(slot, 4 * rows * cols)
+                x = np.frombuffer(view, dtype=np.float32).reshape(rows, cols)
+                result = service.profile(handles[handle], x, backend=backend)
+                ring.write(slot, np.ascontiguousarray(result.y))
+            reply(msg_id, {
+                "rows": int(result.y.shape[0]),
+                "cols": int(result.y.shape[1]),
+                "meta": {
+                    "counters": asdict(result.counters),
+                    "backend": result.backend,
+                    "system": result.system,
+                    "split": result.split,
+                    "threads": result.threads,
+                    "cache_hit": bool(result.cache_hit),
+                    "codegen_seconds": result.codegen_seconds,
+                },
+                "memo": memo.delta(),
+            })
+        except KeyError:
+            reply_error(msg_id, _unknown_handle(handle))
+        except BaseException as error:
+            reply_error(msg_id, error)
+        finally:
+            if view is not None:
+                view.release()
+
+    def serve_register(msg) -> None:
+        _, msg_id, segment_name, meta = msg
+        try:
+            matrix = _matrix_from_segment(segment_name, meta)
+            handle = service.register(matrix, meta.get("name", ""))
+            handles[int(meta["gid"])] = handle
+            reply(msg_id, {"handle": int(meta["gid"]),
+                           "memo": memo.delta()})
+        except BaseException as error:
+            reply_error(msg_id, error)
+
+    running = True
+    while running:
+        try:
+            msg = conn.recv()
+        except (EOFError, OSError):
+            break
+        kind = msg[0]
+        if kind == "mul":
+            pool.submit(serve_multiply, msg)
+        elif kind == "prof":
+            pool.submit(serve_profile, msg)
+        elif kind == "reg":
+            serve_register(msg)
+        elif kind == "unreg":
+            _, msg_id, gid = msg
+            try:
+                service.unregister(handles.pop(gid))
+                reply(msg_id, {"handle": gid})
+            except BaseException as error:
+                reply_error(msg_id, error)
+        elif kind == "stats":
+            _, msg_id = msg
+            try:
+                reply(msg_id, {"snapshot": service.snapshot(),
+                               "pid": os.getpid()})
+            except BaseException as error:
+                reply_error(msg_id, error)
+        elif kind == "seed":
+            memo.absorb(msg[1])
+        elif kind == "shutdown":
+            running = False
+            if len(msg) > 1:            # acked shutdown: (shutdown, msg_id)
+                reply(msg[1], {"pid": os.getpid()})
+        # unknown kinds are dropped: a newer gateway may speak ops this
+        # worker build does not know, and the pipe must stay in sync
+    pool.shutdown(wait=True)
+    service.close()
+    ring.close()
+    conn.close()
+
+
+def _unknown_handle(handle: int):
+    from repro.errors import ShapeError
+
+    return ShapeError(f"unknown handle {handle}; register the matrix "
+                      f"through this gateway first")
+
+
+def _matrix_from_segment(segment_name: str, meta: dict) -> CsrMatrix:
+    """Rebuild (and verify) one registered matrix from its shm segment.
+
+    The arrays are copied out — the segment is unlinked by the gateway
+    as soon as every worker has acknowledged — and the content hash is
+    recomputed and checked against the client-supplied fingerprint, so
+    a corrupted transport surfaces at registration, not as wrong
+    results later.
+    """
+    nrows = int(meta["nrows"])
+    nnz = int(meta["nnz"])
+    segment = attach_shm(segment_name)
+    try:
+        offset = 0
+        row_ptr = np.frombuffer(segment.buf, dtype=np.int64,
+                                count=nrows + 1, offset=offset).copy()
+        offset += 8 * (nrows + 1)
+        col = np.frombuffer(segment.buf, dtype=np.int64, count=nnz,
+                            offset=offset).copy()
+        offset += 8 * nnz
+        vals = np.frombuffer(segment.buf, dtype=np.float32, count=nnz,
+                             offset=offset).copy()
+    finally:
+        segment.close()
+    matrix = CsrMatrix(nrows, int(meta["ncols"]), row_ptr, col, vals,
+                       name=str(meta.get("name", "")))
+    expected = meta.get("fingerprint")
+    if expected and matrix.fingerprint() != expected:
+        from repro.errors import ProtocolError
+
+        raise ProtocolError(
+            f"registration fingerprint mismatch for {matrix!r}: operands "
+            f"were corrupted in transport")
+    return matrix

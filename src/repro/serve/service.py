@@ -72,7 +72,7 @@ from repro.core.engine import (
     stack_columns,
 )
 from repro.core.runner import RunResult
-from repro.errors import ShapeError
+from repro.errors import ServiceClosed, ShapeError
 from repro.isa.isainfo import IsaLevel
 from repro.obs.metrics import Sample, get_registry, labels_key
 from repro.obs.trace import current_trace_id, span as _span
@@ -219,12 +219,20 @@ class ServiceSnapshot:
         ])
 
     def metric_samples(self, **labels) -> list[Sample]:
-        """The snapshot as registry samples (``serve_*`` series)."""
-        base = labels_key(labels)
+        """The snapshot as registry samples (``serve_*`` series).
+
+        ``labels`` stamp every emitted sample — the service's own
+        collector passes ``service=<obs_label>``, and a gateway
+        aggregating per-worker snapshots adds ``worker=<index>`` so
+        the workers' series stay distinct instead of colliding on one
+        name.  Caller labels and per-sample labels are merged into one
+        canonically sorted label set (per-sample keys win), so label
+        identity is order-independent no matter who adds what.
+        """
 
         def sample(name, value, kind="counter", **extra):
-            return Sample(name, base + labels_key(extra), float(value),
-                          kind)
+            return Sample(name, labels_key({**labels, **extra}),
+                          float(value), kind)
 
         stats = self.stats
         out = [
@@ -427,6 +435,7 @@ class SpmmService:
         # dropped service is pruned from the registry, not pinned by it
         self.obs_label = obs_label or f"spmm{next(_SERVICE_IDS)}"
         self._batch_ids = itertools.count(1)
+        self._closed = False
         self._collector = _service_collector(weakref.ref(self),
                                              self.obs_label)
         get_registry().register_collector(self._collector)
@@ -468,6 +477,8 @@ class SpmmService:
         immutable), so per-request validation reduces to a cheap assert
         on ``x``.
         """
+        if self._closed:
+            raise ServiceClosed("service is closed; no further requests")
         with _span("serve.register", name=name or matrix.name,
                    nnz=matrix.nnz) as sp:
             with self._registry_lock:
@@ -513,6 +524,8 @@ class SpmmService:
             return self.stats.handle(handle.handle_id, handle.name)
 
     def _validate_handle(self, handle: MatrixHandle) -> None:
+        if self._closed:
+            raise ServiceClosed("service is closed; no further requests")
         # lock-free read: dict.get is atomic under the GIL, and an
         # unregister racing past it is indistinguishable from one that
         # completed just after this request was admitted
@@ -966,6 +979,70 @@ class SpmmService:
             # handle already built)
             cache_hit=not generated,
         )
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self, drain_seconds: float = 5.0) -> None:
+        """Shut the service down cleanly (idempotent).
+
+        New requests are refused with
+        :class:`~repro.errors.ServiceClosed`; coalescing batch queues
+        are given up to ``drain_seconds`` to drain their in-flight
+        batches (a request already past admission completes against the
+        references it holds, so nothing hangs even after the drain
+        window); every workspace is retired — releasing its mapped
+        operand copies and, for a service-private cache, its cached
+        kernels — the gather-buffer pool is emptied, and the metrics
+        collector deregisters so the registry stops exporting this
+        service's series.  Accumulated :class:`HandleStats` survive:
+        :meth:`report` still renders the stream history after close.
+
+        Needed wherever services have a bounded life inside a long
+        process — a gateway worker shutting down must not leak its
+        registry collector or pin its operand arenas until gc happens
+        to run.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        deadline = time.perf_counter() + drain_seconds
+        while self._queues_busy():
+            if time.perf_counter() >= deadline:
+                break
+            time.sleep(0.0005)
+        for stripe in self._stripes:
+            with stripe.lock:
+                dropped = list(stripe.workspaces.values())
+                stripe.workspaces.clear()
+            for ws in dropped:
+                self._retire_workspace(ws, drop_kernel=True)
+        with self._registry_lock:
+            self._handles.clear()
+        self.pool.clear()
+        self._collector.dead = True
+        get_registry().unregister_collector(self._collector)
+
+    def _queues_busy(self) -> bool:
+        """True while any live batch queue has a leader or waiters."""
+        for stripe in self._stripes:
+            with stripe.lock:
+                queues = [ws.queue for ws in stripe.workspaces.values()]
+            for queue in queues:
+                with queue.lock:
+                    if queue.leader or queue.pending:
+                        return True
+        return False
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def __enter__(self) -> "SpmmService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     def lock_stats(self) -> LockStats:

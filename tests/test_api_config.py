@@ -93,3 +93,34 @@ class TestBatchingKnobs:
         assert config.with_overrides(max_batch=8).max_batch == 8
         with pytest.raises(ShapeError):
             config.with_overrides(max_batch=0)
+
+
+class TestGatewayKnobs:
+    def test_defaults_single_worker_unlimited_tenants(self):
+        config = ExecutionConfig()
+        assert config.workers == 1
+        assert config.max_inflight == 64
+        assert config.tenant_quota is None
+
+    def test_accepts_valid_values(self):
+        config = ExecutionConfig(workers=4, max_inflight=256,
+                                 tenant_quota=16)
+        assert config.workers == 4
+        assert config.max_inflight == 256
+        assert config.tenant_quota == 16
+
+    def test_rejects_invalid_values(self):
+        with pytest.raises(ShapeError):
+            ExecutionConfig(workers=0)
+        with pytest.raises(ShapeError):
+            ExecutionConfig(max_inflight=0)
+        with pytest.raises(ShapeError):
+            ExecutionConfig(tenant_quota=0)
+        with pytest.raises(ShapeError):
+            ExecutionConfig(tenant_quota=-2)
+
+    def test_with_overrides_revalidates_gateway_knobs(self):
+        config = ExecutionConfig()
+        assert config.with_overrides(workers=2).workers == 2
+        with pytest.raises(ShapeError):
+            config.with_overrides(max_inflight=-1)

@@ -1,0 +1,243 @@
+"""Tests for the gateway wire protocol: framing, payloads, errors."""
+
+import socket
+import struct
+import threading
+
+import numpy as np
+import pytest
+
+from repro.errors import (FrameTooLarge, GatewayError, GatewayOverloaded,
+                          ProtocolError, ShapeError)
+from repro.serve.gateway import protocol as proto
+from tests.conftest import random_csr
+
+
+class TestHeader:
+    def test_round_trip_every_op(self):
+        for op in proto.OP_NAMES:
+            frame = proto.encode_frame(op, b"payload", request_id=7 + op)
+            parsed = proto.parse_header(frame[:proto.HEADER.size])
+            assert parsed == (op, len(b"payload"), 7 + op)
+
+    def test_bad_magic_rejected(self):
+        frame = bytearray(proto.encode_frame(proto.OP_PING, b""))
+        frame[0] ^= 0xFF
+        with pytest.raises(ProtocolError, match="magic"):
+            proto.parse_header(bytes(frame[:proto.HEADER.size]))
+
+    def test_bad_version_rejected(self):
+        header = proto.HEADER.pack(proto.MAGIC, 99, proto.OP_PING, 0, 0)
+        with pytest.raises(ProtocolError, match="version"):
+            proto.parse_header(header)
+
+    def test_unknown_op_rejected(self):
+        header = proto.HEADER.pack(proto.MAGIC, proto.VERSION, 0x55, 0, 0)
+        with pytest.raises(ProtocolError, match="unknown op"):
+            proto.parse_header(header)
+
+    def test_truncated_header_rejected(self):
+        with pytest.raises(ProtocolError, match="truncated"):
+            proto.parse_header(b"\x47\x52\x01")
+
+    def test_oversized_frame_rejected_before_payload(self):
+        header = proto.HEADER.pack(proto.MAGIC, proto.VERSION,
+                                   proto.OP_MULTIPLY, 1 << 30, 0)
+        with pytest.raises(FrameTooLarge):
+            proto.parse_header(header, max_frame=1 << 20)
+
+    def test_frame_too_large_is_a_protocol_error(self):
+        assert issubclass(FrameTooLarge, ProtocolError)
+        assert issubclass(ProtocolError, GatewayError)
+
+
+class TestMultiplyPayload:
+    def test_round_trip(self):
+        x = np.arange(12, dtype=np.float32).reshape(3, 4)
+        payload = proto.encode_multiply(5, x, tenant="acme")
+        handle, tenant, rows, cols, data = proto.decode_multiply(payload)
+        assert (handle, tenant, rows, cols) == (5, "acme", 3, 4)
+        decoded = np.frombuffer(data, dtype=np.float32).reshape(3, 4)
+        np.testing.assert_array_equal(decoded, x)
+
+    def test_operand_is_zero_copy_view(self):
+        x = np.ones((2, 2), dtype=np.float32)
+        payload = proto.encode_multiply(1, x)
+        *_, data = proto.decode_multiply(payload)
+        assert isinstance(data, memoryview)
+
+    def test_truncated_payload_rejected(self):
+        x = np.ones((4, 4), dtype=np.float32)
+        payload = proto.encode_multiply(1, x)
+        with pytest.raises(ProtocolError, match="expected"):
+            proto.decode_multiply(payload[:-3])
+
+    def test_short_fixed_part_rejected(self):
+        with pytest.raises(ProtocolError, match="shorter"):
+            proto.decode_multiply(b"\x01\x02")
+
+    def test_reply_round_trip(self):
+        y = np.linspace(0, 1, 6, dtype=np.float32).reshape(2, 3)
+        body = proto.encode_multiply_reply(y, 2, 3)
+        out = proto.decode_multiply_reply(body)
+        np.testing.assert_array_equal(out, y)
+        assert out.flags.owndata
+
+    def test_reply_length_mismatch_rejected(self):
+        y = np.ones((2, 3), dtype=np.float32)
+        body = proto.encode_multiply_reply(y, 2, 3)
+        with pytest.raises(ProtocolError, match="expected"):
+            proto.decode_multiply_reply(body + b"\x00")
+
+
+class TestRegisterPayload:
+    def test_round_trip(self, rng):
+        matrix = random_csr(rng, 20, 16, density=0.3, name="reg")
+        payload = proto.encode_register(matrix, "reg", tenant="t0")
+        meta, decoded = proto.decode_register(payload)
+        assert meta["fingerprint"] == matrix.fingerprint()
+        assert meta["tenant"] == "t0"
+        assert decoded.fingerprint() == matrix.fingerprint()
+
+    def test_array_bytes_mismatch_rejected(self, rng):
+        matrix = random_csr(rng, 10, 10, density=0.3)
+        payload = proto.encode_register(matrix)
+        with pytest.raises(ProtocolError, match="array bytes"):
+            proto.decode_register(payload[:-4])
+
+    def test_missing_dims_rejected(self):
+        meta = b'{"name": "x"}'
+        payload = struct.pack("<I", len(meta)) + meta
+        with pytest.raises(ProtocolError, match="dims"):
+            proto.decode_register(payload)
+
+
+class TestProfilePayload:
+    def test_round_trip(self):
+        x = np.full((3, 2), 2.0, dtype=np.float32)
+        payload = proto.encode_profile(4, x, backend="counts", tenant="t")
+        meta, data = proto.decode_profile(payload)
+        assert meta["handle"] == 4 and meta["backend"] == "counts"
+        decoded = np.frombuffer(data, dtype=np.float32).reshape(3, 2)
+        np.testing.assert_array_equal(decoded, x)
+
+    def test_reply_round_trip(self):
+        y = np.ones((2, 2), dtype=np.float32)
+        body = proto.encode_profile_reply(
+            {"rows": 2, "cols": 2, "backend": "counts"}, y.tobytes())
+        meta, out = proto.decode_profile_reply(body)
+        assert meta["backend"] == "counts"
+        np.testing.assert_array_equal(out, y)
+
+
+class TestControlOps:
+    def test_json_op_round_trip(self):
+        payload = proto.encode_json_op(handle=3, tenant="t")
+        assert proto.decode_json_op(payload) == {"handle": 3, "tenant": "t"}
+
+    def test_trailing_bytes_rejected(self):
+        with pytest.raises(ProtocolError, match="trailing"):
+            proto.decode_json_op(proto.encode_json_op() + b"x")
+
+    def test_meta_overrun_rejected(self):
+        payload = struct.pack("<I", 100) + b"{}"
+        with pytest.raises(ProtocolError, match="overruns"):
+            proto.decode_json_op(payload)
+
+    def test_non_object_meta_rejected(self):
+        meta = b"[1, 2]"
+        payload = struct.pack("<I", len(meta)) + meta
+        with pytest.raises(ProtocolError, match="object"):
+            proto.decode_json_op(payload)
+
+    def test_invalid_json_rejected(self):
+        meta = b"{nope"
+        payload = struct.pack("<I", len(meta)) + meta
+        with pytest.raises(ProtocolError, match="JSON"):
+            proto.decode_json_op(payload)
+
+
+class TestReplies:
+    def test_ok_body_passthrough(self):
+        body = proto.decode_reply(proto.encode_reply_ok(b"abc"))
+        assert bytes(body) == b"abc"
+
+    def test_error_maps_to_typed_exception(self):
+        payload = proto.encode_reply_error(ShapeError("bad shape"))
+        with pytest.raises(ShapeError, match="bad shape"):
+            proto.decode_reply(payload)
+
+    def test_overloaded_survives_the_wire(self):
+        payload = proto.encode_reply_error(
+            GatewayOverloaded("too many", reason="shm"))
+        with pytest.raises(GatewayOverloaded, match="too many") as excinfo:
+            proto.decode_reply(payload)
+        assert excinfo.value.reason == "shm"
+
+    def test_reason_field_overrun_rejected(self):
+        name = b"ShapeError"
+        payload = (b"\x01" + struct.pack("<H", len(name)) + name
+                   + struct.pack("<H", 50) + b"short")
+        with pytest.raises(ProtocolError, match="reason overruns"):
+            proto.decode_reply(payload)
+
+    def test_unknown_exception_becomes_gateway_error(self):
+        payload = proto.encode_reply_error(RuntimeError("boom"))
+        with pytest.raises(GatewayError, match="RuntimeError: boom"):
+            proto.decode_reply(payload)
+
+    def test_non_error_attribute_name_is_not_raised(self):
+        # a hostile reply naming a non-exception attribute must not
+        # get it instantiated; it degrades to GatewayError
+        with pytest.raises(GatewayError, match="remote"):
+            proto.raise_remote_error("ReproError" + "x", "msg")
+
+    def test_empty_reply_rejected(self):
+        with pytest.raises(ProtocolError, match="empty"):
+            proto.decode_reply(b"")
+
+    def test_unknown_status_rejected(self):
+        with pytest.raises(ProtocolError, match="status"):
+            proto.decode_reply(b"\x02")
+
+    def test_truncated_error_reply_rejected(self):
+        with pytest.raises(ProtocolError, match="truncated"):
+            proto.decode_reply(b"\x01\x05")
+
+
+class TestSocketHelpers:
+    def test_send_recv_round_trip(self):
+        server, client = socket.socketpair()
+        try:
+            payload = b"x" * 100_000
+            sender = threading.Thread(
+                target=proto.send_frame,
+                args=(server, proto.OP_MULTIPLY, payload, 42))
+            sender.start()
+            op, request_id, got = proto.recv_frame(client)
+            sender.join()
+            assert (op, request_id, got) == (proto.OP_MULTIPLY, 42, payload)
+        finally:
+            server.close()
+            client.close()
+
+    def test_truncated_stream_is_typed(self):
+        server, client = socket.socketpair()
+        try:
+            server.sendall(proto.encode_frame(proto.OP_PING, b"abcdef")[:-2])
+            server.close()
+            with pytest.raises(ProtocolError, match="truncated frame"):
+                proto.recv_frame(client)
+        finally:
+            client.close()
+
+    def test_oversized_frame_rejected_on_recv(self):
+        server, client = socket.socketpair()
+        try:
+            server.sendall(proto.HEADER.pack(
+                proto.MAGIC, proto.VERSION, proto.OP_PING, 1 << 28, 0))
+            with pytest.raises(FrameTooLarge):
+                proto.recv_frame(client, max_frame=1 << 16)
+        finally:
+            server.close()
+            client.close()

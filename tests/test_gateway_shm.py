@@ -1,0 +1,97 @@
+"""Tests for the shared-memory slot ring."""
+
+import numpy as np
+import pytest
+
+from repro.serve.gateway.shm import ShmRing, set_attach_untrack
+
+
+@pytest.fixture(autouse=True)
+def _same_process_attach():
+    """Attaches in these tests happen in the owner's own process, which
+    shares its resource tracker by definition — untracking there would
+    strip the owner's registration (and make its unlink noisy)."""
+    set_attach_untrack(False)
+    yield
+    set_attach_untrack(True)
+
+
+class TestShmRing:
+    def test_acquire_release_cycle(self):
+        with ShmRing(slot_bytes=256, slots=2) as ring:
+            first = ring.acquire()
+            second = ring.acquire()
+            assert {first, second} == {0, 1}
+            assert ring.acquire() is None          # exhausted, not queued
+            ring.release(first)
+            assert ring.acquire() == first
+
+    def test_exhaustion_counts_rejections(self):
+        with ShmRing(slot_bytes=64, slots=1) as ring:
+            ring.acquire()
+            ring.acquire()
+            ring.acquire()
+            stats = ring.stats()
+            assert stats.rejections == 2
+            assert stats.in_use == 1
+            assert stats.peak_in_use == 1
+            assert "2 rejected" in stats.render()
+
+    def test_double_release_is_a_bug(self):
+        with ShmRing(slot_bytes=64, slots=2) as ring:
+            slot = ring.acquire()
+            ring.release(slot)
+            with pytest.raises(ValueError, match="twice"):
+                ring.release(slot)
+
+    def test_release_out_of_range(self):
+        with ShmRing(slot_bytes=64, slots=2) as ring:
+            with pytest.raises(ValueError, match="range"):
+                ring.release(5)
+
+    def test_write_read_round_trip(self):
+        with ShmRing(slot_bytes=1024, slots=4) as ring:
+            data = np.arange(64, dtype=np.float32)
+            nbytes = ring.write(3, data)
+            assert nbytes == data.nbytes
+            out = np.frombuffer(ring.read(3, nbytes), dtype=np.float32)
+            np.testing.assert_array_equal(out, data)
+
+    def test_slots_are_disjoint(self):
+        with ShmRing(slot_bytes=16, slots=2) as ring:
+            ring.write(0, b"a" * 16)
+            ring.write(1, b"b" * 16)
+            assert ring.read(0, 16) == b"a" * 16
+            assert ring.read(1, 16) == b"b" * 16
+
+    def test_oversized_write_rejected(self):
+        with ShmRing(slot_bytes=8, slots=1) as ring:
+            with pytest.raises(ValueError, match="exceed"):
+                ring.write(0, b"x" * 9)
+
+    def test_attach_sees_owner_writes(self):
+        with ShmRing(slot_bytes=128, slots=2) as owner:
+            attached = ShmRing.attach(owner.name, 128, 2)
+            try:
+                owner.write(1, b"hello")
+                assert attached.read(1, 5) == b"hello"
+                attached.write(1, b"world")
+                assert owner.read(1, 5) == b"world"
+            finally:
+                attached.close()
+
+    def test_attach_size_mismatch_rejected(self):
+        with ShmRing(slot_bytes=64, slots=2) as owner:
+            with pytest.raises(ValueError, match="needs"):
+                ShmRing.attach(owner.name, 64, 100)
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(ValueError, match="slot_bytes"):
+            ShmRing(slot_bytes=0, slots=1)
+        with pytest.raises(ValueError, match="slots"):
+            ShmRing(slot_bytes=8, slots=0)
+
+    def test_close_is_idempotent(self):
+        ring = ShmRing(slot_bytes=64, slots=1)
+        ring.close()
+        ring.close()
