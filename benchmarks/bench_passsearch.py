@@ -1,0 +1,18 @@
+"""Benchmark target for the feedback-directed AOT pass search."""
+
+from repro.bench.passsearch import run_passsearch
+
+
+def test_passsearch(benchmark, bench_config, record_result):
+    result = benchmark.pedantic(
+        run_passsearch, args=(bench_config,), rounds=1, iterations=1)
+    record_result("passsearch", result.render())
+    # the never-regress contract, checked at full scale: a searched
+    # pipeline is never slower than the fixed-function lowering it
+    # replaced, and its output is bit-identical on every cell
+    for cell, row in result.rows.items():
+        assert row["cycles_searched"] <= row["cycles_fixed"], (cell, row)
+        assert row["bit_identical"], cell
+    # the acceptance target: the search pays for itself somewhere —
+    # at least one personality x dataset cell speeds up >= 10%
+    assert result.max_reduction_pct() >= 10.0

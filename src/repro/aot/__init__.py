@@ -20,6 +20,8 @@ branches that JITSPMM's coarse-grain column merging removes.
 from repro.aot.compiler import AotCompiler, CompilerPersonality, PERSONALITIES
 from repro.aot.ir import Block, Function, Instr, VReg
 from repro.aot.mkl import MklKernel
+from repro.aot.passes import PassConfig, run_passes, verify_function
+from repro.aot.search import PassChoice, search_passes
 
 __all__ = [
     "AotCompiler",
@@ -29,5 +31,10 @@ __all__ = [
     "Instr",
     "MklKernel",
     "PERSONALITIES",
+    "PassChoice",
+    "PassConfig",
     "VReg",
+    "run_passes",
+    "search_passes",
+    "verify_function",
 ]

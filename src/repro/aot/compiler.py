@@ -28,6 +28,7 @@ from repro.aot.ir import Function, VReg
 from repro.aot.kernels import scalar_spmm_kernel, vectorized_spmm_kernel
 from repro.aot.liveness import analyze
 from repro.aot.lower import SPILL_SLOT_BYTES, lower
+from repro.aot.passes import PassConfig, run_passes
 from repro.aot.regalloc import Allocation, RegisterPools, allocate
 from repro.errors import CompileError
 from repro.isa.assembler import Program
@@ -35,11 +36,23 @@ from repro.isa.isainfo import IsaLevel
 
 __all__ = [
     "AotCompiler",
+    "BASE_PASS_CONFIGS",
     "CompiledKernel",
     "CompilerPersonality",
     "PERSONALITIES",
     "register_pools_for",
 ]
+
+#: the single source of each personality's default codegen parameters.
+#: ``PERSONALITIES`` below and :meth:`CompilerPersonality.pass_config`
+#: are both derived from this table, so the personality's advertised
+#: unroll factor and the unroll the pass pipeline assumes can't drift.
+BASE_PASS_CONFIGS: dict[str, PassConfig] = {
+    "gcc": PassConfig(unroll=1),
+    "clang": PassConfig(unroll=2),
+    "icc": PassConfig(unroll=4),
+    "icc-avx512": PassConfig(unroll=1),
+}
 
 
 @dataclass(frozen=True)
@@ -53,23 +66,38 @@ class CompilerPersonality:
     lanes: int = 16
     isa: IsaLevel = IsaLevel.AVX512
 
-    def kernel(self) -> Function:
+    def pass_config(self, opt_level: int = 0) -> PassConfig:
+        """The default :class:`PassConfig` at an optimization level.
+
+        Level 0 is the fixed-function lowering (this personality's
+        table unroll, no IR transforms); level 1 enables the cleanup
+        passes; level 2 adds scheduling.  Level 3 (feedback-directed
+        search) is resolved by :mod:`repro.aot.search`, not here.
+        """
+        return PassConfig(unroll=self.unroll).at_level(opt_level)
+
+    def kernel(self, passes: PassConfig | None = None) -> Function:
+        config = passes if passes is not None else self.pass_config(0)
         if self.vectorize:
-            return vectorized_spmm_kernel(self.lanes,
+            return vectorized_spmm_kernel(self.lanes, unroll=config.unroll,
                                           name=f"spmm_{self.name}")
-        return scalar_spmm_kernel(self.unroll, name=f"spmm_{self.name}")
+        return scalar_spmm_kernel(config.unroll, name=f"spmm_{self.name}")
 
 
 PERSONALITIES: dict[str, CompilerPersonality] = {
-    "gcc": CompilerPersonality("gcc", "coloring", unroll=1,
+    "gcc": CompilerPersonality("gcc", "coloring",
+                               unroll=BASE_PASS_CONFIGS["gcc"].unroll,
                                isa=IsaLevel.AVX2),
-    "clang": CompilerPersonality("clang", "linear", unroll=2,
+    "clang": CompilerPersonality("clang", "linear",
+                                 unroll=BASE_PASS_CONFIGS["clang"].unroll,
                                  isa=IsaLevel.AVX2),
-    "icc": CompilerPersonality("icc", "linear", unroll=4,
+    "icc": CompilerPersonality("icc", "linear",
+                               unroll=BASE_PASS_CONFIGS["icc"].unroll,
                                isa=IsaLevel.AVX2),
-    "icc-avx512": CompilerPersonality("icc-avx512", "linear", unroll=1,
-                                      vectorize=True, lanes=16,
-                                      isa=IsaLevel.AVX512),
+    "icc-avx512": CompilerPersonality(
+        "icc-avx512", "linear",
+        unroll=BASE_PASS_CONFIGS["icc-avx512"].unroll,
+        vectorize=True, lanes=16, isa=IsaLevel.AVX512),
 }
 
 
@@ -105,6 +133,9 @@ class CompiledKernel:
     personality: CompilerPersonality
     function: Function
     allocation: Allocation
+    #: the optimization-pass configuration this kernel was built with
+    #: (None for legacy direct ``compile_function`` calls)
+    passes: PassConfig | None = None
 
     @property
     def spill_bytes(self) -> int:
@@ -130,19 +161,38 @@ class AotCompiler:
                 ) from None
         self.personality = personality
 
-    def compile_function(self, func: Function) -> CompiledKernel:
-        """Run the full pipeline on an arbitrary IR function."""
+    def compile_function(self, func: Function,
+                         passes: PassConfig | None = None) -> CompiledKernel:
+        """Run the full pipeline on an arbitrary IR function.
+
+        With ``passes`` given, the optimization-pass pipeline
+        (:func:`repro.aot.passes.run_passes`) runs between the front
+        end and register allocation; ``None`` preserves the legacy
+        fixed-function behavior exactly (no verifier, no rewrites).
+        """
+        if passes is not None:
+            func = run_passes(func, passes)
         pools = register_pools_for(self.personality.isa)
         precolored = self._precolor_params(func)
         liveness = analyze(func)
         allocation = allocate(func, pools, strategy=self.personality.allocator,
                               precolored=precolored, liveness=liveness)
         program = lower(func, allocation, pools)
-        return CompiledKernel(program, self.personality, func, allocation)
+        return CompiledKernel(program, self.personality, func, allocation,
+                              passes=passes)
 
-    def compile_spmm(self) -> CompiledKernel:
-        """Compile this personality's SpMM kernel (Algorithm 1)."""
-        return self.compile_function(self.personality.kernel())
+    def compile_spmm(self, passes: PassConfig | None = None,
+                     opt_level: int = 0) -> CompiledKernel:
+        """Compile this personality's SpMM kernel (Algorithm 1).
+
+        ``passes`` pins an exact :class:`PassConfig` (the search path);
+        otherwise the personality's default config at ``opt_level``
+        applies (0 = the historical fixed-function lowering).
+        """
+        config = (passes if passes is not None
+                  else self.personality.pass_config(opt_level))
+        return self.compile_function(self.personality.kernel(config),
+                                     passes=config)
 
     @staticmethod
     def _precolor_params(func: Function) -> dict[VReg, str]:

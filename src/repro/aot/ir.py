@@ -233,6 +233,23 @@ class Function:
                         f"{block.label!r}"
                     )
 
+    def clone(self) -> "Function":
+        """A structural copy safe for destructive rewriting.
+
+        Blocks, instruction lists and attribute dicts are fresh objects;
+        the identity-hashed :class:`VReg` values are shared (a vreg *is*
+        its identity — passes that need new values mint them via
+        :meth:`new_vreg` on the clone).
+        """
+        copied = Function(self.name, params=list(self.params))
+        for block in self.blocks:
+            new_block = copied.block(block.label, depth=block.depth)
+            new_block.instrs = [
+                Instr(instr.op, instr.dst, instr.srcs, dict(instr.attrs))
+                for instr in block.instrs
+            ]
+        return copied
+
     def listing(self) -> str:
         lines = [f"func {self.name}({', '.join(map(repr, self.params))}):"]
         for block in self.blocks:

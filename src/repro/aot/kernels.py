@@ -116,7 +116,7 @@ def scalar_spmm_kernel(unroll: int = 1, name: str = "spmm_scalar") -> Function:
     return b.finish()
 
 
-def vectorized_spmm_kernel(lanes: int = 16,
+def vectorized_spmm_kernel(lanes: int = 16, unroll: int = 1,
                            name: str = "spmm_autovec") -> Function:
     """Algorithm 1 with the inner reduction loop gather-vectorized.
 
@@ -125,9 +125,17 @@ def vectorized_spmm_kernel(lanes: int = 16,
     vector, multiplied by the runtime ``d``, and used as gather indices
     into ``X``), followed by a lane-sum reduction and a scalar remainder
     loop for ``nnz_i mod lanes``.
+
+    ``unroll`` repeats the gather-FMA strip, so one vector iteration
+    consumes ``lanes * unroll`` non-zeros.  All strips accumulate into
+    the same vector register in ``idx`` order, so results stay
+    bit-identical to the ``unroll=1`` build.
     """
     if lanes not in (4, 8, 16):
         raise CompileError(f"vector lanes must be 4/8/16, got {lanes}")
+    if unroll < 1:
+        raise CompileError(f"unroll factor must be >= 1, got {unroll}")
+    step = lanes * unroll
     b = IRBuilder(name, 3, _PARAM_HINTS)
     row_start, row_end = b.param(1), b.param(2)
     row_ptr, col, vals, x, y, d = _load_param_block(b)
@@ -142,7 +150,7 @@ def vectorized_spmm_kernel(lanes: int = 16,
     b.start_block("row_body", depth=1)
     start = b.load(row_ptr, index=i, scale=8, size=8, hint="start")
     end = b.load(row_ptr, index=i, scale=8, disp=8, size=8, hint="end")
-    end_main = b.sub(end, lanes - 1, hint="endm")
+    end_main = b.sub(end, step - 1, hint="endm")
     yrow = b.mul(i, d, hint="yrow")
     j = b.const(0, hint="j")
     b.br("col_head")
@@ -161,12 +169,15 @@ def vectorized_spmm_kernel(lanes: int = 16,
     b.cbr("ge", idx, end_main, "vec_done", "vec_body")
 
     b.start_block("vec_body", depth=3)
-    kvec = b.vloadi(lanes, col, index=idx, scale=4, hint="kv")
-    offv = b.vmuli(kvec, dvec, hint="ov")
-    avec = b.loadv(lanes, vals, index=idx, scale=4, hint="av")
-    xvec = b.vgather(base_j, offv, scale=4, hint="xv")
-    b.vfma(vacc, avec, xvec)
-    b.iadd(idx, lanes)
+    for t in range(unroll):
+        kvec = b.vloadi(lanes, col, index=idx, scale=4,
+                        disp=4 * lanes * t, hint="kv")
+        offv = b.vmuli(kvec, dvec, hint="ov")
+        avec = b.loadv(lanes, vals, index=idx, scale=4,
+                       disp=4 * lanes * t, hint="av")
+        xvec = b.vgather(base_j, offv, scale=4, hint="xv")
+        b.vfma(vacc, avec, xvec)
+    b.iadd(idx, step)
     b.br("vec_head")
 
     b.start_block("vec_done", depth=2)

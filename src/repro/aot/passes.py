@@ -1,0 +1,612 @@
+"""Optimization-pass pipeline over the three-address IR.
+
+The AOT substrate used to be a fixed-function lowering: kernels →
+liveness → allocation → lowering, with the only codegen degree of
+freedom (the unroll factor) hardcoded per compiler personality.  This
+module makes the middle of that pipeline explicit: a small set of
+classic scalar optimizations, each a *pure* ``Function -> Function``
+transform, selected by a named, hashable :class:`PassConfig`:
+
+* **verify** — structural + dataflow sanity (always runs): every block
+  terminated, no mid-block terminators, no use-before-definition on any
+  path from entry, addressing operands in the integer register class.
+* **fold** — per-block constant folding and propagation: operations on
+  known constants evaluate at compile time (with 64-bit wraparound, so
+  folding is bit-identical to the simulated machine), known values
+  become immediates where the x86 lowering accepts them, and algebraic
+  identities (``x+0``, ``x*1``, ``x*0``, ``x<<0``) simplify.
+* **strength** — strength reduction: multiply by a power-of-two
+  immediate becomes a shift, and single-use address arithmetic
+  (``t = base + imm`` feeding only memory operands) folds into the
+  addressing-mode displacement.
+* **dce** — dead-code elimination: liveness-driven removal of pure
+  instructions whose results are never used, plus unreachable-block
+  removal.
+* **schedule** — within-block list scheduling against the simulated
+  core's port/latency tables (:class:`repro.machine.pipeline
+  .PipelineSpec`): critical-path priority, dependence-preserving
+  (registers and memory), deterministic tie-break by original order.
+  Reordering never crosses a terminator and never reorders the
+  ``fmad``/``vfma`` accumulation chain (those read their destination,
+  a true dependence), so f32 results stay bit-identical.
+
+``PassConfig.unroll`` is the sixth knob: it parameterizes kernel
+*construction* (the reduction-loop unroll factor) rather than a
+rewrite, and :func:`max_register_pressure` gives the search the
+register-pressure estimate that bounds it.
+
+Every executed pass increments ``aot_pass_runs_total{pass=...}`` in the
+:mod:`repro.obs` metrics registry and records an ``aot.pass.<name>``
+span, so a profiled compile shows exactly where its time went.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from heapq import heapify, heappop, heappush
+
+from repro.aot.ir import Function, Instr, VReg
+from repro.aot.liveness import analyze
+from repro.errors import CompileError
+from repro.isa.instructions import InsnKind
+from repro.machine.pipeline import PipelineSpec
+from repro.obs.metrics import get_registry
+from repro.obs.trace import span as _span
+
+__all__ = [
+    "PASS_NAMES",
+    "PassConfig",
+    "eliminate_dead_code",
+    "fold_constants",
+    "max_register_pressure",
+    "reduce_strength",
+    "run_passes",
+    "schedule_blocks",
+    "verify_function",
+]
+
+#: transform order inside :func:`run_passes` — folding first exposes
+#: dead values and power-of-two multiplies, strength reduction leaves
+#: dead address arithmetic for DCE, and scheduling runs on final code
+PASS_NAMES = ("fold", "strength", "dce", "schedule")
+
+
+@dataclass(frozen=True)
+class PassConfig:
+    """One point in the optimization lattice (hashable, picklable).
+
+    Attributes:
+        unroll: Reduction-loop unroll factor the kernel constructor
+            uses (scalar kernels repeat the body; vectorized kernels
+            repeat the gather-FMA strip).
+        fold / strength / dce / schedule: Whether the corresponding
+            transform runs (see module docstring for what each does).
+    """
+
+    unroll: int = 1
+    fold: bool = False
+    strength: bool = False
+    dce: bool = False
+    schedule: bool = False
+
+    def __post_init__(self) -> None:
+        if self.unroll < 1:
+            raise CompileError(
+                f"unroll factor must be >= 1, got {self.unroll}")
+
+    def ident(self) -> str:
+        """Stable short identity, e.g. ``"u4+fold+strength+dce"``."""
+        parts = [f"u{self.unroll}"]
+        parts.extend(name for name in PASS_NAMES if getattr(self, name))
+        return "+".join(parts)
+
+    def enabled_passes(self) -> tuple[str, ...]:
+        return tuple(name for name in PASS_NAMES if getattr(self, name))
+
+    def at_level(self, opt_level: int) -> "PassConfig":
+        """This config's pass set at an ``opt_level``: 0 disables every
+        transform (fixed-function lowering), 1 adds the cleanup passes
+        (fold/strength/dce), 2 adds scheduling.  The unroll factor is
+        untouched — levels pick *passes*; level 3 (search) picks both
+        and lives in :mod:`repro.aot.search`."""
+        if opt_level <= 0:
+            return replace(self, fold=False, strength=False, dce=False,
+                           schedule=False)
+        if opt_level == 1:
+            return replace(self, fold=True, strength=True, dce=True,
+                           schedule=False)
+        return replace(self, fold=True, strength=True, dce=True,
+                       schedule=True)
+
+
+# ----------------------------------------------------------------------
+# verify
+# ----------------------------------------------------------------------
+def _preds_map(func: Function) -> dict[str, list[str]]:
+    preds: dict[str, list[str]] = {b.label: [] for b in func.blocks}
+    for block in func.blocks:
+        for successor in block.successors():
+            preds[successor].append(block.label)
+    return preds
+
+
+def _reachable_labels(func: Function) -> set[str]:
+    blocks = func.block_map()
+    seen = {func.blocks[0].label}
+    work = [func.blocks[0].label]
+    while work:
+        for successor in blocks[work.pop()].successors():
+            if successor not in seen:
+                seen.add(successor)
+                work.append(successor)
+    return seen
+
+
+def verify_function(func: Function) -> Function:
+    """Check structural and dataflow invariants; raise on violation.
+
+    Beyond :meth:`Function.validate` (labels, mid-block terminators,
+    branch targets) this rejects blocks with *no* terminator, any vreg
+    read that is not dominated by a definition on every path from
+    entry (parameters count as defined at entry), non-integer or
+    immediate memory-address operands, and ``shl`` by a non-immediate
+    (the lowering has no register-shift form).  Returns ``func``
+    unchanged — the verifier is the one pass that never rewrites.
+    """
+    func.validate()
+    for block in func.blocks:
+        block.terminator  # raises CompileError when the block lacks one
+        for instr in block.instrs:
+            for key in ("base", "index"):
+                value = instr.attrs.get(key)
+                if value is None:
+                    continue
+                if not isinstance(value, VReg) or value.type.reg_class != "int":
+                    raise CompileError(
+                        f"memory {key} operand of {instr!r} in block "
+                        f"{block.label!r} must be an integer vreg")
+            if instr.op == "shl" and not isinstance(instr.srcs[1], int):
+                raise CompileError(
+                    f"shl by register is not lowerable: {instr!r} in "
+                    f"block {block.label!r}")
+            if instr.op == "cbr" and not isinstance(instr.srcs[0], VReg):
+                raise CompileError(
+                    f"cbr first operand must be a vreg: {instr!r}")
+
+    # forward must-be-defined dataflow: defined_in[b] = ∩ over preds of
+    # (defined_in[p] ∪ defs[p]); entry starts from the parameters.
+    # Intersection starts from the universal set so loops converge from
+    # above.  Unreachable blocks are skipped (DCE's job, not an error).
+    reachable = _reachable_labels(func)
+    preds = _preds_map(func)
+    defs: dict[str, set[VReg]] = {}
+    for block in func.blocks:
+        block_defs: set[VReg] = set()
+        for instr in block.instrs:
+            block_defs.update(instr.vregs_written())
+        defs[block.label] = block_defs
+    universe = set(func.all_vregs()) | set(func.params)
+    entry = func.blocks[0].label
+    defined_in = {label: set(universe) for label in reachable}
+    defined_in[entry] = set(func.params)
+    changed = True
+    while changed:
+        changed = False
+        for block in func.blocks:
+            label = block.label
+            if label not in reachable or label == entry:
+                continue
+            incoming = [p for p in preds[label] if p in reachable]
+            new_in = set(universe)
+            for pred in incoming:
+                new_in &= defined_in[pred] | defs[pred]
+            if new_in != defined_in[label]:
+                defined_in[label] = new_in
+                changed = True
+    for block in func.blocks:
+        if block.label not in reachable:
+            continue
+        local = set(defined_in[block.label])
+        for instr in block.instrs:
+            for reg in instr.vregs_read():
+                if reg not in local:
+                    raise CompileError(
+                        f"use of {reg!r} before definition in block "
+                        f"{block.label!r} of {func.name!r}")
+            local.update(instr.vregs_written())
+    return func
+
+
+# ----------------------------------------------------------------------
+# fold
+# ----------------------------------------------------------------------
+_INT_BINOPS = {"add", "sub", "mul", "and", "shl"}
+#: ops accepting an int immediate as their *second* source after
+#: lowering (the first operand of two-address forms must stay a vreg)
+_IMM_SECOND = {"add", "sub", "mul", "and"}
+_IMM32_MIN, _IMM32_MAX = -(1 << 31), (1 << 31) - 1
+
+
+def _wrap64(value: int) -> int:
+    """Two's-complement 64-bit wraparound — folding must agree bit-for-
+    bit with the simulated machine's integer arithmetic."""
+    return ((value + (1 << 63)) & ((1 << 64) - 1)) - (1 << 63)
+
+
+def _fits_imm32(value: int) -> bool:
+    return _IMM32_MIN <= value <= _IMM32_MAX
+
+
+def _eval_binop(op: str, a: int, b: int) -> int:
+    if op == "add":
+        return _wrap64(a + b)
+    if op == "sub":
+        return _wrap64(a - b)
+    if op == "mul":
+        return _wrap64(a * b)
+    if op == "and":
+        return a & b
+    if op == "shl":
+        return _wrap64(a << (b & 63))
+    raise CompileError(f"unfoldable op {op!r}")
+
+
+def fold_constants(func: Function) -> Function:
+    """Per-block constant propagation, folding and algebraic identity
+    simplification (see module docstring).  Immediate substitution is
+    restricted to operand positions the lowering accepts (second
+    sources, compare/store operands) and to values that fit a signed
+    32-bit immediate."""
+    func = func.clone()
+    for block in func.blocks:
+        known: dict[VReg, int] = {}
+        out: list[Instr] = []
+        for instr in block.instrs:
+            op = instr.op
+            # substitute known values where an immediate is lowerable
+            if op in _IMM_SECOND or op == "cbr":
+                second = instr.srcs[1]
+                if isinstance(second, VReg) and second in known \
+                        and _fits_imm32(known[second]):
+                    instr = Instr(op, instr.dst,
+                                  (instr.srcs[0], known[second]),
+                                  dict(instr.attrs))
+            elif op == "store":
+                value = instr.srcs[0]
+                if isinstance(value, VReg) and value in known \
+                        and _fits_imm32(known[value]):
+                    instr = Instr(op, None, (known[value], *instr.srcs[1:]),
+                                  dict(instr.attrs))
+            rewritten = self_value = None
+            if op == "const":
+                self_value = _wrap64(instr.srcs[0])
+                rewritten = Instr("const", instr.dst, (self_value,))
+            elif op == "mov":
+                source = instr.srcs[0]
+                if isinstance(source, int) or source in known:
+                    self_value = (_wrap64(source) if isinstance(source, int)
+                                  else known[source])
+                    rewritten = Instr("const", instr.dst, (self_value,))
+            elif op in _INT_BINOPS:
+                first, second = instr.srcs
+                a = known.get(first) if isinstance(first, VReg) else None
+                b = second if isinstance(second, int) else known.get(second)
+                if a is not None and b is not None:
+                    self_value = _eval_binop(op, a, b)
+                    rewritten = Instr("const", instr.dst, (self_value,))
+                elif isinstance(b, int):
+                    rewritten = _algebraic(instr, b)
+                    if rewritten is not None and rewritten.op == "const":
+                        self_value = rewritten.srcs[0]
+            if rewritten is not None:
+                instr = rewritten
+            for written in instr.vregs_written():
+                known.pop(written, None)
+            if self_value is not None and instr.dst is not None:
+                known[instr.dst] = self_value
+            out.append(instr)
+        block.instrs = out
+    return func
+
+
+def _algebraic(instr: Instr, b: int) -> Instr | None:
+    """Identity simplifications when only the second operand is known."""
+    op, first = instr.op, instr.srcs[0]
+    if op in ("add", "sub", "shl") and b == 0:
+        return Instr("mov", instr.dst, (first,))
+    if op == "mul":
+        if b == 1:
+            return Instr("mov", instr.dst, (first,))
+        if b == 0:
+            return Instr("const", instr.dst, (0,))
+    if op == "and":
+        if b == 0:
+            return Instr("const", instr.dst, (0,))
+        if b == -1:
+            return Instr("mov", instr.dst, (first,))
+    return None
+
+
+# ----------------------------------------------------------------------
+# dce
+# ----------------------------------------------------------------------
+#: ops safe to drop when their destination is dead: no memory writes,
+#: no control flow.  Dead *loads* are removable too — the kernels only
+#: address mapped operands, so dropping one cannot unmask a fault.
+_PURE_OPS = frozenset({
+    "const", "mov", "add", "sub", "mul", "shl", "and",
+    "load", "loadf", "loadv", "vloadi",
+    "fadd", "fsub", "fmul", "fmad",
+    "vadd", "vmul", "vfma", "vbroadcast_mem", "vbroadcasti_mem",
+    "vaddi", "vmuli", "vgather", "vreduce",
+})
+
+
+def eliminate_dead_code(func: Function) -> Function:
+    """Remove unreachable blocks and pure instructions with dead
+    results, iterating block-level liveness to a fixed point so cross-
+    block dead chains collapse too."""
+    func = func.clone()
+    reachable = _reachable_labels(func)
+    func.blocks = [b for b in func.blocks if b.label in reachable]
+    for _ in range(8):
+        changed = False
+        live_info = analyze(func)
+        for block in func.blocks:
+            live = set(live_info.live_out[block.label])
+            kept: list[Instr] = []
+            for instr in reversed(block.instrs):
+                written = instr.vregs_written()
+                if (instr.op in _PURE_OPS and written
+                        and all(reg not in live for reg in written)):
+                    changed = True
+                    continue
+                for reg in written:
+                    live.discard(reg)
+                live.update(instr.vregs_read())
+                kept.append(instr)
+            kept.reverse()
+            block.instrs = kept
+        if not changed:
+            break
+    return func
+
+
+# ----------------------------------------------------------------------
+# strength
+# ----------------------------------------------------------------------
+def reduce_strength(func: Function) -> Function:
+    """Strength reduction: ``mul`` by a power-of-two immediate becomes
+    ``shl``, and address adds feeding only same-block memory operands
+    fold into the displacement (the add itself is left for DCE)."""
+    func = func.clone()
+    for block in func.blocks:
+        for i, instr in enumerate(block.instrs):
+            if (instr.op == "mul" and isinstance(instr.srcs[1], int)
+                    and instr.srcs[1] > 1
+                    and instr.srcs[1] & (instr.srcs[1] - 1) == 0):
+                block.instrs[i] = Instr(
+                    "shl", instr.dst,
+                    (instr.srcs[0], instr.srcs[1].bit_length() - 1))
+    _fold_addressing(func)
+    return func
+
+
+def _fold_addressing(func: Function) -> None:
+    # global use/def census: a candidate t = add(a, imm) must be
+    # defined exactly once, used only as a base/index register, and
+    # only within its defining block (so no path sees a stale t)
+    write_count: dict[VReg, int] = {}
+    value_uses: dict[VReg, int] = {}
+    for block in func.blocks:
+        for instr in block.instrs:
+            for reg in instr.vregs_written():
+                write_count[reg] = write_count.get(reg, 0) + 1
+            for src in instr.srcs:
+                if isinstance(src, VReg):
+                    value_uses[src] = value_uses.get(src, 0) + 1
+            if instr.op in ("vfma", "fmad") and instr.dst is not None:
+                value_uses[instr.dst] = value_uses.get(instr.dst, 0) + 1
+    live_info = analyze(func)
+    for block in func.blocks:
+        live_out = live_info.live_out[block.label]
+        for i, instr in enumerate(block.instrs):
+            if not (instr.op == "add" and isinstance(instr.srcs[0], VReg)
+                    and isinstance(instr.srcs[1], int)):
+                continue
+            target, base, disp = instr.dst, instr.srcs[0], instr.srcs[1]
+            if (target is None or target in live_out
+                    or write_count.get(target, 0) != 1
+                    or value_uses.get(target, 0) != 0):
+                continue
+            uses: list[int] = []
+            blocked = False
+            for j in range(i + 1, len(block.instrs)):
+                later = block.instrs[j]
+                if base in later.vregs_written() \
+                        or target in later.vregs_written():
+                    blocked = True
+                    break
+                if later.attrs.get("base") is target \
+                        or later.attrs.get("index") is target:
+                    uses.append(j)
+            if blocked or not uses:
+                continue
+            rewrites = []
+            for j in uses:
+                later = block.instrs[j]
+                attrs = dict(later.attrs)
+                if attrs.get("base") is target:
+                    attrs["base"] = base
+                    attrs["disp"] = attrs.get("disp", 0) + disp
+                if attrs.get("index") is target:
+                    attrs["index"] = base
+                    attrs["disp"] = (attrs.get("disp", 0)
+                                     + disp * attrs.get("scale", 1))
+                if not _fits_imm32(attrs["disp"]):
+                    rewrites = None
+                    break
+                rewrites.append((j, Instr(later.op, later.dst, later.srcs,
+                                          attrs)))
+            if rewrites:
+                for j, replacement in rewrites:
+                    block.instrs[j] = replacement
+
+
+# ----------------------------------------------------------------------
+# schedule
+# ----------------------------------------------------------------------
+_MEM_READS = frozenset({"load", "loadf", "loadv", "vloadi", "vgather",
+                        "vbroadcast_mem", "vbroadcasti_mem"})
+_MEM_WRITES = frozenset({"store", "storef", "storev"})
+
+
+def _ir_latencies(spec: PipelineSpec) -> dict[str, float]:
+    """IR-op critical-path weights from the machine's cost tables."""
+    kind_cost = spec.kind_cost_map()
+    l1 = spec.load_latency_map()["l1"]
+
+    def lat(kind: InsnKind) -> float:
+        return kind_cost[kind][0]
+
+    return {
+        "const": lat(InsnKind.MOV_INT), "mov": lat(InsnKind.MOV_INT),
+        "add": lat(InsnKind.ALU_INT), "sub": lat(InsnKind.ALU_INT),
+        "and": lat(InsnKind.ALU_INT), "shl": lat(InsnKind.ALU_INT),
+        "mul": lat(InsnKind.MUL_INT),
+        "load": l1, "loadf": l1, "loadv": l1, "vloadi": l1,
+        "store": 1.0, "storef": 1.0, "storev": 1.0,
+        "fadd": lat(InsnKind.VEC_ALU), "fsub": lat(InsnKind.VEC_ALU),
+        "fmul": lat(InsnKind.VEC_MUL), "fmad": lat(InsnKind.VEC_FMA),
+        "vadd": lat(InsnKind.VEC_ALU), "vaddi": lat(InsnKind.VEC_ALU),
+        "vmul": lat(InsnKind.VEC_MUL), "vfma": lat(InsnKind.VEC_FMA),
+        "vmuli": lat(InsnKind.VEC_IMUL),
+        "vbroadcast_mem": lat(InsnKind.VEC_BCAST) + l1,
+        "vbroadcasti_mem": lat(InsnKind.VEC_BCAST) + l1,
+        "vgather": lat(InsnKind.VEC_GATHER),
+        "vreduce": lat(InsnKind.VEC_EXTRACT) + 2 * lat(InsnKind.VEC_HADD),
+    }
+
+
+def schedule_blocks(func: Function,
+                    spec: PipelineSpec | None = None) -> Function:
+    """List-schedule each block body by critical-path priority.
+
+    Dependence edges: register RAW/WAR/WAW (``fmad``/``vfma`` read
+    their destination, so accumulation chains keep their order — f32
+    bit-identity is preserved by construction), and conservative memory
+    ordering (loads never cross stores, stores never cross anything
+    memory).  Ties break toward the original instruction index, so the
+    schedule is deterministic and a no-dependence block is untouched
+    in the absence of latency differences.
+    """
+    func = func.clone()
+    latency = _ir_latencies(spec or PipelineSpec())
+    for block in func.blocks:
+        if len(block.instrs) < 3:
+            continue
+        body, term = block.instrs[:-1], block.instrs[-1]
+        n = len(body)
+        reads = [set(instr.vregs_read()) for instr in body]
+        writes = [set(instr.vregs_written()) for instr in body]
+        succs: list[list[int]] = [[] for _ in range(n)]
+        npreds = [0] * n
+        for j in range(1, n):
+            opj = body[j].op
+            for i in range(j):
+                opi = body[i].op
+                dep = bool(writes[i] & reads[j]) \
+                    or bool(reads[i] & writes[j]) \
+                    or bool(writes[i] & writes[j])
+                if not dep:
+                    dep = ((opi in _MEM_WRITES
+                            and (opj in _MEM_READS or opj in _MEM_WRITES))
+                           or (opi in _MEM_READS and opj in _MEM_WRITES))
+                if dep:
+                    succs[i].append(j)
+                    npreds[j] += 1
+        priority = [0.0] * n
+        for i in range(n - 1, -1, -1):
+            tail = max((priority[j] for j in succs[i]), default=0.0)
+            priority[i] = latency.get(body[i].op, 1.0) + tail
+        ready = [(-priority[i], i) for i in range(n) if npreds[i] == 0]
+        heapify(ready)
+        order: list[int] = []
+        while ready:
+            _, i = heappop(ready)
+            order.append(i)
+            for j in succs[i]:
+                npreds[j] -= 1
+                if npreds[j] == 0:
+                    heappush(ready, (-priority[j], j))
+        if len(order) != n:
+            raise CompileError(
+                f"scheduling cycle in block {block.label!r}")
+        block.instrs = [body[i] for i in order] + [term]
+    return func
+
+
+# ----------------------------------------------------------------------
+# register pressure
+# ----------------------------------------------------------------------
+def max_register_pressure(func: Function) -> dict[str, int]:
+    """Peak simultaneously-live vregs per register class (``"int"`` /
+    ``"vec"``), from the allocators' own linearized live intervals —
+    the estimate the unroll search bounds candidates with."""
+    intervals = analyze(func).intervals.values()
+    pressure: dict[str, int] = {}
+    for reg_class in ("int", "vec"):
+        events: list[tuple[int, int]] = []
+        for interval in intervals:
+            if interval.vreg.type.reg_class != reg_class:
+                continue
+            events.append((interval.start, 1))
+            events.append((interval.end, -1))
+        events.sort()
+        current = peak = 0
+        for _, delta in events:
+            current += delta
+            if current > peak:
+                peak = current
+        pressure[reg_class] = peak
+    return pressure
+
+
+# ----------------------------------------------------------------------
+# driver
+# ----------------------------------------------------------------------
+_PASS_FNS = {
+    "fold": fold_constants,
+    "strength": reduce_strength,
+    "dce": eliminate_dead_code,
+    "schedule": schedule_blocks,
+}
+
+
+def _count(name: str) -> None:
+    get_registry().counter("aot_pass_runs_total", **{"pass": name}).inc()
+
+
+def run_passes(func: Function, config: PassConfig,
+               spec: PipelineSpec | None = None) -> Function:
+    """Run ``config``'s enabled transforms over ``func`` (pure: the
+    input function is never mutated).  The verifier brackets the
+    pipeline — once on the input, and again after any rewrite — so a
+    transform bug surfaces as a :class:`~repro.errors.CompileError` at
+    compile time, not as a miscompiled kernel."""
+    with _span("aot.pass.verify", func=func.name):
+        verify_function(func)
+    _count("verify")
+    enabled = config.enabled_passes()
+    for name in enabled:
+        with _span(f"aot.pass.{name}", func=func.name):
+            if name == "schedule":
+                func = schedule_blocks(func, spec)
+            else:
+                func = _PASS_FNS[name](func)
+        _count(name)
+    if enabled:
+        with _span("aot.pass.verify", func=func.name):
+            verify_function(func)
+        _count("verify")
+    return func

@@ -84,6 +84,17 @@ class ExecutionConfig:
         tenant_quota: Per-tenant in-flight cap at the gateway (``None``
             disables per-tenant accounting; the gateway-wide cap always
             applies).
+        opt_level: AOT optimization level (systems without an IR-level
+            pass pipeline ignore it).  0 (default) is the historical
+            fixed-function lowering; 1 enables the cleanup passes
+            (constant folding, strength reduction, DCE); 2 adds
+            within-block instruction scheduling; 3 runs the
+            feedback-directed search (:mod:`repro.aot.search`) per
+            bound matrix, scoring candidate pass configs by simulated
+            cycles on a downsampled operand sample.
+        search_budget: Maximum candidate compilations one ``opt_level=3``
+            search may evaluate (>= 1; 1 degenerates to the
+            fixed-function baseline).
     """
 
     split: str = "row"
@@ -103,6 +114,8 @@ class ExecutionConfig:
     workers: int = 1
     max_inflight: int = 64
     tenant_quota: int | None = None
+    opt_level: int = 0
+    search_budget: int = 16
 
     def __post_init__(self) -> None:
         if self.threads <= 0:
@@ -146,6 +159,13 @@ class ExecutionConfig:
             raise ShapeError(
                 f"tenant_quota must be positive or None, got "
                 f"{self.tenant_quota}")
+        if not 0 <= self.opt_level <= 3:
+            raise ShapeError(
+                f"opt_level must be in 0..3, got {self.opt_level}")
+        if self.search_budget < 1:
+            raise ShapeError(
+                f"search_budget must be at least 1, got "
+                f"{self.search_budget}")
         object.__setattr__(self, "isa", IsaLevel.parse(self.isa))
 
     @property

@@ -111,8 +111,18 @@ class System(abc.ABC):
 
     def prepare_key(self, config: ExecutionConfig):
         """Cache identity known at prepare time (address-free systems);
-        None when the identity needs bound operands (the JIT)."""
+        None when the identity needs bound operands (the JIT, or an
+        AOT personality whose pass config is searched per matrix)."""
         return None
+
+    def build_template(self, config: ExecutionConfig):
+        """Compile the address-free template for ``config``; returns
+        ``(kernel, seconds)``.  Default delegates to
+        ``build_kernel(None)`` — the historical contract third-party
+        address-free systems implement; built-in systems override this
+        when the template depends on the config (optimization level).
+        """
+        return self.build_kernel(None)
 
 
 class Artifact:
@@ -151,6 +161,11 @@ class Artifact:
             raise ReproError(
                 f"system {self.system.name!r} specializes kernels per "
                 "problem; bind(matrix, x) and read plan.kernel")
+        if self._kernel is None and self.key is None:
+            raise ReproError(
+                f"system {self.system.name!r} resolves its kernel "
+                "identity per matrix at this config (feedback-directed "
+                "search); bind(matrix, x) and read plan.kernel")
         kernel, _, _ = self._template_kernel()
         return kernel
 
@@ -170,7 +185,7 @@ class Artifact:
         if kernel is not None:
             self._kernel = kernel
             return kernel, True, 0.0
-        kernel, seconds = self.system.build_kernel(None)
+        kernel, seconds = self.system.build_template(self.config)
         if self.cache is not None:
             self.cache.put(self.key, kernel,
                            self.system.kernel_nbytes(kernel))
@@ -203,10 +218,18 @@ class Artifact:
         return plan
 
     def ensure_kernel(self, plan: "BoundPlan") -> "BoundPlan":
-        """Resolve ``plan``'s kernel: cache probe, then codegen on miss."""
+        """Resolve ``plan``'s kernel: cache probe, then codegen on miss.
+
+        Address-free systems with a prepare-time identity (or an
+        injected kernel) resolve through the artifact's template path;
+        everything else — the JIT, and searched AOT configs whose
+        identity exists only once a matrix is bound — resolves through
+        the plan's own key.
+        """
         if plan.kernel is not None:
             return plan
-        if self.system.address_free:
+        if self.system.address_free and (self._kernel is not None
+                                         or self.key is not None):
             kernel, cache_hit, seconds = self._template_kernel()
             plan.attach_kernel(kernel, cache_hit=cache_hit,
                                codegen_seconds=seconds)

@@ -170,7 +170,7 @@ class ParamBlockPlan(BoundPlan):
     """
 
     def __init__(self, artifact: Artifact, matrix, x, *, key,
-                 name_prefix: str | None) -> None:
+                 name_prefix: str | None, pass_config=None) -> None:
         config = artifact.config
         # private copy, same reason as the JIT bind: refresh() writes
         # into the mapped segment
@@ -181,6 +181,9 @@ class ParamBlockPlan(BoundPlan):
             partitions=partitions, ranges=partitions, x_host=x,
             name_prefix=name_prefix,
         )
+        #: searched per-matrix PassConfig (opt_level=3 binds only);
+        #: None means the artifact's template config applies
+        self.pass_config = pass_config
         self.pb_addr = None
         self.next_addr = None
         self._init_gprs: list[dict] | None = None
@@ -256,7 +259,14 @@ class ParamBlockPlan(BoundPlan):
 
 
 class AotSystem(System):
-    """An AOT compiler personality serving the param-block SpMM."""
+    """An AOT compiler personality serving the param-block SpMM.
+
+    ``config.opt_level`` selects the IR pass pipeline: levels 0-2 keep
+    the address-free template contract (one compile per personality and
+    level, any operands), while level 3 runs the feedback-directed
+    search per bound matrix — the kernel identity then exists only at
+    bind time, exactly like the JIT's.
+    """
 
     address_free = True
 
@@ -267,18 +277,46 @@ class AotSystem(System):
         self.name = f"aot:{self.personality.name}"
 
     def prepare_key(self, config):
-        return aot_key(self.personality.name)
+        if config.opt_level >= 3:
+            return None  # searched per matrix: bind-time identity
+        passes = self.personality.pass_config(config.opt_level)
+        return aot_key(self.personality.name,
+                       passes=passes.ident() if config.opt_level else "")
 
     def bind(self, artifact: Artifact, matrix, x,
              name_prefix: str | None = None) -> ParamBlockPlan:
-        return ParamBlockPlan(artifact, matrix, x,
-                              key=self.prepare_key(artifact.config),
-                              name_prefix=name_prefix)
+        config = artifact.config
+        key = self.prepare_key(config)
+        pass_config = None
+        if key is None:
+            from repro.aot.search import search_passes
+
+            choice = search_passes(
+                self.personality, matrix, int(x.shape[1]),
+                budget=config.search_budget, l1=config.l1, l2=config.l2)
+            pass_config = choice.config
+            key = aot_key(self.personality.name,
+                          passes=pass_config.ident())
+        return ParamBlockPlan(artifact, matrix, x, key=key,
+                              name_prefix=name_prefix,
+                              pass_config=pass_config)
+
+    def build_template(self, config) -> tuple[object, float]:
+        return self._compile(self.personality.pass_config(config.opt_level))
 
     def build_kernel(self, plan) -> tuple[object, float]:
-        with _span("codegen.aot", personality=self.personality):
+        passes = getattr(plan, "pass_config", None)
+        if passes is None:
+            opt_level = 0 if plan is None else plan.config.opt_level
+            passes = self.personality.pass_config(min(opt_level, 2))
+        return self._compile(passes)
+
+    def _compile(self, passes) -> tuple[object, float]:
+        with _span("codegen.aot", personality=self.personality,
+                   passes=passes.ident()):
             started = time.perf_counter()
-            compiled = AotCompiler(self.personality).compile_spmm()
+            compiled = AotCompiler(self.personality).compile_spmm(
+                passes=passes)
             return compiled, time.perf_counter() - started
 
     def kernel_nbytes(self, kernel) -> int:

@@ -17,6 +17,7 @@ from repro.bench.fig10 import run_fig10
 from repro.bench.fig11 import run_fig11
 from repro.bench.harness import BenchConfig
 from repro.bench.obsoverhead import run_obsoverhead
+from repro.bench.passsearch import run_passsearch
 from repro.bench.servethroughput import run_servethroughput
 from repro.bench.serving import run_serving
 from repro.bench.simspeed import run_simspeed
@@ -34,6 +35,7 @@ EXPERIMENTS = {
     "simspeed": run_simspeed,
     "servethroughput": run_servethroughput,
     "obsoverhead": run_obsoverhead,
+    "passsearch": run_passsearch,
 }
 
 

@@ -27,7 +27,8 @@ from repro.sparse.csr import CsrMatrix
 
 __all__ = ["SplitChoice", "autotune_memo_stats", "choose_split",
            "clear_autotune_memo", "export_autotune_memo",
-           "predicted_makespan", "seed_autotune_memo"]
+           "lookup_pass_verdict", "predicted_makespan",
+           "record_pass_verdict", "seed_autotune_memo"]
 
 #: crude per-event cycle weights for ranking (not a timing model — only
 #: relative ordering between strategies matters here)
@@ -114,19 +115,26 @@ def _spec(matrix: CsrMatrix, d: int, isa: IsaLevel | str,
 #: of (matrix contents, d, threads, isa), so a re-registered matrix, a
 #: copied twin, or a second service never re-tunes.  LRU-bounded: the
 #: verdicts are tiny, but unbounded growth over an unbounded matrix
-#: stream would still be a leak.
+#: stream would still be a leak.  The same map also holds the AOT
+#: pass-search verdicts (:mod:`repro.aot.search`), namespaced under
+#: ``("aot-passes", ...)`` keys so one export/seed channel replicates
+#: both kinds of tuning across gateway workers.
 _MEMO_CAP = 1024
-_memo: OrderedDict[tuple, SplitChoice] = OrderedDict()
+_PASS_VERDICT_NS = "aot-passes"
+_memo: OrderedDict[tuple, object] = OrderedDict()
 _memo_lock = threading.Lock()
 _memo_hits = 0
 _memo_misses = 0
 
 
 def autotune_memo_stats() -> dict:
-    """Counters for the process-wide tuning memo (hits/misses/entries)."""
+    """Counters for the process-wide tuning memo (hits/misses/entries;
+    ``pass_entries`` counts the AOT pass-search verdicts among them)."""
     with _memo_lock:
+        pass_entries = sum(1 for key in _memo
+                           if key and key[0] == _PASS_VERDICT_NS)
         return {"hits": _memo_hits, "misses": _memo_misses,
-                "entries": len(_memo)}
+                "entries": len(_memo), "pass_entries": pass_entries}
 
 
 def clear_autotune_memo() -> None:
@@ -138,10 +146,12 @@ def clear_autotune_memo() -> None:
         _memo_misses = 0
 
 
-def export_autotune_memo() -> dict[tuple, SplitChoice]:
-    """Every memoized verdict, keyed ``(fingerprint, d, threads, isa)``.
+def export_autotune_memo() -> dict[tuple, object]:
+    """Every memoized verdict, keyed ``(fingerprint, d, threads, isa)``
+    — plus the ``("aot-passes", ...)``-keyed pass-search verdicts.
 
-    The key tuples and :class:`SplitChoice` values are plain picklable
+    The key tuples and the :class:`SplitChoice` /
+    :class:`repro.aot.search.PassChoice` values are plain picklable
     data, so a multi-process serving gateway can ship one worker's
     verdicts to its peers (:func:`seed_autotune_memo`) and each kernel
     identity is tuned once per *fleet*, not once per process.
@@ -150,7 +160,7 @@ def export_autotune_memo() -> dict[tuple, SplitChoice]:
         return dict(_memo)
 
 
-def seed_autotune_memo(entries: dict[tuple, SplitChoice]) -> int:
+def seed_autotune_memo(entries: dict[tuple, object]) -> int:
     """Install externally produced verdicts; returns how many were new.
 
     Existing entries win (a verdict is deterministic, so a collision is
@@ -166,6 +176,41 @@ def seed_autotune_memo(entries: dict[tuple, SplitChoice]) -> int:
         while len(_memo) > _MEMO_CAP:
             _memo.popitem(last=False)
     return added
+
+
+def record_pass_verdict(key: tuple, verdict) -> None:
+    """Memoize one AOT pass-search verdict process-wide.
+
+    ``key`` is the search's identity tuple (personality, matrix
+    fingerprint, d, cache geometry); it is stored namespaced under
+    ``("aot-passes", *key)`` in the same LRU map as the split verdicts,
+    so :func:`export_autotune_memo` / :func:`seed_autotune_memo`
+    replicate searched pass configs across gateway workers for free.
+    """
+    with _memo_lock:
+        full = (_PASS_VERDICT_NS, *key)
+        _memo[full] = verdict
+        _memo.move_to_end(full)
+        while len(_memo) > _MEMO_CAP:
+            _memo.popitem(last=False)
+
+
+def lookup_pass_verdict(key: tuple):
+    """The memoized pass-search verdict for ``key``, or None.
+
+    Counts against the shared memo hit/miss counters — a fleet that
+    seeds verdicts from its peers shows up as hits here.
+    """
+    global _memo_hits, _memo_misses
+    with _memo_lock:
+        full = (_PASS_VERDICT_NS, *key)
+        cached = _memo.get(full)
+        if cached is not None:
+            _memo.move_to_end(full)
+            _memo_hits += 1
+            return cached
+        _memo_misses += 1
+        return None
 
 
 def choose_split(matrix: CsrMatrix, d: int, threads: int,

@@ -450,7 +450,11 @@ class Cpu:
             seg = lookup(addr)
             off = addr - seg.base
             if size == 8 and not off & 7:
-                seg.i64v[off >> 3] = value & 0xFFFFFFFFFFFFFFFF if value < 0 else value
+                wrapped = value & 0xFFFFFFFFFFFFFFFF
+                seg.i64v[off >> 3] = (
+                    wrapped - 0x10000000000000000
+                    if wrapped >= 0x8000000000000000 else wrapped
+                )
             elif size == 4 and not off & 3:
                 seg.i32v[off >> 2] = np.int64(value & 0xFFFFFFFF).astype(np.int32)
             else:

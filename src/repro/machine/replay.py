@@ -51,7 +51,7 @@ from repro.machine.counters import Counters
 from repro.machine.pipeline import PipelineSpec, ReplayInsn, ScoreboardReplay
 
 __all__ = ["ReplayEngine", "ReplayMeta", "TraceRecorder",
-           "clear_flush_stats", "flush_stats"]
+           "clear_flush_stats", "flush_stats", "replay_cost"]
 
 #: replay (and clear) the trace once any column buffers this many
 #: entries, bounding recorder memory for long runs — memory events and
@@ -337,3 +337,32 @@ class ReplayEngine:
         counters.l1_misses += int(tri[1] + tri[2])
         counters.l2_hits += int(tri[1])
         counters.l2_misses += int(tri[2])
+
+
+# ----------------------------------------------------------------------
+# Cost-oracle entry point
+# ----------------------------------------------------------------------
+def replay_cost(memory, thread_specs, *, l1=None, l2=None,
+                max_instructions=None):
+    """Score one instruction stream by simulated cycles (cost oracle).
+
+    The feedback-directed codegen search (:mod:`repro.aot.search`)
+    compiles many candidate kernels and needs a cheap, deterministic
+    fitness function; this is it: one cold-state, superblock-fused run
+    of ``thread_specs`` against ``memory`` on the record/replay engine,
+    returning the merged :class:`~repro.machine.counters.Counters`
+    (``.cycles`` is the score; the functional results land in the
+    mapped operand segments for conformance checking).  Imports stay
+    local — :mod:`repro.machine.cpu` imports this module, so a
+    module-level import would cycle.
+    """
+    from repro.machine.cpu import CpuConfig
+    from repro.machine.smp import Machine
+
+    overrides = {}
+    if max_instructions is not None:
+        overrides["max_instructions"] = max_instructions
+    machine = Machine(memory, CpuConfig(timing=True, engine="replay",
+                                        l1=l1, l2=l2, **overrides))
+    merged, _ = machine.run(list(thread_specs), fused=True)
+    return merged

@@ -128,6 +128,8 @@ def _autotune_collector():
         Sample("autotune_memo_hits_total", (), memo["hits"], "counter"),
         Sample("autotune_memo_misses_total", (), memo["misses"], "counter"),
         Sample("autotune_memo_entries", (), memo["entries"], "gauge"),
+        Sample("autotune_memo_pass_entries", (), memo["pass_entries"],
+               "gauge"),
     )
 
 

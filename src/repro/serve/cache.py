@@ -69,9 +69,16 @@ def jit_key(spec: JitKernelSpec, dynamic: bool) -> KernelKey:
     )
 
 
-def aot_key(personality: str) -> KernelKey:
-    """The cache identity of an AOT personality (address-free template)."""
-    return KernelKey(kind="aot", variant=personality)
+def aot_key(personality: str, passes: str = "") -> KernelKey:
+    """The cache identity of an AOT personality (address-free template).
+
+    ``passes`` discriminates optimized builds by their
+    :meth:`~repro.aot.passes.PassConfig.ident` string; the default
+    (empty) keeps the historical fixed-function identity, so caches
+    shared with older writers keep hitting.
+    """
+    variant = f"{personality}|{passes}" if passes else personality
+    return KernelKey(kind="aot", variant=variant)
 
 
 def mkl_key(lanes: int = 16) -> KernelKey:

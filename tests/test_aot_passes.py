@@ -1,0 +1,433 @@
+"""Tests for the optimization-pass pipeline over the three-address IR.
+
+Three layers: golden regression (the fixed-function ``opt_level=0``
+lowering is bit-identical to the pre-pass-pipeline compiler output for
+every personality), unit tests per transform, and hypothesis property
+tests executing randomized straight-line IR on the simulated machine
+before and after each pass — semantic preservation is checked on the
+bytes the program stores, not on the shape of the rewritten IR.
+"""
+
+import hashlib
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.aot.builder import IRBuilder
+from repro.aot.compiler import (
+    BASE_PASS_CONFIGS,
+    AotCompiler,
+    PERSONALITIES,
+)
+from repro.aot.ir import Function, Instr, IrType, VReg
+from repro.aot.passes import (
+    PASS_NAMES,
+    PassConfig,
+    eliminate_dead_code,
+    fold_constants,
+    max_register_pressure,
+    reduce_strength,
+    run_passes,
+    schedule_blocks,
+    verify_function,
+)
+from repro.errors import CompileError
+from repro.machine import Cpu, CpuConfig, Memory
+
+# ----------------------------------------------------------------------
+# golden regression: opt_level=0 must reproduce the historical
+# fixed-function lowering bit-for-bit (listing, encoding, spill area)
+# ----------------------------------------------------------------------
+GOLDEN = {
+    "clang": ("d3fbada6ce700257", "4b4fcc6343ac4961", 320),
+    "gcc": ("ed846c38ffe8e45b", "62e1374496dc16f1", 256),
+    "icc": ("feadc49c20dec34a", "88860ba3d9e49710", 320),
+    "icc-avx512": ("97f392187ae03f73", "fac43769088b0ee6", 384),
+}
+
+
+class TestGoldenRegression:
+    @pytest.mark.parametrize("name", sorted(PERSONALITIES))
+    def test_opt0_matches_prerefactor_output(self, name):
+        kernel = AotCompiler(name).compile_spmm(opt_level=0)
+        listing = hashlib.sha256(
+            kernel.listing().encode()).hexdigest()[:16]
+        encoding = hashlib.sha256(
+            kernel.program.encode()).hexdigest()[:16]
+        assert (listing, encoding, kernel.spill_bytes) == GOLDEN[name], (
+            f"{name}: opt_level=0 no longer reproduces the fixed-"
+            f"function lowering bit-for-bit")
+
+    def test_personality_defaults_derive_from_one_table(self):
+        # anti-drift: the personalities' unroll factors have exactly
+        # one source of truth — the BASE_PASS_CONFIGS table
+        assert set(BASE_PASS_CONFIGS) == set(PERSONALITIES)
+        for name, personality in PERSONALITIES.items():
+            assert personality.unroll == BASE_PASS_CONFIGS[name].unroll
+            assert personality.pass_config(0) == BASE_PASS_CONFIGS[name]
+
+
+class TestPassConfig:
+    def test_ident_is_stable(self):
+        assert PassConfig(unroll=4).ident() == "u4"
+        assert PassConfig(unroll=2, fold=True, dce=True).ident() \
+            == "u2+fold+dce"
+        full = PassConfig(unroll=1, fold=True, strength=True, dce=True,
+                          schedule=True)
+        assert full.ident() == "u1+" + "+".join(PASS_NAMES)
+
+    def test_levels(self):
+        base = PassConfig(unroll=4)
+        assert base.at_level(0) == base
+        assert base.at_level(1).enabled_passes() == ("fold", "strength",
+                                                     "dce")
+        assert base.at_level(2).enabled_passes() == PASS_NAMES
+        assert base.at_level(2).unroll == 4  # levels pick passes only
+
+    def test_hashable_and_bad_unroll_rejected(self):
+        assert hash(PassConfig(unroll=2)) == hash(PassConfig(unroll=2))
+        with pytest.raises(CompileError):
+            PassConfig(unroll=0)
+
+
+# ----------------------------------------------------------------------
+# verifier
+# ----------------------------------------------------------------------
+class TestVerifier:
+    def test_accepts_every_personality_kernel(self):
+        for personality in PERSONALITIES.values():
+            verify_function(personality.kernel())
+
+    def test_use_before_def_rejected(self):
+        b = IRBuilder("bad", 1, ("p",))
+        ghost = VReg("ghost", IrType.I64)
+        b.add(ghost, 1)
+        b.ret()
+        with pytest.raises(CompileError, match="before definition"):
+            verify_function(b.finish())
+
+    def test_use_before_def_across_blocks_rejected(self):
+        # defined on only one path into the join block
+        b = IRBuilder("bad", 1, ("p",))
+        cond = b.const(1)
+        b.cbr("ge", cond, 0, "left", "right")
+        b.start_block("left")
+        maybe = b.const(7, "maybe")
+        b.br("join")
+        b.start_block("right")
+        b.br("join")
+        b.start_block("join")
+        b.add(maybe, 1)
+        b.ret()
+        with pytest.raises(CompileError, match="before definition"):
+            verify_function(b.finish())
+
+    def test_loop_carried_definition_accepted(self):
+        # the SpMM kernels are exactly this shape: defs flowing around
+        # a back edge must not be flagged
+        b = IRBuilder("loop", 1, ("n",))
+        i = b.const(0, "i")
+        b.br("head")
+        b.start_block("head", depth=1)
+        b.cbr("ge", i, b.param(0), "exit", "body")
+        b.start_block("body", depth=1)
+        b.iadd(i, 1)
+        b.br("head")
+        b.start_block("exit")
+        b.ret()
+        verify_function(b.finish())
+
+    def test_missing_terminator_rejected(self):
+        func = Function("bad")
+        func.block("entry").instrs.append(
+            Instr("const", VReg("x", IrType.I64), (1,)))
+        with pytest.raises(CompileError):
+            verify_function(func)
+
+    def test_immediate_address_base_rejected(self):
+        func = Function("bad")
+        entry = func.block("entry")
+        entry.instrs.append(Instr("load", VReg("d", IrType.I64), (),
+                                  {"base": 0x1000, "disp": 0, "scale": 1,
+                                   "size": 8}))
+        entry.instrs.append(Instr("ret"))
+        with pytest.raises(CompileError, match="must be an integer vreg"):
+            verify_function(func)
+
+    def test_shl_by_register_rejected(self):
+        func = Function("bad")
+        entry = func.block("entry")
+        x = VReg("x", IrType.I64)
+        amount = VReg("k", IrType.I64)
+        entry.instrs.append(Instr("const", x, (1,)))
+        entry.instrs.append(Instr("const", amount, (2,)))
+        entry.instrs.append(Instr("shl", VReg("r", IrType.I64),
+                                  (x, amount)))
+        entry.instrs.append(Instr("ret"))
+        with pytest.raises(CompileError, match="shl by register"):
+            verify_function(func)
+
+
+# ----------------------------------------------------------------------
+# unit tests per transform
+# ----------------------------------------------------------------------
+def _single_block(func: Function) -> list[Instr]:
+    return func.blocks[0].instrs
+
+
+class TestFold:
+    def test_constants_fold_with_wraparound(self):
+        b = IRBuilder("f", 0)
+        big = b.const((1 << 62) + 3)
+        b.store(b.mul(big, 4), b.const(0x1000))
+        b.ret()
+        folded = fold_constants(b.finish())
+        consts = {i.dst.name: i.srcs[0] for i in _single_block(folded)
+                  if i.op == "const"}
+        # (2^62+3)*4 wraps to 12 in 64-bit two's complement — folding
+        # must agree with the machine, not with Python's bignums
+        assert 12 in consts.values()
+
+    def test_known_value_becomes_immediate(self):
+        b = IRBuilder("f", 1, ("p",))
+        k = b.const(5)
+        b.store(b.add(b.param(0), k), b.param(0))
+        b.ret()
+        folded = fold_constants(b.finish())
+        adds = [i for i in _single_block(folded) if i.op == "add"]
+        assert adds[0].srcs[1] == 5  # vreg operand replaced by imm
+
+    def test_huge_value_not_substituted(self):
+        # values outside signed imm32 can't be lowered as immediates
+        b = IRBuilder("f", 1, ("p",))
+        k = b.const(1 << 40)
+        b.store(b.add(b.param(0), k), b.param(0))
+        b.ret()
+        folded = fold_constants(b.finish())
+        adds = [i for i in _single_block(folded) if i.op == "add"]
+        assert isinstance(adds[0].srcs[1], VReg)
+
+    def test_algebraic_identities(self):
+        b = IRBuilder("f", 1, ("p",))
+        x = b.param(0)
+        b.store(b.add(x, 0), x)        # x + 0 -> mov
+        b.store(b.mul(x, 1), x, disp=8)   # x * 1 -> mov
+        b.store(b.mul(x, 0), x, disp=16)  # x * 0 -> const 0
+        b.ret()
+        folded = fold_constants(b.finish())
+        ops = [i.op for i in _single_block(folded)]
+        assert ops.count("mov") == 2
+        assert "mul" not in ops and "add" not in ops
+
+
+class TestStrength:
+    def test_mul_pow2_becomes_shl(self):
+        b = IRBuilder("s", 1, ("p",))
+        b.store(b.mul(b.param(0), 8), b.param(0))
+        b.ret()
+        reduced = reduce_strength(b.finish())
+        shls = [i for i in _single_block(reduced) if i.op == "shl"]
+        assert len(shls) == 1 and shls[0].srcs[1] == 3
+        assert not any(i.op == "mul" for i in _single_block(reduced))
+
+    def test_non_pow2_mul_kept(self):
+        b = IRBuilder("s", 1, ("p",))
+        b.store(b.mul(b.param(0), 6), b.param(0))
+        b.ret()
+        reduced = reduce_strength(b.finish())
+        assert any(i.op == "mul" for i in _single_block(reduced))
+
+    def test_address_add_folds_into_displacement(self):
+        b = IRBuilder("s", 1, ("p",))
+        bumped = b.add(b.param(0), 16, "bumped")
+        b.store(b.load(bumped), b.param(0))
+        b.ret()
+        reduced = eliminate_dead_code(reduce_strength(b.finish()))
+        loads = [i for i in _single_block(reduced) if i.op == "load"]
+        assert loads[0].attrs["base"] is b.param(0)
+        assert loads[0].attrs["disp"] == 16
+        # the add is dead after folding and DCE removes it
+        assert not any(i.op == "add" for i in _single_block(reduced))
+
+
+class TestDce:
+    def test_dead_chain_removed(self):
+        b = IRBuilder("d", 1, ("p",))
+        live = b.const(7, "live")
+        dead = b.mul(b.const(3), 5, "dead")
+        b.add(dead, 1, "deader")
+        b.store(live, b.param(0))
+        b.ret()
+        swept = eliminate_dead_code(b.finish())
+        names = {i.dst.name for i in _single_block(swept)
+                 if i.dst is not None}
+        assert any(n.startswith("live") for n in names)
+        assert not any(n.startswith(("dead", "deader")) for n in names)
+
+    def test_stores_never_removed(self):
+        b = IRBuilder("d", 1, ("p",))
+        b.store(b.const(1), b.param(0))
+        b.ret()
+        swept = eliminate_dead_code(b.finish())
+        assert any(i.op == "store" for i in _single_block(swept))
+
+    def test_unreachable_block_removed(self):
+        b = IRBuilder("d", 1, ("p",))
+        b.br("end")
+        b.start_block("island")
+        b.br("end")
+        b.start_block("end")
+        b.ret()
+        func = b.finish()
+        # orphan the island: nothing branches to it
+        func.block_map()["island"].instrs[-1:] = [Instr("ret")]
+        func.blocks[0].instrs[-1] = Instr("br", None, (), {"label": "end"})
+        swept = eliminate_dead_code(func)
+        assert [blk.label for blk in swept.blocks] == ["entry", "end"]
+
+
+class TestSchedule:
+    def _func(self):
+        b = IRBuilder("sch", 1, ("p",))
+        p = b.param(0)
+        a = b.load(p, hint="a")
+        bb = b.load(p, disp=8, hint="b")
+        c = b.add(a, bb, "c")
+        d = b.load(p, disp=16, hint="d")
+        e = b.add(c, d, "e")
+        b.store(e, p, disp=24)
+        b.ret()
+        return b.finish()
+
+    def test_deterministic(self):
+        one = schedule_blocks(self._func())
+        two = schedule_blocks(self._func())
+        assert [str(i) for i in _single_block(one)] \
+            == [str(i) for i in _single_block(two)]
+
+    def test_dependences_preserved(self):
+        scheduled = schedule_blocks(self._func())
+        defined = set()
+        for instr in _single_block(scheduled):
+            assert all(r in defined for r in instr.vregs_read()
+                       if r.name != "p")
+            defined.update(instr.vregs_written())
+
+    def test_terminator_stays_last(self):
+        scheduled = schedule_blocks(self._func())
+        assert _single_block(scheduled)[-1].op == "ret"
+
+    def test_loads_hoist_above_independent_compute(self):
+        # the point of the pass: independent loads issue before the
+        # dependent adds that follow them in program order
+        scheduled = schedule_blocks(self._func())
+        ops = [i.op for i in _single_block(scheduled)]
+        assert ops.index("load", ops.index("load") + 1) < ops.index("add")
+
+
+class TestInfrastructure:
+    def test_clone_is_deep_and_equal(self):
+        func = PERSONALITIES["gcc"].kernel()
+        copy = func.clone()
+        assert copy is not func
+        assert copy.listing() == func.listing()
+        copy.blocks[0].instrs.append(Instr("ret"))
+        assert copy.listing() != func.listing()  # no aliasing
+
+    def test_run_passes_verifies_output(self):
+        func = PERSONALITIES["gcc"].kernel()
+        out = run_passes(func, PassConfig(unroll=1, fold=True, dce=True))
+        verify_function(out)
+
+    def test_register_pressure_grows_with_unroll(self):
+        low = max_register_pressure(PERSONALITIES["gcc"].kernel(
+            PassConfig(unroll=1)))
+        high = max_register_pressure(PERSONALITIES["gcc"].kernel(
+            PassConfig(unroll=8)))
+        assert high["int"] > low["int"]
+
+
+# ----------------------------------------------------------------------
+# property tests: randomized straight-line IR executes identically
+# before and after each transform
+# ----------------------------------------------------------------------
+_SLOTS = 8
+
+_op = st.one_of(
+    st.tuples(st.just("const"),
+              st.integers(min_value=-(1 << 32), max_value=1 << 32)),
+    st.tuples(st.just("bin"),
+              st.sampled_from(["add", "sub", "mul", "and"]),
+              st.integers(0, 255), st.integers(0, 255)),
+    st.tuples(st.just("bini"),
+              st.sampled_from(["add", "sub", "mul", "and"]),
+              st.integers(0, 255),
+              st.integers(min_value=-(1 << 20), max_value=1 << 20)),
+    st.tuples(st.just("shl"), st.integers(0, 255), st.integers(0, 12)),
+    st.tuples(st.just("load"), st.integers(0, _SLOTS - 1)),
+    st.tuples(st.just("store"), st.integers(0, 255),
+              st.integers(0, _SLOTS - 1)),
+)
+
+
+def _build(spec) -> Function:
+    """Deterministically materialize a drawn op list as IR."""
+    b = IRBuilder("rand", 1, ("buf",))
+    buf = b.param(0)
+    values = [b.const(1, "seed")]
+    for item in spec:
+        kind = item[0]
+        if kind == "const":
+            values.append(b.const(item[1]))
+        elif kind == "bin":
+            _, op, i, j = item
+            a, c = values[i % len(values)], values[j % len(values)]
+            values.append(b._int_bin(op, a, c, op))
+        elif kind == "bini":
+            _, op, i, imm = item
+            values.append(b._int_bin(op, values[i % len(values)], imm, op))
+        elif kind == "shl":
+            _, i, amount = item
+            values.append(b.shl(values[i % len(values)], amount))
+        elif kind == "load":
+            values.append(b.load(buf, disp=8 * item[1]))
+        else:  # store
+            _, i, slot = item
+            b.store(values[i % len(values)], buf, disp=8 * slot)
+    b.store(values[-1], buf, disp=0)  # always at least one observation
+    b.ret()
+    return b.finish()
+
+
+def _execute(func: Function, passes: PassConfig | None) -> bytes:
+    kernel = AotCompiler("gcc").compile_function(func, passes=passes)
+    memory = Memory()
+    buffer = (np.arange(_SLOTS, dtype=np.int64) * 3 - 7).copy()
+    base = memory.map_array(buffer)
+    init = {"rdi": base, "rbp": 0}
+    if kernel.spill_bytes:
+        init["rbp"], _ = memory.map_zeros(kernel.spill_bytes)
+    Cpu(memory, CpuConfig(timing=False)).run(kernel.program, init_gpr=init)
+    return buffer.tobytes()
+
+
+_CONFIGS = [
+    PassConfig(unroll=1, fold=True),
+    PassConfig(unroll=1, strength=True),
+    PassConfig(unroll=1, dce=True),
+    PassConfig(unroll=1, schedule=True),
+    PassConfig(unroll=1, fold=True, strength=True, dce=True,
+               schedule=True),
+]
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(_op, min_size=1, max_size=24))
+def test_passes_preserve_semantics(spec):
+    func = _build(spec)
+    verify_function(func)
+    baseline = _execute(func, None)
+    for config in _CONFIGS:
+        assert _execute(func, config) == baseline, config.ident()

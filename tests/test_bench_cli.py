@@ -9,7 +9,8 @@ class TestCli:
     def test_experiments_registry_complete(self):
         assert set(EXPERIMENTS) == {
             "table2", "table4", "fig9", "fig10", "fig11", "ablations",
-            "serving", "simspeed", "servethroughput", "obsoverhead"}
+            "serving", "simspeed", "servethroughput", "obsoverhead",
+            "passsearch"}
 
     def test_runs_simspeed_experiment(self, capsys, monkeypatch, tmp_path):
         monkeypatch.setenv("REPRO_BENCH_DATASETS", "uk-2005")
@@ -32,6 +33,27 @@ class TestCli:
                   for row in payload["rows"]}
         assert counts["counts"] == counts["sim"] == counts["sim-fused"]
         assert "sim-fused" in payload["speedup_vs_sim"]
+
+    def test_runs_passsearch_experiment(self, capsys, monkeypatch,
+                                        tmp_path):
+        monkeypatch.setenv("REPRO_BENCH_DATASETS", "uk-2005")
+        monkeypatch.setenv("REPRO_BENCH_THREADS", "1")
+        monkeypatch.setenv("REPRO_BENCH_PASSSEARCH_BUDGET", "4")
+        json_path = tmp_path / "BENCH_passsearch.json"
+        monkeypatch.setenv("REPRO_BENCH_PASSSEARCH_JSON", str(json_path))
+        exit_code = main(["passsearch", "--scale", str(2.0 ** -22)])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "Passsearch" in out
+        import json
+        payload = json.loads(json_path.read_text())
+        assert payload["experiment"] == "passsearch"
+        personalities = {row["personality"] for row in payload["rows"]}
+        assert personalities == {"gcc", "clang", "icc", "icc-avx512"}
+        for row in payload["rows"]:
+            assert row["cycles_searched"] <= row["cycles_fixed"]
+            assert row["bit_identical"]
+        assert payload["summary"]["never_regressed"]
 
     def test_runs_servethroughput_experiment(self, capsys, monkeypatch,
                                              tmp_path):

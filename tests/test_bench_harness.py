@@ -88,9 +88,9 @@ class TestTemplateAmortization:
         compiles = []
         real_compile = AotCompiler.compile_spmm
 
-        def counting_compile(self):
+        def counting_compile(self, passes=None, opt_level=0):
             compiles.append(self.personality.name)
-            return real_compile(self)
+            return real_compile(self, passes=passes, opt_level=opt_level)
 
         monkeypatch.setattr(AotCompiler, "compile_spmm", counting_compile)
         config = BenchConfig(**TINY)

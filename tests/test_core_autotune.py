@@ -90,7 +90,8 @@ class TestMemo:
         second = choose_split(matrix, 8, 4)
         assert second is first
         stats = autotune_memo_stats()
-        assert stats == {"hits": 1, "misses": 1, "entries": 1}
+        assert stats == {"hits": 1, "misses": 1, "entries": 1,
+                         "pass_entries": 0}
 
     def test_twin_object_hits_via_fingerprint(self, rng):
         from repro.core.autotune import autotune_memo_stats, choose_split
@@ -124,7 +125,7 @@ class TestMemo:
         assert again is not baseline
         assert again == baseline            # deterministic either way
         assert autotune_memo_stats() == {"hits": 0, "misses": 0,
-                                         "entries": 0}
+                                         "entries": 0, "pass_entries": 0}
 
     def test_cap_bounds_entries(self, rng, monkeypatch):
         import repro.core.autotune as autotune
