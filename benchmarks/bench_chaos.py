@@ -1,0 +1,20 @@
+"""Benchmark target for the chaos (fault-storm resilience) harness."""
+
+from repro.bench.chaos import run_chaos
+
+
+def test_chaos(benchmark, bench_config, record_result):
+    result = benchmark.pedantic(
+        run_chaos, args=(bench_config,), rounds=1, iterations=1)
+    record_result("chaos", result.render())
+    # the acceptance targets: after the storm clears, the gateway is
+    # fully available again (>= 99% success under a deadline), nothing
+    # leaked, every served result was bit-exact, and every failure
+    # surfaced as a typed repro error
+    assert result.success_rate_post_recovery() >= 0.99
+    assert result.leaked_slots == 0
+    assert result.storm_mismatches == 0
+    assert result.untyped_failures == 0
+    # deadline enforcement: an expired deadline fails within the grace
+    # window — no reply can arrive after deadline + grace
+    assert result.deadline_overshoot_ms <= 250.0

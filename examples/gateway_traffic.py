@@ -125,6 +125,49 @@ def main() -> None:
     finally:
         tiny.close()
 
+    # -- chaos: a seeded fault plan, typed failure, full recovery ------
+    # Kill a worker mid-traffic and drop the client's own connection,
+    # deterministically.  A retrying client rides through both: the
+    # gateway respawns the dead worker, the client reconnects and
+    # retries (idempotent ops only), and every answer is still
+    # bit-identical.  Requests also carry a deadline — an expired one
+    # fails fast with DeadlineExceeded instead of queueing forever.
+    from repro.errors import DeadlineExceeded
+    from repro.faults import FaultPlan, FaultRule
+
+    pids_before = set(gateway.worker_pids())
+    gateway.set_fault_plan(FaultPlan(seed=7, rules=(
+        FaultRule("worker.crash", after=1, max_fires=1),
+        FaultRule("conn.drop", after=2, max_fires=1),
+    )))
+    x = rng.random((matrices[0].ncols, 8), dtype=np.float32)
+    expected = client.multiply(handles[0], x).tobytes()
+    with gateway.connect(max_retries=3, deadline_ms=5_000.0) as tough:
+        for index in range(8):
+            assert tough.multiply(handles[0], x).tobytes() == expected
+        print(f"chaos: survived a worker crash + a dropped connection "
+              f"({tough.retries_used} retries); results still "
+              f"bit-identical")
+    gateway.set_fault_plan(None)
+    deadline = time.perf_counter() + 30.0
+    while (set(gateway.worker_pids()) == pids_before
+           or len(gateway.worker_pids()) < 2):
+        assert time.perf_counter() < deadline
+        time.sleep(0.01)
+    print(f"chaos: pool recovered "
+          f"(workers {sorted(pids_before)} -> "
+          f"{sorted(gateway.worker_pids())})")
+    with gateway.connect() as hurried:
+        try:
+            # an already-expired budget: rejected at admission, typed
+            hurried.profile(handles[1],
+                            rng.random((matrices[1].ncols, 8),
+                                       dtype=np.float32),
+                            backend="sim", deadline_ms=1.0)
+        except DeadlineExceeded as error:
+            print(f"chaos: expired budget raises DeadlineExceeded: "
+                  f"{error}")
+
     # -- one scrape: gateway counters + per-worker service series ------
     print("\nselected series from the stats op:")
     for line in client.stats().splitlines():

@@ -84,6 +84,29 @@ class ExecutionConfig:
         tenant_quota: Per-tenant in-flight cap at the gateway (``None``
             disables per-tenant accounting; the gateway-wide cap always
             applies).
+        deadline_ms: Default per-request deadline budget in
+            milliseconds for gateway clients minted via
+            :meth:`repro.serve.gateway.Gateway.connect`.  Rides the
+            wire header, is checked at gateway admission, decremented
+            across queue wait, and enforced inside the worker around
+            bind/codegen/multiply; a blown budget surfaces as a typed
+            :class:`repro.errors.DeadlineExceeded`.  ``None`` (default)
+            means no deadline.
+        hang_threshold_ms: Age at which the gateway watchdog declares a
+            worker's oldest in-flight request hung: the worker is
+            killed and respawned, its in-flight requests fail fast with
+            :class:`repro.errors.WorkerHung`.  The 60 s default sits
+            below the client's socket timeout but above any legitimate
+            simulated profile; latency-sensitive deployments tune it
+            down to a small multiple of their p99.
+        max_retries: Retry attempts a gateway client makes for
+            *idempotent* ops (multiply/profile/stats/ping — never
+            register) after a connection drop or worker death, with
+            capped exponential backoff + jitter, budgeted by the
+            request deadline.  0 disables retries.
+        breaker_threshold: Consecutive hang/crash failures after which
+            a worker slot's circuit breaker opens (requests stop
+            routing to it until a half-open probe succeeds).
         opt_level: AOT optimization level (systems without an IR-level
             pass pipeline ignore it).  0 (default) is the historical
             fixed-function lowering; 1 enables the cleanup passes
@@ -114,6 +137,10 @@ class ExecutionConfig:
     workers: int = 1
     max_inflight: int = 64
     tenant_quota: int | None = None
+    deadline_ms: float | None = None
+    hang_threshold_ms: float = 60_000.0
+    max_retries: int = 2
+    breaker_threshold: int = 3
     opt_level: int = 0
     search_budget: int = 16
 
@@ -159,6 +186,21 @@ class ExecutionConfig:
             raise ShapeError(
                 f"tenant_quota must be positive or None, got "
                 f"{self.tenant_quota}")
+        if self.deadline_ms is not None and self.deadline_ms <= 0:
+            raise ShapeError(
+                f"deadline_ms must be positive or None, got "
+                f"{self.deadline_ms}")
+        if self.hang_threshold_ms <= 0:
+            raise ShapeError(
+                f"hang_threshold_ms must be positive, got "
+                f"{self.hang_threshold_ms}")
+        if self.max_retries < 0:
+            raise ShapeError(
+                f"max_retries must be non-negative, got {self.max_retries}")
+        if self.breaker_threshold < 1:
+            raise ShapeError(
+                f"breaker_threshold must be at least 1, got "
+                f"{self.breaker_threshold}")
         if not 0 <= self.opt_level <= 3:
             raise ShapeError(
                 f"opt_level must be in 0..3, got {self.opt_level}")

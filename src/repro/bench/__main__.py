@@ -12,6 +12,7 @@ import sys
 import time
 
 from repro.bench.ablations import run_ablations
+from repro.bench.chaos import run_chaos
 from repro.bench.fig9 import run_fig9
 from repro.bench.fig10 import run_fig10
 from repro.bench.fig11 import run_fig11
@@ -36,6 +37,7 @@ EXPERIMENTS = {
     "servethroughput": run_servethroughput,
     "obsoverhead": run_obsoverhead,
     "passsearch": run_passsearch,
+    "chaos": run_chaos,
 }
 
 

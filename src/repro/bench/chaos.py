@@ -1,0 +1,356 @@
+"""Chaos experiment: serving under a seeded fault storm, then recovery.
+
+The resilience layer's acceptance numbers, measured end to end over the
+real socket protocol against a local worker-pool
+:class:`~repro.serve.gateway.Gateway`:
+
+* **baseline** — fault-free closed-loop multiply traffic (the control
+  cell every other phase is compared against);
+* **storm** — the same traffic with a seeded, bounded
+  :class:`~repro.faults.FaultPlan` active: worker crashes, worker
+  hangs (killed by the gateway watchdog), client connection drops and
+  shm-ring exhaustion.  Successes must be bit-identical to the
+  in-process reference; failures must be typed :mod:`repro.errors`
+  exceptions;
+* **recovery** — the plan is cleared and the harness times how long
+  until the worker pool is back to full strength and a probe client
+  sees ``RECOVERY_STREAK`` consecutive successes;
+* **gated** — post-recovery traffic under a per-request deadline.  CI
+  gates this cell: success rate >= 0.99 and zero leaked shm slots.
+  A final set of already-expired deadlines measures enforcement lag —
+  how long after its deadline a request can still be observed failing
+  (the "no reply after deadline + grace" check).
+
+Emitted as a table and as ``BENCH_chaos.json`` (path overridable via
+``REPRO_BENCH_CHAOS_JSON``).
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import threading
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.bench.harness import BenchConfig, render_table
+from repro.errors import DeadlineExceeded, ReproError
+from repro.faults import FaultPlan, FaultRule
+
+__all__ = ["ChaosResult", "run_chaos", "STORM_PLAN"]
+
+#: dense operand width — tiny on purpose; chaos measures the control
+#: plane (supervision, retries, deadlines), not kernel throughput
+_D = 4
+
+#: gateway worker processes under test
+_WORKERS = 2
+
+#: watchdog threshold for the storm (production default is 60s; the
+#: bench wants hung workers reaped within a test's patience)
+_HANG_THRESHOLD_MS = 400.0
+
+#: consecutive fault-free probe successes that define "recovered"
+RECOVERY_STREAK = 5
+
+#: per-request deadline for the gated phase (generous: the gate
+#: measures availability, not latency)
+_GATED_DEADLINE_MS = 10_000.0
+
+#: slack allowed on top of an already-expired deadline before the typed
+#: error must have surfaced to the client
+_GRACE_MS = 250.0
+
+#: the storm: every rule bounded by ``max_fires`` so the phase is a
+#: finite, seeded schedule rather than open-ended background noise
+STORM_PLAN = FaultPlan(seed=20240, rules=(
+    FaultRule("worker.crash", after=2, max_fires=1),
+    FaultRule("worker.hang", after=6, max_fires=1, hang_seconds=30.0),
+    FaultRule("conn.drop", after=3, max_fires=2),
+    FaultRule("shm.exhaust", after=8, max_fires=2),
+    FaultRule("reply.delay", after=4, max_fires=3, delay_ms=20.0),
+))
+
+DEFAULT_JSON_PATH = "BENCH_chaos.json"
+
+#: closed-loop client threads (env: REPRO_BENCH_CHAOS_CLIENTS)
+DEFAULT_CLIENTS = 3
+
+#: multiply requests per client per phase (env: REPRO_BENCH_CHAOS_REQUESTS)
+DEFAULT_REQUESTS = 16
+
+
+@dataclass
+class ChaosResult:
+    config: BenchConfig
+    dataset: str
+    clients: int
+    requests_per_client: int
+    #: phase name -> row dict (requests, successes, typed_failures,
+    #: success_rate, p50_ms, p99_ms, error histogram ...)
+    phases: dict[str, dict]
+    recovery_seconds: float
+    deadline_overshoot_ms: float
+    leaked_slots: int
+    storm_mismatches: int
+    untyped_failures: int
+    json_path: str
+
+    # -- the CI acceptance numbers --------------------------------------
+    def success_rate_post_recovery(self) -> float:
+        """Gated-phase success rate (CI target >= 0.99)."""
+        return self.phases["gated"]["success_rate"]
+
+    def as_payload(self) -> dict:
+        return {
+            "experiment": "chaos",
+            "scale": self.config.scale,
+            "threads": self.config.threads,
+            "d": _D,
+            "dataset": self.dataset,
+            "workers": _WORKERS,
+            "clients": self.clients,
+            "requests_per_client": self.requests_per_client,
+            "storm_plan": STORM_PLAN.to_dict(),
+            "phases": [{"phase": name, **row}
+                       for name, row in self.phases.items()],
+            "recovery_seconds": self.recovery_seconds,
+            "deadline_overshoot_ms": self.deadline_overshoot_ms,
+            "deadline_grace_ms": _GRACE_MS,
+            "leaked_slots": self.leaked_slots,
+            "storm_mismatches": self.storm_mismatches,
+            "untyped_failures": self.untyped_failures,
+            "success_rate_post_recovery": self.success_rate_post_recovery(),
+        }
+
+    def render(self) -> str:
+        headers = ["phase", "requests", "ok", "typed err", "success",
+                   "p50 ms", "p99 ms"]
+        rows = []
+        for name, row in self.phases.items():
+            rows.append([
+                name, row["requests"], row["successes"],
+                row["typed_failures"], f"{row['success_rate']:.3f}",
+                f"{row['p50_ms']:.3f}", f"{row['p99_ms']:.3f}",
+            ])
+        title = (
+            "Chaos — closed-loop gateway traffic through a seeded fault "
+            f"storm ({self.dataset}, {_WORKERS} workers, {self.clients} "
+            f"clients x {self.requests_per_client} requests/phase).\n"
+            f"Storm: {STORM_PLAN.describe()}\n"
+            f"Recovery to {RECOVERY_STREAK} consecutive successes: "
+            f"{self.recovery_seconds:.2f}s; deadline enforcement "
+            f"overshoot {self.deadline_overshoot_ms:.1f}ms "
+            f"(grace {_GRACE_MS:.0f}ms); leaked shm slots "
+            f"{self.leaked_slots}; result mismatches "
+            f"{self.storm_mismatches}; untyped failures "
+            f"{self.untyped_failures}.\n"
+            "CI gates: gated-phase success rate >= 0.99 "
+            f"(measured {self.success_rate_post_recovery():.3f}), "
+            "zero leaked slots, zero mismatches, zero untyped failures.\n"
+            f"JSON written to {self.json_path}"
+        )
+        return render_table(headers, rows, title)
+
+
+def _drive_phase(gateway, handle, operands, references, clients: int,
+                 requests: int, deadline_ms: float | None) -> dict:
+    """Closed-loop traffic; returns the phase row dict.
+
+    Successes are checked bit-for-bit against ``references`` —
+    mismatches are counted, never silently accepted.  Non-``ReproError``
+    exceptions are counted as untyped (a gate violation), not raised.
+    """
+    outcomes: list[list] = [[] for _ in range(clients)]
+    barrier = threading.Barrier(clients + 1)
+
+    def client_main(index: int) -> None:
+        client = gateway.connect(retry_seed=index, backoff_base=0.02)
+        mine = operands[index]
+        record = outcomes[index].append
+        barrier.wait()
+        try:
+            for count in range(requests):
+                which = count % len(mine)
+                started = time.perf_counter()
+                try:
+                    y = client.multiply(handle, mine[which],
+                                        deadline_ms=deadline_ms)
+                except ReproError as error:
+                    record(("typed", time.perf_counter() - started,
+                            type(error).__name__))
+                except BaseException as error:  # noqa: BLE001 - gate metric
+                    record(("untyped", time.perf_counter() - started,
+                            repr(error)))
+                else:
+                    exact = (y.tobytes() == references[index][which])
+                    record(("ok" if exact else "mismatch",
+                            time.perf_counter() - started, ""))
+        finally:
+            client.close()
+
+    threads = [threading.Thread(target=client_main, args=(index,))
+               for index in range(clients)]
+    for thread in threads:
+        thread.start()
+    barrier.wait()
+    for thread in threads:
+        thread.join()
+    flat = [entry for client_out in outcomes for entry in client_out]
+    latencies = np.array([seconds for _, seconds, _ in flat])
+    errors: dict[str, int] = {}
+    for kind, _, detail in flat:
+        if kind == "typed":
+            errors[detail] = errors.get(detail, 0) + 1
+    successes = sum(1 for kind, _, _ in flat if kind == "ok")
+    return {
+        "requests": len(flat),
+        "successes": successes,
+        "typed_failures": sum(1 for k, _, _ in flat if k == "typed"),
+        "untyped_failures": sum(1 for k, _, _ in flat if k == "untyped"),
+        "mismatches": sum(1 for k, _, _ in flat if k == "mismatch"),
+        "success_rate": successes / len(flat) if flat else 0.0,
+        "p50_ms": 1e3 * float(np.percentile(latencies, 50)),
+        "p99_ms": 1e3 * float(np.percentile(latencies, 99)),
+        "errors": errors,
+    }
+
+
+def _measure_recovery(gateway, handle, x, reference) -> float:
+    """Seconds until the pool is whole and a probe sees a clean streak."""
+    started = time.perf_counter()
+    deadline = started + 120.0
+    while (len(gateway.worker_pids()) < _WORKERS
+           and time.perf_counter() < deadline):
+        time.sleep(0.02)
+    probe = gateway.connect(backoff_base=0.02)
+    try:
+        streak = 0
+        while streak < RECOVERY_STREAK:
+            if time.perf_counter() > deadline:
+                raise ReproError(
+                    "gateway did not recover within 120s of clearing "
+                    "the fault plan")
+            try:
+                y = probe.multiply(handle, x)
+            except ReproError:
+                streak = 0
+                time.sleep(0.05)
+                continue
+            if y.tobytes() != reference:
+                raise ReproError("post-recovery result mismatch")
+            streak += 1
+    finally:
+        probe.close()
+    return time.perf_counter() - started
+
+
+def _measure_deadline_overshoot(gateway, handle, x, probes: int = 8
+                                ) -> float:
+    """Max ms past an (expired) deadline a request still took to fail.
+
+    Every probe carries a 1ms deadline against a cold-ish path, so the
+    gateway must reject it — the metric is how *quickly* the typed
+    error comes back, which bounds "reply after deadline + grace".
+    """
+    worst = 0.0
+    client = gateway.connect(max_retries=0)
+    try:
+        for _ in range(probes):
+            started = time.perf_counter()
+            try:
+                client.multiply(handle, x, deadline_ms=1.0)
+            except DeadlineExceeded:
+                elapsed_ms = 1e3 * (time.perf_counter() - started)
+                worst = max(worst, elapsed_ms - 1.0)
+            except ReproError:
+                # a warm multiply can legitimately beat a 1ms deadline;
+                # other typed rejections (e.g. overload) do not measure
+                # enforcement lag
+                pass
+    finally:
+        client.close()
+    return worst
+
+
+def run_chaos(config: BenchConfig | None = None) -> ChaosResult:
+    """Run baseline -> storm -> recovery -> gated; write the JSON."""
+    from repro.api.config import ExecutionConfig
+    from repro.serve.gateway import Gateway
+    from repro.sparse import spmm_reference
+
+    config = config or BenchConfig()
+    clients = max(2, int(os.environ.get("REPRO_BENCH_CHAOS_CLIENTS",
+                                        DEFAULT_CLIENTS)))
+    requests = max(4, int(os.environ.get("REPRO_BENCH_CHAOS_REQUESTS",
+                                         DEFAULT_REQUESTS)))
+    dataset = config.datasets[0]
+    matrix = config.matrix(dataset)
+    start_method = ("fork"
+                    if "fork" in multiprocessing.get_all_start_methods()
+                    else "spawn")
+    exec_config = ExecutionConfig(
+        split="auto", backend="native", threads=config.threads,
+        workers=_WORKERS, hang_threshold_ms=_HANG_THRESHOLD_MS,
+        max_retries=3, breaker_threshold=2,
+        max_inflight=max(64, 4 * clients))
+    rng = np.random.default_rng(config.seed)
+    operands = [
+        [rng.random((matrix.ncols, _D), dtype=np.float32) for _ in range(4)]
+        for _ in range(clients)
+    ]
+    references = [[spmm_reference(matrix, x).tobytes() for x in mine]
+                  for mine in operands]
+    phases: dict[str, dict] = {}
+    with Gateway(exec_config, mp_start=start_method,
+                 slots=max(8, 2 * clients),
+                 breaker_cooldown=0.25) as gateway:
+        setup = gateway.connect()
+        handle = setup.register(matrix, matrix.name or "chaos")
+        for _ in range(2 * _WORKERS):    # warm every worker off the clock
+            setup.multiply(handle, operands[0][0])
+        setup.close()
+
+        phases["baseline"] = _drive_phase(
+            gateway, handle, operands, references, clients, requests, None)
+
+        gateway.set_fault_plan(STORM_PLAN)
+        phases["storm"] = _drive_phase(
+            gateway, handle, operands, references, clients, requests, None)
+        gateway.set_fault_plan(None)
+
+        recovery_seconds = _measure_recovery(
+            gateway, handle, operands[0][0], references[0][0])
+
+        phases["gated"] = _drive_phase(
+            gateway, handle, operands, references, clients, requests,
+            _GATED_DEADLINE_MS)
+
+        deadline_overshoot_ms = _measure_deadline_overshoot(
+            gateway, handle, operands[0][0])
+
+        deadline = time.perf_counter() + 10.0
+        while (gateway.shm_stats().in_use and
+               time.perf_counter() < deadline):
+            time.sleep(0.02)
+        leaked_slots = gateway.shm_stats().in_use
+
+    json_path = os.environ.get("REPRO_BENCH_CHAOS_JSON", DEFAULT_JSON_PATH)
+    result = ChaosResult(
+        config=config, dataset=dataset, clients=clients,
+        requests_per_client=requests, phases=phases,
+        recovery_seconds=recovery_seconds,
+        deadline_overshoot_ms=deadline_overshoot_ms,
+        leaked_slots=leaked_slots,
+        storm_mismatches=sum(row["mismatches"] for row in phases.values()),
+        untyped_failures=sum(row["untyped_failures"]
+                             for row in phases.values()),
+        json_path=json_path,
+    )
+    with open(json_path, "w") as handle_:
+        json.dump(result.as_payload(), handle_, indent=2)
+        handle_.write("\n")
+    return result

@@ -89,8 +89,9 @@ class GatewayOverloaded(GatewayError):
     """The gateway rejected a request under backpressure.
 
     Emitted instead of unbounded buffering when the gateway-wide
-    in-flight cap, a per-tenant quota, or the shared-memory ring is
-    exhausted; ``reason`` names which limit fired.
+    in-flight cap, a per-tenant quota, the shared-memory ring, or an
+    open per-worker circuit breaker refuses a request; ``reason``
+    names which limit fired.
     """
 
     def __init__(self, message: str = "", reason: str = "overloaded"):
@@ -100,3 +101,39 @@ class GatewayOverloaded(GatewayError):
 
 class WorkerCrashed(GatewayError):
     """A gateway worker process died while a request was in flight."""
+
+
+class WorkerHung(GatewayError):
+    """A gateway worker exceeded the hang threshold and was killed.
+
+    The watchdog declares a worker hung when its oldest in-flight
+    request ages past ``hang_threshold_ms``; the worker's in-flight
+    requests fail fast with this error while the process is killed and
+    respawned through the crash-recovery path.
+    """
+
+
+class GatewayDisconnected(ProtocolError):
+    """The gateway connection dropped mid-exchange.
+
+    Raised client-side when the socket breaks before a complete reply
+    arrives (EOF mid-frame, reset, timeout).  Normalizes the raw
+    ``ConnectionError`` / ``struct.error`` surface into one typed,
+    retryable signal — :class:`~repro.serve.gateway.GatewayClient`
+    reconnects and retries idempotent requests on it.
+    """
+
+
+class DeadlineExceeded(GatewayError):
+    """A request's deadline budget was exhausted before completion.
+
+    ``deadline_ms`` rides the wire-protocol header; the gateway rejects
+    already-expired requests at admission, workers refuse to start
+    bind/codegen/multiply past the deadline, and the client raises this
+    rather than retrying into a dead budget.
+    """
+
+
+class FaultConfigError(ReproError):
+    """A :class:`repro.faults.FaultPlan` is malformed (unknown site,
+    out-of-range probability, bad JSON)."""

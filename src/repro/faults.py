@@ -1,0 +1,385 @@
+"""Deterministic fault injection: seeded, serializable failure plans.
+
+The serving stack survives crashes, hangs, dropped connections and
+resource exhaustion — but none of those are reproducible on demand
+without this module.  A :class:`FaultPlan` is a *schedule* of injection
+points: a seed plus a tuple of :class:`FaultRule` entries naming where
+(``site``), how often (``probability`` drawn from a per-site seeded
+stream), and how many times (``after`` / ``max_fires``) a fault fires.
+Production code calls :func:`check` at named hooks; with no plan
+installed that is one dict lookup returning ``None``, so the hooks are
+free in normal operation.
+
+Injection sites honored by the gateway stack:
+
+========================  ====================================================
+site                      effect at the hook
+========================  ====================================================
+``worker.hang``           the worker sleeps ``hang_seconds`` mid-request
+                          (the gateway watchdog declares it hung and kills it)
+``worker.crash``          the worker process exits immediately
+                          (``os._exit``), exercising crash recovery
+``conn.drop``             the client closes its socket before reading the
+                          reply, exercising reconnect + retry
+``shm.exhaust``           gateway admission behaves as if every shared-memory
+                          slot were in flight (typed ``GatewayOverloaded``)
+``codegen.raise``         the worker raises a typed ``CodegenError`` instead
+                          of serving the request
+``reply.delay``           the gateway delays the reply write by ``delay_ms``
+========================  ====================================================
+
+Activation is explicit (:func:`install_plan` /
+:meth:`~repro.serve.gateway.Gateway.set_fault_plan`, which broadcasts
+to worker processes) or environmental: ``REPRO_FAULT_PLAN`` holding
+either inline JSON or a path to a JSON file is picked up lazily by
+every process that evaluates a hook — worker processes inherit the
+variable, so one env var arms the whole fleet.
+
+Determinism: each site draws from its own ``random.Random`` stream
+seeded from ``(plan seed, site)``, and per-site evaluation counters are
+serialized under one lock, so a single-threaded request sequence fires
+identically run over run.  Concurrent storms stay *seeded* (same plan,
+same marginal rates) even though thread interleaving can reorder which
+request absorbs a fault.  Every fire emits a ``fault.inject`` span and
+increments ``faults_injected_total{site=...}``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from dataclasses import dataclass, field
+from random import Random
+
+from repro.errors import FaultConfigError
+from repro.obs.metrics import get_registry
+from repro.obs.trace import span as _span
+
+__all__ = [
+    "ENV_VAR",
+    "SITES",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultRule",
+    "active_plan",
+    "check",
+    "clear_plan",
+    "fires",
+    "install_plan",
+    "plan_from_env",
+]
+
+#: the injection points the serving stack honors
+SITES = frozenset({
+    "worker.hang",
+    "worker.crash",
+    "conn.drop",
+    "shm.exhaust",
+    "codegen.raise",
+    "reply.delay",
+})
+
+#: inline JSON or a path to a JSON file holding a serialized plan
+ENV_VAR = "REPRO_FAULT_PLAN"
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One scheduled fault: where, how often, how many times.
+
+    Attributes:
+        site: Injection point (one of :data:`SITES`).
+        probability: Chance an eligible evaluation fires, drawn from
+            the plan's per-site seeded stream.  1.0 (default) fires on
+            every eligible evaluation — fully deterministic.
+        max_fires: Cap on total fires of this rule per process
+            (``None`` = unlimited).  Bounded plans go quiet on their
+            own, which is what lets a chaos run measure *recovery*.
+        after: Skip the first ``after`` evaluations at this site before
+            the rule becomes eligible (lets setup traffic through).
+        hang_seconds: Sleep length for ``worker.hang`` (should exceed
+            the gateway's hang threshold, or nothing interesting
+            happens).
+        delay_ms: Added latency for ``reply.delay``.
+    """
+
+    site: str
+    probability: float = 1.0
+    max_fires: int | None = 1
+    after: int = 0
+    hang_seconds: float = 30.0
+    delay_ms: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.site not in SITES:
+            raise FaultConfigError(
+                f"unknown fault site {self.site!r}; expected one of "
+                f"{sorted(SITES)}")
+        if not 0.0 <= self.probability <= 1.0:
+            raise FaultConfigError(
+                f"probability must be in [0, 1], got {self.probability}")
+        if self.max_fires is not None and self.max_fires < 1:
+            raise FaultConfigError(
+                f"max_fires must be positive or None, got {self.max_fires}")
+        if self.after < 0:
+            raise FaultConfigError(
+                f"after must be non-negative, got {self.after}")
+        if self.hang_seconds <= 0:
+            raise FaultConfigError(
+                f"hang_seconds must be positive, got {self.hang_seconds}")
+        if self.delay_ms < 0:
+            raise FaultConfigError(
+                f"delay_ms must be non-negative, got {self.delay_ms}")
+
+    def to_dict(self) -> dict:
+        return {
+            "site": self.site, "probability": self.probability,
+            "max_fires": self.max_fires, "after": self.after,
+            "hang_seconds": self.hang_seconds, "delay_ms": self.delay_ms,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultRule":
+        if not isinstance(data, dict):
+            raise FaultConfigError(
+                f"fault rule must be an object, got {type(data).__name__}")
+        known = {"site", "probability", "max_fires", "after",
+                 "hang_seconds", "delay_ms"}
+        unknown = set(data) - known
+        if unknown:
+            raise FaultConfigError(
+                f"unknown fault-rule fields {sorted(unknown)}")
+        if "site" not in data:
+            raise FaultConfigError("fault rule is missing its site")
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded, serializable schedule of fault injections."""
+
+    seed: int = 0
+    rules: tuple[FaultRule, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "rules", tuple(self.rules))
+        for rule in self.rules:
+            if not isinstance(rule, FaultRule):
+                raise FaultConfigError(
+                    f"rules must be FaultRule instances, got "
+                    f"{type(rule).__name__}")
+
+    def to_dict(self) -> dict:
+        return {"seed": self.seed,
+                "rules": [rule.to_dict() for rule in self.rules]}
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict())
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultPlan":
+        if not isinstance(data, dict):
+            raise FaultConfigError(
+                f"fault plan must be an object, got {type(data).__name__}")
+        unknown = set(data) - {"seed", "rules"}
+        if unknown:
+            raise FaultConfigError(
+                f"unknown fault-plan fields {sorted(unknown)}")
+        rules = tuple(FaultRule.from_dict(entry)
+                      for entry in data.get("rules", ()))
+        return cls(seed=int(data.get("seed", 0)), rules=rules)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        try:
+            data = json.loads(text)
+        except ValueError as error:
+            raise FaultConfigError(f"fault plan is not valid JSON: {error}")
+        return cls.from_dict(data)
+
+    def describe(self) -> str:
+        if not self.rules:
+            return f"fault plan (seed {self.seed}): empty"
+        lines = [f"fault plan (seed {self.seed}):"]
+        for rule in self.rules:
+            cap = ("unlimited" if rule.max_fires is None
+                   else f"<= {rule.max_fires}x")
+            lines.append(f"  {rule.site}: p={rule.probability:g} "
+                         f"after {rule.after} ({cap})")
+        return "\n".join(lines)
+
+
+@dataclass
+class _RuleState:
+    rule: FaultRule
+    fires: int = 0
+
+
+@dataclass
+class _SiteState:
+    rng: Random
+    evaluations: int = 0
+    fired: int = 0
+    states: list[_RuleState] = field(default_factory=list)
+
+
+class FaultInjector:
+    """Evaluates one plan's rules at hook sites, deterministically.
+
+    Per-site state (an evaluation counter and a dedicated seeded RNG)
+    lives behind one lock; :meth:`check` is the only hot entry point
+    and sites without rules return before taking it.
+    """
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self._lock = threading.Lock()
+        self._sites: dict[str, _SiteState] = {}
+        registry = get_registry()
+        self._counters = {}
+        for rule in plan.rules:
+            state = self._sites.get(rule.site)
+            if state is None:
+                state = _SiteState(rng=Random(f"{plan.seed}:{rule.site}"))
+                self._sites[rule.site] = state
+                self._counters[rule.site] = registry.counter(
+                    "faults_injected_total", site=rule.site)
+            state.states.append(_RuleState(rule))
+
+    def check(self, site: str, **context) -> FaultRule | None:
+        """The rule that fires at ``site`` for this evaluation, if any."""
+        state = self._sites.get(site)
+        if state is None:
+            return None
+        with self._lock:
+            state.evaluations += 1
+            for rule_state in state.states:
+                rule = rule_state.rule
+                if (rule.max_fires is not None
+                        and rule_state.fires >= rule.max_fires):
+                    continue
+                if state.evaluations <= rule.after:
+                    continue
+                if (rule.probability < 1.0
+                        and state.rng.random() >= rule.probability):
+                    continue
+                rule_state.fires += 1
+                state.fired += 1
+                fired = rule
+                break
+            else:
+                return None
+        self._counters[site].inc()
+        with _span("fault.inject", site=site, **context):
+            pass
+        return fired
+
+    def fires(self) -> dict[str, int]:
+        """Total fires per site in this process so far."""
+        with self._lock:
+            return {site: state.fired
+                    for site, state in self._sites.items() if state.fired}
+
+    def exhausted(self) -> bool:
+        """True when every rule has hit its ``max_fires`` cap."""
+        with self._lock:
+            return all(
+                rule_state.rule.max_fires is not None
+                and rule_state.fires >= rule_state.rule.max_fires
+                for state in self._sites.values()
+                for rule_state in state.states)
+
+
+# ----------------------------------------------------------------------
+# Process-wide activation
+# ----------------------------------------------------------------------
+_lock = threading.Lock()
+_injector: FaultInjector | None = None
+_env_checked = False
+
+
+def plan_from_env() -> FaultPlan | None:
+    """The plan named by ``REPRO_FAULT_PLAN`` (inline JSON or a path)."""
+    raw = os.environ.get(ENV_VAR, "").strip()
+    if not raw:
+        return None
+    if not raw.lstrip().startswith("{"):
+        try:
+            with open(raw) as handle:
+                raw = handle.read()
+        except OSError as error:
+            raise FaultConfigError(
+                f"{ENV_VAR}={raw!r} is neither inline JSON nor a "
+                f"readable file: {error}")
+    return FaultPlan.from_json(raw)
+
+
+def install_plan(plan: FaultPlan) -> FaultInjector:
+    """Arm ``plan`` process-wide; returns its live injector."""
+    global _injector, _env_checked
+    injector = FaultInjector(plan)
+    with _lock:
+        _injector = injector
+        _env_checked = True          # explicit install beats the env var
+    return injector
+
+
+def clear_plan() -> None:
+    """Disarm fault injection in this process (env var included)."""
+    global _injector, _env_checked
+    with _lock:
+        _injector = None
+        _env_checked = True
+
+
+def reset_inherited_state() -> None:
+    """Forget any plan (and env verdict) copied in by ``fork``.
+
+    A forked child inherits this module's state wholesale — an
+    installed injector, its partially-consumed counters, even a lock a
+    parent thread held mid-``check``.  Worker processes call this at
+    birth so that only an explicit plan (spawn argument or gateway
+    broadcast) or their *own* read of the environment variable arms
+    them — the same behaviour the spawn start method gets for free.
+    """
+    global _lock, _injector, _env_checked
+    _lock = threading.Lock()
+    _injector = None
+    _env_checked = False
+
+
+def active_plan() -> FaultPlan | None:
+    injector = _get_injector()
+    return injector.plan if injector is not None else None
+
+
+def _get_injector() -> FaultInjector | None:
+    global _injector, _env_checked
+    if _env_checked:
+        return _injector
+    with _lock:
+        if not _env_checked:
+            _env_checked = True
+            plan = plan_from_env()
+            if plan is not None:
+                _injector = FaultInjector(plan)
+    return _injector
+
+
+def check(site: str, **context) -> FaultRule | None:
+    """Evaluate ``site`` against the active plan (``None`` = no fault).
+
+    The no-plan fast path is one global read — hooks cost nothing in
+    normal operation.
+    """
+    injector = _get_injector()
+    if injector is None:
+        return None
+    return injector.check(site, **context)
+
+
+def fires() -> dict[str, int]:
+    """Fires per site under the active plan (empty without one)."""
+    injector = _get_injector()
+    return injector.fires() if injector is not None else {}

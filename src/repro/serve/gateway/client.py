@@ -13,21 +13,52 @@ Remote failures arrive as typed :mod:`repro.errors` exceptions: a quota
 rejection raises :class:`~repro.errors.GatewayOverloaded` here exactly
 as it would in-process, and a worker death mid-request raises
 :class:`~repro.errors.WorkerCrashed`.
+
+Resilience: transport failures — EOF mid-frame, reset, timeout, a raw
+``struct.error`` from a torn header — are normalized to one typed,
+retryable :class:`~repro.errors.GatewayDisconnected`; the broken socket
+is discarded and the next request transparently reconnects.
+*Idempotent* ops (multiply / profile / stats / ping — never register,
+whose replay could double-register) additionally retry up to
+``max_retries`` times with capped exponential backoff plus seeded
+jitter, and a retryable worker failure
+(:class:`~repro.errors.WorkerCrashed` / ``WorkerHung``) retries the
+same way since the pool respawns behind the gateway.  A per-request
+``deadline_ms`` budget bounds the whole dance: the *remaining* budget
+rides each attempt's wire header (so the gateway and worker stop
+working the moment it runs out), caps the per-attempt socket timeout,
+and exhausting it raises :class:`~repro.errors.DeadlineExceeded`
+instead of retrying into a dead budget.
 """
 
 from __future__ import annotations
 
 import itertools
 import socket
+import struct
 import threading
+import time
+from random import Random
 
 import numpy as np
 
-from repro.errors import ProtocolError
+from repro import faults
+from repro.errors import (DeadlineExceeded, GatewayDisconnected,
+                          ProtocolError, WorkerCrashed, WorkerHung)
 from repro.serve.gateway import protocol as proto
 from repro.sparse.csr import CsrMatrix
 
 __all__ = ["GatewayClient"]
+
+#: ops safe to replay after an ambiguous failure (the request may or
+#: may not have executed): pure reads and idempotent computations
+_IDEMPOTENT = frozenset({proto.OP_MULTIPLY, proto.OP_PROFILE,
+                         proto.OP_STATS, proto.OP_PING})
+
+#: failures worth a retry: the transport broke (reconnect + replay) or
+#: a worker died/hung mid-request (the pool respawns behind the
+#: gateway, so a replay lands on a healthy process)
+_RETRYABLE = (GatewayDisconnected, WorkerCrashed, WorkerHung)
 
 
 class GatewayClient:
@@ -37,30 +68,117 @@ class GatewayClient:
         host / port: The gateway's bound address.
         tenant: Tenant name stamped on every request (the unit of
             per-tenant quota accounting at the gateway).
-        timeout: Socket timeout in seconds for connect and each reply.
+        timeout: Socket timeout in seconds for connect and each reply
+            (a request deadline caps it further per attempt).
         max_frame: Largest reply frame this client will accept.
+        max_retries: Extra attempts for idempotent ops after a
+            retryable failure (0 disables; ``register`` never retries).
+        deadline_ms: Default per-request deadline budget in
+            milliseconds (``None``: no deadline).  Per-call
+            ``deadline_ms`` arguments override it; 0 means explicitly
+            no deadline for that call.
+        backoff_base / backoff_cap: Exponential-backoff schedule in
+            seconds: attempt ``n`` sleeps
+            ``min(cap, base * 2**n) * jitter``.
+        retry_seed: Seed for the jitter stream — two clients with the
+            same seed back off identically (deterministic chaos runs).
     """
 
     def __init__(self, host: str, port: int, *, tenant: str = "default",
                  timeout: float = 60.0,
-                 max_frame: int = proto.DEFAULT_MAX_FRAME) -> None:
+                 max_frame: int = proto.DEFAULT_MAX_FRAME,
+                 max_retries: int = 2,
+                 deadline_ms: float | None = None,
+                 backoff_base: float = 0.05,
+                 backoff_cap: float = 1.0,
+                 retry_seed: int = 0) -> None:
+        self.host = host
+        self.port = port
         self.tenant = tenant
+        self.timeout = timeout
         self.max_frame = max_frame
-        self._sock = socket.create_connection((host, port),
-                                              timeout=timeout)
-        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self.max_retries = max_retries
+        self.deadline_ms = deadline_ms
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self._rng = Random(retry_seed)
         self._lock = threading.Lock()
         self._request_ids = itertools.count(1)
         self._closed = False
+        self._sock: socket.socket | None = None
+        self._connect()                 # fail fast on a bad address
+        #: retryable failures absorbed by successful retries (telemetry
+        #: for tests and benches; reset at will)
+        self.retries_used = 0
 
     # ------------------------------------------------------------------
-    def _request(self, op: int, payload: bytes) -> bytes:
-        """One request-reply exchange; returns the success body."""
-        request_id = next(self._request_ids)
-        with self._lock:
-            proto.send_frame(self._sock, op, payload, request_id)
+    # Connection management
+    # ------------------------------------------------------------------
+    def _connect(self) -> None:
+        sock = socket.create_connection((self.host, self.port),
+                                        timeout=self.timeout)
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._sock = sock
+
+    def _ensure_connected(self) -> None:
+        if self._closed:
+            raise GatewayDisconnected("client is closed")
+        if self._sock is None:
+            try:
+                self._connect()
+            except OSError as error:
+                raise GatewayDisconnected(
+                    f"reconnect to {self.host}:{self.port} failed: "
+                    f"{error}") from error
+
+    def _drop_connection(self) -> None:
+        sock, self._sock = self._sock, None
+        if sock is not None:
+            try:
+                sock.close()
+            except OSError:                    # pragma: no cover
+                pass
+
+    @property
+    def connected(self) -> bool:
+        """Whether a live socket exists right now (reconnect is lazy)."""
+        return self._sock is not None and not self._closed
+
+    # ------------------------------------------------------------------
+    # Request path
+    # ------------------------------------------------------------------
+    def _exchange(self, op: int, payload: bytes, request_id: int,
+                  wire_deadline_ms: int, budget: float | None) -> bytes:
+        """One attempt on the live socket (caller holds the lock).
+
+        Any transport-level failure — connect refusal, timeout, reset,
+        EOF mid-frame, a ``struct.error`` from a torn header — drops
+        the socket and surfaces as typed ``GatewayDisconnected``; the
+        next attempt reconnects.
+        """
+        try:
+            self._ensure_connected()
+            remaining = self.timeout
+            if budget is not None:
+                remaining = min(remaining, budget - time.monotonic())
+            self._sock.settimeout(max(remaining, 1e-3))
+            proto.send_frame(self._sock, op, payload, request_id,
+                             wire_deadline_ms)
+            if faults.check("conn.drop", request=request_id):
+                self._drop_connection()
+                raise GatewayDisconnected(
+                    "connection dropped before the reply "
+                    "(fault plan: conn.drop)")
             reply_op, reply_id, reply = proto.recv_frame(
                 self._sock, self.max_frame)
+        except GatewayDisconnected:
+            self._drop_connection()
+            raise
+        except (ConnectionError, OSError, struct.error) as error:
+            self._drop_connection()
+            raise GatewayDisconnected(
+                f"connection lost mid-exchange: "
+                f"{type(error).__name__}: {error}") from error
         if reply_op != proto.OP_REPLY:
             raise ProtocolError(
                 f"expected a reply frame, got op "
@@ -73,10 +191,58 @@ class GatewayClient:
                 f"{request_id} (client is strict request-reply)")
         return bytes(proto.decode_reply(reply))
 
+    def _request(self, op: int, payload: bytes,
+                 deadline_ms: float | None = None) -> bytes:
+        """Request-reply with reconnect/retry; returns the success body.
+
+        ``deadline_ms`` overrides the client default for this call
+        (0: explicitly none).  The budget is anchored once, here: every
+        retry attempt, backoff sleep, and the wire header's relative
+        deadline all draw down the same clock.
+        """
+        if deadline_ms is None:
+            deadline_ms = self.deadline_ms
+        budget = (time.monotonic() + deadline_ms / 1e3
+                  if deadline_ms else None)
+        retries = self.max_retries if op in _IDEMPOTENT else 0
+        attempt = 0
+        while True:
+            wire_deadline_ms = 0
+            if budget is not None:
+                left = budget - time.monotonic()
+                if left <= 0:
+                    raise DeadlineExceeded(
+                        f"deadline budget ({deadline_ms:g}ms) exhausted "
+                        f"after {attempt} attempt(s)")
+                wire_deadline_ms = max(1, int(left * 1e3))
+            request_id = next(self._request_ids)
+            try:
+                with self._lock:
+                    body = self._exchange(op, payload, request_id,
+                                          wire_deadline_ms, budget)
+                if attempt:
+                    self.retries_used += attempt
+                return body
+            except _RETRYABLE:
+                if attempt >= retries:
+                    raise
+                delay = min(self.backoff_cap,
+                            self.backoff_base * (2 ** attempt))
+                delay *= 0.5 + self._rng.random()      # jitter [0.5, 1.5)
+                if budget is not None:
+                    delay = min(delay, max(0.0, budget - time.monotonic()))
+                attempt += 1
+                time.sleep(delay)
+
     # ------------------------------------------------------------------
     def register(self, matrix: CsrMatrix, name: str = "") -> int:
         """Register ``matrix`` on every gateway worker; returns the
-        gateway handle id."""
+        gateway handle id.
+
+        Never retried: after an ambiguous transport failure a replay
+        could register the matrix twice under two handles.  Callers
+        retry explicitly if they can tolerate that.
+        """
         body = self._request(
             proto.OP_REGISTER,
             proto.encode_register(matrix, name, tenant=self.tenant))
@@ -86,24 +252,28 @@ class GatewayClient:
         self._request(proto.OP_UNREGISTER,
                       proto.encode_json_op(handle=handle))
 
-    def multiply(self, handle: int, x: np.ndarray) -> np.ndarray:
+    def multiply(self, handle: int, x: np.ndarray,
+                 deadline_ms: float | None = None) -> np.ndarray:
         """Serve ``A @ x`` for the registered matrix behind ``handle``."""
         x = np.ascontiguousarray(x, dtype=np.float32)
         if x.ndim == 1:
             x = x.reshape(-1, 1)
         body = self._request(proto.OP_MULTIPLY,
-                             proto.encode_multiply(handle, x, self.tenant))
+                             proto.encode_multiply(handle, x, self.tenant),
+                             deadline_ms)
         return proto.decode_multiply_reply(body)
 
     def profile(self, handle: int, x: np.ndarray,
-                backend: str | None = None) -> tuple[np.ndarray, dict]:
+                backend: str | None = None,
+                deadline_ms: float | None = None) -> tuple[np.ndarray, dict]:
         """Serve one profiled request; returns ``(y, counters meta)``."""
         x = np.ascontiguousarray(x, dtype=np.float32)
         if x.ndim == 1:
             x = x.reshape(-1, 1)
         body = self._request(
             proto.OP_PROFILE,
-            proto.encode_profile(handle, x, backend, tenant=self.tenant))
+            proto.encode_profile(handle, x, backend, tenant=self.tenant),
+            deadline_ms)
         meta, y = proto.decode_profile_reply(body)
         return y, meta
 
@@ -126,10 +296,7 @@ class GatewayClient:
         if self._closed:
             return
         self._closed = True
-        try:
-            self._sock.close()
-        except OSError:                        # pragma: no cover
-            pass
+        self._drop_connection()
 
     def __enter__(self) -> "GatewayClient":
         return self

@@ -25,6 +25,21 @@ released (a half-written slot is never recycled), its requests fail
 with :class:`~repro.errors.WorkerCrashed`, and a replacement is spawned
 and re-fed every registration and the accumulated autotune memo.
 
+Resilience (on top of crash recovery): request deadlines ride the wire
+header as a relative budget, are anchored to the monotonic clock at
+header arrival, checked at admission (typed
+:class:`~repro.errors.DeadlineExceeded` before any work), and shipped
+to the worker as an absolute stamp so queue wait decrements the budget
+for free.  A watchdog thread tracks each worker's oldest in-flight
+dispatch; past ``hang_threshold_ms`` the worker is declared hung — its
+requests fail fast with :class:`~repro.errors.WorkerHung`, the process
+is killed and respawned through the crash path.  A per-worker-slot
+circuit breaker (closed → open → half-open; state survives respawns)
+stops routing to repeat offenders; all live breakers open rejects with
+``GatewayOverloaded(reason="breaker")``.  Every failure mode is
+reproducible on demand through :meth:`Gateway.set_fault_plan`
+(:mod:`repro.faults`).
+
 Registration replicates to all workers: the CSR arrays are written once
 into a dedicated shared-memory segment, every worker copies them out
 (fingerprint-verified) and registers under the gateway-assigned handle
@@ -54,10 +69,11 @@ from multiprocessing import get_context, shared_memory
 import numpy as np
 
 from repro import errors as _errors
+from repro import faults
 from repro.api.config import ExecutionConfig
-from repro.errors import (FrameTooLarge, GatewayError, GatewayOverloaded,
-                          ProtocolError, ReproError, ShapeError,
-                          WorkerCrashed)
+from repro.errors import (DeadlineExceeded, FrameTooLarge, GatewayError,
+                          GatewayOverloaded, ProtocolError, ReproError,
+                          ShapeError, WorkerCrashed, WorkerHung)
 from repro.obs.export import prometheus_text
 from repro.obs.metrics import MetricsSnapshot, get_registry
 from repro.obs.trace import span as _span
@@ -79,7 +95,7 @@ class _WorkerHandle:
     """Gateway-side state for one worker process."""
 
     __slots__ = ("index", "process", "conn", "reader", "pending", "alive",
-                 "seq", "pid")
+                 "seq", "pid", "started")
 
     def __init__(self, index: int, process, conn, pid: int) -> None:
         self.index = index
@@ -88,8 +104,73 @@ class _WorkerHandle:
         self.pid = pid
         self.reader: threading.Thread | None = None
         self.pending: dict[int, asyncio.Future] = {}
+        #: msg_id -> dispatch time.monotonic(); the watchdog's view of
+        #: this worker's in-flight age (loop thread only)
+        self.started: dict[int, float] = {}
         self.alive = True
         self.seq = 0
+
+
+class _Breaker:
+    """One worker slot's circuit breaker: closed → open → half-open.
+
+    Keyed by worker *index*, not process — state survives respawns, so
+    a slot whose fresh processes keep hanging stays open instead of
+    earning a clean slate per corpse.  All transitions happen on the
+    gateway's loop thread (picks, replies, death/hang handling), so no
+    lock is needed.
+
+    * CLOSED: routing normally; ``threshold`` consecutive hang/crash
+      failures open it.
+    * OPEN: no requests routed for ``cooldown`` seconds.
+    * HALF_OPEN: exactly one in-flight probe request at a time; a reply
+      closes the breaker, another failure re-opens it.
+
+    Any worker reply — ok *or* typed error — counts as success here:
+    the breaker tracks process liveness, not request outcomes.
+    """
+
+    CLOSED, OPEN, HALF_OPEN = 0, 1, 2
+
+    __slots__ = ("threshold", "cooldown", "state", "failures",
+                 "opened_at", "probing")
+
+    def __init__(self, threshold: int, cooldown: float) -> None:
+        self.threshold = threshold
+        self.cooldown = cooldown
+        self.state = self.CLOSED
+        self.failures = 0
+        self.opened_at = 0.0
+        self.probing = False
+
+    def allow(self, now: float) -> bool:
+        """May a request route to this worker right now?"""
+        if self.state == self.CLOSED:
+            return True
+        if self.state == self.OPEN:
+            if now - self.opened_at < self.cooldown:
+                return False
+            self.state = self.HALF_OPEN
+            self.probing = False
+        if self.probing:
+            return False
+        self.probing = True
+        return True
+
+    def record_success(self) -> None:
+        self.state = self.CLOSED
+        self.failures = 0
+        self.probing = False
+
+    def record_failure(self, now: float) -> None:
+        self.probing = False
+        if (self.state == self.HALF_OPEN
+                or self.failures + 1 >= self.threshold):
+            self.state = self.OPEN
+            self.opened_at = now
+            self.failures = 0
+        else:
+            self.failures += 1
 
 
 class Gateway:
@@ -129,6 +210,7 @@ class Gateway:
                  slots: int | None = None,
                  max_frame: int = proto.DEFAULT_MAX_FRAME,
                  mp_start: str = "spawn",
+                 breaker_cooldown: float = 1.0,
                  obs_label: str | None = None) -> None:
         if config is None:
             config = ExecutionConfig(split="auto", backend="native")
@@ -136,6 +218,10 @@ class Gateway:
         self.workers = config.workers
         self.max_inflight = config.max_inflight
         self.tenant_quota = config.tenant_quota
+        #: seconds before a worker's oldest in-flight request means hung
+        self.hang_threshold = config.hang_threshold_ms / 1e3
+        #: seconds an open breaker waits before admitting a probe
+        self.breaker_cooldown = breaker_cooldown
         self.host = host
         self.port = port
         self.system = system
@@ -162,11 +248,21 @@ class Gateway:
         self._loop: asyncio.AbstractEventLoop | None = None
         self._loop_thread: threading.Thread | None = None
         self._server: asyncio.AbstractServer | None = None
+        self._conns: set[asyncio.Task] = set()
         self._started = False
         self._closing = False
         # admission state — mutated only on the loop thread
         self._inflight = 0
         self._tenants: dict[str, int] = {}
+        #: wakes close()'s drain wait whenever in-flight hits zero
+        self._drain = threading.Condition()
+        # supervision: per-slot breakers + the watchdog thread
+        self._breakers = [_Breaker(config.breaker_threshold,
+                                   breaker_cooldown)
+                          for _ in range(self.workers)]
+        self._watchdog: threading.Thread | None = None
+        self._watchdog_stop = threading.Event()
+        self._fault_plan: faults.FaultPlan | None = None
         # registration / memo state — shared with respawn threads
         self._state_lock = threading.Lock()
         self._matrices: dict[int, tuple[CsrMatrix, str, str]] = {}
@@ -184,11 +280,18 @@ class Gateway:
         self._c_rejects = {
             reason: reg.counter("gateway_rejections_total", reason=reason,
                                 **lbl)
-            for reason in ("inflight", "tenant", "shm", "frame", "protocol")}
+            for reason in ("inflight", "tenant", "shm", "frame", "protocol",
+                           "breaker")}
         self._g_inflight = reg.gauge("gateway_inflight", **lbl)
         self._g_handles = reg.gauge("gateway_registered_handles", **lbl)
         self._g_shm = reg.gauge("gateway_shm_slots_in_use", **lbl)
         self._c_crashes = reg.counter("gateway_worker_crashes_total", **lbl)
+        self._c_hangs = reg.counter("gateway_worker_hangs_total", **lbl)
+        self._c_deadline = reg.counter("gateway_deadline_exceeded_total",
+                                       **lbl)
+        self._g_breaker = [
+            reg.gauge("gateway_breaker_state", worker=str(i), **lbl)
+            for i in range(self.workers)]
         self._h_latency = {
             name: reg.histogram("gateway_request_seconds", op=name, **lbl)
             for name in ("multiply", "profile")}
@@ -222,6 +325,10 @@ class Gateway:
             raise
         for wh in self._workers:
             self._start_reader(wh)
+        self._watchdog = threading.Thread(
+            target=self._watchdog_main, daemon=True,
+            name=f"{self.obs_label}-watchdog")
+        self._watchdog.start()
         return self
 
     async def _start_server(self) -> tuple[str, int]:
@@ -235,13 +342,26 @@ class Gateway:
         return self.host, self.port
 
     def close(self, drain_seconds: float = 5.0) -> None:
-        """Drain in-flight traffic, stop workers, free the shm ring."""
+        """Drain in-flight traffic, stop workers, free the shm ring.
+
+        The drain parks on a condition variable that :meth:`_release`
+        signals when the last in-flight request completes — no
+        busy-wait; the thread sleeps until drained or the budget runs
+        out, whichever comes first.
+        """
         if not self._started or self._closing:
             return
         self._closing = True
+        self._watchdog_stop.set()
         deadline = time.perf_counter() + drain_seconds
-        while self._inflight and time.perf_counter() < deadline:
-            time.sleep(0.01)
+        with self._drain:
+            while self._inflight:
+                remaining = deadline - time.perf_counter()
+                if remaining <= 0:
+                    break
+                self._drain.wait(remaining)
+        if self._watchdog is not None:
+            self._watchdog.join(timeout=5.0)
         if self._server is not None:
             asyncio.run_coroutine_threadsafe(
                 self._stop_server(), self._loop).result(timeout=10.0)
@@ -272,9 +392,18 @@ class Gateway:
     async def _stop_server(self) -> None:
         self._server.close()
         await self._server.wait_closed()
+        # connections linger after the listener dies (handlers park on
+        # readexactly); cancel them so no task is destroyed pending when
+        # the loop closes.  In-flight *requests* were already drained —
+        # only the idle read awaits get interrupted here.
+        for task in list(self._conns):
+            task.cancel()
+        if self._conns:
+            await asyncio.gather(*self._conns, return_exceptions=True)
 
     def _emergency_teardown(self) -> None:
         """Best-effort cleanup when ``start`` fails part-way."""
+        self._watchdog_stop.set()
         for wh in self._workers:
             wh.alive = False
             try:
@@ -402,10 +531,15 @@ class Gateway:
     def _on_worker_msg(self, wh: _WorkerHandle, msg) -> None:
         kind = msg[0]
         if kind == "ok":
+            wh.started.pop(msg[1], None)
+            self._breaker_success(wh.index)
             future = wh.pending.pop(msg[1], None)
             if future is not None and not future.done():
                 future.set_result(msg[2])
         elif kind == "err":
+            # a typed error is still a *live* worker: breaker success
+            wh.started.pop(msg[1], None)
+            self._breaker_success(wh.index)
             future = wh.pending.pop(msg[1], None)
             if future is not None and not future.done():
                 future.set_exception(_remote_exception(msg[2], msg[3]))
@@ -424,12 +558,14 @@ class Gateway:
             return
         wh.alive = False
         self._c_crashes.inc()
+        self._breaker_failure(wh.index)
         wh.process.join(timeout=10.0)
         if wh.process.is_alive():              # pragma: no cover - EOF but
             wh.process.terminate()             # process wedged
             wh.process.join(timeout=5.0)
         pending = list(wh.pending.values())
         wh.pending.clear()
+        wh.started.clear()
         crash = WorkerCrashed(
             f"worker {wh.index} (pid {wh.pid}) died with "
             f"{len(pending)} requests in flight")
@@ -464,14 +600,111 @@ class Gateway:
         except RuntimeError:                   # pragma: no cover
             replacement.process.terminate()
 
+    # ------------------------------------------------------------------
+    # Supervision: hang watchdog + circuit breakers
+    # ------------------------------------------------------------------
+    def _watchdog_main(self) -> None:
+        """Ticks the loop-thread hang check a few times per threshold."""
+        interval = max(0.01, self.hang_threshold / 4.0)
+        while not self._watchdog_stop.wait(interval):
+            if self._closing or self._loop is None:
+                return
+            try:
+                self._loop.call_soon_threadsafe(self._check_hangs)
+            except RuntimeError:               # pragma: no cover - closing
+                return
+
+    def _check_hangs(self) -> None:
+        """Loop thread: declare workers with over-age requests hung.
+
+        Runs on the loop thread so ``started``/``pending`` are only
+        ever touched where every other mutation happens — the watchdog
+        thread itself never reads worker state.
+        """
+        if self._closing:
+            return
+        now = time.monotonic()
+        for wh in list(self._workers):
+            if wh.alive and wh.started:
+                age = now - min(wh.started.values())
+                if age >= self.hang_threshold:
+                    self._declare_hung(wh, age)
+
+    def _declare_hung(self, wh: _WorkerHandle, age: float) -> None:
+        """Kill one hung worker; its requests fail fast, typed.
+
+        ``alive`` flips first so the reader thread's pipe-EOF handler
+        (which fires when the kill closes the pipe) early-returns —
+        this path owns failing the pending futures, reaping and
+        respawning.
+        """
+        wh.alive = False
+        self._c_hangs.inc()
+        self._breaker_failure(wh.index)
+        pending = list(wh.pending.values())
+        wh.pending.clear()
+        wh.started.clear()
+        hung = WorkerHung(
+            f"worker {wh.index} (pid {wh.pid}) exceeded the "
+            f"{self.hang_threshold * 1e3:.0f}ms hang threshold (oldest "
+            f"in-flight request {age * 1e3:.0f}ms old); killed")
+        for future in pending:
+            if not future.done():
+                future.set_exception(hung)
+        try:
+            wh.process.kill()
+        except (OSError, ValueError, AttributeError):  # pragma: no cover
+            pass
+        threading.Thread(target=self._reap_and_respawn, args=(wh,),
+                         daemon=True,
+                         name=f"{self.obs_label}-reap{wh.index}").start()
+
+    def _reap_and_respawn(self, wh: _WorkerHandle) -> None:
+        """Off-loop: join the killed process, then the usual respawn."""
+        wh.process.join(timeout=10.0)
+        try:
+            wh.conn.close()
+        except OSError:                        # pragma: no cover
+            pass
+        self._respawn(wh.index)
+
+    def _breaker_success(self, index: int) -> None:
+        breaker = self._breakers[index]
+        breaker.record_success()
+        self._g_breaker[index].set(breaker.state)
+
+    def _breaker_failure(self, index: int) -> None:
+        breaker = self._breakers[index]
+        breaker.record_failure(time.monotonic())
+        self._g_breaker[index].set(breaker.state)
+
     def _pick_worker(self) -> _WorkerHandle:
-        """Round-robin over live workers (loop thread only)."""
+        """Round-robin over live, breaker-admitted workers (loop thread).
+
+        Dead workers are skipped as before; a live worker whose breaker
+        is open (or half-open with its probe already in flight) is
+        passed over.  All live workers refused means the pool is
+        breaker-limited: typed ``GatewayOverloaded(reason="breaker")``
+        rather than silently queueing into known-bad processes.
+        """
         count = len(self._workers)
+        now = time.monotonic()
+        alive = 0
         for _ in range(count):
             wh = self._workers[self._rr % count]
             self._rr += 1
-            if wh.alive:
+            if not wh.alive:
+                continue
+            alive += 1
+            breaker = self._breakers[wh.index]
+            allowed = breaker.allow(now)
+            self._g_breaker[wh.index].set(breaker.state)
+            if allowed:
                 return wh
+        if alive:
+            raise GatewayOverloaded(
+                f"all {alive} live workers' circuit breakers are open",
+                reason="breaker")
         raise WorkerCrashed("no live workers to dispatch to")
 
     def _post(self, wh: _WorkerHandle, kind: str, *rest) -> asyncio.Future:
@@ -480,10 +713,12 @@ class Gateway:
         wh.seq += 1
         future = self._loop.create_future()
         wh.pending[msg_id] = future
+        wh.started[msg_id] = time.monotonic()
         try:
             wh.conn.send((kind, msg_id) + rest)
         except (OSError, ValueError):
             wh.pending.pop(msg_id, None)
+            wh.started.pop(msg_id, None)
             future.set_exception(WorkerCrashed(
                 f"worker {wh.index} pipe closed mid-send"))
         return future
@@ -501,6 +736,9 @@ class Gateway:
                 pass
         write_lock = asyncio.Lock()
         tasks: set[asyncio.Task] = set()
+        me = asyncio.current_task()
+        if me is not None:
+            self._conns.add(me)
         try:
             while True:
                 try:
@@ -509,7 +747,7 @@ class Gateway:
                         OSError):
                     break
                 try:
-                    op, length, request_id = proto.parse_header(
+                    op, length, request_id, deadline_ms = proto.parse_header(
                         header, self.max_frame)
                 except ProtocolError as error:
                     # framing is broken (or the frame is refused before
@@ -530,23 +768,39 @@ class Gateway:
                 counter = self._c_requests.get(op)
                 if counter is not None:
                     counter.inc()
+                # the wire carries a *relative* budget; anchor it to
+                # this host's monotonic clock the moment the header is
+                # in — queue wait, dispatch and worker time all burn
+                # the same absolute deadline from here on
+                deadline = (time.monotonic() + deadline_ms / 1e3
+                            if deadline_ms else None)
                 task = asyncio.ensure_future(self._serve_request(
-                    op, payload, request_id, writer, write_lock))
+                    op, payload, request_id, writer, write_lock, deadline))
                 tasks.add(task)
                 task.add_done_callback(tasks.discard)
+        except asyncio.CancelledError:
+            # _stop_server cancels idle connections at shutdown; finish
+            # normally so asyncio's stream machinery sees a clean task
+            pass
         finally:
+            if me is not None:
+                self._conns.discard(me)
             # never cancel in-flight tasks: their finally blocks own the
             # slot/accounting lifecycle and must run to completion
             if tasks:
-                await asyncio.gather(*tasks, return_exceptions=True)
-            writer.close()
+                await asyncio.shield(
+                    asyncio.gather(*tasks, return_exceptions=True))
             try:
+                writer.close()
                 await writer.wait_closed()
-            except (ConnectionError, OSError):  # pragma: no cover
-                pass
+            except (ConnectionError, OSError, RuntimeError):
+                pass    # RuntimeError: loop tore down mid-handler
 
     async def _write_reply(self, writer, write_lock, request_id: int,
                            reply_payload: bytes) -> None:
+        rule = faults.check("reply.delay", request=request_id)
+        if rule is not None and rule.delay_ms:
+            await asyncio.sleep(rule.delay_ms / 1e3)
         async with write_lock:
             with _span("gateway.reply", request=request_id,
                        bytes=len(reply_payload)):
@@ -559,13 +813,14 @@ class Gateway:
                                                 # request already ran
 
     async def _serve_request(self, op: int, payload: bytes,
-                             request_id: int, writer, write_lock) -> None:
+                             request_id: int, writer, write_lock,
+                             deadline: float | None = None) -> None:
         t0 = time.perf_counter()
         try:
             if op == proto.OP_MULTIPLY:
-                body = await self._op_multiply(payload)
+                body = await self._op_multiply(payload, deadline)
             elif op == proto.OP_PROFILE:
-                body = await self._op_profile(payload)
+                body = await self._op_profile(payload, deadline)
             elif op == proto.OP_REGISTER:
                 body = await self._op_register(payload)
             elif op == proto.OP_UNREGISTER:
@@ -582,6 +837,9 @@ class Gateway:
             else:                              # pragma: no cover - header
                 raise ProtocolError(f"unknown op 0x{op:02x}")  # validated
             reply_payload = proto.encode_reply_ok(body)
+        except DeadlineExceeded as error:
+            self._c_deadline.inc()
+            reply_payload = proto.encode_reply_error(error)
         except GatewayOverloaded as error:
             self._c_rejects.get(error.reason,
                                 self._c_rejects["inflight"]).inc()
@@ -621,7 +879,8 @@ class Gateway:
                         f"tenant {tenant!r} has {used} requests in "
                         f"flight (quota {self.tenant_quota})",
                         reason="tenant")
-            slot = self._ring.acquire()
+            slot = (None if faults.check("shm.exhaust", request=grid)
+                    else self._ring.acquire())
             if slot is None:
                 raise GatewayOverloaded(
                     f"all {self.slots} shared-memory slots in flight",
@@ -641,6 +900,9 @@ class Gateway:
             self._tenants[tenant] = remaining
         self._g_inflight.set(self._inflight)
         self._ring.release(slot)
+        if self._inflight == 0:
+            with self._drain:               # wake a close() drain wait
+                self._drain.notify_all()
 
     def _lookup_matrix(self, handle: int) -> CsrMatrix:
         with self._state_lock:
@@ -650,7 +912,15 @@ class Gateway:
                              f"matrix through this gateway first")
         return entry[0]
 
-    async def _op_multiply(self, payload: bytes) -> bytes:
+    @staticmethod
+    def _check_deadline(deadline: float | None, stage: str) -> None:
+        """Reject with typed ``DeadlineExceeded`` past the budget."""
+        if deadline is not None and time.monotonic() >= deadline:
+            raise DeadlineExceeded(f"deadline expired {stage}")
+
+    async def _op_multiply(self, payload: bytes,
+                           deadline: float | None = None) -> bytes:
+        self._check_deadline(deadline, "at gateway admission")
         handle, tenant, rows, cols, operand = proto.decode_multiply(payload)
         matrix = self._lookup_matrix(handle)
         grid = next(self._next_request_id)
@@ -663,7 +933,7 @@ class Gateway:
                 wh = self._pick_worker()
                 sp.annotate(worker=wh.index)
                 future = self._post(wh, "mul", grid, slot, handle, rows,
-                                    cols)
+                                    cols, deadline)
             reply = await future
             self._share_memo(reply.get("memo"), wh)
             out = self._ring.view(slot, 4 * reply["rows"] * reply["cols"])
@@ -675,7 +945,9 @@ class Gateway:
         finally:
             self._release(slot, tenant)
 
-    async def _op_profile(self, payload: bytes) -> bytes:
+    async def _op_profile(self, payload: bytes,
+                          deadline: float | None = None) -> bytes:
+        self._check_deadline(deadline, "at gateway admission")
         meta, operand = proto.decode_profile(payload)
         handle = int(meta["handle"])
         tenant = str(meta.get("tenant", "default"))
@@ -691,7 +963,7 @@ class Gateway:
                 wh = self._pick_worker()
                 sp.annotate(worker=wh.index)
                 future = self._post(wh, "prof", grid, slot, handle, rows,
-                                    cols, meta.get("backend"))
+                                    cols, meta.get("backend"), deadline)
             reply = await future
             self._share_memo(reply.get("memo"), wh)
             out = self._ring.view(slot, 4 * reply["rows"] * reply["cols"])
@@ -833,10 +1105,59 @@ class Gateway:
         with self._state_lock:
             return len(self._memo)
 
+    def shm_stats(self):
+        """Live :class:`~repro.serve.gateway.shm.ShmRingStats`.
+
+        The leak check chaos runs gate on: ``in_use`` must return to 0
+        once traffic drains, whatever faults fired in between.
+        """
+        return self._ring.stats()
+
+    def breaker_states(self) -> list[int]:
+        """Per-worker breaker state (0 closed, 1 open, 2 half-open)."""
+        return [breaker.state for breaker in self._breakers]
+
+    def set_fault_plan(self, plan: faults.FaultPlan | None) -> None:
+        """Arm (``None``: disarm) a fault plan, fleet-wide.
+
+        Installs the plan in the gateway process and broadcasts it to
+        every live worker over the control pipes (serialized through
+        the event loop, so the send never races a dispatch).  A worker
+        respawned *afterwards* starts with no plan — deliberate: a
+        one-shot ``worker.crash`` rule must not crash-loop its own
+        replacements.  Export :data:`repro.faults.ENV_VAR` instead to
+        arm every worker incarnation for a process's whole life.
+        """
+        if plan is None:
+            faults.clear_plan()
+            payload = None
+        else:
+            faults.install_plan(plan)
+            payload = plan.to_dict()
+        self._fault_plan = plan
+        if self._started and not self._closing and self._loop is not None:
+            self._run(self._broadcast_fault(payload), timeout=10.0)
+
+    async def _broadcast_fault(self, payload: dict | None) -> None:
+        for wh in self._workers:
+            if wh.alive:
+                try:
+                    wh.conn.send(("fault", payload))
+                except (OSError, ValueError):  # pragma: no cover - dying
+                    pass
+
     def connect(self, **kwargs):
-        """A :class:`~repro.serve.gateway.client.GatewayClient` to self."""
+        """A :class:`~repro.serve.gateway.client.GatewayClient` to self.
+
+        The client inherits the gateway config's resilience defaults
+        (``max_retries``, ``deadline_ms``); explicit keyword arguments
+        win.
+        """
         from repro.serve.gateway.client import GatewayClient
 
+        kwargs.setdefault("max_retries", self.config.max_retries)
+        if self.config.deadline_ms is not None:
+            kwargs.setdefault("deadline_ms", self.config.deadline_ms)
         return GatewayClient(self.host, self.port, **kwargs)
 
 

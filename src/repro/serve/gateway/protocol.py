@@ -1,17 +1,23 @@
 """Wire protocol for the serving gateway: length-prefixed binary frames.
 
-One frame per request and per reply, framed by a fixed 16-byte struct
+One frame per request and per reply, framed by a fixed 20-byte struct
 header (no per-request JSON on the hot path)::
 
-    <HBBIQ  little-endian
-    ┌───────┬─────────┬────┬─────────────┬────────────┐
-    │ magic │ version │ op │ payload_len │ request_id │
-    │  u16  │   u8    │ u8 │     u32     │    u64     │
-    └───────┴─────────┴────┴─────────────┴────────────┘
+    <HBBIQI  little-endian
+    ┌───────┬─────────┬────┬─────────────┬────────────┬─────────────┐
+    │ magic │ version │ op │ payload_len │ request_id │ deadline_ms │
+    │  u16  │   u8    │ u8 │     u32     │    u64     │     u32     │
+    └───────┴─────────┴────┴─────────────┴────────────┴─────────────┘
 
 ``request_id`` is chosen by the client and echoed verbatim in the
 reply, so a client may pipeline requests on one connection and match
-replies out of band.  Payload layouts per op:
+replies out of band.  ``deadline_ms`` is the request's remaining
+deadline budget in milliseconds at send time (0 = no deadline): the
+gateway anchors an absolute deadline when the header arrives, rejects
+already-expired requests at admission with a typed
+:class:`~repro.errors.DeadlineExceeded` before any work, and forwards
+the remaining budget to the worker so bind/codegen/multiply never run
+past it.  Replies carry 0.  Payload layouts per op:
 
 * ``MULTIPLY``  — ``<IIIH`` (handle, rows, cols, tenant_len) + tenant
   utf-8 + row-major float32 operand bytes.  The hottest op is parsed
@@ -39,7 +45,8 @@ Malformed input is rejected with typed errors at parse time:
 :class:`~repro.errors.ProtocolError` for bad magic/version/op or
 inconsistent lengths, :class:`~repro.errors.FrameTooLarge` for frames
 above the size limit, and truncation (EOF mid-frame) raises
-:class:`~repro.errors.ProtocolError` from the socket helpers.
+:class:`~repro.errors.GatewayDisconnected` — the retryable
+connection-dropped signal — from the socket helpers.
 """
 
 from __future__ import annotations
@@ -50,7 +57,8 @@ import struct
 import numpy as np
 
 from repro import errors
-from repro.errors import FrameTooLarge, ProtocolError, ReproError
+from repro.errors import (FrameTooLarge, GatewayDisconnected, ProtocolError,
+                          ReproError)
 from repro.sparse.csr import CsrMatrix
 
 __all__ = [
@@ -90,9 +98,9 @@ __all__ = [
 ]
 
 MAGIC = 0x5247                  # "GR": gateway repro
-VERSION = 1
+VERSION = 2                     # v2 added deadline_ms to the header
 
-HEADER = struct.Struct("<HBBIQ")
+HEADER = struct.Struct("<HBBIQI")
 
 OP_REGISTER = 1
 OP_UNREGISTER = 2
@@ -130,14 +138,17 @@ _STATUS_ERR = b"\x01"
 # ----------------------------------------------------------------------
 # Framing
 # ----------------------------------------------------------------------
-def encode_frame(op: int, payload: bytes, request_id: int = 0) -> bytes:
+def encode_frame(op: int, payload: bytes, request_id: int = 0,
+                 deadline_ms: int = 0) -> bytes:
     """One complete frame: header + payload."""
-    return HEADER.pack(MAGIC, VERSION, op, len(payload), request_id) + payload
+    return HEADER.pack(MAGIC, VERSION, op, len(payload), request_id,
+                       deadline_ms) + payload
 
 
-def parse_header(header: bytes,
-                 max_frame: int = DEFAULT_MAX_FRAME) -> tuple[int, int, int]:
-    """Validate a 16-byte header; returns ``(op, payload_len, request_id)``.
+def parse_header(header: bytes, max_frame: int = DEFAULT_MAX_FRAME
+                 ) -> tuple[int, int, int, int]:
+    """Validate a 20-byte header; returns ``(op, payload_len,
+    request_id, deadline_ms)``.
 
     Raises :class:`ProtocolError` for bad magic/version/op and
     :class:`FrameTooLarge` when the announced payload exceeds
@@ -146,7 +157,8 @@ def parse_header(header: bytes,
     if len(header) != HEADER.size:
         raise ProtocolError(
             f"truncated header: {len(header)} of {HEADER.size} bytes")
-    magic, version, op, length, request_id = HEADER.unpack(header)
+    magic, version, op, length, request_id, deadline_ms = \
+        HEADER.unpack(header)
     if magic != MAGIC:
         raise ProtocolError(f"bad magic 0x{magic:04x} (expected "
                             f"0x{MAGIC:04x}); not a gateway frame")
@@ -158,7 +170,7 @@ def parse_header(header: bytes,
     if length > max_frame:
         raise FrameTooLarge(
             f"frame of {length} bytes exceeds the {max_frame}-byte limit")
-    return op, length, request_id
+    return op, length, request_id, deadline_ms
 
 
 # ----------------------------------------------------------------------
@@ -427,19 +439,21 @@ def raise_remote_error(name: str, message: str, reason: str = "") -> None:
 # ----------------------------------------------------------------------
 # Blocking-socket helpers (the client and the tests)
 # ----------------------------------------------------------------------
-def send_frame(sock, op: int, payload: bytes, request_id: int = 0) -> None:
-    sock.sendall(encode_frame(op, payload, request_id))
+def send_frame(sock, op: int, payload: bytes, request_id: int = 0,
+               deadline_ms: int = 0) -> None:
+    sock.sendall(encode_frame(op, payload, request_id, deadline_ms))
 
 
 def recv_exactly(sock, n: int) -> bytes:
-    """Read exactly ``n`` bytes; EOF mid-read is a typed protocol error."""
+    """Read exactly ``n`` bytes; EOF mid-read raises the typed,
+    retryable :class:`~repro.errors.GatewayDisconnected`."""
     chunks: list[bytes] = []
     remaining = n
     while remaining:
         chunk = sock.recv(min(remaining, 1 << 20))
         if not chunk:
             got = n - remaining
-            raise ProtocolError(
+            raise GatewayDisconnected(
                 f"truncated frame: connection closed after {got} of "
                 f"{n} bytes")
         chunks.append(chunk)
@@ -450,6 +464,6 @@ def recv_exactly(sock, n: int) -> bytes:
 def recv_frame(sock, max_frame: int = DEFAULT_MAX_FRAME
                ) -> tuple[int, int, bytes]:
     """Read one frame; returns ``(op, request_id, payload)``."""
-    op, length, request_id = parse_header(recv_exactly(sock, HEADER.size),
-                                          max_frame)
+    op, length, request_id, _deadline = parse_header(
+        recv_exactly(sock, HEADER.size), max_frame)
     return op, request_id, recv_exactly(sock, length)

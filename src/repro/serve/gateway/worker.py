@@ -12,12 +12,21 @@ gateway over a :class:`multiprocessing.connection.Connection`:
   copied into worker-owned arrays, fingerprint-verified against the
   client's digest, and registered with the service under the
   gateway-assigned handle id;
-* ``("mul", msg_id, request_id, slot, handle, rows, cols)`` — serve one
-  multiply: the operand is a zero-copy numpy view over the shm ring
-  slot, the result is written back into the same slot, and only dims
-  (plus any fresh autotune verdicts) travel over the pipe;
+* ``("mul", msg_id, request_id, slot, handle, rows, cols, deadline)`` —
+  serve one multiply: the operand is a zero-copy numpy view over the
+  shm ring slot, the result is written back into the same slot, and
+  only dims (plus any fresh autotune verdicts) travel over the pipe;
+  ``deadline`` is an absolute ``time.monotonic()`` stamp (``None`` =
+  no deadline; CLOCK_MONOTONIC is system-wide on Linux, so the
+  gateway's clock is the worker's clock) checked at dispatch, around
+  bind/codegen inside the service, and again after execution — a late
+  result is discarded and replied as typed ``DeadlineExceeded``;
 * ``("prof", ...)``, ``("unreg", ...)``, ``("stats", msg_id)``,
-  ``("seed", entries)``, ``("shutdown",)`` — the cold control plane.
+  ``("seed", entries)``, ``("fault", plan_dict | None)``,
+  ``("shutdown",)`` — the cold control plane.  ``fault`` arms (or,
+  with ``None``, disarms) a :class:`repro.faults.FaultPlan` in this
+  process; the request paths honor the ``worker.crash`` /
+  ``worker.hang`` / ``codegen.raise`` injection sites.
 
 Requests are executed on a small thread pool so concurrent dispatches
 from the gateway coalesce inside the service exactly like in-process
@@ -36,12 +45,15 @@ from __future__ import annotations
 
 import os
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import asdict
 
 import numpy as np
 
+from repro import faults
 from repro.core.autotune import export_autotune_memo, seed_autotune_memo
+from repro.errors import CodegenError, DeadlineExceeded
 from repro.obs.trace import span as _span
 from repro.serve.gateway.shm import ShmRing, attach_shm, set_attach_untrack
 from repro.serve.service import SpmmService
@@ -77,14 +89,27 @@ class _MemoSync:
 
 def worker_main(index: int, conn, ring_name: str, slot_bytes: int,
                 slots: int, service_kwargs: dict,
-                untrack_shm: bool = True) -> None:
+                untrack_shm: bool = True,
+                fault_plan: dict | None = None) -> None:
     """Entry point of one worker process (spawn- and fork-safe).
 
     ``untrack_shm`` is False for fork-started workers: they share the
     gateway's resource tracker, so undoing the attach-time registration
     would strip the gateway's own.
+
+    ``fault_plan`` (a serialized :class:`repro.faults.FaultPlan`) arms
+    fault injection from birth — how a respawned worker inherits the
+    plan the gateway broadcast before its predecessor died.
     """
     set_attach_untrack(untrack_shm)
+    # a fork-started worker inherits the gateway process's module
+    # state, including any plan installed *there* (set_fault_plan
+    # installs locally before broadcasting); shed it so only the spawn
+    # argument, a later broadcast, or this process's own read of
+    # REPRO_FAULT_PLAN arms injection
+    faults.reset_inherited_state()
+    if fault_plan is not None:
+        faults.install_plan(faults.FaultPlan.from_dict(fault_plan))
     ring = ShmRing.attach(ring_name, slot_bytes, slots)
     try:
         service = SpmmService(obs_label=f"gateway-worker{index}",
@@ -109,19 +134,46 @@ def worker_main(index: int, conn, ring_name: str, slot_bytes: int,
         with send_lock:
             conn.send(("err", msg_id, type(error).__name__, str(error)))
 
+    def fault_hooks(request_id: int) -> None:
+        """Honor the worker-side injection sites for one request.
+
+        Runs on the executor thread, before any service work: a crash
+        takes the whole process (exercising gateway crash recovery), a
+        hang outlives the watchdog's threshold, and ``codegen.raise``
+        surfaces as the typed error a real codegen failure would.
+        """
+        if faults.check("worker.crash", request=request_id, worker=index):
+            os._exit(17)
+        rule = faults.check("worker.hang", request=request_id, worker=index)
+        if rule is not None:
+            time.sleep(rule.hang_seconds)
+        if faults.check("codegen.raise", request=request_id, worker=index):
+            raise CodegenError(
+                "injected codegen failure (fault plan: codegen.raise)")
+
+    def check_deadline(deadline, stage: str) -> None:
+        if deadline is not None and time.monotonic() >= deadline:
+            raise DeadlineExceeded(f"deadline expired {stage}")
+
     def serve_multiply(msg) -> None:
-        _, msg_id, request_id, slot, handle, rows, cols = msg
+        _, msg_id, request_id, slot, handle, rows, cols, deadline = msg
         view = None
         try:
+            fault_hooks(request_id)
+            check_deadline(deadline, "before worker dispatch")
             with _span("gateway.worker.multiply", request=request_id,
                        worker=index, handle=handle):
                 view = ring.view(slot, 4 * rows * cols)
                 x = np.frombuffer(view, dtype=np.float32).reshape(rows, cols)
-                y = service.multiply(handles[handle], x)
+                y = service.multiply(handles[handle], x, deadline=deadline)
                 # the operand has been fully consumed; the result takes
                 # over the slot (y can be a batch-scatter column view —
                 # make it contiguous before the flat byte copy)
                 ring.write(slot, np.ascontiguousarray(y))
+            # a result that lands past its deadline is discarded — the
+            # client gave up on it, and replying "ok" late would let a
+            # reply race the caller's timeout handling
+            check_deadline(deadline, "before the reply (result discarded)")
             reply(msg_id, {"rows": int(y.shape[0]), "cols": int(y.shape[1]),
                            "memo": memo.delta()})
         except KeyError:
@@ -133,15 +185,20 @@ def worker_main(index: int, conn, ring_name: str, slot_bytes: int,
                 view.release()
 
     def serve_profile(msg) -> None:
-        _, msg_id, request_id, slot, handle, rows, cols, backend = msg
+        _, msg_id, request_id, slot, handle, rows, cols, backend, \
+            deadline = msg
         view = None
         try:
+            fault_hooks(request_id)
+            check_deadline(deadline, "before worker dispatch")
             with _span("gateway.worker.profile", request=request_id,
                        worker=index, handle=handle):
                 view = ring.view(slot, 4 * rows * cols)
                 x = np.frombuffer(view, dtype=np.float32).reshape(rows, cols)
-                result = service.profile(handles[handle], x, backend=backend)
+                result = service.profile(handles[handle], x, backend=backend,
+                                         deadline=deadline)
                 ring.write(slot, np.ascontiguousarray(result.y))
+            check_deadline(deadline, "before the reply (result discarded)")
             reply(msg_id, {
                 "rows": int(result.y.shape[0]),
                 "cols": int(result.y.shape[1]),
@@ -204,6 +261,11 @@ def worker_main(index: int, conn, ring_name: str, slot_bytes: int,
                 reply_error(msg_id, error)
         elif kind == "seed":
             memo.absorb(msg[1])
+        elif kind == "fault":
+            if msg[1] is None:
+                faults.clear_plan()
+            else:
+                faults.install_plan(faults.FaultPlan.from_dict(msg[1]))
         elif kind == "shutdown":
             running = False
             if len(msg) > 1:            # acked shutdown: (shutdown, msg_id)

@@ -72,7 +72,7 @@ from repro.core.engine import (
     stack_columns,
 )
 from repro.core.runner import RunResult
-from repro.errors import ServiceClosed, ShapeError
+from repro.errors import DeadlineExceeded, ServiceClosed, ShapeError
 from repro.isa.isainfo import IsaLevel
 from repro.obs.metrics import Sample, get_registry, labels_key
 from repro.obs.trace import current_trace_id, span as _span
@@ -117,13 +117,15 @@ class MatrixHandle:
 class _BatchSlot:
     """One coalescible ``multiply`` request waiting in a batch queue."""
 
-    __slots__ = ("x", "t0", "cold", "y", "error", "event", "lead",
-                 "batch_id", "leader_trace")
+    __slots__ = ("x", "t0", "cold", "deadline", "y", "error", "event",
+                 "lead", "batch_id", "leader_trace")
 
-    def __init__(self, x, t0: float, cold: bool) -> None:
+    def __init__(self, x, t0: float, cold: bool,
+                 deadline: float | None = None) -> None:
         self.x = x
         self.t0 = t0
         self.cold = cold
+        self.deadline = deadline  # absolute time.monotonic(), None = none
         self.y = None
         self.error = None
         self.event = None       # created only for followers
@@ -729,7 +731,21 @@ class SpmmService:
     # ------------------------------------------------------------------
     # Request paths
     # ------------------------------------------------------------------
-    def multiply(self, handle: MatrixHandle, x: np.ndarray) -> np.ndarray:
+    @staticmethod
+    def _check_deadline(deadline: float | None, stage: str) -> None:
+        """Raise :class:`DeadlineExceeded` if ``deadline`` has passed.
+
+        ``deadline`` is an absolute :func:`time.monotonic` timestamp
+        (``None`` disables the check); ``stage`` names where the budget
+        ran out, so the typed error says *what* the request never got
+        to do.
+        """
+        if deadline is not None and time.monotonic() >= deadline:
+            raise DeadlineExceeded(
+                f"deadline expired before {stage}")
+
+    def multiply(self, handle: MatrixHandle, x: np.ndarray,
+                 deadline: float | None = None) -> np.ndarray:
         """Serve one ``Y = A @ X`` request on the fast numpy backend.
 
         The first request for a given ``x.shape[1]`` autotunes and
@@ -744,15 +760,25 @@ class SpmmService:
         retaining results long-term should ``.copy()`` them, trading
         one copy for releasing up to ``max_batch - 1`` neighbors'
         columns.
+
+        ``deadline`` is an absolute :func:`time.monotonic` budget: the
+        request raises :class:`repro.errors.DeadlineExceeded` rather
+        than start bind/codegen (or execution, if resolution consumed
+        the budget) past it.  Coalesced batches re-check each member's
+        deadline just before executing; expired members fail without
+        riding the stacked SpMM.
         """
         x = fast_check_operands(handle.matrix, x)
         with _span("serve.multiply", handle=handle.handle_id,
                    d=int(x.shape[1])) as sp:
             t0 = time.perf_counter()
+            self._check_deadline(deadline, "bind/codegen")
             ws, _, _, cold, _ = self._resolve(handle, int(x.shape[1]))
             sp.annotate(cold=cold)
+            self._check_deadline(deadline, "execution")
             if self.max_batch > 1:
-                return self._serve_batched(handle, ws, x, t0, cold)
+                return self._serve_batched(handle, ws, x, t0, cold,
+                                           deadline)
             t1 = time.perf_counter()
             y = multiply_partitioned(handle.matrix, x, ws.plan.ranges)
             t2 = time.perf_counter()
@@ -763,7 +789,8 @@ class SpmmService:
 
     # -- coalescing -----------------------------------------------------
     def _serve_batched(self, handle: MatrixHandle, ws: _Workspace,
-                       x: np.ndarray, t0: float, cold: bool) -> np.ndarray:
+                       x: np.ndarray, t0: float, cold: bool,
+                       deadline: float | None = None) -> np.ndarray:
         """Enqueue one request; lead a batch or wait to be served.
 
         The first arrival becomes the batch leader; requests landing
@@ -773,7 +800,7 @@ class SpmmService:
         unrelated workspace.
         """
         queue = ws.queue
-        slot = _BatchSlot(x, t0, cold)
+        slot = _BatchSlot(x, t0, cold, deadline)
         with queue.lock:
             if queue.leader:
                 slot.event = threading.Event()
@@ -884,6 +911,24 @@ class SpmmService:
         for member in batch:
             member.batch_id = batch_id
             member.leader_trace = leader_trace
+        # deadline re-check at the execution edge: a member whose
+        # budget ran out waiting in the queue fails typed here and is
+        # dropped from the stacked operands — the batch effectively
+        # inherits the tightest *live* member deadline, and an expired
+        # one never consumes SpMM work
+        now = time.monotonic()
+        expired = [member for member in batch
+                   if member.deadline is not None and now >= member.deadline]
+        if expired:
+            for member in expired:
+                error = DeadlineExceeded(
+                    "deadline expired in the coalescing queue")
+                error.batch_id = batch_id
+                error.trace_id = leader_trace
+                member.error = error
+            batch = [member for member in batch if member.error is None]
+            if not batch:
+                return
         gather = None
         try:
             with _span("serve.batch.execute", handle=handle.handle_id,
@@ -927,7 +972,8 @@ class SpmmService:
     # ------------------------------------------------------------------
     def profile(self, handle: MatrixHandle, x: np.ndarray,
                 timing: bool | None = None,
-                backend: str | None = None) -> RunResult:
+                backend: str | None = None,
+                deadline: float | None = None) -> RunResult:
         """Serve one request on the simulated machine, with counters.
 
         Re-executes the cached kernel in the handle's persistent address
@@ -944,8 +990,10 @@ class SpmmService:
         with _span("serve.profile", handle=handle.handle_id,
                    d=int(x.shape[1])) as sp:
             t0 = time.perf_counter()
+            self._check_deadline(deadline, "bind/codegen")
             ws, _, codegen_seconds, cold, generated = self._resolve(
                 handle, int(x.shape[1]))
+            self._check_deadline(deadline, "simulated execution")
             if backend is None and timing is None:
                 backend = self._config.effective_backend
             resolved = ws.plan.resolve_backend(timing=timing,

@@ -124,3 +124,36 @@ class TestGatewayKnobs:
         assert config.with_overrides(workers=2).workers == 2
         with pytest.raises(ShapeError):
             config.with_overrides(max_inflight=-1)
+
+
+class TestResilienceKnobs:
+    def test_defaults(self):
+        config = ExecutionConfig()
+        assert config.deadline_ms is None
+        assert config.hang_threshold_ms == 60_000.0
+        assert config.max_retries == 2
+        assert config.breaker_threshold == 3
+
+    def test_accepts_valid_values(self):
+        config = ExecutionConfig(deadline_ms=250.0, hang_threshold_ms=500.0,
+                                 max_retries=0, breaker_threshold=1)
+        assert config.deadline_ms == 250.0
+        assert config.hang_threshold_ms == 500.0
+        assert config.max_retries == 0
+        assert config.breaker_threshold == 1
+
+    @pytest.mark.parametrize("kwargs", [
+        {"deadline_ms": 0.0}, {"deadline_ms": -5.0},
+        {"hang_threshold_ms": 0.0}, {"hang_threshold_ms": -1.0},
+        {"max_retries": -1},
+        {"breaker_threshold": 0},
+    ])
+    def test_rejects_invalid_values(self, kwargs):
+        with pytest.raises(ShapeError):
+            ExecutionConfig(**kwargs)
+
+    def test_with_overrides_revalidates_resilience_knobs(self):
+        config = ExecutionConfig()
+        assert config.with_overrides(deadline_ms=100.0).deadline_ms == 100.0
+        with pytest.raises(ShapeError):
+            config.with_overrides(breaker_threshold=-3)

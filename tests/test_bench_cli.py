@@ -10,7 +10,7 @@ class TestCli:
         assert set(EXPERIMENTS) == {
             "table2", "table4", "fig9", "fig10", "fig11", "ablations",
             "serving", "simspeed", "servethroughput", "obsoverhead",
-            "passsearch"}
+            "passsearch", "chaos"}
 
     def test_runs_simspeed_experiment(self, capsys, monkeypatch, tmp_path):
         monkeypatch.setenv("REPRO_BENCH_DATASETS", "uk-2005")

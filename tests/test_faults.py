@@ -1,0 +1,189 @@
+"""Tests for :mod:`repro.faults`: plans, determinism, activation."""
+
+import json
+
+import pytest
+
+from repro import faults
+from repro.errors import FaultConfigError
+from repro.faults import FaultInjector, FaultPlan, FaultRule
+
+
+@pytest.fixture(autouse=True)
+def _clean_plan():
+    faults.clear_plan()
+    yield
+    faults.clear_plan()
+
+
+class TestFaultRule:
+    def test_defaults_fire_once_deterministically(self):
+        rule = FaultRule("worker.crash")
+        assert rule.probability == 1.0
+        assert rule.max_fires == 1
+        assert rule.after == 0
+
+    def test_unknown_site_rejected(self):
+        with pytest.raises(FaultConfigError, match="unknown fault site"):
+            FaultRule("worker.explode")
+
+    @pytest.mark.parametrize("kwargs", [
+        {"probability": -0.1}, {"probability": 1.5},
+        {"max_fires": 0}, {"max_fires": -2},
+        {"after": -1},
+        {"hang_seconds": 0.0},
+        {"delay_ms": -5.0},
+    ])
+    def test_out_of_range_fields_rejected(self, kwargs):
+        with pytest.raises(FaultConfigError):
+            FaultRule("conn.drop", **kwargs)
+
+    def test_dict_round_trip(self):
+        rule = FaultRule("reply.delay", probability=0.5, max_fires=None,
+                         after=3, delay_ms=7.5)
+        assert FaultRule.from_dict(rule.to_dict()) == rule
+
+    def test_unknown_dict_fields_rejected(self):
+        with pytest.raises(FaultConfigError, match="unknown fault-rule"):
+            FaultRule.from_dict({"site": "conn.drop", "severity": 9})
+
+    def test_missing_site_rejected(self):
+        with pytest.raises(FaultConfigError, match="missing its site"):
+            FaultRule.from_dict({"probability": 1.0})
+
+
+class TestFaultPlan:
+    def test_json_round_trip(self):
+        plan = FaultPlan(seed=42, rules=(
+            FaultRule("worker.hang", hang_seconds=1.0),
+            FaultRule("conn.drop", probability=0.25, max_fires=None)))
+        assert FaultPlan.from_json(plan.to_json()) == plan
+
+    def test_json_is_plain_data(self):
+        plan = FaultPlan(seed=7, rules=(FaultRule("shm.exhaust"),))
+        data = json.loads(plan.to_json())
+        assert data["seed"] == 7
+        assert data["rules"][0]["site"] == "shm.exhaust"
+
+    def test_bad_json_rejected(self):
+        with pytest.raises(FaultConfigError, match="not valid JSON"):
+            FaultPlan.from_json("{nope")
+
+    def test_non_rule_entries_rejected(self):
+        with pytest.raises(FaultConfigError, match="FaultRule"):
+            FaultPlan(rules=("worker.crash",))
+
+    def test_unknown_plan_fields_rejected(self):
+        with pytest.raises(FaultConfigError, match="unknown fault-plan"):
+            FaultPlan.from_dict({"seed": 1, "chaos": True})
+
+    def test_describe_names_every_rule(self):
+        plan = FaultPlan(seed=3, rules=(FaultRule("codegen.raise"),))
+        text = plan.describe()
+        assert "seed 3" in text and "codegen.raise" in text
+
+
+class TestFaultInjector:
+    def test_fires_exactly_max_fires_times(self):
+        injector = FaultInjector(FaultPlan(rules=(
+            FaultRule("worker.crash", max_fires=2),)))
+        hits = [injector.check("worker.crash") for _ in range(5)]
+        assert [h is not None for h in hits] == [True, True] + [False] * 3
+        assert injector.fires() == {"worker.crash": 2}
+        assert injector.exhausted()
+
+    def test_after_skips_early_evaluations(self):
+        injector = FaultInjector(FaultPlan(rules=(
+            FaultRule("conn.drop", after=2, max_fires=1),)))
+        hits = [injector.check("conn.drop") is not None for _ in range(4)]
+        assert hits == [False, False, True, False]
+
+    def test_unlisted_site_is_free(self):
+        injector = FaultInjector(FaultPlan(rules=(
+            FaultRule("worker.hang"),)))
+        assert injector.check("conn.drop") is None
+        assert injector.fires() == {}
+
+    def test_probability_stream_is_seeded(self):
+        def run(seed):
+            injector = FaultInjector(FaultPlan(seed=seed, rules=(
+                FaultRule("reply.delay", probability=0.5,
+                          max_fires=None),)))
+            return [injector.check("reply.delay") is not None
+                    for _ in range(64)]
+
+        assert run(11) == run(11)           # identical run over run
+        assert run(11) != run(12)           # and seed-sensitive
+        assert any(run(11)) and not all(run(11))
+
+    def test_fires_counted_in_metrics(self):
+        from repro.obs.metrics import get_registry
+
+        injector = FaultInjector(FaultPlan(rules=(
+            FaultRule("shm.exhaust", max_fires=3),)))
+        counter = get_registry().counter("faults_injected_total",
+                                         site="shm.exhaust")
+        before = counter.value
+        for _ in range(5):
+            injector.check("shm.exhaust")
+        assert counter.value == before + 3
+
+
+class TestActivation:
+    def test_no_plan_means_no_faults(self):
+        assert faults.check("worker.crash") is None
+        assert faults.active_plan() is None
+
+    def test_install_and_clear(self):
+        plan = FaultPlan(rules=(FaultRule("conn.drop"),))
+        faults.install_plan(plan)
+        assert faults.active_plan() == plan
+        assert faults.check("conn.drop") is not None
+        assert faults.check("conn.drop") is None    # max_fires=1
+        faults.clear_plan()
+        assert faults.active_plan() is None
+
+    def test_env_var_inline_json(self, monkeypatch):
+        plan = FaultPlan(seed=5, rules=(FaultRule("codegen.raise"),))
+        monkeypatch.setenv(faults.ENV_VAR, plan.to_json())
+        faults.clear_plan()
+        # clear_plan marks the env as consulted; reset to simulate a
+        # fresh process that reads the variable lazily
+        faults._env_checked = False
+        assert faults.active_plan() == plan
+
+    def test_env_var_file_path(self, monkeypatch, tmp_path):
+        plan = FaultPlan(rules=(FaultRule("worker.hang"),))
+        path = tmp_path / "plan.json"
+        path.write_text(plan.to_json())
+        monkeypatch.setenv(faults.ENV_VAR, str(path))
+        assert faults.plan_from_env() == plan
+
+    def test_env_var_bad_path_rejected(self, monkeypatch):
+        monkeypatch.setenv(faults.ENV_VAR, "/nonexistent/plan.json")
+        with pytest.raises(FaultConfigError, match="neither inline"):
+            faults.plan_from_env()
+
+    def test_reset_inherited_state_acts_like_a_fresh_process(
+            self, monkeypatch):
+        # simulate a fork child: parent had a plan installed...
+        faults.install_plan(FaultPlan(rules=(FaultRule("conn.drop"),)))
+        env_plan = FaultPlan(seed=5, rules=(FaultRule("worker.hang"),))
+        monkeypatch.setenv(faults.ENV_VAR, env_plan.to_json())
+        # ...the child sheds it and re-reads the environment lazily
+        faults.reset_inherited_state()
+        assert faults.active_plan() == env_plan
+
+    def test_reset_inherited_state_without_env_disarms(self, monkeypatch):
+        monkeypatch.delenv(faults.ENV_VAR, raising=False)
+        faults.install_plan(FaultPlan(rules=(FaultRule("worker.crash"),)))
+        faults.reset_inherited_state()
+        assert faults.active_plan() is None
+        assert faults.check("worker.crash") is None
+
+    def test_explicit_install_beats_env(self, monkeypatch):
+        monkeypatch.setenv(faults.ENV_VAR, FaultPlan(
+            rules=(FaultRule("conn.drop"),)).to_json())
+        explicit = FaultPlan(rules=(FaultRule("worker.crash"),))
+        faults.install_plan(explicit)
+        assert faults.active_plan() == explicit

@@ -1,0 +1,174 @@
+"""Chaos suite: seeded fault storms against a live gateway.
+
+The acceptance contract of the resilience layer, as one test family:
+under a seeded :class:`~repro.faults.FaultPlan` mixing hangs, crashes,
+connection drops and shm exhaustion,
+
+* every request that *succeeds* returns bits identical to the
+  in-process reference,
+* every request that *fails* surfaces a typed :mod:`repro.errors`
+  exception — never a raw ``socket`` / ``struct`` / ``Connection``
+  error,
+* and once the plan goes quiet the pool converges (every worker slot
+  live again), traffic is fault-free, and no shm slot leaked.
+
+Fork-started workers keep the file fast; thresholds are hundreds of
+milliseconds so supervision acts within a test's patience.
+"""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro import faults
+from repro.api.config import ExecutionConfig
+from repro.errors import ReproError
+from repro.faults import FaultPlan, FaultRule
+from repro.serve.gateway import Gateway
+from repro.sparse import spmm_reference
+from tests.conftest import random_csr
+
+
+def _wait_for(predicate, timeout=60.0, message="condition"):
+    deadline = time.perf_counter() + timeout
+    while time.perf_counter() < deadline:
+        if predicate():
+            return
+        time.sleep(0.01)
+    raise AssertionError(f"timed out waiting for {message}")
+
+
+@pytest.fixture(autouse=True)
+def _clean_plan():
+    faults.clear_plan()
+    yield
+    faults.clear_plan()
+
+
+STORM = FaultPlan(seed=1234, rules=(
+    # worker sites: evaluated per worker process (each worker runs its
+    # own schedule), so the pool loses processes mid-storm
+    FaultRule("worker.crash", after=2, max_fires=1),
+    FaultRule("worker.hang", after=6, max_fires=1, hang_seconds=30.0),
+    FaultRule("codegen.raise", after=10, max_fires=1),
+    # gateway/client sites: evaluated in the driving process
+    FaultRule("conn.drop", after=3, max_fires=2),
+    FaultRule("shm.exhaust", after=8, max_fires=2),
+))
+
+
+class TestChaosStorm:
+    def test_storm_then_recovery(self, rng):
+        config = ExecutionConfig(split="row", backend="native", workers=2,
+                                 hang_threshold_ms=400.0,
+                                 breaker_threshold=2, max_retries=3)
+        with Gateway(config, mp_start="fork",
+                     breaker_cooldown=0.25) as gateway:
+            setup = gateway.connect()
+            matrix = random_csr(rng, 96, 64, density=0.2, name="chaos")
+            handle = setup.register(matrix, "chaos")
+            xs = [rng.random((64, 4)).astype(np.float32)
+                  for _ in range(4)]
+            references = [spmm_reference(matrix, x) for x in xs]
+            for x in xs:                        # warm every shape
+                setup.multiply(handle, x)
+            setup.close()
+
+            gateway.set_fault_plan(STORM)
+            successes, failures, untyped = [], [], []
+            lock = threading.Lock()
+
+            def storm_worker(tid: int) -> None:
+                client = gateway.connect(retry_seed=tid, backoff_base=0.02)
+                try:
+                    for i in range(12):
+                        which = (tid + i) % len(xs)
+                        try:
+                            y = client.multiply(handle, xs[which])
+                        except ReproError as error:
+                            with lock:
+                                failures.append(error)
+                        except BaseException as error:  # noqa: BLE001
+                            with lock:
+                                untyped.append(error)
+                        else:
+                            with lock:
+                                successes.append((which, y))
+                finally:
+                    client.close()
+
+            threads = [threading.Thread(target=storm_worker, args=(tid,))
+                       for tid in range(3)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=120)
+            assert not any(t.is_alive() for t in threads), \
+                "storm request hung"
+
+            # contract 1: no raw socket/struct surface, ever
+            assert untyped == [], untyped
+            # contract 2: every success is bit-identical to reference
+            assert successes, "storm starved every request"
+            for which, y in successes:
+                assert y.tobytes() == references[which].tobytes(), \
+                    f"storm corrupted a served result (shape {which})"
+            # the plan actually did something in this process
+            # (conn.drop / shm.exhaust fire on the driving side)
+            assert faults.fires(), "storm injected nothing"
+
+            # contract 3: full recovery once the plan goes quiet
+            gateway.set_fault_plan(None)
+            _wait_for(lambda: len(gateway.worker_pids()) == config.workers,
+                      message="worker pool converged")
+            probe = gateway.connect(backoff_base=0.02)
+            try:
+                deadline = time.perf_counter() + 60
+                streak = 0
+                while streak < 5:
+                    try:
+                        y = probe.multiply(handle, xs[0])
+                    except ReproError:
+                        streak = 0
+                        if time.perf_counter() > deadline:
+                            raise
+                        time.sleep(0.05)
+                        continue
+                    assert y.tobytes() == references[0].tobytes()
+                    streak += 1
+                # post-recovery: a clean window of fault-free traffic
+                for i in range(12):
+                    y = probe.multiply(handle, xs[i % len(xs)])
+                    assert y.tobytes() == references[i % len(xs)].tobytes()
+            finally:
+                probe.close()
+            # contract 4: nothing leaked — every shm slot came home
+            _wait_for(lambda: gateway.shm_stats().in_use == 0,
+                      timeout=10, message="shm slots all released")
+            stats = gateway.shm_stats()
+            assert stats.in_use == 0
+            # and the gateway still answers the control plane
+            assert "gateway_requests_total" in gateway.stats_text()
+
+    def test_storm_is_reproducible_in_process(self):
+        """The same plan yields the same injection schedule: per-site
+        seeded streams and counters, independent of wall clock."""
+
+        def schedule(plan: FaultPlan) -> list:
+            injector = faults.FaultInjector(plan)
+            hits = []
+            for site in ("conn.drop", "shm.exhaust", "worker.crash"):
+                hits.append([injector.check(site) is not None
+                             for _ in range(16)])
+            return hits
+
+        plan = FaultPlan(seed=99, rules=(
+            FaultRule("conn.drop", probability=0.5, max_fires=None),
+            FaultRule("shm.exhaust", after=4, max_fires=3),
+            FaultRule("worker.crash", probability=0.25, max_fires=None),
+        ))
+        assert schedule(plan) == schedule(plan)
+        assert schedule(plan) != schedule(FaultPlan(seed=100,
+                                                    rules=plan.rules))

@@ -270,7 +270,10 @@ class TestCrashRecovery:
         bits afterwards."""
         config = ExecutionConfig(split="row", backend="native", workers=1)
         with Gateway(config, mp_start="fork", slots=2) as gateway:
-            pin_client = gateway.connect()
+            # retries would mask the crash (the pool respawns and a
+            # replay succeeds — see test_gateway_resilience for that
+            # contract); this test pins the *typed error* surface
+            pin_client = gateway.connect(max_retries=0)
             client = gateway.connect()
             try:
                 matrix = random_csr(rng, 256, 192, density=0.25,

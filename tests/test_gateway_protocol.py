@@ -7,8 +7,8 @@ import threading
 import numpy as np
 import pytest
 
-from repro.errors import (FrameTooLarge, GatewayError, GatewayOverloaded,
-                          ProtocolError, ShapeError)
+from repro.errors import (FrameTooLarge, GatewayDisconnected, GatewayError,
+                          GatewayOverloaded, ProtocolError, ShapeError)
 from repro.serve.gateway import protocol as proto
 from tests.conftest import random_csr
 
@@ -18,7 +18,19 @@ class TestHeader:
         for op in proto.OP_NAMES:
             frame = proto.encode_frame(op, b"payload", request_id=7 + op)
             parsed = proto.parse_header(frame[:proto.HEADER.size])
-            assert parsed == (op, len(b"payload"), 7 + op)
+            assert parsed == (op, len(b"payload"), 7 + op, 0)
+
+    def test_deadline_rides_the_header(self):
+        frame = proto.encode_frame(proto.OP_MULTIPLY, b"xy",
+                                   request_id=3, deadline_ms=1500)
+        op, length, request_id, deadline_ms = proto.parse_header(
+            frame[:proto.HEADER.size])
+        assert (op, length, request_id) == (proto.OP_MULTIPLY, 2, 3)
+        assert deadline_ms == 1500
+
+    def test_zero_deadline_means_none(self):
+        frame = proto.encode_frame(proto.OP_PING, b"")
+        assert proto.parse_header(frame[:proto.HEADER.size])[3] == 0
 
     def test_bad_magic_rejected(self):
         frame = bytearray(proto.encode_frame(proto.OP_PING, b""))
@@ -27,12 +39,12 @@ class TestHeader:
             proto.parse_header(bytes(frame[:proto.HEADER.size]))
 
     def test_bad_version_rejected(self):
-        header = proto.HEADER.pack(proto.MAGIC, 99, proto.OP_PING, 0, 0)
+        header = proto.HEADER.pack(proto.MAGIC, 99, proto.OP_PING, 0, 0, 0)
         with pytest.raises(ProtocolError, match="version"):
             proto.parse_header(header)
 
     def test_unknown_op_rejected(self):
-        header = proto.HEADER.pack(proto.MAGIC, proto.VERSION, 0x55, 0, 0)
+        header = proto.HEADER.pack(proto.MAGIC, proto.VERSION, 0x55, 0, 0, 0)
         with pytest.raises(ProtocolError, match="unknown op"):
             proto.parse_header(header)
 
@@ -42,7 +54,7 @@ class TestHeader:
 
     def test_oversized_frame_rejected_before_payload(self):
         header = proto.HEADER.pack(proto.MAGIC, proto.VERSION,
-                                   proto.OP_MULTIPLY, 1 << 30, 0)
+                                   proto.OP_MULTIPLY, 1 << 30, 0, 0)
         with pytest.raises(FrameTooLarge):
             proto.parse_header(header, max_frame=1 << 20)
 
@@ -235,9 +247,116 @@ class TestSocketHelpers:
         server, client = socket.socketpair()
         try:
             server.sendall(proto.HEADER.pack(
-                proto.MAGIC, proto.VERSION, proto.OP_PING, 1 << 28, 0))
+                proto.MAGIC, proto.VERSION, proto.OP_PING, 1 << 28, 0, 0))
             with pytest.raises(FrameTooLarge):
                 proto.recv_frame(client, max_frame=1 << 16)
         finally:
             server.close()
+            client.close()
+
+    def test_eof_mid_frame_is_gateway_disconnected(self):
+        server, client = socket.socketpair()
+        try:
+            server.sendall(proto.encode_frame(proto.OP_PING, b"hello")[:-1])
+            server.close()
+            with pytest.raises(GatewayDisconnected):
+                proto.recv_frame(client)
+        finally:
+            client.close()
+
+
+class TestProtocolFuzz:
+    """Torn, truncated and interleaved frames must fail typed, never hang.
+
+    Every receive here runs against a socket with a short timeout: a
+    hang would surface as ``socket.timeout`` (an OSError), failing the
+    test rather than wedging the suite.
+    """
+
+    @staticmethod
+    def _pair():
+        server, client = socket.socketpair()
+        client.settimeout(2.0)
+        return server, client
+
+    def test_header_split_across_reads(self):
+        # a header dribbling in one byte at a time must still parse
+        frame = proto.encode_frame(proto.OP_PING, b"body", request_id=9)
+        server, client = self._pair()
+        try:
+            done = threading.Event()
+
+            def dribble():
+                for i in range(len(frame)):
+                    server.sendall(frame[i:i + 1])
+                done.set()
+
+            feeder = threading.Thread(target=dribble)
+            feeder.start()
+            op, request_id, payload = proto.recv_frame(client)
+            feeder.join()
+            assert done.is_set()
+            assert (op, request_id, payload) == (proto.OP_PING, 9, b"body")
+        finally:
+            server.close()
+            client.close()
+
+    def test_payload_truncated_at_every_byte_boundary(self):
+        frame = proto.encode_frame(proto.OP_MULTIPLY, b"0123456789",
+                                   request_id=1)
+        for cut in range(len(frame)):
+            server, client = self._pair()
+            try:
+                if cut:
+                    server.sendall(frame[:cut])
+                server.close()
+                with pytest.raises(GatewayDisconnected):
+                    proto.recv_frame(client)
+            finally:
+                client.close()
+
+    def test_header_corrupted_at_every_byte(self):
+        # flipping any header byte yields a typed refusal (magic,
+        # version, op or length checks) or — when only the request id
+        # or deadline changes — a clean parse; never a raw struct error
+        frame = proto.encode_frame(proto.OP_PING, b"", request_id=5)
+        header = frame[:proto.HEADER.size]
+        for i in range(len(header)):
+            mutated = bytearray(header)
+            mutated[i] ^= 0xFF
+            try:
+                parsed = proto.parse_header(bytes(mutated),
+                                            max_frame=1 << 20)
+            except ProtocolError:
+                continue
+            op, length, _request_id, _deadline = parsed
+            assert op in proto.OP_NAMES
+            assert 0 <= length <= 1 << 20
+
+    def test_interleaved_second_frame_survives_first(self):
+        # two frames arriving in one burst parse back-to-back; a torn
+        # *third* then fails typed without disturbing the first two
+        first = proto.encode_frame(proto.OP_PING, b"a", request_id=1)
+        second = proto.encode_frame(proto.OP_STATS, b"bb", request_id=2)
+        third = proto.encode_frame(proto.OP_PING, b"ccc", request_id=3)
+        server, client = self._pair()
+        try:
+            server.sendall(first + second + third[:7])
+            server.close()
+            assert proto.recv_frame(client)[:2] == (proto.OP_PING, 1)
+            assert proto.recv_frame(client)[:2] == (proto.OP_STATS, 2)
+            with pytest.raises(GatewayDisconnected):
+                proto.recv_frame(client)
+        finally:
+            client.close()
+
+    def test_garbage_bytes_fail_typed(self, rng):
+        blob = bytes(rng.integers(0, 256, size=64, dtype=np.uint8))
+        server, client = self._pair()
+        try:
+            server.sendall(blob)
+            server.close()
+            with pytest.raises(ProtocolError):
+                proto.recv_frame(client)
+        finally:
             client.close()
