@@ -26,6 +26,17 @@ speaking the real socket protocol against a local
 networked-at-2-workers over in-process-at-1-batch, where process
 parallelism must beat protocol overhead (CI gates this at >= 1.5x).
 
+The harness also measures **cold start**: register never-seen matrices
+while closed-loop traffic hammers a warm handle, and time each fresh
+handle's *first* ``multiply``.  Two cells: ``inline`` (``tier_mode=
+"off"``, the first request pays autotune + codegen on the request
+path) and ``tiered`` (``tier_mode="lazy"``, the first request binds
+the address-free template and specialization happens in the
+background — :mod:`repro.serve.tier`).  Both cells assert bit-identity
+against :func:`repro.core.engine.spmm_reference`, including after a
+promotion lands; the JSON's ``coldstart`` section reports first-request
+p50/p99 per mode and the tiered-over-inline speedup CI gates at >= 3x.
+
 Emitted as a table and as ``BENCH_servethroughput.json`` (path
 overridable via ``REPRO_BENCH_SERVETHROUGHPUT_JSON``), which CI
 regenerates at tiny scale and gates on: coalesced throughput must stay
@@ -44,7 +55,9 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.bench.harness import BenchConfig, render_table
-from repro.serve import SpmmService
+from repro.core.engine import spmm_reference
+from repro.serve import TIER_PROMOTED, SpmmService
+from repro.sparse.csr import CsrMatrix
 
 __all__ = ["ServeThroughputResult", "run_servethroughput"]
 
@@ -82,6 +95,20 @@ DEFAULT_CLIENTS = 8
 #: magnitude slower per request and only provides a reference point)
 DEFAULT_REQUESTS = 40
 
+#: fresh handles registered per cold-start cell
+#: (env: REPRO_BENCH_SERVE_COLDSTART)
+DEFAULT_COLDSTART_HANDLES = 12
+
+#: background closed-loop clients keeping the service busy while the
+#: cold-start cells register fresh handles
+COLDSTART_CLIENTS = 4
+
+#: cold-start cells: inline specialization vs template-first tiering
+COLDSTART_MODES = ("inline", "tiered")
+
+#: tiered cold-start p99 must beat inline by this factor (the CI gate)
+COLDSTART_TARGET = 3.0
+
 
 @dataclass
 class ServeThroughputResult:
@@ -94,6 +121,8 @@ class ServeThroughputResult:
     rows: dict[tuple[str, int], dict]
     json_path: str
     networked: bool = field(default=False)
+    #: cold-start section: mode name -> cell dict, plus the speedups
+    coldstart: dict = field(default_factory=dict)
 
     def rps(self, backend: str, max_batch: int) -> float:
         return self.rows[(backend, max_batch)]["rps"]
@@ -113,6 +142,12 @@ class ServeThroughputResult:
         backend = f"gateway:{NETWORKED_WORKER_COUNTS[-1]}w"
         return self.rps(backend, NETWORKED_BATCH) / self.rps("native", 1)
 
+    def coldstart_speedup_p99(self) -> float:
+        """Inline cold-start p99 over tiered cold-start p99 — the CI
+        acceptance ratio (target >= 3x): how much of the first-request
+        latency tiering moved off the request path."""
+        return self.coldstart["speedup_p99"]
+
     # ------------------------------------------------------------------
     def as_payload(self) -> dict:
         """The JSON document CI archives (one row per measured cell)."""
@@ -129,6 +164,7 @@ class ServeThroughputResult:
                 for (backend, max_batch), row in sorted(self.rows.items())
             ],
             "speedup_coalesced": self.speedup_coalesced(),
+            "coldstart": self.coldstart,
         }
         if self.networked:
             payload["speedup_networked"] = self.speedup_networked()
@@ -163,7 +199,21 @@ class ServeThroughputResult:
                 "gate requires >= 1.5x req/s vs in-process max_batch=1 "
                 f"(measured {self.speedup_networked():.2f}x)."
             )
-        return render_table(headers, table_rows, title)
+        lines = [render_table(headers, table_rows, title)]
+        if self.coldstart:
+            cold = self.coldstart
+            lines.append(
+                f"cold start ({cold['handles']} fresh handles under "
+                f"{cold['clients']} clients of warm traffic): "
+                + "; ".join(
+                    f"{mode} p50 {cell['p50_ms']:.3f}ms / "
+                    f"p99 {cell['p99_ms']:.3f}ms"
+                    for mode, cell in sorted(cold["modes"].items()))
+                + f" -> tiered p99 speedup "
+                f"{cold['speedup_p99']:.2f}x (gate >= "
+                f"{COLDSTART_TARGET:.0f}x), bit_identical="
+                f"{cold['bit_identical']}")
+        return "\n".join(lines)
 
 
 def _run_cell(config: BenchConfig, matrix, backend: str, max_batch: int,
@@ -304,6 +354,133 @@ def _run_networked_cell(config: BenchConfig, matrix, workers: int,
     }
 
 
+def _fresh_matrices(config: BenchConfig, base, count: int,
+                    mode_index: int) -> list[CsrMatrix]:
+    """``count`` never-seen matrices with pairwise-distinct shapes.
+
+    Cold start is only cold if nothing is shared: the autotune memo is
+    process-wide and JIT kernel identities are shape-addressed, so
+    every matrix — within a cell and across cells — gets its own shape
+    (and so its own memo entry and kernel identity).  Without this the
+    inline cell would warm the tiered cell, or vice versa, depending on
+    run order.
+    """
+    rng = np.random.default_rng(config.seed + 7919 * (mode_index + 1))
+    density = min(0.3, max(0.02, base.nnz / (base.nrows * base.ncols)))
+    matrices = []
+    for index in range(count):
+        offset = 2 * (count * mode_index + index)
+        nrows = base.nrows + offset + 1
+        ncols = base.ncols + offset + 2
+        mask = rng.random((nrows, ncols)) < density
+        dense = np.where(mask, rng.standard_normal((nrows, ncols)), 0.0)
+        dense[0, 0] = 1.0           # never an all-zero matrix
+        matrices.append(CsrMatrix.from_dense(
+            dense.astype(np.float32), name=f"cold-{mode_index}-{index}"))
+    return matrices
+
+
+def _run_coldstart_cell(config: BenchConfig, base, mode: str,
+                        mode_index: int, handles: int,
+                        clients: int) -> dict:
+    """Time the first request of ``handles`` fresh registrations.
+
+    ``mode="inline"`` serves with ``tier_mode="off"`` (first request
+    pays autotune + codegen inline); ``mode="tiered"`` with
+    ``tier_mode="lazy"`` (first request binds the template, promotion
+    runs in the background).  Both run under closed-loop warm traffic,
+    and every result — template tier, inline, and the first handle's
+    post-promotion product — is checked bit-equal against
+    ``spmm_reference``.
+    """
+    tier_mode = "off" if mode == "inline" else "lazy"
+    service = SpmmService(threads=config.threads, split="auto",
+                          timing=False, tier_mode=tier_mode,
+                          promote_after=8)
+    rng = np.random.default_rng(config.seed + mode_index)
+    matrices = _fresh_matrices(config, base, handles + 1, mode_index)
+    warm_matrix, fresh = matrices[0], matrices[1:]
+    warm_handle = service.register(warm_matrix, warm_matrix.name)
+    warm_x = rng.random((warm_matrix.ncols, _D), dtype=np.float32)
+    service.multiply(warm_handle, warm_x)   # warm traffic starts warm
+    stop = threading.Event()
+
+    def background() -> None:
+        while not stop.is_set():
+            service.multiply(warm_handle, warm_x)
+
+    traffic = [threading.Thread(target=background)
+               for _ in range(clients)]
+    latencies: list[float] = []
+    bit_identical = True
+    promoted = False
+    try:
+        for thread in traffic:
+            thread.start()
+        for matrix in fresh:
+            x = rng.random((matrix.ncols, _D), dtype=np.float32)
+            handle = service.register(matrix, matrix.name)
+            started = time.perf_counter()
+            y = service.multiply(handle, x)
+            latencies.append(time.perf_counter() - started)
+            bit_identical &= np.array_equal(y, spmm_reference(matrix, x))
+    finally:
+        stop.set()
+        for thread in traffic:
+            thread.join()
+    if tier_mode != "off":
+        # heat the first fresh handle past the threshold, wait for its
+        # promotion to land, and check the promoted tier's bits too
+        matrix, x = fresh[0], rng.random((fresh[0].ncols, _D),
+                                         dtype=np.float32)
+        handle = service.register(matrix, f"{matrix.name}-hot")
+        deadline = time.monotonic() + 60.0
+        while (service.tier_state(handle, _D) != TIER_PROMOTED
+               and time.monotonic() < deadline):
+            y = service.multiply(handle, x)
+            bit_identical &= np.array_equal(y, spmm_reference(matrix, x))
+            service.drain_promotions(1.0)
+        promoted = service.tier_state(handle, _D) == TIER_PROMOTED
+        y = service.multiply(handle, x)
+        bit_identical &= np.array_equal(y, spmm_reference(matrix, x))
+    service.close()
+    lat = np.asarray(latencies)
+    return {
+        "mode": mode,
+        "tier_mode": tier_mode,
+        "handles": int(lat.size),
+        "p50_ms": 1e3 * float(np.percentile(lat, 50)),
+        "p99_ms": 1e3 * float(np.percentile(lat, 99)),
+        "mean_ms": 1e3 * float(lat.mean()),
+        "bit_identical": bool(bit_identical),
+        "promoted": bool(promoted),
+    }
+
+
+def _run_coldstart(config: BenchConfig, base, handles: int,
+                   clients: int) -> dict:
+    """Both cold-start cells plus the gate ratios."""
+    modes = {
+        mode: _run_coldstart_cell(config, base, mode, mode_index,
+                                  handles, clients)
+        for mode_index, mode in enumerate(COLDSTART_MODES)
+    }
+    return {
+        "handles": handles,
+        "clients": clients,
+        "d": _D,
+        "modes": modes,
+        "speedup_p50": modes["inline"]["p50_ms"]
+        / modes["tiered"]["p50_ms"],
+        "speedup_p99": modes["inline"]["p99_ms"]
+        / modes["tiered"]["p99_ms"],
+        "bit_identical": all(cell["bit_identical"]
+                             for cell in modes.values()),
+        "promoted": modes["tiered"]["promoted"],
+        "target": COLDSTART_TARGET,
+    }
+
+
 def run_servethroughput(config: BenchConfig | None = None
                         ) -> ServeThroughputResult:
     """Measure every (backend, max_batch) cell; write the JSON."""
@@ -328,12 +505,17 @@ def run_servethroughput(config: BenchConfig | None = None
             rows[(f"gateway:{workers}w", NETWORKED_BATCH)] = (
                 _run_networked_cell(config, matrix, workers, clients,
                                     requests))
+    coldstart_handles = max(
+        2, int(os.environ.get("REPRO_BENCH_SERVE_COLDSTART",
+                              DEFAULT_COLDSTART_HANDLES)))
+    coldstart = _run_coldstart(config, matrix, coldstart_handles,
+                               COLDSTART_CLIENTS)
     json_path = os.environ.get("REPRO_BENCH_SERVETHROUGHPUT_JSON",
                                DEFAULT_JSON_PATH)
     result = ServeThroughputResult(
         config=config, dataset=dataset, clients=clients,
         requests_per_client=requests, rows=rows, json_path=json_path,
-        networked=networked,
+        networked=networked, coldstart=coldstart,
     )
     with open(json_path, "w") as handle:
         json.dump(result.as_payload(), handle, indent=2)

@@ -19,7 +19,11 @@ request stream.  Components:
   free-list recycling batch gather buffers;
 * :mod:`repro.serve.stats` — per-handle and service-wide request
   statistics, including the amortized Table-IV ``codegen_overhead``,
-  the coalescing batch-size histogram and lock-contention counters.
+  the coalescing batch-size histogram and lock-contention counters;
+* :mod:`repro.serve.tier` — tiered execution: cold handles serve from
+  the address-free template tier (near-instant registration and first
+  request) and are promoted to specialized kernels in the background
+  once hot (:class:`PromotionExecutor`, :class:`TierStats`).
 
 See :mod:`repro.bench.serving` for the amortization experiment,
 :mod:`repro.bench.servethroughput` for the coalescing throughput
@@ -44,6 +48,18 @@ from repro.serve.stats import (
     ServiceStats,
     TimedLock,
 )
+from repro.serve.tier import (
+    PROMOTION_OUTCOMES,
+    PromotionExecutor,
+    TIER_FAILED,
+    TIER_INLINE,
+    TIER_MODES,
+    TIER_PROMOTED,
+    TIER_PROMOTING,
+    TIER_TEMPLATE,
+    TierSnapshot,
+    TierStats,
+)
 
 __all__ = [
     "CacheStats",
@@ -53,10 +69,20 @@ __all__ = [
     "LatencyStat",
     "LockStats",
     "MatrixHandle",
+    "PROMOTION_OUTCOMES",
     "PoolStats",
+    "PromotionExecutor",
     "ServiceStats",
     "ShardedKernelCache",
     "SpmmService",
+    "TIER_FAILED",
+    "TIER_INLINE",
+    "TIER_MODES",
+    "TIER_PROMOTED",
+    "TIER_PROMOTING",
+    "TIER_TEMPLATE",
+    "TierSnapshot",
+    "TierStats",
     "TimedLock",
     "WorkspacePool",
     "aot_key",

@@ -241,6 +241,16 @@ class Gateway:
             "l1": config.l1,
             "l2": config.l2,
             "system": system,
+            # tiered execution is per worker: each worker promotes its
+            # own hot handles, and the autotune-memo broadcast riding
+            # every reply converges the pool's promoted split choices;
+            # a respawned worker re-promotes from its replayed
+            # registrations as traffic returns
+            "tier_mode": config.tier_mode,
+            "promote_after": config.promote_after,
+            "promotion_workers": config.promotion_workers,
+            "opt_level": config.opt_level,
+            "search_budget": config.search_budget,
         }
         self._ring: ShmRing | None = None
         self._workers: list[_WorkerHandle] = []

@@ -37,7 +37,14 @@ overhead the same way codegen overhead was removed:
   the fast path never maps at all), and batch gather buffers come from
   a size-bucketed :class:`~repro.serve.pool.WorkspacePool` free-list,
   so steady-state requests perform no allocations beyond the result
-  buffer their caller keeps.
+  buffer their caller keeps;
+* **tiered execution** (``tier_mode``, :mod:`repro.serve.tier`) — cold
+  ``(handle, d)`` workspaces bind the system's cached address-free
+  template (no autotune, no codegen: near-instant first request) and
+  are promoted to the specialized plan by a bounded background
+  executor once traffic crosses ``promote_after``; both tiers are
+  bit-identical, and the hot-swap rides the same refcounted kernel-
+  identity guard that already protects unregister/eviction races.
 
 Two request paths, mirroring :class:`repro.core.engine.JitSpMM`:
 
@@ -79,6 +86,17 @@ from repro.obs.trace import current_trace_id, span as _span
 from repro.serve.cache import CacheStats, KernelCache, ShardedKernelCache
 from repro.serve.pool import PoolStats, WorkspacePool
 from repro.serve.stats import HandleStats, LockStats, ServiceStats, TimedLock
+from repro.serve.tier import (
+    PROMOTION_OUTCOMES,
+    PromotionExecutor,
+    TIER_FAILED,
+    TIER_INLINE,
+    TIER_PROMOTED,
+    TIER_PROMOTING,
+    TIER_TEMPLATE,
+    TierSnapshot,
+    TierStats,
+)
 from repro.sparse.csr import CsrMatrix
 
 __all__ = ["MatrixHandle", "ServiceSnapshot", "SpmmService"]
@@ -169,6 +187,15 @@ class _Workspace:
     lock: threading.Lock = field(default_factory=threading.Lock)
     #: coalescing queue for the fast path (used when ``max_batch > 1``)
     queue: _BatchQueue = field(default_factory=_BatchQueue)
+    #: serving tier (tier state machine in :mod:`repro.serve.tier`);
+    #: ``"inline"`` on an untiered service
+    tier: str = TIER_INLINE
+    #: requests served on the template tier (drives the promotion
+    #: threshold; mutated under the owning stripe lock)
+    traffic: int = 0
+    #: the typed error of a failed promotion (the workspace then serves
+    #: the template tier for good)
+    promote_error: BaseException | None = None
 
 
 class _Stripe:
@@ -204,6 +231,9 @@ class ServiceSnapshot:
     workspace_cap: int | None
     workspace_evictions: int
     autotune_memo: dict
+    #: tiered-execution state; None on an untiered service (the report
+    #: and metric series are then byte-identical to pre-tiering ones)
+    tier: TierSnapshot | None = None
 
     def render(self) -> str:
         """The service report (live Table IV) — byte-identical to what
@@ -211,14 +241,17 @@ class ServiceSnapshot:
         cap = ("unbounded" if self.workspace_cap is None
                else self.workspace_cap)
         memo = self.autotune_memo
-        return "\n".join([
+        lines = [
             self.stats.render(self.cache, self.locks),
             f"workspaces: {self.workspaces_live} live (cap {cap}), "
             f"{self.workspace_evictions} evicted",
             self.pool.render(),
             f"autotune memo: {memo['hits']} hits / {memo['misses']} "
             f"misses ({memo['entries']} entries, process-wide)",
-        ])
+        ]
+        if self.tier is not None:
+            lines.append(self.tier.render())
+        return "\n".join(lines)
 
     def metric_samples(self, **labels) -> list[Sample]:
         """The snapshot as registry samples (``serve_*`` series).
@@ -272,6 +305,22 @@ class ServiceSnapshot:
         out.extend(
             sample("serve_batches_total", count, size=size)
             for size, count in sorted(stats.batch_sizes.items()))
+        out.extend(
+            sample("serve_tier_traffic_total", count, tier=name)
+            for name, count in sorted(stats.tier_traffic.items()))
+        if self.tier is not None:
+            out.extend(
+                sample("serve_tier_promotions_total",
+                       self.tier.outcomes.get(outcome, 0), outcome=outcome)
+                for outcome in PROMOTION_OUTCOMES)
+            out.append(sample("serve_tier_promotions_pending",
+                              self.tier.pending, "gauge"))
+            out.append(sample("serve_tier_codegen_seconds_total",
+                              self.tier.codegen_seconds))
+            out.extend(
+                sample("serve_tier_failures_total", count, reason=reason)
+                for reason, count in sorted(
+                    self.tier.failure_reasons.items()))
         return out
 
 
@@ -344,6 +393,25 @@ class SpmmService:
             while an earlier batch is in flight.
         stripes: Lock stripes for service state, and the shard count of
             the private kernel cache.
+        tier_mode: Tiered execution (:mod:`repro.serve.tier`):
+            ``"off"`` (default) specializes inline on the first request
+            per (handle, d); ``"lazy"`` serves cold workspaces from the
+            system's address-free template tier (near-instant first
+            request, bit-identical results) and promotes to the
+            specialized plan in the background after ``promote_after``
+            requests; ``"eager"`` promotes on the first request.
+            Inert for systems with no faster template
+            (:meth:`repro.api.System.tier_template` returns None).
+        promote_after: Template-tier request count that schedules a
+            (handle, d) for background promotion (lazy mode).
+        promotion_workers: Background promotion threads bounding
+            concurrent off-path autotune/codegen runs.
+        opt_level: AOT optimization level for the served system
+            (ignored by systems without an IR pass pipeline); at
+            ``opt_level=3`` an AOT system searches pass configs per
+            matrix — the expensive bind tiering moves off the request
+            path.
+        search_budget: Candidate budget for one ``opt_level=3`` search.
         obs_label: The ``service=`` label on this service's exported
             metrics (:mod:`repro.obs`); defaults to a process-unique
             ``spmmN``.
@@ -354,8 +422,12 @@ class SpmmService:
     ``max_workspaces``.  ``multiply`` always ensures the kernel exists
     (codegen on first use or after an eviction) so the cached program
     stays warm for ``profile`` and the codegen-once-per-identity
-    accounting holds.  Batch gather buffers are recycled through a
-    :class:`~repro.serve.pool.WorkspacePool` (``service.pool``).
+    accounting holds — except on a tiered service, where the fast path
+    never resolves a kernel at all (the shared template kernel, and a
+    promoted workspace's specialized kernel, resolve on first
+    ``profile``/``kernel`` use or at promotion).  Batch gather buffers
+    are recycled through a :class:`~repro.serve.pool.WorkspacePool`
+    (``service.pool``).
     """
 
     def __init__(
@@ -374,6 +446,11 @@ class SpmmService:
         max_batch: int = 1,
         flush_us: float = 0.0,
         stripes: int = DEFAULT_STRIPES,
+        tier_mode: str = "off",
+        promote_after: int = 32,
+        promotion_workers: int = 1,
+        opt_level: int = 0,
+        search_budget: int = 16,
         obs_label: str | None = None,
     ) -> None:
         if stripes <= 0:
@@ -387,14 +464,37 @@ class SpmmService:
                 f"split='auto' autotunes via the JIT cost model; system "
                 f"{system!r} serves fixed splits (row/nnz/merge)")
         # validation (thread count, split name, backend name, batching
-        # knobs, ...) happens here, once, for the contract every entry
-        # point shares
+        # knobs, tiering, ...) happens here, once, for the contract
+        # every entry point shares
         self._config = ExecutionConfig(
             split=split, threads=threads, isa=isa, timing=timing,
             backend=backend, l1=l1, l2=l2, cache=self.cache,
             max_batch=max_batch, flush_us=flush_us,
+            tier_mode=tier_mode, promote_after=promote_after,
+            promotion_workers=promotion_workers, opt_level=opt_level,
+            search_budget=search_budget,
         )
         self._artifact = self._system.prepare(self._config)
+        # tiered execution: active iff asked for AND the system names a
+        # cheaper bit-identical template tier (repro.serve.tier); the
+        # template artifact shares this service's kernel cache, so its
+        # one compiled kernel serves every cold workspace
+        self.tier_mode = tier_mode
+        self.promote_after = self._config.promote_after
+        self.tier_stats = TierStats()
+        self._template_artifact = None
+        self._template_key = None
+        self._promoter = None
+        template = (self._system.tier_template(self._config)
+                    if tier_mode != "off" else None)
+        if template is not None:
+            template_system, overrides = template
+            self._template_artifact = get_system(template_system).prepare(
+                self._config.with_overrides(**overrides))
+            self._template_key = self._template_artifact.key
+            self._promoter = PromotionExecutor(
+                workers=self._config.promotion_workers,
+                name=f"tier-{obs_label or 'spmm'}")
         if max_workspaces is not None and max_workspaces <= 0:
             raise ShapeError(
                 f"max_workspaces must be positive or None, got "
@@ -548,24 +648,52 @@ class SpmmService:
         so is the cached kernel.  Eviction keeps the kernel warm: a
         re-requested shape pays re-mapping, never re-codegen.
         """
-        key = ws.plan.key
         with self._keylock_guard:
             # keep the contention history of retired queues visible
             self._retired_locks = self._retired_locks + ws.queue.lock.stats()
+        self._release_identity(ws.plan.key, drop_kernel=drop_kernel)
+
+    def _release_identity(self, key, drop_kernel: bool = False) -> None:
+        """Drop one reference to a kernel identity (see above).
+
+        Promotion releases the swapped-out template identity through
+        here too — but the shared template kernel itself is never
+        discarded from the cache (``key != self._template_key`` guard):
+        promotion is not unregistration, and the next cold register
+        must still bind near-instantly.
+        """
+        with self._keylock_guard:
             refs = self._key_refs.get(key, 0) - 1
             if refs > 0:
                 self._key_refs[key] = refs
                 return
             self._key_refs.pop(key, None)
             self._keylocks.pop(key, None)
-            if drop_kernel and self._private_cache:
+            if (drop_kernel and self._private_cache
+                    and key != self._template_key):
                 self.cache.discard(key)
+
+    def _prune_keylock(self, key) -> None:
+        """Drop a codegen lock created for an identity that never
+        landed (stale or failed promotion), unless some workspace
+        legitimately carries that identity."""
+        with self._keylock_guard:
+            if not self._key_refs.get(key):
+                self._keylocks.pop(key, None)
 
     # ------------------------------------------------------------------
     # Workspace resolution
     # ------------------------------------------------------------------
     def _make_workspace(self, handle: MatrixHandle, d: int) -> _Workspace:
         x0 = np.zeros((handle.matrix.ncols, d), dtype=np.float32)
+        if self._template_artifact is not None:
+            # tiered: bind the address-free template — partitioning
+            # only, no autotune/search/codegen, so the first request is
+            # near-instant; promotion specializes in the background
+            plan = self._template_artifact.bind(
+                handle.matrix, x0, ensure_kernel=False,
+                name_prefix="serve")
+            return _Workspace(plan=plan, tier=TIER_TEMPLATE)
         # stage 2 only: autotune + operand mapping + partitioning; the
         # kernel stays unresolved so plan inspection costs no codegen
         plan = self._artifact.bind(handle.matrix, x0, ensure_kernel=False,
@@ -658,32 +786,39 @@ class SpmmService:
         return victims
 
     def _resolve(self, handle: MatrixHandle, d: int):
-        """Workspace + kernel for (handle, d).
+        """Workspace + plan + kernel for (handle, d).
 
-        Returns ``(workspace, kernel, codegen_seconds, cold,
-        generated)`` — generated is True iff kernel construction ran in
-        this call (the kernel was not served from the cache); cold is
-        True when the request paid one-time setup: the first request for
-        this (handle, d) (autotune + operand mapping, even if the kernel
-        itself was already cached under a shared key) or a kernel
-        construction run (first use, or regeneration after eviction).
+        Returns ``(workspace, plan, kernel, codegen_seconds, cold,
+        generated)`` — ``plan`` is the workspace's plan captured once
+        (a concurrent promotion swapping ``ws.plan`` cannot change the
+        plan this request resolved); generated is True iff kernel
+        construction ran in this call (the kernel was not served from
+        the cache); cold is True when the request paid one-time setup:
+        the first request for this (handle, d) (autotune + operand
+        mapping, even if the kernel itself was already cached under a
+        shared key) or a kernel construction run (first use, or
+        regeneration after eviction).
         """
         ws, created = self._workspace(handle, d)
         plan = ws.plan
+        # the plan's own system builds/sizes its kernel: on a tiered
+        # service the template tier's plans belong to the template
+        # system, not the served one
+        system = plan.artifact.system
         # lock-free warm path: a long profile() holding ws.lock must not
         # stall concurrent numpy-path requests (the cache locks itself,
         # per shard)
         kernel = self.cache.get(plan.key)
         if kernel is not None:
             plan.attach_kernel(kernel, cache_hit=True, codegen_seconds=0.0)
-            return ws, kernel, 0.0, created, False
+            return ws, plan, kernel, 0.0, created, False
         # codegen serialization is keyed on kernel *identity*, not on
         # the workspace: same-shaped handles share one kernel, and two
         # concurrent cold requests must not both generate it
         with self._keylock_guard:
             keylock = self._keylocks.setdefault(plan.key, threading.Lock())
         with _span("serve.codegen", handle=handle.handle_id, d=d,
-                   system=self.system) as sp, keylock:
+                   system=system.name) as sp, keylock:
             # uncounted re-check: the probe above already recorded the
             # miss; a hit here means a peer generated it meanwhile
             kernel = self.cache.peek(plan.key)
@@ -691,8 +826,8 @@ class SpmmService:
                 plan.attach_kernel(kernel, cache_hit=True,
                                    codegen_seconds=0.0)
                 sp.annotate(generated=False)
-                return ws, kernel, 0.0, created, False
-            kernel, seconds = self._system.build_kernel(plan)
+                return ws, plan, kernel, 0.0, created, False
+            kernel, seconds = system.build_kernel(plan)
             sp.annotate(generated=True)
             with self._keylock_guard:
                 # don't re-insert behind a racing unregister: cache the
@@ -702,21 +837,22 @@ class SpmmService:
                 # unregister cannot interleave between them
                 if self._key_refs.get(plan.key):
                     self.cache.put(plan.key, kernel,
-                                   self._system.kernel_nbytes(kernel))
+                                   system.kernel_nbytes(kernel))
         plan.attach_kernel(kernel, cache_hit=False, codegen_seconds=seconds)
         with self._stripe(handle.handle_id).lock:
             self.stats.handle(handle.handle_id, handle.name).record_codegen(
                 seconds)
-        return ws, kernel, seconds, True, True
+        return ws, plan, kernel, seconds, True, True
 
     def kernel(self, handle: MatrixHandle, d: int):
         """The (cached) compiled kernel serving (handle, d) requests.
 
         Usable as a prefetch: generation triggered here is charged to
         the handle's codegen stats like any cold request, so later
-        ``multiply`` calls are warm.
+        ``multiply`` calls are warm.  On a tiered service this is the
+        kernel of the workspace's *current* tier.
         """
-        _, kernel, _, _, _ = self._resolve(handle, d)
+        _, _, kernel, _, _, _ = self._resolve(handle, d)
         return kernel
 
     def choice(self, handle: MatrixHandle, d: int) -> SplitChoice | None:
@@ -727,6 +863,207 @@ class SpmmService:
         """
         ws, _ = self._workspace(handle, d)
         return ws.plan.choice
+
+    # ------------------------------------------------------------------
+    # Tiered execution (repro.serve.tier)
+    # ------------------------------------------------------------------
+    @property
+    def tiered(self) -> bool:
+        """True when this service serves template-first with background
+        promotion (tier_mode on AND the system names a template tier)."""
+        return self._template_artifact is not None
+
+    def _plan_tier(self, plan) -> str | None:
+        """The tier label of the plan one request executed on.
+
+        Derived from the plan object itself — not the workspace's
+        mutable ``tier`` field — so every member of a coalesced batch
+        (which executes exactly one captured plan) is attributed to one
+        tier even when a promotion lands mid-batch.  None on an
+        untiered service (no tier series are emitted, keeping the
+        exported metrics byte-compatible).
+        """
+        if self._template_artifact is None:
+            return None
+        return (TIER_TEMPLATE
+                if plan.artifact is self._template_artifact
+                else TIER_PROMOTED)
+
+    def tier_state(self, handle: MatrixHandle, d: int) -> str | None:
+        """The tier state of (handle, d): ``"template"`` /
+        ``"promoting"`` / ``"promoted"`` / ``"failed"`` (``"inline"``
+        on an untiered service); None before the first request binds a
+        workspace."""
+        self._validate_handle(handle)
+        stripe = self._stripe(handle.handle_id)
+        with stripe.lock:
+            ws = stripe.workspaces.get((handle.handle_id, d))
+            return None if ws is None else ws.tier
+
+    def promotion_error(self, handle: MatrixHandle,
+                        d: int) -> BaseException | None:
+        """The typed error that failed (handle, d)'s promotion, if any."""
+        self._validate_handle(handle)
+        stripe = self._stripe(handle.handle_id)
+        with stripe.lock:
+            ws = stripe.workspaces.get((handle.handle_id, d))
+            return None if ws is None else ws.promote_error
+
+    def drain_promotions(self, timeout: float | None = 5.0) -> bool:
+        """Wait for every in-flight background promotion to settle."""
+        if self._promoter is None:
+            return True
+        return self._promoter.drain(timeout)
+
+    def _note_tier_traffic(self, handle: MatrixHandle, ws: _Workspace,
+                           d: int) -> None:
+        """Count one template-tier request; schedule promotion when the
+        policy says so (eager: first request; lazy: threshold)."""
+        if ws.tier != TIER_TEMPLATE:
+            return
+        stripe = self._stripe(handle.handle_id)
+        submit = False
+        with stripe.lock:
+            if ws.tier == TIER_TEMPLATE:
+                ws.traffic += 1
+                if (self.tier_mode == "eager"
+                        or ws.traffic >= self.promote_after):
+                    ws.tier = TIER_PROMOTING
+                    submit = True
+        if submit:
+            self.tier_stats.begin()
+            if not self._promoter.submit(
+                    lambda: self._promote(handle, ws, d)):
+                # pool closed under us (service shutting down): the
+                # job never ran, settle it as stale and keep serving
+                # the template
+                with stripe.lock:
+                    if ws.tier == TIER_PROMOTING:
+                        ws.tier = TIER_TEMPLATE
+                self.tier_stats.finish("stale")
+
+    def _promote(self, handle: MatrixHandle, ws: _Workspace,
+                 d: int) -> None:
+        """One background promotion job: specialize (handle, d) off the
+        request path and hot-swap the workspace's plan.
+
+        Never raises (it runs on a pool thread): failure degrades the
+        workspace to the template tier for good, with the exception
+        type counted as the typed reason; a workspace that was
+        unregistered/evicted (or a service that closed) meanwhile
+        settles as ``stale`` and releases everything it built.
+        """
+        outcome = "failed"
+        seconds = 0.0
+        reason = None
+        with _span("serve.promote", handle=handle.handle_id, d=d,
+                   system=self.system, tier=ws.tier) as sp:
+            plan = None
+            try:
+                if self._closed or self._handles.get(
+                        handle.handle_id) is None:
+                    outcome = "stale"
+                    return
+                # stage 2 for the *served* system: autotune
+                # (choose_split, memo-aware) / pass search + operand
+                # mapping — the exact work the untiered cold path did
+                # inline
+                x0 = np.zeros((handle.matrix.ncols, d), dtype=np.float32)
+                plan = self._artifact.bind(handle.matrix, x0,
+                                           ensure_kernel=False,
+                                           name_prefix="serve")
+                kernel, seconds, generated = self._build_promoted_kernel(
+                    handle, plan)
+                if self._commit_promotion(handle, ws, plan, kernel,
+                                          generated):
+                    outcome = "promoted"
+                else:
+                    outcome = "stale"
+                    self._prune_keylock(plan.key)
+            except Exception as error:
+                outcome = "failed"
+                reason = type(error).__name__
+                stripe = self._stripe(handle.handle_id)
+                with stripe.lock:
+                    if stripe.workspaces.get(
+                            (handle.handle_id, d)) is ws:
+                        ws.tier = TIER_FAILED
+                        ws.promote_error = error
+                if plan is not None:
+                    try:
+                        self._prune_keylock(plan.key)
+                    except Exception:
+                        pass
+            finally:
+                sp.annotate(outcome=outcome, codegen_seconds=seconds)
+                self.tier_stats.finish(outcome, seconds, reason)
+
+    def _build_promoted_kernel(self, handle: MatrixHandle, plan):
+        """Build (or fetch) the specialized kernel for a promotion plan.
+
+        Same cache discipline as :meth:`_resolve` — counted probe,
+        per-identity codegen lock, uncounted re-check — except the
+        kernel is *not* inserted into the cache here: the new identity
+        carries no workspace reference until the commit, so the insert
+        and the reference move together inside
+        :meth:`_commit_promotion` (put-if-live, under the guard).
+        """
+        system = plan.artifact.system
+        kernel = self.cache.get(plan.key)
+        if kernel is not None:
+            plan.attach_kernel(kernel, cache_hit=True, codegen_seconds=0.0)
+            return kernel, 0.0, False
+        with self._keylock_guard:
+            keylock = self._keylocks.setdefault(plan.key, threading.Lock())
+        with _span("serve.codegen", handle=handle.handle_id, d=plan.d,
+                   system=system.name) as sp, keylock:
+            kernel = self.cache.peek(plan.key)
+            if kernel is not None:
+                plan.attach_kernel(kernel, cache_hit=True,
+                                   codegen_seconds=0.0)
+                sp.annotate(generated=False)
+                return kernel, 0.0, False
+            kernel, seconds = system.build_kernel(plan)
+            sp.annotate(generated=True)
+        plan.attach_kernel(kernel, cache_hit=False, codegen_seconds=seconds)
+        with self._stripe(handle.handle_id).lock:
+            self.stats.handle(handle.handle_id, handle.name).record_codegen(
+                seconds)
+        return kernel, seconds, True
+
+    def _commit_promotion(self, handle: MatrixHandle, ws: _Workspace,
+                          plan, kernel, generated: bool) -> bool:
+        """Atomically land a finished promotion; False if it went stale.
+
+        Takes the stripe lock, then the identity guard — the order
+        :meth:`_workspace` established, so promotion can never deadlock
+        against registration.  Under the stripe lock the workspace's
+        liveness is re-checked (an unregister/eviction/close that won
+        the race means this promotion must release everything and keep
+        nothing); under the guard the new identity gains its reference
+        and — put-if-live — its cache entry in the same critical
+        section, so a racing unregister cannot interleave between them.
+        The swapped-out template identity is released after the locks
+        drop; the shared template kernel itself stays cached.
+        """
+        stripe = self._stripe(handle.handle_id)
+        key = (handle.handle_id, plan.d)
+        old_identity = ws.plan.key
+        with stripe.lock:
+            if self._closed or stripe.workspaces.get(key) is not ws:
+                return False
+            with self._keylock_guard:
+                self._key_refs[plan.key] = (
+                    self._key_refs.get(plan.key, 0) + 1)
+                if generated:
+                    self.cache.put(
+                        plan.key, kernel,
+                        plan.artifact.system.kernel_nbytes(kernel))
+            ws.plan = plan
+            ws.tier = TIER_PROMOTED
+            ws.promote_error = None
+        self._release_identity(old_identity)
+        return True
 
     # ------------------------------------------------------------------
     # Request paths
@@ -769,22 +1106,36 @@ class SpmmService:
         riding the stacked SpMM.
         """
         x = fast_check_operands(handle.matrix, x)
-        with _span("serve.multiply", handle=handle.handle_id,
-                   d=int(x.shape[1])) as sp:
+        d = int(x.shape[1])
+        with _span("serve.multiply", handle=handle.handle_id, d=d) as sp:
             t0 = time.perf_counter()
             self._check_deadline(deadline, "bind/codegen")
-            ws, _, _, cold, _ = self._resolve(handle, int(x.shape[1]))
+            if self._template_artifact is not None:
+                # tiered fast path: no kernel resolution at all — the
+                # numpy backend needs only the plan's row ranges, and
+                # resolving a specialized identity would map operands
+                # and pay codegen, exactly the cold cost tiering moves
+                # off the request path
+                ws, cold = self._workspace(handle, d)
+                self._note_tier_traffic(handle, ws, d)
+            else:
+                ws, _, _, _, cold, _ = self._resolve(handle, d)
             sp.annotate(cold=cold)
             self._check_deadline(deadline, "execution")
             if self.max_batch > 1:
                 return self._serve_batched(handle, ws, x, t0, cold,
                                            deadline)
+            # capture the plan once: a promotion landing mid-request
+            # swaps ws.plan, and this request must execute — and be
+            # attributed to — exactly one tier
+            plan = ws.plan
             t1 = time.perf_counter()
-            y = multiply_partitioned(handle.matrix, x, ws.plan.ranges)
+            y = multiply_partitioned(handle.matrix, x, plan.ranges)
             t2 = time.perf_counter()
             with self._stripe(handle.handle_id).lock:
                 self.stats.handle(handle.handle_id, handle.name).observe(
-                    t2 - t0, cold, exec_seconds=t2 - t1, backend="native")
+                    t2 - t0, cold, exec_seconds=t2 - t1, backend="native",
+                    tier=self._plan_tier(plan))
         return y
 
     # -- coalescing -----------------------------------------------------
@@ -903,6 +1254,11 @@ class SpmmService:
         tuned partitions).
         """
         matrix = handle.matrix
+        # one plan for the whole batch, captured before execution: a
+        # promotion hot-swapping ws.plan mid-batch must not split the
+        # batch across tiers — every member executes (and is counted
+        # against) the tier the batch started on
+        plan = ws.plan
         # stamp every member before executing: followers read these for
         # their wait spans and error reports, and the ids must be there
         # even when execution fails on the first instruction
@@ -936,14 +1292,14 @@ class SpmmService:
                 t1 = time.perf_counter()
                 if len(batch) == 1:
                     batch[0].y = multiply_partitioned(
-                        matrix, batch[0].x, ws.plan.ranges)
+                        matrix, batch[0].x, plan.ranges)
                 else:
                     xs = [member.x for member in batch]
                     n, d = xs[0].shape
                     gather = self.pool.acquire(n * d * len(xs))
                     stacked = stack_columns(xs, out=gather)
                     ys = multiply_partitioned(matrix, stacked,
-                                              ws.plan.ranges)
+                                              plan.ranges)
                     for member, y in zip(batch,
                                          scatter_columns(ys, len(batch))):
                         member.y = y
@@ -962,12 +1318,14 @@ class SpmmService:
             if gather is not None:
                 self.pool.release(gather)
         share = (t2 - t1) / len(batch)
+        tier = self._plan_tier(plan)
         with self._stripe(handle.handle_id).lock:
             stats = self.stats.handle(handle.handle_id, handle.name)
             stats.record_batch(len(batch))
             for member in batch:
                 stats.observe(t2 - member.t0, member.cold,
-                              exec_seconds=share, backend="native")
+                              exec_seconds=share, backend="native",
+                              tier=tier)
 
     # ------------------------------------------------------------------
     def profile(self, handle: MatrixHandle, x: np.ndarray,
@@ -987,17 +1345,25 @@ class SpmmService:
         the service defaults.
         """
         x = check_operands(handle.matrix, x)
-        with _span("serve.profile", handle=handle.handle_id,
-                   d=int(x.shape[1])) as sp:
+        d = int(x.shape[1])
+        with _span("serve.profile", handle=handle.handle_id, d=d) as sp:
             t0 = time.perf_counter()
             self._check_deadline(deadline, "bind/codegen")
-            ws, _, codegen_seconds, cold, generated = self._resolve(
-                handle, int(x.shape[1]))
+            ws, plan, _, codegen_seconds, cold, generated = self._resolve(
+                handle, d)
+            if self._template_artifact is not None:
+                # profiled traffic heats the workspace too: a handle
+                # probed exclusively through profile() still promotes.
+                # The simulated run serves the captured plan's tier —
+                # the template kernel until promotion lands (its
+                # simulated results are bit-identical across tiers,
+                # like the fast path's)
+                self._note_tier_traffic(handle, ws, d)
             self._check_deadline(deadline, "simulated execution")
             if backend is None and timing is None:
                 backend = self._config.effective_backend
-            resolved = ws.plan.resolve_backend(timing=timing,
-                                               backend=backend)
+            resolved = plan.resolve_backend(timing=timing,
+                                            backend=backend)
             sp.annotate(backend=resolved, cold=cold)
             if not get_backend(resolved).provides_counters:
                 raise ShapeError(
@@ -1011,13 +1377,13 @@ class SpmmService:
                 # exec clock starts inside the lock: wait time behind a
                 # contended workspace must not inflate exec_seconds
                 t1 = time.perf_counter()
-                result = ws.plan.refresh(x).execute(backend=resolved)
+                result = plan.refresh(x).execute(backend=resolved)
                 y = result.y.copy()
             t2 = time.perf_counter()
             with self._stripe(handle.handle_id).lock:
                 self.stats.handle(handle.handle_id, handle.name).observe(
                     t2 - t0, cold, exec_seconds=t2 - t1, profiled=True,
-                    backend=resolved)
+                    backend=resolved, tier=self._plan_tier(plan))
         return replace(
             result, y=y, codegen_seconds=codegen_seconds,
             system=f"{result.system}-serve",
@@ -1054,6 +1420,11 @@ class SpmmService:
         if self._closed:
             return
         self._closed = True
+        if self._promoter is not None:
+            # promotions queued behind the close still run, but their
+            # commits see _closed and settle stale; joining here means
+            # no pool thread touches service state after teardown
+            self._promoter.close(timeout=drain_seconds)
         deadline = time.perf_counter() + drain_seconds
         while self._queues_busy():
             if time.perf_counter() >= deadline:
@@ -1131,6 +1502,12 @@ class SpmmService:
 
     def snapshot(self) -> ServiceSnapshot:
         """One consistent observability snapshot of the whole service."""
+        tier = None
+        if self._template_artifact is not None:
+            tier = self.tier_stats.snapshot(
+                mode=self.tier_mode,
+                template=self._template_artifact.system.name,
+                promote_after=self.promote_after)
         return ServiceSnapshot(
             stats=self.stats_snapshot(),
             cache=self.cache.stats(),
@@ -1140,6 +1517,7 @@ class SpmmService:
             workspace_cap=self.max_workspaces,
             workspace_evictions=self._workspace_evictions,
             autotune_memo=autotune_memo_stats(),
+            tier=tier,
         )
 
     def metric_samples(self) -> list[Sample]:

@@ -139,6 +139,9 @@ class HandleStats:
     #: coalesced-execution histogram: batch size -> executed batches
     #: (a per-request execution is a batch of 1)
     batches: dict[int, int] = field(default_factory=dict)
+    #: requests per serving tier (``"template"`` / ``"promoted"`` on a
+    #: tiered service; untiered services record no tier traffic)
+    tiers: dict[str, int] = field(default_factory=dict)
 
     def record_batch(self, size: int) -> None:
         """Record one coalesced execution that served ``size`` requests."""
@@ -153,7 +156,8 @@ class HandleStats:
     def observe(self, seconds: float, cold: bool,
                 exec_seconds: float | None = None,
                 profiled: bool = False,
-                backend: str | None = None) -> None:
+                backend: str | None = None,
+                tier: str | None = None) -> None:
         """Record one served request.
 
         ``seconds`` is the request's total wall latency (what the
@@ -162,7 +166,9 @@ class HandleStats:
         are one-time cold costs — and is the denominator the amortized
         Table-IV ratio accumulates.  Defaults to ``seconds`` when the
         request had no setup component.  ``backend`` attributes the
-        request to one execution backend's traffic bucket.
+        request to one execution backend's traffic bucket; ``tier``
+        attributes it to the serving tier (template vs promoted) that
+        actually executed it.
         """
         self.requests += 1
         if profiled:
@@ -173,6 +179,8 @@ class HandleStats:
             self.warm.observe(seconds)
         if backend:
             self.backends[backend] = self.backends.get(backend, 0) + 1
+        if tier:
+            self.tiers[tier] = self.tiers.get(tier, 0) + 1
         self.exec_seconds += max(
             0.0, seconds if exec_seconds is None else exec_seconds)
 
@@ -188,6 +196,7 @@ class HandleStats:
             exec_seconds=self.exec_seconds,
             cold=self.cold.snapshot(), warm=self.warm.snapshot(),
             backends=dict(self.backends), batches=dict(self.batches),
+            tiers=dict(self.tiers),
         )
 
     def codegen_overhead(self) -> float:
@@ -212,6 +221,10 @@ class HandleStats:
                 for name, count in sorted(self.backends.items())))
         if self.batches:
             lines.append("  batches " + render_batch_histogram(self.batches))
+        if self.tiers:
+            lines.append("  tiers " + " ".join(
+                f"{name}={count}"
+                for name, count in sorted(self.tiers.items())))
         return "\n".join(lines)
 
 
@@ -268,6 +281,15 @@ class ServiceStats:
         return traffic
 
     @property
+    def tier_traffic(self) -> dict[str, int]:
+        """Service-wide requests per serving tier (template/promoted)."""
+        traffic: dict[str, int] = {}
+        for handle in self._snapshot():
+            for name, count in list(handle.tiers.items()):
+                traffic[name] = traffic.get(name, 0) + count
+        return traffic
+
+    @property
     def batch_sizes(self) -> dict[int, int]:
         """Service-wide coalescing histogram: batch size -> batches."""
         sizes: dict[int, int] = {}
@@ -300,6 +322,11 @@ class ServiceStats:
             lines.append("traffic by backend: " + ", ".join(
                 f"{name}={count}"
                 for name, count in sorted(traffic.items())))
+        tiers = self.tier_traffic
+        if tiers:
+            lines.append("traffic by tier: " + ", ".join(
+                f"{name}={count}"
+                for name, count in sorted(tiers.items())))
         sizes = self.batch_sizes
         if sizes:
             lines.append(

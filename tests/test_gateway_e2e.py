@@ -343,3 +343,74 @@ class TestShutdownOp:
                 assert not gateway.shutdown_requested.is_set()
                 client.shutdown_gateway()
             assert gateway.shutdown_requested.is_set()
+
+
+class TestTieredGateway:
+    def test_promotion_state_survives_worker_respawn(self, rng):
+        """Tiering through the gateway: template-first serving is
+        bit-identical end to end, per-worker promotion lands under
+        live traffic, and a worker SIGKILLed mid-promotion respawns,
+        replays its registrations, and re-promotes from scratch."""
+        config = ExecutionConfig(split="auto", backend="native",
+                                 workers=1, tier_mode="lazy",
+                                 promote_after=3)
+        with Gateway(config, mp_start="fork") as gateway:
+            with gateway.connect() as client:
+                matrix = random_csr(rng, 48, 36, density=0.25,
+                                    name="tiered")
+                x = rng.random((36, 8)).astype(np.float32)
+                reference = spmm_reference(matrix, x)
+                handle = client.register(matrix, "tiered")
+                # template tier through the wire: bit-identical
+                assert np.array_equal(client.multiply(handle, x),
+                                      reference)
+
+                def promoted_workers():
+                    count = 0
+                    for _index, _pid, snap in gateway.worker_snapshots():
+                        tier = snap.tier
+                        if tier and tier.outcomes.get("promoted", 0) >= 1:
+                            count += 1
+                    return count
+
+                # heat past the threshold until the worker's background
+                # promotion lands (the snapshot rides the stats reply)
+                deadline = time.perf_counter() + 60
+                while not promoted_workers():
+                    assert np.array_equal(client.multiply(handle, x),
+                                          reference)
+                    if time.perf_counter() > deadline:
+                        raise AssertionError("promotion never landed")
+                    time.sleep(0.01)
+                # promoted tier through the wire: still the same bits
+                assert np.array_equal(client.multiply(handle, x),
+                                      reference)
+
+                # kill the worker: its promoted state dies with it; the
+                # respawn replays registrations and starts back on the
+                # template tier
+                (victim_pid,) = gateway.worker_pids()
+                os.kill(victim_pid, signal.SIGKILL)
+                deadline = time.perf_counter() + 60
+                while True:
+                    try:
+                        y = client.multiply(handle, x)
+                        break
+                    except WorkerCrashed:
+                        if time.perf_counter() > deadline:
+                            raise
+                        time.sleep(0.05)
+                assert np.array_equal(y, reference)
+                assert gateway.worker_pids() != [victim_pid]
+
+                # the replacement re-promotes from replayed state
+                deadline = time.perf_counter() + 60
+                while not promoted_workers():
+                    assert np.array_equal(client.multiply(handle, x),
+                                          reference)
+                    if time.perf_counter() > deadline:
+                        raise AssertionError(
+                            "respawned worker never re-promoted")
+                    time.sleep(0.01)
+                assert np.array_equal(client.multiply(handle, x),
+                                      reference)

@@ -230,3 +230,151 @@ def test_report_is_consistent_during_multiply_storm(rng):
     for thread in workers + readers:
         thread.join()
     assert not problems, problems[:5]
+
+
+def test_promotion_races_unregister_churn(rng):
+    # handles unregister while their background promotions are still in
+    # flight: every promotion must settle (promoted or stale, never
+    # wedged), results stay bit-correct, and the identity state drains
+    service = SpmmService(threads=2, split="row", tier_mode="lazy",
+                          promote_after=1, promotion_workers=2)
+    matrices = [random_csr(rng, 20 + 3 * index, 24, density=0.3,
+                           name=f"p{index}")
+                for index in range(4)]
+    operands = {}
+    expected = {}
+    for index, matrix in enumerate(matrices):
+        x = rng.random((24, 8)).astype(np.float32)
+        operands[index] = x
+        expected[index] = spmm_reference(matrix, x)
+    errors = []
+    workers = 6
+    rounds = 10
+    barrier = threading.Barrier(workers)
+
+    def worker(seed):
+        local = np.random.default_rng(seed)
+        barrier.wait()
+        for _ in range(rounds):
+            index = int(local.integers(len(matrices)))
+            handle = service.register(matrices[index], f"w{seed}")
+            # promote_after=1: the first request schedules promotion,
+            # and unregister races the background job directly
+            for _ in range(int(local.integers(1, 4))):
+                y = service.multiply(handle, operands[index])
+                if not np.array_equal(y, expected[index]):
+                    errors.append(("mismatch", index))
+            service.unregister(handle)
+
+    threads = [threading.Thread(target=worker, args=(seed,))
+               for seed in range(workers)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert not errors
+    assert service.drain_promotions(30.0)
+    stats = service.tier_stats
+    settled = sum(stats.outcome(name)
+                  for name in ("promoted", "failed", "stale"))
+    assert stats.pending == 0 and settled > 0
+    assert stats.outcome("failed") == 0
+    # every handle is gone: identity refcounts and keylocks drained,
+    # including those of promotions that landed or went stale
+    assert not service._workspaces
+    assert service._key_refs == {}
+    assert service._keylocks == {}
+    service.close()
+
+
+def test_promotion_races_eviction_under_byte_pressure(rng):
+    # a cache too small for every promoted kernel: promotions land,
+    # their kernels get evicted by other promotions, and every request
+    # still serves bit-correct results from whatever tier it captured
+    service = SpmmService(threads=2, split="row", tier_mode="eager",
+                          promotion_workers=2,
+                          cache=ShardedKernelCache(budget_bytes=512,
+                                                   shards=2))
+    matrices = [random_csr(rng, 18 + 5 * index, 22, density=0.3,
+                           name=f"e{index}")
+                for index in range(5)]
+    handles = [service.register(matrix) for matrix in matrices]
+    operands = [rng.random((22, 8)).astype(np.float32)
+                for _ in matrices]
+    expected = [spmm_reference(matrix, x)
+                for matrix, x in zip(matrices, operands)]
+    errors = []
+    barrier = threading.Barrier(len(handles))
+
+    def hammer(index):
+        barrier.wait()
+        for _ in range(12):
+            y = service.multiply(handles[index], operands[index])
+            if not np.array_equal(y, expected[index]):
+                errors.append(index)
+
+    threads = [threading.Thread(target=hammer, args=(index,))
+               for index in range(len(handles))]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert not errors
+    assert service.drain_promotions(30.0)
+    assert service.cache.stats().evictions > 0      # pressure was real
+    for handle in handles:
+        service.unregister(handle)
+    assert service._key_refs == {}
+    assert service._keylocks == {}
+    service.close()
+
+
+def test_promotion_lands_mid_coalesced_batch(rng):
+    # coalescing holds batches open for a long flush window while the
+    # promotion executor hot-swaps the plan: each batch executes one
+    # captured plan (never split across tiers) and stays bit-exact
+    service = SpmmService(threads=2, split="row", tier_mode="lazy",
+                          promote_after=12, max_batch=8, flush_us=2000)
+    matrix = random_csr(rng, 30, 30, density=0.3, name="midbatch")
+    handle = service.register(matrix)
+    operands = [rng.random((30, 8)).astype(np.float32) for _ in range(4)]
+    expected = [spmm_reference(matrix, x) for x in operands]
+    # below the threshold: guaranteed template-tier traffic before the
+    # concurrent storm crosses it mid-batch
+    for _ in range(5):
+        assert np.array_equal(service.multiply(handle, operands[0]),
+                              expected[0])
+    assert service.handle_stats(handle).tiers == {"template": 5}
+    errors = []
+    stop = threading.Event()
+
+    def traffic(index):
+        while not stop.is_set():
+            y = service.multiply(handle, operands[index])
+            if not np.array_equal(y, expected[index]):
+                errors.append(index)
+
+    threads = [threading.Thread(target=traffic, args=(index,))
+               for index in range(len(operands))]
+    for thread in threads:
+        thread.start()
+    import time
+    deadline = time.monotonic() + 10.0
+    while (service.tier_state(handle, 8) != "promoted"
+           and time.monotonic() < deadline):
+        time.sleep(0.01)
+    time.sleep(0.2)                 # promoted tier serves real batches
+    stop.set()
+    for thread in threads:
+        thread.join()
+    assert not errors
+    assert service.tier_state(handle, 8) == "promoted"
+    stats = service.handle_stats(handle)
+    assert stats.tiers.get("template", 0) > 0
+    assert stats.tiers.get("promoted", 0) > 0
+    # batches really coalesced around the swap
+    assert any(size > 1 for size in stats.batches)
+    service.unregister(handle)
+    assert service._key_refs == {}
+    assert service._keylocks == {}
+    service.close()
